@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Float Format Hashtbl Int64 List Measure Monotonic_clock Staged String Test Time Toolkit

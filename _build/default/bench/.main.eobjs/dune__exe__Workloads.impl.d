@@ -1,0 +1,1 @@
+bench/workloads.ml: Ast Cnf Expr Interp List Printf Sched Skeleton Trace

@@ -1,0 +1,92 @@
+(* Timing helpers for the benchmark harness.
+
+   Two measurement regimes:
+   - [bechamel_group] for polynomial-time algorithms (microsecond scale):
+     bechamel's OLS estimate over many runs;
+   - [time_once] / [sweep] for the exponential exact engines, where a
+     single run already takes milliseconds to minutes and repetition is
+     pointless.  Sweeps stop when a run exceeds the per-point budget, like
+     the timeout column of a complexity table. *)
+
+let clock_ns () = Monotonic_clock.now ()
+
+let time_once f =
+  let t0 = clock_ns () in
+  let r = f () in
+  let t1 = clock_ns () in
+  (r, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+
+let pp_time ppf seconds =
+  if seconds < 1e-6 then Format.fprintf ppf "%8.1fns" (seconds *. 1e9)
+  else if seconds < 1e-3 then Format.fprintf ppf "%8.1fus" (seconds *. 1e6)
+  else if seconds < 1.0 then Format.fprintf ppf "%8.2fms" (seconds *. 1e3)
+  else Format.fprintf ppf "%8.2fs " seconds
+
+let time_string seconds = Format.asprintf "%a" pp_time seconds
+
+(* Runs [f] on each size in order.  Stops early when the measurements are
+   exponential and the projected next point would blow the budget: with the
+   last two times t' and t, the next is projected at t * (t/t')^2 — growth
+   usually accelerates on these engines, so the square is the safer bet. *)
+let sweep ~budget ~sizes f =
+  let rec go acc prev = function
+    | [] -> List.rev acc
+    | size :: rest ->
+        let row, seconds = time_once (fun () -> f size) in
+        let acc = (size, row, seconds) :: acc in
+        let projected =
+          match prev with
+          | None -> seconds *. 10.
+          | Some prev_seconds ->
+              let ratio = Float.max 2.0 (seconds /. Float.max 1e-9 prev_seconds) in
+              seconds *. (ratio ** 1.5)
+        in
+        if seconds > budget || projected > budget then List.rev acc
+        else go acc (Some seconds) rest
+  in
+  go [] None sizes
+
+(* Bechamel: estimated ns/run for each named thunk. *)
+let bechamel_group ?(quota = 0.25) tests =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
+  let grouped =
+    Test.make_grouped ~name:"g"
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) tests)
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  List.filter_map
+    (fun (name, _) ->
+      match Hashtbl.find_opt results ("g/" ^ name) with
+      | None -> None
+      | Some est -> (
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Some (name, ns /. 1e9)
+          | _ -> None))
+    tests
+
+(* Table rendering: fixed-width columns, markdown-ish. *)
+let table ~title ~header rows =
+  Format.printf "@.== %s ==@." title;
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w cell -> max w (String.length cell)) ws row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    Format.printf "| %s |@."
+      (String.concat " | "
+         (List.map2
+            (fun w cell -> cell ^ String.make (w - String.length cell) ' ')
+            widths row))
+  in
+  print_row header;
+  Format.printf "|%s|@."
+    (String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter print_row rows

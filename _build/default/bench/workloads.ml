@@ -1,0 +1,161 @@
+(* Workload families for the benchmark harness (see DESIGN.md's
+   per-experiment index).  All generators are deterministic. *)
+
+(* ------------------------------------------------------------------ *)
+(* 3-CNF families for the Theorem 1-4 reductions                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Unsatisfiable implication chain over n variables:
+   x1, (xi -> xi+1) for i < n, ~xn — 3-CNF via duplicated literals.
+   Deciding the must-have relations on its reduction forces the engine to
+   exhaust the space: the hard direction. *)
+let unsat_chain n =
+  Cnf.make ~num_vars:n
+    ([ [ 1; 1; 1 ] ]
+    @ List.init (n - 1) (fun i -> [ -(i + 1); -(i + 1); i + 2 ])
+    @ [ [ -n; -n; -n ] ])
+
+(* The same chain without the final negation: satisfiable (all true). *)
+let sat_chain n =
+  Cnf.make ~num_vars:n
+    ([ [ 1; 1; 1 ] ]
+    @ List.init (n - 1) (fun i -> [ -(i + 1); -(i + 1); i + 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Programs for the Table 1 / exact-relations sweep                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A semaphore-linked pipeline of [stages] plus [free] unconstrained
+   writer processes: the chain pins down orderings while every free process
+   multiplies the feasible-schedule count. *)
+let pipeline_program ~stages ~free =
+  let stage i =
+    Ast.proc
+      (Printf.sprintf "stage%d" i)
+      (List.concat
+         [
+           (if i = 0 then [] else [ Ast.Sem_p (Printf.sprintf "s%d" i) ]);
+           [ Ast.Assign (Printf.sprintf "x%d" i, Expr.Int i) ];
+           (if i = stages - 1 then []
+            else [ Ast.Sem_v (Printf.sprintf "s%d" (i + 1)) ]);
+         ])
+  in
+  let free_proc i =
+    Ast.proc
+      (Printf.sprintf "free%d" i)
+      [ Ast.Assign (Printf.sprintf "y%d" i, Expr.Int i) ]
+  in
+  Ast.program
+    (List.init stages stage @ List.init free free_proc)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore traces for the HMW comparison                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [k] producer/consumer pairs sharing one semaphore: plenty of V/P events
+   whose pairings can vary between feasible executions. *)
+let hmw_program ~pairs =
+  let producer i =
+    Ast.proc (Printf.sprintf "prod%d" i) [ Ast.Skip None; Ast.Sem_v "s" ]
+  in
+  let consumer i =
+    Ast.proc (Printf.sprintf "cons%d" i) [ Ast.Sem_p "s"; Ast.Skip None ]
+  in
+  Ast.program
+    (List.init pairs producer @ List.init pairs consumer)
+
+(* ------------------------------------------------------------------ *)
+(* Race-detection workloads                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [racy] unsynchronized writer pairs plus [safe] semaphore-ordered pairs:
+   ground truth is racy pairs racy, safe pairs not. *)
+let race_program ~racy ~safe =
+  let racy_pair i =
+    let v = Printf.sprintf "r%d" i in
+    [
+      Ast.proc (Printf.sprintf "rw%d_a" i) [ Ast.Assign (v, Expr.Int 1) ];
+      Ast.proc (Printf.sprintf "rw%d_b" i) [ Ast.Assign (v, Expr.Int 2) ];
+    ]
+  in
+  let safe_pair i =
+    let v = Printf.sprintf "w%d" i in
+    let s = Printf.sprintf "l%d" i in
+    [
+      Ast.proc
+        (Printf.sprintf "sw%d_a" i)
+        [ Ast.Assign (v, Expr.Int 1); Ast.Sem_v s ];
+      Ast.proc
+        (Printf.sprintf "sw%d_b" i)
+        [ Ast.Sem_p s; Ast.Assign (v, Expr.Int 2) ];
+    ]
+  in
+  Ast.program
+    (List.concat
+       (List.init racy racy_pair)
+    @ List.concat (List.init safe safe_pair))
+
+(* The observed-pairing blind spot (one hidden race): writer's V pairs
+   with the reader's P in the observed trace, hiding the race from
+   vector clocks. *)
+let hidden_race_program =
+  Ast.program
+    [
+      Ast.proc "writer" [ Ast.Assign ("x", Expr.Int 1); Ast.Sem_v "s" ];
+      Ast.proc "helper" [ Ast.Sem_v "s" ];
+      Ast.proc "reader" [ Ast.Sem_p "s"; Ast.Assign ("x", Expr.Int 2) ];
+    ]
+
+let hidden_race_trace () =
+  let t =
+    Interp.run ~policy:(Sched.Replay [ 0; 0; 2; 2; 1 ]) hidden_race_program
+  in
+  match t.Trace.outcome with
+  | Trace.Completed -> t
+  | _ -> invalid_arg "Workloads.hidden_race_trace: replay failed"
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let trace_of program =
+  let t = Interp.run program in
+  match t.Trace.outcome with
+  | Trace.Completed -> t
+  | _ -> invalid_arg "Workloads.trace_of: program did not complete"
+
+let skeleton_of program =
+  Skeleton.of_execution (Trace.to_execution (trace_of program))
+
+(* ------------------------------------------------------------------ *)
+(* Static-analysis workloads (loop-free Post/Wait programs)            *)
+(* ------------------------------------------------------------------ *)
+
+(* A broadcast chain: process i waits for e(i-1) and posts e(i).  Every
+   ordering is static (unique posts), so the dataflow should recover the
+   full chain. *)
+let broadcast_chain ~stages =
+  Ast.program
+    (List.init stages (fun i ->
+         Ast.proc
+           (Printf.sprintf "stage%d" i)
+           (List.concat
+              [
+                (if i = 0 then [] else [ Ast.Wait (Printf.sprintf "e%d" i) ]);
+                [ Ast.Assign (Printf.sprintf "x%d" i, Expr.Int i) ];
+                (if i = stages - 1 then []
+                 else [ Ast.Post (Printf.sprintf "e%d" (i + 1)) ]);
+              ])))
+
+(* The same chain with every post duplicated in a helper process: the
+   triggering post is ambiguous, so the static analysis must drop the
+   per-post guarantees while the exact engine keeps the chain. *)
+let broadcast_chain_ambiguous ~stages =
+  let base = broadcast_chain ~stages in
+  let helpers =
+    List.init (stages - 1) (fun i ->
+        Ast.proc
+          (Printf.sprintf "helper%d" i)
+          [ Ast.Post (Printf.sprintf "e%d" (i + 1)) ])
+  in
+  { base with Ast.procs = base.Ast.procs @ helpers }

@@ -1,0 +1,681 @@
+(* eventorder — command-line front end for the event-ordering analyses.
+
+   Subcommands:
+     analyze    run a program and print the six Table-1 relation matrices
+     report     one-shot comprehensive analysis of a program or trace
+     explore    all executions of a loop-free program (counts, finals)
+     order      decide the relations for one labelled pair, with a witness
+     schedules  count feasible schedules / states, check for deadlocks
+     races      report apparent and feasible data races
+     taskgraph  Emrath-Ghosh-Padua task-graph claims vs the exact engine
+     reduce     build the Theorem 1/3 reduction program from a DIMACS file
+     theorems   machine-check Theorems 1-4 on a formula
+     figure1    reproduce the paper's Figure 1 discrepancy
+     record     save an observed execution as a *.eotrace file
+     dot        render executions / pinned orders / task graphs as DOT
+     fuzz       differential testing of the engines on random programs *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments and helpers                                        *)
+(* ------------------------------------------------------------------ *)
+
+let program_file =
+  let doc =
+    "Program source file (see README for the syntax), or a saved trace \
+     (*.eotrace) produced by the 'record' subcommand."
+  in
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE" ~doc)
+
+let policy_arg =
+  let doc =
+    "Scheduling policy for the observed execution: 'rr' (round robin), \
+     'priority', or 'random:SEED'."
+  in
+  let parse s =
+    match s with
+    | "rr" -> Ok Sched.Round_robin
+    | "priority" -> Ok Sched.Priority
+    | _ -> (
+        match String.split_on_char ':' s with
+        | [ "random"; seed ] -> (
+            match int_of_string_opt seed with
+            | Some seed -> Ok (Sched.Random seed)
+            | None -> Error (`Msg "random seed must be an integer"))
+        | _ -> Error (`Msg "expected rr, priority, or random:SEED"))
+  in
+  let print ppf = function
+    | Sched.Round_robin -> Format.pp_print_string ppf "rr"
+    | Sched.Priority -> Format.pp_print_string ppf "priority"
+    | Sched.Random seed -> Format.fprintf ppf "random:%d" seed
+    | Sched.Replay _ -> Format.pp_print_string ppf "replay"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Sched.Round_robin
+    & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let limit_arg =
+  let doc =
+    "Cap on the number of feasible schedules enumerated (the exact \
+     engines are exponential; capped results under-approximate the \
+     could-have relations)."
+  in
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+
+let max_events_arg =
+  let doc =
+    "Refuse to run the exponential engines on traces with more events than \
+     this (override consciously)."
+  in
+  Arg.(value & opt int 40 & info [ "max-events" ] ~docv:"N" ~doc)
+
+let parse_program_file path =
+  try Parse.program_file path
+  with Parse.Syntax_error { line; message } ->
+    Format.eprintf "%s:%d: syntax error: %s@." path line message;
+    exit 2
+
+let load_trace path policy =
+  let trace =
+    if Filename.check_suffix path ".eotrace" then (
+      try Trace_io.load path
+      with Failure message ->
+        Format.eprintf "%s: malformed trace: %s@." path message;
+        exit 2)
+    else Interp.run ~policy (parse_program_file path)
+  in
+  (match trace.Trace.outcome with
+  | Trace.Completed -> ()
+  | Trace.Deadlocked pids ->
+      Format.printf
+        "note: the observed execution deadlocked (blocked processes: %a); \
+         analysing the events that did run@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        pids
+  | Trace.Fuel_exhausted ->
+      Format.printf "note: fuel exhausted; analysing the recorded prefix@.");
+  trace
+
+let guard_size trace max_events =
+  let n = Trace.n_events trace in
+  if n > max_events then begin
+    Format.eprintf
+      "error: trace has %d events; the exact engines are exponential and \
+       %d is past the configured --max-events %d@."
+      n n max_events;
+    exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let reduced_arg =
+    let doc =
+      "Use the class-level engine (partial-order reduction + state \
+       reachability) instead of raw schedule enumeration.  Same results, \
+       exponentially faster on traces with independent events."
+    in
+    Arg.(value & flag & info [ "reduced" ] ~doc)
+  in
+  let run file policy limit max_events reduced =
+    let trace = load_trace file policy in
+    Format.printf "%a@." Trace.pp trace;
+    guard_size trace max_events;
+    let x = Trace.to_execution trace in
+    let sk = Skeleton.of_execution x in
+    let s =
+      if reduced then Relations.compute_reduced sk
+      else Relations.compute ?limit sk
+    in
+    Format.printf "%a@." Relations.pp_summary (s, x.Execution.events);
+    let po = Pinned.po_of_schedule sk (Trace.schedule trace) in
+    Format.printf
+      "max concurrency (width of the observed pinned order): %d of %d events@."
+      (Antichain.width po) (Trace.n_events trace)
+  in
+  let doc = "run a program and print the six Table-1 ordering relations" in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
+      $ reduced_arg)
+
+(* ------------------------------------------------------------------ *)
+(* schedules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let schedules_cmd =
+  let run file policy max_events =
+    let trace = load_trace file policy in
+    guard_size trace max_events;
+    let sk = Skeleton.of_execution (Trace.to_execution trace) in
+    let r = Reach.create sk in
+    let count = Reach.schedule_count r in
+    Format.printf "events:                   %d@." sk.Skeleton.n;
+    if count >= Reach.count_saturation then
+      Format.printf "feasible schedules:       >= 10^18@."
+    else Format.printf "feasible schedules:       %d@." count;
+    Format.printf "reachable states:         %d@."
+      (Reach.reachable_state_count r);
+    Format.printf "deadlock reachable:       %b@." (Reach.deadlock_reachable r)
+  in
+  let doc = "count feasible schedules and states; check for reachable deadlocks" in
+  Cmd.v
+    (Cmd.info "schedules" ~doc)
+    Term.(const run $ program_file $ policy_arg $ max_events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* races                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let races_cmd =
+  let witness_arg =
+    let doc = "For each feasible race, print the pair of interleavings that \
+               exhibit it." in
+    Arg.(value & flag & info [ "witness" ] ~doc)
+  in
+  let run file policy max_events witness =
+    let trace = load_trace file policy in
+    guard_size trace max_events;
+    let x = Trace.to_execution trace in
+    let report name races =
+      Format.printf "%s: %d@." name (List.length races);
+      List.iter (fun r -> Format.printf "  %a@." (Race.pp_race x) r) races
+    in
+    report "candidate conflicting pairs" (Race.conflicting_pairs x);
+    report "apparent races (vector clock)" (Race.apparent_races x);
+    let feasible = Race.feasible_races x in
+    report "feasible races (exact)" feasible;
+    report "first races (debugging frontier)" (Race.first_races x);
+    if witness then
+      List.iter
+        (fun r ->
+          match Race.race_witness x r.Race.e1 r.Race.e2 with
+          | None -> ()
+          | Some (s1, s2) ->
+              let pp_schedule ppf s =
+                Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+                  (fun ppf e ->
+                    Format.pp_print_string ppf x.Execution.events.(e).Event.label)
+                  ppf (Array.to_list s)
+              in
+              Format.printf "@.witness for %a:@.  %a@.  %a@."
+                (Race.pp_race x) r pp_schedule s1 pp_schedule s2)
+        feasible
+  in
+  let doc = "detect apparent (polynomial) and feasible (exact) data races" in
+  Cmd.v
+    (Cmd.info "races" ~doc)
+    Term.(const run $ program_file $ policy_arg $ max_events_arg $ witness_arg)
+
+(* ------------------------------------------------------------------ *)
+(* taskgraph                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let taskgraph_cmd =
+  let run file policy max_events =
+    let trace = load_trace file policy in
+    let x = Trace.to_execution trace in
+    let egp = Egp.build x in
+    Format.printf "task graph: %d sync nodes, %d synchronization edges@."
+      (Digraph.size (Egp.graph egp))
+      (Egp.sync_edge_count egp);
+    let claims = Egp.guaranteed_rel egp in
+    Format.printf "claimed guaranteed orderings: %d@." (Rel.pair_count claims);
+    if Trace.n_events trace <= max_events then begin
+      let d = Decide.create x in
+      let missed = ref 0 in
+      let n = Execution.n_events x in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b && Decide.mhb d a b && not (Rel.mem claims a b) then begin
+            incr missed;
+            Format.printf "  missed: %s MHB %s@."
+              x.Execution.events.(a).Event.label
+              x.Execution.events.(b).Event.label
+          end
+        done
+      done;
+      Format.printf "orderings the exact engine proves but the graph misses: %d@."
+        !missed
+    end
+    else
+      Format.printf
+        "(trace too large for the exact comparison; raise --max-events)@."
+  in
+  let doc = "build the Emrath-Ghosh-Padua task graph and compare with the exact engine" in
+  Cmd.v
+    (Cmd.info "taskgraph" ~doc)
+    Term.(const run $ program_file $ policy_arg $ max_events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reduce                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_cmd =
+  let style_arg =
+    let doc = "Synchronization style: 'sem' (Theorem 1/2) or 'event' (Theorem 3/4)." in
+    Arg.(
+      value
+      & opt (enum [ ("sem", `Sem); ("event", `Event) ]) `Sem
+      & info [ "style" ] ~docv:"STYLE" ~doc)
+  in
+  let decide_arg =
+    let doc = "Also decide a MHB b / b CHB a with the exact engine and cross-check DPLL." in
+    Arg.(value & flag & info [ "decide" ] ~doc)
+  in
+  let dimacs_file =
+    let doc = "3-CNF formula in DIMACS format." in
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"DIMACS" ~doc)
+  in
+  let run style decide file =
+    let formula = Dimacs.parse_file file in
+    match style with
+    | `Sem ->
+        let red = Reduction_sem.build formula in
+        Format.printf "%a@." Ast.pp red.Reduction_sem.program;
+        if decide then begin
+          let c1 = Theorems.check_theorem_1 formula in
+          let c2 = Theorems.check_theorem_2 formula in
+          Format.printf "%a@.%a@." Theorems.pp_check c1 Theorems.pp_check c2
+        end
+    | `Event ->
+        let red = Reduction_evt.build formula in
+        Format.printf "%a@." Ast.pp red.Reduction_evt.program;
+        if decide then begin
+          let c3 = Theorems.check_theorem_3 formula in
+          let c4 = Theorems.check_theorem_4 formula in
+          Format.printf "%a@.%a@." Theorems.pp_check c3 Theorems.pp_check c4
+        end
+  in
+  let doc = "build the Theorem 1-4 reduction program from a DIMACS 3-CNF" in
+  Cmd.v
+    (Cmd.info "reduce" ~doc)
+    Term.(const run $ style_arg $ decide_arg $ dimacs_file)
+
+(* ------------------------------------------------------------------ *)
+(* theorems                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let theorems_cmd =
+  let formula_arg =
+    let doc =
+      "Formula: 'tiny-sat', 'tiny-unsat', or a path to a DIMACS file.  Keep \
+       it small: deciding the reduction is exponential (that is the point)."
+    in
+    Arg.(value & opt string "tiny-unsat" & info [ "formula" ] ~docv:"F" ~doc)
+  in
+  let run formula_spec =
+    let formula =
+      match formula_spec with
+      | "tiny-sat" -> Sat_gen.tiny_sat_3cnf ()
+      | "tiny-unsat" -> Sat_gen.tiny_unsat_3cnf ()
+      | path -> Dimacs.parse_file path
+    in
+    let all = Theorems.check_all formula in
+    List.iter (fun c -> Format.printf "%a@." Theorems.pp_check c) all;
+    if List.for_all (fun c -> c.Theorems.agrees) all then
+      print_endline "all theorem equivalences verified"
+    else begin
+      print_endline "THEOREM CHECK FAILED";
+      exit 1
+    end
+  in
+  let doc = "machine-check Theorems 1-4 on a formula" in
+  Cmd.v (Cmd.info "theorems" ~doc) Term.(const run $ formula_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run file policy max_events =
+    let trace = load_trace file policy in
+    guard_size trace max_events;
+    let x = Trace.to_execution trace in
+    let sk = Skeleton.of_execution x in
+    let n = Trace.n_events trace in
+    Format.printf "=== execution ===@.%a@." Trace.pp trace;
+
+    Format.printf "=== feasible executions ===@.";
+    let r = Reach.create sk in
+    let count = Reach.schedule_count r in
+    if count >= Reach.count_saturation then
+      Format.printf "feasible schedules: >= 10^18@."
+    else Format.printf "feasible schedules: %d@." count;
+    Format.printf "reachable states:   %d@." (Reach.reachable_state_count r);
+    (match Reach.deadlock_witness r with
+    | None -> Format.printf "reachable deadlock: none@."
+    | Some prefix ->
+        Format.printf "reachable deadlock: yes, e.g. after [%s]@."
+          (String.concat "; "
+             (Array.to_list
+                (Array.map (fun e -> x.Execution.events.(e).Event.label) prefix))));
+
+    Format.printf "@.=== ordering relations (pair counts) ===@.";
+    let s = Relations.compute_reduced sk in
+    Format.printf "distinct classes:   %d@." s.Relations.distinct_classes;
+    List.iter
+      (fun rel ->
+        Format.printf "%-34s %d pairs@."
+          (Relations.relation_name rel)
+          (Rel.pair_count (Relations.to_rel s rel)))
+      Relations.all_relations;
+    let para = Parallelism.analyze sk (Trace.schedule trace) in
+    Format.printf
+      "max concurrency (width): %d of %d events; critical path: %d; \
+       speedup limit: %.2f@."
+      para.Parallelism.width n
+      para.Parallelism.critical_path_length
+      (Parallelism.speedup_limit para);
+
+    Format.printf "@.=== races ===@.";
+    let print_races name races =
+      Format.printf "%-10s %d@." name (List.length races);
+      List.iter (fun race -> Format.printf "  %a@." (Race.pp_race x) race) races
+    in
+    print_races "apparent:" (Race.apparent_races x);
+    print_races "feasible:" (Race.feasible_races x);
+    print_races "first:" (Race.first_races x);
+
+    Format.printf "@.=== polynomial approximations vs exact MHB ===@.";
+    let d = Decide.create x in
+    let mhb_count = ref 0 and missed_by_graph = ref 0 in
+    let egp = Egp.build x in
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        if a <> b && Decide.mhb d a b then begin
+          incr mhb_count;
+          if not (Egp.guaranteed_before egp a b) then incr missed_by_graph
+        end
+      done
+    done;
+    Format.printf "exact MHB pairs:            %d@." !mhb_count;
+    Format.printf "missed by the task graph:   %d@." !missed_by_graph;
+    let h = Hmw.of_execution x in
+    Format.printf "HMW phase-3 safe pairs:     %d@."
+      (Rel.pair_count h.Hmw.phase3)
+  in
+  let doc = "one-shot comprehensive analysis: schedules, relations, races, approximations" in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const run $ program_file $ policy_arg $ max_events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* order                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let order_cmd =
+  let label n =
+    let doc = Printf.sprintf "Label of the %s event of the pair." n in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ n ] ~docv:(String.uppercase_ascii n) ~doc)
+  in
+  let run file policy max_events a_label b_label =
+    let trace = load_trace file policy in
+    guard_size trace max_events;
+    let x = Trace.to_execution trace in
+    let a = (Trace.find_event trace a_label).Event.id in
+    let b = (Trace.find_event trace b_label).Event.id in
+    let d = Decide.create x in
+    let show name v = Format.printf "%-40s %b@." name v in
+    show (Printf.sprintf "'%s' MHB '%s':" a_label b_label) (Decide.mhb d a b);
+    show (Printf.sprintf "'%s' CHB '%s':" a_label b_label) (Decide.chb d a b);
+    show (Printf.sprintf "'%s' CHB '%s':" b_label a_label) (Decide.chb d b a);
+    show (Printf.sprintf "'%s' CCW '%s':" a_label b_label) (Decide.ccw d a b);
+    show (Printf.sprintf "'%s' MOW '%s':" a_label b_label) (Decide.mow d a b);
+    let sk = Decide.skeleton d in
+    let r = Reach.create sk in
+    match Reach.witness_before r b a with
+    | None ->
+        Format.printf "no feasible execution runs '%s' before '%s'@." b_label
+          a_label
+    | Some schedule ->
+        Format.printf "witness schedule running '%s' before '%s':@." b_label
+          a_label;
+        Array.iteri
+          (fun i e ->
+            Format.printf "  %2d  %s@." i x.Execution.events.(e).Event.label)
+          schedule
+  in
+  let doc =
+    "decide the ordering relations for one labelled pair and print a \
+     witness schedule for the reversed order when one exists"
+  in
+  Cmd.v
+    (Cmd.info "order" ~doc)
+    Term.(
+      const run $ program_file $ policy_arg $ max_events_arg $ label "before"
+      $ label "after")
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explore_cmd =
+  let source_file =
+    let doc =
+      "Program source file (loop-free; saved traces are not accepted — \
+       this analysis quantifies over the program, not a trace)."
+    in
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let program = parse_program_file file in
+    match Explore.explore program with
+    | exception Explore.Unsupported msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    | stats ->
+        let show_count c =
+          if c >= Explore.count_saturation then ">= 10^18" else string_of_int c
+        in
+        Format.printf "completed executions:  %s@."
+          (show_count stats.Explore.completed_paths);
+        Format.printf "deadlocked executions: %s@."
+          (show_count stats.Explore.deadlocked_paths);
+        Format.printf "machine states:        %d@." stats.Explore.states;
+        Format.printf "assertion violation reachable: %b@."
+          (Explore.assert_can_fail program);
+        let finals = Explore.final_stores program in
+        Format.printf "reachable final stores (%d):@." (List.length finals);
+        List.iter
+          (fun bindings ->
+            Format.printf "  %s@."
+              (if bindings = [] then "(empty)"
+               else
+                 String.concat ", "
+                   (List.map (fun (x, v) -> Printf.sprintf "%s=%d" x v) bindings)))
+          finals
+  in
+  let doc =
+    "explore ALL executions of a loop-free program (not just reorderings \
+     of one trace): counts, deadlocks, reachable final stores"
+  in
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ source_file)
+
+(* ------------------------------------------------------------------ *)
+(* record                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let record_cmd =
+  let output_arg =
+    let doc = "Output path for the recorded trace." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+  in
+  let run file policy output =
+    let trace = load_trace file policy in
+    Trace_io.save output trace;
+    Format.printf "recorded %d events to %s@." (Trace.n_events trace) output
+  in
+  let doc = "run a program and save the observed execution as a trace file" in
+  Cmd.v
+    (Cmd.info "record" ~doc)
+    Term.(const run $ program_file $ policy_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let kind_arg =
+    let doc =
+      "What to render: 'execution' (program order + dependences), 'pinned' \
+       (the observed schedule's pinned partial order), 'taskgraph' \
+       (Emrath-Ghosh-Padua), or a relation name ('mhb', 'chb', 'mcw', \
+       'ccw', 'mow', 'cow')."
+    in
+    Arg.(value & opt string "execution" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let run file policy kind max_events =
+    let trace = load_trace file policy in
+    let x = Trace.to_execution trace in
+    let ppf = Format.std_formatter in
+    match String.lowercase_ascii kind with
+    | "execution" -> Dot.execution ppf x
+    | "pinned" ->
+        Dot.pinned ppf (Skeleton.of_execution x) (Trace.schedule trace)
+    | "taskgraph" -> Dot.task_graph ppf x (Egp.build x)
+    | ("mhb" | "chb" | "mcw" | "ccw" | "mow" | "cow") as name ->
+        guard_size trace max_events;
+        let relation =
+          match name with
+          | "mhb" -> Relations.MHB
+          | "chb" -> Relations.CHB
+          | "mcw" -> Relations.MCW
+          | "ccw" -> Relations.CCW
+          | "mow" -> Relations.MOW
+          | _ -> Relations.COW
+        in
+        let s = Relations.compute (Skeleton.of_execution x) in
+        Dot.relation ppf (x, Relations.to_rel s relation, name)
+    | other ->
+        Format.eprintf "error: unknown --kind %s@." other;
+        exit 2
+  in
+  let doc = "render executions, pinned orders, task graphs or relations as DOT" in
+  Cmd.v
+    (Cmd.info "dot" ~doc)
+    Term.(const run $ program_file $ policy_arg $ kind_arg $ max_events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let count_arg =
+    let doc = "Number of random programs to check." in
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Base random seed." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let binary_arg =
+    let doc = "Generate binary semaphores instead of counting ones." in
+    Arg.(value & flag & info [ "binary" ] ~doc)
+  in
+  let run count seed binary =
+    let cfg = { Progen.default_config with Progen.binary_semaphores = binary } in
+    let failures = ref 0 in
+    let checked = ref 0 in
+    for i = 0 to count - 1 do
+      let trace = Progen.generate_completing cfg ~seed:(seed + (i * 7919)) in
+      let x = Trace.to_execution trace in
+      let fail fmt =
+        Format.kasprintf
+          (fun msg ->
+            incr failures;
+            Format.printf "FAILURE (seed %d): %s@.%a@." (seed + (i * 7919)) msg
+              Trace.pp trace)
+          fmt
+      in
+      (* 1. The observed execution satisfies the model axioms. *)
+      (match Execution.axiom_violations x with
+      | [] -> ()
+      | errs -> fail "axioms: %s" (String.concat "; " errs));
+      (* 2. The trace serialization round-trips. *)
+      if Trace_io.of_string (Trace_io.to_string trace) <> trace then
+        fail "trace serialization does not round-trip";
+      if Trace.n_events trace <= 8 then begin
+        incr checked;
+        let sk = Skeleton.of_execution x in
+        let r = Reach.create sk in
+        (* 3. Enumeration and the state engine agree on |F(P)|. *)
+        let by_enum = Enumerate.count sk in
+        let by_dp = Reach.schedule_count r in
+        if by_enum <> by_dp then
+          fail "schedule counts disagree: enumerate %d, reach %d" by_enum by_dp;
+        (* 4. Every enumerated schedule passes the independent oracle. *)
+        if not (List.for_all (Replay.is_feasible sk) (Enumerate.all sk)) then
+          fail "an enumerated schedule fails the replay oracle";
+        (* 5. Pairwise engine agreement and the MHB/CHB duality. *)
+        let n = sk.Skeleton.n in
+        for a = 0 to n - 1 do
+          for b = 0 to n - 1 do
+            if Reach.exists_before r a b <> Enumerate.exists_order sk ~before:a ~after:b
+            then fail "exists_before disagrees on (%d, %d)" a b;
+            if a <> b && Reach.must_before r a b <> not (Reach.exists_before r b a)
+            then fail "MHB/CHB duality violated on (%d, %d)" a b
+          done
+        done
+      end
+    done;
+    Format.printf "fuzz: %d programs, %d exhaustively cross-checked, %d failures@."
+      count !checked !failures;
+    if !failures > 0 then exit 1
+  in
+  let doc =
+    "differential testing: generate random programs and cross-check the \
+     enumeration engine, the state engine and the replay oracle"
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ count_arg $ seed_arg $ binary_arg)
+
+(* ------------------------------------------------------------------ *)
+(* figure1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figure1_cmd =
+  let run () =
+    Format.printf "%s@.@." Figure1.source;
+    let tr = Figure1.trace () in
+    Format.printf "%a@." Trace.pp tr;
+    let x = Trace.to_execution tr in
+    let ev = Figure1.events tr in
+    let egp = Egp.build x in
+    let d = Decide.create x in
+    let show name a b =
+      Format.printf "%-20s exact MHB: %-5b   task graph claims: %b@." name
+        (Decide.mhb d a b)
+        (Egp.guaranteed_before egp a b)
+    in
+    show "post1 -> post2" ev.Figure1.post1 ev.Figure1.post2;
+    show "post1 -> wait3" ev.Figure1.post1 ev.Figure1.wait3;
+    show "write_x -> post2" ev.Figure1.write_x ev.Figure1.post2
+  in
+  let doc = "reproduce the paper's Figure 1 task-graph discrepancy" in
+  Cmd.v (Cmd.info "figure1" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc =
+    "event orderings of shared-memory parallel program executions \
+     (Netzer-Miller, 1990)"
+  in
+  let info = Cmd.info "eventorder" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd; schedules_cmd; races_cmd; taskgraph_cmd; reduce_cmd;
+            theorems_cmd; figure1_cmd; record_cmd; dot_cmd; fuzz_cmd; order_cmd;
+            report_cmd; explore_cmd;
+          ]))

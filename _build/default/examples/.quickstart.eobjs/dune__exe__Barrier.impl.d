@@ -1,0 +1,1 @@
+examples/barrier.ml: Antichain Ast Decide Event Format Interp List Parse Pinned Printf String Trace

@@ -1,0 +1,1 @@
+examples/figure1_demo.ml: Decide Egp Execution Figure1 Format Rel Trace

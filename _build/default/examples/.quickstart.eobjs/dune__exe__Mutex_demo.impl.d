@@ -1,0 +1,1 @@
+examples/mutex_demo.ml: Array Ast Decide Enumerate Event Format Interp Parse Sched Skeleton Trace

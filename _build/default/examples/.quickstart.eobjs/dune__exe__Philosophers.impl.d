@@ -1,0 +1,1 @@
+examples/philosophers.ml: Array Ast Event Execution Expr Format Interp List Printf Reach Sched Skeleton Trace

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Decide Event Execution Format Interp Parse Relations Sched Skeleton Trace

@@ -1,0 +1,1 @@
+examples/race_demo.ml: Format Interp List Parse Race Sched Trace

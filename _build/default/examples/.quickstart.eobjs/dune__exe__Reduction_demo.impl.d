@@ -1,0 +1,1 @@
+examples/reduction_demo.ml: Cnf Format List Reduction_sem Sat_gen Theorems

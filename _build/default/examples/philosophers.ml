@@ -1,0 +1,71 @@
+(* Dining philosophers, three seats, forks as binary semaphores — the
+   classic deadlock, analysed with the feasible-execution machinery:
+
+   - the observed execution (priority scheduling: each philosopher eats in
+     turn) completes;
+   - the state engine proves a deadlock is REACHABLE among the feasible
+     executions of the very same events: every philosopher grabs the left
+     fork, nobody can take a right one;
+   - breaking the symmetry (one philosopher picks up the right fork first)
+     removes every reachable deadlock — verified exhaustively. *)
+
+let philosopher i ~left ~right =
+  Ast.proc
+    (Printf.sprintf "phil%d" i)
+    [
+      Ast.Sem_p left;
+      Ast.Sem_p right;
+      Ast.Assign (Printf.sprintf "ate%d" i, Expr.Int 1);
+      Ast.Sem_v right;
+      Ast.Sem_v left;
+    ]
+
+let fork i = Printf.sprintf "fork%d" i
+
+let table ~symmetric =
+  let n = 3 in
+  let seat i =
+    let left = fork i and right = fork ((i + 1) mod n) in
+    if symmetric || i < n - 1 then philosopher i ~left ~right
+    else philosopher i ~left:right ~right:left (* the lefty *)
+  in
+  Ast.program
+    ~sem_init:(List.init n (fun i -> (fork i, 1)))
+    ~binary_sems:(List.init n fork)
+    (List.init n seat)
+
+let analyse name program =
+  Format.printf "=== %s ===@." name;
+  let trace = Interp.run ~policy:Sched.Priority program in
+  assert (trace.Trace.outcome = Trace.Completed);
+  let sk = Skeleton.of_execution (Trace.to_execution trace) in
+  let r = Reach.create sk in
+  Format.printf "events: %d, feasible schedules: %d, reachable states: %d@."
+    sk.Skeleton.n (Reach.schedule_count r)
+    (Reach.reachable_state_count r);
+  let deadlock = Reach.deadlock_reachable r in
+  Format.printf "deadlock reachable among feasible executions: %b@." deadlock;
+  (match Reach.deadlock_witness r with
+  | None -> ()
+  | Some prefix ->
+      let x = Skeleton.(sk.execution) in
+      Format.printf "a schedule that wedges (%d of %d events):@."
+        (Array.length prefix) sk.Skeleton.n;
+      Array.iter
+        (fun e ->
+          Format.printf "  p%d: %s@." x.Execution.events.(e).Event.pid
+            x.Execution.events.(e).Event.label)
+        prefix);
+  Format.printf "@.";
+  deadlock
+
+let () =
+  let symmetric_deadlocks = analyse "symmetric table" (table ~symmetric:true) in
+  let lefty_deadlocks = analyse "table with one lefty" (table ~symmetric:false) in
+  assert symmetric_deadlocks;
+  assert (not lefty_deadlocks);
+  print_endline
+    "The symmetric table can reach the all-left-forks deadlock even though\n\
+     the observed run completed; giving one philosopher reversed fork order\n\
+     eliminates every reachable deadlock.  Both facts are verified over the\n\
+     full feasible-execution space, not sampled."

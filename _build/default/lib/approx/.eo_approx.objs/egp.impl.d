@@ -1,0 +1,1 @@
+lib/approx/egp.ml: Array Bitset Digraph Event Execution Fun List Rel

@@ -1,0 +1,1 @@
+lib/approx/egp.mli: Digraph Execution Rel

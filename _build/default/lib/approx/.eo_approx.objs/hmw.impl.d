@@ -1,0 +1,1 @@
+lib/approx/hmw.ml: Array Event Execution List Rel Skeleton

@@ -1,0 +1,1 @@
+lib/approx/hmw.mli: Execution Rel Skeleton

@@ -1,0 +1,1 @@
+lib/approx/lamport.ml: Array Execution List Pinned Rel Skeleton

@@ -1,0 +1,1 @@
+lib/approx/lamport.mli: Execution Rel Skeleton

@@ -1,0 +1,1 @@
+lib/approx/static_order.ml: Array Ast Bitset Event Expr Format Fun Hashtbl List Printf Rel Trace

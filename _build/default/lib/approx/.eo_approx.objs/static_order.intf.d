@@ -1,0 +1,1 @@
+lib/approx/static_order.mli: Ast Rel Trace

@@ -1,0 +1,1 @@
+lib/approx/vclock.ml: Array Event Execution List Pinned Rel Skeleton

@@ -1,0 +1,1 @@
+lib/approx/vclock.mli: Execution Rel Skeleton

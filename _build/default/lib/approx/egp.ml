@@ -1,0 +1,133 @@
+type t = {
+  n_events : int;
+  node_of_event : int option array;
+  event_of_node : int array;
+  graph : Digraph.t;  (* over sync nodes *)
+  event_graph : Digraph.t;  (* over all events: po edges + sync edges *)
+  sync_edges : (int * int) list;  (* event-level synchronization edges *)
+}
+
+let is_sync_kind = function Event.Sync _ -> true | Event.Computation -> false
+
+let var_of = function
+  | Event.Sync (Event.Post v) -> Some (`Post v)
+  | Event.Sync (Event.Wait v) -> Some (`Wait v)
+  | Event.Sync (Event.Clear v) -> Some (`Clear v)
+  | _ -> None
+
+let build (x : Execution.t) =
+  let events = x.Execution.events in
+  let n = Array.length events in
+  let node_of_event = Array.make n None in
+  let event_of_node =
+    Array.of_list
+      (List.filter (fun e -> is_sync_kind events.(e).Event.kind)
+         (List.init n Fun.id))
+  in
+  Array.iteri (fun node e -> node_of_event.(e) <- Some node) event_of_node;
+  let n_nodes = Array.length event_of_node in
+  (* Contract computation events out of the program order: machine and task
+     start/end edges between synchronization nodes. *)
+  let po_succs = Array.make n [] in
+  Rel.iter (fun a b -> po_succs.(a) <- b :: po_succs.(a)) x.Execution.program_order;
+  let graph = Digraph.create n_nodes in
+  let add_contracted_edges src_node =
+    let visited = Array.make n false in
+    let rec dfs e =
+      List.iter
+        (fun s ->
+          if not visited.(s) then begin
+            visited.(s) <- true;
+            match node_of_event.(s) with
+            | Some node -> Digraph.add_edge graph src_node node
+            | None -> dfs s
+          end)
+        po_succs.(e)
+    in
+    dfs event_of_node.(src_node)
+  in
+  for node = 0 to n_nodes - 1 do
+    add_contracted_edges node
+  done;
+  (* Synchronization edges: iterate to a fixpoint, since added edges can
+     disqualify candidate triggering Posts and shift common ancestors. *)
+  let posts_of v =
+    List.filter
+      (fun node -> var_of events.(event_of_node.(node)).Event.kind = Some (`Post v))
+      (List.init n_nodes Fun.id)
+  in
+  let clears_of v =
+    List.filter
+      (fun node -> var_of events.(event_of_node.(node)).Event.kind = Some (`Clear v))
+      (List.init n_nodes Fun.id)
+  in
+  let added = ref [] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for w = 0 to n_nodes - 1 do
+      match var_of events.(event_of_node.(w)).Event.kind with
+      | Some (`Wait v)
+        when (not x.Execution.ev_init.(v))
+             || List.exists
+                  (fun c -> Digraph.reaches graph c w)
+                  (clears_of v) ->
+          (* A wait on an initially-set variable needs no trigger unless
+             some Clear is guaranteed to precede it — adding an edge there
+             would claim an ordering that the initial state refutes. *)
+          let candidates =
+            List.filter
+              (fun p ->
+                (not (Digraph.reaches graph w p))
+                && not
+                     (List.exists
+                        (fun c ->
+                          Digraph.reaches graph p c && Digraph.reaches graph c w)
+                        (clears_of v)))
+              (posts_of v)
+          in
+          if candidates <> [] then
+            List.iter
+              (fun cca ->
+                if cca <> w && not (Digraph.mem_edge graph cca w) then begin
+                  Digraph.add_edge graph cca w;
+                  added := (cca, w) :: !added;
+                  changed := true
+                end)
+              (Digraph.closest_common_ancestors graph candidates)
+      | _ -> ()
+    done
+  done;
+  (* Event-level view: program order plus the discovered sync edges.  The
+     contracted machine edges are implied by program order. *)
+  let event_graph = Digraph.create n in
+  Rel.iter (fun a b -> Digraph.add_edge event_graph a b) x.Execution.program_order;
+  let sync_edges =
+    List.rev_map
+      (fun (src, dst) -> (event_of_node.(src), event_of_node.(dst)))
+      !added
+  in
+  List.iter (fun (a, b) -> Digraph.add_edge event_graph a b) sync_edges;
+  { n_events = n; node_of_event; event_of_node; graph; event_graph; sync_edges }
+
+let graph t = t.graph
+
+let node_of_event t e = t.node_of_event.(e)
+
+let event_of_node t node = t.event_of_node.(node)
+
+let guaranteed_before t a b =
+  a <> b && Digraph.reaches t.event_graph a b
+
+let guaranteed_rel t =
+  let r = Rel.create t.n_events in
+  for a = 0 to t.n_events - 1 do
+    Bitset.iter
+      (fun b -> if a <> b then Rel.add r a b)
+      (Digraph.reachable_from t.event_graph a)
+  done;
+  r
+
+let sync_edge_count t = List.length t.sync_edges
+
+let sync_edges t = t.sync_edges

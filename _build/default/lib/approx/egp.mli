@@ -1,0 +1,59 @@
+(** The Emrath–Ghosh–Padua task graph ("Event Synchronization Analysis for
+    Debugging Parallel Programs", Supercomputing '89), as described in
+    Netzer–Miller Section 4 — the guaranteed-run-time-ordering method for
+    fork/join + Post/Wait/Clear programs whose blind spot Figure 1
+    exhibits.
+
+    The graph has one node per {e synchronization} event.  Edges:
+
+    - {b machine edges} between consecutive synchronization events of the
+      same process, and {b task start/end edges} from a fork to the first
+      synchronization event of each child and from the last one to the
+      matching join (both obtained here by contracting computation events
+      out of the recorded program order);
+    - {b synchronization edges}: for each [Wait] node, every [Post] on the
+      same event variable that might have triggered it is identified — a
+      [Post] might trigger a [Wait] unless there is a path from the [Wait]
+      to the [Post], or a path from the [Post] to the [Wait] through a
+      [Clear] of the same variable.  An edge is added from each closest
+      common ancestor of the candidate [Post]s to the [Wait].  The
+      construction iterates until no new edge appears (added edges can
+      disqualify candidates).
+
+    Two events are guaranteed ordered iff the graph has a path between
+    their nodes (computation events inherit the verdict of their
+    neighbouring synchronization events via program order).  Because the
+    method never looks at shared-data dependences, it misses orderings the
+    exact engine proves — {!Examples.figure1} reproduces the paper's
+    example. *)
+
+type t
+
+val build : Execution.t -> t
+(** Builds the task graph from the observed execution (program order and
+    event kinds only; [T] beyond program order and [D] are ignored —
+    faithfully to the method under study). *)
+
+val graph : t -> Digraph.t
+(** The task graph over synchronization-node indices. *)
+
+val node_of_event : t -> int -> int option
+(** Graph node of a synchronization event ([None] for computation events). *)
+
+val event_of_node : t -> int -> int
+
+val guaranteed_before : t -> int -> int -> bool
+(** [guaranteed_before t a b]: does the method claim that event [a] is
+    ordered before event [b] in every execution?  Computation events are
+    resolved through their program-order closure: [a] is before [b] if some
+    sync event at-or-after [a] (same process) reaches one at-or-before [b].
+    For two events of the same process this is just program order. *)
+
+val guaranteed_rel : t -> Rel.t
+(** The full claimed ordering over events. *)
+
+val sync_edge_count : t -> int
+(** Number of synchronization edges added (for reporting). *)
+
+val sync_edges : t -> (int * int) list
+(** The added synchronization edges, as event-id pairs. *)

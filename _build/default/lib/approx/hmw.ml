@@ -1,0 +1,88 @@
+let base_po sk =
+  let r = Rel.create sk.Skeleton.n in
+  for b = 0 to sk.Skeleton.n - 1 do
+    List.iter (fun a -> Rel.add r a b) sk.Skeleton.po_preds.(b)
+  done;
+  Rel.transitive_closure_in_place r;
+  r
+
+let sem_ops (sk : Skeleton.t) schedule =
+  (* Per semaphore: V events and P events in schedule order. *)
+  let n_sems = Array.length sk.Skeleton.sem_init in
+  let vs = Array.make n_sems [] in
+  let ps = Array.make n_sems [] in
+  Array.iter
+    (fun e ->
+      match sk.Skeleton.kinds.(e) with
+      | Event.Sync (Event.Sem_v s) -> vs.(s) <- vs.(s) @ [ e ]
+      | Event.Sync (Event.Sem_p s) -> ps.(s) <- ps.(s) @ [ e ]
+      | _ -> ())
+    schedule;
+  (vs, ps)
+
+let phase1 sk schedule =
+  let r = base_po sk in
+  let vs, ps = sem_ops sk schedule in
+  Array.iteri
+    (fun s vlist ->
+      let init = sk.Skeleton.sem_init.(s) in
+      (* The k-th P (0-indexed) pairs with the (k - init)-th V. *)
+      List.iteri
+        (fun k p ->
+          if k >= init then
+            match List.nth_opt vlist (k - init) with
+            | Some v -> Rel.add r v p
+            | None -> ())
+        ps.(s))
+    vs;
+  Rel.transitive_closure_in_place r;
+  r
+
+(* One application of the counting rule over the current safe relation:
+   for each P event [p] that still needs [r] tokens, if exactly [r]
+   same-semaphore V events can possibly precede it, all of them must. *)
+let counting_round sk (vs, ps) safe =
+  let changed = ref false in
+  Array.iteri
+    (fun s vlist ->
+      let init = sk.Skeleton.sem_init.(s) in
+      List.iter
+        (fun p ->
+          let forced_ps =
+            List.length (List.filter (fun p' -> Rel.mem safe p' p) ps.(s))
+          in
+          let needed = forced_ps + 1 - init in
+          if needed > 0 then begin
+            let candidates =
+              List.filter (fun v -> not (Rel.mem safe p v)) vlist
+            in
+            if List.length candidates <= needed then
+              List.iter
+                (fun v ->
+                  if not (Rel.mem safe v p) then begin
+                    Rel.add safe v p;
+                    changed := true
+                  end)
+                candidates
+          end)
+        ps.(s))
+    vs;
+  if !changed then Rel.transitive_closure_in_place safe;
+  !changed
+
+type t = { phase1 : Rel.t; phase2 : Rel.t; phase3 : Rel.t }
+
+let compute sk schedule =
+  let p1 = phase1 sk schedule in
+  let ops = sem_ops sk schedule in
+  let p2 = base_po sk in
+  let (_ : bool) = counting_round sk ops p2 in
+  let p3 = Rel.copy p2 in
+  let rec fixpoint () = if counting_round sk ops p3 then fixpoint () in
+  fixpoint ();
+  { phase1 = p1; phase2 = p2; phase3 = p3 }
+
+let of_execution x =
+  compute (Skeleton.of_execution x) (Execution.schedule_of_temporal x)
+
+let safe_subset_of_phase3 t = Rel.subset t.phase2 t.phase3

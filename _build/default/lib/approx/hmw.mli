@@ -1,0 +1,47 @@
+(** Safe orderings for semaphore traces, after Helmbold, McDowell and Wang
+    ("Analyzing Traces with Anonymous Synchronization", ICPP 1990) — the
+    polynomial-time must-have-happened-before approximation the paper's
+    Section 4 discusses.
+
+    Substitution note (see DESIGN.md): the HMW paper's exact pseudocode is
+    not available in this reproduction environment, so the three phases are
+    reconstructed from the description in Netzer–Miller Section 4, with the
+    counting argument made explicit:
+
+    - {b Phase 1 (pairing)}: order the i-th [V] of each semaphore before the
+      i-th [P] (trace order), union intra-process order, close
+      transitively.  {e Unsafe}: another execution of the same events may
+      pair the operations differently.
+    - {b Phase 2 (conservative)}: keep only orderings forced by token
+      counting, computed from intra-process order alone: a [P] event [p]
+      needing its [r]-th token is preceded by [v] whenever fewer than [r]
+      same-semaphore [V]s could possibly avoid preceding [p].  Safe but
+      coarse.
+    - {b Phase 3 (sharpened)}: iterate the phase-2 counting rule to a
+      fixpoint over the growing safe relation, so orderings derived in one
+      round force more in the next.
+
+    The key guarantee — verified by property tests against the exact
+    engine — is that phases 2 and 3 are {e safe}: every ordering they claim
+    is in the exact MHB relation.  Phase 1 is not, and the test suite pins a
+    concrete counterexample.
+
+    All three phases ignore shared-data dependences and [Post/Wait/Clear]
+    operations; they analyse the semaphore skeleton only (intra-process
+    program order is always included). *)
+
+type t = {
+  phase1 : Rel.t;  (** pairing-based happened-before (unsafe) *)
+  phase2 : Rel.t;  (** conservative safe orderings *)
+  phase3 : Rel.t;  (** sharpened safe orderings (fixpoint) *)
+}
+
+val compute : Skeleton.t -> int array -> t
+(** [compute sk schedule]: [schedule] (the observed total order) matters
+    only to phase 1's pairing; phases 2 and 3 depend on the event set and
+    program order alone. *)
+
+val of_execution : Execution.t -> t
+
+val safe_subset_of_phase3 : t -> bool
+(** [phase2 ⊆ phase3] — monotonicity of sharpening (cheap invariant). *)

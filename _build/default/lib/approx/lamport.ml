@@ -1,0 +1,27 @@
+type t = { stamps : int array }
+
+let compute (sk : Skeleton.t) schedule =
+  let n = sk.Skeleton.n in
+  let preds = Array.make n [] in
+  for e = 0 to n - 1 do
+    List.iter (fun p -> preds.(e) <- p :: preds.(e)) sk.Skeleton.po_preds.(e)
+  done;
+  List.iter (fun (a, b) -> preds.(b) <- a :: preds.(b))
+    (Pinned.sync_edges sk schedule);
+  let stamps = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      let m = List.fold_left (fun acc p -> max acc stamps.(p)) 0 preds.(e) in
+      stamps.(e) <- m + 1)
+    schedule;
+  { stamps }
+
+let of_execution x =
+  compute (Skeleton.of_execution x) (Execution.schedule_of_temporal x)
+
+let timestamp t e = t.stamps.(e)
+
+let consistent_with t hb =
+  let ok = ref true in
+  Rel.iter (fun a b -> if t.stamps.(a) >= t.stamps.(b) then ok := false) hb;
+  !ok

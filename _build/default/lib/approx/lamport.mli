@@ -1,0 +1,20 @@
+(** Scalar Lamport clocks over one observed execution.
+
+    The cheaper cousin of {!Vclock}: one integer per event, consistent with
+    the observed happened-before order ([hb a b] implies
+    [timestamp a < timestamp b]) but not complete — incomparable timestamps
+    prove nothing.  Included as the baseline ordering device the vector
+    clock refines. *)
+
+type t
+
+val compute : Skeleton.t -> int array -> t
+
+val of_execution : Execution.t -> t
+(** See {!Vclock.of_execution}; same schedule-recovery rules. *)
+
+val timestamp : t -> int -> int
+
+val consistent_with : t -> Rel.t -> bool
+(** [consistent_with t hb]: every pair of [hb] increases the timestamp —
+    the Lamport-clock correctness condition. *)

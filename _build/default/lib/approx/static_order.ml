@@ -1,0 +1,220 @@
+exception Unsupported of string
+
+(* Guard trees express how control reaches a statement: [Or] for
+   alternatives (branches of an [if]), [And] for conjunctions (all branches
+   of a [cobegin] completed at the join), [Leaf] for "after this statement".
+   The guaranteed-predecessor set of a tree is
+     eval(Leaf p)  = GP(p) ∪ {p}
+     eval(And ts)  = ∪ eval(t)
+     eval(Or ts)   = ∩ eval(t)
+     eval(True)    = ∅. *)
+type tree = True | Leaf of int | And of tree list | Or of tree list
+
+type kind = Plain | Wait_on of string | Post_on of string
+
+type info = { label : string; proc_path : string; kind : kind }
+
+type t = {
+  infos : info array;
+  gp : Bitset.t array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: AST -> statement instances with guard trees            *)
+(* ------------------------------------------------------------------ *)
+
+type compiling = {
+  mutable stmts : (info * tree) list;  (* reversed *)
+  mutable count : int;
+}
+
+let fresh c ~label ~proc_path ~kind ~preds =
+  let id = c.count in
+  c.count <- id + 1;
+  c.stmts <- ({ label; proc_path; kind }, preds) :: c.stmts;
+  id
+
+let rec compile_block c ~path ~preds stmts =
+  List.fold_left (fun preds s -> compile_stmt c ~path ~preds s) preds stmts
+
+and compile_stmt c ~path ~preds stmt =
+  let plain label =
+    Leaf (fresh c ~label ~proc_path:path ~kind:Plain ~preds)
+  in
+  match stmt with
+  | Ast.Skip None -> plain "skip"
+  | Ast.Skip (Some l) -> plain l
+  | Ast.Assign (x, e) -> plain (Format.asprintf "%s := %a" x Expr.pp e)
+  | Ast.Post v ->
+      Leaf
+        (fresh c
+           ~label:(Printf.sprintf "Post(%s)" v)
+           ~proc_path:path ~kind:(Post_on v) ~preds)
+  | Ast.Wait v ->
+      Leaf
+        (fresh c
+           ~label:(Printf.sprintf "Wait(%s)" v)
+           ~proc_path:path ~kind:(Wait_on v) ~preds)
+  | Ast.Assert e -> plain (Format.asprintf "assert %a" Expr.pp e)
+  | Ast.Clear _ -> raise (Unsupported "Clear is outside the analysed fragment")
+  | Ast.Sem_p _ | Ast.Sem_v _ ->
+      raise (Unsupported "semaphores are outside the analysed fragment")
+  | Ast.While _ -> raise (Unsupported "loops are outside the analysed fragment")
+  | Ast.If (cond, then_b, else_b) ->
+      let cond_id =
+        fresh c
+          ~label:(Format.asprintf "if %a" Expr.pp cond)
+          ~proc_path:path ~kind:Plain ~preds
+      in
+      let exit_t = compile_block c ~path ~preds:(Leaf cond_id) then_b in
+      let exit_e = compile_block c ~path ~preds:(Leaf cond_id) else_b in
+      Or [ exit_t; exit_e ]
+  | Ast.Cobegin branches ->
+      let fork_id = fresh c ~label:"fork" ~proc_path:path ~kind:Plain ~preds in
+      let exits =
+        List.mapi
+          (fun i branch ->
+            compile_block c
+              ~path:(Printf.sprintf "%s/%d" path i)
+              ~preds:(Leaf fork_id) branch)
+          branches
+      in
+      Leaf
+        (fresh c ~label:"join" ~proc_path:path ~kind:Plain
+           ~preds:(And (Leaf fork_id :: exits)))
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let analyze (program : Ast.t) =
+  let c = { stmts = []; count = 0 } in
+  List.iter
+    (fun (p : Ast.proc) ->
+      let (_ : tree) =
+        compile_block c ~path:p.Ast.name ~preds:True p.Ast.body
+      in
+      ())
+    program.Ast.procs;
+  let stmts = Array.of_list (List.rev c.stmts) in
+  let n = Array.length stmts in
+  let infos = Array.map fst stmts in
+  let trees = Array.map snd stmts in
+  let gp = Array.init n (fun _ -> Bitset.create n) in
+  let posts_of v =
+    List.filter
+      (fun s -> infos.(s).kind = Post_on v)
+      (List.init n Fun.id)
+  in
+  let ev_initially_set v = List.assoc_opt v program.Ast.ev_init = Some true in
+  let with_self s =
+    let set = Bitset.copy gp.(s) in
+    Bitset.add set s;
+    set
+  in
+  let rec eval = function
+    | True -> Bitset.create n
+    | Leaf p -> with_self p
+    | And ts ->
+        let acc = Bitset.create n in
+        List.iter (fun t -> Bitset.union_into acc (eval t)) ts;
+        acc
+    | Or [] -> Bitset.create n
+    | Or (t :: ts) ->
+        let acc = eval t in
+        List.iter (fun t -> Bitset.inter_into acc (eval t)) ts;
+        acc
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to n - 1 do
+      let next = eval trees.(s) in
+      (match infos.(s).kind with
+      | Wait_on v when not (ev_initially_set v) -> (
+          match posts_of v with
+          | [] ->
+              (* The wait can never proceed: vacuous, claim everything. *)
+              Bitset.fill next;
+              Bitset.remove next s
+          | p :: ps ->
+              let triggers = with_self p in
+              List.iter (fun p -> Bitset.inter_into triggers (with_self p)) ps;
+              Bitset.union_into next triggers)
+      | _ -> ());
+      if not (Bitset.equal next gp.(s)) then begin
+        gp.(s) <- next;
+        changed := true
+      end
+    done
+  done;
+  { infos; gp }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let statements t =
+  Array.to_list
+    (Array.mapi
+       (fun i info -> (i, Printf.sprintf "%s: %s" info.proc_path info.label))
+       t.infos)
+
+let guaranteed_before t a b =
+  a <> b
+  && a >= 0 && b >= 0
+  && a < Array.length t.infos
+  && b < Array.length t.infos
+  && Bitset.mem t.gp.(b) a
+
+let guaranteed_rel t =
+  let n = Array.length t.infos in
+  let r = Rel.create n in
+  for b = 0 to n - 1 do
+    Bitset.iter (fun a -> if a <> b then Rel.add r a b) t.gp.(b)
+  done;
+  r
+
+let claims_on_trace t (trace : Trace.t) =
+  (* Match statements to events by (process path, label), skipping
+     ambiguous keys on either side. *)
+  let key_of_event (e : Event.t) =
+    match List.assoc_opt e.Event.pid trace.Trace.process_names with
+    | Some name -> Some (name, e.Event.label)
+    | None -> None
+  in
+  let event_table = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      match key_of_event e with
+      | Some key ->
+          Hashtbl.replace event_table key
+            (e.Event.id :: (try Hashtbl.find event_table key with Not_found -> []))
+      | None -> ())
+    trace.Trace.events;
+  let stmt_table = Hashtbl.create 64 in
+  Array.iteri
+    (fun s info ->
+      let key = (info.proc_path, info.label) in
+      Hashtbl.replace stmt_table key
+        (s :: (try Hashtbl.find stmt_table key with Not_found -> [])))
+    t.infos;
+  let event_of_stmt s =
+    let info = t.infos.(s) in
+    let key = (info.proc_path, info.label) in
+    match (Hashtbl.find_opt stmt_table key, Hashtbl.find_opt event_table key) with
+    | Some [ _ ], Some [ e ] -> Some e
+    | _ -> None
+  in
+  let n = Array.length t.infos in
+  let claims = ref [] in
+  for b = 0 to n - 1 do
+    Bitset.iter
+      (fun a ->
+        if a <> b then
+          match (event_of_stmt a, event_of_stmt b) with
+          | Some ea, Some eb -> claims := (ea, eb) :: !claims
+          | _ -> ())
+      t.gp.(b)
+  done;
+  List.rev !claims

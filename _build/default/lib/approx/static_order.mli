@@ -1,0 +1,54 @@
+(** Static guaranteed-execution-order analysis, in the spirit of Callahan
+    and Subhlok ("Static Analysis of Low-Level Synchronization", PADD 1988)
+    — the related work of Section 4 that reasons about {e all} executions of
+    a program from its text alone, with no observed trace.
+
+    Scope: loop-free programs using fork/join ([cobegin]) and [Post]/[Wait]
+    (no [Clear] — exactly the fragment Callahan–Subhlok treat; they prove
+    the exact problem co-NP-hard even there).  Semaphores and [while] are
+    rejected; [if] is handled by considering both branches possible.
+
+    The analysis computes, for every static statement instance [s], the set
+    [GP(s)] of statement instances guaranteed to have completed before [s]
+    begins, in {e every} execution in which [s] executes:
+
+    - sequential composition: the previous statement and its guarantees;
+    - [cobegin]: each branch starts with the fork's guarantees; the join
+      collects every branch's guarantees;
+    - [Wait(e)]: the intersection over all [Post(e)] statements [p] of
+      [GP(p) ∪ {p}] — any of the posts might be the trigger, so only what
+      all of them guarantee is guaranteed (plus the posts' common
+      guarantees); when the program has exactly one [Post(e)], this yields
+      the post itself;
+    - [if]: a statement after the conditional is guaranteed only what both
+      branches guarantee; statements inside a branch see the condition's
+      guarantees.
+
+    The result is a sound under-approximation of the must-have-happened-
+    before relation restricted to the events that actually execute — the
+    property tests check [claims ⊆ exact MHB] on the observed traces of
+    random programs. *)
+
+type t
+
+exception Unsupported of string
+(** Raised by {!analyze} on loops, semaphores or [Clear]. *)
+
+val analyze : Ast.t -> t
+
+val statements : t -> (int * string) list
+(** The static statement instances: dense ids with printable descriptions
+    (in textual order). *)
+
+val guaranteed_before : t -> int -> int -> bool
+(** [guaranteed_before t a b]: is statement [a] guaranteed to complete
+    before statement [b] begins in every execution where both run? *)
+
+val guaranteed_rel : t -> Rel.t
+
+val claims_on_trace : t -> Trace.t -> (int * int) list
+(** Projects the static claims onto the events of an observed trace of the
+    same program: pairs of event ids [(ea, eb)] such that the statically
+    matched statements are claimed ordered.  Events are matched to
+    statements by label and process path; events with no static counterpart
+    (else-branches not taken, etc.) are skipped. *)

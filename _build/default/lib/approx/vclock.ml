@@ -1,0 +1,57 @@
+type t = {
+  n : int;
+  pid_of : int array;
+  clocks : int array array;  (* per event, indexed by pid *)
+}
+
+let compute (sk : Skeleton.t) schedule =
+  let events = sk.Skeleton.execution.Execution.events in
+  let n = sk.Skeleton.n in
+  let n_pids =
+    1 + Array.fold_left (fun acc e -> max acc e.Event.pid) (-1) events
+  in
+  let pid_of = Array.map (fun e -> e.Event.pid) events in
+  let clocks = Array.make n [||] in
+  (* Incoming edges that transport clock values: program order plus the
+     synchronization pairings realized by this schedule.  Shared-data
+     dependences are deliberately excluded: vector clocks track
+     synchronization, not data flow. *)
+  let preds = Array.make n [] in
+  for e = 0 to n - 1 do
+    List.iter (fun p -> preds.(e) <- p :: preds.(e)) sk.Skeleton.po_preds.(e)
+  done;
+  List.iter (fun (a, b) -> preds.(b) <- a :: preds.(b))
+    (Pinned.sync_edges sk schedule);
+  Array.iter
+    (fun e ->
+      let clock = Array.make n_pids 0 in
+      List.iter
+        (fun p ->
+          let pc = clocks.(p) in
+          for i = 0 to n_pids - 1 do
+            if pc.(i) > clock.(i) then clock.(i) <- pc.(i)
+          done)
+        preds.(e);
+      clock.(pid_of.(e)) <- clock.(pid_of.(e)) + 1;
+      clocks.(e) <- clock)
+    schedule;
+  { n; pid_of; clocks }
+
+let of_execution (x : Execution.t) =
+  compute (Skeleton.of_execution x) (Execution.schedule_of_temporal x)
+
+let clock t e = t.clocks.(e)
+
+let hb t a b =
+  a <> b && t.clocks.(a).(t.pid_of.(a)) <= t.clocks.(b).(t.pid_of.(a))
+
+let concurrent t a b = a <> b && (not (hb t a b)) && not (hb t b a)
+
+let hb_rel t =
+  let r = Rel.create t.n in
+  for a = 0 to t.n - 1 do
+    for b = 0 to t.n - 1 do
+      if hb t a b then Rel.add r a b
+    done
+  done;
+  r

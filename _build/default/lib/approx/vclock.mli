@@ -1,0 +1,40 @@
+(** Vector clocks over one observed execution.
+
+    The classic polynomial-time device: each event carries one counter per
+    process, and [hb a b] decides in O(1) whether [a] happened before [b]
+    {e in the observed execution} — that is, under the program order plus
+    the synchronization pairings the run actually exhibited.
+
+    This is the modern race-detector (TSan-style) ordering.  With respect to
+    the paper's relations it is exact for the {e observed} class but unsafe
+    as an approximation of MHB: another feasible execution may pair the
+    semaphore operations differently (Section 4's criticism of
+    Helmbold–McDowell–Wang's first phase).  The test suite exhibits the
+    witness. *)
+
+type t
+
+val compute : Skeleton.t -> int array -> t
+(** [compute sk schedule] assigns clocks along a feasible schedule.  The
+    synchronization pairing is read off the schedule exactly as in
+    {!Pinned.sync_edges}. *)
+
+val of_execution : Execution.t -> t
+(** Clocks for the observed execution: the schedule is recovered from the
+    (total) temporal order.  Raises [Invalid_argument] when the execution's
+    temporal order is not total. *)
+
+val clock : t -> int -> int array
+(** The vector clock of an event (indexed by pid). *)
+
+val hb : t -> int -> int -> bool
+(** [hb t a b]: did [a] happen before [b] in the observed execution?
+    Irreflexive. *)
+
+val concurrent : t -> int -> int -> bool
+(** Neither [hb a b] nor [hb b a]. *)
+
+val hb_rel : t -> Rel.t
+(** The whole happened-before relation as a matrix (for tests: it must equal
+    the transitive closure of program order plus the schedule's
+    synchronization edges). *)

@@ -1,0 +1,1 @@
+lib/core/decide.ml: Reach Relations Skeleton

@@ -1,0 +1,1 @@
+lib/core/decide.mli: Execution Relations Skeleton

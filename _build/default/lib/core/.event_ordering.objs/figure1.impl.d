@@ -1,0 +1,1 @@
+lib/core/figure1.ml: Array Event Interp List Parse Sched Trace

@@ -1,0 +1,1 @@
+lib/core/parallelism.ml: Antichain Array Format List Pinned Rel Skeleton Trace

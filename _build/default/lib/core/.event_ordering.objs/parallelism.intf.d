@@ -1,0 +1,1 @@
+lib/core/parallelism.mli: Format Skeleton Trace

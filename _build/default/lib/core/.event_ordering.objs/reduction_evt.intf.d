@@ -1,0 +1,1 @@
+lib/core/reduction_evt.mli: Ast Cnf Trace

@@ -1,0 +1,1 @@
+lib/core/reduction_sem.ml: Ast Cnf Event Interp List Printf Sched Trace

@@ -1,0 +1,1 @@
+lib/core/reduction_sem.mli: Ast Cnf Trace

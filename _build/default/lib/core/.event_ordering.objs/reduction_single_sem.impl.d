@@ -1,0 +1,1 @@
+lib/core/reduction_single_sem.ml: Array Ast Decide Digraph Event Expr Fun Interp List Printf Sched Sequencing Trace

@@ -1,0 +1,1 @@
+lib/core/reduction_single_sem.mli: Ast Sequencing Trace

@@ -1,0 +1,1 @@
+lib/core/relations.ml: Array Enumerate Event Format Hashtbl List Pinned Por Reach Rel Skeleton String

@@ -1,0 +1,1 @@
+lib/core/relations.mli: Event Format Rel Skeleton

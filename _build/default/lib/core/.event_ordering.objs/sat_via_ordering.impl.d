@@ -1,0 +1,1 @@
+lib/core/sat_via_ordering.ml: Array Cnf Event List Reach Reduction_sem Scanf Skeleton Trace

@@ -1,0 +1,1 @@
+lib/core/sat_via_ordering.mli: Cnf

@@ -1,0 +1,1 @@
+lib/core/sequencing.ml: Array Digraph Format Fun Hashtbl List Printf Random String

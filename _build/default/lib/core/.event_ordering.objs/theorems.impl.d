@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Cnf Decide Dpll Format Reduction_evt Reduction_sem Trace

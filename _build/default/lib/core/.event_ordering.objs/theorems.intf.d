@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Cnf Format

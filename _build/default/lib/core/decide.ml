@@ -1,0 +1,43 @@
+type t = {
+  sk : Skeleton.t;
+  reach : Reach.t;
+  mutable summary : Relations.t option;  (* computed lazily for COW/MCW *)
+}
+
+let of_skeleton sk = { sk; reach = Reach.create sk; summary = None }
+
+let create execution = of_skeleton (Skeleton.of_execution execution)
+
+let skeleton t = t.sk
+
+let mhb t a b = Reach.must_before t.reach a b
+
+let chb t a b = Reach.exists_before t.reach a b
+
+let ccw t a b = Reach.exists_race t.reach a b
+
+let mow t a b =
+  a <> b && Reach.feasible_exists t.reach && not (ccw t a b)
+
+let summary t =
+  match t.summary with
+  | Some s -> s
+  | None ->
+      let s = Relations.compute_reduced t.sk in
+      t.summary <- Some s;
+      s
+
+let mcw t a b = Relations.holds (summary t) Relations.MCW a b
+
+let cow t a b = Relations.holds (summary t) Relations.COW a b
+
+let holds t relation a b =
+  match relation with
+  | Relations.MHB -> mhb t a b
+  | Relations.CHB -> chb t a b
+  | Relations.MCW -> mcw t a b
+  | Relations.CCW -> ccw t a b
+  | Relations.MOW -> mow t a b
+  | Relations.COW -> cow t a b
+
+let feasible_count t = (summary t).Relations.feasible_count

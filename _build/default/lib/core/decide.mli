@@ -1,0 +1,43 @@
+(** Per-pair decision procedures for the ordering relations.
+
+    {!Relations.compute} exhausts all feasible schedules to fill every
+    matrix at once; when only a single pair matters (as in the Theorem 1–4
+    experiments, which ask about one [(a, b)]), the happened-before
+    relations can be decided by memoized state-space reachability instead —
+    usually exponentially fewer states than schedules.  The concurrency
+    relations still require per-class partial orders and fall back to
+    enumeration. *)
+
+type t
+
+val create : Execution.t -> t
+
+val of_skeleton : Skeleton.t -> t
+
+val skeleton : t -> Skeleton.t
+
+val mhb : t -> int -> int -> bool
+(** Must-have-happened-before, via {!Reach.must_before}. *)
+
+val chb : t -> int -> int -> bool
+(** Could-have-happened-before, via {!Reach.exists_before}. *)
+
+val ccw : t -> int -> int -> bool
+(** Could-have-been-concurrent-with, via {!Reach.exists_race} (state-based:
+    some reachable context runs the pair back-to-back in both orders). *)
+
+val mow : t -> int -> int -> bool
+(** Must-have-been-ordered-with: [feasible && not ccw]. *)
+
+val mcw : t -> int -> int -> bool
+(** Must-have-been-concurrent-with, via the class-level summary
+    ({!Relations.compute_reduced}: sleep-set partial-order reduction).
+    Still exponential in the worst case, but exponentially cheaper than
+    raw enumeration on traces with independent events. *)
+
+val cow : t -> int -> int -> bool
+(** Could-have-been-ordered-with, class-level like {!mcw}. *)
+
+val holds : t -> Relations.relation -> int -> int -> bool
+
+val feasible_count : t -> int

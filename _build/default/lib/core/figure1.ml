@@ -1,0 +1,52 @@
+let source =
+  "proc main {\n\
+  \  cobegin\n\
+  \    { post(E); x := 1 }\n\
+  \    { if x = 1 { post(E) } else { wait(E) } }\n\
+  \    { wait(E) }\n\
+  \  coend\n\
+   }"
+
+let program () = Parse.program source
+
+(* Schedule: fork; task1 completely; task2; task3; join. *)
+let trace () =
+  let t =
+    Interp.run ~policy:(Sched.Replay [ 0; 1; 1; 2; 2; 3; 0 ]) (program ())
+  in
+  match t.Trace.outcome with
+  | Trace.Completed -> t
+  | _ -> invalid_arg "Figure1.trace: replay did not complete"
+
+type events = {
+  post1 : int;
+  post2 : int;
+  wait3 : int;
+  write_x : int;
+  test_x : int;
+}
+
+let events tr =
+  let find pred =
+    match
+      Array.to_list tr.Trace.events |> List.filter pred |> List.map (fun e -> e.Event.id)
+    with
+    | [ e ] -> e
+    | _ -> invalid_arg "Figure1.events: unexpected trace shape"
+  in
+  let posts =
+    Array.to_list tr.Trace.events
+    |> List.filter (fun e -> e.Event.kind = Event.Sync (Event.Post 0))
+    |> List.map (fun e -> e.Event.id)
+    |> List.sort compare
+  in
+  match posts with
+  | [ post1; post2 ] ->
+      {
+        post1;
+        post2;
+        wait3 = find (fun e -> e.Event.kind = Event.Sync (Event.Wait 0));
+        write_x = find (fun e -> e.Event.label = "x := 1");
+        test_x = find (fun e -> e.Event.label = "if (x = 1)");
+      }
+  | _ -> invalid_arg "Figure1.events: expected two posts"

@@ -1,0 +1,32 @@
+(** The paper's Figure 1: the example program fragment whose task graph
+    misses an ordering enforced by a shared-data dependence.
+
+    Three tasks are forked: the first posts [E] and then writes [x]; the
+    second tests [x] and posts [E] on the true branch (waiting otherwise);
+    the third waits on [E].  In the observed execution the first task runs
+    to completion before the others, so the second task reads [x = 1] and
+    posts.
+
+    Because of the dependence from [x := 1] to [if x = 1], the second post
+    cannot execute before the first — yet the task graph, which ignores
+    dependences, shows no path between the two posts (Section 4). *)
+
+val source : string
+(** Concrete syntax of the fragment. *)
+
+val program : unit -> Ast.t
+
+val trace : unit -> Trace.t
+(** The observed execution of Figure 1: the first created task executes
+    completely before the other two. *)
+
+type events = {
+  post1 : int;  (** the post in the first task *)
+  post2 : int;  (** the post in the second task (true branch) *)
+  wait3 : int;  (** the wait in the third task *)
+  write_x : int;  (** [x := 1] *)
+  test_x : int;  (** [if x = 1] *)
+}
+
+val events : Trace.t -> events
+(** The distinguished events of the observed trace. *)

@@ -1,0 +1,60 @@
+type t = {
+  n_events : int;
+  critical_path : int list;
+  critical_path_length : int;
+  width : int;
+  max_antichain : int list;
+}
+
+let analyze (sk : Skeleton.t) schedule =
+  let po = Pinned.po_of_schedule sk schedule in
+  let n = sk.Skeleton.n in
+  (* Longest chain by dynamic programming in schedule order (a linear
+     extension, so predecessors are final when visited). *)
+  let depth = Array.make n 1 in
+  let best_pred = Array.make n (-1) in
+  Array.iter
+    (fun e ->
+      Rel.iter
+        (fun a b ->
+          if b = e && depth.(a) + 1 > depth.(e) then begin
+            depth.(e) <- depth.(a) + 1;
+            best_pred.(e) <- a
+          end)
+        po)
+    schedule;
+  let deepest = ref 0 in
+  for e = 1 to n - 1 do
+    if depth.(e) > depth.(!deepest) then deepest := e
+  done;
+  let rec chain e acc = if e = -1 then acc else chain best_pred.(e) (e :: acc) in
+  let critical_path = if n = 0 then [] else chain !deepest [] in
+  let max_antichain = Antichain.maximum_antichain po in
+  {
+    n_events = n;
+    critical_path;
+    critical_path_length = List.length critical_path;
+    width = List.length max_antichain;
+    max_antichain;
+  }
+
+let of_trace trace =
+  analyze
+    (Skeleton.of_execution (Trace.to_execution trace))
+    (Trace.schedule trace)
+
+let ideal_makespan t = t.critical_path_length
+
+let brent_bound t ~processors =
+  if processors <= 0 then invalid_arg "Parallelism.brent_bound: p must be positive";
+  let off_path = t.n_events - t.critical_path_length in
+  ((off_path + processors - 1) / processors) + t.critical_path_length
+
+let speedup_limit t =
+  if t.critical_path_length = 0 then 1.0
+  else float_of_int t.n_events /. float_of_int t.critical_path_length
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>events: %d@ critical path: %d@ width: %d@ speedup limit: %.2f@]"
+    t.n_events t.critical_path_length t.width (speedup_limit t)

@@ -1,0 +1,36 @@
+(** Parallelism structure of an execution class: critical path, width, and
+    the classic scheduling bounds they induce.
+
+    With every event costing one time unit, the pinned partial order of a
+    schedule class determines how fast the execution could run on an ideal
+    machine: the critical path (longest chain) is the makespan with
+    unbounded processors; Brent's bound [n/p + critical_path] caps the
+    makespan with [p] processors; the width (maximum antichain) is the
+    largest number of events ever usefully in flight. *)
+
+type t = {
+  n_events : int;
+  critical_path : int list;  (** one longest chain, in order *)
+  critical_path_length : int;  (** events on the chain (= depth) *)
+  width : int;  (** maximum antichain of the pinned order *)
+  max_antichain : int list;
+}
+
+val analyze : Skeleton.t -> int array -> t
+(** [analyze sk schedule] analyzes the pinned order of the given feasible
+    schedule (raises [Invalid_argument] on an infeasible one). *)
+
+val of_trace : Trace.t -> t
+(** The observed schedule's class. *)
+
+val ideal_makespan : t -> int
+(** Time with unbounded processors: the critical-path length. *)
+
+val brent_bound : t -> processors:int -> int
+(** Graham/Brent upper bound on greedy-schedule makespan with [p]
+    processors: [ceil((n - cp)/p) + cp]. *)
+
+val speedup_limit : t -> float
+(** [n / critical_path_length]: the best possible parallel speedup. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+type t = {
+  program : Ast.t;
+  formula : Cnf.t;
+  a_label : string;
+  b_label : string;
+}
+
+let lit_ev l =
+  if l > 0 then Printf.sprintf "X%d" l else Printf.sprintf "Xbar%d" (-l)
+
+let build formula =
+  if not (Cnf.is_three_cnf formula) then
+    invalid_arg "Reduction_evt.build: formula must be in 3-CNF";
+  let n = formula.Cnf.num_vars in
+  let clauses = formula.Cnf.clauses in
+  let variable_procs =
+    List.map
+      (fun i ->
+        let ai = Printf.sprintf "A%d" i and bi = Printf.sprintf "B%d" i in
+        Ast.proc
+          (Printf.sprintf "var%d" i)
+          [
+            Ast.Post ai;
+            Ast.Post bi;
+            Ast.Cobegin
+              [
+                [ Ast.Clear ai; Ast.Wait bi; Ast.Post (lit_ev i) ];
+                [ Ast.Clear bi; Ast.Wait ai; Ast.Post (lit_ev (-i)) ];
+              ];
+          ])
+      (List.init n (fun i -> i + 1))
+  in
+  let clause_procs =
+    List.concat
+      (List.mapi
+         (fun j clause ->
+           List.mapi
+             (fun k lit ->
+               Ast.proc
+                 (Printf.sprintf "clause%d_%d" (j + 1) k)
+                 [
+                   Ast.Wait (lit_ev lit);
+                   Ast.Post (Printf.sprintf "C%d" (j + 1));
+                 ])
+             clause)
+         clauses)
+  in
+  let proc_a =
+    Ast.proc "proc_a"
+      (Ast.Skip (Some "a")
+      :: List.concat_map
+           (fun i ->
+             [
+               Ast.Post (Printf.sprintf "A%d" i);
+               Ast.Post (Printf.sprintf "B%d" i);
+             ])
+           (List.init n (fun i -> i + 1)))
+  in
+  let proc_b =
+    Ast.proc "proc_b"
+      (List.init (List.length clauses) (fun j ->
+           Ast.Wait (Printf.sprintf "C%d" (j + 1)))
+      @ [ Ast.Skip (Some "b") ])
+  in
+  let program =
+    Ast.program (variable_procs @ clause_procs @ [ proc_a; proc_b ])
+  in
+  { program; formula; a_label = "a"; b_label = "b" }
+
+(* A schedule under which the program always completes.  (Arbitrary
+   schedules can deadlock the variable gadgets — the paper notes as much —
+   but every execution that completes performs the same events, so any
+   completing schedule yields the observed execution.)  Phases:
+   1. every variable process posts Ai, Bi and forks;
+   2. per variable, the first branch runs fully (posting Xi) and the second
+      branch clears Bi, leaving it blocked on Wait(Ai);
+   3. clause processes whose literal is positive run;
+   4. process a runs: skip, then the second-pass posts;
+   5. the blocked second branches complete (posting X̄i);
+   6. clause processes with negative literals run, variables join;
+   7. process b runs. *)
+let completing_replay formula =
+  let n = formula.Cnf.num_vars in
+  let m = Cnf.num_clauses formula in
+  let var_pid i = i - 1 (* variables are numbered from 1 *) in
+  let clause_pid j k = n + (3 * j) + k in
+  let a_pid = n + (3 * m) in
+  let b_pid = a_pid + 1 in
+  let child_pid i branch = b_pid + 1 + (2 * (i - 1)) + branch in
+  let repeat k pid = List.init k (fun _ -> pid) in
+  let vars = List.init n (fun i -> i + 1) in
+  let clause_pids_with_sign positive =
+    List.concat
+      (List.mapi
+         (fun j clause ->
+           List.concat
+             (List.mapi
+                (fun k lit ->
+                  if lit > 0 = positive then repeat 2 (clause_pid j k) else [])
+                clause))
+         formula.Cnf.clauses)
+  in
+  List.concat_map (fun i -> repeat 3 (var_pid i)) vars
+  @ List.concat_map
+      (fun i -> repeat 3 (child_pid i 0) @ [ child_pid i 1 ])
+      vars
+  @ clause_pids_with_sign true
+  @ repeat (1 + (2 * n)) a_pid
+  @ List.concat_map (fun i -> repeat 2 (child_pid i 1)) vars
+  @ clause_pids_with_sign false
+  @ List.map var_pid vars
+  @ repeat (m + 1) b_pid
+
+let trace t =
+  let tr =
+    Interp.run
+      ~policy:(Sched.Replay (completing_replay t.formula))
+      t.program
+  in
+  (match tr.Trace.outcome with
+  | Trace.Completed -> ()
+  | _ ->
+      invalid_arg
+        "Reduction_evt.trace: reduction program failed to complete");
+  tr
+
+let events_ab t tr =
+  let a = Trace.find_event tr t.a_label in
+  let b = Trace.find_event tr t.b_label in
+  (a.Event.id, b.Event.id)

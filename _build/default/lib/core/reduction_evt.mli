@@ -1,0 +1,40 @@
+(** The Theorem 3/4 reduction: 3CNFSAT to event ordering for programs that
+    use fork/join and event-style synchronization (Post/Wait/Clear).
+
+    From a formula [B] the reduction builds, per variable [Xi], one process
+
+    {v
+    Post(Ai); Post(Bi)
+    cobegin
+      { Clear(Ai); Wait(Bi); Post(Xi)  }
+      { Clear(Bi); Wait(Ai); Post(X̄i) }
+    coend
+    v}
+
+    — two-process mutual exclusion implemented with [Clear]: before the
+    second pass, at most one of [Post(Xi)]/[Post(X̄i)] can be issued (the
+    truth guess).  Per clause [Cj] and literal [L], a process
+    [Wait(L); Post(Cj)].  Process [a] is [a: skip] followed by
+    [Post(Ai); Post(Bi)] for every variable (the second pass, releasing any
+    blocked branch); process [b] is [Wait(C1); ...; Wait(Cm); b: skip].
+
+    As with semaphores: [a MHB b] iff [B] is unsatisfiable (Theorem 3), and
+    [b CHB a] iff [B] is satisfiable (Theorem 4). *)
+
+type t = {
+  program : Ast.t;
+  formula : Cnf.t;
+  a_label : string;
+  b_label : string;
+}
+
+val build : Cnf.t -> t
+(** Requires a 3-CNF formula ([Invalid_argument] otherwise). *)
+
+val trace : t -> Trace.t
+(** Runs the program to completion and returns the observed execution.
+    Unlike the semaphore reduction, a bad schedule can block variable
+    branches until the second pass, but every schedule still completes and
+    executes the same events. *)
+
+val events_ab : t -> Trace.t -> int * int

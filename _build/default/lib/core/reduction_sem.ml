@@ -1,0 +1,159 @@
+type t = {
+  program : Ast.t;
+  formula : Cnf.t;
+  binary : bool;
+  a_label : string;
+  b_label : string;
+}
+
+let lit_sem l =
+  if l > 0 then Printf.sprintf "X%d" l else Printf.sprintf "Xbar%d" (-l)
+
+let occurrences formula l =
+  List.fold_left
+    (fun acc clause ->
+      acc + List.length (List.filter (fun l' -> l' = l) clause))
+    0 formula.Cnf.clauses
+
+let build ?(binary = false) formula =
+  if not (Cnf.is_three_cnf formula) then
+    invalid_arg "Reduction_sem.build: formula must be in 3-CNF";
+  let n = formula.Cnf.num_vars in
+  let clauses = formula.Cnf.clauses in
+  let variable_procs =
+    List.concat_map
+      (fun i ->
+        let gate =
+          Ast.proc
+            (Printf.sprintf "gate%d" i)
+            [
+              Ast.Sem_v (Printf.sprintf "A%d" i);
+              Ast.Sem_p "Pass2";
+              Ast.Sem_v (Printf.sprintf "A%d" i);
+            ]
+        in
+        let assignment value =
+          let lit = if value then i else -i in
+          Ast.proc
+            (Printf.sprintf "assign_%s%d" (if value then "true" else "false") i)
+            (Ast.Sem_p (Printf.sprintf "A%d" i)
+            :: List.init (occurrences formula lit) (fun _ ->
+                   Ast.Sem_v (lit_sem lit)))
+        in
+        [ assignment true; assignment false; gate ])
+      (List.init n (fun i -> i + 1))
+  in
+  let clause_procs =
+    List.concat
+      (List.mapi
+         (fun j clause ->
+           List.mapi
+             (fun k lit ->
+               Ast.proc
+                 (Printf.sprintf "clause%d_%d" (j + 1) k)
+                 [
+                   Ast.Sem_p (lit_sem lit);
+                   Ast.Sem_v (Printf.sprintf "C%d" (j + 1));
+                 ])
+             clause)
+         clauses)
+  in
+  let proc_a =
+    Ast.proc "proc_a"
+      (Ast.Skip (Some "a") :: List.init n (fun _ -> Ast.Sem_v "Pass2"))
+  in
+  let proc_b =
+    Ast.proc "proc_b"
+      (List.init (List.length clauses) (fun j ->
+           Ast.Sem_p (Printf.sprintf "C%d" (j + 1)))
+      @ [ Ast.Skip (Some "b") ])
+  in
+  (* Declare the full complement of 3n + m + 1 semaphores even when a
+     literal never occurs (its semaphore is then never operated on). *)
+  let sem_init =
+    List.concat_map
+      (fun i ->
+        [ (Printf.sprintf "A%d" i, 0); (lit_sem i, 0); (lit_sem (-i), 0) ])
+      (List.init n (fun i -> i + 1))
+    @ List.init (List.length clauses) (fun j -> (Printf.sprintf "C%d" (j + 1), 0))
+    @ [ ("Pass2", 0) ]
+  in
+  let binary_sems = if binary then List.map fst sem_init else [] in
+  let program =
+    Ast.program ~sem_init ~binary_sems
+      (variable_procs @ clause_procs @ [ proc_a; proc_b ])
+  in
+  { program; formula; binary; a_label = "a"; b_label = "b" }
+
+(* A completing schedule that never lets a binary semaphore absorb a V that
+   a P still needs: each V is immediately followed by its consumer.  Also
+   valid (just stricter than necessary) under counting semantics.  Phases:
+   1. every gate releases its first A-token and the true-assignment
+      processes grab them (the all-true guess);
+   2. each V of a true literal is consumed at once by its clause process;
+   3. process a runs, interleaving each V(Pass2) with one gate's P(Pass2),
+      second V(A) and the false-assignment process's P(A);
+   4. each V of a negated literal is consumed by its clause process;
+   5. process b drains the clause semaphores. *)
+let completing_replay formula =
+  let n = formula.Cnf.num_vars in
+  let m = Cnf.num_clauses formula in
+  let assign_true i = 3 * (i - 1) in
+  let assign_false i = (3 * (i - 1)) + 1 in
+  let gate i = (3 * (i - 1)) + 2 in
+  let clause_proc j k = (3 * n) + (3 * j) + k in
+  let a_pid = (3 * n) + (3 * m) in
+  let b_pid = a_pid + 1 in
+  let vars = List.init n (fun i -> i + 1) in
+  let consume_occurrences positive =
+    (* For each matching literal occurrence: one V from its assignment
+       process, then both steps of the consuming clause process. *)
+    List.concat
+      (List.mapi
+         (fun j clause ->
+           List.concat
+             (List.mapi
+                (fun k lit ->
+                  if lit > 0 = positive then
+                    let producer =
+                      if positive then assign_true (abs lit)
+                      else assign_false (abs lit)
+                    in
+                    [ producer; clause_proc j k; clause_proc j k ]
+                  else [])
+                clause))
+         formula.Cnf.clauses)
+  in
+  List.map gate vars
+  @ List.map assign_true vars
+  @ consume_occurrences true
+  @ [ a_pid ]
+  @ List.concat_map
+      (fun i -> [ a_pid; gate i; gate i; assign_false i ])
+      vars
+  @ consume_occurrences false
+  @ List.init (m + 1) (fun _ -> b_pid)
+
+let trace t =
+  let policy =
+    if t.binary then Sched.Replay (completing_replay t.formula)
+    else Sched.Round_robin
+  in
+  let tr = Interp.run ~policy t.program in
+  (match tr.Trace.outcome with
+  | Trace.Completed -> ()
+  | _ ->
+      invalid_arg
+        "Reduction_sem.trace: reduction program failed to complete");
+  tr
+
+let events_ab t tr =
+  let a = Trace.find_event tr t.a_label in
+  let b = Trace.find_event tr t.b_label in
+  (a.Event.id, b.Event.id)
+
+let expected_process_count formula =
+  (3 * formula.Cnf.num_vars) + (3 * Cnf.num_clauses formula) + 2
+
+let expected_semaphore_count formula =
+  (3 * formula.Cnf.num_vars) + Cnf.num_clauses formula + 1

@@ -1,0 +1,59 @@
+(** The Theorem 1/2 reduction: 3CNFSAT to event ordering for programs that
+    use counting semaphores.
+
+    From a formula [B] over [n] variables with [m] clauses the reduction
+    builds a program with [3n + 3m + 2] processes and [3n + m + 1]
+    semaphores (all initially zero) whose execution simulates a
+    nondeterministic evaluation of [B]:
+
+    - per variable [Xi], a {e gate} process [V(Ai); P(Pass2); V(Ai)] and two
+      {e assignment} processes [P(Ai); V(Xi)...] and [P(Ai); V(X̄i)...] (one
+      [V] per occurrence of the literal in [B]).  During the first pass the
+      single [Ai] token lets exactly one assignment process run — the
+      nondeterministic truth guess;
+    - per clause [Cj] and literal [L] of [Cj], a process [P(L); V(Cj)]:
+      clause [j]'s semaphore is signaled iff some literal of the clause was
+      guessed true;
+    - process [a]: [a: skip] followed by [n] [V(Pass2)] operations (the
+      second pass, which releases the losing assignment processes so the
+      program never deadlocks);
+    - process [b]: [P(C1); ...; P(Cm); b: skip].
+
+    The program has no conditionals and no shared variables, so every
+    execution performs the same events with no shared-data dependences, and
+    (Theorem 1) [a MHB b] iff [B] is unsatisfiable; (Theorem 2) [b CHB a]
+    iff [B] is satisfiable. *)
+
+type t = {
+  program : Ast.t;
+  formula : Cnf.t;
+  binary : bool;  (** whether the semaphores use binary semantics *)
+  a_label : string;  (** label of event [a] (["a"]) *)
+  b_label : string;  (** label of event [b] (["b"]) *)
+}
+
+val build : ?binary:bool -> Cnf.t -> t
+(** Requires a 3-CNF formula ([Invalid_argument] otherwise).
+
+    With [~binary:true] every semaphore is declared binary — the paper
+    notes the proofs "do not make use of the general counting ability of
+    counting semaphores, and therefore also hold for programs that use
+    binary semaphores".  The construction is unchanged; what changes is
+    the care needed to observe a completing execution (a binary semaphore
+    absorbs a V issued while a token is outstanding), so the observed trace
+    is produced by a schedule that lets every V be consumed before the next
+    one on the same semaphore. *)
+
+val trace : t -> Trace.t
+(** Runs the program to completion (round-robin) — the observed execution
+    [P] handed to the ordering analyses.  Every schedule of this program
+    executes the same events, so the choice of scheduler is irrelevant. *)
+
+val events_ab : t -> Trace.t -> int * int
+(** Ids of the distinguished events [a] and [b] in the trace. *)
+
+val expected_process_count : Cnf.t -> int
+(** [3n + 3m + 2]. *)
+
+val expected_semaphore_count : Cnf.t -> int
+(** [3n + m + 1]. *)

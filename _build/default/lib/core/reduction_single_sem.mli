@@ -1,0 +1,52 @@
+(** The single-semaphore reduction: sequencing to minimize maximum
+    cumulative cost (SS7) to event ordering with {e one} counting
+    semaphore.
+
+    The paper asserts (end of Section 5.1) that Theorems 1–2 hold "for a
+    program execution that uses a single counting semaphore by a reduction
+    from the problem of sequencing to minimize maximum cumulative cost",
+    without giving the construction.  This module supplies one:
+
+    - a single semaphore [s] initialized to the budget [k]: tokens are the
+      remaining budget;
+    - each task becomes a process: a read of its predecessors' completion
+      variables (precedence enforced as shared-data dependences, condition
+      F3 — no second semaphore needed), then [c] × [P(s)] for cost [c > 0]
+      or [−c] × [V(s)] for [c < 0], then a write of its own completion
+      variable;
+    - a collector process reads every completion variable and then runs
+      the distinguished event [b];
+    - a relief process runs [a: skip] followed by enough [V(s)] to unblock
+      everything (so the observed execution always completes: the observed
+      run schedules the relief first).
+
+    Then [b CHB a] — the collector can finish before the relief — iff the
+    tasks can be ordered within budget.  The fine-grained interleaving the
+    execution model allows (individual [P]/[V] operations of different
+    tasks may interleave) does not change feasibility relative to
+    task-atomic sequencing; rather than leave that as an exercise, the test
+    suite machine-checks [b CHB a ⇔ Sequencing.feasible] on hundreds of
+    random instances, and {!Theorems}-style checks are exposed for the
+    benches. *)
+
+type t = {
+  program : Ast.t;
+  instance : Sequencing.t;
+  a_label : string;
+  b_label : string;
+}
+
+val build : Sequencing.t -> t
+
+val trace : t -> Trace.t
+(** Observed execution: relief first, then tasks in a topological order —
+    always completes. *)
+
+val events_ab : t -> Trace.t -> int * int
+
+val semaphores_used : t -> int
+(** Always 1 — the point of the construction. *)
+
+val check : Sequencing.t -> bool * bool
+(** [(chb, feasible)]: the exact engine's [b CHB a] and the SS7 oracle's
+    verdict; the reduction is correct when they agree. *)

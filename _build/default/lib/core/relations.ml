@@ -1,0 +1,146 @@
+type relation = MHB | CHB | MCW | CCW | MOW | COW
+
+let all_relations = [ MHB; CHB; MCW; CCW; MOW; COW ]
+
+let relation_name = function
+  | MHB -> "must-have-happened-before"
+  | CHB -> "could-have-happened-before"
+  | MCW -> "must-have-been-concurrent-with"
+  | CCW -> "could-have-been-concurrent-with"
+  | MOW -> "must-have-been-ordered-with"
+  | COW -> "could-have-been-ordered-with"
+
+type t = {
+  n : int;
+  feasible_count : int;
+  truncated : bool;
+  distinct_classes : int;
+  before_some : Rel.t;
+  comparable_some : Rel.t;
+  incomparable_some : Rel.t;
+}
+
+let compute ?limit sk =
+  let n = sk.Skeleton.n in
+  let before_some = Rel.create n in
+  let comparable_some = Rel.create n in
+  let incomparable_some = Rel.create n in
+  let position = Array.make n 0 in
+  let classes = Hashtbl.create 64 in
+  let visit schedule =
+    Array.iteri (fun pos e -> position.(e) <- pos) schedule;
+    let po = Pinned.po_of_schedule sk schedule in
+    Hashtbl.replace classes (Rel.to_pairs po) ();
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        if a <> b then begin
+          if position.(a) < position.(b) then Rel.add before_some a b;
+          if Rel.mem po a b || Rel.mem po b a then Rel.add comparable_some a b
+          else Rel.add incomparable_some a b
+        end
+      done
+    done
+  in
+  let feasible_count = Enumerate.iter ?limit sk visit in
+  let truncated =
+    match limit with Some l -> feasible_count >= l | None -> false
+  in
+  { n; feasible_count; truncated; distinct_classes = Hashtbl.length classes;
+    before_some; comparable_some; incomparable_some }
+
+let compute_reduced sk =
+  let n = sk.Skeleton.n in
+  let reach = Reach.create sk in
+  let before_some = Rel.create n in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if Reach.exists_before reach a b then Rel.add before_some a b
+    done
+  done;
+  let comparable_some = Rel.create n in
+  let incomparable_some = Rel.create n in
+  let classes = Hashtbl.create 64 in
+  let (_ : int) =
+    Por.iter_representatives sk (fun schedule ->
+        let po = Pinned.po_of_schedule sk schedule in
+        Hashtbl.replace classes (Rel.to_pairs po) ();
+        for a = 0 to n - 1 do
+          for b = 0 to n - 1 do
+            if a <> b then
+              if Rel.mem po a b || Rel.mem po b a then
+                Rel.add comparable_some a b
+              else Rel.add incomparable_some a b
+          done
+        done)
+  in
+  {
+    n;
+    feasible_count = Reach.schedule_count reach;
+    truncated = false;
+    distinct_classes = Hashtbl.length classes;
+    before_some;
+    comparable_some;
+    incomparable_some;
+  }
+
+let holds t relation a b =
+  if a = b then false
+  else
+    match relation with
+    | CHB -> Rel.mem t.before_some a b
+    | MHB -> t.feasible_count > 0 && not (Rel.mem t.before_some b a)
+    | CCW -> Rel.mem t.incomparable_some a b
+    | MOW -> t.feasible_count > 0 && not (Rel.mem t.incomparable_some a b)
+    | COW -> Rel.mem t.comparable_some a b
+    | MCW -> t.feasible_count > 0 && not (Rel.mem t.comparable_some a b)
+
+let to_rel t relation =
+  let r = Rel.create t.n in
+  for a = 0 to t.n - 1 do
+    for b = 0 to t.n - 1 do
+      if holds t relation a b then Rel.add r a b
+    done
+  done;
+  r
+
+let short_name = function
+  | MHB -> "MHB"
+  | CHB -> "CHB"
+  | MCW -> "MCW"
+  | CCW -> "CCW"
+  | MOW -> "MOW"
+  | COW -> "COW"
+
+let pp_matrix ppf (t, relation, events) =
+  let label e = events.(e).Event.label in
+  let width =
+    Array.fold_left (fun w e -> max w (String.length e.Event.label)) 3 events
+  in
+  Format.fprintf ppf "@[<v>%s (%s):@ " (relation_name relation)
+    (short_name relation);
+  Format.fprintf ppf "%*s " width "";
+  for b = 0 to t.n - 1 do
+    Format.fprintf ppf "%2d " b
+  done;
+  Format.fprintf ppf "@ ";
+  for a = 0 to t.n - 1 do
+    Format.fprintf ppf "%*s " width (label a);
+    for b = 0 to t.n - 1 do
+      Format.fprintf ppf " %s "
+        (if a = b then "." else if holds t relation a b then "X" else "-")
+    done;
+    Format.fprintf ppf "@ "
+  done;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf (t, events) =
+  Format.fprintf ppf "@[<v>%d feasible schedule%s%s in %d distinct class%s@ @ "
+    t.feasible_count
+    (if t.feasible_count = 1 then "" else "s")
+    (if t.truncated then " (truncated)" else "")
+    t.distinct_classes
+    (if t.distinct_classes = 1 then "" else "es");
+  List.iter
+    (fun r -> Format.fprintf ppf "%a@ " pp_matrix (t, r, events))
+    all_relations;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,74 @@
+(** The six ordering relations of Table 1, computed exactly.
+
+    Given an observed execution [P] and its set [F(P)] of feasible program
+    executions, the relations are:
+
+    {v
+                      must-have                      could-have
+    happened-before   a MHB b: every feasible        a CHB b: some feasible
+                      schedule runs a before b       schedule runs a before b
+    concurrent-with   a MCW b: a,b incomparable      a CCW b: a,b incomparable
+                      in every pinned order po(σ)    in some pinned order po(σ)
+    ordered-with      a MOW b: a,b comparable in     a COW b: a,b comparable in
+                      every po(σ)                    some po(σ)
+    v}
+
+    The happened-before pair is decided at schedule level (exact: a feasible
+    execution with [a T b] exists iff a feasible schedule orders [a] first);
+    the concurrent/ordered pairs quantify over the pinned partial order of
+    each schedule class, where incomparability means the class admits
+    timings in which the two events overlap (see {!Pinned} and DESIGN.md).
+
+    Everything here is computed by exhausting [F(P)] — the paper proves
+    this cost unavoidable (must-have: co-NP-hard; could-have: NP-hard). *)
+
+type relation = MHB | CHB | MCW | CCW | MOW | COW
+
+val all_relations : relation list
+
+val relation_name : relation -> string
+
+type t = {
+  n : int;
+  feasible_count : int;  (** schedules enumerated (capped at [limit]) *)
+  truncated : bool;  (** [true] when the [limit] cut enumeration short *)
+  distinct_classes : int;
+      (** number of distinct pinned partial orders among the enumerated
+          schedules — how many genuinely different executions hide behind
+          the schedule count *)
+  before_some : Rel.t;  (** [(a,b)]: some feasible schedule runs a before b *)
+  comparable_some : Rel.t;  (** some po(σ) orders a and b (symmetric) *)
+  incomparable_some : Rel.t;  (** some po(σ) leaves a,b unordered (symmetric) *)
+}
+
+val compute : ?limit:int -> Skeleton.t -> t
+(** Enumerates every feasible schedule (up to [limit], default unlimited)
+    and accumulates the three existential summaries.  With a [limit] the
+    result is a sound under-approximation of the could-have relations and
+    an over-approximation of the must-have ones ([truncated] tells you). *)
+
+val compute_reduced : Skeleton.t -> t
+(** The same summary computed the smart way: happened-before bits by
+    memoized state reachability ({!Reach.exists_before}, one query per
+    ordered pair), comparability bits by sleep-set partial-order reduction
+    ({!Por} — one representative per commutation class instead of every
+    schedule), and [feasible_count] by the counting DP (saturating at
+    [Reach.count_saturation]).  Equal to {!compute} on every input
+    (property-tested); exponentially faster on traces with many independent
+    events — 68 million schedules collapse to a few thousand
+    representatives on the Theorem 1 programs. *)
+
+val holds : t -> relation -> int -> int -> bool
+(** [holds t r a b]: does [a r b]?  All relations are irreflexive here:
+    [holds t r a a = false].  When [F(P)] is empty every could-have
+    relation is empty and every must-have relation is vacuously full
+    (excluding the diagonal). *)
+
+val to_rel : t -> relation -> Rel.t
+(** The full relation as a pair matrix. *)
+
+val pp_matrix : Format.formatter -> t * relation * Event.t array -> unit
+(** Prints the relation as an event-by-event matrix with labels. *)
+
+val pp_summary : Format.formatter -> t * Event.t array -> unit
+(** Prints all six matrices. *)

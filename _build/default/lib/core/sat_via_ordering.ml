@@ -1,0 +1,64 @@
+let oracle formula =
+  let red = Reduction_sem.build formula in
+  let tr = Reduction_sem.trace red in
+  let a, b = Reduction_sem.events_ab red tr in
+  let sk = Skeleton.of_execution (Trace.to_execution tr) in
+  (tr, Reach.create sk, a, b)
+
+let is_satisfiable formula =
+  let _, reach, a, b = oracle formula in
+  Reach.exists_before reach b a
+
+let solve formula =
+  let tr, reach, a, b = oracle formula in
+  match Reach.witness_before reach b a with
+  | None -> None
+  | Some schedule ->
+      (* In the witness, event b completes before event a (the second pass
+         has not begun), so every V on a literal semaphore scheduled before
+         b reflects a first-pass truth guess. *)
+      let position = Array.make (Trace.n_events tr) 0 in
+      Array.iteri (fun i e -> position.(e) <- i) schedule;
+      let assignment = Array.make (formula.Cnf.num_vars + 1) false in
+      let decided = Array.make (formula.Cnf.num_vars + 1) false in
+      Array.iter
+        (fun e ->
+          if position.(e.Event.id) < position.(b) then
+            match e.Event.kind with
+            | Event.Sync (Event.Sem_v sem_id) ->
+                let name = tr.Trace.sem_names.(sem_id) in
+                let set v value =
+                  if not decided.(v) then begin
+                    decided.(v) <- true;
+                    assignment.(v) <- value
+                  end
+                in
+                (try Scanf.sscanf name "Xbar%d" (fun v -> set v false)
+                 with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+                   try Scanf.sscanf name "X%d" (fun v -> set v true)
+                   with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()))
+            | _ -> ())
+        tr.Trace.events;
+      (* Undecided variables (no occurrence before b) can take any value;
+         validate before answering. *)
+      if Cnf.eval assignment formula then Some assignment
+      else
+        (* Try the complement on undecided variables: at most one flip is
+           ever needed because only undecided variables are free.  Fall
+           back to brute force over the undecided ones. *)
+        let undecided =
+          List.filter
+            (fun v -> not decided.(v))
+            (List.init formula.Cnf.num_vars (fun i -> i + 1))
+        in
+        let rec search = function
+          | [] -> if Cnf.eval assignment formula then Some assignment else None
+          | v :: rest -> (
+              assignment.(v) <- false;
+              match search rest with
+              | Some a -> Some a
+              | None ->
+                  assignment.(v) <- true;
+                  search rest)
+        in
+        search undecided

@@ -1,0 +1,22 @@
+(** Satisfiability decided by the event-ordering oracle — the reduction run
+    in the direction that proves the hardness.
+
+    Theorem 2 states [b CHB a ⇔ B satisfiable]: so a could-have-happened-
+    before oracle decides 3CNFSAT.  This module makes the implication
+    executable: it builds the Theorem 1/2 program for a formula, asks the
+    exact engine the one ordering question, and answers satisfiability —
+    and when the formula is satisfiable it extracts a model from the
+    witness schedule (the literal semaphores whose tokens flowed before the
+    second pass are the guessed-true literals).
+
+    It is, of course, an absurd way to solve SAT — exponentially slower
+    than the bundled DPLL solver on the very instance it encodes.  That
+    absurdity is the paper's point, and the benchmark quantifies it. *)
+
+val is_satisfiable : Cnf.t -> bool
+(** Via [b CHB a] on the semaphore reduction.  Exponential. *)
+
+val solve : Cnf.t -> bool array option
+(** [Some assignment] (indexed by variable, entry 0 unused) extracted from
+    a witness schedule, or [None] when unsatisfiable.  The assignment is
+    validated against the formula before being returned. *)

@@ -1,0 +1,80 @@
+type t = {
+  costs : int array;
+  precedence : (int * int) list;
+  budget : int;
+}
+
+let n_tasks t = Array.length t.costs
+
+let make ~costs ~precedence ~budget =
+  let n = Array.length costs in
+  if budget < 0 then invalid_arg "Sequencing.make: negative budget";
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n || a = b then
+        invalid_arg "Sequencing.make: bad precedence pair")
+    precedence;
+  let g = Digraph.create n in
+  List.iter (fun (a, b) -> Digraph.add_edge g a b) precedence;
+  if not (Digraph.is_dag g) then
+    invalid_arg "Sequencing.make: cyclic precedence";
+  { costs; precedence; budget }
+
+(* DP over completed-task subsets: the cumulative cost of a subset is a
+   function of the subset, so feasibility from a subset is memoizable.
+   Instances stay small (<= ~20 tasks). *)
+let search t =
+  let n = n_tasks t in
+  if n > 22 then invalid_arg "Sequencing: instance too large for the exact DP";
+  let preds = Array.make n 0 in
+  List.iter (fun (a, b) -> preds.(b) <- preds.(b) lor (1 lsl a)) t.precedence;
+  let memo = Hashtbl.create 1024 in
+  let cost_of = Array.map (fun c -> c) t.costs in
+  let full = (1 lsl n) - 1 in
+  let rec go mask cost =
+    if mask = full then Some []
+    else
+      match Hashtbl.find_opt memo mask with
+      | Some cached -> cached
+      | None ->
+          let rec try_task i =
+            if i = n then None
+            else if
+              mask land (1 lsl i) = 0
+              && preds.(i) land mask = preds.(i)
+              && cost + cost_of.(i) <= t.budget
+            then
+              match go (mask lor (1 lsl i)) (cost + cost_of.(i)) with
+              | Some rest -> Some (i :: rest)
+              | None -> try_task (i + 1)
+            else try_task (i + 1)
+          in
+          let r = try_task 0 in
+          Hashtbl.add memo mask r;
+          r
+  in
+  go 0 0
+
+let witness t = search t
+
+let feasible t = search t <> None
+
+let random ~seed ~tasks =
+  let rng = Random.State.make [| seed |] in
+  let costs = Array.init tasks (fun _ -> Random.State.int rng 7 - 3) in
+  let precedence =
+    List.concat
+      (List.init tasks (fun b ->
+           List.filter_map
+             (fun a ->
+               if a < b && Random.State.int rng 4 = 0 then Some (a, b) else None)
+             (List.init tasks Fun.id)))
+  in
+  make ~costs ~precedence ~budget:(Random.State.int rng 5)
+
+let pp ppf t =
+  Format.fprintf ppf "tasks [%s], budget %d, precedence [%s]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int t.costs)))
+    t.budget
+    (String.concat "; "
+       (List.map (fun (a, b) -> Printf.sprintf "%d<%d" a b) t.precedence))

@@ -1,0 +1,35 @@
+(** Sequencing to minimize maximum cumulative cost (Garey–Johnson SS7) —
+    the problem behind the paper's remark that Theorems 1–2 hold even for
+    programs using a {e single} counting semaphore.
+
+    An instance is a set of unit tasks with integer costs and precedence
+    constraints; the question is whether some linear schedule keeps every
+    prefix-cost at or below a budget [k].  NP-complete in general.
+
+    {!solve} decides instances exactly by dynamic programming over task
+    subsets (exponential in tasks, fine for the experiment sizes); it is
+    the oracle {!Reduction_single_sem} is validated against. *)
+
+type t = {
+  costs : int array;  (** cost of each task; negative = releases budget *)
+  precedence : (int * int) list;  (** [(a, b)]: task [a] before task [b] *)
+  budget : int;  (** maximum allowed cumulative cost, [>= 0] *)
+}
+
+val make : costs:int array -> precedence:(int * int) list -> budget:int -> t
+(** Validates task indices and acyclicity of the precedence relation. *)
+
+val n_tasks : t -> int
+
+val feasible : t -> bool
+(** Is there a schedule of all tasks, respecting precedence, whose
+    cumulative cost after every task stays [<= budget]? *)
+
+val witness : t -> int list option
+(** A feasible schedule when one exists. *)
+
+val random : seed:int -> tasks:int -> t
+(** A random small instance (costs in [-3, 3], sparse random precedence,
+    budget in [0, 4]) for the cross-validation experiments. *)
+
+val pp : Format.formatter -> t -> unit

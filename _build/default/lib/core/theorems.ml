@@ -1,0 +1,73 @@
+type check = {
+  theorem : int;
+  formula : Cnf.t;
+  satisfiable : bool;
+  ordering_holds : bool;
+  agrees : bool;
+  n_events : int;
+}
+
+let decide_of_trace tr = Decide.create (Trace.to_execution tr)
+
+let check_sem ?(binary = false) ~theorem ~relation formula =
+  let red = Reduction_sem.build ~binary formula in
+  let tr = Reduction_sem.trace red in
+  let a, b = Reduction_sem.events_ab red tr in
+  let decide = decide_of_trace tr in
+  let satisfiable = Dpll.is_satisfiable formula in
+  let ordering_holds, agrees =
+    match relation with
+    | `Mhb_ab ->
+        let h = Decide.mhb decide a b in
+        (h, h = not satisfiable)
+    | `Chb_ba ->
+        let h = Decide.chb decide b a in
+        (h, h = satisfiable)
+  in
+  { theorem; formula; satisfiable; ordering_holds; agrees;
+    n_events = Trace.n_events tr }
+
+let check_evt ~theorem ~relation formula =
+  let red = Reduction_evt.build formula in
+  let tr = Reduction_evt.trace red in
+  let a, b = Reduction_evt.events_ab red tr in
+  let decide = decide_of_trace tr in
+  let satisfiable = Dpll.is_satisfiable formula in
+  let ordering_holds, agrees =
+    match relation with
+    | `Mhb_ab ->
+        let h = Decide.mhb decide a b in
+        (h, h = not satisfiable)
+    | `Chb_ba ->
+        let h = Decide.chb decide b a in
+        (h, h = satisfiable)
+  in
+  { theorem; formula; satisfiable; ordering_holds; agrees;
+    n_events = Trace.n_events tr }
+
+let check_theorem_1 = check_sem ~binary:false ~theorem:1 ~relation:`Mhb_ab
+let check_theorem_2 = check_sem ~binary:false ~theorem:2 ~relation:`Chb_ba
+
+(* Section 5.1's closing remark: the same results for binary semaphores. *)
+let check_theorem_1_binary = check_sem ~binary:true ~theorem:1 ~relation:`Mhb_ab
+let check_theorem_2_binary = check_sem ~binary:true ~theorem:2 ~relation:`Chb_ba
+let check_theorem_3 = check_evt ~theorem:3 ~relation:`Mhb_ab
+let check_theorem_4 = check_evt ~theorem:4 ~relation:`Chb_ba
+
+let check_all formula =
+  [
+    check_theorem_1 formula;
+    check_theorem_2 formula;
+    check_theorem_3 formula;
+    check_theorem_4 formula;
+  ]
+
+let pp_check ppf c =
+  Format.fprintf ppf
+    "Theorem %d: formula %a is %s; %s holds: %b; equivalence %s (%d events)"
+    c.theorem Cnf.pp c.formula
+    (if c.satisfiable then "SAT" else "UNSAT")
+    (match c.theorem with 1 | 3 -> "a MHB b" | _ -> "b CHB a")
+    c.ordering_holds
+    (if c.agrees then "VERIFIED" else "VIOLATED")
+    c.n_events

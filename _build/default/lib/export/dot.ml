@@ -1,0 +1,94 @@
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let node_line ppf (e : Event.t) =
+  let shape = if Event.is_sync e then "box" else "ellipse" in
+  Format.fprintf ppf "  e%d [label=\"%s\", shape=%s];@." e.Event.id
+    (escape e.Event.label) shape
+
+let clusters ppf (x : Execution.t) =
+  List.iter
+    (fun pid ->
+      Format.fprintf ppf "  subgraph cluster_p%d {@." pid;
+      Format.fprintf ppf "    label=\"process %d\"; style=dotted;@." pid;
+      List.iter (fun e -> Format.fprintf ppf "  %a" node_line e)
+        (Execution.events_of_process x pid);
+      Format.fprintf ppf "  }@.")
+    (Execution.processes x)
+
+let edges ppf ?(attrs = "") rel =
+  Rel.iter (fun a b -> Format.fprintf ppf "  e%d -> e%d%s;@." a b attrs) rel
+
+let reduced rel = if Rel.is_acyclic rel then Rel.transitive_reduction rel else rel
+
+let execution ppf (x : Execution.t) =
+  Format.fprintf ppf "digraph execution {@.  rankdir=TB;@.";
+  clusters ppf x;
+  edges ppf (reduced x.Execution.program_order);
+  (* Dependences that merely parallel program order add noise, not info. *)
+  let po = Execution.po_closure x in
+  edges ppf ~attrs:" [style=dashed, color=red]"
+    (Rel.diff x.Execution.dependences po);
+  Format.fprintf ppf "}@."
+
+let pinned ppf (sk : Skeleton.t) schedule =
+  let x = sk.Skeleton.execution in
+  (* Validates feasibility of the schedule as a side effect. *)
+  let (_ : Rel.t) = Pinned.po_of_schedule sk schedule in
+  Format.fprintf ppf "digraph pinned {@.  rankdir=TB;@.";
+  clusters ppf x;
+  let program_order = reduced x.Execution.program_order in
+  edges ppf program_order;
+  let sync = Rel.create sk.Skeleton.n in
+  List.iter (fun (a, b) -> Rel.add sync a b) (Pinned.sync_edges sk schedule);
+  edges ppf ~attrs:" [style=bold, color=blue]" sync;
+  let deps_only =
+    Rel.diff
+      (Rel.diff x.Execution.dependences (Rel.transitive_closure program_order))
+      sync
+  in
+  edges ppf ~attrs:" [style=dashed, color=red]" deps_only;
+  Format.fprintf ppf "}@."
+
+let task_graph ppf (x : Execution.t) (egp : Egp.t) =
+  Format.fprintf ppf "digraph taskgraph {@.  rankdir=TB;@.";
+  let g = Egp.graph egp in
+  for node = 0 to Digraph.size g - 1 do
+    let e = x.Execution.events.(Egp.event_of_node egp node) in
+    Format.fprintf ppf "  n%d [label=\"%s\", shape=box];@." node
+      (escape e.Event.label)
+  done;
+  let is_sync_edge =
+    let node_pairs =
+      List.filter_map
+        (fun (a, b) ->
+          match (Egp.node_of_event egp a, Egp.node_of_event egp b) with
+          | Some na, Some nb -> Some (na, nb)
+          | _ -> None)
+        (Egp.sync_edges egp)
+    in
+    fun a b -> List.mem (a, b) node_pairs
+  in
+  for node = 0 to Digraph.size g - 1 do
+    List.iter
+      (fun succ ->
+        Format.fprintf ppf "  n%d -> n%d%s;@." node succ
+          (if is_sync_edge node succ then " [style=bold, color=blue]" else ""))
+      (Digraph.succs g node)
+  done;
+  Format.fprintf ppf "}@."
+
+let relation ppf ((x : Execution.t), rel, name) =
+  Format.fprintf ppf "digraph %s {@.  rankdir=TB;@." (escape name);
+  Array.iter (fun e -> node_line ppf e) x.Execution.events;
+  edges ppf (reduced rel);
+  Format.fprintf ppf "}@."

@@ -1,0 +1,27 @@
+(** Graphviz (DOT) export of the analysis artifacts: executions, pinned
+    partial orders, task graphs, and relation matrices.
+
+    Every function writes a self-contained [digraph] to the formatter; feed
+    the output to [dot -Tsvg].  Events are rendered with their labels,
+    clustered by process; synchronization events are boxes, computation
+    events ellipses.  Edge styles: solid for program order, dashed for
+    shared-data dependences, bold for synchronization-derived edges. *)
+
+val execution : Format.formatter -> Execution.t -> unit
+(** Program order (solid, transitively reduced) and dependences (dashed). *)
+
+val pinned : Format.formatter -> Skeleton.t -> int array -> unit
+(** The pinned partial order of one feasible schedule: program order solid,
+    dependences dashed, synchronization pairing/trigger edges bold.  The
+    rendering shows the transitive reduction. *)
+
+val task_graph : Format.formatter -> Execution.t -> Egp.t -> unit
+(** The Emrath–Ghosh–Padua task graph: machine/task edges solid, added
+    synchronization edges bold. *)
+
+val relation : Format.formatter -> Execution.t * Rel.t * string -> unit
+(** An arbitrary relation over the events (e.g. a Table 1 matrix), shown
+    transitively reduced when it is acyclic and in full otherwise. *)
+
+val escape : string -> string
+(** DOT-escape a label (exposed for tests). *)

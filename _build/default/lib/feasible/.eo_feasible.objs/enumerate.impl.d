@@ -1,0 +1,1 @@
+lib/feasible/enumerate.ml: Array Event List Skeleton

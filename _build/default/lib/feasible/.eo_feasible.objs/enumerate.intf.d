@@ -1,0 +1,1 @@
+lib/feasible/enumerate.mli: Skeleton

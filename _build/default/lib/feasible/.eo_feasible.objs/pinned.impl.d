@@ -1,0 +1,1 @@
+lib/feasible/pinned.ml: Array Event Format List Rel Replay Skeleton

@@ -1,0 +1,1 @@
+lib/feasible/pinned.mli: Rel Skeleton

@@ -1,0 +1,1 @@
+lib/feasible/por.ml: Array Enumerate Event Execution List Skeleton

@@ -1,0 +1,1 @@
+lib/feasible/reach.ml: Array Buffer Char Event Fun Hashtbl List Option Skeleton

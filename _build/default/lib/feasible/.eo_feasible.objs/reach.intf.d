@@ -1,0 +1,1 @@
+lib/feasible/reach.mli: Skeleton

@@ -1,0 +1,1 @@
+lib/feasible/replay.ml: Array Event Format List Skeleton

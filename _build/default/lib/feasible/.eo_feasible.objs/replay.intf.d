@@ -1,0 +1,1 @@
+lib/feasible/replay.mli: Format Skeleton

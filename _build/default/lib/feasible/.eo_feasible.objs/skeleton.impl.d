@@ -1,0 +1,1 @@
+lib/feasible/skeleton.ml: Array Digraph Event Execution Format List Rel

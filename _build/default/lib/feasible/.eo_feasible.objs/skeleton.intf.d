@@ -1,0 +1,1 @@
+lib/feasible/skeleton.mli: Digraph Event Execution Format

@@ -1,0 +1,1 @@
+lib/feasible/timing.ml: Array Dependence Execution Pinned Random Rel Skeleton

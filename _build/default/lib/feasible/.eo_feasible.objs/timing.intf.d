@@ -1,0 +1,1 @@
+lib/feasible/timing.mli: Execution Rel Skeleton

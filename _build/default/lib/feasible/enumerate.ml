@@ -1,0 +1,155 @@
+exception Stop
+
+(* Mutable search state shared by all entry points. *)
+type search = {
+  sk : Skeleton.t;
+  n : int;
+  pending : int array;  (* outstanding (po + dep) predecessors per event *)
+  succs : int list array;  (* inverse of the pending edges *)
+  done_ : bool array;
+  sem : int array;
+  ev : bool array;
+  schedule : int array;
+}
+
+let make_search (sk : Skeleton.t) =
+  let n = sk.Skeleton.n in
+  let pending = Array.make n 0 in
+  let succs = Array.make n [] in
+  for e = 0 to n - 1 do
+    let preds = sk.Skeleton.po_preds.(e) @ sk.Skeleton.dep_preds.(e) in
+    pending.(e) <- List.length preds;
+    List.iter (fun p -> succs.(p) <- e :: succs.(p)) preds
+  done;
+  {
+    sk;
+    n;
+    pending;
+    succs;
+    done_ = Array.make n false;
+    sem = Array.copy sk.Skeleton.sem_init;
+    ev = Array.copy sk.Skeleton.ev_init;
+    schedule = Array.make n (-1);
+  }
+
+let sync_enabled st e =
+  match st.sk.Skeleton.kinds.(e) with
+  | Event.Computation | Event.Sync (Event.Fork | Event.Join)
+  | Event.Sync (Event.Sem_v _)
+  | Event.Sync (Event.Post _)
+  | Event.Sync (Event.Clear _) ->
+      true
+  | Event.Sync (Event.Sem_p s) -> st.sem.(s) > 0
+  | Event.Sync (Event.Wait v) -> st.ev.(v)
+
+let ready st e = (not st.done_.(e)) && st.pending.(e) = 0 && sync_enabled st e
+
+(* Applies event [e]'s effect and returns the undo token. *)
+let execute st e =
+  st.done_.(e) <- true;
+  List.iter (fun s -> st.pending.(s) <- st.pending.(s) - 1) st.succs.(e);
+  match st.sk.Skeleton.kinds.(e) with
+  | Event.Sync (Event.Sem_p s) ->
+      st.sem.(s) <- st.sem.(s) - 1;
+      `None
+  | Event.Sync (Event.Sem_v s) ->
+      let old = st.sem.(s) in
+      (* Binary semaphores absorb a V when already at 1. *)
+      if st.sk.Skeleton.sem_binary.(s) then st.sem.(s) <- 1
+      else st.sem.(s) <- old + 1;
+      `Sem (s, old)
+  | Event.Sync (Event.Post v) ->
+      let old = st.ev.(v) in
+      st.ev.(v) <- true;
+      `Ev (v, old)
+  | Event.Sync (Event.Clear v) ->
+      let old = st.ev.(v) in
+      st.ev.(v) <- false;
+      `Ev (v, old)
+  | Event.Computation | Event.Sync (Event.Fork | Event.Join | Event.Wait _) ->
+      `None
+
+let undo st e token =
+  st.done_.(e) <- false;
+  List.iter (fun s -> st.pending.(s) <- st.pending.(s) + 1) st.succs.(e);
+  (match st.sk.Skeleton.kinds.(e) with
+  | Event.Sync (Event.Sem_p s) -> st.sem.(s) <- st.sem.(s) + 1
+  | _ -> ());
+  match token with
+  | `Sem (s, old) -> st.sem.(s) <- old
+  | `Ev (v, old) -> st.ev.(v) <- old
+  | `None -> ()
+
+let iter ?limit sk f =
+  let st = make_search sk in
+  let found = ref 0 in
+  let rec go depth =
+    if depth = st.n then begin
+      incr found;
+      f st.schedule;
+      match limit with Some l when !found >= l -> raise Stop | _ -> ()
+    end
+    else
+      for e = 0 to st.n - 1 do
+        if ready st e then begin
+          let token = execute st e in
+          st.schedule.(depth) <- e;
+          go (depth + 1);
+          undo st e token
+        end
+      done
+  in
+  (try go 0 with Stop -> ());
+  !found
+
+let count ?limit sk = iter ?limit sk (fun _ -> ())
+
+let all ?limit sk =
+  let acc = ref [] in
+  let (_ : int) = iter ?limit sk (fun s -> acc := Array.copy s :: !acc) in
+  List.rev !acc
+
+let exists sk pred =
+  let found = ref false in
+  let (_ : int) =
+    iter sk (fun s ->
+        if pred s then begin
+          found := true;
+          raise Stop
+        end)
+  in
+  !found
+
+let first sk =
+  let result = ref None in
+  let (_ : int) =
+    iter sk (fun s ->
+        result := Some (Array.copy s);
+        raise Stop)
+  in
+  !result
+
+let exists_order sk ~before ~after =
+  if before = after then false
+  else begin
+    let st = make_search sk in
+    let found = ref false in
+    (* Prune any branch that schedules [after] while [before] is pending:
+       such a prefix can never witness [before] < [after]. *)
+    let rec go depth =
+      if depth = st.n then begin
+        found := true;
+        raise Stop
+      end
+      else
+        for e = 0 to st.n - 1 do
+          if ready st e && not (e = after && not st.done_.(before)) then begin
+            let token = execute st e in
+            go (depth + 1);
+            undo st e token
+          end
+        done
+    in
+    (try go 0 with Stop -> ());
+    !found
+  end

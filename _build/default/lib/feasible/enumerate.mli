@@ -1,0 +1,59 @@
+(** Exhaustive enumeration of the feasible program executions [F(P)].
+
+    Every complete schedule produced respects program order, preserves the
+    observed shared-data dependences, and never runs a blocked
+    synchronization operation; deadlocking prefixes are pruned.  The search
+    is exponential in general — this is the engine whose cost Theorems 1–4
+    prove unavoidable. *)
+
+exception Stop
+(** Raise from an {!iter} callback to end enumeration early. *)
+
+val iter : ?limit:int -> Skeleton.t -> (int array -> unit) -> int
+(** [iter ?limit sk f] calls [f] on every feasible complete schedule (the
+    array is reused; copy to keep) and returns how many were visited.
+    Enumeration order is deterministic (lexicographic by event id). *)
+
+val count : ?limit:int -> Skeleton.t -> int
+
+val all : ?limit:int -> Skeleton.t -> int array list
+
+val exists : Skeleton.t -> (int array -> bool) -> bool
+(** Early-exits on the first schedule satisfying the predicate. *)
+
+val first : Skeleton.t -> int array option
+(** The lexicographically first feasible schedule, if any. *)
+
+val exists_order : Skeleton.t -> before:int -> after:int -> bool
+(** [exists_order sk ~before:a ~after:b]: is there a feasible schedule in
+    which [a] is scheduled before [b]?  (This is exactly the could-have-
+    happened-before relation; see {!DESIGN.md}.)  Prunes branches where [b]
+    was scheduled first, so it is cheaper than filtering {!iter}. *)
+
+(** {2 Search internals}
+
+    The incremental search state, exposed so {!Por} can layer sleep-set
+    pruning over the same machinery.  Invariant: every {!execute} is undone
+    with its token in reverse order. *)
+
+type search = {
+  sk : Skeleton.t;
+  n : int;
+  pending : int array;
+  succs : int list array;
+  done_ : bool array;
+  sem : int array;
+  ev : bool array;
+  schedule : int array;
+}
+
+val make_search : Skeleton.t -> search
+
+val ready : search -> int -> bool
+(** Preconditions of one event in the current state. *)
+
+val execute :
+  search -> int -> [ `Sem of int * int | `Ev of int * bool | `None ]
+(** Applies the event; returns the undo token. *)
+
+val undo : search -> int -> [ `Sem of int * int | `Ev of int * bool | `None ] -> unit

@@ -1,0 +1,51 @@
+let sync_object (sk : Skeleton.t) e =
+  match sk.Skeleton.kinds.(e) with
+  | Event.Sync (Event.Sem_p s | Event.Sem_v s) -> Some (`Sem s)
+  | Event.Sync (Event.Post v | Event.Wait v | Event.Clear v) -> Some (`Ev v)
+  | Event.Computation | Event.Sync (Event.Fork | Event.Join) -> None
+
+let independent (sk : Skeleton.t) a b =
+  let events = sk.Skeleton.execution.Execution.events in
+  a <> b
+  && events.(a).Event.pid <> events.(b).Event.pid
+  && (match (sync_object sk a, sync_object sk b) with
+     | Some oa, Some ob -> oa <> ob
+     | _ -> true)
+  && (not (List.mem a sk.Skeleton.dep_preds.(b)))
+  && (not (List.mem b sk.Skeleton.dep_preds.(a)))
+  && (not (List.mem a sk.Skeleton.po_preds.(b)))
+  && not (List.mem b sk.Skeleton.po_preds.(a))
+
+exception Stop
+
+(* The search state machinery is Enumerate's; sleep sets ride on top. *)
+let iter_representatives ?limit sk f =
+  let st = Enumerate.make_search sk in
+  let n = sk.Skeleton.n in
+  let found = ref 0 in
+  let rec go depth sleep =
+    if depth = n then begin
+      incr found;
+      f st.Enumerate.schedule;
+      match limit with Some l when !found >= l -> raise Stop | _ -> ()
+    end
+    else begin
+      let explored = ref [] in
+      for e = 0 to n - 1 do
+        if Enumerate.ready st e && not (List.mem e sleep) then begin
+          let sleep' =
+            List.filter (fun u -> independent sk u e) (sleep @ !explored)
+          in
+          let token = Enumerate.execute st e in
+          st.Enumerate.schedule.(depth) <- e;
+          go (depth + 1) sleep';
+          Enumerate.undo st e token;
+          explored := e :: !explored
+        end
+      done
+    end
+  in
+  (try go 0 [] with Stop -> ());
+  !found
+
+let count_representatives ?limit sk = iter_representatives ?limit sk (fun _ -> ())

@@ -1,0 +1,28 @@
+(** Partial-order reduction (sleep sets) over the feasible-schedule space.
+
+    Two adjacent schedule steps commute when they belong to different
+    processes, touch no common synchronization object, and have no
+    dependence between them; schedules equal up to such swaps realize the
+    same pinned partial order (the FIFO pairing and trigger assignment only
+    read per-object subsequences).  Sleep-set exploration (Godefroid)
+    visits at least one representative of every commutation class while
+    skipping most of its members — often exponentially fewer schedules, with
+    every distinct pinned order still observed.
+
+    This accelerates the class-level analyses (the concurrent-with /
+    ordered-with matrices, distinct-class counting); the happened-before
+    side is served by {!Reach} instead, because order bits differ between
+    members of one class.  Property tests check that the set of pinned
+    orders found equals full enumeration's on random programs. *)
+
+val iter_representatives : ?limit:int -> Skeleton.t -> (int array -> unit) -> int
+(** [iter_representatives sk f] calls [f] on representative feasible
+    schedules — at least one per commutation class — and returns how many
+    were visited.  The array is reused between calls. *)
+
+val count_representatives : ?limit:int -> Skeleton.t -> int
+
+val independent : Skeleton.t -> int -> int -> bool
+(** The static independence relation used for commutation: different
+    processes, no shared synchronization object, no dependence edge either
+    way.  (Exposed for tests.) *)

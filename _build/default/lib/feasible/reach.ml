@@ -1,0 +1,321 @@
+type state = {
+  completed : bool array;
+  ev : bool array;
+  bsem : int array;
+      (* current value of each BINARY semaphore (entries for counting
+         semaphores are unused: their value is a function of [completed],
+         but a binary semaphore's value depends on the order of absorbed
+         V operations, so it must be part of the state) *)
+  csem : int array;
+      (* cached value of each COUNTING semaphore — a pure function of
+         [completed], maintained incrementally and deliberately excluded
+         from the memo key *)
+}
+
+type t = {
+  sk : Skeleton.t;
+  n : int;
+  can_complete_memo : (string, bool) Hashtbl.t;
+  count_memo : (string, int) Hashtbl.t;
+}
+
+let create sk =
+  {
+    sk;
+    n = sk.Skeleton.n;
+    can_complete_memo = Hashtbl.create 1024;
+    count_memo = Hashtbl.create 1024;
+  }
+
+let skeleton t = t.sk
+
+let initial_state t =
+  {
+    completed = Array.make t.n false;
+    ev = Array.copy t.sk.Skeleton.ev_init;
+    bsem =
+      Array.mapi
+        (fun s init -> if t.sk.Skeleton.sem_binary.(s) then init else 0)
+        t.sk.Skeleton.sem_init;
+    csem =
+      Array.mapi
+        (fun s init -> if t.sk.Skeleton.sem_binary.(s) then 0 else init)
+        t.sk.Skeleton.sem_init;
+  }
+
+let key state =
+  let b =
+    Buffer.create
+      (Array.length state.completed + Array.length state.ev
+      + Array.length state.bsem + 2)
+  in
+  Array.iter (fun d -> Buffer.add_char b (if d then '1' else '0')) state.completed;
+  Buffer.add_char b '|';
+  Array.iter (fun d -> Buffer.add_char b (if d then '1' else '0')) state.ev;
+  Buffer.add_char b '|';
+  Array.iter (fun v -> Buffer.add_char b (Char.chr (Char.code '0' + v))) state.bsem;
+  Buffer.contents b
+
+let sem_count t state s =
+  if t.sk.Skeleton.sem_binary.(s) then state.bsem.(s) else state.csem.(s)
+
+let ready t state e =
+  (not state.completed.(e))
+  && List.for_all (fun p -> state.completed.(p)) t.sk.Skeleton.po_preds.(e)
+  && List.for_all (fun p -> state.completed.(p)) t.sk.Skeleton.dep_preds.(e)
+  &&
+  match t.sk.Skeleton.kinds.(e) with
+  | Event.Sync (Event.Sem_p s) -> sem_count t state s > 0
+  | Event.Sync (Event.Wait v) -> state.ev.(v)
+  | _ -> true
+
+let step t state e =
+  let completed = Array.copy state.completed in
+  completed.(e) <- true;
+  let ev =
+    match t.sk.Skeleton.kinds.(e) with
+    | Event.Sync (Event.Post v) ->
+        let ev = Array.copy state.ev in
+        ev.(v) <- true;
+        ev
+    | Event.Sync (Event.Clear v) ->
+        let ev = Array.copy state.ev in
+        ev.(v) <- false;
+        ev
+    | _ -> state.ev
+  in
+  let bsem =
+    match t.sk.Skeleton.kinds.(e) with
+    | Event.Sync (Event.Sem_v s) when t.sk.Skeleton.sem_binary.(s) ->
+        let bsem = Array.copy state.bsem in
+        bsem.(s) <- 1;
+        bsem
+    | Event.Sync (Event.Sem_p s) when t.sk.Skeleton.sem_binary.(s) ->
+        let bsem = Array.copy state.bsem in
+        bsem.(s) <- bsem.(s) - 1;
+        bsem
+    | _ -> state.bsem
+  in
+  let csem =
+    match t.sk.Skeleton.kinds.(e) with
+    | Event.Sync (Event.Sem_v s) when not t.sk.Skeleton.sem_binary.(s) ->
+        let csem = Array.copy state.csem in
+        csem.(s) <- csem.(s) + 1;
+        csem
+    | Event.Sync (Event.Sem_p s) when not t.sk.Skeleton.sem_binary.(s) ->
+        let csem = Array.copy state.csem in
+        csem.(s) <- csem.(s) - 1;
+        csem
+    | _ -> state.csem
+  in
+  { completed; ev; bsem; csem }
+
+let all_done state = Array.for_all Fun.id state.completed
+
+let ready_events t state =
+  let acc = ref [] in
+  for e = t.n - 1 downto 0 do
+    if ready t state e then acc := e :: !acc
+  done;
+  !acc
+
+let rec can_complete t state =
+  if all_done state then true
+  else
+    let k = key state in
+    match Hashtbl.find_opt t.can_complete_memo k with
+    | Some r -> r
+    | None ->
+        let r =
+          List.exists (fun e -> can_complete t (step t state e))
+            (ready_events t state)
+        in
+        Hashtbl.add t.can_complete_memo k r;
+        r
+
+let feasible_exists t = can_complete t (initial_state t)
+
+(* Counts saturate below overflow: a 60-event skeleton can admit more
+   schedules than an OCaml int holds. *)
+let count_saturation = 1_000_000_000_000_000_000
+
+let saturating_add a b =
+  if a >= count_saturation - b then count_saturation else a + b
+
+let rec count_from t state =
+  if all_done state then 1
+  else
+    let k = key state in
+    match Hashtbl.find_opt t.count_memo k with
+    | Some r -> r
+    | None ->
+        let r =
+          List.fold_left
+            (fun acc e -> saturating_add acc (count_from t (step t state e)))
+            0 (ready_events t state)
+        in
+        Hashtbl.add t.count_memo k r;
+        r
+
+let schedule_count t = count_from t (initial_state t)
+
+let walk_reachable t visit =
+  let seen = Hashtbl.create 1024 in
+  let rec go state =
+    let k = key state in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      visit state;
+      List.iter (fun e -> go (step t state e)) (ready_events t state)
+    end
+  in
+  go (initial_state t);
+  Hashtbl.length seen
+
+let reachable_state_count t = walk_reachable t (fun _ -> ())
+
+let deadlock_reachable t =
+  let found = ref false in
+  let (_ : int) =
+    walk_reachable t (fun state ->
+        if (not (all_done state)) && ready_events t state = [] then found := true)
+  in
+  !found
+
+let deadlock_witness t =
+  (* DFS carrying the prefix; first stuck state wins. *)
+  let seen = Hashtbl.create 1024 in
+  let rec go state prefix =
+    let k = key state in
+    if Hashtbl.mem seen k then None
+    else begin
+      Hashtbl.add seen k ();
+      match ready_events t state with
+      | [] -> if all_done state then None else Some (List.rev prefix)
+      | ready ->
+          List.find_map (fun e -> go (step t state e) (e :: prefix)) ready
+    end
+  in
+  Option.map Array.of_list (go (initial_state t) [])
+
+let exists_before t a b =
+  if a = b then false
+  else begin
+    let seen = Hashtbl.create 1024 in
+    (* Explore only prefixes in which [b] has not yet run; once [a] has run
+       in such a prefix, any completion witnesses [a] before [b]. *)
+    let rec go state =
+      if state.completed.(a) then can_complete t state
+      else
+        let k = key state in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          List.exists
+            (fun e -> e <> b && go (step t state e))
+            (ready_events t state)
+        end
+    in
+    go (initial_state t)
+  end
+
+let must_before t a b =
+  a <> b && feasible_exists t && not (exists_before t b a)
+
+(* Greedy completion: from a completable state, repeatedly run any ready
+   event that keeps the state completable. *)
+let complete_from t state acc =
+  let rec go state acc =
+    if all_done state then List.rev acc
+    else
+      let e =
+        List.find
+          (fun e -> can_complete t (step t state e))
+          (ready_events t state)
+      in
+      go (step t state e) (e :: acc)
+  in
+  go state acc
+
+let witness_before t a b =
+  if a = b then None
+  else begin
+    let seen = Hashtbl.create 1024 in
+    let rec go state prefix =
+      if state.completed.(a) then
+        if can_complete t state then Some (complete_from t state prefix)
+        else None
+      else
+        let k = key state in
+        if Hashtbl.mem seen k then None
+        else begin
+          Hashtbl.add seen k ();
+          List.find_map
+            (fun e ->
+              if e = b then None else go (step t state e) (e :: prefix))
+            (ready_events t state)
+        end
+    in
+    Option.map Array.of_list (go (initial_state t) [])
+  end
+
+let exists_race t a b =
+  a <> b
+  &&
+  let found = ref false in
+  let (_ : int) =
+    walk_reachable t (fun state ->
+        if
+          (not !found)
+          && (not state.completed.(a))
+          && (not state.completed.(b))
+          && ready t state a && ready t state b
+        then begin
+          (* Both orders must remain completable from here. *)
+          let s_ab = step t (step t state a) b in
+          let s_ba = step t (step t state b) a in
+          if
+            ready t (step t state a) b
+            && ready t (step t state b) a
+            && can_complete t s_ab && can_complete t s_ba
+          then found := true
+        end)
+  in
+  !found
+
+let race_witness t a b =
+  if a = b then None
+  else begin
+    (* DFS carrying the prefix; at the first state where the pair can go
+       either way, complete both continuations. *)
+    let seen = Hashtbl.create 1024 in
+    let rec go state prefix =
+      let k = key state in
+      if Hashtbl.mem seen k then None
+      else begin
+        Hashtbl.add seen k ();
+        if
+          (not state.completed.(a))
+          && (not state.completed.(b))
+          && ready t state a && ready t state b
+          && ready t (step t state a) b
+          && ready t (step t state b) a
+          && can_complete t (step t (step t state a) b)
+          && can_complete t (step t (step t state b) a)
+        then
+          (* [complete_from] takes the reversed prefix. *)
+          let first =
+            complete_from t (step t (step t state a) b) (b :: a :: prefix)
+          in
+          let second =
+            complete_from t (step t (step t state b) a) (a :: b :: prefix)
+          in
+          Some (Array.of_list first, Array.of_list second)
+        else
+          List.find_map
+            (fun e -> go (step t state e) (e :: prefix))
+            (ready_events t state)
+      end
+    in
+    go (initial_state t) []
+  end

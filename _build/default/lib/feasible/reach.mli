@@ -1,0 +1,71 @@
+(** Memoized state-space engine over feasible executions.
+
+    A state is the pair (set of completed events, event-variable flags);
+    semaphore counts are a function of the completed set.  Where
+    {!Enumerate} walks every feasible schedule (worst case [n!]), this
+    engine memoizes on states, so queries cost one traversal of the
+    reachable state graph — still exponential in the worst case (the paper
+    proves no engine can avoid that) but usually far smaller, which the
+    ablation benchmark quantifies.
+
+    Schedule-level queries decide the happened-before relations exactly:
+    [exists_before a b] is could-have-happened-before ([a CHB b]) and
+    [must_before a b] is must-have-happened-before ([a MHB b]). *)
+
+type t
+
+val create : Skeleton.t -> t
+(** Builds an engine; all queries share one memo table per query kind. *)
+
+val skeleton : t -> Skeleton.t
+
+val feasible_exists : t -> bool
+(** Is [F(P)] non-empty?  (Always true for a skeleton built from an actual
+    trace — the observed schedule itself is feasible.) *)
+
+val schedule_count : t -> int
+(** Number of feasible complete schedules, counted by dynamic programming
+    over states (no schedule is materialized).  Saturates at
+    {!count_saturation} instead of overflowing. *)
+
+val count_saturation : int
+(** Ceiling for {!schedule_count} ([10^18]). *)
+
+val reachable_state_count : t -> int
+
+val deadlock_reachable : t -> bool
+(** Can the re-execution paint itself into a corner — a reachable state
+    with pending events but nothing enabled? *)
+
+val deadlock_witness : t -> int array option
+(** A partial feasible schedule ending in a stuck state, when one exists.
+    [Some _] exactly when {!deadlock_reachable}. *)
+
+val exists_before : t -> int -> int -> bool
+(** [exists_before t a b]: some feasible schedule runs [a] before [b].
+    [false] when [a = b]. *)
+
+val must_before : t -> int -> int -> bool
+(** [must_before t a b]: every feasible schedule runs [a] before [b], and at
+    least one feasible schedule exists.  Equals
+    [feasible_exists t && not (exists_before t b a)] for [a <> b]. *)
+
+val witness_before : t -> int -> int -> int array option
+(** [witness_before t a b]: a complete feasible schedule that runs [a]
+    before [b], when one exists.  [Some _] exactly when
+    [exists_before t a b]; the witness makes a could-have ordering
+    tangible (and replayable — it passes {!Replay.check}). *)
+
+val exists_race : t -> int -> int -> bool
+(** [exists_race t a b]: is there a reachable state from which [a] and [b]
+    can execute in either order, with the run completing both ways?  This
+    is the operational could-have-been-concurrent-with: the two events can
+    be scheduled back-to-back in both orders from identical context, i.e.
+    nothing forces an order between them at that point.  For semaphore-only
+    programs this coincides with incomparability in some pinned order
+    (see {!Pinned}). *)
+
+val race_witness : t -> int -> int -> (int array * int array) option
+(** Two complete feasible schedules sharing a prefix after which the pair
+    runs back-to-back in opposite orders — the interleavings a race report
+    should show.  [Some _] exactly when {!exists_race}. *)

@@ -1,0 +1,54 @@
+type t = { start : float array; finish : float array }
+
+let sample ?(seed = 0) (sk : Skeleton.t) schedule =
+  let po = Pinned.po_of_schedule sk schedule in
+  let n = sk.Skeleton.n in
+  (* Longest-path layering over the pinned order: every pinned predecessor
+     sits in a strictly earlier layer.  Visiting events in schedule order —
+     a linear extension of the pinned order — makes one pass sufficient:
+     all predecessors have final layers when their successor is visited. *)
+  let layer = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      Rel.iter
+        (fun a b -> if b = e && layer.(a) >= layer.(e) then
+            layer.(e) <- layer.(a) + 1)
+        po)
+    schedule;
+  let rng = Random.State.make [| seed |] in
+  let start = Array.make n 0.0 in
+  let finish = Array.make n 0.0 in
+  for e = 0 to n - 1 do
+    let base = float_of_int layer.(e) in
+    let jitter = Random.State.float rng 0.3 in
+    start.(e) <- base +. jitter;
+    (* End strictly inside the layer gap: pinned successors start at
+       base + 1 at the earliest. *)
+    finish.(e) <- base +. jitter +. Random.State.float rng (0.99 -. jitter)
+    |> max (base +. jitter +. 1e-6)
+  done;
+  { start; finish }
+
+let precedes t a b = t.finish.(a) < t.start.(b)
+
+let overlaps t a b = a <> b && (not (precedes t a b)) && not (precedes t b a)
+
+let temporal_order t =
+  let n = Array.length t.start in
+  let r = Rel.create n in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && precedes t a b then Rel.add r a b
+    done
+  done;
+  r
+
+let to_execution (sk : Skeleton.t) t =
+  let x = sk.Skeleton.execution in
+  let temporal = temporal_order t in
+  let dependences = Dependence.of_temporal x.Execution.events temporal in
+  Execution.make ~events:x.Execution.events
+    ~program_order:x.Execution.program_order ~temporal ~dependences
+    ~sem_init:x.Execution.sem_init ~sem_binary:x.Execution.sem_binary
+    ~ev_init:x.Execution.ev_init ~num_shared_vars:x.Execution.num_shared_vars
+    ()

@@ -1,0 +1,44 @@
+(** Timing refinements of a schedule class — the paper's real-time [T],
+    made executable.
+
+    In the model, an execution's temporal order is an interval order: each
+    event occupies a real-time interval, and [a T b] iff [a]'s interval
+    ends before [b]'s begins.  A feasible schedule σ stands for the whole
+    class of timings compatible with its pinned constraints; this module
+    samples concrete interval assignments from that class, so the
+    relationship between the pinned partial order and real time can be
+    tested instead of argued:
+
+    - events comparable in [po(σ)] are separated in every sampled timing;
+    - events incomparable in [po(σ)] may overlap (and do, whenever they
+      share a layer);
+    - the induced interval order, taken as the execution's [T], satisfies
+      the model axioms.
+
+    Sampling places each event at its pinned longest-path layer and gives
+    it a random duration strictly inside the layer gap. *)
+
+type t = {
+  start : float array;  (** interval start per event *)
+  finish : float array;  (** interval end per event; [start < finish] *)
+}
+
+val sample : ?seed:int -> Skeleton.t -> int array -> t
+(** [sample sk schedule] draws a timing of the class of the given feasible
+    schedule (checked; [Invalid_argument] otherwise). *)
+
+val precedes : t -> int -> int -> bool
+(** [precedes t a b]: does [a]'s interval end before [b]'s begins —
+    the paper's [a T b]? *)
+
+val overlaps : t -> int -> int -> bool
+(** Neither precedes the other: the events run concurrently in this
+    timing. *)
+
+val temporal_order : t -> Rel.t
+(** The full interval order as a relation (the execution's [T]). *)
+
+val to_execution : Skeleton.t -> t -> Execution.t
+(** The program execution [<E, T, D>] this timing realizes: same events,
+    [T] from the intervals, [D] the dependences the timing orders.  The
+    result satisfies the model axioms (property-tested). *)

@@ -1,0 +1,1 @@
+lib/model/dependence.ml: Array Event List Rel

@@ -1,0 +1,1 @@
+lib/model/dependence.mli: Event Rel

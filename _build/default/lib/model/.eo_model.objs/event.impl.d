@@ -1,0 +1,1 @@
+lib/model/event.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/model/execution.ml: Array Dependence Event Format Fun List Rel

@@ -1,0 +1,31 @@
+let of_temporal events t =
+  let n = Array.length events in
+  let d = Rel.create n in
+  Rel.iter
+    (fun a b -> if Event.conflicts events.(a) events.(b) then Rel.add d a b)
+    t;
+  d
+
+let of_schedule events schedule =
+  let n = Array.length events in
+  let d = Rel.create n in
+  for i = 0 to Array.length schedule - 1 do
+    for j = i + 1 to Array.length schedule - 1 do
+      let a = schedule.(i) and b = schedule.(j) in
+      if Event.conflicts events.(a) events.(b) then Rel.add d a b
+    done
+  done;
+  d
+
+let conflict_on_variable a b v =
+  let reads e = List.mem v e.Event.reads in
+  let writes e = List.mem v e.Event.writes in
+  (writes a && (reads b || writes b)) || (writes b && (reads a || writes a))
+
+let restrict_to_variable events d v =
+  let r = Rel.create (Rel.size d) in
+  Rel.iter
+    (fun a b ->
+      if conflict_on_variable events.(a) events.(b) v then Rel.add r a b)
+    d;
+  r

@@ -1,0 +1,20 @@
+(** Shared-data dependences.
+
+    [a D b] holds iff [a] accesses a shared variable that [b] later accesses,
+    with at least one of the two accesses being a modification.  Following
+    the paper, the definition combines flow-, anti- and output-dependence and
+    does not name the variable. *)
+
+val of_schedule : Event.t array -> int array -> Rel.t
+(** [of_schedule events schedule] computes [D] for the execution in which the
+    events occur atomically in the order given by [schedule] (an array of
+    event ids, earliest first): every pair of conflicting events is related
+    in its schedule order. *)
+
+val of_temporal : Event.t array -> Rel.t -> Rel.t
+(** [of_temporal events t] relates [a D b] whenever [a t b] and the events
+    conflict — the generalization of {!of_schedule} to a partial [T]. *)
+
+val restrict_to_variable : Event.t array -> Rel.t -> int -> Rel.t
+(** Keep only the dependence edges whose endpoints conflict on the given
+    shared variable. *)

@@ -1,0 +1,55 @@
+type sync_op =
+  | Sem_p of int
+  | Sem_v of int
+  | Post of int
+  | Wait of int
+  | Clear of int
+  | Fork
+  | Join
+
+type kind = Computation | Sync of sync_op
+
+type t = {
+  id : int;
+  pid : int;
+  seq : int;
+  kind : kind;
+  label : string;
+  reads : int list;
+  writes : int list;
+}
+
+let pp_sync_op ppf = function
+  | Sem_p s -> Format.fprintf ppf "P(s%d)" s
+  | Sem_v s -> Format.fprintf ppf "V(s%d)" s
+  | Post e -> Format.fprintf ppf "Post(e%d)" e
+  | Wait e -> Format.fprintf ppf "Wait(e%d)" e
+  | Clear e -> Format.fprintf ppf "Clear(e%d)" e
+  | Fork -> Format.pp_print_string ppf "fork"
+  | Join -> Format.pp_print_string ppf "join"
+
+let default_label kind id =
+  match kind with
+  | Computation -> Printf.sprintf "e%d" id
+  | Sync op -> Format.asprintf "%a" pp_sync_op op
+
+let make ~id ~pid ~seq ~kind ?label ?(reads = []) ?(writes = []) () =
+  let label =
+    match label with Some l -> l | None -> default_label kind id
+  in
+  { id; pid; seq; kind; label; reads; writes }
+
+let is_sync e = match e.kind with Sync _ -> true | Computation -> false
+
+let is_computation e = not (is_sync e)
+
+let conflicts a b =
+  let touches vars v = List.mem v vars in
+  let conflict_on v =
+    (List.mem v a.writes && (touches b.reads v || touches b.writes v))
+    || (List.mem v b.writes && (touches a.reads v || touches a.writes v))
+  in
+  List.exists conflict_on (a.reads @ a.writes @ b.reads @ b.writes)
+
+let pp ppf e =
+  Format.fprintf ppf "#%d[%s p%d.%d]" e.id e.label e.pid e.seq

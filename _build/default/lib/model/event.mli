@@ -1,0 +1,59 @@
+(** Events of a shared-memory parallel program execution.
+
+    An event is an execution instance of a set of consecutively executed
+    statements of one process (Netzer–Miller, Section 2).  A
+    {e synchronization event} is an instance of a synchronization operation;
+    a {e computation event} is an instance of a group of non-synchronization
+    statements of one process. *)
+
+type sync_op =
+  | Sem_p of int  (** [P(s)] on counting semaphore [s] *)
+  | Sem_v of int  (** [V(s)] on counting semaphore [s] *)
+  | Post of int  (** [Post(e)]: set event variable [e] *)
+  | Wait of int  (** [Wait(e)]: block until event variable [e] is set *)
+  | Clear of int  (** [Clear(e)]: reset event variable [e] *)
+  | Fork  (** cobegin: creates the child processes *)
+  | Join  (** coend: waits for all children *)
+
+type kind =
+  | Computation  (** instance of non-synchronization statements *)
+  | Sync of sync_op
+
+type t = {
+  id : int;  (** index of this event in the execution's event array *)
+  pid : int;  (** process the event belongs to *)
+  seq : int;  (** position of the event within its process *)
+  kind : kind;
+  label : string;  (** human-readable name, e.g. ["a"] or ["V(X1)"] *)
+  reads : int list;  (** shared variables read (computation events) *)
+  writes : int list;  (** shared variables written (computation events) *)
+}
+
+val make :
+  id:int ->
+  pid:int ->
+  seq:int ->
+  kind:kind ->
+  ?label:string ->
+  ?reads:int list ->
+  ?writes:int list ->
+  unit ->
+  t
+(** Smart constructor; when [label] is omitted a default is derived from the
+    kind ([Computation] events are labelled ["e<id>"]). *)
+
+val is_sync : t -> bool
+
+val is_computation : t -> bool
+
+val conflicts : t -> t -> bool
+(** [conflicts a b] iff [a] and [b] access a common shared variable and at
+    least one of the two accesses it by writing — the access pattern that
+    gives rise to a shared-data dependence when the events are ordered. *)
+
+val default_label : kind -> int -> string
+(** The label [make] derives when none is supplied. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_sync_op : Format.formatter -> sync_op -> unit

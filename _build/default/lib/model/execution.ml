@@ -1,0 +1,190 @@
+type t = {
+  events : Event.t array;
+  program_order : Rel.t;
+  temporal : Rel.t;
+  dependences : Rel.t;
+  sem_init : int array;
+  sem_binary : bool array;
+  ev_init : bool array;
+  num_shared_vars : int;
+}
+
+let max_referenced f events =
+  Array.fold_left (fun acc e -> max acc (f e)) (-1) events
+
+let max_sem e =
+  match e.Event.kind with
+  | Event.Sync (Event.Sem_p s | Event.Sem_v s) -> s
+  | _ -> -1
+
+let max_ev e =
+  match e.Event.kind with
+  | Event.Sync (Event.Post v | Event.Wait v | Event.Clear v) -> v
+  | _ -> -1
+
+let max_var e =
+  List.fold_left max (-1) (e.Event.reads @ e.Event.writes)
+
+let make ~events ~program_order ~temporal ~dependences ?sem_init ?sem_binary
+    ?ev_init ?num_shared_vars () =
+  let sem_init =
+    match sem_init with
+    | Some a -> a
+    | None -> Array.make (max_referenced max_sem events + 1) 0
+  in
+  let sem_binary =
+    match sem_binary with
+    | Some a ->
+        if Array.length a <> Array.length sem_init then
+          invalid_arg "Execution.make: sem_binary length mismatch";
+        a
+    | None -> Array.make (Array.length sem_init) false
+  in
+  let ev_init =
+    match ev_init with
+    | Some a -> a
+    | None -> Array.make (max_referenced max_ev events + 1) false
+  in
+  let num_shared_vars =
+    match num_shared_vars with
+    | Some n -> n
+    | None -> max_referenced max_var events + 1
+  in
+  { events; program_order; temporal; dependences; sem_init; sem_binary;
+    ev_init; num_shared_vars }
+
+let n_events x = Array.length x.events
+
+let event x i = x.events.(i)
+
+let po_closure x = Rel.transitive_closure x.program_order
+
+let processes x =
+  let pids =
+    Array.fold_left (fun acc e -> e.Event.pid :: acc) [] x.events
+  in
+  List.sort_uniq compare pids
+
+let events_of_process x pid =
+  Array.to_list x.events
+  |> List.filter (fun e -> e.Event.pid = pid)
+  |> List.sort (fun a b -> compare a.Event.seq b.Event.seq)
+
+let num_semaphores x = Array.length x.sem_init
+
+let num_eventvars x = Array.length x.ev_init
+
+let schedule_of_temporal x =
+  let n = n_events x in
+  let order = Array.init n Fun.id in
+  (* In a total order the i-th event has exactly i predecessors. *)
+  let count_preds e =
+    Rel.fold (fun _ b acc -> if b = e then acc + 1 else acc) x.temporal 0
+  in
+  let key = Array.init n count_preds in
+  Array.sort (fun a b -> compare key.(a) key.(b)) order;
+  Array.iteri
+    (fun i e ->
+      if key.(e) <> i then
+        invalid_arg "Execution.schedule_of_temporal: temporal order not total")
+    order;
+  order
+
+let of_schedule ~events ~program_order ~schedule ?sem_init ?sem_binary
+    ?ev_init ?num_shared_vars () =
+  let n = Array.length events in
+  if Array.length schedule <> n then
+    invalid_arg "Execution.of_schedule: schedule length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then
+        invalid_arg "Execution.of_schedule: schedule is not a permutation";
+      seen.(i) <- true)
+    schedule;
+  let temporal = Rel.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Rel.add temporal schedule.(i) schedule.(j)
+    done
+  done;
+  let dependences = Dependence.of_schedule events schedule in
+  make ~events ~program_order ~temporal ~dependences ?sem_init ?sem_binary
+    ?ev_init ?num_shared_vars ()
+
+let axiom_violations x =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let n = n_events x in
+  (* Ids index the array. *)
+  Array.iteri
+    (fun i e ->
+      if e.Event.id <> i then err "event at index %d has id %d" i e.Event.id)
+    x.events;
+  (* Per-process seq numbers are 0,1,2,... *)
+  List.iter
+    (fun pid ->
+      let seqs = List.map (fun e -> e.Event.seq) (events_of_process x pid) in
+      let expected = List.init (List.length seqs) Fun.id in
+      if seqs <> expected then err "process %d has seq gaps" pid)
+    (processes x);
+  (* Relations sized to the carrier. *)
+  if Rel.size x.program_order <> n then err "program_order size mismatch";
+  if Rel.size x.temporal <> n then err "temporal size mismatch";
+  if Rel.size x.dependences <> n then err "dependences size mismatch";
+  if
+    Rel.size x.program_order = n
+    && Rel.size x.temporal = n
+    && Rel.size x.dependences = n
+  then begin
+    if not (Rel.is_acyclic x.program_order) then err "program order is cyclic"
+    else begin
+      let po = po_closure x in
+      (* Same-process pairs ordered exactly by seq. *)
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              if a.Event.id <> b.Event.id && a.Event.pid = b.Event.pid then begin
+                let should = a.Event.seq < b.Event.seq in
+                let is = Rel.mem po a.Event.id b.Event.id in
+                if should && not is then
+                  err "program order misses %a -> %a" Event.pp a Event.pp b;
+                if is && not should then
+                  err "program order wrongly orders %a -> %a" Event.pp a
+                    Event.pp b
+              end)
+            x.events)
+        x.events;
+      (* T is a strict partial order containing program order. *)
+      if not (Rel.is_strict_partial_order x.temporal) then
+        err "temporal ordering is not a strict partial order";
+      if not (Rel.subset po x.temporal) then
+        err "temporal ordering does not contain the program order"
+    end;
+    (* D edges are inside T and connect conflicting events. *)
+    Rel.iter
+      (fun a b ->
+        if not (Rel.mem x.temporal a b) then
+          err "dependence %d->%d not in temporal order" a b;
+        if not (Event.conflicts x.events.(a) x.events.(b)) then
+          err "dependence %d->%d between non-conflicting events" a b)
+      x.dependences
+  end;
+  List.rev !errs
+
+let is_valid x = axiom_violations x = []
+
+let pp ppf x =
+  Format.fprintf ppf "@[<v>execution: %d events, |T|=%d, |D|=%d@ " (n_events x)
+    (Rel.pair_count x.temporal)
+    (Rel.pair_count x.dependences);
+  List.iter
+    (fun pid ->
+      Format.fprintf ppf "p%d: %a@ " pid
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ; ")
+           (fun ppf e -> Format.pp_print_string ppf e.Event.label))
+        (events_of_process x pid))
+    (processes x);
+  Format.fprintf ppf "@]"

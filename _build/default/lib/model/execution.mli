@@ -1,0 +1,97 @@
+(** Program executions [P = <E, T, D>] (Netzer–Miller, Section 2) together
+    with the synchronization environment needed to re-execute the events.
+
+    [E] is a finite set of events, [T] the temporal-ordering relation
+    ([a T b] iff [a] completes before [b] begins), and [D] the shared-data
+    dependence relation ([a D b] iff [a] accesses a shared variable that [b]
+    later accesses, at least one access being a write).
+
+    In addition to the triple, an execution records the immediate
+    program-order edges (per-process successor edges plus fork-to-child and
+    child-to-join edges) and the initial synchronization state, because the
+    set of feasible program executions is defined by re-running the same
+    events under the same synchronization semantics. *)
+
+type t = {
+  events : Event.t array;  (** [E]; [events.(i).id = i] *)
+  program_order : Rel.t;
+      (** immediate program-order edges: within-process successor edges,
+          fork event to first event of each child, last event of each child
+          to the matching join *)
+  temporal : Rel.t;  (** [T], a strict partial order (total for a trace) *)
+  dependences : Rel.t;  (** [D] *)
+  sem_init : int array;  (** initial value of each semaphore *)
+  sem_binary : bool array;
+      (** per semaphore: [true] for binary semantics, where a [V] on a
+          semaphore already at 1 is absorbed (the count is capped), versus
+          counting semantics where every [V] adds a token *)
+  ev_init : bool array;  (** initial state of each event variable *)
+  num_shared_vars : int;
+}
+
+val make :
+  events:Event.t array ->
+  program_order:Rel.t ->
+  temporal:Rel.t ->
+  dependences:Rel.t ->
+  ?sem_init:int array ->
+  ?sem_binary:bool array ->
+  ?ev_init:bool array ->
+  ?num_shared_vars:int ->
+  unit ->
+  t
+(** Plain record constructor; does not validate (use {!axiom_violations}).
+    [sem_binary] defaults to all-counting. *)
+
+val of_schedule :
+  events:Event.t array ->
+  program_order:Rel.t ->
+  schedule:int array ->
+  ?sem_init:int array ->
+  ?sem_binary:bool array ->
+  ?ev_init:bool array ->
+  ?num_shared_vars:int ->
+  unit ->
+  t
+(** Builds the execution observed when the events run atomically in the
+    given total order: [T] is the total order induced by [schedule] and [D]
+    is computed from the events' access sets (see {!Dependence.of_schedule}).
+    Raises [Invalid_argument] if [schedule] is not a permutation of the event
+    ids. *)
+
+val n_events : t -> int
+
+val event : t -> int -> Event.t
+
+val po_closure : t -> Rel.t
+(** Transitive closure of the program order (computed on demand). *)
+
+val schedule_of_temporal : t -> int array
+(** For an execution whose temporal order is total (an observed trace),
+    recovers the schedule: event ids sorted by temporal position.  Raises
+    [Invalid_argument] when [T] is not a total order. *)
+
+val processes : t -> int list
+(** Distinct process ids, ascending. *)
+
+val events_of_process : t -> int -> Event.t list
+(** Events of one process in [seq] order. *)
+
+val num_semaphores : t -> int
+
+val num_eventvars : t -> int
+
+val axiom_violations : t -> string list
+(** Checks the validity axioms our model imposes and returns a description
+    of each violation (empty list = valid):
+
+    - event ids index the array; per-process [seq] numbers are [0,1,2,...];
+    - the program order is acyclic and orders exactly the within-process
+      pairs (via its closure) as given by [seq];
+    - [T] is a strict partial order containing the program-order closure;
+    - every [D] edge is contained in [T] and connects conflicting events. *)
+
+val is_valid : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line summary: events per process, |T|, |D|. *)

@@ -1,0 +1,1 @@
+lib/prog/ast.ml: Expr Format Fun List

@@ -1,0 +1,1 @@
+lib/prog/ast.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/prog/explore.ml: Ast Expr Hashtbl List Map String

@@ -1,0 +1,1 @@
+lib/prog/explore.mli: Ast

@@ -1,0 +1,1 @@
+lib/prog/expr.ml: Format List

@@ -1,0 +1,1 @@
+lib/prog/interp.ml: Array Ast Event Expr Format Hashtbl List Printf Rel Sched Trace

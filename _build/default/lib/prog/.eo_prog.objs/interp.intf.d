@@ -1,0 +1,1 @@
+lib/prog/interp.mli: Ast Sched Trace

@@ -1,0 +1,1 @@
+lib/prog/parse.ml: Array Ast Expr Format List Printf String

@@ -1,0 +1,1 @@
+lib/prog/progen.ml: Ast Expr Interp List Printf Random Trace

@@ -1,0 +1,1 @@
+lib/prog/progen.mli: Ast Trace

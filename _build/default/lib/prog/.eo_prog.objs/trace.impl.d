@@ -1,0 +1,1 @@
+lib/prog/trace.ml: Array Event Execution Format Fun List Printf Rel

@@ -1,0 +1,1 @@
+lib/prog/trace.mli: Event Execution Format Rel

@@ -1,0 +1,1 @@
+lib/prog/trace_io.ml: Array Buffer Event List Printf Rel String Trace

@@ -1,0 +1,1 @@
+lib/prog/trace_io.mli: Trace

@@ -1,0 +1,136 @@
+type stmt =
+  | Skip of string option
+  | Assign of string * Expr.t
+  | If of Expr.t * stmt list * stmt list
+  | While of Expr.t * stmt list
+  | Sem_p of string
+  | Sem_v of string
+  | Post of string
+  | Wait of string
+  | Clear of string
+  | Assert of Expr.t
+  | Cobegin of stmt list list
+
+type proc = { name : string; body : stmt list }
+
+type t = {
+  procs : proc list;
+  sem_init : (string * int) list;
+  binary_sems : string list;
+  ev_init : (string * bool) list;
+  var_init : (string * int) list;
+}
+
+let program ?(sem_init = []) ?(binary_sems = []) ?(ev_init = [])
+    ?(var_init = []) procs =
+  (* Normalize: every binary semaphore carries an explicit initial value,
+     so the concrete syntax (one [binsem] line per semaphore) round-trips. *)
+  let sem_init =
+    sem_init
+    @ List.filter_map
+        (fun s -> if List.mem_assoc s sem_init then None else Some (s, 0))
+        binary_sems
+  in
+  { procs; sem_init; binary_sems; ev_init; var_init }
+
+let proc name body = { name; body }
+
+let add_unique x xs = if List.mem x xs then xs else xs @ [ x ]
+
+let rec fold_stmt f acc s =
+  let acc = f acc s in
+  match s with
+  | Skip _ | Assign _ | Sem_p _ | Sem_v _ | Post _ | Wait _ | Clear _
+  | Assert _ ->
+      acc
+  | If (_, t, e) -> List.fold_left (fold_stmt f) (List.fold_left (fold_stmt f) acc t) e
+  | While (_, b) -> List.fold_left (fold_stmt f) acc b
+  | Cobegin branches ->
+      List.fold_left (fun acc b -> List.fold_left (fold_stmt f) acc b) acc
+        branches
+
+let fold_program f acc prog =
+  List.fold_left
+    (fun acc p -> List.fold_left (fold_stmt f) acc p.body)
+    acc prog.procs
+
+let semaphores prog =
+  let declared = List.map fst prog.sem_init in
+  fold_program
+    (fun acc s ->
+      match s with
+      | Sem_p name | Sem_v name -> add_unique name acc
+      | _ -> acc)
+    declared prog
+
+let event_variables prog =
+  let declared = List.map fst prog.ev_init in
+  fold_program
+    (fun acc s ->
+      match s with
+      | Post name | Wait name | Clear name -> add_unique name acc
+      | _ -> acc)
+    declared prog
+
+let shared_variables prog =
+  let declared = List.map fst prog.var_init in
+  fold_program
+    (fun acc s ->
+      match s with
+      | Assign (x, e) -> List.fold_left (Fun.flip add_unique) (add_unique x acc) (Expr.vars e)
+      | If (c, _, _) | While (c, _) | Assert c ->
+          List.fold_left (Fun.flip add_unique) acc (Expr.vars c)
+      | _ -> acc)
+    declared prog
+
+let stmt_count prog = fold_program (fun acc _ -> acc + 1) 0 prog
+
+let uses_semaphores prog = semaphores prog <> []
+
+let uses_event_sync prog = event_variables prog <> []
+
+let rec pp_stmt ppf = function
+  | Skip None -> Format.pp_print_string ppf "skip"
+  | Skip (Some label) -> Format.fprintf ppf "%s: skip" label
+  | Assign (x, e) -> Format.fprintf ppf "%s := %a" x Expr.pp e
+  | Sem_p s -> Format.fprintf ppf "p(%s)" s
+  | Sem_v s -> Format.fprintf ppf "v(%s)" s
+  | Post e -> Format.fprintf ppf "post(%s)" e
+  | Wait e -> Format.fprintf ppf "wait(%s)" e
+  | Clear e -> Format.fprintf ppf "clear(%s)" e
+  | Assert e -> Format.fprintf ppf "assert %a" Expr.pp e
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if %a {%a@]@ }" Expr.pp c pp_block t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if %a {%a@]@ @[<v 2>} else {%a@]@ }" Expr.pp
+        c pp_block t pp_block e
+  | While (c, b) ->
+      Format.fprintf ppf "@[<v 2>while %a {%a@]@ }" Expr.pp c pp_block b
+  | Cobegin branches ->
+      Format.fprintf ppf "@[<v>cobegin";
+      List.iter
+        (fun b -> Format.fprintf ppf "@ @[<v 2>{%a@]@ }" pp_block b)
+        branches;
+      Format.fprintf ppf "@ coend@]"
+
+and pp_block ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "@ %a" pp_stmt s) stmts
+
+let pp ppf prog =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (s, v) ->
+      let kind = if List.mem s prog.binary_sems then "binsem" else "sem" in
+      Format.fprintf ppf "%s %s = %d@ " kind s v)
+    prog.sem_init;
+  List.iter
+    (fun (e, b) ->
+      Format.fprintf ppf "event %s = %s@ " e (if b then "set" else "clear"))
+    prog.ev_init;
+  List.iter (fun (x, v) -> Format.fprintf ppf "var %s = %d@ " x v)
+    prog.var_init;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@[<v 2>proc %s {%a@]@ }@ " p.name pp_block p.body)
+    prog.procs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,65 @@
+(** Abstract syntax of the mini shared-memory concurrent language.
+
+    The language matches the class of programs the paper studies: fork/join
+    (as structured [cobegin]/[coend] blocks) plus either counting semaphores
+    ([P]/[V]) or event-style synchronization ([Post]/[Wait]/[Clear]), over
+    shared variables on a sequentially consistent machine. *)
+
+type stmt =
+  | Skip of string option  (** [skip], optionally labelled (["a: skip"]) *)
+  | Assign of string * Expr.t  (** [x := e] *)
+  | If of Expr.t * stmt list * stmt list  (** [if e then .. else .. fi] *)
+  | While of Expr.t * stmt list
+      (** [while e do .. od]; executions are bounded by interpreter fuel *)
+  | Sem_p of string  (** [P(s)] — blocks while the semaphore is zero *)
+  | Sem_v of string  (** [V(s)] *)
+  | Post of string  (** set the event variable *)
+  | Wait of string  (** block until the event variable is set *)
+  | Clear of string  (** reset the event variable *)
+  | Assert of Expr.t
+      (** safety check: evaluating to false is a violation (the interpreter
+          records it; {!Explore} searches for one over all executions) *)
+  | Cobegin of stmt list list
+      (** fork one child process per branch, join when all finish *)
+
+type proc = { name : string; body : stmt list }
+
+type t = {
+  procs : proc list;  (** top-level processes, started together *)
+  sem_init : (string * int) list;  (** semaphore initial values, default 0 *)
+  binary_sems : string list;
+      (** semaphores with binary semantics: a [V] on a semaphore already at
+          1 is absorbed.  Every other semaphore counts. *)
+  ev_init : (string * bool) list;  (** event variables, default clear *)
+  var_init : (string * int) list;  (** shared variables, default 0 *)
+}
+
+val program :
+  ?sem_init:(string * int) list ->
+  ?binary_sems:string list ->
+  ?ev_init:(string * bool) list ->
+  ?var_init:(string * int) list ->
+  proc list ->
+  t
+
+val proc : string -> stmt list -> proc
+
+val semaphores : t -> string list
+(** Semaphore names referenced anywhere (declared-first, then first-use
+    order). *)
+
+val event_variables : t -> string list
+
+val shared_variables : t -> string list
+
+val stmt_count : t -> int
+(** Static statement count (loop/branch bodies counted once). *)
+
+val uses_semaphores : t -> bool
+
+val uses_event_sync : t -> bool
+
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Concrete syntax accepted by {!Parse.program}. *)

@@ -1,0 +1,251 @@
+exception Unsupported of string
+
+module SMap = Map.Make (String)
+
+type work = WStmt of Ast.stmt | WJoin of int list
+
+type thr = { pid : int; work : work list; finished : bool }
+
+(* Machine states are immutable so the DFS can memoize on them;
+   [next_pid] is part of the state because child pids feed join lists. *)
+type state = {
+  store : int SMap.t;
+  sems : int SMap.t;
+  evs : bool SMap.t;
+  threads : thr list;  (* ascending pid *)
+  next_pid : int;
+}
+
+let count_saturation = 1_000_000_000_000_000_000
+
+let saturating_add a b =
+  if a >= count_saturation - b then count_saturation else a + b
+
+let reject_loops program =
+  let rec check = function
+    | Ast.While _ -> raise (Unsupported "Explore: loops make the state graph infinite")
+    | Ast.If (_, t, e) ->
+        List.iter check t;
+        List.iter check e
+    | Ast.Cobegin branches -> List.iter (List.iter check) branches
+    | Ast.Skip _ | Ast.Assign _ | Ast.Sem_p _ | Ast.Sem_v _ | Ast.Post _
+    | Ast.Wait _ | Ast.Clear _ | Ast.Assert _ ->
+        ()
+  in
+  List.iter (fun p -> List.iter check p.Ast.body) program.Ast.procs
+
+let initial_state program =
+  reject_loops program;
+  let store =
+    List.fold_left
+      (fun m (x, v) -> SMap.add x v m)
+      SMap.empty program.Ast.var_init
+  in
+  let sems =
+    List.fold_left
+      (fun m (s, v) -> SMap.add s v m)
+      SMap.empty program.Ast.sem_init
+  in
+  let evs =
+    List.fold_left
+      (fun m (e, b) -> SMap.add e b m)
+      SMap.empty program.Ast.ev_init
+  in
+  let threads =
+    List.mapi
+      (fun pid (p : Ast.proc) ->
+        { pid; work = List.map (fun s -> WStmt s) p.Ast.body; finished = false })
+      program.Ast.procs
+  in
+  { store; sems; evs; threads; next_pid = List.length threads }
+
+let lookup m k ~default = match SMap.find_opt k m with Some v -> v | None -> default
+
+let read_var st x = lookup st.store x ~default:0
+let sem_count st s = lookup st.sems s ~default:0
+let ev_set st e = lookup st.evs e ~default:false
+
+(* Threads with empty work lists are retired eagerly so joins only test the
+   [finished] flag. *)
+let normalize_threads threads =
+  List.map
+    (fun t -> if t.work = [] && not t.finished then { t with finished = true } else t)
+    threads
+
+let thread_enabled st t =
+  match t.work with
+  | [] -> false
+  | WJoin pids :: _ ->
+      List.for_all
+        (fun pid ->
+          match List.find_opt (fun t -> t.pid = pid) st.threads with
+          | Some child -> child.finished
+          | None -> false)
+        pids
+  | WStmt (Ast.Sem_p s) :: _ -> sem_count st s > 0
+  | WStmt (Ast.Wait e) :: _ -> ev_set st e
+  | WStmt _ :: _ -> true
+
+let enabled_pids st =
+  List.filter_map
+    (fun t -> if (not t.finished) && thread_enabled st t then Some t.pid else None)
+    st.threads
+
+let update_thread st pid f =
+  { st with threads = List.map (fun t -> if t.pid = pid then f t else t) st.threads }
+
+let step binary st pid =
+  let t = List.find (fun t -> t.pid = pid) st.threads in
+  match t.work with
+  | [] -> invalid_arg "Explore.step: finished thread"
+  | WJoin _ :: rest -> update_thread st pid (fun t -> { t with work = rest })
+  | WStmt s :: rest -> (
+      let continue st work = update_thread st pid (fun t -> { t with work }) in
+      match s with
+      | Ast.Skip _ -> continue st rest
+      | Ast.Assign (x, e) ->
+          let v = Expr.eval (read_var st) e in
+          continue { st with store = SMap.add x v st.store } rest
+      | Ast.If (c, then_b, else_b) ->
+          let branch =
+            if Expr.is_true (Expr.eval (read_var st) c) then then_b else else_b
+          in
+          continue st (List.map (fun s -> WStmt s) branch @ rest)
+      | Ast.While _ -> assert false (* rejected up front *)
+      | Ast.Sem_p s ->
+          continue { st with sems = SMap.add s (sem_count st s - 1) st.sems } rest
+      | Ast.Sem_v s ->
+          let next =
+            if List.mem s binary then 1 else sem_count st s + 1
+          in
+          continue { st with sems = SMap.add s next st.sems } rest
+      | Ast.Post e -> continue { st with evs = SMap.add e true st.evs } rest
+      | Ast.Clear e -> continue { st with evs = SMap.add e false st.evs } rest
+      | Ast.Wait _ -> continue st rest
+      | Ast.Assert _ -> continue st rest (* checked by [assert_can_fail] *)
+      | Ast.Cobegin branches ->
+          let children =
+            List.mapi
+              (fun i body ->
+                {
+                  pid = st.next_pid + i;
+                  work = List.map (fun s -> WStmt s) body;
+                  finished = false;
+                })
+              branches
+          in
+          let st =
+            {
+              st with
+              next_pid = st.next_pid + List.length children;
+              threads = st.threads @ children;
+            }
+          in
+          continue st (WJoin (List.map (fun c -> c.pid) children) :: rest))
+
+let step_normalized binary st pid =
+  let st = step binary st pid in
+  { st with threads = normalize_threads st.threads }
+
+(* Structural equality on Map.t distinguishes tree shapes of equal maps, so
+   hashtable keys use the canonical sorted bindings instead. *)
+let key st =
+  ( SMap.bindings st.store,
+    SMap.bindings st.sems,
+    SMap.bindings st.evs,
+    List.map (fun t -> (t.pid, t.work, t.finished)) st.threads,
+    st.next_pid )
+
+type stats = { completed_paths : int; deadlocked_paths : int; states : int }
+
+let explore program =
+  let binary = program.Ast.binary_sems in
+  let memo = Hashtbl.create 1024 in
+  let rec go st =
+    let k = key st in
+    match Hashtbl.find_opt memo k with
+    | Some r -> r
+    | None ->
+        let r =
+          match enabled_pids st with
+          | [] ->
+              if List.for_all (fun t -> t.finished) st.threads then (1, 0)
+              else (0, 1)
+          | pids ->
+              List.fold_left
+                (fun (c, d) pid ->
+                  let c', d' = go (step_normalized binary st pid) in
+                  (saturating_add c c', saturating_add d d'))
+                (0, 0) pids
+        in
+        Hashtbl.add memo k r;
+        r
+  in
+  let start =
+    let st = initial_state program in
+    { st with threads = normalize_threads st.threads }
+  in
+  let completed_paths, deadlocked_paths = go start in
+  { completed_paths; deadlocked_paths; states = Hashtbl.length memo }
+
+let completed_count program = (explore program).completed_paths
+
+let can_deadlock program = (explore program).deadlocked_paths > 0
+
+let final_stores program =
+  let binary = program.Ast.binary_sems in
+  let seen = Hashtbl.create 1024 in
+  let finals = Hashtbl.create 64 in
+  let rec go st =
+    let k = key st in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      match enabled_pids st with
+      | [] ->
+          if List.for_all (fun t -> t.finished) st.threads then
+            Hashtbl.replace finals (SMap.bindings st.store) ()
+      | pids -> List.iter (fun pid -> go (step_normalized binary st pid)) pids
+    end
+  in
+  let start =
+    let st = initial_state program in
+    { st with threads = normalize_threads st.threads }
+  in
+  go start;
+  Hashtbl.fold (fun k () acc -> k :: acc) finals [] |> List.sort compare
+
+(* Does some execution evaluate some assert to false?  Checked statically
+   over the state graph: a state where an assert is at the head of a thread
+   with a falsifying store. *)
+let assert_can_fail program =
+  let binary = program.Ast.binary_sems in
+  let seen = Hashtbl.create 1024 in
+  let found = ref false in
+  let rec go st =
+    let k = key st in
+    if (not !found) && not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      List.iter
+        (fun t ->
+          match t.work with
+          | WStmt (Ast.Assert e) :: _
+            when not (Expr.is_true (Expr.eval (read_var st) e)) ->
+              found := true
+          | _ -> ())
+        st.threads;
+      if not !found then
+        List.iter (fun pid -> go (step_normalized binary st pid)) (enabled_pids st)
+    end
+  in
+  let start =
+    let st = initial_state program in
+    { st with threads = normalize_threads st.threads }
+  in
+  go start;
+  !found
+
+let reachable_final program pred =
+  List.exists
+    (fun bindings ->
+      pred (fun x -> match List.assoc_opt x bindings with Some v -> v | None -> 0))
+    (final_stores program)

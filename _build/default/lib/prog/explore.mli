@@ -1,0 +1,52 @@
+(** Exhaustive exploration of {e all} executions of a program.
+
+    The feasibility engines ({!Skeleton}, {!Enumerate}, {!Reach}) quantify
+    over re-executions of one {e observed} trace; the related work of the
+    paper's Section 4 (Callahan–Subhlok, Emrath–Ghosh–Padua) quantifies
+    over every execution of the {e program}.  This module makes the second
+    quantifier executable: a pure small-step semantics explored with
+    memoization over machine states.
+
+    Scope: loop-free programs (the state graph is then acyclic and finite;
+    [While] raises {!Unsupported}).  Conditionals, fork/join, semaphores —
+    counting and binary — and event variables are all supported.
+
+    The relationship to the trace-level engines is the paper's Section 3
+    in executable form, and is property-tested:
+
+    - every feasible schedule of an observed trace is a program execution,
+      so [completed_count] ≥ the trace skeleton's schedule count;
+    - for programs whose processes share no variables (no dependences, no
+      data-controlled branches), the two quantifiers coincide: equal
+      execution counts, equal deadlock verdicts. *)
+
+exception Unsupported of string
+
+type stats = {
+  completed_paths : int;  (** executions running every process to the end *)
+  deadlocked_paths : int;  (** maximal executions stuck before completion *)
+  states : int;  (** distinct machine states visited *)
+}
+
+val explore : Ast.t -> stats
+(** Counts are saturating at {!count_saturation}. *)
+
+val count_saturation : int
+
+val can_deadlock : Ast.t -> bool
+
+val completed_count : Ast.t -> int
+
+val final_stores : Ast.t -> (string * int) list list
+(** The distinct shared-memory contents reachable by {e completed}
+    executions, each as a sorted association list; sorted overall.
+    Variables never assigned do not appear. *)
+
+val assert_can_fail : Ast.t -> bool
+(** Can some execution reach an [assert] whose condition evaluates to
+    false at that moment?  (The violation is checked at the assert's own
+    scheduling point, matching the interpreter's semantics.) *)
+
+val reachable_final : Ast.t -> ((string -> int) -> bool) -> bool
+(** [reachable_final prog pred]: does some completed execution end in a
+    store satisfying [pred]?  Unassigned variables read as 0. *)

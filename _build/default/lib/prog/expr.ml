@@ -1,0 +1,58 @@
+type t =
+  | Int of int
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Eq of t * t
+  | Ne of t * t
+  | Lt of t * t
+  | Le of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let is_true v = v <> 0
+
+let of_bool b = if b then 1 else 0
+
+let rec eval lookup = function
+  | Int n -> n
+  | Var v -> lookup v
+  | Add (a, b) -> eval lookup a + eval lookup b
+  | Sub (a, b) -> eval lookup a - eval lookup b
+  | Mul (a, b) -> eval lookup a * eval lookup b
+  | Eq (a, b) -> of_bool (eval lookup a = eval lookup b)
+  | Ne (a, b) -> of_bool (eval lookup a <> eval lookup b)
+  | Lt (a, b) -> of_bool (eval lookup a < eval lookup b)
+  | Le (a, b) -> of_bool (eval lookup a <= eval lookup b)
+  | And (a, b) -> of_bool (is_true (eval lookup a) && is_true (eval lookup b))
+  | Or (a, b) -> of_bool (is_true (eval lookup a) || is_true (eval lookup b))
+  | Not a -> of_bool (not (is_true (eval lookup a)))
+
+let vars e =
+  let rec go acc = function
+    | Int _ -> acc
+    | Var v -> if List.mem v acc then acc else v :: acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Ne (a, b)
+    | Lt (a, b) | Le (a, b) | And (a, b) | Or (a, b) ->
+        go (go acc a) b
+    | Not a -> go acc a
+  in
+  List.rev (go [] e)
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Var v -> Format.pp_print_string ppf v
+  | Add (a, b) -> binop ppf "+" a b
+  | Sub (a, b) -> binop ppf "-" a b
+  | Mul (a, b) -> binop ppf "*" a b
+  | Eq (a, b) -> binop ppf "=" a b
+  | Ne (a, b) -> binop ppf "!=" a b
+  | Lt (a, b) -> binop ppf "<" a b
+  | Le (a, b) -> binop ppf "<=" a b
+  | And (a, b) -> binop ppf "&&" a b
+  | Or (a, b) -> binop ppf "||" a b
+  | Not a -> Format.fprintf ppf "!(%a)" pp a
+
+and binop ppf op a b = Format.fprintf ppf "(%a %s %a)" pp a op pp b

@@ -1,0 +1,29 @@
+(** Integer expressions over shared variables.
+
+    Booleans are represented as integers: zero is false, anything else true
+    (comparison and logical operators produce 0 or 1). *)
+
+type t =
+  | Int of int
+  | Var of string  (** shared variable, default initial value 0 *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Eq of t * t
+  | Ne of t * t
+  | Lt of t * t
+  | Le of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval : (string -> int) -> t -> int
+(** [eval lookup e] evaluates [e] with [lookup] supplying variable values. *)
+
+val vars : t -> string list
+(** Shared variables read by the expression, each listed once, in first-use
+    order. *)
+
+val is_true : int -> bool
+
+val pp : Format.formatter -> t -> unit

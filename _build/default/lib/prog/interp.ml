@@ -1,0 +1,362 @@
+(* The interpreter threads a mutable machine state:
+   - [store]: shared variables (name -> value);
+   - [sems] / [evs]: synchronization objects (name -> id, id -> state);
+   - one [thread] per process, each holding a work list of pending items.
+   A [cobegin] pushes a [Join] work item under the spawned children; the
+   parent is blocked on it until every child finishes. *)
+
+type work = Stmt of Ast.stmt | Join_children of int list
+
+type thread = {
+  pid : int;
+  name : string;
+  mutable work : work list;
+  mutable finished : bool;
+  mutable last_event : int option;
+}
+
+module Names = struct
+  (* Interns names to dense ids in first-registration order. *)
+  type t = { tbl : (string, int) Hashtbl.t; mutable order : string list }
+
+  let create () = { tbl = Hashtbl.create 16; order = [] }
+
+  let id t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length t.tbl in
+        Hashtbl.add t.tbl name i;
+        t.order <- name :: t.order;
+        i
+
+  let to_array t = Array.of_list (List.rev t.order)
+end
+
+type machine = {
+  program : Ast.t;
+  store : (string, int) Hashtbl.t;
+  vars : Names.t;
+  sems : Names.t;
+  evs : Names.t;
+  mutable sem_count : int array;
+  mutable sem_binary : bool array;
+  mutable ev_set : bool array;
+  sem_init : int array;
+  ev_init : bool array;
+  mutable threads : thread list;  (* in pid order *)
+  mutable next_pid : int;
+  mutable events_rev : Event.t list;
+  mutable n_events : int;
+  mutable po_edges : (int * int) list;
+  mutable violations : int list;
+}
+
+let grow_int arr n = Array.init (max n (Array.length arr)) (fun i ->
+    if i < Array.length arr then arr.(i) else 0)
+
+let grow_bool arr n = Array.init (max n (Array.length arr)) (fun i ->
+    if i < Array.length arr then arr.(i) else false)
+
+let sem_id m name =
+  let i = Names.id m.sems name in
+  if i >= Array.length m.sem_count then begin
+    m.sem_count <- grow_int m.sem_count (i + 1);
+    m.sem_binary <- grow_bool m.sem_binary (i + 1)
+  end;
+  i
+
+let ev_id m name =
+  let i = Names.id m.evs name in
+  if i >= Array.length m.ev_set then m.ev_set <- grow_bool m.ev_set (i + 1);
+  i
+
+let var_id m name = Names.id m.vars name
+
+let lookup_var m name =
+  let (_ : int) = var_id m name in
+  match Hashtbl.find_opt m.store name with Some v -> v | None -> 0
+
+let set_var m name v =
+  let (_ : int) = var_id m name in
+  Hashtbl.replace m.store name v
+
+let init_machine program =
+  let m =
+    {
+      program;
+      store = Hashtbl.create 16;
+      vars = Names.create ();
+      sems = Names.create ();
+      evs = Names.create ();
+      sem_count = [||];
+      sem_binary = [||];
+      ev_set = [||];
+      sem_init = [||];
+      ev_init = [||];
+      threads = [];
+      next_pid = 0;
+      events_rev = [];
+      n_events = 0;
+      po_edges = [];
+      violations = [];
+    }
+  in
+  List.iter (fun (x, v) -> set_var m x v) program.Ast.var_init;
+  (* Register declared sync objects first so their ids are stable, then every
+     referenced one (default initial value). *)
+  List.iter (fun (s, _) -> ignore (sem_id m s)) program.Ast.sem_init;
+  List.iter (fun (e, _) -> ignore (ev_id m e)) program.Ast.ev_init;
+  List.iter (fun s -> ignore (sem_id m s)) (Ast.semaphores program);
+  List.iter (fun e -> ignore (ev_id m e)) (Ast.event_variables program);
+  List.iter
+    (fun (s, v) -> m.sem_count.(sem_id m s) <- v)
+    program.Ast.sem_init;
+  List.iter
+    (fun s -> m.sem_binary.(sem_id m s) <- true)
+    program.Ast.binary_sems;
+  List.iter (fun (e, b) -> m.ev_set.(ev_id m e) <- b) program.Ast.ev_init;
+  let sem_init = Array.copy m.sem_count in
+  let ev_init = Array.copy m.ev_set in
+  let threads =
+    List.map
+      (fun (p : Ast.proc) ->
+        let pid = m.next_pid in
+        m.next_pid <- pid + 1;
+        {
+          pid;
+          name = p.Ast.name;
+          work = List.map (fun s -> Stmt s) p.Ast.body;
+          finished = false;
+          last_event = None;
+        })
+      program.Ast.procs
+  in
+  m.threads <- threads;
+  { m with sem_init; ev_init }
+
+let thread_by_pid m pid = List.find (fun t -> t.pid = pid) m.threads
+
+let emit m thread ~kind ~label ~reads ~writes =
+  let seq =
+    List.length
+      (List.filter (fun e -> e.Event.pid = thread.pid) m.events_rev)
+  in
+  let id = m.n_events in
+  let e = Event.make ~id ~pid:thread.pid ~seq ~kind ~label ~reads ~writes () in
+  m.events_rev <- e :: m.events_rev;
+  m.n_events <- id + 1;
+  (match thread.last_event with
+  | Some prev -> m.po_edges <- (prev, id) :: m.po_edges
+  | None -> ());
+  thread.last_event <- Some id;
+  e
+
+let enabled_work m thread =
+  match thread.work with
+  | [] -> false
+  | Join_children pids :: _ ->
+      List.for_all (fun pid -> (thread_by_pid m pid).finished) pids
+  | Stmt (Ast.Sem_p s) :: _ -> m.sem_count.(sem_id m s) > 0
+  | Stmt (Ast.Wait e) :: _ -> m.ev_set.(ev_id m e)
+  | Stmt _ :: _ -> true
+
+let read_ids m names = List.map (var_id m) names
+
+let step m thread =
+  match thread.work with
+  | [] -> assert false
+  | Join_children pids :: rest ->
+      let (_ : Event.t) =
+        emit m thread ~kind:(Event.Sync Event.Join) ~label:"join" ~reads:[]
+          ~writes:[]
+      in
+      (* Program order: last event of each child precedes the join. *)
+      let join_id = m.n_events - 1 in
+      List.iter
+        (fun pid ->
+          match (thread_by_pid m pid).last_event with
+          | Some last when last <> join_id ->
+              if not (List.mem (last, join_id) m.po_edges) then
+                m.po_edges <- (last, join_id) :: m.po_edges
+          | _ -> ())
+        pids;
+      thread.work <- rest
+  | Stmt s :: rest -> (
+      let continue work = thread.work <- work in
+      match s with
+      | Ast.Skip label_opt ->
+          let label =
+            match label_opt with Some l -> l | None -> "skip"
+          in
+          let (_ : Event.t) =
+            emit m thread ~kind:Event.Computation ~label ~reads:[] ~writes:[]
+          in
+          continue rest
+      | Ast.Assign (x, e) ->
+          let v = Expr.eval (lookup_var m) e in
+          let reads = read_ids m (Expr.vars e) in
+          let writes = [ var_id m x ] in
+          set_var m x v;
+          let label = Format.asprintf "%s := %a" x Expr.pp e in
+          let (_ : Event.t) =
+            emit m thread ~kind:Event.Computation ~label ~reads ~writes
+          in
+          continue rest
+      | Ast.If (c, then_b, else_b) ->
+          let v = Expr.eval (lookup_var m) c in
+          let reads = read_ids m (Expr.vars c) in
+          let label = Format.asprintf "if %a" Expr.pp c in
+          let (_ : Event.t) =
+            emit m thread ~kind:Event.Computation ~label ~reads ~writes:[]
+          in
+          let branch = if Expr.is_true v then then_b else else_b in
+          continue (List.map (fun s -> Stmt s) branch @ rest)
+      | Ast.While (c, body) ->
+          let v = Expr.eval (lookup_var m) c in
+          let reads = read_ids m (Expr.vars c) in
+          let label = Format.asprintf "while %a" Expr.pp c in
+          let (_ : Event.t) =
+            emit m thread ~kind:Event.Computation ~label ~reads ~writes:[]
+          in
+          if Expr.is_true v then
+            continue (List.map (fun s -> Stmt s) body @ (Stmt s :: rest))
+          else continue rest
+      | Ast.Sem_p name ->
+          let sid = sem_id m name in
+          assert (m.sem_count.(sid) > 0);
+          m.sem_count.(sid) <- m.sem_count.(sid) - 1;
+          let (_ : Event.t) =
+            emit m thread
+              ~kind:(Event.Sync (Event.Sem_p sid))
+              ~label:(Printf.sprintf "P(%s)" name)
+              ~reads:[] ~writes:[]
+          in
+          continue rest
+      | Ast.Sem_v name ->
+          let sid = sem_id m name in
+          (* Binary semaphores absorb a V when already at 1. *)
+          if m.sem_binary.(sid) then m.sem_count.(sid) <- 1
+          else m.sem_count.(sid) <- m.sem_count.(sid) + 1;
+          let (_ : Event.t) =
+            emit m thread
+              ~kind:(Event.Sync (Event.Sem_v sid))
+              ~label:(Printf.sprintf "V(%s)" name)
+              ~reads:[] ~writes:[]
+          in
+          continue rest
+      | Ast.Post name ->
+          let eid = ev_id m name in
+          m.ev_set.(eid) <- true;
+          let (_ : Event.t) =
+            emit m thread
+              ~kind:(Event.Sync (Event.Post eid))
+              ~label:(Printf.sprintf "Post(%s)" name)
+              ~reads:[] ~writes:[]
+          in
+          continue rest
+      | Ast.Wait name ->
+          let eid = ev_id m name in
+          assert m.ev_set.(eid);
+          let (_ : Event.t) =
+            emit m thread
+              ~kind:(Event.Sync (Event.Wait eid))
+              ~label:(Printf.sprintf "Wait(%s)" name)
+              ~reads:[] ~writes:[]
+          in
+          continue rest
+      | Ast.Clear name ->
+          let eid = ev_id m name in
+          m.ev_set.(eid) <- false;
+          let (_ : Event.t) =
+            emit m thread
+              ~kind:(Event.Sync (Event.Clear eid))
+              ~label:(Printf.sprintf "Clear(%s)" name)
+              ~reads:[] ~writes:[]
+          in
+          continue rest
+      | Ast.Assert e ->
+          let v = Expr.eval (lookup_var m) e in
+          let reads = read_ids m (Expr.vars e) in
+          let label = Format.asprintf "assert %a" Expr.pp e in
+          let (_ : Event.t) =
+            emit m thread ~kind:Event.Computation ~label ~reads ~writes:[]
+          in
+          if not (Expr.is_true v) then
+            m.violations <- (m.n_events - 1) :: m.violations;
+          continue rest
+      | Ast.Cobegin branches ->
+          let (_ : Event.t) =
+            emit m thread ~kind:(Event.Sync Event.Fork) ~label:"fork"
+              ~reads:[] ~writes:[]
+          in
+          let fork_id = m.n_events - 1 in
+          let children =
+            List.mapi
+              (fun i body ->
+                let pid = m.next_pid in
+                m.next_pid <- pid + 1;
+                {
+                  pid;
+                  name = Printf.sprintf "%s/%d" thread.name i;
+                  work = List.map (fun s -> Stmt s) body;
+                  finished = false;
+                  (* The fork event is the program-order predecessor of the
+                     child's first event. *)
+                  last_event = Some fork_id;
+                })
+              branches
+          in
+          m.threads <- m.threads @ children;
+          continue (Join_children (List.map (fun t -> t.pid) children) :: rest))
+
+let run ?(fuel = 100_000) ?(policy = Sched.Round_robin) program =
+  let m = init_machine program in
+  let chooser = Sched.make policy in
+  let rec loop steps =
+    List.iter
+      (fun t -> if t.work = [] && not t.finished then t.finished <- true)
+      m.threads;
+    let enabled =
+      List.filter (fun t -> (not t.finished) && enabled_work m t) m.threads
+      |> List.map (fun t -> t.pid)
+      |> List.sort compare
+    in
+    match enabled with
+    | [] ->
+        if List.for_all (fun t -> t.finished) m.threads then Trace.Completed
+        else
+          Trace.Deadlocked
+            (List.filter (fun t -> not t.finished) m.threads
+            |> List.map (fun t -> t.pid))
+    | _ when steps >= fuel -> Trace.Fuel_exhausted
+    | _ ->
+        let pid = Sched.choose chooser ~step:steps ~enabled in
+        step m (thread_by_pid m pid);
+        loop (steps + 1)
+  in
+  let outcome = loop 0 in
+  let events = Array.of_list (List.rev m.events_rev) in
+  let program_order = Rel.of_pairs (Array.length events) m.po_edges in
+  let final_store =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.store []
+    |> List.sort compare
+  in
+  {
+    Trace.events;
+    program_order;
+    outcome;
+    violations = List.rev m.violations;
+    var_names = Names.to_array m.vars;
+    sem_names = Names.to_array m.sems;
+    ev_names = Names.to_array m.evs;
+    sem_init = m.sem_init;
+    sem_binary = Array.copy m.sem_binary;
+    ev_init = m.ev_init;
+    final_store;
+    process_names = List.map (fun t -> (t.pid, t.name)) m.threads;
+  }
+
+let run_random ~seed ?fuel program = run ?fuel ~policy:(Sched.Random seed) program
+
+let final_value trace name = List.assoc_opt name trace.Trace.final_store

@@ -1,0 +1,29 @@
+(** Sequentially consistent interpreter.
+
+    Executes a program as an interleaving of atomic statement instances —
+    the standard operational rendering of Lamport's sequential consistency —
+    and records the observed execution as a {!Trace.t}.  Each executed
+    statement instance becomes one event:
+
+    - [skip], assignments and condition evaluations of [if]/[while] become
+      computation events carrying their shared-variable read/write sets;
+    - [P]/[V]/[Post]/[Wait]/[Clear] become synchronization events;
+    - [cobegin] emits a fork event and spawns one child process per branch;
+      when every child has finished, the parent emits the matching join
+      event.
+
+    The paper groups maximal runs of non-synchronization statements into a
+    single computation event; we keep one event per statement instance.  The
+    granularities are interchangeable for every analysis in this repository
+    (a coarser event is exactly the po-chain of its statements). *)
+
+val run : ?fuel:int -> ?policy:Sched.policy -> Ast.t -> Trace.t
+(** [run prog] executes to completion, deadlock, or fuel exhaustion
+    ([fuel] bounds the total number of events, default [100_000]; [policy]
+    defaults to [Round_robin]). *)
+
+val run_random : seed:int -> ?fuel:int -> Ast.t -> Trace.t
+(** Shorthand for [run ~policy:(Random seed)]. *)
+
+val final_value : Trace.t -> string -> int option
+(** Value of a shared variable in the final store. *)

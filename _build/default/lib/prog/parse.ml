@@ -1,0 +1,397 @@
+exception Syntax_error of { line : int; message : string }
+
+let error line fmt =
+  Format.kasprintf (fun message -> raise (Syntax_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Assign_op  (* := *)
+  | Colon
+  | Semicolon
+  | Plus
+  | Minus
+  | Star
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | AndAnd
+  | OrOr
+  | Bang
+  | Eof
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Assign_op -> "':='"
+  | Colon -> "':'"
+  | Semicolon -> "';'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Eq -> "'='"
+  | Neq -> "'!='"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | AndAnd -> "'&&'"
+  | OrOr -> "'||'"
+  | Bang -> "'!'"
+  | Eof -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let lex text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = tokens := (tok, !line) :: !tokens in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit text.[!i] do
+        incr i
+      done;
+      push (Int (int_of_string (String.sub text start (!i - start))))
+    end
+    else if is_ident_char c && not (is_digit c) then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub text start (!i - start)))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub text !i 2 else ""
+      in
+      match two with
+      | ":=" -> push Assign_op; i := !i + 2
+      | "!=" -> push Neq; i := !i + 2
+      | "<=" -> push Le; i := !i + 2
+      | "&&" -> push AndAnd; i := !i + 2
+      | "||" -> push OrOr; i := !i + 2
+      | _ -> (
+          (match c with
+          | '{' -> push Lbrace
+          | '}' -> push Rbrace
+          | '(' -> push Lparen
+          | ')' -> push Rparen
+          | ':' -> push Colon
+          | ';' -> push Semicolon
+          | '+' -> push Plus
+          | '-' -> push Minus
+          | '*' -> push Star
+          | '=' -> push Eq
+          | '<' -> push Lt
+          | '!' -> push Bang
+          | _ -> error !line "unexpected character %C" c);
+          incr i)
+    end
+  done;
+  push Eof;
+  Array.of_list (List.rev !tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { tokens : (token * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+
+let peek_line st = snd st.tokens.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error (peek_line st) "expected %s but found %s" (token_name tok)
+      (token_name (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Ident s -> advance st; s
+  | t -> error (peek_line st) "expected an identifier but found %s" (token_name t)
+
+let skip_separators st =
+  while peek st = Semicolon do
+    advance st
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                    *)
+(*   || < && < comparisons < + - < * < unary                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if peek st = OrOr then begin
+    advance st;
+    Expr.Or (lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if peek st = AndAnd then begin
+    advance st;
+    Expr.And (lhs, parse_and st)
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | Eq -> advance st; Expr.Eq (lhs, parse_add st)
+  | Neq -> advance st; Expr.Ne (lhs, parse_add st)
+  | Lt -> advance st; Expr.Lt (lhs, parse_add st)
+  | Le -> advance st; Expr.Le (lhs, parse_add st)
+  | _ -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Plus -> advance st; go (Expr.Add (lhs, parse_mul st))
+    | Minus -> advance st; go (Expr.Sub (lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Star -> advance st; go (Expr.Mul (lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Bang ->
+      advance st;
+      Expr.Not (parse_unary st)
+  | Minus -> (
+      advance st;
+      (* Fold a negated literal so printed negative constants round-trip. *)
+      match peek st with
+      | Int n ->
+          advance st;
+          Expr.Int (-n)
+      | _ -> Expr.Sub (Expr.Int 0, parse_unary st))
+  | Int n ->
+      advance st;
+      Expr.Int n
+  | Ident v ->
+      advance st;
+      Expr.Var v
+  | Lparen ->
+      advance st;
+      let e = parse_or st in
+      expect st Rparen;
+      e
+  | t -> error (peek_line st) "expected an expression but found %s" (token_name t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sync_call st keyword =
+  ignore keyword;
+  expect st Lparen;
+  let name = expect_ident st in
+  expect st Rparen;
+  name
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Ident "skip" ->
+      advance st;
+      Ast.Skip None
+  | Ident "p" when fst st.tokens.(st.pos + 1) = Lparen ->
+      advance st;
+      Ast.Sem_p (sync_call st "p")
+  | Ident "v" when fst st.tokens.(st.pos + 1) = Lparen ->
+      advance st;
+      Ast.Sem_v (sync_call st "v")
+  | Ident "post" when fst st.tokens.(st.pos + 1) = Lparen ->
+      advance st;
+      Ast.Post (sync_call st "post")
+  | Ident "wait" when fst st.tokens.(st.pos + 1) = Lparen ->
+      advance st;
+      Ast.Wait (sync_call st "wait")
+  | Ident "clear" when fst st.tokens.(st.pos + 1) = Lparen ->
+      advance st;
+      Ast.Clear (sync_call st "clear")
+  | Ident "if" ->
+      advance st;
+      let cond = parse_or st in
+      let then_b = parse_block st in
+      let else_b =
+        if peek st = Ident "else" then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      Ast.If (cond, then_b, else_b)
+  | Ident "while" ->
+      advance st;
+      let cond = parse_or st in
+      let body = parse_block st in
+      Ast.While (cond, body)
+  | Ident "assert" ->
+      advance st;
+      Ast.Assert (parse_or st)
+  | Ident "cobegin" ->
+      advance st;
+      let branches = ref [] in
+      while peek st = Lbrace do
+        branches := parse_block st :: !branches
+      done;
+      expect st (Ident "coend");
+      Ast.Cobegin (List.rev !branches)
+  | Ident name when fst st.tokens.(st.pos + 1) = Colon ->
+      (* label: skip *)
+      advance st;
+      advance st;
+      expect st (Ident "skip");
+      Ast.Skip (Some name)
+  | Ident name when fst st.tokens.(st.pos + 1) = Assign_op ->
+      advance st;
+      advance st;
+      Ast.Assign (name, parse_or st)
+  | t -> error (peek_line st) "expected a statement but found %s" (token_name t)
+
+and parse_block st =
+  expect st Lbrace;
+  let stmts = ref [] in
+  skip_separators st;
+  while peek st <> Rbrace do
+    stmts := parse_stmt st :: !stmts;
+    skip_separators st
+  done;
+  expect st Rbrace;
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and programs                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_program st =
+  let sem_init = ref [] in
+  let binary_sems = ref [] in
+  let ev_init = ref [] in
+  let var_init = ref [] in
+  let procs = ref [] in
+  skip_separators st;
+  while peek st <> Eof do
+    (match peek st with
+    | Ident (("sem" | "binsem") as kw) ->
+        advance st;
+        let name = expect_ident st in
+        expect st Eq;
+        let value =
+          match peek st with
+          | Int n -> advance st; n
+          | t -> error (peek_line st) "expected an integer but found %s" (token_name t)
+        in
+        if kw = "binsem" then begin
+          if value > 1 then
+            error (peek_line st) "binary semaphore %s initialized above 1" name;
+          binary_sems := name :: !binary_sems
+        end;
+        sem_init := (name, value) :: !sem_init
+    | Ident "event" ->
+        advance st;
+        let name = expect_ident st in
+        expect st Eq;
+        let value =
+          match peek st with
+          | Ident "set" -> advance st; true
+          | Ident "clear" -> advance st; false
+          | t ->
+              error (peek_line st) "expected 'set' or 'clear' but found %s"
+                (token_name t)
+        in
+        ev_init := (name, value) :: !ev_init
+    | Ident "var" ->
+        advance st;
+        let name = expect_ident st in
+        expect st Eq;
+        let value =
+          match peek st with
+          | Int n -> advance st; n
+          | Minus -> (
+              advance st;
+              match peek st with
+              | Int n -> advance st; -n
+              | t ->
+                  error (peek_line st) "expected an integer but found %s"
+                    (token_name t))
+          | t -> error (peek_line st) "expected an integer but found %s" (token_name t)
+        in
+        var_init := (name, value) :: !var_init
+    | Ident "proc" ->
+        advance st;
+        let name = expect_ident st in
+        let body = parse_block st in
+        procs := Ast.proc name body :: !procs
+    | t ->
+        error (peek_line st)
+          "expected 'sem', 'binsem', 'event', 'var' or 'proc' but found %s"
+          (token_name t));
+    skip_separators st
+  done;
+  if !procs = [] then error (peek_line st) "program has no processes";
+  Ast.program ~sem_init:(List.rev !sem_init)
+    ~binary_sems:(List.rev !binary_sems) ~ev_init:(List.rev !ev_init)
+    ~var_init:(List.rev !var_init) (List.rev !procs)
+
+let program text =
+  let st = { tokens = lex text; pos = 0 } in
+  parse_program st
+
+let program_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  program text
+
+let expr text =
+  let st = { tokens = lex text; pos = 0 } in
+  let e = parse_or st in
+  expect st Eof;
+  e

@@ -1,0 +1,34 @@
+(** Parser for the concrete syntax of the mini language.
+
+    The syntax mirrors {!Ast.pp}:
+
+    {v
+    sem mutex = 1
+    event done = clear
+    var x = 0
+
+    proc main {
+      a: skip
+      x := x + 1
+      if x = 1 { post(done) } else { wait(done) }
+      while x < 3 { x := x + 1 }
+      p(mutex)
+      v(mutex)
+      cobegin { x := 2 } { x := 3 } coend
+    }
+    v}
+
+    Statements are separated by newlines or optional semicolons.  Comments
+    run from [#] to end of line.  Declarations ([sem]/[event]/[var]) are
+    optional; undeclared semaphores start at 0, event variables start clear,
+    shared variables start at 0. *)
+
+exception Syntax_error of { line : int; message : string }
+
+val program : string -> Ast.t
+(** Parses a full program from source text.  Raises {!Syntax_error}. *)
+
+val program_file : string -> Ast.t
+
+val expr : string -> Expr.t
+(** Parses a single expression (for tests and the CLI). *)

@@ -1,0 +1,88 @@
+type config = {
+  processes : int * int;
+  stmts_per_process : int * int;
+  shared_vars : int;
+  semaphores : int;
+  binary_semaphores : bool;
+  event_variables : int;
+}
+
+let default_config =
+  {
+    processes = (2, 3);
+    stmts_per_process = (1, 3);
+    shared_vars = 2;
+    semaphores = 1;
+    binary_semaphores = false;
+    event_variables = 1;
+  }
+
+let in_range rng (lo, hi) =
+  if hi < lo then invalid_arg "Progen: empty range";
+  lo + Random.State.int rng (hi - lo + 1)
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let gen_stmt cfg rng =
+  let var i = Printf.sprintf "x%d" i in
+  let any_var () = var (Random.State.int rng (max 1 cfg.shared_vars)) in
+  let sem () = Printf.sprintf "s%d" (Random.State.int rng (max 1 cfg.semaphores)) in
+  let ev () = Printf.sprintf "e%d" (Random.State.int rng (max 1 cfg.event_variables)) in
+  let choices =
+    List.concat
+      [
+        (if cfg.shared_vars > 0 then
+           [
+             (fun () -> Ast.Assign (any_var (), Expr.Int (Random.State.int rng 5)));
+             (fun () ->
+               Ast.Assign (any_var (), Expr.Add (Expr.Var (any_var ()), Expr.Int 1)));
+             (fun () -> Ast.Skip None);
+           ]
+         else [ (fun () -> Ast.Skip None) ]);
+        (if cfg.semaphores > 0 then
+           [ (fun () -> Ast.Sem_p (sem ())); (fun () -> Ast.Sem_v (sem ())) ]
+         else []);
+        (if cfg.event_variables > 0 then
+           [
+             (fun () -> Ast.Post (ev ()));
+             (fun () -> Ast.Wait (ev ()));
+             (fun () -> Ast.Clear (ev ()));
+           ]
+         else []);
+      ]
+  in
+  (pick rng choices) ()
+
+let generate cfg ~seed =
+  let rng = Random.State.make [| seed |] in
+  let n_procs = in_range rng cfg.processes in
+  let procs =
+    List.init n_procs (fun i ->
+        let n_stmts = in_range rng cfg.stmts_per_process in
+        Ast.proc
+          (Printf.sprintf "p%d" i)
+          (List.init n_stmts (fun _ -> gen_stmt cfg rng)))
+  in
+  let sem_names = List.init cfg.semaphores (Printf.sprintf "s%d") in
+  let sem_init =
+    List.map (fun s -> (s, Random.State.int rng 2)) sem_names
+  in
+  let ev_init =
+    List.init cfg.event_variables (fun i ->
+        (Printf.sprintf "e%d" i, Random.State.bool rng))
+  in
+  Ast.program ~sem_init
+    ~binary_sems:(if cfg.binary_semaphores then sem_names else [])
+    ~ev_init procs
+
+let generate_completing ?(max_attempts = 1000) cfg ~seed =
+  let rec go attempt seed =
+    if attempt >= max_attempts then
+      failwith "Progen.generate_completing: too many deadlocking programs"
+    else
+      let t = Interp.run (generate cfg ~seed) in
+      match t.Trace.outcome with
+      | Trace.Completed -> t
+      | _ -> go (attempt + 1) (seed + 1_000_003)
+  in
+  go 0 seed

@@ -1,0 +1,27 @@
+(** Seeded random program generation, for differential testing of the
+    analysis engines (see the [eventorder fuzz] subcommand).
+
+    Generated programs draw from the paper's program class: straight-line
+    bodies over shared variables, counting/binary semaphores and
+    Post/Wait/Clear operations.  Everything is a pure function of the
+    configuration and seed. *)
+
+type config = {
+  processes : int * int;  (** inclusive range of top-level process counts *)
+  stmts_per_process : int * int;
+  shared_vars : int;  (** variables [x0 .. x(k-1)] *)
+  semaphores : int;  (** semaphores [s0 ..], initial value 0 or 1 *)
+  binary_semaphores : bool;  (** declare generated semaphores binary *)
+  event_variables : int;  (** event variables [e0 ..] *)
+}
+
+val default_config : config
+(** 2–3 processes, 1–3 statements each, 2 variables, 1 semaphore, 1 event
+    variable — small enough for the exhaustive engines. *)
+
+val generate : config -> seed:int -> Ast.t
+
+val generate_completing : ?max_attempts:int -> config -> seed:int -> Trace.t
+(** Generates programs until one completes under round-robin (discarding
+    deadlocking draws) and returns its trace.  Raises [Failure] after
+    [max_attempts] (default 1000) consecutive deadlocks. *)

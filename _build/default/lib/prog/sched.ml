@@ -1,0 +1,45 @@
+type policy = Round_robin | Random of int | Priority | Replay of int list
+
+exception Replay_impossible of { step : int; wanted : int; enabled : int list }
+
+type state =
+  | Rr of int ref  (* last pid scheduled *)
+  | Rand of Random.State.t
+  | Prio
+  | Rep of int list ref
+
+type t = state
+
+let make = function
+  | Round_robin -> Rr (ref (-1))
+  | Random seed -> Rand (Random.State.make [| seed |])
+  | Priority -> Prio
+  | Replay pids -> Rep (ref pids)
+
+let choose t ~step ~enabled =
+  match enabled with
+  | [] -> invalid_arg "Sched.choose: no enabled process"
+  | _ -> (
+      match t with
+      | Prio -> List.hd enabled
+      | Rand rng -> List.nth enabled (Random.State.int rng (List.length enabled))
+      | Rr last ->
+          (* First enabled pid strictly greater than the previous choice,
+             wrapping around. *)
+          let pid =
+            match List.find_opt (fun p -> p > !last) enabled with
+            | Some p -> p
+            | None -> List.hd enabled
+          in
+          last := pid;
+          pid
+      | Rep remaining -> (
+          match !remaining with
+          | [] ->
+              raise (Replay_impossible { step; wanted = -1; enabled })
+          | pid :: rest ->
+              if List.mem pid enabled then begin
+                remaining := rest;
+                pid
+              end
+              else raise (Replay_impossible { step; wanted = pid; enabled })))

@@ -1,0 +1,25 @@
+(** Scheduling policies for the sequentially consistent interpreter.
+
+    At every step the interpreter computes the set of processes whose next
+    action is enabled and asks the policy to pick one.  Different policies
+    realize different temporal orderings of the same program — the
+    nondeterministic timing variations the paper studies. *)
+
+type policy =
+  | Round_robin
+      (** cycle through processes, skipping blocked ones (deterministic) *)
+  | Random of int  (** uniformly random among enabled; seeded, deterministic *)
+  | Priority  (** always the enabled process with the smallest pid *)
+  | Replay of int list
+      (** follow the given pid sequence exactly; raises
+          {!Replay_impossible} if the scheduled pid is not enabled *)
+
+exception Replay_impossible of { step : int; wanted : int; enabled : int list }
+
+type t
+(** A stateful chooser instantiated from a policy. *)
+
+val make : policy -> t
+
+val choose : t -> step:int -> enabled:int list -> int
+(** Picks one pid from [enabled] (non-empty, ascending order). *)

@@ -1,0 +1,63 @@
+type outcome = Completed | Deadlocked of int list | Fuel_exhausted
+
+type t = {
+  events : Event.t array;
+  program_order : Rel.t;
+  outcome : outcome;
+  violations : int list;
+  var_names : string array;
+  sem_names : string array;
+  ev_names : string array;
+  sem_init : int array;
+  sem_binary : bool array;
+  ev_init : bool array;
+  final_store : (string * int) list;
+  process_names : (int * string) list;
+}
+
+let n_events t = Array.length t.events
+
+let schedule t = Array.init (n_events t) Fun.id
+
+let to_execution t =
+  Execution.of_schedule ~events:t.events ~program_order:t.program_order
+    ~schedule:(schedule t) ~sem_init:t.sem_init ~sem_binary:t.sem_binary
+    ~ev_init:t.ev_init ~num_shared_vars:(Array.length t.var_names) ()
+
+let find_event_opt t label =
+  match
+    Array.to_list t.events
+    |> List.filter (fun e -> e.Event.label = label)
+  with
+  | [] -> None
+  | [ e ] -> Some e
+  | _ :: _ -> invalid_arg ("Trace.find_event: ambiguous label " ^ label)
+
+let find_event t label =
+  match find_event_opt t label with
+  | Some e -> e
+  | None -> raise Not_found
+
+let pp_outcome ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Deadlocked pids ->
+      Format.fprintf ppf "deadlocked (blocked pids: %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        pids
+  | Fuel_exhausted -> Format.pp_print_string ppf "fuel exhausted"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace: %d events, %a@ " (n_events t) pp_outcome
+    t.outcome;
+  Array.iteri
+    (fun i e ->
+      let name =
+        match List.assoc_opt e.Event.pid t.process_names with
+        | Some n -> n
+        | None -> Printf.sprintf "p%d" e.Event.pid
+      in
+      Format.fprintf ppf "%3d  %-12s %s@ " i name e.Event.label)
+    t.events;
+  Format.fprintf ppf "@]"

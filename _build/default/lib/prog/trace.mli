@@ -1,0 +1,49 @@
+(** Traces: the observed program executions produced by the interpreter.
+
+    A trace records the events in the order they executed (event ids are
+    assigned in schedule order, so the schedule is the identity permutation),
+    the immediate program-order edges, the synchronization environment, and
+    the run's outcome. *)
+
+type outcome =
+  | Completed
+  | Deadlocked of int list  (** pids of the blocked, unfinished processes *)
+  | Fuel_exhausted
+
+type t = {
+  events : Event.t array;
+  program_order : Rel.t;  (** immediate edges, see {!Execution.t} *)
+  outcome : outcome;
+  violations : int list;
+      (** event ids of [assert] statements that evaluated to false in this
+          run (the run continues past a violation; an empty list means every
+          executed assertion held) *)
+  var_names : string array;  (** shared-variable id -> source name *)
+  sem_names : string array;
+  ev_names : string array;
+  sem_init : int array;
+  sem_binary : bool array;  (** see {!Execution.t} *)
+  ev_init : bool array;
+  final_store : (string * int) list;  (** shared memory after the run *)
+  process_names : (int * string) list;
+      (** pid -> source name; forked children are named
+          ["<parent>/<branch-index>"] *)
+}
+
+val n_events : t -> int
+
+val schedule : t -> int array
+(** The identity permutation over the events — ids are in execution order. *)
+
+val to_execution : t -> Execution.t
+(** The observed execution [<E, T, D>]: [T] is the total order in which the
+    events ran, [D] the dependences computed from the access sets. *)
+
+val find_event : t -> string -> Event.t
+(** Event with the given label.  Raises [Not_found] if absent, or
+    [Invalid_argument] if the label is ambiguous. *)
+
+val find_event_opt : t -> string -> Event.t option
+
+val pp : Format.formatter -> t -> unit
+(** One line per event: schedule position, process, label, accesses. *)

@@ -1,0 +1,245 @@
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let kind_tokens = function
+  | Event.Computation -> [ "computation" ]
+  | Event.Sync (Event.Sem_p s) -> [ "sem_p"; string_of_int s ]
+  | Event.Sync (Event.Sem_v s) -> [ "sem_v"; string_of_int s ]
+  | Event.Sync (Event.Post v) -> [ "post"; string_of_int v ]
+  | Event.Sync (Event.Wait v) -> [ "wait"; string_of_int v ]
+  | Event.Sync (Event.Clear v) -> [ "clear"; string_of_int v ]
+  | Event.Sync Event.Fork -> [ "fork" ]
+  | Event.Sync Event.Join -> [ "join" ]
+
+let to_string (t : Trace.t) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "eotrace 1";
+  (match t.Trace.outcome with
+  | Trace.Completed -> line "outcome completed"
+  | Trace.Fuel_exhausted -> line "outcome fuel_exhausted"
+  | Trace.Deadlocked pids ->
+      line "outcome deadlocked %s"
+        (String.concat " " (List.map string_of_int pids)));
+  line "vars %s" (String.concat " " (Array.to_list t.Trace.var_names));
+  line "sems %s"
+    (String.concat " "
+       (List.mapi
+          (fun i name -> if t.Trace.sem_binary.(i) then name ^ "*" else name)
+          (Array.to_list t.Trace.sem_names)));
+  line "events %s" (String.concat " " (Array.to_list t.Trace.ev_names));
+  line "sem_init %s"
+    (String.concat " " (List.map string_of_int (Array.to_list t.Trace.sem_init)));
+  line "ev_init %s"
+    (String.concat " "
+       (List.map (fun v -> if v then "1" else "0") (Array.to_list t.Trace.ev_init)));
+  List.iter
+    (fun (pid, name) -> line "process %d %s" pid name)
+    t.Trace.process_names;
+  Array.iter
+    (fun e ->
+      line "event %d %d %d %s %s reads %s writes %s" e.Event.id e.Event.pid
+        e.Event.seq
+        (String.concat " " (kind_tokens e.Event.kind))
+        (quote e.Event.label)
+        (String.concat " " (List.map string_of_int e.Event.reads))
+        (String.concat " " (List.map string_of_int e.Event.writes)))
+    t.Trace.events;
+  Rel.iter (fun a b -> line "po %d %d" a b) t.Trace.program_order;
+  List.iter (fun e -> line "violation %d" e) t.Trace.violations;
+  List.iter (fun (x, v) -> line "final %s %d" x v) t.Trace.final_store;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Splits a line into whitespace-separated tokens, treating a double-quoted
+   section (with backslash escapes) as a single token. *)
+let tokenize lineno line =
+  let n = String.length line in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && line.[!i] = ' ' do incr i done;
+    if !i < n then
+      if line.[!i] = '"' then begin
+        incr i;
+        let b = Buffer.create 16 in
+        let closed = ref false in
+        while !i < n && not !closed do
+          (match line.[!i] with
+          | '\\' when !i + 1 < n ->
+              incr i;
+              (match line.[!i] with
+              | 'n' -> Buffer.add_char b '\n'
+              | c -> Buffer.add_char b c)
+          | '"' -> closed := true
+          | c -> Buffer.add_char b c);
+          incr i
+        done;
+        if not !closed then
+          failwith (Printf.sprintf "line %d: unterminated string" lineno);
+        tokens := Buffer.contents b :: !tokens
+      end
+      else begin
+        let start = !i in
+        while !i < n && line.[!i] <> ' ' do incr i done;
+        tokens := String.sub line start (!i - start) :: !tokens
+      end
+  done;
+  List.rev !tokens
+
+let int_of lineno s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "line %d: expected integer, got %S" lineno s)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let outcome = ref None in
+  let var_names = ref [||] in
+  let sem_names = ref [||] in
+  let sem_binary = ref [||] in
+  let ev_names = ref [||] in
+  let sem_init = ref [||] in
+  let ev_init = ref [||] in
+  let processes = ref [] in
+  let events = ref [] in
+  let po_edges = ref [] in
+  let violations = ref [] in
+  let final = ref [] in
+  let saw_header = ref false in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let raw =
+        match String.index_opt raw '#' with
+        | Some i when not (String.contains raw '"') -> String.sub raw 0 i
+        | _ -> raw
+      in
+      match tokenize lineno (String.trim raw) with
+      | [] -> ()
+      | "eotrace" :: version ->
+          if version <> [ "1" ] then
+            failwith (Printf.sprintf "line %d: unsupported version" lineno);
+          saw_header := true
+      | "outcome" :: rest ->
+          outcome :=
+            Some
+              (match rest with
+              | [ "completed" ] -> Trace.Completed
+              | [ "fuel_exhausted" ] -> Trace.Fuel_exhausted
+              | "deadlocked" :: pids ->
+                  Trace.Deadlocked (List.map (int_of lineno) pids)
+              | _ -> failwith (Printf.sprintf "line %d: bad outcome" lineno))
+      | "vars" :: names -> var_names := Array.of_list names
+      | "sems" :: names ->
+          let stripped =
+            List.map
+              (fun n ->
+                match String.length n with
+                | 0 -> (n, false)
+                | len when n.[len - 1] = '*' -> (String.sub n 0 (len - 1), true)
+                | _ -> (n, false))
+              names
+          in
+          sem_names := Array.of_list (List.map fst stripped);
+          sem_binary := Array.of_list (List.map snd stripped)
+      | "events" :: names -> ev_names := Array.of_list names
+      | "sem_init" :: values ->
+          sem_init := Array.of_list (List.map (int_of lineno) values)
+      | "ev_init" :: values ->
+          ev_init := Array.of_list (List.map (fun v -> v = "1") values)
+      | [ "process"; pid; name ] ->
+          processes := (int_of lineno pid, name) :: !processes
+      | "event" :: id :: pid :: seq :: rest ->
+          let kind, rest =
+            match rest with
+            | "computation" :: r -> (Event.Computation, r)
+            | "sem_p" :: s :: r -> (Event.Sync (Event.Sem_p (int_of lineno s)), r)
+            | "sem_v" :: s :: r -> (Event.Sync (Event.Sem_v (int_of lineno s)), r)
+            | "post" :: v :: r -> (Event.Sync (Event.Post (int_of lineno v)), r)
+            | "wait" :: v :: r -> (Event.Sync (Event.Wait (int_of lineno v)), r)
+            | "clear" :: v :: r -> (Event.Sync (Event.Clear (int_of lineno v)), r)
+            | "fork" :: r -> (Event.Sync Event.Fork, r)
+            | "join" :: r -> (Event.Sync Event.Join, r)
+            | _ -> failwith (Printf.sprintf "line %d: bad event kind" lineno)
+          in
+          let label, rest =
+            match rest with
+            | label :: r -> (label, r)
+            | [] -> failwith (Printf.sprintf "line %d: missing label" lineno)
+          in
+          let reads, writes =
+            let rec split_rw acc = function
+              | "writes" :: ws -> (List.rev acc, List.map (int_of lineno) ws)
+              | r :: rest -> split_rw (int_of lineno r :: acc) rest
+              | [] -> failwith (Printf.sprintf "line %d: missing writes" lineno)
+            in
+            match rest with
+            | "reads" :: rest -> split_rw [] rest
+            | _ -> failwith (Printf.sprintf "line %d: missing reads" lineno)
+          in
+          events :=
+            Event.make ~id:(int_of lineno id) ~pid:(int_of lineno pid)
+              ~seq:(int_of lineno seq) ~kind ~label ~reads ~writes ()
+            :: !events
+      | [ "po"; a; b ] -> po_edges := (int_of lineno a, int_of lineno b) :: !po_edges
+      | [ "violation"; e ] -> violations := int_of lineno e :: !violations
+      | [ "final"; x; v ] -> final := (x, int_of lineno v) :: !final
+      | tok :: _ ->
+          failwith (Printf.sprintf "line %d: unknown directive %S" lineno tok))
+    lines;
+  if not !saw_header then failwith "missing 'eotrace 1' header";
+  let events =
+    List.sort (fun a b -> compare a.Event.id b.Event.id) !events
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i e ->
+      if e.Event.id <> i then failwith "event ids are not dense from 0")
+    events;
+  let program_order = Rel.of_pairs (Array.length events) !po_edges in
+  if Array.length !sem_binary <> Array.length !sem_names then
+    sem_binary := Array.make (Array.length !sem_names) false;
+  {
+    Trace.events;
+    program_order;
+    outcome =
+      (match !outcome with
+      | Some o -> o
+      | None -> failwith "missing outcome line");
+    violations = List.rev !violations;
+    var_names = !var_names;
+    sem_names = !sem_names;
+    ev_names = !ev_names;
+    sem_init = !sem_init;
+    sem_binary = !sem_binary;
+    ev_init = !ev_init;
+    final_store = List.rev !final;
+    process_names = List.rev !processes;
+  }
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text

@@ -1,0 +1,33 @@
+(** Plain-text serialization of traces.
+
+    Lets an observed execution be recorded once and re-analysed later (or
+    shipped in a bug report) without re-running the program.  The format is
+    line-based and versioned:
+
+    {v
+    eotrace 1
+    outcome completed
+    vars x y
+    sems s            # names; binary semaphores marked with a trailing *
+    events e          # event-variable names
+    sem_init 0
+    ev_init 0
+    process 0 main
+    event 0 0 0 computation "x := 1" reads 1 writes 0
+    event 1 0 1 sem_v 0 "V(s)"
+    po 0 1
+    final x 1
+    v}
+
+    Unknown directives are rejected, not skipped: the format is a contract,
+    not a suggestion. *)
+
+val to_string : Trace.t -> string
+
+val of_string : string -> Trace.t
+(** Raises [Failure] with a line-number message on malformed input. *)
+
+val save : string -> Trace.t -> unit
+(** [save path trace] writes the trace to a file. *)
+
+val load : string -> Trace.t

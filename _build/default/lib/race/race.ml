@@ -1,0 +1,83 @@
+type race = { e1 : int; e2 : int; variables : int list }
+
+let conflict_variables a b =
+  let vars_of e = List.sort_uniq compare (e.Event.reads @ e.Event.writes) in
+  List.filter
+    (fun v ->
+      let writes e = List.mem v e.Event.writes in
+      let touches e = List.mem v e.Event.reads || writes e in
+      (writes a && touches b) || (writes b && touches a))
+    (List.sort_uniq compare (vars_of a @ vars_of b))
+
+let conflicting_pairs (x : Execution.t) =
+  let events = x.Execution.events in
+  let n = Array.length events in
+  let races = ref [] in
+  for e1 = 0 to n - 1 do
+    for e2 = e1 + 1 to n - 1 do
+      if
+        Event.is_computation events.(e1)
+        && Event.is_computation events.(e2)
+        && events.(e1).Event.pid <> events.(e2).Event.pid
+      then
+        match conflict_variables events.(e1) events.(e2) with
+        | [] -> ()
+        | variables -> races := { e1; e2; variables } :: !races
+    done
+  done;
+  List.rev !races
+
+let apparent_races x =
+  let vc = Vclock.of_execution x in
+  List.filter (fun r -> Vclock.concurrent vc r.e1 r.e2) (conflicting_pairs x)
+
+(* Feasibility with the candidate pair's own dependence edges removed: the
+   pair's ordering is exactly what is in question, so requiring it to be
+   preserved would beg the answer. *)
+let skeleton_without_pair x e1 e2 =
+  let dependences = Rel.copy x.Execution.dependences in
+  Rel.remove dependences e1 e2;
+  Rel.remove dependences e2 e1;
+  Skeleton.of_execution { x with Execution.dependences }
+
+let is_feasible_race x e1 e2 =
+  Reach.exists_race (Reach.create (skeleton_without_pair x e1 e2)) e1 e2
+
+let race_witness x e1 e2 =
+  Reach.race_witness (Reach.create (skeleton_without_pair x e1 e2)) e1 e2
+
+let is_feasible_race_enumerated ?limit x e1 e2 =
+  let sk = skeleton_without_pair x e1 e2 in
+  let found = ref false in
+  let (_ : int) =
+    Enumerate.iter ?limit sk (fun schedule ->
+        let po = Pinned.po_of_schedule sk schedule in
+        if (not (Rel.mem po e1 e2)) && not (Rel.mem po e2 e1) then begin
+          found := true;
+          raise Enumerate.Stop
+        end)
+  in
+  !found
+
+let feasible_races x =
+  List.filter (fun r -> is_feasible_race x r.e1 r.e2) (conflicting_pairs x)
+
+let first_races x =
+  let races = feasible_races x in
+  let vc = Vclock.of_execution x in
+  let precedes r1 r2 =
+    Vclock.hb vc r1.e1 r2.e1 && Vclock.hb vc r1.e1 r2.e2
+    && Vclock.hb vc r1.e2 r2.e1 && Vclock.hb vc r1.e2 r2.e2
+  in
+  List.filter
+    (fun r -> not (List.exists (fun r' -> r' <> r && precedes r' r) races))
+    races
+
+let pp_race (x : Execution.t) ppf r =
+  let e ppf id = Format.fprintf ppf "%s" x.Execution.events.(id).Event.label in
+  Format.fprintf ppf "race between %a (event %d) and %a (event %d) on %a" e
+    r.e1 r.e1 e r.e2 r.e2
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf v -> Format.fprintf ppf "v%d" v))
+    r.variables

@@ -1,0 +1,62 @@
+(** Data-race detection on observed executions — the application the
+    paper's conclusion points at: exhaustively detecting all data races a
+    given execution could have exhibited is intractable, because it reduces
+    to could-have-been-concurrent queries.
+
+    Two notions are implemented:
+
+    - {b apparent races}: conflicting accesses unordered by the observed
+      execution's happened-before order (vector clocks over program order
+      plus the observed synchronization pairing).  Polynomial; this is what
+      practical detectors report.  Apparent races are neither sound nor
+      complete for what could really happen concurrently.
+    - {b feasible races}: conflicting accesses that are incomparable in the
+      pinned order of at least one feasible program execution, where
+      feasibility preserves every shared-data dependence {e except those
+      between the candidate pair itself} (following the companion paper's
+      treatment: the racing pair's own ordering is exactly what is in
+      question).  Exponential — decided with the exact engine. *)
+
+type race = {
+  e1 : int;  (** lower event id of the conflicting pair *)
+  e2 : int;  (** higher event id *)
+  variables : int list;  (** shared variables the pair conflicts on *)
+}
+
+val conflicting_pairs : Execution.t -> race list
+(** All pairs of conflicting computation events (the race candidates). *)
+
+val apparent_races : Execution.t -> race list
+(** Candidates unordered under the observed vector-clock happened-before. *)
+
+val feasible_races : Execution.t -> race list
+(** Candidates that can race: some reachable context runs the pair
+    back-to-back in both orders, with the pair's own dependence edges
+    dropped from the feasibility constraints.  Decided by the memoized
+    state engine ({!Reach.exists_race}) — still exponential in the worst
+    case, as the paper's conclusion demands. *)
+
+val is_feasible_race : Execution.t -> int -> int -> bool
+(** Decide a single candidate pair (state engine). *)
+
+val race_witness : Execution.t -> int -> int -> (int array * int array) option
+(** Two feasible schedules sharing a prefix and running the pair in
+    opposite orders (with the pair's own dependences dropped) — the
+    interleavings to show in a race report.  [Some _] exactly when
+    {!is_feasible_race}. *)
+
+val is_feasible_race_enumerated : ?limit:int -> Execution.t -> int -> int -> bool
+(** Reference implementation by schedule enumeration and pinned-order
+    incomparability.  [limit] caps the enumeration (a capped run can only
+    under-report).  Used to cross-validate {!is_feasible_race} on small
+    executions. *)
+
+val first_races : Execution.t -> race list
+(** The {e first} feasible races: those not preceded by another feasible
+    race.  Race [r1] precedes [r2] when both of [r1]'s events happen before
+    both of [r2]'s in the observed execution's happened-before order; a
+    non-first race may be an artifact (the earlier race could have changed
+    the execution before the later pair ever met), so debugging starts
+    here — the refinement Netzer's later work develops. *)
+
+val pp_race : Execution.t -> Format.formatter -> race -> unit

@@ -1,0 +1,1 @@
+lib/relation/antichain.ml: Array Bitset Fun List Matching Queue Rel

@@ -1,0 +1,1 @@
+lib/relation/bitset.mli: Format

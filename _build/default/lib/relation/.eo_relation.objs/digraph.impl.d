@@ -1,0 +1,1 @@
+lib/relation/digraph.ml: Array Bitset Format List Queue Rel

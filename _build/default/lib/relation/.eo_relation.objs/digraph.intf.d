@@ -1,0 +1,1 @@
+lib/relation/digraph.mli: Bitset Format Rel

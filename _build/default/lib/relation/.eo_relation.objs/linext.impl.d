@@ -1,0 +1,1 @@
+lib/relation/linext.ml: Array Digraph List

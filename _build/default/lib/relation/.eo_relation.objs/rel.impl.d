@@ -1,0 +1,1 @@
+lib/relation/rel.ml: Array Bitset Format List

@@ -1,0 +1,73 @@
+let check_order order =
+  if not (Rel.is_strict_partial_order order) then
+    invalid_arg "Antichain: relation is not a strict partial order"
+
+let matching_of order =
+  let n = Rel.size order in
+  let edges = Rel.to_pairs order in
+  Matching.maximum ~n_left:n ~n_right:n edges
+
+let width order =
+  check_order order;
+  Rel.size order - (matching_of order).Matching.size
+
+(* König's construction: starting from the unmatched left vertices, walk
+   alternating paths (non-matching edges left-to-right, matching edges
+   right-to-left).  The maximum antichain consists of the elements whose
+   left copy is reachable and whose right copy is not. *)
+let maximum_antichain order =
+  check_order order;
+  let n = Rel.size order in
+  let m = matching_of order in
+  let left_reach = Array.make n false in
+  let right_reach = Array.make n false in
+  let queue = Queue.create () in
+  for l = 0 to n - 1 do
+    if m.Matching.left_match.(l) = -1 then begin
+      left_reach.(l) <- true;
+      Queue.add l queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let l = Queue.pop queue in
+    Bitset.iter
+      (fun r ->
+        if (not right_reach.(r)) && m.Matching.left_match.(l) <> r then begin
+          right_reach.(r) <- true;
+          let l' = m.Matching.right_match.(r) in
+          if l' <> -1 && not left_reach.(l') then begin
+            left_reach.(l') <- true;
+            Queue.add l' queue
+          end
+        end)
+      (Rel.successors order l)
+  done;
+  let antichain =
+    List.filter
+      (fun e -> left_reach.(e) && not right_reach.(e))
+      (List.init n Fun.id)
+  in
+  assert (List.length antichain = n - m.Matching.size);
+  assert (
+    List.for_all
+      (fun a -> List.for_all (fun b -> a = b || not (Rel.comparable order a b))
+           antichain)
+      antichain);
+  antichain
+
+let minimum_chain_cover order =
+  check_order order;
+  let n = Rel.size order in
+  let m = matching_of order in
+  (* Chains are the paths of the matching: follow left_match links. *)
+  let is_chain_start = Array.make n true in
+  Array.iter (fun r -> if r <> -1 then is_chain_start.(r) <- false)
+    m.Matching.left_match;
+  let rec chain_from e =
+    match m.Matching.left_match.(e) with
+    | -1 -> [ e ]
+    | next -> e :: chain_from next
+  in
+  List.filter_map
+    (fun e -> if is_chain_start.(e) then Some (chain_from e) else None)
+    (List.init n Fun.id)

@@ -1,0 +1,21 @@
+(** Width and maximum antichains of strict partial orders (Dilworth's
+    theorem via bipartite matching and König's construction).
+
+    For an execution analysis, the width of a pinned partial order is the
+    maximum number of events that could be in flight simultaneously — the
+    execution's exploitable parallelism. *)
+
+val width : Rel.t -> int
+(** [width order]: size of a maximum antichain of the strict partial order
+    (must be transitively closed, irreflexive; raises [Invalid_argument]
+    otherwise).  Equals the minimum number of chains covering the carrier
+    (Dilworth). *)
+
+val maximum_antichain : Rel.t -> int list
+(** A maximum antichain, ascending.  Its length is [width order] and its
+    elements are pairwise incomparable — both properties are enforced by an
+    internal assertion. *)
+
+val minimum_chain_cover : Rel.t -> int list list
+(** A partition of the carrier into [width order] chains (each list is
+    ascending in the order). *)

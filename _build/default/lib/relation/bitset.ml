@@ -1,0 +1,135 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let word_count n = if n = 0 then 0 else ((n - 1) / bits_per_word) + 1
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make (word_count n) 0 }
+
+let capacity s = s.n
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of bounds"
+
+let mem s i =
+  check s i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+(* Mask for the last, possibly partial, word so that [fill] never sets bits
+   beyond [n]; all other operations preserve the invariant that those bits
+   stay zero. *)
+let last_word_mask n =
+  let r = n mod bits_per_word in
+  if r = 0 then -1 else (1 lsl r) - 1
+
+let fill s =
+  let k = Array.length s.words in
+  if k > 0 then begin
+    Array.fill s.words 0 k (-1);
+    s.words.(k - 1) <- s.words.(k - 1) land last_word_mask s.n
+  end
+
+let popcount =
+  (* Kernighan's loop is fast enough for the word sizes involved here. *)
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  fun x -> go 0 x
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let same_capacity a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let equal a b =
+  same_capacity a b;
+  a.words = b.words
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let union_into dst src =
+  same_capacity dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let inter_into dst src =
+  same_capacity dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let diff_into dst src =
+  same_capacity dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let copy s = { n = s.n; words = Array.copy s.words }
+
+let union a b = let r = copy a in union_into r b; r
+let inter a b = let r = copy a in inter_into r b; r
+let diff a b = let r = copy a in diff_into r b; r
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = s.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n xs =
+  let s = create n in
+  List.iter (add s) xs;
+  s
+
+let choose s =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) s;
+    None
+  with Found i -> Some i
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (to_list s)

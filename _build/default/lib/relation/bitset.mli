@@ -1,0 +1,68 @@
+(** Dense, fixed-capacity mutable sets of small integers.
+
+    A [Bitset.t] stores a subset of [0 .. capacity-1] packed into an int
+    array.  All operations besides [copy], [of_list] and the set-algebra
+    producers run in place; binary operations require both operands to have
+    the same capacity. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n].  [n >= 0]. *)
+
+val capacity : t -> int
+(** Maximum number of distinct elements the set can hold. *)
+
+val mem : t -> int -> bool
+(** [mem s i] tests membership.  Raises [Invalid_argument] when [i] is out of
+    [0 .. capacity-1]. *)
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val fill : t -> unit
+(** Add every element of [0 .. capacity-1]. *)
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every element of [src] to [dst].  Returns
+    nothing; use [union] for a fresh result. *)
+
+val inter_into : t -> t -> unit
+val diff_into : t -> t -> unit
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val copy : t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over elements in increasing order. *)
+
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n xs] is the set with capacity [n] containing [xs]. *)
+
+val choose : t -> int option
+(** Smallest element, or [None] when empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,196 @@
+type t = {
+  n : int;
+  succ : int list array;
+  pred : int list array;
+  mutable edges : int;
+}
+
+let create n =
+  { n; succ = Array.make n []; pred = Array.make n []; edges = 0 }
+
+let size g = g.n
+
+let check g i =
+  if i < 0 || i >= g.n then invalid_arg "Digraph: index out of bounds"
+
+let mem_edge g a b =
+  check g a;
+  check g b;
+  List.mem b g.succ.(a)
+
+let add_edge g a b =
+  if not (mem_edge g a b) then begin
+    g.succ.(a) <- g.succ.(a) @ [ b ];
+    g.pred.(b) <- g.pred.(b) @ [ a ];
+    g.edges <- g.edges + 1
+  end
+
+let succs g a =
+  check g a;
+  g.succ.(a)
+
+let preds g a =
+  check g a;
+  g.pred.(a)
+
+let edge_count g = g.edges
+
+let of_rel r =
+  let g = create (Rel.size r) in
+  Rel.iter (fun a b -> add_edge g a b) r;
+  g
+
+let to_rel g =
+  let r = Rel.create g.n in
+  for a = 0 to g.n - 1 do
+    List.iter (fun b -> Rel.add r a b) g.succ.(a)
+  done;
+  r
+
+let copy g =
+  { n = g.n; succ = Array.copy g.succ; pred = Array.copy g.pred; edges = g.edges }
+
+(* Kahn's algorithm with a sorted ready "queue" (a simple min extraction over
+   an in-degree array keeps the output deterministic). *)
+let topological_sort g =
+  let indeg = Array.make g.n 0 in
+  for a = 0 to g.n - 1 do
+    List.iter (fun b -> indeg.(b) <- indeg.(b) + 1) g.succ.(a)
+  done;
+  let ready = ref [] in
+  for v = g.n - 1 downto 0 do
+    if indeg.(v) = 0 then ready := v :: !ready
+  done;
+  let rec insert v = function
+    | [] -> [ v ]
+    | w :: rest as l -> if v < w then v :: l else w :: insert v rest
+  in
+  let rec loop acc = function
+    | [] -> if List.length acc = g.n then Some (List.rev acc) else None
+    | v :: rest ->
+        let rest =
+          List.fold_left
+            (fun rest b ->
+              indeg.(b) <- indeg.(b) - 1;
+              if indeg.(b) = 0 then insert b rest else rest)
+            rest g.succ.(v)
+        in
+        loop (v :: acc) rest
+  in
+  loop [] !ready
+
+let is_dag g = topological_sort g <> None
+
+let bfs neighbours g start =
+  let seen = Bitset.create g.n in
+  Bitset.add seen start;
+  let queue = Queue.create () in
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if not (Bitset.mem seen w) then begin
+          Bitset.add seen w;
+          Queue.add w queue
+        end)
+      (neighbours v)
+  done;
+  seen
+
+let reachable_from g start =
+  check g start;
+  bfs (fun v -> g.succ.(v)) g start
+
+let ancestors g target =
+  check g target;
+  bfs (fun v -> g.pred.(v)) g target
+
+let reaches g a b = Bitset.mem (reachable_from g a) b
+
+let reachability g =
+  let r = Rel.create g.n in
+  for a = 0 to g.n - 1 do
+    Bitset.iter (fun b -> Rel.add r a b) (reachable_from g a)
+  done;
+  r
+
+let scc g =
+  (* Tarjan, iterative to be safe on deep graphs. *)
+  let index = Array.make g.n (-1) in
+  let lowlink = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let comp = Array.make g.n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      g.succ.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop () =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            comp.(w) <- !next_comp;
+            if w <> v then pop ()
+      in
+      pop ();
+      incr next_comp
+    end
+  in
+  for v = 0 to g.n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (comp, !next_comp)
+
+let common_ancestors g targets =
+  match targets with
+  | [] -> invalid_arg "Digraph.common_ancestors: empty target list"
+  | t :: rest ->
+      let acc = ancestors g t in
+      List.iter (fun t' -> Bitset.inter_into acc (ancestors g t')) rest;
+      acc
+
+let closest_common_ancestors g targets =
+  if not (is_dag g) then
+    invalid_arg "Digraph.closest_common_ancestors: graph is cyclic";
+  let common = common_ancestors g targets in
+  (* c is closest iff no other common ancestor lies strictly below c on the
+     way to the targets, i.e. no c' in common, c' <> c, with c -> c'. *)
+  Bitset.fold
+    (fun c acc ->
+      let dominated =
+        Bitset.fold
+          (fun c' dominated ->
+            dominated || (c' <> c && reaches g c c'))
+          common false
+      in
+      if dominated then acc else c :: acc)
+    common []
+  |> List.rev
+
+let pp ppf g =
+  for a = 0 to g.n - 1 do
+    match g.succ.(a) with
+    | [] -> ()
+    | succs ->
+        Format.fprintf ppf "%d -> %a@ " a
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+             Format.pp_print_int)
+          succs
+  done

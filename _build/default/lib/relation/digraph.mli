@@ -1,0 +1,62 @@
+(** Directed graphs over [0 .. size-1] with adjacency lists, plus the graph
+    algorithms the ordering analyses need: topological sorting, reachability,
+    strongly connected components, and (closest) common ancestors in DAGs. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] nodes. *)
+
+val size : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Adds [src -> dst].  Duplicate edges are ignored. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val succs : t -> int -> int list
+(** Successors in insertion order. *)
+
+val preds : t -> int -> int list
+
+val edge_count : t -> int
+
+val of_rel : Rel.t -> t
+
+val to_rel : t -> Rel.t
+
+val copy : t -> t
+
+val topological_sort : t -> int list option
+(** Kahn's algorithm.  [None] when the graph has a cycle.  Among nodes that
+    become ready simultaneously, smaller indices come first, so the result is
+    deterministic. *)
+
+val is_dag : t -> bool
+
+val reachable_from : t -> int -> Bitset.t
+(** Nodes reachable from the given node, including itself. *)
+
+val reaches : t -> int -> int -> bool
+(** [reaches g a b] iff there is a path (of length >= 0) from [a] to [b]. *)
+
+val reachability : t -> Rel.t
+(** The full reachability relation (reflexive-transitive closure). *)
+
+val scc : t -> int array * int
+(** Tarjan's strongly connected components.  Returns [(comp, count)] where
+    [comp.(v)] is the component index of [v]; components are numbered in
+    reverse topological order of the condensation. *)
+
+val ancestors : t -> int -> Bitset.t
+(** Nodes from which the given node is reachable, including itself. *)
+
+val common_ancestors : t -> int list -> Bitset.t
+(** Nodes that reach every node of the given (non-empty) list. *)
+
+val closest_common_ancestors : t -> int list -> int list
+(** The maximal elements (w.r.t. reachability) of [common_ancestors]: common
+    ancestors not strictly reached by another common ancestor.  Used by the
+    Emrath–Ghosh–Padua task-graph construction.  The graph must be a DAG. *)
+
+val pp : Format.formatter -> t -> unit

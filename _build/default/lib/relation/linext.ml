@@ -1,0 +1,61 @@
+exception Stop
+
+let iter ?limit g f =
+  if not (Digraph.is_dag g) then invalid_arg "Linext.iter: graph is cyclic";
+  let n = Digraph.size g in
+  let indeg = Array.make n 0 in
+  for a = 0 to n - 1 do
+    List.iter (fun b -> indeg.(b) <- indeg.(b) + 1) (Digraph.succs g a)
+  done;
+  let order = Array.make n (-1) in
+  let used = Array.make n false in
+  let count = ref 0 in
+  (* Classic backtracking: at each position try every currently-minimal
+     (in-degree zero, unused) node. *)
+  let rec go pos =
+    if pos = n then begin
+      incr count;
+      f order;
+      match limit with Some l when !count >= l -> raise Stop | _ -> ()
+    end
+    else
+      for v = 0 to n - 1 do
+        if (not used.(v)) && indeg.(v) = 0 then begin
+          used.(v) <- true;
+          order.(pos) <- v;
+          List.iter (fun w -> indeg.(w) <- indeg.(w) - 1) (Digraph.succs g v);
+          go (pos + 1);
+          List.iter (fun w -> indeg.(w) <- indeg.(w) + 1) (Digraph.succs g v);
+          used.(v) <- false
+        end
+      done
+  in
+  (try go 0 with Stop -> ());
+  !count
+
+let count ?limit g = iter ?limit g (fun _ -> ())
+
+let all ?limit g =
+  let acc = ref [] in
+  let (_ : int) = iter ?limit g (fun o -> acc := Array.copy o :: !acc) in
+  List.rev !acc
+
+let is_linear_extension g order =
+  let n = Digraph.size g in
+  Array.length order = n
+  && begin
+       let pos = Array.make n (-1) in
+       let ok = ref true in
+       Array.iteri
+         (fun i v ->
+           if v < 0 || v >= n || pos.(v) <> -1 then ok := false
+           else pos.(v) <- i)
+         order;
+       if !ok then
+         for a = 0 to n - 1 do
+           List.iter
+             (fun b -> if pos.(a) >= pos.(b) then ok := false)
+             (Digraph.succs g a)
+         done;
+       !ok
+     end

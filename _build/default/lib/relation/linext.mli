@@ -1,0 +1,22 @@
+(** Linear extensions of a strict partial order given as a DAG.
+
+    A linear extension is a total ordering of all nodes consistent with every
+    edge.  Enumeration is exponential in general; these functions exist for
+    the exact (small-instance) engines and for cross-checking the feasible
+    execution enumerator. *)
+
+val iter : ?limit:int -> Digraph.t -> (int array -> unit) -> int
+(** [iter ?limit g f] calls [f] on each linear extension of [g] (the array is
+    reused between calls; copy it to keep it) and returns the number of
+    extensions visited.  Stops early after [limit] extensions when given.
+    Raises [Invalid_argument] if [g] is cyclic. *)
+
+val count : ?limit:int -> Digraph.t -> int
+(** Number of linear extensions (capped at [limit] when given). *)
+
+val all : ?limit:int -> Digraph.t -> int array list
+(** Materialized list of linear extensions, in the enumeration order. *)
+
+val is_linear_extension : Digraph.t -> int array -> bool
+(** Checks that the array is a permutation of the nodes that respects every
+    edge of the graph. *)

@@ -1,0 +1,35 @@
+type t = { size : int; left_match : int array; right_match : int array }
+
+let maximum ~n_left ~n_right edges =
+  let adj = Array.make n_left [] in
+  List.iter
+    (fun (l, r) ->
+      if l < 0 || l >= n_left || r < 0 || r >= n_right then
+        invalid_arg "Matching.maximum: vertex out of range";
+      adj.(l) <- r :: adj.(l))
+    edges;
+  let left_match = Array.make n_left (-1) in
+  let right_match = Array.make n_right (-1) in
+  let visited = Array.make n_right false in
+  (* Standard Kuhn: try to find an augmenting path from [l]. *)
+  let rec try_augment l =
+    List.exists
+      (fun r ->
+        if visited.(r) then false
+        else begin
+          visited.(r) <- true;
+          if right_match.(r) = -1 || try_augment right_match.(r) then begin
+            left_match.(l) <- r;
+            right_match.(r) <- l;
+            true
+          end
+          else false
+        end)
+      adj.(l)
+  in
+  let size = ref 0 in
+  for l = 0 to n_left - 1 do
+    Array.fill visited 0 n_right false;
+    if try_augment l then incr size
+  done;
+  { size = !size; left_match; right_match }

@@ -1,0 +1,15 @@
+(** Maximum bipartite matching (Kuhn's augmenting-path algorithm).
+
+    Used by {!Antichain} for Dilworth-style chain covers; exposed on its own
+    because it is independently useful. *)
+
+type t = {
+  size : int;  (** number of matched pairs *)
+  left_match : int array;  (** for each left vertex, its right match or -1 *)
+  right_match : int array;  (** for each right vertex, its left match or -1 *)
+}
+
+val maximum : n_left:int -> n_right:int -> (int * int) list -> t
+(** [maximum ~n_left ~n_right edges] computes a maximum matching of the
+    bipartite graph with the given edges (left vertex, right vertex).
+    O(V * E). *)

@@ -1,0 +1,1 @@
+lib/sat/sat_gen.ml: Array Cnf Fun List Random

@@ -1,0 +1,361 @@
+type result = Sat of bool array | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;
+  restarts : int;
+  max_decision_level : int;
+}
+
+(* Literals are encoded as indices: +v -> 2v, -v -> 2v+1; negation is
+   [lxor 1].  Variable of an index: [idx lsr 1]. *)
+let lit_of_dimacs l = if l > 0 then 2 * l else (2 * -l) + 1
+
+let neg idx = idx lxor 1
+
+let var_of idx = idx lsr 1
+
+let is_pos idx = idx land 1 = 0
+
+exception Found_unsat
+
+type solver = {
+  num_vars : int;
+  (* Clause database: each clause is an int array of literal indices;
+     watched literals are kept in positions 0 and 1. *)
+  mutable clauses : int array array;
+  mutable n_clauses : int;
+  (* value.(v): 0 unassigned, 1 true, -1 false. *)
+  value : int array;
+  level : int array;  (* decision level per variable *)
+  reason : int array;  (* clause id that implied the variable, or -1 *)
+  mutable trail : int array;  (* assigned literal indices, in order *)
+  mutable trail_size : int;
+  mutable qhead : int;
+  mutable decision_level : int;
+  trail_lim : int array;  (* trail size at each decision level *)
+  activity : float array;
+  mutable activity_inc : float;
+  phase : bool array;  (* saved polarity per variable *)
+  (* watches.(lit): ids of clauses currently watching [lit]. *)
+  mutable watches : int list array;
+  (* statistics *)
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable learned_count : int;
+  mutable restarts : int;
+  mutable max_level_seen : int;
+}
+
+let lit_value s idx =
+  let v = s.value.(var_of idx) in
+  if v = 0 then 0 else if is_pos idx then v else -v
+
+let create num_vars =
+  {
+    num_vars;
+    clauses = Array.make 16 [||];
+    n_clauses = 0;
+    value = Array.make (num_vars + 1) 0;
+    level = Array.make (num_vars + 1) 0;
+    reason = Array.make (num_vars + 1) (-1);
+    trail = Array.make (max 1 num_vars) 0;
+    trail_size = 0;
+    qhead = 0;
+    decision_level = 0;
+    trail_lim = Array.make (num_vars + 2) 0;
+    activity = Array.make (num_vars + 1) 0.0;
+    activity_inc = 1.0;
+    phase = Array.make (num_vars + 1) false;
+    watches = Array.make ((2 * (num_vars + 1)) + 2) [];
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    learned_count = 0;
+    restarts = 0;
+    max_level_seen = 0;
+  }
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.activity_inc;
+  if s.activity.(v) > 1e100 then begin
+    for u = 1 to s.num_vars do
+      s.activity.(u) <- s.activity.(u) *. 1e-100
+    done;
+    s.activity_inc <- s.activity_inc *. 1e-100
+  end
+
+let decay s = s.activity_inc <- s.activity_inc /. 0.95
+
+let enqueue s idx reason =
+  let v = var_of idx in
+  s.value.(v) <- (if is_pos idx then 1 else -1);
+  s.level.(v) <- s.decision_level;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- is_pos idx;
+  s.trail.(s.trail_size) <- idx;
+  s.trail_size <- s.trail_size + 1
+
+let add_clause_raw s lits =
+  let id = s.n_clauses in
+  if id = Array.length s.clauses then begin
+    let bigger = Array.make (2 * id) [||] in
+    Array.blit s.clauses 0 bigger 0 id;
+    s.clauses <- bigger
+  end;
+  s.clauses.(id) <- lits;
+  s.n_clauses <- id + 1;
+  if Array.length lits >= 2 then begin
+    s.watches.(lits.(0)) <- id :: s.watches.(lits.(0));
+    s.watches.(lits.(1)) <- id :: s.watches.(lits.(1))
+  end;
+  id
+
+(* Returns the id of a conflicting clause, or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict = -1 && s.qhead < s.trail_size do
+    let lit = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let false_lit = neg lit in
+    let watching = s.watches.(false_lit) in
+    s.watches.(false_lit) <- [];
+    let rec process = function
+      | [] -> ()
+      | id :: rest ->
+          let c = s.clauses.(id) in
+          (* Normalize: the false literal sits in position 1. *)
+          if c.(0) = false_lit then begin
+            c.(0) <- c.(1);
+            c.(1) <- false_lit
+          end;
+          if lit_value s c.(0) = 1 then begin
+            (* Clause already satisfied: keep watching. *)
+            s.watches.(false_lit) <- id :: s.watches.(false_lit);
+            process rest
+          end
+          else begin
+            (* Look for a new watch. *)
+            let n = Array.length c in
+            let rec find i =
+              if i >= n then None
+              else if lit_value s c.(i) <> -1 then Some i
+              else find (i + 1)
+            in
+            match find 2 with
+            | Some i ->
+                c.(1) <- c.(i);
+                c.(i) <- false_lit;
+                s.watches.(c.(1)) <- id :: s.watches.(c.(1));
+                process rest
+            | None ->
+                s.watches.(false_lit) <- id :: s.watches.(false_lit);
+                if lit_value s c.(0) = -1 then begin
+                  (* Conflict: re-attach remaining clauses untouched. *)
+                  conflict := id;
+                  List.iter
+                    (fun id' ->
+                      s.watches.(false_lit) <- id' :: s.watches.(false_lit))
+                    rest
+                end
+                else begin
+                  enqueue s c.(0) id;
+                  process rest
+                end
+          end
+    in
+    process watching
+  done;
+  !conflict
+
+(* First-UIP conflict analysis.  Returns (learned clause with the asserting
+   literal first, backjump level). *)
+let analyze s conflict_id =
+  let seen = Array.make (s.num_vars + 1) false in
+  let learned = ref [] in
+  let counter = ref 0 in
+  let backjump = ref 0 in
+  let absorb_clause id skip_lit =
+    Array.iter
+      (fun lit ->
+        let v = var_of lit in
+        if lit <> skip_lit && (not seen.(v)) && s.level.(v) > 0 then begin
+          seen.(v) <- true;
+          bump s v;
+          if s.level.(v) = s.decision_level then incr counter
+          else begin
+            learned := lit :: !learned;
+            if s.level.(v) > !backjump then backjump := s.level.(v)
+          end
+        end)
+      s.clauses.(id)
+  in
+  absorb_clause conflict_id (-1);
+  (* Walk the trail backwards resolving until one current-level literal
+     remains: the first unique implication point. *)
+  let uip = ref (-1) in
+  let i = ref (s.trail_size - 1) in
+  let continue = ref true in
+  while !continue do
+    while not seen.(var_of s.trail.(!i)) do
+      decr i
+    done;
+    let lit = s.trail.(!i) in
+    let v = var_of lit in
+    seen.(v) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      uip := neg lit;
+      continue := false
+    end
+    else begin
+      absorb_clause s.reason.(v) lit;
+      decr i
+    end
+  done;
+  (Array.of_list (!uip :: !learned), !backjump)
+
+(* [trail_lim.(d)] records the trail size at the moment decision level [d]
+   was opened, so undoing down TO [target] keeps everything up to
+   [trail_lim.(target + 1)] — in particular level-0 (root) assignments
+   survive a backtrack to 0. *)
+let backtrack s target_level =
+  if s.decision_level > target_level then begin
+    let keep = s.trail_lim.(target_level + 1) in
+    while s.trail_size > keep do
+      s.trail_size <- s.trail_size - 1;
+      let v = var_of s.trail.(s.trail_size) in
+      s.value.(v) <- 0;
+      s.reason.(v) <- -1
+    done;
+    s.qhead <- s.trail_size;
+    s.decision_level <- target_level
+  end
+
+let pick_branch s =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to s.num_vars do
+    if s.value.(v) = 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+(* Luby restart sequence, scaled. *)
+let luby i =
+  let rec go k i =
+    if i = (1 lsl k) - 1 then 1 lsl (k - 1)
+    else if i < (1 lsl (k - 1)) - 1 then go (k - 1) i
+    else go (k - 1) (i - ((1 lsl (k - 1)) - 1))
+  in
+  let rec size k = if (1 lsl k) - 1 >= i + 1 then k else size (k + 1) in
+  go (size 1) i
+
+let solve_with_stats (f : Cnf.t) =
+  let s = create f.Cnf.num_vars in
+  let result =
+    try
+      (* Load the problem clauses: dedup literals, drop tautologies.  Unit
+         enqueues are deferred until every clause is in the database and
+         watched — propagating earlier would run past clauses that do not
+         exist yet and silently miss their implications. *)
+      let pending_units = ref [] in
+      List.iter
+        (fun clause ->
+          let lits =
+            List.sort_uniq compare (List.map lit_of_dimacs clause)
+          in
+          let tautological =
+            List.exists (fun l -> List.mem (neg l) lits) lits
+          in
+          if not tautological then
+            match lits with
+            | [] -> raise Found_unsat
+            | [ l ] -> pending_units := l :: !pending_units
+            | _ -> ignore (add_clause_raw s (Array.of_list lits)))
+        f.Cnf.clauses;
+      List.iter
+        (fun l ->
+          match lit_value s l with
+          | 1 -> ()
+          | -1 -> raise Found_unsat
+          | _ -> enqueue s l (-1))
+        (List.rev !pending_units);
+      if propagate s <> -1 then raise Found_unsat;
+      let conflicts_until_restart = ref 64 in
+      let answer = ref None in
+      while !answer = None do
+        let conflict = propagate s in
+        if conflict <> -1 then begin
+          s.conflicts <- s.conflicts + 1;
+          if s.decision_level = 0 then raise Found_unsat;
+          let learned, backjump_level = analyze s conflict in
+          (* The second watch must be a literal of the backjump level, or
+             the watching invariant breaks on later backtracks (clauses can
+             silently stop propagating, yielding bogus SAT answers). *)
+          if Array.length learned > 1 then begin
+            let best = ref 1 in
+            for i = 2 to Array.length learned - 1 do
+              if s.level.(var_of learned.(i)) > s.level.(var_of learned.(!best))
+              then best := i
+            done;
+            let tmp = learned.(1) in
+            learned.(1) <- learned.(!best);
+            learned.(!best) <- tmp
+          end;
+          backtrack s backjump_level;
+          (if Array.length learned = 1 then enqueue s learned.(0) (-1)
+           else begin
+             let id = add_clause_raw s learned in
+             s.learned_count <- s.learned_count + 1;
+             enqueue s learned.(0) id
+           end);
+          decay s;
+          decr conflicts_until_restart
+        end
+        else if !conflicts_until_restart <= 0 && s.decision_level > 0 then begin
+          s.restarts <- s.restarts + 1;
+          conflicts_until_restart := 64 * luby s.restarts;
+          backtrack s 0
+        end
+        else begin
+          match pick_branch s with
+          | 0 ->
+              (* All variables assigned: satisfying assignment found. *)
+              answer :=
+                Some (Array.init (s.num_vars + 1) (fun v -> v > 0 && s.value.(v) = 1))
+          | v ->
+              s.decisions <- s.decisions + 1;
+              s.decision_level <- s.decision_level + 1;
+              if s.decision_level > s.max_level_seen then
+                s.max_level_seen <- s.decision_level;
+              s.trail_lim.(s.decision_level) <- s.trail_size;
+              let idx = if s.phase.(v) then 2 * v else (2 * v) + 1 in
+              enqueue s idx (-1)
+        end
+      done;
+      match !answer with
+      | Some a ->
+          assert (Cnf.eval a f);
+          Sat a
+      | None -> assert false
+    with Found_unsat -> Unsat
+  in
+  ( result,
+    {
+      decisions = s.decisions;
+      propagations = s.propagations;
+      conflicts = s.conflicts;
+      learned = s.learned_count;
+      restarts = s.restarts;
+      max_decision_level = s.max_level_seen;
+    } )
+
+let solve f = fst (solve_with_stats f)
+
+let is_satisfiable f = match solve f with Sat _ -> true | Unsat -> false

@@ -1,0 +1,31 @@
+(** A conflict-driven clause-learning SAT solver.
+
+    The serious sibling of {!Dpll}: two-watched-literal propagation,
+    first-UIP conflict analysis with clause learning, VSIDS-style activity
+    branching with decay, non-chronological backjumping, and Luby restarts.
+    Still self-contained and dependency-free.
+
+    The reduction experiments use {!Dpll} (its instances are tiny); this
+    solver exists so the SAT substrate holds up on the harder instances the
+    benchmarks sweep (random 3-CNF near the phase transition, pigeonhole),
+    and as a second independent oracle: the test suite cross-checks CDCL,
+    DPLL and brute force against each other. *)
+
+type result = Sat of bool array | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;  (** clauses learned *)
+  restarts : int;
+  max_decision_level : int;
+}
+
+val solve : Cnf.t -> result
+(** The satisfying assignment is indexed by variable number (index 0
+    unused); unconstrained variables may carry either value. *)
+
+val solve_with_stats : Cnf.t -> result * stats
+
+val is_satisfiable : Cnf.t -> bool

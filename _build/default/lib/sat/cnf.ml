@@ -1,0 +1,60 @@
+type literal = int
+
+type clause = literal list
+
+type t = { num_vars : int; clauses : clause list }
+
+let var l = abs l
+
+let negate l = -l
+
+let make ~num_vars clauses =
+  if num_vars < 0 then invalid_arg "Cnf.make: negative num_vars";
+  List.iter
+    (List.iter (fun l ->
+         if l = 0 || var l > num_vars then
+           invalid_arg "Cnf.make: literal out of range"))
+    clauses;
+  { num_vars; clauses }
+
+let num_clauses f = List.length f.clauses
+
+let is_three_cnf f = List.for_all (fun c -> List.length c = 3) f.clauses
+
+let lit_true assignment l =
+  if l > 0 then assignment.(l) else not assignment.(-l)
+
+let eval_clause assignment c = List.exists (lit_true assignment) c
+
+let eval assignment f = List.for_all (eval_clause assignment) f.clauses
+
+let clause_mem l c = List.mem l c
+
+let simplify f l =
+  let clauses =
+    List.filter_map
+      (fun c ->
+        if clause_mem l c then None
+        else Some (List.filter (fun l' -> l' <> negate l) c))
+      f.clauses
+  in
+  { f with clauses }
+
+let pp_literal ppf l =
+  if l > 0 then Format.fprintf ppf "x%d" l
+  else Format.fprintf ppf "~x%d" (-l)
+
+let pp ppf f =
+  let pp_clause ppf c =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+         pp_literal)
+      c
+  in
+  match f.clauses with
+  | [] -> Format.pp_print_string ppf "true"
+  | cs ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+        pp_clause ppf cs

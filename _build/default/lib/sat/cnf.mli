@@ -1,0 +1,43 @@
+(** Propositional formulas in conjunctive normal form.
+
+    Variables are numbered [1 .. num_vars].  A literal is a non-zero integer:
+    positive for the variable itself, negative for its negation (the DIMACS
+    convention).  A clause is a disjunction of literals; a formula is a
+    conjunction of clauses. *)
+
+type literal = int
+
+type clause = literal list
+
+type t = { num_vars : int; clauses : clause list }
+
+val make : num_vars:int -> clause list -> t
+(** Validates that every literal mentions a variable in range and no clause
+    is empty of variables it can't be — empty clauses are allowed (they make
+    the formula unsatisfiable) but literals must satisfy
+    [1 <= abs lit <= num_vars].  Raises [Invalid_argument] otherwise. *)
+
+val num_clauses : t -> int
+
+val var : literal -> int
+(** [var l = abs l]. *)
+
+val negate : literal -> literal
+
+val is_three_cnf : t -> bool
+(** Every clause has exactly three literals. *)
+
+val eval_clause : bool array -> clause -> bool
+(** [eval_clause assignment c]: the assignment array is indexed by variable
+    number ([assignment.(v)] for [v >= 1]; index 0 is unused). *)
+
+val eval : bool array -> t -> bool
+
+val clause_mem : literal -> clause -> bool
+
+val simplify : t -> literal -> t
+(** [simplify f l] assumes literal [l] true: removes clauses containing [l]
+    and removes [negate l] from the rest.  [num_vars] is unchanged. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable form, e.g. [(x1 | ~x2 | x3) & (~x1 | x2 | x2)]. *)

@@ -1,0 +1,60 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let tokens = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        if !header <> None then failwith "Dimacs.parse: duplicate header";
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; vars; clauses ] -> (
+            match (int_of_string_opt vars, int_of_string_opt clauses) with
+            | Some v, Some c -> header := Some (v, c)
+            | _ -> failwith "Dimacs.parse: malformed header numbers")
+        | _ -> failwith "Dimacs.parse: malformed header line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | Some i -> tokens := i :: !tokens
+               | None -> failwith "Dimacs.parse: non-integer literal"))
+    lines;
+  let num_vars, expected_clauses =
+    match !header with
+    | Some h -> h
+    | None -> failwith "Dimacs.parse: missing 'p cnf' header"
+  in
+  let clauses, current =
+    List.fold_left
+      (fun (clauses, current) tok ->
+        if tok = 0 then (List.rev current :: clauses, [])
+        else (clauses, tok :: current))
+      ([], [])
+      (List.rev !tokens)
+  in
+  if current <> [] then failwith "Dimacs.parse: clause missing terminating 0";
+  let clauses = List.rev clauses in
+  if List.length clauses <> expected_clauses then
+    failwith "Dimacs.parse: clause count disagrees with header";
+  Cnf.make ~num_vars clauses
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let print ppf (f : Cnf.t) =
+  Format.fprintf ppf "p cnf %d %d@." f.Cnf.num_vars (Cnf.num_clauses f);
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Format.fprintf ppf "%d " l) clause;
+      Format.fprintf ppf "0@.")
+    f.Cnf.clauses
+
+let to_string f = Format.asprintf "%a" print f

@@ -1,0 +1,14 @@
+(** DIMACS CNF reading and writing, for feeding external instances to the
+    reduction CLI. *)
+
+val parse : string -> Cnf.t
+(** Parses DIMACS CNF text: comment lines start with [c], the header line is
+    [p cnf <vars> <clauses>], and clauses are 0-terminated literal lists that
+    may span lines.  Raises [Failure] with a message on malformed input or
+    when the clause count disagrees with the header. *)
+
+val parse_file : string -> Cnf.t
+
+val print : Format.formatter -> Cnf.t -> unit
+
+val to_string : Cnf.t -> string

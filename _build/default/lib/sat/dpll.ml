@@ -1,0 +1,152 @@
+type result = Sat of bool array | Unsat
+
+type stats = { decisions : int; propagations : int; max_depth : int }
+
+(* The solver works on a simplified-formula representation: a list of
+   clauses, shrinking as literals are assigned.  An empty clause means the
+   current branch is contradictory; an empty clause list means satisfied. *)
+
+let find_unit clauses =
+  List.find_map (function [ l ] -> Some l | _ -> None) clauses
+
+let find_pure num_vars clauses =
+  let pos = Array.make (num_vars + 1) false in
+  let neg = Array.make (num_vars + 1) false in
+  List.iter
+    (List.iter (fun l -> if l > 0 then pos.(l) <- true else neg.(-l) <- true))
+    clauses;
+  let rec go v =
+    if v > num_vars then None
+    else if pos.(v) && not neg.(v) then Some v
+    else if neg.(v) && not pos.(v) then Some (-v)
+    else go (v + 1)
+  in
+  go 1
+
+(* Branch on the literal occurring most often, breaking ties toward the
+   smallest variable, positive phase. *)
+let choose_branch num_vars clauses =
+  let occ = Array.make (2 * (num_vars + 1)) 0 in
+  let slot l = if l > 0 then 2 * l else (2 * -l) + 1 in
+  List.iter (List.iter (fun l -> occ.(slot l) <- occ.(slot l) + 1)) clauses;
+  let best = ref 0 and best_count = ref (-1) in
+  for v = num_vars downto 1 do
+    if occ.(slot (-v)) >= !best_count then begin
+      best := -v;
+      best_count := occ.(slot (-v))
+    end;
+    if occ.(slot v) >= !best_count then begin
+      best := v;
+      best_count := occ.(slot v)
+    end
+  done;
+  !best
+
+let assign_lit assignment l =
+  if l > 0 then assignment.(l) <- true else assignment.(-l) <- false
+
+let simplify_clauses clauses l =
+  let neg = -l in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest ->
+        if List.mem l c then go acc rest
+        else
+          let c' = List.filter (fun l' -> l' <> neg) c in
+          if c' = [] then None (* conflict *)
+          else go (c' :: acc) rest
+  in
+  go [] clauses
+
+let solve_with_stats (f : Cnf.t) =
+  let decisions = ref 0 in
+  let propagations = ref 0 in
+  let max_depth = ref 0 in
+  let assignment = Array.make (f.Cnf.num_vars + 1) false in
+  let rec go depth clauses =
+    if depth > !max_depth then max_depth := depth;
+    match clauses with
+    | [] -> true
+    | _ -> (
+        match find_unit clauses with
+        | Some l -> propagate depth clauses l ~count_propagation:true
+        | None -> (
+            match find_pure f.Cnf.num_vars clauses with
+            | Some l -> propagate depth clauses l ~count_propagation:true
+            | None ->
+                let l = choose_branch f.Cnf.num_vars clauses in
+                incr decisions;
+                branch depth clauses l || branch depth clauses (-l)))
+  and propagate depth clauses l ~count_propagation =
+    if count_propagation then incr propagations;
+    match simplify_clauses clauses l with
+    | None -> false
+    | Some clauses' ->
+        assign_lit assignment l;
+        go (depth + 1) clauses'
+  and branch depth clauses l =
+    match simplify_clauses clauses l with
+    | None -> false
+    | Some clauses' ->
+        assign_lit assignment l;
+        go (depth + 1) clauses'
+  in
+  let sat =
+    (* An explicitly empty clause is unsatisfiable from the start. *)
+    (not (List.exists (fun c -> c = []) f.Cnf.clauses))
+    && go 0 f.Cnf.clauses
+  in
+  let stats =
+    { decisions = !decisions; propagations = !propagations;
+      max_depth = !max_depth }
+  in
+  if sat then begin
+    (* Failed branches may leave stale values on variables the successful
+       branch never touched; those variables are unconstrained, so the
+       assignment must still satisfy the formula. *)
+    assert (Cnf.eval assignment f);
+    (Sat assignment, stats)
+  end
+  else (Unsat, stats)
+
+let solve f = fst (solve_with_stats f)
+
+let is_satisfiable f = match solve f with Sat _ -> true | Unsat -> false
+
+let brute_force (f : Cnf.t) =
+  let n = f.Cnf.num_vars in
+  let assignment = Array.make (n + 1) false in
+  let rec go v =
+    if v > n then Cnf.eval assignment f
+    else begin
+      assignment.(v) <- false;
+      go (v + 1)
+      ||
+      begin
+        assignment.(v) <- true;
+        let r = go (v + 1) in
+        if not r then assignment.(v) <- false;
+        r
+      end
+    end
+  in
+  if go 1 then Sat assignment else Unsat
+
+let count_models (f : Cnf.t) =
+  let n = f.Cnf.num_vars in
+  let assignment = Array.make (n + 1) false in
+  let count = ref 0 in
+  let rec go v =
+    if v > n then begin
+      if Cnf.eval assignment f then incr count
+    end
+    else begin
+      assignment.(v) <- false;
+      go (v + 1);
+      assignment.(v) <- true;
+      go (v + 1);
+      assignment.(v) <- false
+    end
+  in
+  go 1;
+  !count

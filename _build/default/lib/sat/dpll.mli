@@ -1,0 +1,34 @@
+(** A from-scratch DPLL satisfiability solver.
+
+    Used as the oracle that cross-checks the Theorem 1–4 reductions: the
+    exact event-ordering engine must agree with this solver on every
+    generated instance ([a MHB b] iff the formula is unsatisfiable). *)
+
+type result =
+  | Sat of bool array
+      (** A satisfying assignment, indexed by variable number (index 0
+          unused).  Variables the formula does not constrain may carry
+          either value. *)
+  | Unsat
+
+type stats = {
+  decisions : int;  (** branching choices made *)
+  propagations : int;  (** unit-clause propagations *)
+  max_depth : int;  (** deepest decision stack *)
+}
+
+val solve : Cnf.t -> result
+(** DPLL with unit propagation, pure-literal elimination and
+    most-occurrences branching. *)
+
+val solve_with_stats : Cnf.t -> result * stats
+
+val is_satisfiable : Cnf.t -> bool
+
+val brute_force : Cnf.t -> result
+(** Exhaustive truth-table search; exponential, for cross-checking the
+    solver on small formulas. *)
+
+val count_models : Cnf.t -> int
+(** Number of satisfying assignments over all [num_vars] variables
+    (exhaustive; intended for formulas with at most ~20 variables). *)

@@ -1,0 +1,75 @@
+let three_distinct_vars rng num_vars =
+  let v1 = 1 + Random.State.int rng num_vars in
+  let rec draw exclude =
+    let v = 1 + Random.State.int rng num_vars in
+    if List.mem v exclude then draw exclude else v
+  in
+  let v2 = draw [ v1 ] in
+  let v3 = draw [ v1; v2 ] in
+  (v1, v2, v3)
+
+let random_sign rng v = if Random.State.bool rng then v else -v
+
+let random_3cnf ~seed ~num_vars ~num_clauses =
+  if num_vars < 3 then invalid_arg "Sat_gen.random_3cnf: need >= 3 variables";
+  let rng = Random.State.make [| seed |] in
+  let clause () =
+    let v1, v2, v3 = three_distinct_vars rng num_vars in
+    [ random_sign rng v1; random_sign rng v2; random_sign rng v3 ]
+  in
+  Cnf.make ~num_vars (List.init num_clauses (fun _ -> clause ()))
+
+let planted_3cnf ~seed ~num_vars ~num_clauses =
+  if num_vars < 3 then invalid_arg "Sat_gen.planted_3cnf: need >= 3 variables";
+  let rng = Random.State.make [| seed |] in
+  let hidden = Array.init (num_vars + 1) (fun _ -> Random.State.bool rng) in
+  let satisfied_lit v = if hidden.(v) then v else -v in
+  let clause () =
+    let v1, v2, v3 = three_distinct_vars rng num_vars in
+    (* Force the first literal to agree with the hidden assignment. *)
+    [ satisfied_lit v1; random_sign rng v2; random_sign rng v3 ]
+  in
+  Cnf.make ~num_vars (List.init num_clauses (fun _ -> clause ()))
+
+let all_sign_patterns vars =
+  let rec go = function
+    | [] -> [ [] ]
+    | v :: rest ->
+        let tails = go rest in
+        List.map (fun t -> v :: t) tails @ List.map (fun t -> -v :: t) tails
+  in
+  go vars
+
+let tiny_sat_3cnf () = Cnf.make ~num_vars:1 [ [ 1; 1; 1 ] ]
+
+let tiny_unsat_3cnf () = Cnf.make ~num_vars:1 [ [ 1; 1; 1 ]; [ -1; -1; -1 ] ]
+
+let tiny_3cnf_pair () =
+  [ ("satisfiable", tiny_sat_3cnf ()); ("unsatisfiable", tiny_unsat_3cnf ()) ]
+
+let unsat_3cnf_small () = Cnf.make ~num_vars:3 (all_sign_patterns [ 1; 2; 3 ])
+
+let sat_3cnf_small () =
+  Cnf.make ~num_vars:3 [ [ 1; 2; 3 ]; [ -1; 2; -3 ]; [ 1; -2; 3 ] ]
+
+let pigeonhole n =
+  if n < 1 then invalid_arg "Sat_gen.pigeonhole: need n >= 1";
+  (* Variable p_{i,j} ("pigeon i sits in hole j") is numbered i*n + j + 1 for
+     i in 0..n (n+1 pigeons), j in 0..n-1 (n holes). *)
+  let var i j = (i * n) + j + 1 in
+  let pigeon_clauses =
+    List.init (n + 1) (fun i -> List.init n (fun j -> var i j))
+  in
+  let hole_clauses =
+    List.concat_map
+      (fun j ->
+        let rec pairs i acc =
+          if i > n then acc
+          else
+            pairs (i + 1)
+              (List.init i (fun i' -> [ -var i' j; -var i j ]) @ acc)
+        in
+        pairs 1 [])
+      (List.init n Fun.id)
+  in
+  Cnf.make ~num_vars:((n + 1) * n) (pigeon_clauses @ hole_clauses)

@@ -1,0 +1,41 @@
+(** Deterministic (seeded) CNF instance generators for the reduction
+    experiments.  All generators are pure functions of their parameters. *)
+
+val random_3cnf : seed:int -> num_vars:int -> num_clauses:int -> Cnf.t
+(** Uniformly random 3-CNF: each clause picks three distinct variables and
+    independent signs.  Requires [num_vars >= 3]. *)
+
+val planted_3cnf : seed:int -> num_vars:int -> num_clauses:int -> Cnf.t
+(** Random 3-CNF that is satisfiable by construction: a hidden assignment is
+    drawn first and every clause is forced to contain at least one literal
+    it satisfies.  Requires [num_vars >= 3]. *)
+
+val tiny_sat_3cnf : unit -> Cnf.t
+(** [(x1|x1|x1)] — the smallest satisfiable 3-CNF (3SAT in the
+    Garey–Johnson sense allows a literal to repeat within a clause). *)
+
+val tiny_unsat_3cnf : unit -> Cnf.t
+(** [(x1|x1|x1) & (~x1|~x1|~x1)] — the smallest unsatisfiable 3-CNF.  The
+    reduction experiments lean on these: a "pure" unsatisfiable 3-CNF with
+    three distinct variables per clause needs at least 8 clauses, far past
+    what the exponential exact engine can digest. *)
+
+val tiny_3cnf_pair : unit -> (string * Cnf.t) list
+(** Both tiny formulas, labelled, for tests and demos. *)
+
+val unsat_3cnf_small : unit -> Cnf.t
+(** A fixed small unsatisfiable 3-CNF (8 clauses over 3 variables: all sign
+    patterns, so no assignment satisfies every clause). *)
+
+val sat_3cnf_small : unit -> Cnf.t
+(** A fixed small satisfiable 3-CNF over 3 variables. *)
+
+val pigeonhole : int -> Cnf.t
+(** [pigeonhole n] encodes placing [n+1] pigeons into [n] holes — classic
+    unsatisfiable family with exponential resolution proofs.  Clauses are not
+    3-CNF (pigeon clauses have [n] literals). *)
+
+val all_sign_patterns : int list -> Cnf.clause list
+(** [all_sign_patterns vars] is the [2^k] clauses obtained by negating the
+    variables of [vars] in every possible combination — conjunction of all of
+    them is unsatisfiable. *)

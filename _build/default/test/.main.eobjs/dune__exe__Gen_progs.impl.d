@@ -1,0 +1,1 @@
+test/gen_progs.ml: Ast Expr Format Interp List Printf QCheck Sched Trace

@@ -1,0 +1,1 @@
+test/test_antichain.ml: Alcotest Antichain Fun List Matching Printf QCheck QCheck_alcotest Rel String

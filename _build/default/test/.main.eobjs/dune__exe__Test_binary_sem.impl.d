@@ -1,0 +1,1 @@
+test/test_binary_sem.ml: Alcotest Array Ast Cnf Enumerate Execution Format Gen_progs Interp List Parse Reach Reduction_sem Replay Sat_gen Sched Skeleton Theorems Trace

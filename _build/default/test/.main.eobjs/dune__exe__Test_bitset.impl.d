@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset List Printf QCheck QCheck_alcotest String

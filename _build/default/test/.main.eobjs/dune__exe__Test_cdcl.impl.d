@@ -1,0 +1,1 @@
+test/test_cdcl.ml: Alcotest Cdcl Cnf Dpll Format Printf QCheck QCheck_alcotest Sat_gen

@@ -1,0 +1,1 @@
+test/test_cnf.ml: Alcotest Cnf Format List

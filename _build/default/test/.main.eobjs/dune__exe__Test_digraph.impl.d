@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Bitset Digraph Linext List Printf QCheck QCheck_alcotest Rel String

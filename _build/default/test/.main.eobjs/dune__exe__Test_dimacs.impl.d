@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Cnf Dimacs List Sat_gen

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Array Dot Egp Figure1 Format Gen_progs Parse Relations Skeleton String Trace

@@ -1,0 +1,1 @@
+test/test_dpll.ml: Alcotest Cnf Dpll Format Printf QCheck QCheck_alcotest Sat_gen

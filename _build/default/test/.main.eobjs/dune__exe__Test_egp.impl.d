@@ -1,0 +1,1 @@
+test/test_egp.ml: Alcotest Array Ast Decide Digraph Egp Event Execution Expr Figure1 Format Gen_progs Interp List Parse Printf QCheck QCheck_alcotest Rel Trace

@@ -1,0 +1,1 @@
+test/test_execution.ml: Alcotest Event Execution List Rel

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Ast Explore Expr Format Gen_progs Interp List Parse Printf QCheck QCheck_alcotest Reach Sched Skeleton Trace

@@ -1,0 +1,1 @@
+test/test_feasible.ml: Alcotest Array Digraph Enumerate Event Gen_progs List Parse Pinned QCheck QCheck_alcotest Rel Replay Skeleton Trace

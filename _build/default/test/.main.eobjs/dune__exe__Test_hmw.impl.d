@@ -1,0 +1,1 @@
+test/test_hmw.ml: Alcotest Array Ast Event Execution Format Gen_progs Hmw List Parse Printf QCheck QCheck_alcotest Reach Rel Skeleton Trace

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Event Execution Interp List Parse Rel Sched Trace

@@ -1,0 +1,1 @@
+test/test_linext.ml: Alcotest Array Digraph Fun Linext List Printf QCheck QCheck_alcotest String

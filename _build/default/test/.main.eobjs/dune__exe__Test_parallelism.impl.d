@@ -1,0 +1,1 @@
+test/test_parallelism.ml: Alcotest Gen_progs Interp Parallelism Parse Pinned QCheck QCheck_alcotest Rel Skeleton Trace

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Ast Expr Format List Parse Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_por.ml: Alcotest Array Enumerate Event Execution Gen_progs Hashtbl List Parse Pinned Por QCheck QCheck_alcotest Rel Replay Skeleton Trace

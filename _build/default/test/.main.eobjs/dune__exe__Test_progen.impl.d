@@ -1,0 +1,1 @@
+test/test_progen.ml: Alcotest Ast Execution List Progen Trace

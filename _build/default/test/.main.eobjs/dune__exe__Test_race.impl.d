@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Array Ast Event Execution Format Gen_progs List Parse QCheck QCheck_alcotest Race Sched String Trace

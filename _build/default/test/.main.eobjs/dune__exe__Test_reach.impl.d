@@ -1,0 +1,1 @@
+test/test_reach.ml: Alcotest Array Enumerate Event Gen_progs List Parse QCheck QCheck_alcotest Reach Replay Skeleton Trace

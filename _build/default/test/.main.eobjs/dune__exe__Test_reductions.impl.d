@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Ast Cnf Event Execution List Reduction_evt Reduction_sem Rel Sat_gen Trace

@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest List Printf QCheck QCheck_alcotest Rel String

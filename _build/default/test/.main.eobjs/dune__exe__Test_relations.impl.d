@@ -1,0 +1,1 @@
+test/test_relations.ml: Alcotest Array Event Fun Gen_progs List Parse Pinned QCheck QCheck_alcotest Reach Rel Relations Skeleton Trace

@@ -1,0 +1,1 @@
+test/test_sat_gen.ml: Alcotest Cnf Dpll List Sat_gen

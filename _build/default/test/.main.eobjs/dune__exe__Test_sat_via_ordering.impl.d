@@ -1,0 +1,1 @@
+test/test_sat_via_ordering.ml: Alcotest Array Cnf Dpll Format QCheck QCheck_alcotest Sat_gen Sat_via_ordering

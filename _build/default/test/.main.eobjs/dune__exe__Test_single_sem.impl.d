@@ -1,0 +1,1 @@
+test/test_single_sem.ml: Alcotest Array Execution Format Fun List QCheck QCheck_alcotest Reduction_single_sem Sequencing Trace

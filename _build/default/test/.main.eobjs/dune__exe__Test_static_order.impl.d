@@ -1,0 +1,1 @@
+test/test_static_order.ml: Alcotest Ast Decide Expr Format Gen_progs List Parse Printf QCheck QCheck_alcotest Rel Static_order String Trace

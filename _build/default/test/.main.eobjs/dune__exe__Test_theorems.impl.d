@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Cnf Decide Execution Format List QCheck QCheck_alcotest Reduction_sem Rel Sat_gen Theorems Trace

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Ast Enumerate Event Execution Gen_progs List Parse Pinned QCheck QCheck_alcotest Reach Rel Skeleton Timing Trace

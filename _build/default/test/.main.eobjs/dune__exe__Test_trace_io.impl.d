@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Event Gen_progs Interp List Parse QCheck QCheck_alcotest Rel Relations Skeleton Trace Trace_io

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Array Decide Event Execution Gen_progs Lamport List Parse Pinned QCheck QCheck_alcotest Rel Skeleton Trace Vclock

@@ -1,0 +1,5 @@
+  $ eventorder analyze pipeline.eo
+  $ eventorder schedules pipeline.eo
+  $ eventorder order pipeline.eo --before "z := 42" --after "x := 1"
+  $ eventorder races pipeline.eo
+  $ eventorder report pipeline.eo

@@ -1,0 +1,14 @@
+  $ cat > locks.eo <<'PROG'
+  > binsem a = 1
+  > binsem b = 1
+  > proc one { p(a); p(b); x := 1; v(b); v(a) }
+  > proc two { p(b); p(a); y := 1; v(a); v(b) }
+  > PROG
+  $ eventorder schedules --policy priority locks.eo
+  $ eventorder report --policy priority locks.eo | grep deadlock
+  $ eventorder explore locks.eo
+  $ cat > racy.eo <<'PROG'
+  > proc w { x := 1; x := 2 }
+  > proc r { assert x != 1 }
+  > PROG
+  $ eventorder explore racy.eo

@@ -1,0 +1,16 @@
+  $ cat > bad.eo <<'PROG'
+  > proc main {
+  >   skip
+  >   ??
+  > }
+  > PROG
+  $ eventorder analyze bad.eo
+  $ cat > big.eo <<'PROG'
+  > proc a { x := 1; x := 2; x := 3; x := 4; x := 5; x := 6 }
+  > PROG
+  $ eventorder analyze --max-events 5 big.eo
+  $ eventorder dot big.eo --kind nonsense
+  $ cat > loopy.eo <<'PROG'
+  > proc a { while 1 = 1 { skip } }
+  > PROG
+  $ eventorder explore loopy.eo

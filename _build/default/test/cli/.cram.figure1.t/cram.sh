@@ -1,0 +1,1 @@
+  $ eventorder figure1

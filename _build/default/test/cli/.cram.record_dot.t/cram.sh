@@ -1,0 +1,4 @@
+  $ eventorder record pipeline.eo -o saved.eotrace
+  $ eventorder schedules saved.eotrace
+  $ eventorder dot pipeline.eo --kind pinned
+  $ eventorder fuzz --count 10 --seed 1

@@ -1,0 +1,4 @@
+  $ eventorder theorems --formula tiny-unsat
+  $ eventorder theorems --formula tiny-sat
+  $ eventorder reduce --style sem --decide tiny_unsat.cnf | tail -3
+  $ eventorder reduce --style event --decide tiny_unsat.cnf | tail -3

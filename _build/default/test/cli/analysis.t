@@ -1,0 +1,130 @@
+The full Table-1 analysis of the producer/consumer pipeline:
+
+  $ eventorder analyze pipeline.eo
+  trace: 5 events, completed
+    0  producer     x := 1
+    1  bystander    z := 42
+    2  producer     V(s)
+    3  consumer     P(s)
+    4  consumer     y := x
+  
+  5 feasible schedules in 1 distinct class
+  
+  must-have-happened-before (MHB):
+           0  1  2  3  4 
+   x := 1  .  -  X  X  X 
+  z := 42  -  .  -  -  - 
+     V(s)  -  -  .  X  X 
+     P(s)  -  -  -  .  X 
+   y := x  -  -  -  -  . 
+  
+  could-have-happened-before (CHB):
+           0  1  2  3  4 
+   x := 1  .  X  X  X  X 
+  z := 42  X  .  X  X  X 
+     V(s)  -  X  .  X  X 
+     P(s)  -  X  -  .  X 
+   y := x  -  X  -  -  . 
+  
+  must-have-been-concurrent-with (MCW):
+           0  1  2  3  4 
+   x := 1  .  X  -  -  - 
+  z := 42  X  .  X  X  X 
+     V(s)  -  X  .  -  - 
+     P(s)  -  X  -  .  - 
+   y := x  -  X  -  -  . 
+  
+  could-have-been-concurrent-with (CCW):
+           0  1  2  3  4 
+   x := 1  .  X  -  -  - 
+  z := 42  X  .  X  X  X 
+     V(s)  -  X  .  -  - 
+     P(s)  -  X  -  .  - 
+   y := x  -  X  -  -  . 
+  
+  must-have-been-ordered-with (MOW):
+           0  1  2  3  4 
+   x := 1  .  -  X  X  X 
+  z := 42  -  .  -  -  - 
+     V(s)  X  -  .  X  X 
+     P(s)  X  -  X  .  X 
+   y := x  X  -  X  X  . 
+  
+  could-have-been-ordered-with (COW):
+           0  1  2  3  4 
+   x := 1  .  -  X  X  X 
+  z := 42  -  .  -  -  - 
+     V(s)  X  -  .  X  X 
+     P(s)  X  -  X  .  X 
+   y := x  X  -  X  X  . 
+  
+  
+  max concurrency (width of the observed pinned order): 2 of 5 events
+
+Counting and deadlock checking:
+
+  $ eventorder schedules pipeline.eo
+  events:                   5
+  feasible schedules:       5
+  reachable states:         10
+  deadlock reachable:       false
+
+One labelled pair, with a witness schedule for the reversed order:
+
+  $ eventorder order pipeline.eo --before "z := 42" --after "x := 1"
+  'z := 42' MHB 'x := 1':                  false
+  'z := 42' CHB 'x := 1':                  true
+  'x := 1' CHB 'z := 42':                  true
+  'z := 42' CCW 'x := 1':                  true
+  'z := 42' MOW 'x := 1':                  false
+  witness schedule running 'x := 1' before 'z := 42':
+     0  x := 1
+     1  z := 42
+     2  V(s)
+     3  P(s)
+     4  y := x
+
+Race reporting:
+
+  $ eventorder races pipeline.eo
+  candidate conflicting pairs: 1
+    race between x := 1 (event 0) and y := x (event 4) on v0
+  apparent races (vector clock): 0
+  feasible races (exact): 0
+  first races (debugging frontier): 0
+
+The one-shot report:
+
+  $ eventorder report pipeline.eo
+  === execution ===
+  trace: 5 events, completed
+    0  producer     x := 1
+    1  bystander    z := 42
+    2  producer     V(s)
+    3  consumer     P(s)
+    4  consumer     y := x
+  
+  === feasible executions ===
+  feasible schedules: 5
+  reachable states:   10
+  reachable deadlock: none
+  
+  === ordering relations (pair counts) ===
+  distinct classes:   1
+  must-have-happened-before          6 pairs
+  could-have-happened-before         14 pairs
+  must-have-been-concurrent-with     8 pairs
+  could-have-been-concurrent-with    8 pairs
+  must-have-been-ordered-with        12 pairs
+  could-have-been-ordered-with       12 pairs
+  max concurrency (width): 2 of 5 events; critical path: 4; speedup limit: 1.25
+  
+  === races ===
+  apparent:  0
+  feasible:  0
+  first:     0
+  
+  === polynomial approximations vs exact MHB ===
+  exact MHB pairs:            6
+  missed by the task graph:   4
+  HMW phase-3 safe pairs:     6

@@ -1,0 +1,46 @@
+A program whose observed run completes but whose feasible-execution space
+contains a wedged state (the two-lock inversion):
+
+  $ cat > locks.eo <<'PROG'
+  > binsem a = 1
+  > binsem b = 1
+  > proc one { p(a); p(b); x := 1; v(b); v(a) }
+  > proc two { p(b); p(a); y := 1; v(a); v(b) }
+  > PROG
+
+  $ eventorder schedules --policy priority locks.eo
+  events:                   10
+  feasible schedules:       4
+  reachable states:         23
+  deadlock reachable:       true
+
+The one-shot report names a wedging prefix:
+
+  $ eventorder report --policy priority locks.eo | grep deadlock
+  reachable deadlock: yes, e.g. after [P(a); P(b)]
+
+Program-level exploration of the same program — all executions, not just
+reorderings of one trace:
+
+  $ eventorder explore locks.eo
+  completed executions:  4
+  deadlocked executions: 2
+  machine states:        23
+  assertion violation reachable: false
+  reachable final stores (1):
+    x=1, y=1
+
+Assertions turn the explorer into a small model checker:
+
+  $ cat > racy.eo <<'PROG'
+  > proc w { x := 1; x := 2 }
+  > proc r { assert x != 1 }
+  > PROG
+
+  $ eventorder explore racy.eo
+  completed executions:  3
+  deadlocked executions: 0
+  machine states:        6
+  assertion violation reachable: true
+  reachable final stores (1):
+    x=2

@@ -1,0 +1,47 @@
+Error handling: syntax errors carry line numbers,
+
+  $ cat > bad.eo <<'PROG'
+  > proc main {
+  >   skip
+  >   ??
+  > }
+  > PROG
+
+  $ eventorder analyze bad.eo
+  bad.eo:3: syntax error: unexpected character '?'
+  [2]
+
+
+the exponential-engine guard refuses oversized traces,
+
+  $ cat > big.eo <<'PROG'
+  > proc a { x := 1; x := 2; x := 3; x := 4; x := 5; x := 6 }
+  > PROG
+
+  $ eventorder analyze --max-events 5 big.eo
+  trace: 6 events, completed
+    0  a            x := 1
+    1  a            x := 2
+    2  a            x := 3
+    3  a            x := 4
+    4  a            x := 5
+    5  a            x := 6
+  
+  error: trace has 6 events; the exact engines are exponential and 6 is past the configured --max-events 5
+  [2]
+
+unknown dot kinds are rejected,
+
+  $ eventorder dot big.eo --kind nonsense
+  error: unknown --kind nonsense
+  [2]
+
+and the explorer rejects loops instead of diverging:
+
+  $ cat > loopy.eo <<'PROG'
+  > proc a { while 1 = 1 { skip } }
+  > PROG
+
+  $ eventorder explore loopy.eo
+  error: Explore: loops make the state graph infinite
+  [2]

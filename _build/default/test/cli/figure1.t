@@ -1,0 +1,23 @@
+The Figure 1 demonstration is fully deterministic:
+
+  $ eventorder figure1
+  proc main {
+    cobegin
+      { post(E); x := 1 }
+      { if x = 1 { post(E) } else { wait(E) } }
+      { wait(E) }
+    coend
+  }
+  
+  trace: 7 events, completed
+    0  main         fork
+    1  main/0       Post(E)
+    2  main/0       x := 1
+    3  main/1       if (x = 1)
+    4  main/1       Post(E)
+    5  main/2       Wait(E)
+    6  main         join
+  
+  post1 -> post2       exact MHB: true    task graph claims: false
+  post1 -> wait3       exact MHB: true    task graph claims: false
+  write_x -> post2     exact MHB: true    task graph claims: false

@@ -1,0 +1,40 @@
+Recording a trace and re-analysing the saved file:
+
+  $ eventorder record pipeline.eo -o saved.eotrace
+  recorded 5 events to saved.eotrace
+
+  $ eventorder schedules saved.eotrace
+  events:                   5
+  feasible schedules:       5
+  reachable states:         10
+  deadlock reachable:       false
+
+DOT output for the observed pinned order:
+
+  $ eventorder dot pipeline.eo --kind pinned
+  digraph pinned {
+    rankdir=TB;
+    subgraph cluster_p0 {
+      label="process 0"; style=dotted;
+      e0 [label="x := 1", shape=ellipse];
+      e2 [label="V(s)", shape=box];
+    }
+    subgraph cluster_p1 {
+      label="process 1"; style=dotted;
+      e3 [label="P(s)", shape=box];
+      e4 [label="y := x", shape=ellipse];
+    }
+    subgraph cluster_p2 {
+      label="process 2"; style=dotted;
+      e1 [label="z := 42", shape=ellipse];
+    }
+    e0 -> e2;
+    e3 -> e4;
+    e2 -> e3 [style=bold, color=blue];
+    e0 -> e4 [style=dashed, color=red];
+  }
+
+Differential fuzzing of the engines (small, deterministic):
+
+  $ eventorder fuzz --count 10 --seed 1
+  fuzz: 10 programs, 9 exhaustively cross-checked, 0 failures

@@ -1,0 +1,27 @@
+Machine-checking Theorems 1-4 on the tiny instances:
+
+  $ eventorder theorems --formula tiny-unsat
+  Theorem 1: formula (x1 | x1 | x1) & (~x1 | ~x1 | ~x1) is UNSAT; a MHB b holds: true; equivalence VERIFIED (28 events)
+  Theorem 2: formula (x1 | x1 | x1) & (~x1 | ~x1 | ~x1) is UNSAT; b CHB a holds: false; equivalence VERIFIED (28 events)
+  Theorem 3: formula (x1 | x1 | x1) & (~x1 | ~x1 | ~x1) is UNSAT; a MHB b holds: true; equivalence VERIFIED (28 events)
+  Theorem 4: formula (x1 | x1 | x1) & (~x1 | ~x1 | ~x1) is UNSAT; b CHB a holds: false; equivalence VERIFIED (28 events)
+  all theorem equivalences verified
+
+  $ eventorder theorems --formula tiny-sat
+  Theorem 1: formula (x1 | x1 | x1) is SAT; a MHB b holds: false; equivalence VERIFIED (18 events)
+  Theorem 2: formula (x1 | x1 | x1) is SAT; b CHB a holds: true; equivalence VERIFIED (18 events)
+  Theorem 3: formula (x1 | x1 | x1) is SAT; a MHB b holds: false; equivalence VERIFIED (21 events)
+  Theorem 4: formula (x1 | x1 | x1) is SAT; b CHB a holds: true; equivalence VERIFIED (21 events)
+  all theorem equivalences verified
+
+The reduction built from a DIMACS file, decided and cross-checked:
+
+  $ eventorder reduce --style sem --decide tiny_unsat.cnf | tail -3
+  
+  Theorem 1: formula (x1 | x1 | x1) & (~x1 | ~x1 | ~x1) is UNSAT; a MHB b holds: true; equivalence VERIFIED (28 events)
+  Theorem 2: formula (x1 | x1 | x1) & (~x1 | ~x1 | ~x1) is UNSAT; b CHB a holds: false; equivalence VERIFIED (28 events)
+
+  $ eventorder reduce --style event --decide tiny_unsat.cnf | tail -3
+  
+  Theorem 3: formula (x1 | x1 | x1) & (~x1 | ~x1 | ~x1) is UNSAT; a MHB b holds: true; equivalence VERIFIED (28 events)
+  Theorem 4: formula (x1 | x1 | x1) & (~x1 | ~x1 | ~x1) is UNSAT; b CHB a holds: false; equivalence VERIFIED (28 events)

@@ -1,0 +1,122 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let closed_order pairs n = Rel.transitive_closure (Rel.of_pairs n pairs)
+
+let test_chain () =
+  let order = closed_order [ (0, 1); (1, 2); (2, 3) ] 4 in
+  Alcotest.(check int) "width of chain" 1 (Antichain.width order);
+  Alcotest.(check int) "singleton antichain" 1
+    (List.length (Antichain.maximum_antichain order));
+  Alcotest.(check int) "one chain" 1
+    (List.length (Antichain.minimum_chain_cover order))
+
+let test_antichain_of_empty_order () =
+  let order = Rel.create 5 in
+  Alcotest.(check int) "width" 5 (Antichain.width order);
+  Alcotest.(check (list int)) "all elements" [ 0; 1; 2; 3; 4 ]
+    (Antichain.maximum_antichain order);
+  Alcotest.(check int) "five chains" 5
+    (List.length (Antichain.minimum_chain_cover order))
+
+let test_diamond () =
+  let order = closed_order [ (0, 1); (0, 2); (1, 3); (2, 3) ] 4 in
+  Alcotest.(check int) "width of diamond" 2 (Antichain.width order);
+  Alcotest.(check (list int)) "middle antichain" [ 1; 2 ]
+    (Antichain.maximum_antichain order)
+
+let test_two_chains () =
+  (* Two independent chains of length 3: width 2, cover with 2 chains. *)
+  let order = closed_order [ (0, 1); (1, 2); (3, 4); (4, 5) ] 6 in
+  Alcotest.(check int) "width" 2 (Antichain.width order);
+  let cover = Antichain.minimum_chain_cover order in
+  Alcotest.(check int) "two chains" 2 (List.length cover);
+  (* Every element appears exactly once. *)
+  let all = List.sort compare (List.concat cover) in
+  Alcotest.(check (list int)) "partition" [ 0; 1; 2; 3; 4; 5 ] all
+
+let test_rejects_non_order () =
+  let not_closed = Rel.of_pairs 3 [ (0, 1); (1, 2) ] in
+  Alcotest.check_raises "not transitive"
+    (Invalid_argument "Antichain: relation is not a strict partial order")
+    (fun () -> ignore (Antichain.width not_closed))
+
+let test_matching_basic () =
+  let m = Matching.maximum ~n_left:3 ~n_right:3 [ (0, 0); (0, 1); (1, 0); (2, 2) ] in
+  Alcotest.(check int) "perfect here" 3 m.Matching.size;
+  let m2 = Matching.maximum ~n_left:2 ~n_right:2 [ (0, 0); (1, 0) ] in
+  Alcotest.(check int) "bottleneck" 1 m2.Matching.size;
+  let m3 = Matching.maximum ~n_left:2 ~n_right:2 [] in
+  Alcotest.(check int) "empty" 0 m3.Matching.size
+
+(* Brute force for cross-checking: maximum antichain by subset search. *)
+let brute_force_width order =
+  let n = Rel.size order in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let members =
+      List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
+    in
+    let antichain =
+      List.for_all
+        (fun a ->
+          List.for_all (fun b -> a = b || not (Rel.comparable order a b)) members)
+        members
+    in
+    if antichain then best := max !best (List.length members)
+  done;
+  !best
+
+let random_order =
+  QCheck.make
+    ~print:(fun (n, pairs) ->
+      Printf.sprintf "n=%d %s" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d<%d" a b) pairs)))
+    QCheck.Gen.(
+      int_range 1 9 >>= fun n ->
+      list_size (int_range 0 16)
+        (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      >>= fun raw ->
+      return (n, List.filter (fun (a, b) -> a < b) raw))
+
+let prop_width_matches_brute_force =
+  QCheck.Test.make ~name:"width = brute-force maximum antichain" ~count:200
+    random_order (fun (n, pairs) ->
+      let order = closed_order pairs n in
+      Antichain.width order = brute_force_width order)
+
+let prop_antichain_is_valid =
+  QCheck.Test.make ~name:"maximum_antichain: size and incomparability"
+    ~count:200 random_order (fun (n, pairs) ->
+      let order = closed_order pairs n in
+      let a = Antichain.maximum_antichain order in
+      List.length a = Antichain.width order)
+
+let prop_chain_cover_valid =
+  QCheck.Test.make ~name:"chain cover: partition into width-many chains"
+    ~count:200 random_order (fun (n, pairs) ->
+      let order = closed_order pairs n in
+      let cover = Antichain.minimum_chain_cover order in
+      List.length cover = Antichain.width order
+      && List.sort compare (List.concat cover) = List.init n Fun.id
+      && List.for_all
+           (fun chain ->
+             let rec ascending = function
+               | a :: (b :: _ as rest) -> Rel.mem order a b && ascending rest
+               | _ -> true
+             in
+             ascending chain)
+           cover)
+
+let suite =
+  [
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "empty order" `Quick test_antichain_of_empty_order;
+    Alcotest.test_case "diamond" `Quick test_diamond;
+    Alcotest.test_case "two chains" `Quick test_two_chains;
+    Alcotest.test_case "rejects non-orders" `Quick test_rejects_non_order;
+    Alcotest.test_case "matching basics" `Quick test_matching_basic;
+    qcheck prop_width_matches_brute_force;
+    qcheck prop_antichain_is_valid;
+    qcheck prop_chain_cover_valid;
+  ]

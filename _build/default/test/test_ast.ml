@@ -1,0 +1,52 @@
+let sample =
+  Ast.program
+    ~sem_init:[ ("s", 1) ]
+    ~ev_init:[ ("e", false) ]
+    ~var_init:[ ("x", 0) ]
+    [
+      Ast.proc "main"
+        [
+          Ast.Assign ("x", Expr.Add (Expr.Var "y", Expr.Int 1));
+          Ast.If
+            ( Expr.Eq (Expr.Var "x", Expr.Int 1),
+              [ Ast.Sem_p "s"; Ast.Post "e" ],
+              [ Ast.Wait "f" ] );
+          Ast.While (Expr.Lt (Expr.Var "x", Expr.Int 3),
+                     [ Ast.Assign ("x", Expr.Int 9) ]);
+          Ast.Cobegin [ [ Ast.Sem_v "t" ]; [ Ast.Clear "e" ] ];
+        ];
+    ]
+
+let test_semaphores () =
+  (* Declared first, then first-use order. *)
+  Alcotest.(check (list string)) "sems" [ "s"; "t" ] (Ast.semaphores sample);
+  Alcotest.(check bool) "uses semaphores" true (Ast.uses_semaphores sample)
+
+let test_event_variables () =
+  Alcotest.(check (list string)) "events" [ "e"; "f" ]
+    (Ast.event_variables sample);
+  Alcotest.(check bool) "uses event sync" true (Ast.uses_event_sync sample)
+
+let test_shared_variables () =
+  (* Declared x first; y read in the first assignment. *)
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ]
+    (Ast.shared_variables sample)
+
+let test_stmt_count () =
+  (* assign, if, p, post, wait, while, assign-in-while, cobegin, v, clear *)
+  Alcotest.(check int) "static statements" 10 (Ast.stmt_count sample)
+
+let test_no_sync () =
+  let p = Ast.program [ Ast.proc "a" [ Ast.Skip None ] ] in
+  Alcotest.(check bool) "no semaphores" false (Ast.uses_semaphores p);
+  Alcotest.(check bool) "no events" false (Ast.uses_event_sync p);
+  Alcotest.(check (list string)) "no vars" [] (Ast.shared_variables p)
+
+let suite =
+  [
+    Alcotest.test_case "semaphores" `Quick test_semaphores;
+    Alcotest.test_case "event variables" `Quick test_event_variables;
+    Alcotest.test_case "shared variables" `Quick test_shared_variables;
+    Alcotest.test_case "stmt count" `Quick test_stmt_count;
+    Alcotest.test_case "no sync" `Quick test_no_sync;
+  ]

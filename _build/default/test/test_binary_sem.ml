@@ -1,0 +1,130 @@
+(* Binary semaphores: capped-V semantics across the interpreter and all
+   three feasibility engines, plus the paper's Section 5.1 remark that
+   Theorems 1 and 2 also hold for binary semaphores. *)
+
+let run ?policy src =
+  match Gen_progs.completed_trace ?policy (Parse.program src) with
+  | Some t -> t
+  | None -> Alcotest.fail "fixture program deadlocked"
+
+let test_absorbed_v () =
+  (* Two V's back to back on a binary semaphore leave one token, so the
+     second P deadlocks; with a counting semaphore both P's pass. *)
+  let binary = "binsem s = 0\nproc a { v(s); v(s) }\nproc b { p(s); p(s) }" in
+  let t = Interp.run ~policy:(Sched.Replay [ 0; 0; 1; 1 ]) (Parse.program binary) in
+  Alcotest.(check bool) "binary run deadlocks" true
+    (match t.Trace.outcome with Trace.Deadlocked _ -> true | _ -> false);
+  let counting = "sem s = 0\nproc a { v(s); v(s) }\nproc b { p(s); p(s) }" in
+  let t = Interp.run ~policy:(Sched.Replay [ 0; 0; 1; 1 ]) (Parse.program counting) in
+  Alcotest.(check bool) "counting run completes" true
+    (t.Trace.outcome = Trace.Completed)
+
+let test_interleaved_vp_completes () =
+  let src = "binsem s = 0\nproc a { v(s); v(s) }\nproc b { p(s); p(s) }" in
+  (* V P V P works even under binary semantics. *)
+  let t = Interp.run ~policy:(Sched.Replay [ 0; 1; 0; 1 ]) (Parse.program src) in
+  Alcotest.(check bool) "completes" true (t.Trace.outcome = Trace.Completed)
+
+let test_binary_flag_recorded () =
+  let t = run "binsem s = 1\nproc a { p(s) }" in
+  let x = Trace.to_execution t in
+  Alcotest.(check bool) "flag" true x.Execution.sem_binary.(0);
+  let t = run "sem s = 1\nproc a { p(s) }" in
+  let x = Trace.to_execution t in
+  Alcotest.(check bool) "counting flag" false x.Execution.sem_binary.(0)
+
+let test_pp_roundtrip () =
+  let prog =
+    Ast.program
+      ~sem_init:[ ("s", 1) ]
+      ~binary_sems:[ "s"; "t" ]
+      [ Ast.proc "a" [ Ast.Sem_p "s"; Ast.Sem_v "t" ] ]
+  in
+  let printed = Format.asprintf "%a" Ast.pp prog in
+  let reparsed = Parse.program printed in
+  Alcotest.(check bool) "binary sems preserved" true
+    (List.sort compare reparsed.Ast.binary_sems = [ "s"; "t" ])
+
+let test_enumerate_respects_binary () =
+  (* Feasible schedules of the V V / P P skeleton: under binary semantics
+     only interleavings where each V is consumed before the next V count. *)
+  let t = run ~policy:(Sched.Replay [ 0; 1; 0; 1 ])
+      "binsem s = 0\nproc a { v(s); v(s) }\nproc b { p(s); p(s) }" in
+  let sk = Skeleton.of_execution (Trace.to_execution t) in
+  let schedules = Enumerate.all sk in
+  (* V1 P1 V2 P2 is the only complete order: V1 V2 collapses the token. *)
+  Alcotest.(check int) "single feasible schedule" 1 (List.length schedules);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "replay agrees" true (Replay.is_feasible sk s))
+    schedules;
+  (* The counting version admits more schedules. *)
+  let t2 = run ~policy:(Sched.Replay [ 0; 1; 0; 1 ])
+      "sem s = 0\nproc a { v(s); v(s) }\nproc b { p(s); p(s) }" in
+  let sk2 = Skeleton.of_execution (Trace.to_execution t2) in
+  Alcotest.(check bool) "counting admits more" true
+    (Enumerate.count sk2 > 1)
+
+let test_reach_agrees_with_enumerate () =
+  List.iter
+    (fun src ->
+      let t = run ~policy:(Sched.Replay [ 0; 1; 0; 1 ]) src in
+      let sk = Skeleton.of_execution (Trace.to_execution t) in
+      Alcotest.(check int) "counts agree" (Enumerate.count sk)
+        (Reach.schedule_count (Reach.create sk)))
+    [
+      "binsem s = 0\nproc a { v(s); v(s) }\nproc b { p(s); p(s) }";
+      "sem s = 0\nproc a { v(s); v(s) }\nproc b { p(s); p(s) }";
+    ]
+
+let test_binary_deadlock_reachable () =
+  (* Even though the observed schedule completes, the binary skeleton can
+     wedge itself by scheduling both V's first. *)
+  let t = run ~policy:(Sched.Replay [ 0; 1; 0; 1 ])
+      "binsem s = 0\nproc a { v(s); v(s) }\nproc b { p(s); p(s) }" in
+  let r = Reach.create (Skeleton.of_execution (Trace.to_execution t)) in
+  Alcotest.(check bool) "deadlock reachable" true (Reach.deadlock_reachable r)
+
+let test_theorems_binary () =
+  List.iter
+    (fun formula ->
+      let c1 = Theorems.check_theorem_1_binary formula in
+      let c2 = Theorems.check_theorem_2_binary formula in
+      Alcotest.(check bool) "theorem 1 binary" true c1.Theorems.agrees;
+      Alcotest.(check bool) "theorem 2 binary" true c2.Theorems.agrees)
+    [
+      Sat_gen.tiny_sat_3cnf ();
+      Sat_gen.tiny_unsat_3cnf ();
+      Cnf.make ~num_vars:2 [ [ 1; 1; 2 ]; [ -1; -1; 2 ] ];
+    ]
+
+let test_binary_reduction_structure () =
+  let red = Reduction_sem.build ~binary:true (Sat_gen.tiny_unsat_3cnf ()) in
+  Alcotest.(check bool) "flag set" true red.Reduction_sem.binary;
+  Alcotest.(check int) "all semaphores binary"
+    (List.length red.Reduction_sem.program.Ast.sem_init)
+    (List.length red.Reduction_sem.program.Ast.binary_sems);
+  let tr = Reduction_sem.trace red in
+  Alcotest.(check bool) "trace completes" true
+    (tr.Trace.outcome = Trace.Completed);
+  Alcotest.(check (list string)) "valid execution" []
+    (Execution.axiom_violations (Trace.to_execution tr))
+
+let suite =
+  [
+    Alcotest.test_case "absorbed V" `Quick test_absorbed_v;
+    Alcotest.test_case "interleaved V/P completes" `Quick
+      test_interleaved_vp_completes;
+    Alcotest.test_case "binary flag recorded" `Quick test_binary_flag_recorded;
+    Alcotest.test_case "pp/parse roundtrip" `Quick test_pp_roundtrip;
+    Alcotest.test_case "enumerate respects binary semantics" `Quick
+      test_enumerate_respects_binary;
+    Alcotest.test_case "reach agrees with enumerate" `Quick
+      test_reach_agrees_with_enumerate;
+    Alcotest.test_case "binary deadlock reachable" `Quick
+      test_binary_deadlock_reachable;
+    Alcotest.test_case "binary reduction structure" `Quick
+      test_binary_reduction_structure;
+    Alcotest.test_case "theorems 1-2 with binary semaphores" `Slow
+      test_theorems_binary;
+  ]

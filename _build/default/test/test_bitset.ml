@@ -1,0 +1,123 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let small_set =
+  (* Generates (capacity, element list) with elements in range. *)
+  QCheck.make
+    ~print:(fun (n, xs) ->
+      Printf.sprintf "n=%d [%s]" n (String.concat ";" (List.map string_of_int xs)))
+    QCheck.Gen.(
+      int_range 1 200 >>= fun n ->
+      list_size (int_range 0 50) (int_range 0 (n - 1)) >>= fun xs ->
+      return (n, xs))
+
+let test_empty () =
+  let s = Bitset.create 10 in
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal s);
+  Alcotest.(check bool) "is_empty" true (Bitset.is_empty s);
+  Alcotest.(check bool) "mem" false (Bitset.mem s 3)
+
+let test_add_remove () =
+  let s = Bitset.create 100 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list" [ 0; 63; 64; 99 ] (Bitset.to_list s);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal s)
+
+let test_bounds () =
+  let s = Bitset.create 5 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> ignore (Bitset.mem s (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.add s 5)
+
+let test_fill () =
+  let s = Bitset.create 70 in
+  Bitset.fill s;
+  Alcotest.(check int) "cardinal" 70 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem last" true (Bitset.mem s 69);
+  Bitset.clear s;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty s)
+
+let test_zero_capacity () =
+  let s = Bitset.create 0 in
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal s);
+  Bitset.fill s;
+  Alcotest.(check int) "fill of empty" 0 (Bitset.cardinal s)
+
+let test_set_algebra () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 10 [ 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ]
+    (Bitset.to_list (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 3 ] (Bitset.to_list (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] (Bitset.to_list (Bitset.diff a b));
+  Alcotest.(check bool) "subset yes" true
+    (Bitset.subset (Bitset.of_list 10 [ 1; 3 ]) a);
+  Alcotest.(check bool) "subset no" false (Bitset.subset b a);
+  Alcotest.(check bool) "disjoint no" false (Bitset.disjoint a b);
+  Alcotest.(check bool) "disjoint yes" true
+    (Bitset.disjoint a (Bitset.of_list 10 [ 5; 6 ]))
+
+let test_capacity_mismatch () =
+  let a = Bitset.create 5 and b = Bitset.create 6 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> Bitset.union_into a b)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_list/to_list sorts and dedups" ~count:200 small_set
+    (fun (n, xs) ->
+      Bitset.to_list (Bitset.of_list n xs) = List.sort_uniq compare xs)
+
+let prop_cardinal =
+  QCheck.Test.make ~name:"cardinal = length of dedup" ~count:200 small_set
+    (fun (n, xs) ->
+      Bitset.cardinal (Bitset.of_list n xs)
+      = List.length (List.sort_uniq compare xs))
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"union commutes" ~count:200
+    (QCheck.pair small_set small_set)
+    (fun ((n1, xs), (n2, ys)) ->
+      let n = max n1 n2 in
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      Bitset.equal (Bitset.union a b) (Bitset.union b a))
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"diff via inter of complement" ~count:200
+    (QCheck.pair small_set small_set)
+    (fun ((n1, xs), (n2, ys)) ->
+      let n = max n1 n2 in
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      let complement_b = Bitset.create n in
+      Bitset.fill complement_b;
+      Bitset.diff_into complement_b b;
+      Bitset.equal (Bitset.diff a b) (Bitset.inter a complement_b))
+
+let prop_fold_iter_agree =
+  QCheck.Test.make ~name:"fold agrees with iter" ~count:200 small_set
+    (fun (n, xs) ->
+      let s = Bitset.of_list n xs in
+      let via_iter = ref [] in
+      Bitset.iter (fun i -> via_iter := i :: !via_iter) s;
+      Bitset.fold (fun i acc -> i :: acc) s [] = !via_iter)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add/remove" `Quick test_add_remove;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "fill/clear" `Quick test_fill;
+    Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+    Alcotest.test_case "set algebra" `Quick test_set_algebra;
+    Alcotest.test_case "capacity mismatch" `Quick test_capacity_mismatch;
+    qcheck prop_roundtrip;
+    qcheck prop_cardinal;
+    qcheck prop_union_commutes;
+    qcheck prop_demorgan;
+    qcheck prop_fold_iter_agree;
+  ]

@@ -1,0 +1,96 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_trivial () =
+  Alcotest.(check bool) "x1 sat" true
+    (Cdcl.is_satisfiable (Cnf.make ~num_vars:1 [ [ 1 ] ]));
+  Alcotest.(check bool) "x1 & ~x1 unsat" false
+    (Cdcl.is_satisfiable (Cnf.make ~num_vars:1 [ [ 1 ]; [ -1 ] ]));
+  Alcotest.(check bool) "empty formula sat" true
+    (Cdcl.is_satisfiable (Cnf.make ~num_vars:3 []));
+  Alcotest.(check bool) "empty clause unsat" false
+    (Cdcl.is_satisfiable (Cnf.make ~num_vars:3 [ [] ]))
+
+let test_tautology_dropped () =
+  Alcotest.(check bool) "p | ~p alone is sat" true
+    (Cdcl.is_satisfiable (Cnf.make ~num_vars:1 [ [ 1; -1 ] ]));
+  Alcotest.(check bool) "tautology plus unsat core" false
+    (Cdcl.is_satisfiable (Cnf.make ~num_vars:2 [ [ 1; -1 ]; [ 2 ]; [ -2 ] ]))
+
+let test_fixed_families () =
+  Alcotest.(check bool) "all sign patterns unsat" false
+    (Cdcl.is_satisfiable (Sat_gen.unsat_3cnf_small ()));
+  Alcotest.(check bool) "small sat" true
+    (Cdcl.is_satisfiable (Sat_gen.sat_3cnf_small ()));
+  Alcotest.(check bool) "tiny structures" true
+    (Cdcl.is_satisfiable (Sat_gen.tiny_sat_3cnf ())
+    && not (Cdcl.is_satisfiable (Sat_gen.tiny_unsat_3cnf ())))
+
+let test_pigeonhole () =
+  for n = 1 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "pigeonhole %d unsat" n)
+      false
+      (Cdcl.is_satisfiable (Sat_gen.pigeonhole n))
+  done
+
+let test_stats_record_learning () =
+  (* Pigeonhole 4 needs genuine conflict-driven work. *)
+  let _, stats = Cdcl.solve_with_stats (Sat_gen.pigeonhole 4) in
+  Alcotest.(check bool) "conflicts happened" true (stats.Cdcl.conflicts > 0);
+  Alcotest.(check bool) "clauses learned" true (stats.Cdcl.learned > 0)
+
+let test_larger_random () =
+  (* Larger than DPLL-comfortable instances: 60 vars at the 4.26 ratio. *)
+  for seed = 0 to 4 do
+    let f = Sat_gen.random_3cnf ~seed ~num_vars:60 ~num_clauses:255 in
+    (* Whatever the verdict, a SAT answer must carry a valid witness. *)
+    match Cdcl.solve f with
+    | Cdcl.Sat a -> Alcotest.(check bool) "witness valid" true (Cnf.eval a f)
+    | Cdcl.Unsat -> ()
+  done
+
+let random_small_cnf =
+  QCheck.make
+    ~print:(fun (nv, clauses) ->
+      Format.asprintf "%a" Cnf.pp (Cnf.make ~num_vars:nv clauses))
+    QCheck.Gen.(
+      int_range 1 7 >>= fun nv ->
+      list_size (int_range 0 16)
+        (list_size (int_range 0 4)
+           (int_range 1 nv >>= fun v -> oneofl [ v; -v ]))
+      >>= fun clauses -> return (nv, clauses))
+
+let prop_agrees_with_dpll =
+  QCheck.Test.make ~name:"CDCL agrees with DPLL" ~count:400 random_small_cnf
+    (fun (nv, clauses) ->
+      let f = Cnf.make ~num_vars:nv clauses in
+      Cdcl.is_satisfiable f = Dpll.is_satisfiable f)
+
+let prop_witness_valid =
+  QCheck.Test.make ~name:"CDCL SAT witnesses satisfy the formula" ~count:400
+    random_small_cnf (fun (nv, clauses) ->
+      let f = Cnf.make ~num_vars:nv clauses in
+      match Cdcl.solve f with
+      | Cdcl.Sat a -> Cnf.eval a f
+      | Cdcl.Unsat -> true)
+
+let prop_medium_random_agrees =
+  QCheck.Test.make ~name:"CDCL agrees with DPLL on 12-var random 3-CNF"
+    ~count:60
+    QCheck.(pair (int_range 0 10000) (int_range 20 60))
+    (fun (seed, nc) ->
+      let f = Sat_gen.random_3cnf ~seed ~num_vars:12 ~num_clauses:nc in
+      Cdcl.is_satisfiable f = Dpll.is_satisfiable f)
+
+let suite =
+  [
+    Alcotest.test_case "trivial" `Quick test_trivial;
+    Alcotest.test_case "tautologies" `Quick test_tautology_dropped;
+    Alcotest.test_case "fixed families" `Quick test_fixed_families;
+    Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+    Alcotest.test_case "stats record learning" `Quick test_stats_record_learning;
+    Alcotest.test_case "larger random instances" `Quick test_larger_random;
+    qcheck prop_agrees_with_dpll;
+    qcheck prop_witness_valid;
+    qcheck prop_medium_random_agrees;
+  ]

@@ -1,0 +1,64 @@
+let test_make_validates () =
+  Alcotest.check_raises "literal out of range"
+    (Invalid_argument "Cnf.make: literal out of range") (fun () ->
+      ignore (Cnf.make ~num_vars:2 [ [ 3 ] ]));
+  Alcotest.check_raises "zero literal"
+    (Invalid_argument "Cnf.make: literal out of range") (fun () ->
+      ignore (Cnf.make ~num_vars:2 [ [ 0 ] ]))
+
+let test_eval () =
+  let f = Cnf.make ~num_vars:3 [ [ 1; -2 ]; [ 2; 3 ] ] in
+  let a = [| false; true; false; false |] in
+  Alcotest.(check bool) "x1, ~x2, ~x3 fails second clause" false (Cnf.eval a f);
+  let a = [| false; true; false; true |] in
+  Alcotest.(check bool) "x1, ~x2, x3 satisfies" true (Cnf.eval a f);
+  let a = [| false; false; true; false |] in
+  Alcotest.(check bool) "~x1, x2 fails first clause" false (Cnf.eval a f)
+
+let test_empty_formula () =
+  let f = Cnf.make ~num_vars:2 [] in
+  Alcotest.(check bool) "empty formula is true" true (Cnf.eval [| false; false; false |] f)
+
+let test_empty_clause () =
+  let f = Cnf.make ~num_vars:1 [ [] ] in
+  Alcotest.(check bool) "empty clause is false" false
+    (Cnf.eval [| false; true |] f)
+
+let test_simplify () =
+  let f = Cnf.make ~num_vars:3 [ [ 1; 2 ]; [ -1; 3 ]; [ 2; 3 ] ] in
+  let f' = Cnf.simplify f 1 in
+  (* Clause [1;2] satisfied and removed; -1 removed from [-1;3]. *)
+  Alcotest.(check int) "two clauses remain" 2 (Cnf.num_clauses f');
+  Alcotest.(check bool) "result contains [3]" true
+    (List.mem [ 3 ] f'.Cnf.clauses);
+  Alcotest.(check bool) "result contains [2;3]" true
+    (List.mem [ 2; 3 ] f'.Cnf.clauses)
+
+let test_three_cnf () =
+  Alcotest.(check bool) "3cnf yes" true
+    (Cnf.is_three_cnf (Cnf.make ~num_vars:3 [ [ 1; 2; 3 ]; [ -1; -2; -3 ] ]));
+  Alcotest.(check bool) "3cnf no" false
+    (Cnf.is_three_cnf (Cnf.make ~num_vars:3 [ [ 1; 2 ] ]))
+
+let test_literal_helpers () =
+  Alcotest.(check int) "var of negative" 4 (Cnf.var (-4));
+  Alcotest.(check int) "negate" 4 (Cnf.negate (-4))
+
+let test_pp () =
+  let f = Cnf.make ~num_vars:2 [ [ 1; -2 ] ] in
+  Alcotest.(check string) "render" "(x1 | ~x2)" (Format.asprintf "%a" Cnf.pp f);
+  let empty = Cnf.make ~num_vars:0 [] in
+  Alcotest.(check string) "empty renders true" "true"
+    (Format.asprintf "%a" Cnf.pp empty)
+
+let suite =
+  [
+    Alcotest.test_case "make validates" `Quick test_make_validates;
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "empty formula" `Quick test_empty_formula;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "simplify" `Quick test_simplify;
+    Alcotest.test_case "three cnf" `Quick test_three_cnf;
+    Alcotest.test_case "literal helpers" `Quick test_literal_helpers;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,53 @@
+let mk ?(reads = []) ?(writes = []) ?(pid = 0) id =
+  Event.make ~id ~pid ~seq:id ~kind:Event.Computation ~reads ~writes ()
+
+let test_of_schedule () =
+  let events =
+    [|
+      mk ~writes:[ 0 ] 0;  (* w x *)
+      mk ~reads:[ 0 ] ~pid:1 1;  (* r x *)
+      mk ~writes:[ 1 ] ~pid:2 2;  (* w y *)
+      mk ~reads:[ 1 ] ~pid:3 3;  (* r y *)
+    |]
+  in
+  let d = Dependence.of_schedule events [| 0; 1; 2; 3 |] in
+  Alcotest.(check bool) "w x -> r x" true (Rel.mem d 0 1);
+  Alcotest.(check bool) "w y -> r y" true (Rel.mem d 2 3);
+  Alcotest.(check bool) "no cross-variable edge" false (Rel.mem d 0 3);
+  Alcotest.(check int) "just two edges" 2 (Rel.pair_count d);
+  (* Reverse schedule order reverses the direction. *)
+  let d' = Dependence.of_schedule events [| 1; 0; 2; 3 |] in
+  Alcotest.(check bool) "r x -> w x (anti-dependence)" true (Rel.mem d' 1 0)
+
+let test_of_temporal () =
+  let events = [| mk ~writes:[ 0 ] 0; mk ~reads:[ 0 ] ~pid:1 1 |] in
+  let t = Rel.of_pairs 2 [ (0, 1) ] in
+  let d = Dependence.of_temporal events t in
+  Alcotest.(check bool) "edge follows temporal" true (Rel.mem d 0 1);
+  (* Unordered conflicting events yield no dependence. *)
+  let d_empty = Dependence.of_temporal events (Rel.create 2) in
+  Alcotest.(check int) "no order, no edge" 0 (Rel.pair_count d_empty)
+
+let test_restrict_to_variable () =
+  let events =
+    [| mk ~writes:[ 0; 1 ] 0; mk ~reads:[ 0 ] ~pid:1 1; mk ~reads:[ 1 ] ~pid:2 2 |]
+  in
+  let d = Dependence.of_schedule events [| 0; 1; 2 |] in
+  Alcotest.(check int) "both edges" 2 (Rel.pair_count d);
+  let dv0 = Dependence.restrict_to_variable events d 0 in
+  Alcotest.(check (list (pair int int))) "only v0" [ (0, 1) ] (Rel.to_pairs dv0);
+  let dv1 = Dependence.restrict_to_variable events d 1 in
+  Alcotest.(check (list (pair int int))) "only v1" [ (0, 2) ] (Rel.to_pairs dv1)
+
+let test_read_read_no_edge () =
+  let events = [| mk ~reads:[ 0 ] 0; mk ~reads:[ 0 ] ~pid:1 1 |] in
+  let d = Dependence.of_schedule events [| 0; 1 |] in
+  Alcotest.(check int) "reads do not conflict" 0 (Rel.pair_count d)
+
+let suite =
+  [
+    Alcotest.test_case "of_schedule" `Quick test_of_schedule;
+    Alcotest.test_case "of_temporal" `Quick test_of_temporal;
+    Alcotest.test_case "restrict_to_variable" `Quick test_restrict_to_variable;
+    Alcotest.test_case "read-read no edge" `Quick test_read_read_no_edge;
+  ]

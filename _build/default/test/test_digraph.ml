@@ -1,0 +1,132 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 2 3;
+  g
+
+let test_edges () =
+  let g = diamond () in
+  Alcotest.(check int) "edge count" 4 (Digraph.edge_count g);
+  Alcotest.(check (list int)) "succs 0" [ 1; 2 ] (Digraph.succs g 0);
+  Alcotest.(check (list int)) "preds 3" [ 1; 2 ] (Digraph.preds g 3);
+  Digraph.add_edge g 0 1;
+  Alcotest.(check int) "duplicate ignored" 4 (Digraph.edge_count g)
+
+let test_topo () =
+  let g = diamond () in
+  Alcotest.(check (option (list int))) "topo" (Some [ 0; 1; 2; 3 ])
+    (Digraph.topological_sort g);
+  Digraph.add_edge g 3 0;
+  Alcotest.(check (option (list int))) "cyclic" None (Digraph.topological_sort g);
+  Alcotest.(check bool) "is_dag false" false (Digraph.is_dag g)
+
+let test_reachability () =
+  let g = diamond () in
+  Alcotest.(check bool) "0 reaches 3" true (Digraph.reaches g 0 3);
+  Alcotest.(check bool) "1 reaches 2" false (Digraph.reaches g 1 2);
+  Alcotest.(check bool) "self" true (Digraph.reaches g 1 1);
+  Alcotest.(check (list int)) "reachable from 1" [ 1; 3 ]
+    (Bitset.to_list (Digraph.reachable_from g 1));
+  Alcotest.(check (list int)) "ancestors of 3" [ 0; 1; 2; 3 ]
+    (Bitset.to_list (Digraph.ancestors g 3))
+
+let test_scc () =
+  let g = Digraph.create 5 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 0;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 4;
+  let comp, count = Digraph.scc g in
+  Alcotest.(check int) "three components" 3 count;
+  Alcotest.(check bool) "0,1,2 together" true
+    (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  Alcotest.(check bool) "3 separate" true (comp.(3) <> comp.(0));
+  Alcotest.(check bool) "4 separate" true (comp.(4) <> comp.(3))
+
+let test_common_ancestors () =
+  let g = diamond () in
+  Alcotest.(check (list int)) "common of 1,2" [ 0 ]
+    (Bitset.to_list (Digraph.common_ancestors g [ 1; 2 ]));
+  Alcotest.(check (list int)) "closest of 1,2" [ 0 ]
+    (Digraph.closest_common_ancestors g [ 1; 2 ]);
+  (* Deeper: 0 -> 1 -> 2 and 1 -> 3; closest common ancestor of 2,3 is 1. *)
+  let g2 = Digraph.create 4 in
+  Digraph.add_edge g2 0 1;
+  Digraph.add_edge g2 1 2;
+  Digraph.add_edge g2 1 3;
+  Alcotest.(check (list int)) "closest picks deepest" [ 1 ]
+    (Digraph.closest_common_ancestors g2 [ 2; 3 ]);
+  Alcotest.(check (list int)) "all common ancestors" [ 0; 1 ]
+    (Bitset.to_list (Digraph.common_ancestors g2 [ 2; 3 ]))
+
+let test_rel_roundtrip () =
+  let g = diamond () in
+  let g' = Digraph.of_rel (Digraph.to_rel g) in
+  Alcotest.(check int) "edges preserved" (Digraph.edge_count g)
+    (Digraph.edge_count g');
+  Alcotest.(check (list int)) "succs preserved" (Digraph.succs g 0)
+    (Digraph.succs g' 0)
+
+let random_dag =
+  (* Random DAG: edges only from lower to higher indices. *)
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d %s" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges)))
+    QCheck.Gen.(
+      int_range 2 10 >>= fun n ->
+      list_size (int_range 0 20)
+        (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      >>= fun raw ->
+      let edges =
+        List.filter_map
+          (fun (a, b) ->
+            if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+          raw
+      in
+      return (n, edges))
+
+let graph_of (n, edges) =
+  let g = Digraph.create n in
+  List.iter (fun (a, b) -> Digraph.add_edge g a b) edges;
+  g
+
+let prop_topo_is_linear_extension =
+  QCheck.Test.make ~name:"topological sort respects all edges" ~count:200
+    random_dag (fun spec ->
+      let g = graph_of spec in
+      match Digraph.topological_sort g with
+      | None -> false
+      | Some order -> Linext.is_linear_extension g (Array.of_list order))
+
+let prop_reachability_is_closure =
+  QCheck.Test.make ~name:"reachability = reflexive-transitive closure"
+    ~count:200 random_dag (fun ((n, _) as spec) ->
+      let g = graph_of spec in
+      let via_graph = Digraph.reachability g in
+      let via_rel =
+        let r = Rel.transitive_closure (Digraph.to_rel g) in
+        Rel.reflexive_closure_in_place r;
+        r
+      in
+      ignore n;
+      Rel.equal via_graph via_rel)
+
+let suite =
+  [
+    Alcotest.test_case "edges" `Quick test_edges;
+    Alcotest.test_case "topological sort" `Quick test_topo;
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "strongly connected components" `Quick test_scc;
+    Alcotest.test_case "common ancestors" `Quick test_common_ancestors;
+    Alcotest.test_case "rel roundtrip" `Quick test_rel_roundtrip;
+    qcheck prop_topo_is_linear_extension;
+    qcheck prop_reachability_is_closure;
+  ]

@@ -1,0 +1,38 @@
+let sample = "c a comment\np cnf 3 2\n1 -2 3 0\nc mid comment\n-1 2 0\n"
+
+let test_parse () =
+  let f = Dimacs.parse sample in
+  Alcotest.(check int) "vars" 3 f.Cnf.num_vars;
+  Alcotest.(check int) "clauses" 2 (Cnf.num_clauses f);
+  Alcotest.(check bool) "first clause" true
+    (List.mem [ 1; -2; 3 ] f.Cnf.clauses)
+
+let test_clause_spanning_lines () =
+  let f = Dimacs.parse "p cnf 3 1\n1\n-2\n3 0\n" in
+  Alcotest.(check bool) "clause assembled" true
+    (f.Cnf.clauses = [ [ 1; -2; 3 ] ])
+
+let test_roundtrip () =
+  let f = Sat_gen.random_3cnf ~seed:9 ~num_vars:6 ~num_clauses:12 in
+  let f' = Dimacs.parse (Dimacs.to_string f) in
+  Alcotest.(check bool) "clauses preserved" true (f.Cnf.clauses = f'.Cnf.clauses);
+  Alcotest.(check int) "vars preserved" f.Cnf.num_vars f'.Cnf.num_vars
+
+let expect_failure name input =
+  Alcotest.test_case name `Quick (fun () ->
+      match Dimacs.parse input with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected parse failure")
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "clause spanning lines" `Quick test_clause_spanning_lines;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    expect_failure "missing header" "1 2 0\n";
+    expect_failure "bad header" "p cnf x y\n";
+    expect_failure "unterminated clause" "p cnf 2 1\n1 2\n";
+    expect_failure "wrong clause count" "p cnf 2 2\n1 0\n";
+    expect_failure "duplicate header" "p cnf 1 0\np cnf 1 0\n";
+    expect_failure "garbage token" "p cnf 1 1\none 0\n";
+  ]

@@ -1,0 +1,104 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let check_sat_assignment f = function
+  | Dpll.Sat a -> Cnf.eval a f
+  | Dpll.Unsat -> false
+
+let test_trivial () =
+  let f = Cnf.make ~num_vars:1 [ [ 1 ] ] in
+  Alcotest.(check bool) "x1 satisfiable with valid witness" true
+    (check_sat_assignment f (Dpll.solve f));
+  let g = Cnf.make ~num_vars:1 [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check bool) "x1 & ~x1 unsat" false (Dpll.is_satisfiable g)
+
+let test_empty_cases () =
+  Alcotest.(check bool) "no clauses is sat" true
+    (Dpll.is_satisfiable (Cnf.make ~num_vars:3 []));
+  Alcotest.(check bool) "empty clause is unsat" false
+    (Dpll.is_satisfiable (Cnf.make ~num_vars:3 [ [] ]))
+
+let test_fixed_families () =
+  Alcotest.(check bool) "all sign patterns over 3 vars unsat" false
+    (Dpll.is_satisfiable (Sat_gen.unsat_3cnf_small ()));
+  Alcotest.(check bool) "small sat instance" true
+    (Dpll.is_satisfiable (Sat_gen.sat_3cnf_small ()))
+
+let test_pigeonhole () =
+  for n = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "pigeonhole %d unsat" n)
+      false
+      (Dpll.is_satisfiable (Sat_gen.pigeonhole n))
+  done
+
+let test_stats () =
+  let f = Sat_gen.random_3cnf ~seed:7 ~num_vars:8 ~num_clauses:30 in
+  let _, stats = Dpll.solve_with_stats f in
+  Alcotest.(check bool) "some work recorded" true
+    (stats.Dpll.decisions >= 0 && stats.Dpll.max_depth > 0)
+
+let test_count_models () =
+  (* x1 | x2 over two variables: 3 of 4 assignments. *)
+  Alcotest.(check int) "x1|x2 has 3 models" 3
+    (Dpll.count_models (Cnf.make ~num_vars:2 [ [ 1; 2 ] ]));
+  Alcotest.(check int) "tautology-free count" 4
+    (Dpll.count_models (Cnf.make ~num_vars:2 []));
+  Alcotest.(check int) "unsat has 0 models" 0
+    (Dpll.count_models (Cnf.make ~num_vars:2 [ [ 1 ]; [ -1 ] ]))
+
+let random_small_cnf =
+  QCheck.make
+    ~print:(fun (nv, clauses) ->
+      Format.asprintf "%a" Cnf.pp (Cnf.make ~num_vars:nv clauses))
+    QCheck.Gen.(
+      int_range 1 6 >>= fun nv ->
+      list_size (int_range 0 12)
+        (list_size (int_range 1 3)
+           (int_range 1 nv >>= fun v -> oneofl [ v; -v ]))
+      >>= fun clauses -> return (nv, clauses))
+
+let prop_agrees_with_brute_force =
+  QCheck.Test.make ~name:"DPLL agrees with brute force" ~count:300
+    random_small_cnf (fun (nv, clauses) ->
+      let f = Cnf.make ~num_vars:nv clauses in
+      let dpll = Dpll.is_satisfiable f in
+      let brute =
+        match Dpll.brute_force f with Dpll.Sat _ -> true | Dpll.Unsat -> false
+      in
+      dpll = brute)
+
+let prop_sat_witness_valid =
+  QCheck.Test.make ~name:"SAT witness satisfies the formula" ~count:300
+    random_small_cnf (fun (nv, clauses) ->
+      let f = Cnf.make ~num_vars:nv clauses in
+      match Dpll.solve f with
+      | Dpll.Unsat -> true
+      | Dpll.Sat a -> Cnf.eval a f)
+
+let prop_count_consistent_with_sat =
+  QCheck.Test.make ~name:"count_models > 0 iff satisfiable" ~count:200
+    random_small_cnf (fun (nv, clauses) ->
+      let f = Cnf.make ~num_vars:nv clauses in
+      Dpll.count_models f > 0 = Dpll.is_satisfiable f)
+
+let prop_planted_always_sat =
+  QCheck.Test.make ~name:"planted instances are satisfiable" ~count:50
+    QCheck.(pair (int_range 3 10) (int_range 1 30))
+    (fun (nv, nc) ->
+      Dpll.is_satisfiable
+        (Sat_gen.planted_3cnf ~seed:(nv + (100 * nc)) ~num_vars:nv
+           ~num_clauses:nc))
+
+let suite =
+  [
+    Alcotest.test_case "trivial formulas" `Quick test_trivial;
+    Alcotest.test_case "empty cases" `Quick test_empty_cases;
+    Alcotest.test_case "fixed families" `Quick test_fixed_families;
+    Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "count models" `Quick test_count_models;
+    qcheck prop_agrees_with_brute_force;
+    qcheck prop_sat_witness_valid;
+    qcheck prop_count_consistent_with_sat;
+    qcheck prop_planted_always_sat;
+  ]

@@ -1,0 +1,46 @@
+let mk ?(reads = []) ?(writes = []) ?(kind = Event.Computation) id =
+  Event.make ~id ~pid:0 ~seq:id ~kind ~reads ~writes ()
+
+let test_default_labels () =
+  let e = mk 3 in
+  Alcotest.(check string) "computation label" "e3" e.Event.label;
+  let p = Event.make ~id:0 ~pid:0 ~seq:0 ~kind:(Event.Sync (Event.Sem_p 2)) () in
+  Alcotest.(check string) "sync label" "P(s2)" p.Event.label;
+  let f = Event.make ~id:1 ~pid:0 ~seq:1 ~kind:(Event.Sync Event.Fork) () in
+  Alcotest.(check string) "fork label" "fork" f.Event.label
+
+let test_is_sync () =
+  Alcotest.(check bool) "computation" false (Event.is_sync (mk 0));
+  Alcotest.(check bool) "sync" true
+    (Event.is_sync (mk ~kind:(Event.Sync (Event.Post 0)) 0));
+  Alcotest.(check bool) "computation is_computation" true
+    (Event.is_computation (mk 0))
+
+let test_conflicts () =
+  let w0 = mk ~writes:[ 0 ] 0 in
+  let r0 = mk ~reads:[ 0 ] 1 in
+  let w1 = mk ~writes:[ 1 ] 2 in
+  let r0' = mk ~reads:[ 0 ] 3 in
+  Alcotest.(check bool) "write-read conflicts" true (Event.conflicts w0 r0);
+  Alcotest.(check bool) "read-write conflicts" true (Event.conflicts r0 w0);
+  Alcotest.(check bool) "write-write conflicts" true (Event.conflicts w0 w0);
+  Alcotest.(check bool) "read-read no conflict" false (Event.conflicts r0 r0');
+  Alcotest.(check bool) "different vars no conflict" false
+    (Event.conflicts w0 w1);
+  Alcotest.(check bool) "no accesses no conflict" false
+    (Event.conflicts (mk 4) (mk 5))
+
+let test_mixed_accesses () =
+  (* a reads x and writes y; b reads y: conflict via y. *)
+  let a = mk ~reads:[ 0 ] ~writes:[ 1 ] 0 in
+  let b = mk ~reads:[ 1 ] 1 in
+  Alcotest.(check bool) "conflict through write-read on y" true
+    (Event.conflicts a b)
+
+let suite =
+  [
+    Alcotest.test_case "default labels" `Quick test_default_labels;
+    Alcotest.test_case "is_sync" `Quick test_is_sync;
+    Alcotest.test_case "conflicts" `Quick test_conflicts;
+    Alcotest.test_case "mixed accesses" `Quick test_mixed_accesses;
+  ]

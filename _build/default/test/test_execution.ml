@@ -1,0 +1,90 @@
+(* A two-process execution: p0 = [w (writes x); v (V s0)],
+   p1 = [p (P s0); r (reads x)], scheduled w v p r. *)
+let two_process_events () =
+  [|
+    Event.make ~id:0 ~pid:0 ~seq:0 ~kind:Event.Computation ~label:"w"
+      ~writes:[ 0 ] ();
+    Event.make ~id:1 ~pid:0 ~seq:1 ~kind:(Event.Sync (Event.Sem_v 0)) ();
+    Event.make ~id:2 ~pid:1 ~seq:0 ~kind:(Event.Sync (Event.Sem_p 0)) ();
+    Event.make ~id:3 ~pid:1 ~seq:1 ~kind:Event.Computation ~label:"r"
+      ~reads:[ 0 ] ();
+  |]
+
+let two_process_po () = Rel.of_pairs 4 [ (0, 1); (2, 3) ]
+
+let observed () =
+  Execution.of_schedule ~events:(two_process_events ())
+    ~program_order:(two_process_po ()) ~schedule:[| 0; 1; 2; 3 |] ()
+
+let test_of_schedule () =
+  let x = observed () in
+  Alcotest.(check int) "events" 4 (Execution.n_events x);
+  (* Total temporal order: 6 pairs. *)
+  Alcotest.(check int) "|T|" 6 (Rel.pair_count x.Execution.temporal);
+  (* One dependence: w writes x, r reads x. *)
+  Alcotest.(check (list (pair int int))) "D" [ (0, 3) ]
+    (Rel.to_pairs x.Execution.dependences);
+  Alcotest.(check bool) "valid" true (Execution.is_valid x)
+
+let test_schedule_not_permutation () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Execution.of_schedule: schedule is not a permutation")
+    (fun () ->
+      ignore
+        (Execution.of_schedule ~events:(two_process_events ())
+           ~program_order:(two_process_po ()) ~schedule:[| 0; 0; 2; 3 |] ()))
+
+let test_axioms_detect_bad_temporal () =
+  let events = two_process_events () in
+  let po = two_process_po () in
+  (* Temporal order that contradicts the program order of p0. *)
+  let temporal = Rel.transitive_closure (Rel.of_pairs 4 [ (1, 0); (2, 3) ]) in
+  let x =
+    Execution.make ~events ~program_order:po ~temporal
+      ~dependences:(Rel.create 4) ()
+  in
+  Alcotest.(check bool) "invalid" false (Execution.is_valid x);
+  Alcotest.(check bool) "reports at least one violation" true
+    (Execution.axiom_violations x <> [])
+
+let test_axioms_detect_bad_dependence () =
+  let events = two_process_events () in
+  let po = two_process_po () in
+  let temporal =
+    Rel.transitive_closure (Rel.of_pairs 4 [ (0, 1); (1, 2); (2, 3) ])
+  in
+  (* D edge between non-conflicting events (1 and 2 are sync events). *)
+  let d = Rel.of_pairs 4 [ (1, 2) ] in
+  let x =
+    Execution.make ~events ~program_order:po ~temporal ~dependences:d ()
+  in
+  Alcotest.(check bool) "invalid" false (Execution.is_valid x)
+
+let test_processes_and_accessors () =
+  let x = observed () in
+  Alcotest.(check (list int)) "pids" [ 0; 1 ] (Execution.processes x);
+  Alcotest.(check int) "p1 has two events" 2
+    (List.length (Execution.events_of_process x 1));
+  Alcotest.(check int) "one semaphore" 1 (Execution.num_semaphores x);
+  Alcotest.(check int) "no event variables" 0 (Execution.num_eventvars x);
+  Alcotest.(check string) "event accessor" "w" (Execution.event x 0).Event.label
+
+let test_po_closure () =
+  let x = observed () in
+  let po = Execution.po_closure x in
+  Alcotest.(check bool) "0 before 1" true (Rel.mem po 0 1);
+  Alcotest.(check bool) "cross-process unordered" false (Rel.mem po 0 2)
+
+let suite =
+  [
+    Alcotest.test_case "of_schedule builds a valid execution" `Quick
+      test_of_schedule;
+    Alcotest.test_case "schedule must be a permutation" `Quick
+      test_schedule_not_permutation;
+    Alcotest.test_case "axioms detect bad temporal order" `Quick
+      test_axioms_detect_bad_temporal;
+    Alcotest.test_case "axioms detect bad dependences" `Quick
+      test_axioms_detect_bad_dependence;
+    Alcotest.test_case "accessors" `Quick test_processes_and_accessors;
+    Alcotest.test_case "po closure" `Quick test_po_closure;
+  ]

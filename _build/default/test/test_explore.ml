@@ -1,0 +1,199 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let prog src = Parse.program src
+
+let test_counts_basic () =
+  (* Two independent one-statement processes: 2 interleavings. *)
+  let s = Explore.explore (prog "proc a { x := 1 }\nproc b { y := 1 }") in
+  Alcotest.(check int) "completed" 2 s.Explore.completed_paths;
+  Alcotest.(check int) "deadlocked" 0 s.Explore.deadlocked_paths;
+  (* Unlike trace-level feasibility, conflicting writers still interleave
+     both ways at the program level: no observed D pins them. *)
+  let s = Explore.explore (prog "proc a { x := 1 }\nproc b { x := 2 }") in
+  Alcotest.(check int) "both orders" 2 s.Explore.completed_paths
+
+let test_branch_dependent_events () =
+  (* The second process's behaviour depends on the race: three completed
+     runs (x=1 first with then-branch; x:=2 first... enumerate manually). *)
+  let s =
+    Explore.explore
+      (prog "proc a { x := 1 }\nproc b { if x = 1 { y := 10 } else { y := 20 } }")
+  in
+  Alcotest.(check int) "no deadlocks" 0 s.Explore.deadlocked_paths;
+  let finals =
+    Explore.final_stores
+      (prog "proc a { x := 1 }\nproc b { if x = 1 { y := 10 } else { y := 20 } }")
+  in
+  Alcotest.(check bool) "y=10 reachable" true
+    (List.exists (fun f -> List.assoc_opt "y" f = Some 10) finals);
+  Alcotest.(check bool) "y=20 reachable" true
+    (List.exists (fun f -> List.assoc_opt "y" f = Some 20) finals)
+
+let test_deadlock_detection () =
+  Alcotest.(check bool) "lock inversion can deadlock" true
+    (Explore.can_deadlock
+       (prog
+          "binsem a = 1\nbinsem b = 1\n\
+           proc one { p(a); p(b); v(b); v(a) }\n\
+           proc two { p(b); p(a); v(a); v(b) }"));
+  Alcotest.(check bool) "ordered locks cannot" false
+    (Explore.can_deadlock
+       (prog
+          "binsem a = 1\nbinsem b = 1\n\
+           proc one { p(a); p(b); v(b); v(a) }\n\
+           proc two { p(a); p(b); v(b); v(a) }"))
+
+let test_reachable_final () =
+  let p = prog "proc a { x := 1 }\nproc b { x := 2 }" in
+  Alcotest.(check bool) "x=1 reachable" true
+    (Explore.reachable_final p (fun read -> read "x" = 1));
+  Alcotest.(check bool) "x=2 reachable" true
+    (Explore.reachable_final p (fun read -> read "x" = 2));
+  Alcotest.(check bool) "x=3 not reachable" false
+    (Explore.reachable_final p (fun read -> read "x" = 3))
+
+let test_assert_can_fail () =
+  (* The violating interleaving: reader between the two writes. *)
+  Alcotest.(check bool) "racy assert can fail" true
+    (Explore.assert_can_fail
+       (prog "proc w { x := 1; x := 2 }\nproc r { assert x != 1 }"));
+  (* Synchronized version cannot. *)
+  Alcotest.(check bool) "ordered assert cannot fail" false
+    (Explore.assert_can_fail
+       (prog
+          "sem s = 0\nproc w { x := 1; x := 2; v(s) }\nproc r { p(s); assert x = 2 }"));
+  Alcotest.(check bool) "trivially false assert" true
+    (Explore.assert_can_fail (prog "proc a { assert 1 = 2 }"))
+
+let prop_assert_matches_interp =
+  QCheck.Test.make
+    ~name:"assert_can_fail = false implies no observed violations" ~count:80
+    Gen_progs.arbitrary_program (fun p ->
+      (* Loop-free generated programs only. *)
+      match Explore.assert_can_fail p with
+      | exception Explore.Unsupported _ -> true
+      | false ->
+          List.for_all
+            (fun policy ->
+              let t = Interp.run ~policy p in
+              t.Trace.violations = [])
+            [ Sched.Round_robin; Sched.Priority; Sched.Random 3 ]
+      | true -> true)
+
+let test_rejects_loops () =
+  match Explore.explore (prog "proc a { while x < 1 { x := 1 } }") with
+  | exception Explore.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_fork_join () =
+  let s =
+    Explore.explore
+      (prog "proc m { cobegin { x := 1 } { y := 2 } coend; z := x + y }")
+  in
+  Alcotest.(check int) "two orders of the children" 2 s.Explore.completed_paths;
+  let finals =
+    Explore.final_stores
+      (prog "proc m { cobegin { x := 1 } { y := 2 } coend; z := x + y }")
+  in
+  Alcotest.(check bool) "z always 3" true
+    (List.for_all (fun f -> List.assoc_opt "z" f = Some 3) finals)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation against the trace-level feasibility engines         *)
+(* ------------------------------------------------------------------ *)
+
+(* Programs whose processes touch disjoint variables (and share only
+   synchronization): the program-level and trace-level quantifiers
+   coincide. *)
+let disjoint_var_program_gen =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun n_procs ->
+    let proc_body i =
+      list_size (int_range 1 3)
+        (frequency
+           [
+             ( 2,
+               oneofl
+                 [ Ast.Assign (Printf.sprintf "x%d" i, Expr.Int 1);
+                   Ast.Skip None ] );
+             (2, oneofl [ Ast.Sem_p "s"; Ast.Sem_v "s" ]);
+             (1, oneofl [ Ast.Post "e"; Ast.Wait "e"; Ast.Clear "e" ]);
+           ])
+    in
+    let rec bodies i =
+      if i = n_procs then return []
+      else
+        proc_body i >>= fun b ->
+        bodies (i + 1) >>= fun rest -> return (b :: rest)
+    in
+    bodies 0 >>= fun bodies ->
+    int_range 0 1 >>= fun s_init ->
+    return
+      (Ast.program
+         ~sem_init:[ ("s", s_init) ]
+         (List.mapi (fun i b -> Ast.proc (Printf.sprintf "p%d" i) b) bodies)))
+
+let arbitrary_disjoint =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" Ast.pp p)
+    disjoint_var_program_gen
+
+let prop_program_level_equals_trace_level =
+  QCheck.Test.make
+    ~name:
+      "disjoint-variable programs: program executions = feasible schedules"
+    ~count:100 arbitrary_disjoint (fun p ->
+      match Gen_progs.completed_trace p with
+      | None -> true (* no observed trace to compare against *)
+      | Some tr ->
+          if Trace.n_events tr > 9 then true
+          else begin
+            let r = Reach.create (Skeleton.of_execution (Trace.to_execution tr)) in
+            Explore.completed_count p = Reach.schedule_count r
+            && Explore.can_deadlock p = Reach.deadlock_reachable r
+          end)
+
+let prop_feasible_subset_of_program_level =
+  QCheck.Test.make
+    ~name:"feasible schedules never exceed program executions" ~count:100
+    Gen_progs.arbitrary_program (fun p ->
+      (* General programs (shared variables allowed): trace-level
+         feasibility preserves the observed dependences, the program level
+         does not, so feasible counts are a lower bound. *)
+      match Gen_progs.completed_trace p with
+      | None -> true
+      | Some tr ->
+          if Trace.n_events tr > 8 then true
+          else begin
+            let r = Reach.create (Skeleton.of_execution (Trace.to_execution tr)) in
+            Reach.schedule_count r <= Explore.completed_count p
+          end)
+
+let prop_observed_final_store_reachable =
+  QCheck.Test.make
+    ~name:"the observed final store is among the program's reachable finals"
+    ~count:100 Gen_progs.arbitrary_program (fun p ->
+      match Gen_progs.completed_trace p with
+      | None -> true
+      | Some tr ->
+          (* Both sides record exactly the assigned-or-declared variables,
+             so the observed store must appear verbatim. *)
+          List.mem
+            (List.sort compare tr.Trace.final_store)
+            (Explore.final_stores p))
+
+let suite =
+  [
+    Alcotest.test_case "basic counts" `Quick test_counts_basic;
+    Alcotest.test_case "branch-dependent events" `Quick
+      test_branch_dependent_events;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "reachable finals" `Quick test_reachable_final;
+    Alcotest.test_case "rejects loops" `Quick test_rejects_loops;
+    Alcotest.test_case "assert reachability" `Quick test_assert_can_fail;
+    qcheck prop_assert_matches_interp;
+    Alcotest.test_case "fork/join" `Quick test_fork_join;
+    qcheck prop_program_level_equals_trace_level;
+    qcheck prop_feasible_subset_of_program_level;
+    qcheck prop_observed_final_store_reachable;
+  ]

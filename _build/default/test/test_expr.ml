@@ -1,0 +1,40 @@
+let env = function "x" -> 3 | "y" -> 0 | _ -> 0
+
+let test_arith () =
+  let e = Expr.Add (Expr.Var "x", Expr.Mul (Expr.Int 2, Expr.Int 5)) in
+  Alcotest.(check int) "3 + 2*5" 13 (Expr.eval env e);
+  Alcotest.(check int) "sub" (-2) (Expr.eval env Expr.(Sub (Int 1, Int 3)))
+
+let test_comparisons () =
+  Alcotest.(check int) "eq true" 1 (Expr.eval env Expr.(Eq (Var "x", Int 3)));
+  Alcotest.(check int) "eq false" 0 (Expr.eval env Expr.(Eq (Var "x", Int 4)));
+  Alcotest.(check int) "lt" 1 (Expr.eval env Expr.(Lt (Int 2, Var "x")));
+  Alcotest.(check int) "le" 1 (Expr.eval env Expr.(Le (Var "x", Int 3)));
+  Alcotest.(check int) "ne" 1 (Expr.eval env Expr.(Ne (Var "x", Var "y")))
+
+let test_logic () =
+  Alcotest.(check int) "and short" 0
+    (Expr.eval env Expr.(And (Var "y", Int 1)));
+  Alcotest.(check int) "or" 1 (Expr.eval env Expr.(Or (Var "y", Int 7)));
+  Alcotest.(check int) "not" 1 (Expr.eval env Expr.(Not (Var "y")));
+  Alcotest.(check bool) "is_true" true (Expr.is_true 5);
+  Alcotest.(check bool) "is_true 0" false (Expr.is_true 0)
+
+let test_vars () =
+  let e = Expr.(And (Eq (Var "x", Int 1), Or (Var "y", Var "x"))) in
+  Alcotest.(check (list string)) "first-use order, deduped" [ "x"; "y" ]
+    (Expr.vars e);
+  Alcotest.(check (list string)) "constant has none" [] (Expr.vars (Expr.Int 4))
+
+let test_pp () =
+  Alcotest.(check string) "render" "(x + 1)"
+    (Format.asprintf "%a" Expr.pp Expr.(Add (Var "x", Int 1)))
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "logic" `Quick test_logic;
+    Alcotest.test_case "vars" `Quick test_vars;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,210 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let skeleton_of src =
+  match Gen_progs.completed_trace (Parse.program src) with
+  | Some t -> (t, Skeleton.of_execution (Trace.to_execution t))
+  | None -> Alcotest.fail "fixture program deadlocked"
+
+let producer_consumer =
+  "sem s = 0\nproc producer { x := 1; v(s) }\nproc consumer { p(s); y := x }\nproc bystander { z := 42 }"
+
+let test_count_producer_consumer () =
+  let _, sk = skeleton_of producer_consumer in
+  (* A 4-chain with one free event: 5 interleavings. *)
+  Alcotest.(check int) "5 feasible schedules" 5 (Enumerate.count sk)
+
+let test_dependence_forces_order () =
+  let _, sk = skeleton_of "proc a { x := 1 }\nproc b { x := 2 }" in
+  (* The two writes conflict; the observed order is the only feasible one. *)
+  Alcotest.(check int) "1 schedule" 1 (Enumerate.count sk)
+
+let test_independent_events () =
+  let _, sk =
+    skeleton_of "proc a { x := 1 }\nproc b { y := 1 }\nproc c { z := 1 }"
+  in
+  Alcotest.(check int) "3! schedules" 6 (Enumerate.count sk)
+
+let test_clear_semantics () =
+  let _, sk = skeleton_of "proc a { post(e) }\nproc b { wait(e) }\nproc c { clear(e) }" in
+  (* Feasible: Post Wait Clear, Clear Post Wait; Post Clear Wait blocks. *)
+  Alcotest.(check int) "2 schedules" 2 (Enumerate.count sk)
+
+let test_semaphore_underflow_pruned () =
+  let _, sk = skeleton_of "sem s = 0\nproc a { v(s) }\nproc b { p(s) }" in
+  Alcotest.(check int) "V must precede P" 1 (Enumerate.count sk)
+
+let test_initial_tokens () =
+  let _, sk = skeleton_of "sem s = 2\nproc a { p(s) }\nproc b { p(s) }" in
+  Alcotest.(check int) "both orders fine" 2 (Enumerate.count sk)
+
+let test_all_enumerated_feasible () =
+  let _, sk = skeleton_of producer_consumer in
+  List.iter
+    (fun schedule ->
+      Alcotest.(check bool) "replay accepts" true (Replay.is_feasible sk schedule))
+    (Enumerate.all sk)
+
+let test_observed_schedule_enumerated () =
+  let tr, sk = skeleton_of producer_consumer in
+  let observed = Trace.schedule tr in
+  Alcotest.(check bool) "observed among enumerated" true
+    (List.exists (fun s -> s = observed) (Enumerate.all sk))
+
+let test_replay_rejections () =
+  let _, sk = skeleton_of producer_consumer in
+  (* Events: 0 z:=42? depends on schedule order; find by label. *)
+  let tr, _ = skeleton_of producer_consumer in
+  let id l = (Trace.find_event tr l).Event.id in
+  let n = Skeleton.(sk.n) in
+  ignore n;
+  let bad_po = [| id "V(s)"; id "x := 1"; id "P(s)"; id "y := x"; id "z := 42" |] in
+  (match Replay.check sk bad_po with
+  | Replay.Program_order_violated _ -> ()
+  | v -> Alcotest.failf "expected po violation, got %a" Replay.pp_verdict v);
+  let bad_sync = [| id "x := 1"; id "P(s)"; id "V(s)"; id "y := x"; id "z := 42" |] in
+  (match Replay.check sk bad_sync with
+  | Replay.Sync_blocked _ -> ()
+  | v -> Alcotest.failf "expected sync block, got %a" Replay.pp_verdict v);
+  (match Replay.check sk [| 0; 0; 1; 2; 3 |] with
+  | Replay.Not_a_permutation -> ()
+  | v -> Alcotest.failf "expected permutation failure, got %a" Replay.pp_verdict v)
+
+let test_dependence_violation_detected () =
+  let tr, sk = skeleton_of "proc a { x := 1 }\nproc b { y := x }" in
+  let w = (Trace.find_event tr "x := 1").Event.id in
+  let r = (Trace.find_event tr "y := x").Event.id in
+  match Replay.check sk [| r; w |] with
+  | Replay.Dependence_violated { event; missing_pred } ->
+      Alcotest.(check int) "event" r event;
+      Alcotest.(check int) "missing" w missing_pred
+  | v -> Alcotest.failf "expected dependence violation, got %a" Replay.pp_verdict v
+
+let test_exists_order () =
+  let tr, sk = skeleton_of producer_consumer in
+  let id l = (Trace.find_event tr l).Event.id in
+  Alcotest.(check bool) "z before x possible" true
+    (Enumerate.exists_order sk ~before:(id "z := 42") ~after:(id "x := 1"));
+  Alcotest.(check bool) "y before x impossible" false
+    (Enumerate.exists_order sk ~before:(id "y := x") ~after:(id "x := 1"));
+  Alcotest.(check bool) "self is false" false
+    (Enumerate.exists_order sk ~before:(id "x := 1") ~after:(id "x := 1"))
+
+let test_limit_and_first () =
+  let _, sk = skeleton_of producer_consumer in
+  Alcotest.(check int) "limit" 3 (Enumerate.count ~limit:3 sk);
+  match Enumerate.first sk with
+  | Some s -> Alcotest.(check bool) "first is feasible" true (Replay.is_feasible sk s)
+  | None -> Alcotest.fail "expected a schedule"
+
+let test_pinned_chain () =
+  let tr, sk = skeleton_of producer_consumer in
+  let id l = (Trace.find_event tr l).Event.id in
+  let po = Pinned.po_of_schedule sk (Trace.schedule tr) in
+  Alcotest.(check bool) "x -> V" true (Rel.mem po (id "x := 1") (id "V(s)"));
+  Alcotest.(check bool) "V -> P (pairing)" true (Rel.mem po (id "V(s)") (id "P(s)"));
+  Alcotest.(check bool) "x -> y transitively" true
+    (Rel.mem po (id "x := 1") (id "y := x"));
+  Alcotest.(check bool) "z unordered" false
+    (Rel.comparable po (id "z := 42") (id "x := 1"));
+  Alcotest.(check bool) "strict partial order" true (Rel.is_strict_partial_order po)
+
+let test_pinned_wait_trigger () =
+  let tr, sk = skeleton_of "proc a { post(e) }\nproc b { wait(e) }" in
+  let id l = (Trace.find_event tr l).Event.id in
+  let po = Pinned.po_of_schedule sk (Trace.schedule tr) in
+  Alcotest.(check bool) "post -> wait" true
+    (Rel.mem po (id "Post(e)") (id "Wait(e)"))
+
+let test_pinned_rejects_infeasible () =
+  let _, sk = skeleton_of "sem s = 0\nproc a { v(s) }\nproc b { p(s) }" in
+  match Pinned.po_of_schedule sk [| 1; 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_skeleton_shape () =
+  let tr, sk = skeleton_of producer_consumer in
+  let id l = (Trace.find_event tr l).Event.id in
+  Alcotest.(check (list int)) "P's po pred is nothing (first in proc)" []
+    sk.Skeleton.po_preds.(id "P(s)");
+  Alcotest.(check (list int)) "y's po pred is P" [ id "P(s)" ]
+    sk.Skeleton.po_preds.(id "y := x");
+  Alcotest.(check (list int)) "y's dep pred is x:=1" [ id "x := 1" ]
+    sk.Skeleton.dep_preds.(id "y := x");
+  let g = Skeleton.constraint_graph sk in
+  Alcotest.(check bool) "constraint graph is a DAG" true (Digraph.is_dag g)
+
+(* ------------------------------------------------------------------ *)
+(* Properties over random programs                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_small_trace prog f =
+  match Gen_progs.completed_trace prog with
+  | None -> true (* deadlocked: nothing to check *)
+  | Some tr ->
+      if Trace.n_events tr > 8 then true
+      else f tr (Skeleton.of_execution (Trace.to_execution tr))
+
+let prop_enumerated_feasible =
+  QCheck.Test.make ~name:"every enumerated schedule passes the replay oracle"
+    ~count:150 Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun _ sk ->
+          List.for_all (Replay.is_feasible sk) (Enumerate.all sk)))
+
+let prop_observed_enumerated =
+  QCheck.Test.make ~name:"the observed schedule is always enumerated"
+    ~count:150 Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun tr sk ->
+          let observed = Trace.schedule tr in
+          List.exists (fun s -> s = observed) (Enumerate.all sk)))
+
+let prop_schedules_extend_pinned_po =
+  QCheck.Test.make
+    ~name:"every feasible schedule linearizes its own pinned order" ~count:100
+    Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun _ sk ->
+          List.for_all
+            (fun schedule ->
+              let po = Pinned.po_of_schedule sk schedule in
+              let position = Array.make sk.Skeleton.n 0 in
+              Array.iteri (fun i e -> position.(e) <- i) schedule;
+              Rel.is_strict_partial_order po
+              && Rel.fold
+                   (fun a b acc -> acc && position.(a) < position.(b))
+                   po true)
+            (Enumerate.all sk)))
+
+let prop_count_positive =
+  QCheck.Test.make ~name:"completed traces have at least one feasible schedule"
+    ~count:150 Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun _ sk -> Enumerate.count sk >= 1))
+
+let suite =
+  [
+    Alcotest.test_case "producer/consumer count" `Quick
+      test_count_producer_consumer;
+    Alcotest.test_case "dependence forces order" `Quick
+      test_dependence_forces_order;
+    Alcotest.test_case "independent events" `Quick test_independent_events;
+    Alcotest.test_case "clear semantics" `Quick test_clear_semantics;
+    Alcotest.test_case "semaphore underflow pruned" `Quick
+      test_semaphore_underflow_pruned;
+    Alcotest.test_case "initial tokens" `Quick test_initial_tokens;
+    Alcotest.test_case "enumerated schedules are feasible" `Quick
+      test_all_enumerated_feasible;
+    Alcotest.test_case "observed schedule enumerated" `Quick
+      test_observed_schedule_enumerated;
+    Alcotest.test_case "replay rejections" `Quick test_replay_rejections;
+    Alcotest.test_case "dependence violation detected" `Quick
+      test_dependence_violation_detected;
+    Alcotest.test_case "exists_order" `Quick test_exists_order;
+    Alcotest.test_case "limit and first" `Quick test_limit_and_first;
+    Alcotest.test_case "pinned chain" `Quick test_pinned_chain;
+    Alcotest.test_case "pinned wait trigger" `Quick test_pinned_wait_trigger;
+    Alcotest.test_case "pinned rejects infeasible" `Quick
+      test_pinned_rejects_infeasible;
+    Alcotest.test_case "skeleton shape" `Quick test_skeleton_shape;
+    qcheck prop_enumerated_feasible;
+    qcheck prop_observed_enumerated;
+    qcheck prop_schedules_extend_pinned_po;
+    qcheck prop_count_positive;
+  ]

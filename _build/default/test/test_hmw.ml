@@ -1,0 +1,160 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let trace_of src =
+  match Gen_progs.completed_trace (Parse.program src) with
+  | Some t -> t
+  | None -> Alcotest.fail "fixture program deadlocked"
+
+let hmw_of src =
+  let tr = trace_of src in
+  (tr, Hmw.of_execution (Trace.to_execution tr))
+
+let test_single_v_forces_order () =
+  let tr, h = hmw_of "sem s = 0\nproc a { v(s) }\nproc b { p(s) }" in
+  let v = (Trace.find_event tr "V(s)").Event.id in
+  let p = (Trace.find_event tr "P(s)").Event.id in
+  Alcotest.(check bool) "phase1 orders V->P" true (Rel.mem h.Hmw.phase1 v p);
+  Alcotest.(check bool) "phase2 orders V->P" true (Rel.mem h.Hmw.phase2 v p);
+  Alcotest.(check bool) "phase3 orders V->P" true (Rel.mem h.Hmw.phase3 v p)
+
+let test_two_vs_no_forced_order () =
+  (* Two V's can each serve the one P: no individual V->P is guaranteed. *)
+  let src = "sem s = 0\nproc a { v(s) }\nproc b { v(s) }\nproc c { p(s) }" in
+  let tr, h = hmw_of src in
+  let x = Trace.to_execution tr in
+  let p =
+    (Array.to_list x.Execution.events
+    |> List.find (fun e -> e.Event.kind = Event.Sync (Event.Sem_p 0)))
+      .Event.id
+  in
+  let vs =
+    Array.to_list x.Execution.events
+    |> List.filter (fun e -> e.Event.kind = Event.Sync (Event.Sem_v 0))
+    |> List.map (fun e -> e.Event.id)
+  in
+  (* Phase 1 pairs the observed first V with P — unsafe. *)
+  Alcotest.(check bool) "phase1 claims an ordering" true
+    (List.exists (fun v -> Rel.mem h.Hmw.phase1 v p) vs);
+  (* Phases 2 and 3 must stay silent. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "phase2 silent" false (Rel.mem h.Hmw.phase2 v p);
+      Alcotest.(check bool) "phase3 silent" false (Rel.mem h.Hmw.phase3 v p))
+    vs
+
+let test_counting_excludes_po_later_vs () =
+  (* P2's own later V cannot be P's token: the other V is forced. *)
+  let src = "sem s = 0\nproc a { v(s) }\nproc b { p(s); v(s) }" in
+  let tr, h = hmw_of src in
+  let x = Trace.to_execution tr in
+  let p =
+    (Array.to_list x.Execution.events
+    |> List.find (fun e -> e.Event.kind = Event.Sync (Event.Sem_p 0)))
+      .Event.id
+  in
+  let v_a =
+    (Array.to_list x.Execution.events
+    |> List.find (fun e ->
+           e.Event.kind = Event.Sync (Event.Sem_v 0) && e.Event.pid = 0))
+      .Event.id
+  in
+  Alcotest.(check bool) "phase2 forces the cross-process V" true
+    (Rel.mem h.Hmw.phase2 v_a p)
+
+let test_initial_tokens_need_no_v () =
+  let tr, h = hmw_of "sem s = 1\nproc a { v(s) }\nproc b { p(s) }" in
+  let v = (Trace.find_event tr "V(s)").Event.id in
+  let p = (Trace.find_event tr "P(s)").Event.id in
+  (* The initial token can serve the P: no forced ordering. *)
+  Alcotest.(check bool) "phase3 silent with initial token" false
+    (Rel.mem h.Hmw.phase3 v p)
+
+let test_phase2_subset_phase3 () =
+  let _, h =
+    hmw_of "sem s = 0\nproc a { v(s); p(s) }\nproc b { v(s); p(s) }"
+  in
+  Alcotest.(check bool) "phase2 ⊆ phase3" true (Hmw.safe_subset_of_phase3 h)
+
+(* The central guarantee: phases 2 and 3 are safe — contained in exact MHB.
+   (Random programs, semaphores only.) *)
+let sem_only_program_gen =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun n_procs ->
+    list_repeat n_procs
+      (list_size (int_range 1 3)
+         (frequency
+            [
+              (2, oneofl [ Ast.Sem_p "s"; Ast.Sem_v "s"; Ast.Sem_p "t"; Ast.Sem_v "t" ]);
+              (1, return (Ast.Skip None));
+            ]))
+    >>= fun bodies ->
+    int_range 0 1 >>= fun s_init ->
+    return
+      (Ast.program
+         ~sem_init:[ ("s", s_init); ("t", 0) ]
+         (List.mapi (fun i b -> Ast.proc (Printf.sprintf "p%d" i) b) bodies)))
+
+let arbitrary_sem_program =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" Ast.pp p)
+    sem_only_program_gen
+
+let prop_safe_phases_within_mhb =
+  QCheck.Test.make ~name:"HMW phases 2 and 3 ⊆ exact MHB" ~count:120
+    arbitrary_sem_program (fun prog ->
+      match Gen_progs.completed_trace prog with
+      | None -> true
+      | Some tr ->
+          if Trace.n_events tr > 8 then true
+          else begin
+            let x = Trace.to_execution tr in
+            let h = Hmw.of_execution x in
+            let r = Reach.create (Skeleton.of_execution x) in
+            let ok = ref true in
+            let check rel =
+              Rel.iter
+                (fun a b -> if not (Reach.must_before r a b) then ok := false)
+                rel
+            in
+            check h.Hmw.phase2;
+            check h.Hmw.phase3;
+            !ok
+          end)
+
+let prop_phase1_contains_program_order =
+  QCheck.Test.make ~name:"all phases contain the program order" ~count:100
+    arbitrary_sem_program (fun prog ->
+      match Gen_progs.completed_trace prog with
+      | None -> true
+      | Some tr ->
+          let x = Trace.to_execution tr in
+          let h = Hmw.of_execution x in
+          let po = Execution.po_closure x in
+          Rel.subset po h.Hmw.phase1
+          && Rel.subset po h.Hmw.phase2
+          && Rel.subset po h.Hmw.phase3)
+
+let prop_phases_are_orders =
+  QCheck.Test.make ~name:"phase relations are strict partial orders"
+    ~count:100 arbitrary_sem_program (fun prog ->
+      match Gen_progs.completed_trace prog with
+      | None -> true
+      | Some tr ->
+          let h = Hmw.of_execution (Trace.to_execution tr) in
+          Rel.is_strict_partial_order h.Hmw.phase2
+          && Rel.is_strict_partial_order h.Hmw.phase3)
+
+let suite =
+  [
+    Alcotest.test_case "single V forces order" `Quick test_single_v_forces_order;
+    Alcotest.test_case "two Vs: no forced order" `Quick
+      test_two_vs_no_forced_order;
+    Alcotest.test_case "counting excludes po-later Vs" `Quick
+      test_counting_excludes_po_later_vs;
+    Alcotest.test_case "initial tokens need no V" `Quick
+      test_initial_tokens_need_no_v;
+    Alcotest.test_case "phase2 subset of phase3" `Quick test_phase2_subset_phase3;
+    qcheck prop_safe_phases_within_mhb;
+    qcheck prop_phase1_contains_program_order;
+    qcheck prop_phases_are_orders;
+  ]

@@ -1,0 +1,169 @@
+let run ?policy src = Interp.run ?policy (Parse.program src)
+
+let test_sequential () =
+  let t = run "proc main { x := 1; x := x + 2; y := x * 2 }" in
+  Alcotest.(check bool) "completed" true (t.Trace.outcome = Trace.Completed);
+  Alcotest.(check int) "three events" 3 (Trace.n_events t);
+  Alcotest.(check (option int)) "x" (Some 3) (Interp.final_value t "x");
+  Alcotest.(check (option int)) "y" (Some 6) (Interp.final_value t "y")
+
+let test_if_branches () =
+  let t = run "proc main { x := 1; if x = 1 { y := 10 } else { y := 20 } }" in
+  Alcotest.(check (option int)) "then branch" (Some 10)
+    (Interp.final_value t "y");
+  let t = run "proc main { x := 2; if x = 1 { y := 10 } else { y := 20 } }" in
+  Alcotest.(check (option int)) "else branch" (Some 20)
+    (Interp.final_value t "y")
+
+let test_while () =
+  let t = run "proc main { while x < 5 { x := x + 1 } }" in
+  Alcotest.(check (option int)) "loop ran" (Some 5) (Interp.final_value t "x");
+  (* Condition evaluated 6 times + 5 assignments. *)
+  Alcotest.(check int) "event count" 11 (Trace.n_events t)
+
+let test_fuel () =
+  let t = Interp.run ~fuel:20 (Parse.program "proc main { while 1 < 2 { x := x + 1 } }") in
+  Alcotest.(check bool) "fuel exhausted" true
+    (t.Trace.outcome = Trace.Fuel_exhausted)
+
+let test_semaphores () =
+  let src =
+    "sem s = 0\nproc a { x := 1; v(s) }\nproc b { p(s); y := x }\n"
+  in
+  let t = run src in
+  Alcotest.(check bool) "completed" true (t.Trace.outcome = Trace.Completed);
+  Alcotest.(check (option int)) "y sees x" (Some 1) (Interp.final_value t "y");
+  (* P must come after V in the schedule. *)
+  let v = Trace.find_event t "V(s)" and p = Trace.find_event t "P(s)" in
+  Alcotest.(check bool) "V scheduled before P" true (v.Event.id < p.Event.id)
+
+let test_deadlock () =
+  let t = run "sem s = 0\nproc a { p(s) }\n" in
+  (match t.Trace.outcome with
+  | Trace.Deadlocked [ 0 ] -> ()
+  | _ -> Alcotest.fail "expected deadlock of pid 0");
+  Alcotest.(check int) "no events executed" 0 (Trace.n_events t)
+
+let test_event_sync () =
+  let src = "proc a { post(e); clear(e); post(e) }\nproc b { wait(e); x := 1 }" in
+  let t = run src in
+  Alcotest.(check bool) "completed" true (t.Trace.outcome = Trace.Completed);
+  Alcotest.(check (option int)) "x set" (Some 1) (Interp.final_value t "x")
+
+let test_wait_blocks () =
+  let t = run "proc a { wait(e) }" in
+  Alcotest.(check bool) "deadlocked" true
+    (match t.Trace.outcome with Trace.Deadlocked _ -> true | _ -> false)
+
+let test_cobegin () =
+  let t = run "proc main { x := 1; cobegin { y := x } { z := x } coend; w := y + z }" in
+  Alcotest.(check bool) "completed" true (t.Trace.outcome = Trace.Completed);
+  Alcotest.(check (option int)) "both children ran" (Some 2)
+    (Interp.final_value t "w");
+  (* Events: assign, fork, two child assigns, join, final assign. *)
+  Alcotest.(check int) "six events" 6 (Trace.n_events t);
+  (* Program order edges: fork precedes both children, children precede join. *)
+  let x = Trace.to_execution t in
+  let po = Execution.po_closure x in
+  let fork = Trace.find_event t "fork" and join = Trace.find_event t "join" in
+  let cy = Trace.find_event t "y := x" and cz = Trace.find_event t "z := x" in
+  Alcotest.(check bool) "fork->y" true (Rel.mem po fork.Event.id cy.Event.id);
+  Alcotest.(check bool) "fork->z" true (Rel.mem po fork.Event.id cz.Event.id);
+  Alcotest.(check bool) "y->join" true (Rel.mem po cy.Event.id join.Event.id);
+  Alcotest.(check bool) "z->join" true (Rel.mem po cz.Event.id join.Event.id);
+  Alcotest.(check bool) "children unordered" false
+    (Rel.mem po cy.Event.id cz.Event.id || Rel.mem po cz.Event.id cy.Event.id)
+
+let test_assert () =
+  let t = run "proc a { x := 1; assert x = 1; assert x = 2 }" in
+  Alcotest.(check bool) "completed despite violation" true
+    (t.Trace.outcome = Trace.Completed);
+  (match t.Trace.violations with
+  | [ e ] ->
+      Alcotest.(check string) "the failing assert" "assert (x = 2)"
+        t.Trace.events.(e).Event.label
+  | _ -> Alcotest.fail "expected exactly one violation");
+  let t = run "proc a { assert 1 = 1 }" in
+  Alcotest.(check (list int)) "no violations" [] t.Trace.violations
+
+let test_trace_is_valid_execution () =
+  let srcs =
+    [
+      "proc main { x := 1; cobegin { y := x } { z := x } coend }";
+      "sem s = 1\nproc a { p(s); x := 1; v(s) }\nproc b { p(s); x := 2; v(s) }";
+      "proc a { post(e) }\nproc b { wait(e); clear(e) }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun policy ->
+          let t = Interp.run ~policy (Parse.program src) in
+          Alcotest.(check bool) "completed" true
+            (t.Trace.outcome = Trace.Completed);
+          let x = Trace.to_execution t in
+          Alcotest.(check (list string)) "valid execution" []
+            (Execution.axiom_violations x))
+        [ Sched.Round_robin; Sched.Priority; Sched.Random 11; Sched.Random 42 ])
+    srcs
+
+let test_random_schedules_vary () =
+  let src = "proc a { x := 1 }\nproc b { x := 2 }" in
+  let finals =
+    List.map
+      (fun seed ->
+        Interp.final_value (Interp.run ~policy:(Sched.Random seed) (Parse.program src)) "x")
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.(check bool) "both outcomes occur" true
+    (List.mem (Some 1) finals && List.mem (Some 2) finals)
+
+let test_replay () =
+  let src = "proc a { x := 1 }\nproc b { x := 2 }" in
+  let t = Interp.run ~policy:(Sched.Replay [ 1; 0 ]) (Parse.program src) in
+  Alcotest.(check (option int)) "b then a" (Some 1) (Interp.final_value t "x");
+  match
+    Interp.run ~policy:(Sched.Replay [ 5 ]) (Parse.program src)
+  with
+  | exception Sched.Replay_impossible _ -> ()
+  | _ -> Alcotest.fail "expected Replay_impossible"
+
+let test_nested_cobegin () =
+  let src =
+    "proc main { cobegin { cobegin { x := 1 } { y := 2 } coend } { z := 3 } coend }"
+  in
+  let t = run src in
+  Alcotest.(check bool) "completed" true (t.Trace.outcome = Trace.Completed);
+  Alcotest.(check (option int)) "inner x" (Some 1) (Interp.final_value t "x");
+  Alcotest.(check (option int)) "inner y" (Some 2) (Interp.final_value t "y");
+  Alcotest.(check (option int)) "outer z" (Some 3) (Interp.final_value t "z");
+  let x = Trace.to_execution t in
+  Alcotest.(check (list string)) "valid" [] (Execution.axiom_violations x)
+
+let test_counting_semaphore () =
+  (* A semaphore initialized to 2 admits two P's without any V. *)
+  let t = run "sem s = 2\nproc a { p(s); p(s) }" in
+  Alcotest.(check bool) "completed" true (t.Trace.outcome = Trace.Completed);
+  let t = run "sem s = 2\nproc a { p(s); p(s); p(s) }" in
+  Alcotest.(check bool) "third P deadlocks" true
+    (match t.Trace.outcome with Trace.Deadlocked _ -> true | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "sequential" `Quick test_sequential;
+    Alcotest.test_case "if branches" `Quick test_if_branches;
+    Alcotest.test_case "while" `Quick test_while;
+    Alcotest.test_case "fuel" `Quick test_fuel;
+    Alcotest.test_case "semaphores" `Quick test_semaphores;
+    Alcotest.test_case "deadlock" `Quick test_deadlock;
+    Alcotest.test_case "event sync" `Quick test_event_sync;
+    Alcotest.test_case "wait blocks" `Quick test_wait_blocks;
+    Alcotest.test_case "cobegin" `Quick test_cobegin;
+    Alcotest.test_case "traces are valid executions" `Quick
+      test_trace_is_valid_execution;
+    Alcotest.test_case "random schedules vary" `Quick test_random_schedules_vary;
+    Alcotest.test_case "replay" `Quick test_replay;
+    Alcotest.test_case "nested cobegin" `Quick test_nested_cobegin;
+    Alcotest.test_case "counting semaphore" `Quick test_counting_semaphore;
+    Alcotest.test_case "assert statements" `Quick test_assert;
+  ]

@@ -1,0 +1,111 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let chain n =
+  let g = Digraph.create n in
+  for i = 0 to n - 2 do
+    Digraph.add_edge g i (i + 1)
+  done;
+  g
+
+let antichain n = Digraph.create n
+
+let test_chain () =
+  Alcotest.(check int) "chain has one extension" 1 (Linext.count (chain 5))
+
+let test_antichain () =
+  (* n! linear extensions of the empty order. *)
+  Alcotest.(check int) "4 elements" 24 (Linext.count (antichain 4));
+  Alcotest.(check int) "1 element" 1 (Linext.count (antichain 1));
+  Alcotest.(check int) "0 elements" 1 (Linext.count (antichain 0))
+
+let test_diamond () =
+  (* 0 < 1, 0 < 2, 1 < 3, 2 < 3: exactly two extensions. *)
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 2 3;
+  let exts = Linext.all g in
+  Alcotest.(check int) "two extensions" 2 (List.length exts);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "valid" true (Linext.is_linear_extension g e))
+    exts
+
+let test_limit () =
+  Alcotest.(check int) "limit caps enumeration" 10
+    (Linext.count ~limit:10 (antichain 6))
+
+let test_cyclic_rejected () =
+  let g = Digraph.create 2 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 0;
+  Alcotest.check_raises "cyclic" (Invalid_argument "Linext.iter: graph is cyclic")
+    (fun () -> ignore (Linext.count g))
+
+let test_is_linear_extension_rejects () =
+  let g = chain 3 in
+  Alcotest.(check bool) "wrong order" false
+    (Linext.is_linear_extension g [| 2; 1; 0 |]);
+  Alcotest.(check bool) "not a permutation" false
+    (Linext.is_linear_extension g [| 0; 0; 1 |]);
+  Alcotest.(check bool) "wrong length" false
+    (Linext.is_linear_extension g [| 0; 1 |])
+
+let random_dag =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d %s" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges)))
+    QCheck.Gen.(
+      int_range 1 6 >>= fun n ->
+      list_size (int_range 0 8)
+        (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      >>= fun raw ->
+      let edges = List.filter (fun (a, b) -> a < b) raw in
+      return (n, edges))
+
+let prop_all_are_extensions =
+  QCheck.Test.make ~name:"every enumerated order is a linear extension"
+    ~count:100 random_dag (fun (n, edges) ->
+      let g = Digraph.create n in
+      List.iter (fun (a, b) -> Digraph.add_edge g a b) edges;
+      List.for_all (Linext.is_linear_extension g) (Linext.all g))
+
+let prop_count_vs_brute_force =
+  QCheck.Test.make ~name:"count agrees with permutation filter" ~count:60
+    random_dag (fun (n, edges) ->
+      let g = Digraph.create n in
+      List.iter (fun (a, b) -> Digraph.add_edge g a b) edges;
+      (* Brute force: check every permutation of 0..n-1. *)
+      let rec permutations = function
+        | [] -> [ [] ]
+        | xs ->
+            List.concat_map
+              (fun x ->
+                List.map
+                  (fun rest -> x :: rest)
+                  (permutations (List.filter (( <> ) x) xs)))
+              xs
+      in
+      let all_perms = permutations (List.init n Fun.id) in
+      let valid =
+        List.filter
+          (fun p -> Linext.is_linear_extension g (Array.of_list p))
+          all_perms
+      in
+      Linext.count g = List.length valid)
+
+let suite =
+  [
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "antichain" `Quick test_antichain;
+    Alcotest.test_case "diamond" `Quick test_diamond;
+    Alcotest.test_case "limit" `Quick test_limit;
+    Alcotest.test_case "cyclic rejected" `Quick test_cyclic_rejected;
+    Alcotest.test_case "is_linear_extension rejects" `Quick
+      test_is_linear_extension_rejects;
+    qcheck prop_all_are_extensions;
+    qcheck prop_count_vs_brute_force;
+  ]

@@ -1,0 +1,80 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let of_src src =
+  match Gen_progs.completed_trace (Parse.program src) with
+  | Some t -> Parallelism.of_trace t
+  | None -> Alcotest.fail "fixture program deadlocked"
+
+let test_chain () =
+  let p = of_src "proc a { x := 1; x := 2; x := 3 }" in
+  Alcotest.(check int) "critical path = everything" 3
+    p.Parallelism.critical_path_length;
+  Alcotest.(check int) "width 1" 1 p.Parallelism.width;
+  Alcotest.(check int) "ideal makespan" 3 (Parallelism.ideal_makespan p);
+  Alcotest.(check bool) "no speedup" true (Parallelism.speedup_limit p = 1.0)
+
+let test_independent () =
+  let p = of_src "proc a { x := 1 }\nproc b { y := 1 }\nproc c { z := 1 }" in
+  Alcotest.(check int) "critical path 1" 1 p.Parallelism.critical_path_length;
+  Alcotest.(check int) "width 3" 3 p.Parallelism.width;
+  Alcotest.(check bool) "speedup 3" true (Parallelism.speedup_limit p = 3.0)
+
+let test_pipeline () =
+  (* producer -> V -> P -> consumer chain plus one free event. *)
+  let p =
+    of_src
+      "sem s = 0\nproc a { x := 1; v(s) }\nproc b { p(s); y := x }\nproc c { z := 1 }"
+  in
+  Alcotest.(check int) "critical path through the semaphore" 4
+    p.Parallelism.critical_path_length;
+  Alcotest.(check int) "width 2" 2 p.Parallelism.width;
+  (* The critical path is an actual chain of the pinned order. *)
+  let trace =
+    Interp.run
+      (Parse.program
+         "sem s = 0\nproc a { x := 1; v(s) }\nproc b { p(s); y := x }\nproc c { z := 1 }")
+  in
+  let sk = Skeleton.of_execution (Trace.to_execution trace) in
+  let po = Pinned.po_of_schedule sk (Trace.schedule trace) in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> Rel.mem po a b && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "path is a chain" true
+    (ascending p.Parallelism.critical_path)
+
+let test_brent () =
+  let p = of_src "proc a { x := 1 }\nproc b { y := 1 }\nproc c { z := 1 }" in
+  (* n=3, cp=1: with 1 processor: 2/1 + 1 = 3; with 3: 1/3 rounded up + 1 = 2. *)
+  Alcotest.(check int) "p=1" 3 (Parallelism.brent_bound p ~processors:1);
+  Alcotest.(check int) "p=3" 2 (Parallelism.brent_bound p ~processors:3);
+  Alcotest.check_raises "p=0 rejected"
+    (Invalid_argument "Parallelism.brent_bound: p must be positive") (fun () ->
+      ignore (Parallelism.brent_bound p ~processors:0))
+
+let prop_invariants =
+  QCheck.Test.make ~name:"critical path and width invariants" ~count:100
+    Gen_progs.arbitrary_program (fun prog ->
+      match Gen_progs.completed_trace prog with
+      | None -> true
+      | Some tr ->
+          let p = Parallelism.of_trace tr in
+          let n = p.Parallelism.n_events in
+          (* Dilworth-flavoured sanity: cp * width >= n (a chain cover by
+             antichains / Mirsky), both within [1, n] for n > 0. *)
+          n = 0
+          || (p.Parallelism.critical_path_length >= 1
+             && p.Parallelism.critical_path_length <= n
+             && p.Parallelism.width >= 1
+             && p.Parallelism.width <= n
+             && p.Parallelism.critical_path_length * p.Parallelism.width >= n
+             && Parallelism.brent_bound p ~processors:1 = n))
+
+let suite =
+  [
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "independent" `Quick test_independent;
+    Alcotest.test_case "pipeline" `Quick test_pipeline;
+    Alcotest.test_case "brent bound" `Quick test_brent;
+    qcheck prop_invariants;
+  ]

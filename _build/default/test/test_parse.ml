@@ -1,0 +1,161 @@
+let parses_to name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let prog = Parse.program src in
+      Alcotest.(check bool) "ast" true (prog = expected))
+
+let simple_src = "proc main {\n  x := 1\n  a: skip\n}\n"
+
+let simple_ast =
+  Ast.program
+    [ Ast.proc "main" [ Ast.Assign ("x", Expr.Int 1); Ast.Skip (Some "a") ] ]
+
+let sync_src =
+  "sem s = 1\nevent e = set\nvar x = 5\nproc p1 { p(s); post(e) }\nproc p2 { wait(e); v(s); clear(e) }\n"
+
+let sync_ast =
+  Ast.program ~sem_init:[ ("s", 1) ] ~ev_init:[ ("e", true) ]
+    ~var_init:[ ("x", 5) ]
+    [
+      Ast.proc "p1" [ Ast.Sem_p "s"; Ast.Post "e" ];
+      Ast.proc "p2" [ Ast.Wait "e"; Ast.Sem_v "s"; Ast.Clear "e" ];
+    ]
+
+let control_src =
+  "proc main {\n\
+  \  if x = 1 { post(e) } else { wait(e) }\n\
+  \  while x < 3 { x := x + 1 }\n\
+  \  cobegin { x := 2 } { skip } coend\n\
+   }\n"
+
+let control_ast =
+  Ast.program
+    [
+      Ast.proc "main"
+        [
+          Ast.If
+            ( Expr.Eq (Expr.Var "x", Expr.Int 1),
+              [ Ast.Post "e" ],
+              [ Ast.Wait "e" ] );
+          Ast.While
+            ( Expr.Lt (Expr.Var "x", Expr.Int 3),
+              [ Ast.Assign ("x", Expr.Add (Expr.Var "x", Expr.Int 1)) ] );
+          Ast.Cobegin [ [ Ast.Assign ("x", Expr.Int 2) ]; [ Ast.Skip None ] ];
+        ];
+    ]
+
+let test_roundtrip () =
+  (* pp output must parse back to the same AST. *)
+  List.iter
+    (fun prog ->
+      let printed = Format.asprintf "%a" Ast.pp prog in
+      let reparsed = Parse.program printed in
+      Alcotest.(check bool)
+        ("roundtrip: " ^ printed)
+        true (reparsed = prog))
+    [ simple_ast; sync_ast; control_ast ]
+
+let test_comments_and_semicolons () =
+  let prog = Parse.program "# header\nproc main { skip; skip ; x := 1 # tail\n }" in
+  Alcotest.(check int) "three statements" 3
+    (List.length (List.hd prog.Ast.procs).Ast.body)
+
+let test_expr_parser () =
+  Alcotest.(check bool) "precedence" true
+    (Parse.expr "1 + 2 * 3 < 8 && !(x = 1)"
+    = Expr.And
+        ( Expr.Lt (Expr.Add (Expr.Int 1, Expr.Mul (Expr.Int 2, Expr.Int 3)), Expr.Int 8),
+          Expr.Not (Expr.Eq (Expr.Var "x", Expr.Int 1)) ));
+  Alcotest.(check bool) "negative literal folds" true
+    (Parse.expr "-3" = Expr.Int (-3));
+  Alcotest.(check bool) "negated variable stays symbolic" true
+    (Parse.expr "-x" = Expr.Sub (Expr.Int 0, Expr.Var "x"))
+
+let expect_syntax_error name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Parse.program src with
+      | exception Parse.Syntax_error _ -> ()
+      | _ -> Alcotest.fail "expected syntax error")
+
+(* Random AST -> pp -> parse roundtrip, covering nested control flow. *)
+let expr_gen =
+  QCheck.Gen.(
+    sized_size (int_range 0 3) (fix (fun self n ->
+        if n = 0 then
+          oneof [ map (fun i -> Expr.Int i) (int_range (-9) 9);
+                  oneofl [ Expr.Var "x"; Expr.Var "y" ] ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              map2 (fun a b -> Expr.Add (a, b)) sub sub;
+              map2 (fun a b -> Expr.Sub (a, b)) sub sub;
+              map2 (fun a b -> Expr.Mul (a, b)) sub sub;
+              map2 (fun a b -> Expr.Eq (a, b)) sub sub;
+              map2 (fun a b -> Expr.Lt (a, b)) sub sub;
+              map2 (fun a b -> Expr.And (a, b)) sub sub;
+              map2 (fun a b -> Expr.Or (a, b)) sub sub;
+              map (fun a -> Expr.Not a) sub;
+            ])))
+
+let stmt_gen =
+  QCheck.Gen.(
+    sized_size (int_range 0 3) (fix (fun self n ->
+        let block = list_size (int_range 1 2) (self (n / 2)) in
+        if n = 0 then
+          oneof
+            [
+              map (fun e -> Ast.Assign ("x", e)) expr_gen;
+              oneofl
+                [ Ast.Skip None; Ast.Skip (Some "lbl"); Ast.Sem_p "s";
+                  Ast.Sem_v "s"; Ast.Post "e"; Ast.Wait "e"; Ast.Clear "e" ];
+            ]
+        else
+          oneof
+            [
+              map (fun e -> Ast.Assign ("y", e)) expr_gen;
+              map (fun e -> Ast.Assert e) expr_gen;
+              map3 (fun c t e -> Ast.If (c, t, e)) expr_gen block block;
+              map2 (fun c b -> Ast.While (c, b)) expr_gen block;
+              map (fun bs -> Ast.Cobegin bs) (list_size (int_range 1 3) block);
+            ])))
+
+let program_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 3) (list_size (int_range 1 3) stmt_gen)
+    >>= fun bodies ->
+    oneofl [ []; [ ("s", 1) ] ] >>= fun sem_init ->
+    oneofl [ []; [ "s" ] ] >>= fun binary_sems ->
+    oneofl [ []; [ ("e", true) ] ] >>= fun ev_init ->
+    oneofl [ []; [ ("x", -3) ] ] >>= fun var_init ->
+    return
+      (Ast.program ~sem_init ~binary_sems ~ev_init ~var_init
+         (List.mapi (fun i b -> Ast.proc (Printf.sprintf "q%d" i) b) bodies)))
+
+let prop_random_ast_roundtrip =
+  QCheck.Test.make ~name:"random AST pp/parse roundtrip" ~count:300
+    (QCheck.make ~print:(fun p -> Format.asprintf "%a" Ast.pp p) program_gen)
+    (fun prog ->
+      Parse.program (Format.asprintf "%a" Ast.pp prog) = prog)
+
+let test_error_line_number () =
+  match Parse.program "proc main {\n  skip\n  ?? \n}" with
+  | exception Parse.Syntax_error { line; _ } ->
+      Alcotest.(check int) "line 3" 3 line
+  | _ -> Alcotest.fail "expected syntax error"
+
+let suite =
+  [
+    parses_to "simple program" simple_src simple_ast;
+    parses_to "declarations and sync" sync_src sync_ast;
+    parses_to "control flow" control_src control_ast;
+    Alcotest.test_case "pp/parse roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "comments and semicolons" `Quick
+      test_comments_and_semicolons;
+    Alcotest.test_case "expression parser" `Quick test_expr_parser;
+    expect_syntax_error "no processes" "var x = 1\n";
+    expect_syntax_error "unclosed block" "proc main { skip\n";
+    expect_syntax_error "missing coend" "proc main { cobegin { skip } }";
+    expect_syntax_error "bad statement" "proc main { 42 }";
+    Alcotest.test_case "error line number" `Quick test_error_line_number;
+    QCheck_alcotest.to_alcotest prop_random_ast_roundtrip;
+  ]

@@ -1,0 +1,106 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let skeleton_of src =
+  match Gen_progs.completed_trace (Parse.program src) with
+  | Some t -> Skeleton.of_execution (Trace.to_execution t)
+  | None -> Alcotest.fail "fixture program deadlocked"
+
+let pinned_class_set sk iter =
+  let classes = Hashtbl.create 64 in
+  let (_ : int) =
+    iter sk (fun schedule ->
+        Hashtbl.replace classes
+          (Rel.to_pairs (Pinned.po_of_schedule sk schedule))
+          ())
+  in
+  Hashtbl.fold (fun k () acc -> k :: acc) classes []
+  |> List.sort compare
+
+let test_fewer_representatives () =
+  (* Three independent writers: 6 schedules, 1 class, 1 representative. *)
+  let sk = skeleton_of "proc a { x := 1 }\nproc b { y := 1 }\nproc c { z := 1 }" in
+  Alcotest.(check int) "full enumeration" 6 (Enumerate.count sk);
+  Alcotest.(check int) "one representative" 1 (Por.count_representatives sk)
+
+let test_dependent_not_reduced () =
+  (* Two P's on one semaphore with two tokens: orders are distinguishable
+     (the pairing differs), so both survive. *)
+  let sk = skeleton_of "sem s = 2\nproc a { p(s) }\nproc b { p(s) }" in
+  Alcotest.(check int) "both representatives kept" 2
+    (Por.count_representatives sk)
+
+let test_independence_relation () =
+  let sk =
+    skeleton_of "sem s = 0\nproc a { x := 1; v(s) }\nproc b { p(s); y := x }"
+  in
+  let x = Skeleton.(sk.execution) in
+  let by_label l =
+    (Array.to_list x.Execution.events
+    |> List.find (fun e -> e.Event.label = l))
+      .Event.id
+  in
+  (* Same-semaphore ops are dependent. *)
+  Alcotest.(check bool) "V/P dependent" false
+    (Por.independent sk (by_label "V(s)") (by_label "P(s)"));
+  (* Conflicting accesses (D edge) are dependent. *)
+  Alcotest.(check bool) "writer/reader dependent" false
+    (Por.independent sk (by_label "x := 1") (by_label "y := x"));
+  (* Cross-process, different objects: independent. *)
+  Alcotest.(check bool) "write vs P independent" true
+    (Por.independent sk (by_label "x := 1") (by_label "P(s)"));
+  (* Same process: never independent. *)
+  Alcotest.(check bool) "same process dependent" false
+    (Por.independent sk (by_label "x := 1") (by_label "V(s)"))
+
+let prop_same_class_set =
+  QCheck.Test.make
+    ~name:"POR representatives cover exactly the pinned-order classes"
+    ~count:120 Gen_progs.arbitrary_program (fun prog ->
+      match Gen_progs.completed_trace prog with
+      | None -> true
+      | Some tr ->
+          if Trace.n_events tr > 8 then true
+          else begin
+            let sk = Skeleton.of_execution (Trace.to_execution tr) in
+            pinned_class_set sk (fun sk f -> Enumerate.iter sk f)
+            = pinned_class_set sk (fun sk f -> Por.iter_representatives sk f)
+          end)
+
+let prop_representatives_feasible =
+  QCheck.Test.make ~name:"representatives are feasible schedules" ~count:100
+    Gen_progs.arbitrary_program (fun prog ->
+      match Gen_progs.completed_trace prog with
+      | None -> true
+      | Some tr ->
+          if Trace.n_events tr > 8 then true
+          else begin
+            let sk = Skeleton.of_execution (Trace.to_execution tr) in
+            let ok = ref true in
+            let (_ : int) =
+              Por.iter_representatives sk (fun s ->
+                  if not (Replay.is_feasible sk s) then ok := false)
+            in
+            !ok
+          end)
+
+let prop_never_more_than_full =
+  QCheck.Test.make ~name:"representative count <= schedule count" ~count:100
+    Gen_progs.arbitrary_program (fun prog ->
+      match Gen_progs.completed_trace prog with
+      | None -> true
+      | Some tr ->
+          if Trace.n_events tr > 8 then true
+          else begin
+            let sk = Skeleton.of_execution (Trace.to_execution tr) in
+            Por.count_representatives sk <= Enumerate.count sk
+          end)
+
+let suite =
+  [
+    Alcotest.test_case "fewer representatives" `Quick test_fewer_representatives;
+    Alcotest.test_case "dependent orders kept" `Quick test_dependent_not_reduced;
+    Alcotest.test_case "independence relation" `Quick test_independence_relation;
+    qcheck prop_same_class_set;
+    qcheck prop_representatives_feasible;
+    qcheck prop_never_more_than_full;
+  ]

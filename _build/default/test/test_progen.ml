@@ -1,0 +1,50 @@
+let test_deterministic () =
+  let cfg = Progen.default_config in
+  let p1 = Progen.generate cfg ~seed:42 in
+  let p2 = Progen.generate cfg ~seed:42 in
+  Alcotest.(check bool) "same seed same program" true (p1 = p2);
+  let p3 = Progen.generate cfg ~seed:43 in
+  Alcotest.(check bool) "different seeds differ (eventually)" true
+    (p1 <> p3 || Progen.generate cfg ~seed:44 <> p1)
+
+let test_respects_config () =
+  let cfg =
+    {
+      Progen.processes = (4, 4);
+      stmts_per_process = (2, 2);
+      shared_vars = 1;
+      semaphores = 0;
+      binary_semaphores = false;
+      event_variables = 0;
+    }
+  in
+  let p = Progen.generate cfg ~seed:7 in
+  Alcotest.(check int) "process count" 4 (List.length p.Ast.procs);
+  List.iter
+    (fun proc ->
+      Alcotest.(check int) "stmt count" 2 (List.length proc.Ast.body))
+    p.Ast.procs;
+  Alcotest.(check bool) "no semaphores" false (Ast.uses_semaphores p);
+  Alcotest.(check bool) "no event sync" false (Ast.uses_event_sync p)
+
+let test_binary_config () =
+  let cfg = { Progen.default_config with Progen.binary_semaphores = true } in
+  let p = Progen.generate cfg ~seed:3 in
+  Alcotest.(check bool) "binary sems declared" true
+    (List.length p.Ast.binary_sems = List.length p.Ast.sem_init)
+
+let test_generate_completing () =
+  for seed = 0 to 20 do
+    let t = Progen.generate_completing Progen.default_config ~seed in
+    Alcotest.(check bool) "completed" true (t.Trace.outcome = Trace.Completed);
+    Alcotest.(check (list string)) "valid" []
+      (Execution.axiom_violations (Trace.to_execution t))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "respects config" `Quick test_respects_config;
+    Alcotest.test_case "binary config" `Quick test_binary_config;
+    Alcotest.test_case "generate completing" `Quick test_generate_completing;
+  ]

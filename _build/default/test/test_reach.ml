@@ -1,0 +1,143 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let skeleton_of src =
+  match Gen_progs.completed_trace (Parse.program src) with
+  | Some t -> (t, Skeleton.of_execution (Trace.to_execution t))
+  | None -> Alcotest.fail "fixture program deadlocked"
+
+let producer_consumer =
+  "sem s = 0\nproc producer { x := 1; v(s) }\nproc consumer { p(s); y := x }\nproc bystander { z := 42 }"
+
+let test_schedule_count_matches_enumeration () =
+  let _, sk = skeleton_of producer_consumer in
+  let r = Reach.create sk in
+  Alcotest.(check int) "counts agree" (Enumerate.count sk) (Reach.schedule_count r)
+
+let test_feasible_exists () =
+  let _, sk = skeleton_of producer_consumer in
+  Alcotest.(check bool) "exists" true (Reach.feasible_exists (Reach.create sk))
+
+let test_exists_before_matches () =
+  let tr, sk = skeleton_of producer_consumer in
+  let id l = (Trace.find_event tr l).Event.id in
+  let r = Reach.create sk in
+  Alcotest.(check bool) "z before x" true
+    (Reach.exists_before r (id "z := 42") (id "x := 1"));
+  Alcotest.(check bool) "y before x never" false
+    (Reach.exists_before r (id "y := x") (id "x := 1"));
+  Alcotest.(check bool) "must: x before y" true
+    (Reach.must_before r (id "x := 1") (id "y := x"));
+  Alcotest.(check bool) "not must: z before x" false
+    (Reach.must_before r (id "z := 42") (id "x := 1"))
+
+let test_state_count () =
+  let _, sk = skeleton_of "proc a { x := 1 }\nproc b { y := 1 }" in
+  (* Two independent events: states are subsets {∅,{a},{b},{a,b}}. *)
+  Alcotest.(check int) "4 states" 4 (Reach.reachable_state_count (Reach.create sk))
+
+let test_deadlock_reachable () =
+  (* Observed run completes, but another schedule wedges: Clear before the
+     Wait kills the only trigger. *)
+  let _, sk = skeleton_of "proc a { post(e) }\nproc b { wait(e); clear(e) }" in
+  Alcotest.(check bool) "no deadlock here" false
+    (Reach.deadlock_reachable (Reach.create sk));
+  let _, sk2 = skeleton_of "proc a { post(e) }\nproc b { wait(e) }\nproc c { clear(e) }" in
+  (* Post; Clear; -> Wait stuck. *)
+  Alcotest.(check bool) "deadlock reachable" true
+    (Reach.deadlock_reachable (Reach.create sk2))
+
+let with_small_trace prog f =
+  match Gen_progs.completed_trace prog with
+  | None -> true
+  | Some tr ->
+      if Trace.n_events tr > 8 then true
+      else f tr (Skeleton.of_execution (Trace.to_execution tr))
+
+let prop_counts_agree =
+  QCheck.Test.make
+    ~name:"reach schedule_count = enumerate count" ~count:120
+    Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun _ sk ->
+          Reach.schedule_count (Reach.create sk) = Enumerate.count sk))
+
+let prop_exists_before_agrees =
+  QCheck.Test.make
+    ~name:"reach exists_before = enumerate exists_order (all pairs)"
+    ~count:60 Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun _ sk ->
+          let r = Reach.create sk in
+          let ok = ref true in
+          for a = 0 to sk.Skeleton.n - 1 do
+            for b = 0 to sk.Skeleton.n - 1 do
+              if
+                Reach.exists_before r a b
+                <> Enumerate.exists_order sk ~before:a ~after:b
+              then ok := false
+            done
+          done;
+          !ok))
+
+let prop_mhb_chb_duality =
+  QCheck.Test.make ~name:"must_before a b = not (exists_before b a)" ~count:60
+    Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun _ sk ->
+          let r = Reach.create sk in
+          QCheck.assume (Reach.feasible_exists r);
+          let ok = ref true in
+          for a = 0 to sk.Skeleton.n - 1 do
+            for b = 0 to sk.Skeleton.n - 1 do
+              if a <> b then
+                if Reach.must_before r a b <> not (Reach.exists_before r b a)
+                then ok := false
+            done
+          done;
+          !ok))
+
+let test_witness_before () =
+  let tr, sk = skeleton_of producer_consumer in
+  let id l = (Trace.find_event tr l).Event.id in
+  let r = Reach.create sk in
+  (match Reach.witness_before r (id "z := 42") (id "x := 1") with
+  | None -> Alcotest.fail "expected a witness"
+  | Some schedule ->
+      Alcotest.(check bool) "witness is feasible" true
+        (Replay.is_feasible sk schedule);
+      let pos e = Array.to_list schedule |> List.mapi (fun i x -> (x, i))
+                  |> List.assoc e in
+      Alcotest.(check bool) "z before x in witness" true
+        (pos (id "z := 42") < pos (id "x := 1")));
+  Alcotest.(check (option (array int))) "no witness for impossible order" None
+    (Reach.witness_before r (id "y := x") (id "x := 1"))
+
+let prop_witness_iff_exists =
+  QCheck.Test.make ~name:"witness_before = Some iff exists_before (and valid)"
+    ~count:60 Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun _ sk ->
+          let r = Reach.create sk in
+          let ok = ref true in
+          for a = 0 to sk.Skeleton.n - 1 do
+            for b = 0 to sk.Skeleton.n - 1 do
+              match Reach.witness_before r a b with
+              | Some schedule ->
+                  if not (Reach.exists_before r a b) then ok := false;
+                  if not (Replay.is_feasible sk schedule) then ok := false
+              | None -> if Reach.exists_before r a b then ok := false
+            done
+          done;
+          !ok))
+
+let suite =
+  [
+    Alcotest.test_case "witness schedules" `Quick test_witness_before;
+    qcheck prop_witness_iff_exists;
+    Alcotest.test_case "schedule count matches enumeration" `Quick
+      test_schedule_count_matches_enumeration;
+    Alcotest.test_case "feasible exists" `Quick test_feasible_exists;
+    Alcotest.test_case "exists_before/must_before" `Quick
+      test_exists_before_matches;
+    Alcotest.test_case "state count" `Quick test_state_count;
+    Alcotest.test_case "deadlock reachability" `Quick test_deadlock_reachable;
+    qcheck prop_counts_agree;
+    qcheck prop_exists_before_agrees;
+    qcheck prop_mhb_chb_duality;
+  ]

@@ -1,0 +1,117 @@
+(* Structural tests of the Theorem 1/3 reduction constructions.  The
+   theorem equivalences themselves are exercised in Test_theorems. *)
+
+let formula_n2 =
+  (* (x1|x1|x2) & (~x1|~x1|x2) *)
+  Cnf.make ~num_vars:2 [ [ 1; 1; 2 ]; [ -1; -1; 2 ] ]
+
+let test_sem_counts () =
+  let red = Reduction_sem.build formula_n2 in
+  Alcotest.(check int) "processes: 3n+3m+2" (Reduction_sem.expected_process_count formula_n2)
+    (List.length red.Reduction_sem.program.Ast.procs);
+  Alcotest.(check int) "processes concrete" 14
+    (List.length red.Reduction_sem.program.Ast.procs);
+  Alcotest.(check int) "semaphores: 3n+m+1" (Reduction_sem.expected_semaphore_count formula_n2)
+    (List.length (Ast.semaphores red.Reduction_sem.program));
+  Alcotest.(check int) "semaphores concrete" 9
+    (List.length (Ast.semaphores red.Reduction_sem.program))
+
+let test_sem_no_shared_vars () =
+  let red = Reduction_sem.build formula_n2 in
+  Alcotest.(check (list string)) "no shared variables" []
+    (Ast.shared_variables red.Reduction_sem.program);
+  (* Therefore the observed execution has no dependences. *)
+  let tr = Reduction_sem.trace red in
+  let x = Trace.to_execution tr in
+  Alcotest.(check int) "D is empty" 0 (Rel.pair_count x.Execution.dependences)
+
+let test_sem_trace_completes_and_validates () =
+  let red = Reduction_sem.build formula_n2 in
+  let tr = Reduction_sem.trace red in
+  Alcotest.(check bool) "completed" true (tr.Trace.outcome = Trace.Completed);
+  Alcotest.(check (list string)) "valid execution" []
+    (Execution.axiom_violations (Trace.to_execution tr));
+  let a, b = Reduction_sem.events_ab red tr in
+  Alcotest.(check bool) "a and b distinct" true (a <> b)
+
+let test_sem_occurrence_vs () =
+  (* x1 occurs twice in clause 1; the true-assignment process must post two
+     tokens for X1 plus one P(A1). *)
+  let red = Reduction_sem.build formula_n2 in
+  let assign_true =
+    List.find (fun p -> p.Ast.name = "assign_true1")
+      red.Reduction_sem.program.Ast.procs
+  in
+  Alcotest.(check int) "P(A1) + 2 V(X1)" 3 (List.length assign_true.Ast.body)
+
+let test_sem_rejects_non_3cnf () =
+  Alcotest.check_raises "non 3-CNF"
+    (Invalid_argument "Reduction_sem.build: formula must be in 3-CNF")
+    (fun () -> ignore (Reduction_sem.build (Cnf.make ~num_vars:1 [ [ 1 ] ])))
+
+let test_evt_structure () =
+  let red = Reduction_evt.build formula_n2 in
+  (* n variable processes + 3m clause processes + 2. *)
+  Alcotest.(check int) "top-level processes" (2 + 6 + 2)
+    (List.length red.Reduction_evt.program.Ast.procs);
+  Alcotest.(check bool) "uses event sync" true
+    (Ast.uses_event_sync red.Reduction_evt.program);
+  Alcotest.(check bool) "no semaphores" false
+    (Ast.uses_semaphores red.Reduction_evt.program);
+  Alcotest.(check (list string)) "no shared variables" []
+    (Ast.shared_variables red.Reduction_evt.program)
+
+let test_evt_trace_completes_and_validates () =
+  let red = Reduction_evt.build formula_n2 in
+  let tr = Reduction_evt.trace red in
+  Alcotest.(check bool) "completed" true (tr.Trace.outcome = Trace.Completed);
+  Alcotest.(check (list string)) "valid execution" []
+    (Execution.axiom_violations (Trace.to_execution tr));
+  let a, b = Reduction_evt.events_ab red tr in
+  Alcotest.(check bool) "a and b distinct" true (a <> b)
+
+let test_evt_trace_completes_various_formulas () =
+  List.iter
+    (fun f ->
+      let red = Reduction_evt.build f in
+      let tr = Reduction_evt.trace red in
+      Alcotest.(check bool) "completed" true (tr.Trace.outcome = Trace.Completed))
+    [
+      Sat_gen.tiny_sat_3cnf ();
+      Sat_gen.tiny_unsat_3cnf ();
+      formula_n2;
+      Cnf.make ~num_vars:3 [ [ 1; 2; 3 ]; [ -1; -2; -3 ]; [ 1; -2; 3 ] ];
+    ]
+
+let test_evt_mutual_exclusion_gadget () =
+  (* In the observed trace of a 1-variable formula, only one of
+     Post(X1)/Post(Xbar1) happens before the second pass (event a). *)
+  let red = Reduction_evt.build (Sat_gen.tiny_sat_3cnf ()) in
+  let tr = Reduction_evt.trace red in
+  let a = (Trace.find_event tr "a").Event.id in
+  let posts_before_a label =
+    match Trace.find_event_opt tr label with
+    | Some e -> e.Event.id < a
+    | None -> false
+  in
+  Alcotest.(check bool) "not both literals posted before a" false
+    (posts_before_a "Post(X1)" && posts_before_a "Post(Xbar1)")
+
+let suite =
+  [
+    Alcotest.test_case "semaphore reduction counts" `Quick test_sem_counts;
+    Alcotest.test_case "no shared variables / empty D" `Quick
+      test_sem_no_shared_vars;
+    Alcotest.test_case "semaphore trace completes" `Quick
+      test_sem_trace_completes_and_validates;
+    Alcotest.test_case "occurrence-many V operations" `Quick
+      test_sem_occurrence_vs;
+    Alcotest.test_case "rejects non-3CNF" `Quick test_sem_rejects_non_3cnf;
+    Alcotest.test_case "event-style structure" `Quick test_evt_structure;
+    Alcotest.test_case "event-style trace completes" `Quick
+      test_evt_trace_completes_and_validates;
+    Alcotest.test_case "event-style various formulas" `Quick
+      test_evt_trace_completes_various_formulas;
+    Alcotest.test_case "mutual exclusion gadget" `Quick
+      test_evt_mutual_exclusion_gadget;
+  ]

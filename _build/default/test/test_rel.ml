@@ -1,0 +1,166 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let random_rel =
+  QCheck.make
+    ~print:(fun (n, pairs) ->
+      Printf.sprintf "n=%d %s" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) pairs)))
+    QCheck.Gen.(
+      int_range 1 12 >>= fun n ->
+      list_size (int_range 0 30)
+        (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      >>= fun pairs -> return (n, pairs))
+
+let test_add_mem () =
+  let r = Rel.create 4 in
+  Rel.add r 0 1;
+  Rel.add r 1 2;
+  Alcotest.(check bool) "mem 0 1" true (Rel.mem r 0 1);
+  Alcotest.(check bool) "mem 1 0" false (Rel.mem r 1 0);
+  Alcotest.(check int) "pair_count" 2 (Rel.pair_count r);
+  Rel.remove r 0 1;
+  Alcotest.(check bool) "removed" false (Rel.mem r 0 1)
+
+let test_closure_chain () =
+  let r = Rel.of_pairs 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let c = Rel.transitive_closure r in
+  Alcotest.(check bool) "0->3" true (Rel.mem c 0 3);
+  Alcotest.(check bool) "0->2" true (Rel.mem c 0 2);
+  Alcotest.(check bool) "3->0" false (Rel.mem c 3 0);
+  Alcotest.(check int) "pairs" 6 (Rel.pair_count c)
+
+let test_closure_cycle () =
+  let r = Rel.of_pairs 3 [ (0, 1); (1, 2); (2, 0) ] in
+  let c = Rel.transitive_closure r in
+  Alcotest.(check bool) "cycle closes reflexively" true (Rel.mem c 0 0);
+  Alcotest.(check bool) "acyclic detects cycle" false (Rel.is_acyclic r)
+
+let test_order_predicates () =
+  let chain = Rel.transitive_closure (Rel.of_pairs 4 [ (0, 1); (1, 2); (2, 3) ]) in
+  Alcotest.(check bool) "chain is strict partial order" true
+    (Rel.is_strict_partial_order chain);
+  let sym = Rel.of_pairs 2 [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "sym not antisymmetric" false (Rel.is_antisymmetric sym);
+  let refl = Rel.of_pairs 2 [ (0, 0) ] in
+  Alcotest.(check bool) "refl not irreflexive" false (Rel.is_irreflexive refl)
+
+let test_transitive_reduction () =
+  let r = Rel.of_pairs 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let red = Rel.transitive_reduction r in
+  Alcotest.(check bool) "redundant edge removed" false (Rel.mem red 0 2);
+  Alcotest.(check bool) "chain kept 0->1" true (Rel.mem red 0 1);
+  Alcotest.(check bool) "chain kept 1->2" true (Rel.mem red 1 2);
+  Alcotest.(check bool) "same closure" true
+    (Rel.equal (Rel.transitive_closure red) (Rel.transitive_closure r))
+
+let test_transpose () =
+  let r = Rel.of_pairs 3 [ (0, 1); (1, 2) ] in
+  let t = Rel.transpose r in
+  Alcotest.(check (list (pair int int))) "pairs" [ (1, 0); (2, 1) ]
+    (Rel.to_pairs t)
+
+let test_algebra () =
+  let a = Rel.of_pairs 3 [ (0, 1); (1, 2) ] in
+  let b = Rel.of_pairs 3 [ (1, 2); (2, 0) ] in
+  Alcotest.(check int) "union" 3 (Rel.pair_count (Rel.union a b));
+  Alcotest.(check (list (pair int int))) "inter" [ (1, 2) ]
+    (Rel.to_pairs (Rel.inter a b));
+  Alcotest.(check (list (pair int int))) "diff" [ (0, 1) ]
+    (Rel.to_pairs (Rel.diff a b));
+  Alcotest.(check bool) "subset" true (Rel.subset (Rel.inter a b) a)
+
+let test_interval_order () =
+  (* A chain is an interval order. *)
+  let chain = Rel.transitive_closure (Rel.of_pairs 4 [ (0, 1); (1, 2); (2, 3) ]) in
+  Alcotest.(check bool) "chain" true (Rel.is_interval_order chain);
+  (* The canonical non-interval order: 2+2 (two disjoint 2-chains). *)
+  let two_plus_two = Rel.of_pairs 4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "2+2 is not an interval order" false
+    (Rel.is_interval_order two_plus_two);
+  (* N-shaped order (2+2 with one cross edge) IS an interval order. *)
+  let n_shape = Rel.of_pairs 4 [ (0, 1); (2, 3); (0, 3) ] in
+  Alcotest.(check bool) "N-shape" true (Rel.is_interval_order n_shape);
+  (* Empty order: trivially interval. *)
+  Alcotest.(check bool) "antichain" true (Rel.is_interval_order (Rel.create 3));
+  Alcotest.check_raises "requires an order"
+    (Invalid_argument "Rel.is_interval_order: not a strict partial order")
+    (fun () -> ignore (Rel.is_interval_order (Rel.of_pairs 3 [ (0, 1); (1, 2) ])))
+
+(* Brute-force interval realizability for cross-checking: search for an
+   assignment of interval endpoints consistent with the order. *)
+let prop_interval_order_realizable =
+  QCheck.Test.make ~name:"is_interval_order agrees with endpoint realizability"
+    ~count:150 random_rel (fun (n, pairs) ->
+      let r = Rel.transitive_closure (Rel.of_pairs n pairs) in
+      QCheck.assume (Rel.is_strict_partial_order r);
+      (* Canonical realization attempt: start(e) = 1 + max over preds of
+         their "magnitude" rank... use the standard characterization:
+         interval order iff the down-sets {preds(e)} are totally ordered by
+         inclusion. *)
+      let downsets_chain =
+        let ok = ref true in
+        let pred_set e =
+          Rel.fold (fun a b acc -> if b = e then a :: acc else acc) r []
+          |> List.sort compare
+        in
+        let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+        for a = 0 to n - 1 do
+          for b = 0 to n - 1 do
+            let pa = pred_set a and pb = pred_set b in
+            if (not (subset pa pb)) && not (subset pb pa) then ok := false
+          done
+        done;
+        !ok
+      in
+      Rel.is_interval_order r = downsets_chain)
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"closure is idempotent" ~count:200 random_rel
+    (fun (n, pairs) ->
+      let c = Rel.transitive_closure (Rel.of_pairs n pairs) in
+      Rel.equal c (Rel.transitive_closure c))
+
+let prop_closure_transitive =
+  QCheck.Test.make ~name:"closure is transitive" ~count:200 random_rel
+    (fun (n, pairs) ->
+      Rel.is_transitive (Rel.transitive_closure (Rel.of_pairs n pairs)))
+
+let prop_closure_contains =
+  QCheck.Test.make ~name:"closure contains the relation" ~count:200 random_rel
+    (fun (n, pairs) ->
+      let r = Rel.of_pairs n pairs in
+      Rel.subset r (Rel.transitive_closure r))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:200 random_rel
+    (fun (n, pairs) ->
+      let r = Rel.of_pairs n pairs in
+      Rel.equal r (Rel.transpose (Rel.transpose r)))
+
+let prop_reduction_minimal =
+  QCheck.Test.make ~name:"reduction has same closure as input (DAGs)"
+    ~count:200 random_rel (fun (n, pairs) ->
+      let r = Rel.of_pairs n pairs in
+      QCheck.assume (Rel.is_acyclic r);
+      let red = Rel.transitive_reduction r in
+      Rel.equal (Rel.transitive_closure red) (Rel.transitive_closure r)
+      && Rel.subset red (Rel.transitive_closure r))
+
+let suite =
+  [
+    Alcotest.test_case "add/mem/remove" `Quick test_add_mem;
+    Alcotest.test_case "closure of a chain" `Quick test_closure_chain;
+    Alcotest.test_case "closure of a cycle" `Quick test_closure_cycle;
+    Alcotest.test_case "order predicates" `Quick test_order_predicates;
+    Alcotest.test_case "transitive reduction" `Quick test_transitive_reduction;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "algebra" `Quick test_algebra;
+    Alcotest.test_case "interval orders" `Quick test_interval_order;
+    qcheck prop_interval_order_realizable;
+    qcheck prop_closure_idempotent;
+    qcheck prop_closure_transitive;
+    qcheck prop_closure_contains;
+    qcheck prop_transpose_involution;
+    qcheck prop_reduction_minimal;
+  ]

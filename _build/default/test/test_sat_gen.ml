@@ -1,0 +1,48 @@
+let test_random_shape () =
+  let f = Sat_gen.random_3cnf ~seed:42 ~num_vars:5 ~num_clauses:10 in
+  Alcotest.(check int) "clause count" 10 (Cnf.num_clauses f);
+  Alcotest.(check bool) "three literals each" true (Cnf.is_three_cnf f);
+  (* Distinct variables within each clause. *)
+  List.iter
+    (fun c ->
+      let vars = List.map Cnf.var c in
+      Alcotest.(check int) "distinct vars" 3
+        (List.length (List.sort_uniq compare vars)))
+    f.Cnf.clauses
+
+let test_deterministic () =
+  let f1 = Sat_gen.random_3cnf ~seed:1 ~num_vars:6 ~num_clauses:8 in
+  let f2 = Sat_gen.random_3cnf ~seed:1 ~num_vars:6 ~num_clauses:8 in
+  Alcotest.(check bool) "same seed same formula" true
+    (f1.Cnf.clauses = f2.Cnf.clauses);
+  let f3 = Sat_gen.random_3cnf ~seed:2 ~num_vars:6 ~num_clauses:8 in
+  Alcotest.(check bool) "different seed differs" true
+    (f1.Cnf.clauses <> f3.Cnf.clauses)
+
+let test_too_few_vars () =
+  Alcotest.check_raises "needs 3 vars"
+    (Invalid_argument "Sat_gen.random_3cnf: need >= 3 variables") (fun () ->
+      ignore (Sat_gen.random_3cnf ~seed:0 ~num_vars:2 ~num_clauses:1))
+
+let test_all_sign_patterns () =
+  let patterns = Sat_gen.all_sign_patterns [ 1; 2 ] in
+  Alcotest.(check int) "2^2 patterns" 4 (List.length patterns);
+  Alcotest.(check bool) "conjunction is unsat" false
+    (Dpll.is_satisfiable (Cnf.make ~num_vars:2 patterns))
+
+let test_pigeonhole_shape () =
+  let f = Sat_gen.pigeonhole 2 in
+  (* 3 pigeons, 2 holes: 3 pigeon clauses + per-hole pair clauses. *)
+  Alcotest.(check int) "num_vars" 6 f.Cnf.num_vars;
+  Alcotest.(check bool) "has pigeon clause of width 2" true
+    (List.exists (fun c -> List.length c = 2 && List.for_all (fun l -> l > 0) c)
+       f.Cnf.clauses)
+
+let suite =
+  [
+    Alcotest.test_case "random 3cnf shape" `Quick test_random_shape;
+    Alcotest.test_case "determinism" `Quick test_deterministic;
+    Alcotest.test_case "too few vars" `Quick test_too_few_vars;
+    Alcotest.test_case "all sign patterns" `Quick test_all_sign_patterns;
+    Alcotest.test_case "pigeonhole shape" `Quick test_pigeonhole_shape;
+  ]

@@ -1,0 +1,50 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_tiny_instances () =
+  Alcotest.(check bool) "tiny sat" true
+    (Sat_via_ordering.is_satisfiable (Sat_gen.tiny_sat_3cnf ()));
+  Alcotest.(check bool) "tiny unsat" false
+    (Sat_via_ordering.is_satisfiable (Sat_gen.tiny_unsat_3cnf ()))
+
+let test_model_extraction () =
+  let formula = Cnf.make ~num_vars:2 [ [ 1; 1; 2 ]; [ -1; -1; 2 ] ] in
+  match Sat_via_ordering.solve formula with
+  | None -> Alcotest.fail "expected a model"
+  | Some assignment ->
+      Alcotest.(check bool) "model satisfies" true (Cnf.eval assignment formula);
+      (* Both clauses need x2. *)
+      Alcotest.(check bool) "x2 true" true assignment.(2)
+
+let test_unsat_no_model () =
+  Alcotest.(check (option (array bool))) "no model" None
+    (Sat_via_ordering.solve (Sat_gen.tiny_unsat_3cnf ()))
+
+let random_tiny_3cnf =
+  QCheck.make
+    ~print:(fun f -> Format.asprintf "%a" Cnf.pp f)
+    QCheck.Gen.(
+      int_range 1 2 >>= fun nv ->
+      list_size (int_range 1 2)
+        (list_repeat 3 (int_range 1 nv >>= fun v -> oneofl [ v; -v ]))
+      >>= fun clauses -> return (Cnf.make ~num_vars:nv clauses))
+
+let prop_agrees_with_dpll =
+  QCheck.Test.make ~name:"ordering oracle agrees with DPLL" ~count:15
+    random_tiny_3cnf (fun f ->
+      Sat_via_ordering.is_satisfiable f = Dpll.is_satisfiable f)
+
+let prop_models_valid =
+  QCheck.Test.make ~name:"extracted models satisfy the formula" ~count:15
+    random_tiny_3cnf (fun f ->
+      match Sat_via_ordering.solve f with
+      | Some a -> Cnf.eval a f
+      | None -> not (Dpll.is_satisfiable f))
+
+let suite =
+  [
+    Alcotest.test_case "tiny instances" `Quick test_tiny_instances;
+    Alcotest.test_case "model extraction" `Quick test_model_extraction;
+    Alcotest.test_case "unsat gives no model" `Quick test_unsat_no_model;
+    qcheck prop_agrees_with_dpll;
+    qcheck prop_models_valid;
+  ]

@@ -1,0 +1,58 @@
+let choose_sequence policy steps enabled_fn =
+  let chooser = Sched.make policy in
+  List.init steps (fun step ->
+      Sched.choose chooser ~step ~enabled:(enabled_fn step))
+
+let test_priority () =
+  Alcotest.(check (list int)) "always smallest" [ 1; 1; 1 ]
+    (choose_sequence Sched.Priority 3 (fun _ -> [ 1; 2; 3 ]))
+
+let test_round_robin_cycles () =
+  Alcotest.(check (list int)) "cycles through enabled" [ 0; 1; 2; 0; 1; 2 ]
+    (choose_sequence Sched.Round_robin 6 (fun _ -> [ 0; 1; 2 ]))
+
+let test_round_robin_skips_blocked () =
+  (* pid 1 disappears after the first step. *)
+  let enabled = function 0 -> [ 0; 1; 2 ] | _ -> [ 0; 2 ] in
+  Alcotest.(check (list int)) "skips" [ 0; 2; 0; 2 ]
+    (choose_sequence Sched.Round_robin 4 enabled)
+
+let test_random_deterministic () =
+  let run seed =
+    choose_sequence (Sched.Random seed) 10 (fun _ -> [ 0; 1; 2; 3 ])
+  in
+  Alcotest.(check (list int)) "same seed" (run 5) (run 5);
+  Alcotest.(check bool) "stays in range" true
+    (List.for_all (fun p -> p >= 0 && p <= 3) (run 5))
+
+let test_replay_exact () =
+  Alcotest.(check (list int)) "follows the script" [ 2; 0; 1 ]
+    (choose_sequence (Sched.Replay [ 2; 0; 1 ]) 3 (fun _ -> [ 0; 1; 2 ]))
+
+let test_replay_failures () =
+  let chooser = Sched.make (Sched.Replay [ 5 ]) in
+  (match Sched.choose chooser ~step:0 ~enabled:[ 0; 1 ] with
+  | exception Sched.Replay_impossible { wanted = 5; _ } -> ()
+  | _ -> Alcotest.fail "expected Replay_impossible");
+  let chooser = Sched.make (Sched.Replay []) in
+  (match Sched.choose chooser ~step:0 ~enabled:[ 0 ] with
+  | exception Sched.Replay_impossible _ -> ()
+  | _ -> Alcotest.fail "expected Replay_impossible on exhausted script")
+
+let test_empty_enabled_rejected () =
+  let chooser = Sched.make Sched.Priority in
+  Alcotest.check_raises "empty" (Invalid_argument "Sched.choose: no enabled process")
+    (fun () -> ignore (Sched.choose chooser ~step:0 ~enabled:[]))
+
+let suite =
+  [
+    Alcotest.test_case "priority" `Quick test_priority;
+    Alcotest.test_case "round robin cycles" `Quick test_round_robin_cycles;
+    Alcotest.test_case "round robin skips blocked" `Quick
+      test_round_robin_skips_blocked;
+    Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+    Alcotest.test_case "replay exact" `Quick test_replay_exact;
+    Alcotest.test_case "replay failures" `Quick test_replay_failures;
+    Alcotest.test_case "empty enabled rejected" `Quick
+      test_empty_enabled_rejected;
+  ]

@@ -1,0 +1,137 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* The SS7 oracle itself                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sequencing_basics () =
+  (* Two positive unit tasks, budget 1: infeasible (second prefix is 2)?
+     No — cost resets nothing; prefixes are 1 then 2 > 1. *)
+  let inst = Sequencing.make ~costs:[| 1; 1 |] ~precedence:[] ~budget:1 in
+  Alcotest.(check bool) "1+1 over budget 1" false (Sequencing.feasible inst);
+  (* A negative task can pay for them. *)
+  let inst = Sequencing.make ~costs:[| 1; 1; -1 |] ~precedence:[] ~budget:1 in
+  Alcotest.(check bool) "with relief" true (Sequencing.feasible inst);
+  (* Precedence can force the infeasible order. *)
+  let inst =
+    Sequencing.make ~costs:[| 1; 1; -1 |]
+      ~precedence:[ (0, 2); (1, 2) ]
+      ~budget:1
+  in
+  Alcotest.(check bool) "relief forced last" false (Sequencing.feasible inst)
+
+let test_sequencing_witness () =
+  let inst = Sequencing.make ~costs:[| 2; -2; 1 |] ~precedence:[ (0, 2) ] ~budget:2 in
+  match Sequencing.witness inst with
+  | None -> Alcotest.fail "expected a witness"
+  | Some order ->
+      Alcotest.(check int) "permutation" 3 (List.length order);
+      (* Replay the order and check the budget. *)
+      let cost = ref 0 in
+      List.iter
+        (fun t ->
+          cost := !cost + inst.Sequencing.costs.(t);
+          Alcotest.(check bool) "prefix within budget" true
+            (!cost <= inst.Sequencing.budget))
+        order
+
+let test_sequencing_validation () =
+  Alcotest.check_raises "cyclic precedence"
+    (Invalid_argument "Sequencing.make: cyclic precedence") (fun () ->
+      ignore
+        (Sequencing.make ~costs:[| 1; 1 |] ~precedence:[ (0, 1); (1, 0) ]
+           ~budget:1));
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Sequencing.make: negative budget") (fun () ->
+      ignore (Sequencing.make ~costs:[| 1 |] ~precedence:[] ~budget:(-1)))
+
+(* Brute-force cross-check of the subset DP: try every permutation. *)
+let prop_dp_matches_permutations =
+  QCheck.Test.make ~name:"sequencing DP = permutation brute force" ~count:150
+    (QCheck.make
+       ~print:(fun i -> Format.asprintf "%a" Sequencing.pp i)
+       QCheck.Gen.(int_range 0 100000 >>= fun seed ->
+                   int_range 1 5 >>= fun tasks ->
+                   return (Sequencing.random ~seed ~tasks)))
+    (fun inst ->
+      let n = Sequencing.n_tasks inst in
+      let rec permutations = function
+        | [] -> [ [] ]
+        | xs ->
+            List.concat_map
+              (fun x ->
+                List.map (fun r -> x :: r)
+                  (permutations (List.filter (( <> ) x) xs)))
+              xs
+      in
+      let order_ok order =
+        let pos = Array.make n 0 in
+        List.iteri (fun i t -> pos.(t) <- i) order;
+        List.for_all (fun (a, b) -> pos.(a) < pos.(b)) inst.Sequencing.precedence
+        &&
+        let cost = ref 0 and ok = ref true in
+        List.iter
+          (fun t ->
+            cost := !cost + inst.Sequencing.costs.(t);
+            if !cost > inst.Sequencing.budget then ok := false)
+          order;
+        !ok
+      in
+      let brute = List.exists order_ok (permutations (List.init n Fun.id)) in
+      Sequencing.feasible inst = brute)
+
+(* ------------------------------------------------------------------ *)
+(* The single-semaphore reduction                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_reduction_structure () =
+  let inst = Sequencing.make ~costs:[| 2; -1 |] ~precedence:[ (0, 1) ] ~budget:2 in
+  let red = Reduction_single_sem.build inst in
+  Alcotest.(check int) "one semaphore" 1
+    (Reduction_single_sem.semaphores_used red);
+  let tr = Reduction_single_sem.trace red in
+  Alcotest.(check bool) "observed run completes" true
+    (tr.Trace.outcome = Trace.Completed);
+  Alcotest.(check (list string)) "valid execution" []
+    (Execution.axiom_violations (Trace.to_execution tr))
+
+let test_known_instances () =
+  List.iter
+    (fun (inst, expected) ->
+      let chb, feas = Reduction_single_sem.check inst in
+      Alcotest.(check bool) "oracle" expected feas;
+      Alcotest.(check bool) "reduction agrees" expected chb)
+    [
+      (Sequencing.make ~costs:[| 1; 1 |] ~precedence:[] ~budget:1, false);
+      (Sequencing.make ~costs:[| 1; 1; -1 |] ~precedence:[] ~budget:1, true);
+      ( Sequencing.make ~costs:[| 1; 1; -1 |]
+          ~precedence:[ (0, 2); (1, 2) ]
+          ~budget:1,
+        false );
+      (Sequencing.make ~costs:[| -2; 3 |] ~precedence:[] ~budget:1, true);
+      (Sequencing.make ~costs:[| 3 |] ~precedence:[] ~budget:2, false);
+    ]
+
+let prop_reduction_equivalence =
+  QCheck.Test.make
+    ~name:"b CHB a on the single-semaphore program = SS7 feasibility"
+    ~count:60
+    (QCheck.make
+       ~print:(fun i -> Format.asprintf "%a" Sequencing.pp i)
+       QCheck.Gen.(int_range 0 100000 >>= fun seed ->
+                   int_range 2 5 >>= fun tasks ->
+                   return (Sequencing.random ~seed ~tasks)))
+    (fun inst ->
+      let chb, feas = Reduction_single_sem.check inst in
+      chb = feas)
+
+let suite =
+  [
+    Alcotest.test_case "sequencing basics" `Quick test_sequencing_basics;
+    Alcotest.test_case "sequencing witness" `Quick test_sequencing_witness;
+    Alcotest.test_case "sequencing validation" `Quick test_sequencing_validation;
+    qcheck prop_dp_matches_permutations;
+    Alcotest.test_case "reduction structure" `Quick test_reduction_structure;
+    Alcotest.test_case "known instances" `Quick test_known_instances;
+    qcheck prop_reduction_equivalence;
+  ]

@@ -1,0 +1,132 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let skeleton_of src =
+  match Gen_progs.completed_trace (Parse.program src) with
+  | Some t -> (t, Skeleton.of_execution (Trace.to_execution t))
+  | None -> Alcotest.fail "fixture program deadlocked"
+
+let producer_consumer =
+  "sem s = 0\nproc producer { x := 1; v(s) }\nproc consumer { p(s); y := x }\nproc bystander { z := 42 }"
+
+let test_chain_separated () =
+  let tr, sk = skeleton_of producer_consumer in
+  let timing = Timing.sample sk (Trace.schedule tr) in
+  let id l = (Trace.find_event tr l).Event.id in
+  Alcotest.(check bool) "x T V" true
+    (Timing.precedes timing (id "x := 1") (id "V(s)"));
+  Alcotest.(check bool) "V T P" true
+    (Timing.precedes timing (id "V(s)") (id "P(s)"));
+  Alcotest.(check bool) "no reverse" false
+    (Timing.precedes timing (id "P(s)") (id "V(s)"))
+
+let test_unpinned_can_overlap () =
+  let tr, sk = skeleton_of producer_consumer in
+  let id l = (Trace.find_event tr l).Event.id in
+  (* The bystander shares layer 0 with x := 1 in some sampling. *)
+  let found_overlap = ref false in
+  for seed = 0 to 19 do
+    let timing = Timing.sample ~seed sk (Trace.schedule tr) in
+    if Timing.overlaps timing (id "z := 42") (id "x := 1") then
+      found_overlap := true
+  done;
+  Alcotest.(check bool) "bystander overlaps the writer in some timing" true
+    !found_overlap
+
+let test_intervals_well_formed () =
+  let tr, sk = skeleton_of producer_consumer in
+  let timing = Timing.sample ~seed:3 sk (Trace.schedule tr) in
+  Array.iteri
+    (fun e s ->
+      Alcotest.(check bool) "start < finish" true (s < timing.Timing.finish.(e)))
+    timing.Timing.start
+
+let test_rejects_infeasible () =
+  let _, sk = skeleton_of producer_consumer in
+  let n = Skeleton.(sk.n) in
+  match Timing.sample sk (Array.init n (fun i -> n - 1 - i)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let with_small_trace prog f =
+  match Gen_progs.completed_trace prog with
+  | None -> true
+  | Some tr ->
+      if Trace.n_events tr > 8 then true
+      else f tr (Skeleton.of_execution (Trace.to_execution tr))
+
+let prop_timed_executions_valid =
+  QCheck.Test.make
+    ~name:"sampled timings induce valid executions <E, T, D>" ~count:60
+    Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun tr sk ->
+          List.for_all
+            (fun seed ->
+              let timing = Timing.sample ~seed sk (Trace.schedule tr) in
+              Execution.is_valid (Timing.to_execution sk timing))
+            [ 0; 1; 2 ]))
+
+let prop_pinned_respected =
+  QCheck.Test.make
+    ~name:"pinned order is separated in every sampled timing" ~count:60
+    Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun tr sk ->
+          let schedule = Trace.schedule tr in
+          let po = Pinned.po_of_schedule sk schedule in
+          List.for_all
+            (fun seed ->
+              let timing = Timing.sample ~seed sk schedule in
+              Rel.fold
+                (fun a b acc -> acc && Timing.precedes timing a b)
+                po true)
+            [ 0; 5 ]))
+
+(* Only for semaphore-only programs: with event variables, schedule-level
+   MHB can exceed pinned separation (a Wait enabled by the initial state
+   may legitimately overlap a later Clear in real time) — the disjunctive
+   Clear constraint documented in Pinned. *)
+let prop_mhb_holds_in_all_timings =
+  QCheck.Test.make
+    ~name:
+      "MHB pairs are separated in sampled timings of every schedule \
+       (semaphore programs)"
+    ~count:40 Gen_progs.arbitrary_program (fun prog ->
+      QCheck.assume (not (Ast.uses_event_sync prog));
+      with_small_trace prog (fun _ sk ->
+          let r = Reach.create sk in
+          let schedules = Enumerate.all ~limit:20 sk in
+          let ok = ref true in
+          for a = 0 to sk.Skeleton.n - 1 do
+            for b = 0 to sk.Skeleton.n - 1 do
+              if a <> b && Reach.must_before r a b then
+                List.iter
+                  (fun schedule ->
+                    let timing = Timing.sample ~seed:7 sk schedule in
+                    if not (Timing.precedes timing a b) then ok := false)
+                  schedules
+            done
+          done;
+          !ok))
+
+let prop_timed_orders_are_interval_orders =
+  QCheck.Test.make
+    ~name:"sampled temporal orders are interval orders (Fishburn)" ~count:60
+    Gen_progs.arbitrary_program (fun prog ->
+      with_small_trace prog (fun tr sk ->
+          List.for_all
+            (fun seed ->
+              let timing = Timing.sample ~seed sk (Trace.schedule tr) in
+              Rel.is_interval_order (Timing.temporal_order timing))
+            [ 0; 3 ]))
+
+let suite =
+  [
+    Alcotest.test_case "chain separated" `Quick test_chain_separated;
+    Alcotest.test_case "unpinned can overlap" `Quick test_unpinned_can_overlap;
+    Alcotest.test_case "intervals well-formed" `Quick test_intervals_well_formed;
+    Alcotest.test_case "rejects infeasible schedules" `Quick
+      test_rejects_infeasible;
+    qcheck prop_timed_executions_valid;
+    qcheck prop_timed_orders_are_interval_orders;
+    qcheck prop_pinned_respected;
+    qcheck prop_mhb_holds_in_all_timings;
+  ]

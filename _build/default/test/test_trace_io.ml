@@ -1,0 +1,99 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let roundtrip t =
+  let t' = Trace_io.of_string (Trace_io.to_string t) in
+  t'.Trace.events = t.Trace.events
+  && Rel.equal t'.Trace.program_order t.Trace.program_order
+  && t'.Trace.outcome = t.Trace.outcome
+  && t'.Trace.var_names = t.Trace.var_names
+  && t'.Trace.sem_names = t.Trace.sem_names
+  && t'.Trace.sem_binary = t.Trace.sem_binary
+  && t'.Trace.ev_names = t.Trace.ev_names
+  && t'.Trace.sem_init = t.Trace.sem_init
+  && t'.Trace.ev_init = t.Trace.ev_init
+  && t'.Trace.final_store = t.Trace.final_store
+  && t'.Trace.process_names = t.Trace.process_names
+
+let test_roundtrip_fixtures () =
+  List.iter
+    (fun src ->
+      let t = Interp.run (Parse.program src) in
+      Alcotest.(check bool) ("roundtrip: " ^ src) true (roundtrip t))
+    [
+      "proc a { x := 1 }\nproc b { y := x }";
+      "sem s = 1\nbinsem t = 0\nproc a { p(s); v(t) }\nproc b { p(t); v(s) }";
+      "proc main { cobegin { post(e) } { wait(e); clear(e) } coend }";
+      "proc main { l: skip; if 1 = 1 { x := 1 } else { skip } }";
+      (* Deadlocking program: outcome must round-trip too. *)
+      "sem s = 0\nproc a { p(s) }";
+    ]
+
+let test_label_quoting () =
+  let t =
+    Interp.run (Parse.program "proc a { weird := 1 + 2 * 3 }")
+  in
+  Alcotest.(check bool) "labels with spaces survive" true (roundtrip t);
+  (* A label with embedded quotes/backslashes via the event constructor. *)
+  let e =
+    Event.make ~id:0 ~pid:0 ~seq:0 ~kind:Event.Computation
+      ~label:"say \"hi\" \\ there\nnewline" ()
+  in
+  let t =
+    {
+      Trace.events = [| e |];
+      program_order = Rel.create 1;
+      outcome = Trace.Completed;
+      violations = [];
+      var_names = [||];
+      sem_names = [||];
+      ev_names = [||];
+      sem_init = [||];
+      sem_binary = [||];
+      ev_init = [||];
+      final_store = [];
+      process_names = [ (0, "p") ];
+    }
+  in
+  Alcotest.(check bool) "escapes survive" true (roundtrip t)
+
+let test_analysis_equivalence () =
+  (* The analysis of a reloaded trace matches the original. *)
+  let t = Interp.run (Parse.program
+    "sem s = 0\nproc a { x := 1; v(s) }\nproc b { p(s); y := x }") in
+  let t' = Trace_io.of_string (Trace_io.to_string t) in
+  let s = Relations.compute (Skeleton.of_execution (Trace.to_execution t)) in
+  let s' = Relations.compute (Skeleton.of_execution (Trace.to_execution t')) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Relations.relation_name r)
+        true
+        (Rel.equal (Relations.to_rel s r) (Relations.to_rel s' r)))
+    Relations.all_relations
+
+let expect_failure name text =
+  Alcotest.test_case name `Quick (fun () ->
+      match Trace_io.of_string text with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected parse failure")
+
+let prop_random_roundtrip =
+  QCheck.Test.make ~name:"random program traces roundtrip" ~count:100
+    Gen_progs.arbitrary_program (fun prog ->
+      roundtrip (Interp.run prog))
+
+let suite =
+  [
+    Alcotest.test_case "fixture roundtrips" `Quick test_roundtrip_fixtures;
+    Alcotest.test_case "label quoting" `Quick test_label_quoting;
+    Alcotest.test_case "analysis equivalence" `Quick test_analysis_equivalence;
+    expect_failure "missing header" "outcome completed\n";
+    expect_failure "bad version" "eotrace 2\noutcome completed\n";
+    expect_failure "unknown directive" "eotrace 1\noutcome completed\nbogus 1\n";
+    expect_failure "missing outcome" "eotrace 1\nvars\n";
+    expect_failure "bad event kind"
+      "eotrace 1\noutcome completed\nevent 0 0 0 zap \"l\" reads writes\n";
+    expect_failure "non-dense ids"
+      "eotrace 1\noutcome completed\nevent 1 0 0 computation \"l\" reads writes\n";
+    qcheck prop_random_roundtrip;
+  ]
