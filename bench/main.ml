@@ -12,11 +12,31 @@
 
 (* Per-sweep-point time budget.  The default lets every sweep reach the
    row where the exponential wall is unmistakable (a few minutes total);
-   EO_BENCH_BUDGET=5 gives a quick pass. *)
+   EO_BENCH_BUDGET=5 gives a quick pass.  Malformed values fall back to
+   the default with a warning instead of crashing the whole harness. *)
+let default_budget = 250.0
+
 let budget =
   match Sys.getenv_opt "EO_BENCH_BUDGET" with
-  | Some s -> float_of_string s
-  | None -> 250.0
+  | None -> default_budget
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some b when b > 0.0 && Float.is_finite b -> b
+      | Some _ | None ->
+          Printf.eprintf
+            "warning: ignoring malformed EO_BENCH_BUDGET=%S (expected a \
+             positive number of seconds); using %g\n\
+             %!"
+            s default_budget;
+          default_budget)
+
+(* EO_BENCH_QUICK=1 runs only the experiments a CI smoke pass needs: the
+   reference tables plus the engine-optimization sweep and the scorecard.
+   (E17, the SAT substrate, is not budget-gated and dominates a full run.) *)
+let quick =
+  match Sys.getenv_opt "EO_BENCH_QUICK" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
 
 let header title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -621,6 +641,174 @@ let e18_single_semaphore () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* E19 — The exact-engine optimizations: packed vs seed, 1 vs N domains *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the tentpole optimizations against the seed implementations
+   they replaced, and cross-checks that every pair of measurements agrees
+   on its result — a speedup that changes the answer would be worthless.
+   Machine-readable results land in BENCH_exact_engine.json, including the
+   CPU count: on a single-core host the domain rows record the (honest)
+   overhead of parallelism without available hardware, not a speedup. *)
+
+let e19_exact_engine () =
+  header "E19  Exact-engine optimizations: bitset-packed search, worker domains";
+  let jobs = 2 in
+  let json_rows = ref [] in
+  let mismatches = ref 0 in
+  let expect name a b =
+    if a <> b then begin
+      incr mismatches;
+      Format.printf "MISMATCH in %s: %d <> %d@." name a b
+    end
+  in
+  let json fmt = Format.kasprintf (fun s -> json_rows := s :: !json_rows) fmt in
+
+  (* Part 1 — the Theorem 1/2 reduction families, where the per-node cost
+     of the search dominates: naive vs packed on capped enumeration and
+     sleep-set POR, plus the memoized counting DP (packed keys). *)
+  let enum_limit = 200_000 and por_limit = 20_000 in
+  let saved_engine = Engine.current () in
+  let run_family fname family ~sizes =
+    let rows =
+      Harness.sweep ~budget ~sizes (fun n ->
+          let red = Reduction_sem.build (family n) in
+          let tr = Reduction_sem.trace red in
+          let sk = Skeleton.of_execution (Trace.to_execution tr) in
+          Engine.set Engine.Naive;
+          let en, t_en =
+            Harness.time_once (fun () -> Enumerate.count ~limit:enum_limit sk)
+          in
+          let pn, t_pn =
+            Harness.time_once (fun () ->
+                Por.count_representatives ~limit:por_limit sk)
+          in
+          Engine.set Engine.Packed;
+          let ep, t_ep =
+            Harness.time_once (fun () -> Enumerate.count ~limit:enum_limit sk)
+          in
+          let pp, t_pp =
+            Harness.time_once (fun () ->
+                Por.count_representatives ~limit:por_limit sk)
+          in
+          expect (Printf.sprintf "%s(%d) enumerate" fname n) en ep;
+          expect (Printf.sprintf "%s(%d) POR" fname n) pn pp;
+          let dp, t_dp =
+            Harness.time_once (fun () -> Reach.schedule_count (Reach.create sk))
+          in
+          json
+            {|    {"kind": "search", "family": %S, "n_vars": %d, "events": %d, "enumerated": %d, "enum_naive_s": %.6f, "enum_packed_s": %.6f, "por_reps": %d, "por_naive_s": %.6f, "por_packed_s": %.6f, "dp_count": %d, "dp_s": %.6f}|}
+            fname n (Trace.n_events tr) ep t_en t_ep pp t_pn t_pp
+            (min dp Reach.count_saturation)
+            t_dp;
+          (Trace.n_events tr, ep, t_en, t_ep, pp, t_pn, t_pp, t_dp))
+    in
+    Harness.table
+      ~title:
+        (fname
+       ^ " reduction family: per-node search cost, seed vs packed (counts \
+          capped)")
+      ~header:
+        [ "n vars"; "events"; "enum"; "naive"; "packed"; "POR reps";
+          "naive"; "packed"; "DP time" ]
+      (List.map
+         (fun (n, (events, ec, ten, tep, pc, tpn, tpp, tdp), _) ->
+           [
+             string_of_int n; string_of_int events; string_of_int ec;
+             Harness.time_string ten; Harness.time_string tep;
+             string_of_int pc; Harness.time_string tpn;
+             Harness.time_string tpp; Harness.time_string tdp;
+           ])
+         rows)
+  in
+  run_family "unsat_chain" Workloads.unsat_chain ~sizes:[ 1; 2; 3 ];
+  run_family "sat_chain" Workloads.sat_chain ~sizes:[ 1; 2; 3 ];
+
+  (* Part 2 — domain parallelism on the full (uncapped) Table-1 engines,
+     over the pipeline family whose class structure keeps exact runs
+     tractable.  Results must be bit-identical across worker counts. *)
+  let rows =
+    Harness.sweep ~budget ~sizes:[ 2; 3; 4; 5 ] (fun free ->
+        let sk =
+          Workloads.skeleton_of (Workloads.pipeline_program ~stages:3 ~free)
+        in
+        let s1, t_seq = Harness.time_once (fun () -> Relations.compute sk) in
+        let sj, t_par =
+          Harness.time_once (fun () -> Relations.compute ~jobs sk)
+        in
+        let r1, t_rseq =
+          Harness.time_once (fun () -> Relations.compute_reduced sk)
+        in
+        let rj, t_rpar =
+          Harness.time_once (fun () -> Relations.compute_reduced ~jobs sk)
+        in
+        let name what =
+          Printf.sprintf "pipeline(free=%d) %s jobs=%d" free what jobs
+        in
+        expect (name "compute count") s1.Relations.feasible_count
+          sj.Relations.feasible_count;
+        expect (name "compute classes") s1.Relations.distinct_classes
+          sj.Relations.distinct_classes;
+        expect (name "reduced count") r1.Relations.feasible_count
+          rj.Relations.feasible_count;
+        expect (name "reduced classes") r1.Relations.distinct_classes
+          rj.Relations.distinct_classes;
+        List.iter
+          (fun rel ->
+            if
+              not
+                (Rel.equal (Relations.to_rel s1 rel) (Relations.to_rel sj rel)
+                && Rel.equal (Relations.to_rel r1 rel)
+                     (Relations.to_rel rj rel))
+            then begin
+              incr mismatches;
+              Format.printf "MISMATCH in %s relation matrices@."
+                (name (Relations.relation_name rel))
+            end)
+          Relations.all_relations;
+        json
+          {|    {"kind": "parallel", "family": "pipeline", "free": %d, "events": %d, "feasible": %d, "classes": %d, "jobs": %d, "compute_seq_s": %.6f, "compute_par_s": %.6f, "reduced_seq_s": %.6f, "reduced_par_s": %.6f}|}
+          free sk.Skeleton.n s1.Relations.feasible_count
+          s1.Relations.distinct_classes jobs t_seq t_par t_rseq t_rpar;
+        (sk.Skeleton.n, s1.Relations.feasible_count, t_seq, t_par, t_rseq,
+         t_rpar))
+  in
+  Engine.set saved_engine;
+  Harness.table
+    ~title:
+      (Printf.sprintf
+         "full Table-1 engines, 1 domain vs %d (identical results enforced)"
+         jobs)
+    ~header:
+      [ "free"; "events"; "|F(P)|"; "compute x1";
+        Printf.sprintf "compute x%d" jobs; "reduced x1";
+        Printf.sprintf "reduced x%d" jobs ]
+    (List.map
+       (fun (free, (events, count, ts, tp, trs, trp), _) ->
+         [
+           string_of_int free; string_of_int events; string_of_int count;
+           Harness.time_string ts; Harness.time_string tp;
+           Harness.time_string trs; Harness.time_string trp;
+         ])
+       rows);
+
+  let path = "BENCH_exact_engine.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"cpus\": %d,\n  \"jobs_measured\": %d,\n  \"budget_s\": %g,\n  \
+     \"mismatches\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    jobs budget !mismatches
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  Format.printf "@.wrote %s (cpus=%d)@." path
+    (Domain.recommended_domain_count ());
+  if !mismatches > 0 then begin
+    Format.printf "@.ENGINE MISMATCHES PRESENT@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E16 — Scorecard: the paper's qualitative claims, checked in one go  *)
 (* ------------------------------------------------------------------ *)
 
@@ -728,23 +916,33 @@ let e16_scorecard () =
 let () =
   Format.printf
     "event_ordering benchmark harness (budget per sweep point: %gs; set \
-     EO_BENCH_BUDGET to change)@."
-    budget;
-  e1_table1 ();
-  e2_theorem1 ();
-  e3_theorem2 ();
-  e4_theorem3 ();
-  e5_theorem4 ();
-  e6_figure1 ();
-  e7_hmw ();
-  e8_no_deps ();
-  e9_races ();
-  e10_ablation ();
-  e11_polynomial_toolbox ();
-  e12_static ();
-  e13_sat_via_ordering ();
-  e15_explore ();
-  e17_sat_substrate ();
-  e18_single_semaphore ();
-  e16_scorecard ();
+     EO_BENCH_BUDGET to change%s)@."
+    budget
+    (if quick then "; quick subset" else "");
+  if quick then begin
+    e1_table1 ();
+    e2_theorem1 ();
+    e19_exact_engine ();
+    e16_scorecard ()
+  end
+  else begin
+    e1_table1 ();
+    e2_theorem1 ();
+    e3_theorem2 ();
+    e4_theorem3 ();
+    e5_theorem4 ();
+    e6_figure1 ();
+    e7_hmw ();
+    e8_no_deps ();
+    e9_races ();
+    e10_ablation ();
+    e11_polynomial_toolbox ();
+    e12_static ();
+    e13_sat_via_ordering ();
+    e19_exact_engine ();
+    e15_explore ();
+    e17_sat_substrate ();
+    e18_single_semaphore ();
+    e16_scorecard ()
+  end;
   Format.printf "@.done.@."

@@ -64,6 +64,21 @@ let limit_arg =
   in
   Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the exact engines.  Defaults to the EO_JOBS \
+     environment variable, else 1.  Results are deterministic and \
+     bit-identical to --jobs 1; only the wall-clock changes."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | Some j when j >= 1 -> j
+  | Some j ->
+      Format.eprintf "error: --jobs must be at least 1 (got %d)@." j;
+      exit 2
+  | None -> Parallel.default_jobs ()
+
 let max_events_arg =
   let doc =
     "Refuse to run the exponential engines on traces with more events than \
@@ -123,15 +138,16 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "reduced" ] ~doc)
   in
-  let run file policy limit max_events reduced =
+  let run file policy limit max_events reduced jobs =
+    let jobs = resolve_jobs jobs in
     let trace = load_trace file policy in
     Format.printf "%a@." Trace.pp trace;
     guard_size trace max_events;
     let x = Trace.to_execution trace in
     let sk = Skeleton.of_execution x in
     let s =
-      if reduced then Relations.compute_reduced sk
-      else Relations.compute ?limit sk
+      if reduced then Relations.compute_reduced ~jobs sk
+      else Relations.compute ?limit ~jobs sk
     in
     Format.printf "%a@." Relations.pp_summary (s, x.Execution.events);
     let po = Pinned.po_of_schedule sk (Trace.schedule trace) in
@@ -144,7 +160,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ reduced_arg)
+      $ reduced_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schedules                                                           *)
@@ -336,7 +352,8 @@ let theorems_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run file policy max_events =
+  let run file policy max_events jobs =
+    let jobs = resolve_jobs jobs in
     let trace = load_trace file policy in
     guard_size trace max_events;
     let x = Trace.to_execution trace in
@@ -360,7 +377,7 @@ let report_cmd =
                 (Array.map (fun e -> x.Execution.events.(e).Event.label) prefix))));
 
     Format.printf "@.=== ordering relations (pair counts) ===@.";
-    let s = Relations.compute_reduced sk in
+    let s = Relations.compute_reduced ~jobs sk in
     Format.printf "distinct classes:   %d@." s.Relations.distinct_classes;
     List.iter
       (fun rel ->
@@ -386,7 +403,7 @@ let report_cmd =
     print_races "first:" (Race.first_races x);
 
     Format.printf "@.=== polynomial approximations vs exact MHB ===@.";
-    let d = Decide.create x in
+    let d = Decide.create ~jobs x in
     let mhb_count = ref 0 and missed_by_graph = ref 0 in
     let egp = Egp.build x in
     for a = 0 to n - 1 do
@@ -406,7 +423,7 @@ let report_cmd =
   let doc = "one-shot comprehensive analysis: schedules, relations, races, approximations" in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const run $ program_file $ policy_arg $ max_events_arg)
+    Term.(const run $ program_file $ policy_arg $ max_events_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* order                                                               *)

@@ -1,12 +1,14 @@
 type t = {
   sk : Skeleton.t;
   reach : Reach.t;
+  jobs : int;  (* worker domains for the lazily computed summary *)
   mutable summary : Relations.t option;  (* computed lazily for COW/MCW *)
 }
 
-let of_skeleton sk = { sk; reach = Reach.create sk; summary = None }
+let of_skeleton ?(jobs = 1) sk =
+  { sk; reach = Reach.create sk; jobs; summary = None }
 
-let create execution = of_skeleton (Skeleton.of_execution execution)
+let create ?jobs execution = of_skeleton ?jobs (Skeleton.of_execution execution)
 
 let skeleton t = t.sk
 
@@ -23,7 +25,7 @@ let summary t =
   match t.summary with
   | Some s -> s
   | None ->
-      let s = Relations.compute_reduced t.sk in
+      let s = Relations.compute_reduced ~jobs:t.jobs t.sk in
       t.summary <- Some s;
       s
 

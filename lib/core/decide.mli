@@ -6,13 +6,17 @@
     relations can be decided by memoized state-space reachability instead —
     usually exponentially fewer states than schedules.  The concurrency
     relations still require per-class partial orders and fall back to
-    enumeration. *)
+    enumeration.
+
+    [?jobs] (default [1]) is handed to {!Relations.compute_reduced} when
+    the lazy class-level summary is materialized; per-pair reachability
+    queries stay sequential (they share one memo table). *)
 
 type t
 
-val create : Execution.t -> t
+val create : ?jobs:int -> Execution.t -> t
 
-val of_skeleton : Skeleton.t -> t
+val of_skeleton : ?jobs:int -> Skeleton.t -> t
 
 val skeleton : t -> Skeleton.t
 

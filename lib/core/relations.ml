@@ -20,67 +20,187 @@ type t = {
   incomparable_some : Rel.t;
 }
 
-let compute ?limit sk =
-  let n = sk.Skeleton.n in
-  let before_some = Rel.create n in
-  let comparable_some = Rel.create n in
-  let incomparable_some = Rel.create n in
-  let position = Array.make n 0 in
-  let classes = Hashtbl.create 64 in
-  let visit schedule =
-    Array.iteri (fun pos e -> position.(e) <- pos) schedule;
-    let po = Pinned.po_of_schedule sk schedule in
-    Hashtbl.replace classes (Rel.to_pairs po) ();
-    for a = 0 to n - 1 do
-      for b = 0 to n - 1 do
-        if a <> b then begin
-          if position.(a) < position.(b) then Rel.add before_some a b;
-          if Rel.mem po a b || Rel.mem po b a then Rel.add comparable_some a b
-          else Rel.add incomparable_some a b
-        end
-      done
+(* Per-worker accumulator: each enumeration task builds one of these and
+   they are merged in task order — every operation involved (bit unions,
+   count sums, class-key-set unions) is commutative and associative, so
+   the merge is deterministic and equal to the sequential result.
+   Distinct pinned orders are tracked by their packed bit-matrix key
+   ({!Rel.pack}) in a {!Wordtbl} rather than a stringified pair list. *)
+type acc = {
+  before : Rel.t;
+  comparable : Rel.t;
+  incomparable : Rel.t;
+  classes : unit Wordtbl.t;
+  position : int array;
+}
+
+let make_acc n =
+  {
+    before = Rel.create n;
+    comparable = Rel.create n;
+    incomparable = Rel.create n;
+    classes = Wordtbl.create 64;
+    position = Array.make n 0;
+  }
+
+let record_class acc po =
+  let key = Rel.pack po in
+  if not (Wordtbl.mem acc.classes key) then Wordtbl.add acc.classes key ()
+
+let record_comparability acc po =
+  let n = Array.length acc.position in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then
+        if Rel.mem po a b || Rel.mem po b a then Rel.add acc.comparable a b
+        else Rel.add acc.incomparable a b
     done
-  in
-  let feasible_count = Enumerate.iter ?limit sk visit in
+  done
+
+let visit_schedule sk acc schedule =
+  let n = Array.length schedule in
+  Array.iteri (fun pos e -> acc.position.(e) <- pos) schedule;
+  let po = Pinned.po_of_schedule sk schedule in
+  record_class acc po;
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && acc.position.(a) < acc.position.(b) then
+        Rel.add acc.before a b
+    done
+  done;
+  record_comparability acc po
+
+let merge_acc dst src =
+  Rel.union_into dst.before src.before;
+  Rel.union_into dst.comparable src.comparable;
+  Rel.union_into dst.incomparable src.incomparable;
+  Wordtbl.iter
+    (fun k () -> if not (Wordtbl.mem dst.classes k) then Wordtbl.add dst.classes k ())
+    src.classes
+
+let of_acc n ~feasible_count ~truncated acc =
+  {
+    n;
+    feasible_count;
+    truncated;
+    distinct_classes = Wordtbl.length acc.classes;
+    before_some = acc.before;
+    comparable_some = acc.comparable;
+    incomparable_some = acc.incomparable;
+  }
+
+let compute_sequential ?limit sk =
+  let n = sk.Skeleton.n in
+  let acc = make_acc n in
+  let feasible_count = Enumerate.iter ?limit sk (visit_schedule sk acc) in
   let truncated =
     match limit with Some l -> feasible_count >= l | None -> false
   in
-  { n; feasible_count; truncated; distinct_classes = Hashtbl.length classes;
-    before_some; comparable_some; incomparable_some }
+  of_acc n ~feasible_count ~truncated acc
 
-let compute_reduced sk =
+let compute ?limit ?(jobs = 1) sk =
+  let n = sk.Skeleton.n in
+  (* Parallelism needs subtree independence: an early-stop [limit] is
+     order-dependent across subtrees, and the naive oracle engine must
+     stay a faithful replica of the seed code path. *)
+  let parallel =
+    jobs > 1 && limit = None && Engine.current () = Engine.Packed
+  in
+  if not parallel then compute_sequential ?limit sk
+  else
+    match Parallel.split_prefixes sk ~jobs with
+    | None -> compute_sequential sk
+    | Some prefixes ->
+        let results =
+          Parallel.map ~jobs
+            (fun prefix ->
+              let acc = make_acc n in
+              let count =
+                Enumerate.iter_from sk ~prefix (visit_schedule sk acc)
+              in
+              (count, acc))
+            prefixes
+        in
+        let acc = make_acc n in
+        let feasible_count =
+          Array.fold_left
+            (fun total (count, task_acc) ->
+              merge_acc acc task_acc;
+              total + count)
+            0 results
+        in
+        of_acc n ~feasible_count ~truncated:false acc
+
+let compute_reduced ?(jobs = 1) sk =
   let n = sk.Skeleton.n in
   let reach = Reach.create sk in
+  let parallel = jobs > 1 && Engine.current () = Engine.Packed in
   let before_some = Rel.create n in
-  for a = 0 to n - 1 do
-    for b = 0 to n - 1 do
-      if Reach.exists_before reach a b then Rel.add before_some a b
+  (* Happened-before bits: n² reachability queries.  Parallel mode splits
+     the rows into one contiguous block per worker, each with its own
+     memoizing engine (the memo tables are not shared between domains);
+     blocks touch disjoint rows, so the union is trivially deterministic. *)
+  let fill_before reach rel lo hi =
+    for a = lo to hi do
+      for b = 0 to n - 1 do
+        if Reach.exists_before reach a b then Rel.add rel a b
+      done
     done
-  done;
-  let comparable_some = Rel.create n in
-  let incomparable_some = Rel.create n in
-  let classes = Hashtbl.create 64 in
-  let (_ : int) =
-    Por.iter_representatives sk (fun schedule ->
-        let po = Pinned.po_of_schedule sk schedule in
-        Hashtbl.replace classes (Rel.to_pairs po) ();
-        for a = 0 to n - 1 do
-          for b = 0 to n - 1 do
-            if a <> b then
-              if Rel.mem po a b || Rel.mem po b a then
-                Rel.add comparable_some a b
-              else Rel.add incomparable_some a b
-          done
-        done)
   in
+  if (not parallel) || n < 2 then fill_before reach before_some 0 (n - 1)
+  else begin
+    let k = min jobs n in
+    let ranges =
+      Array.init k (fun i ->
+          let lo = i * n / k and hi = (((i + 1) * n) / k) - 1 in
+          (lo, hi))
+    in
+    let parts =
+      Parallel.map ~jobs
+        (fun (lo, hi) ->
+          let rel = Rel.create n in
+          fill_before (Reach.create sk) rel lo hi;
+          rel)
+        ranges
+    in
+    Array.iter (fun rel -> Rel.union_into before_some rel) parts
+  end;
+  (* Comparability bits and class count from POR representatives. *)
+  let acc = make_acc n in
+  let visit schedule =
+    let po = Pinned.po_of_schedule sk schedule in
+    record_class acc po;
+    record_comparability acc po
+  in
+  (match
+     if parallel then Parallel.split_por_tasks sk ~jobs else None
+   with
+  | None ->
+      let (_ : int) = Por.iter_representatives sk visit in
+      ()
+  | Some tasks ->
+      let parts =
+        Parallel.map ~jobs
+          (fun task ->
+            let task_acc = make_acc n in
+            let (_ : int) =
+              Por.iter_task sk task (fun schedule ->
+                  let po = Pinned.po_of_schedule sk schedule in
+                  record_class task_acc po;
+                  record_comparability task_acc po)
+            in
+            task_acc)
+          tasks
+      in
+      Array.iter (fun part -> merge_acc acc part) parts);
   {
     n;
     feasible_count = Reach.schedule_count reach;
     truncated = false;
-    distinct_classes = Hashtbl.length classes;
+    distinct_classes = Wordtbl.length acc.classes;
     before_some;
-    comparable_some;
-    incomparable_some;
+    comparable_some = acc.comparable;
+    incomparable_some = acc.incomparable;
   }
 
 let holds t relation a b =

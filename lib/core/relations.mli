@@ -41,13 +41,20 @@ type t = {
   incomparable_some : Rel.t;  (** some po(σ) leaves a,b unordered (symmetric) *)
 }
 
-val compute : ?limit:int -> Skeleton.t -> t
+val compute : ?limit:int -> ?jobs:int -> Skeleton.t -> t
 (** Enumerates every feasible schedule (up to [limit], default unlimited)
     and accumulates the three existential summaries.  With a [limit] the
     result is a sound under-approximation of the could-have relations and
-    an over-approximation of the must-have ones ([truncated] tells you). *)
+    an over-approximation of the must-have ones ([truncated] tells you).
 
-val compute_reduced : Skeleton.t -> t
+    [jobs] (default [1]) enables the deterministic multicore fan-out of
+    {!Parallel}: the enumeration splits at a shallow prefix depth into
+    independent subtree tasks and per-worker accumulators are merged in
+    task order, so the result is bit-identical to [jobs = 1].  Parallelism
+    only engages without a [limit] (a cross-subtree cutoff would be
+    order-dependent) and under the packed {!Engine}. *)
+
+val compute_reduced : ?jobs:int -> Skeleton.t -> t
 (** The same summary computed the smart way: happened-before bits by
     memoized state reachability ({!Reach.exists_before}, one query per
     ordered pair), comparability bits by sleep-set partial-order reduction
@@ -56,7 +63,10 @@ val compute_reduced : Skeleton.t -> t
     [Reach.count_saturation]).  Equal to {!compute} on every input
     (property-tested); exponentially faster on traces with many independent
     events — 68 million schedules collapse to a few thousand
-    representatives on the Theorem 1 programs. *)
+    representatives on the Theorem 1 programs.  [jobs] (default [1])
+    parallelizes both halves deterministically: the happened-before
+    queries split by matrix row (one memoizing engine per worker) and the
+    POR walk splits into sleep-set subtree tasks. *)
 
 val holds : t -> relation -> int -> int -> bool
 (** [holds t r a b]: does [a r b]?  All relations are irreflexive here:

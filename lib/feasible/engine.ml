@@ -1,0 +1,36 @@
+type t = Naive | Packed
+
+let to_string = function Naive -> "naive" | Packed -> "packed"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "naive" -> Some Naive
+  | "packed" -> Some Packed
+  | _ -> None
+
+(* Resolved lazily from EO_ENGINE so the CLI, bench and tests all see one
+   switch; [set] overrides (differential tests flip it back and forth). *)
+let selected = ref None
+
+let current () =
+  match !selected with
+  | Some e -> e
+  | None ->
+      let e =
+        match Sys.getenv_opt "EO_ENGINE" with
+        | None -> Packed
+        | Some s -> (
+            match of_string s with
+            | Some e -> e
+            | None ->
+                Printf.eprintf
+                  "warning: unknown EO_ENGINE=%S (expected 'naive' or \
+                   'packed'); using packed\n\
+                   %!"
+                  s;
+                Packed)
+      in
+      selected := Some e;
+      e
+
+let set e = selected := Some e

@@ -1,0 +1,21 @@
+(** Selection between the seed search implementation and the packed one.
+
+    [Packed] (the default) is the bitset-frontier search with packed memo
+    keys; [Naive] is the seed engine — a full [0 .. n-1] ready scan at
+    every node and list-based sleep sets — kept as the oracle for
+    differential tests.  Both produce bit-identical results on every query
+    (property-tested); only the cost differs.
+
+    The choice is read from the [EO_ENGINE] environment variable
+    ([naive] / [packed]) on first use; {!set} overrides it.  Set it before
+    spawning worker domains — the switch itself is not synchronized. *)
+
+type t = Naive | Packed
+
+val current : unit -> t
+
+val set : t -> unit
+
+val to_string : t -> string
+
+val of_string : string -> t option

@@ -5,21 +5,38 @@ type search = {
   sk : Skeleton.t;
   n : int;
   pending : int array;  (* outstanding (po + dep) predecessors per event *)
-  succs : int list array;  (* inverse of the pending edges *)
+  succs : int array array;  (* inverse of the pending edges *)
   done_ : bool array;
   sem : int array;
   ev : bool array;
   schedule : int array;
+  frontier : Bitset.t;
+      (* invariant: e ∈ frontier ⇔ ¬done_(e) ∧ pending(e) = 0 — the
+         structurally-ready set, maintained incrementally by
+         [execute]/[undo] so no search node rescans all n events *)
 }
 
 let make_search (sk : Skeleton.t) =
   let n = sk.Skeleton.n in
   let pending = Array.make n 0 in
-  let succs = Array.make n [] in
+  let degree = Array.make n 0 in
   for e = 0 to n - 1 do
     let preds = sk.Skeleton.po_preds.(e) @ sk.Skeleton.dep_preds.(e) in
     pending.(e) <- List.length preds;
-    List.iter (fun p -> succs.(p) <- e :: succs.(p)) preds
+    List.iter (fun p -> degree.(p) <- degree.(p) + 1) preds
+  done;
+  let succs = Array.init n (fun p -> Array.make degree.(p) 0) in
+  let filled = Array.make n 0 in
+  for e = 0 to n - 1 do
+    List.iter
+      (fun p ->
+        succs.(p).(filled.(p)) <- e;
+        filled.(p) <- filled.(p) + 1)
+      (sk.Skeleton.po_preds.(e) @ sk.Skeleton.dep_preds.(e))
+  done;
+  let frontier = Bitset.create n in
+  for e = 0 to n - 1 do
+    if pending.(e) = 0 then Bitset.add frontier e
   done;
   {
     sk;
@@ -30,6 +47,7 @@ let make_search (sk : Skeleton.t) =
     sem = Array.copy sk.Skeleton.sem_init;
     ev = Array.copy sk.Skeleton.ev_init;
     schedule = Array.make n (-1);
+    frontier;
   }
 
 let sync_enabled st e =
@@ -47,7 +65,14 @@ let ready st e = (not st.done_.(e)) && st.pending.(e) = 0 && sync_enabled st e
 (* Applies event [e]'s effect and returns the undo token. *)
 let execute st e =
   st.done_.(e) <- true;
-  List.iter (fun s -> st.pending.(s) <- st.pending.(s) - 1) st.succs.(e);
+  Bitset.remove st.frontier e;
+  let succs = st.succs.(e) in
+  for i = 0 to Array.length succs - 1 do
+    let s = succs.(i) in
+    let p = st.pending.(s) - 1 in
+    st.pending.(s) <- p;
+    if p = 0 then Bitset.add st.frontier s
+  done;
   match st.sk.Skeleton.kinds.(e) with
   | Event.Sync (Event.Sem_p s) ->
       st.sem.(s) <- st.sem.(s) - 1;
@@ -71,7 +96,13 @@ let execute st e =
 
 let undo st e token =
   st.done_.(e) <- false;
-  List.iter (fun s -> st.pending.(s) <- st.pending.(s) + 1) st.succs.(e);
+  Bitset.add st.frontier e;
+  let succs = st.succs.(e) in
+  for i = 0 to Array.length succs - 1 do
+    let s = succs.(i) in
+    if st.pending.(s) = 0 then Bitset.remove st.frontier s;
+    st.pending.(s) <- st.pending.(s) + 1
+  done;
   (match st.sk.Skeleton.kinds.(e) with
   | Event.Sync (Event.Sem_p s) -> st.sem.(s) <- st.sem.(s) + 1
   | _ -> ());
@@ -80,8 +111,9 @@ let undo st e token =
   | `Ev (v, old) -> st.ev.(v) <- old
   | `None -> ()
 
-let iter ?limit sk f =
-  let st = make_search sk in
+(* The seed search: scan all n events at every node.  Kept as the
+   EO_ENGINE=naive oracle for differential tests. *)
+let iter_naive_from st depth0 limit f =
   let found = ref 0 in
   let rec go depth =
     if depth = st.n then begin
@@ -99,8 +131,44 @@ let iter ?limit sk f =
         end
       done
   in
-  (try go 0 with Stop -> ());
+  (try go depth0 with Stop -> ());
   !found
+
+(* The packed search: walk the maintained frontier with [min_elt_from]
+   instead of rescanning.  [execute]/[undo] bracket each recursion, so at
+   the point we ask for the next candidate the frontier is restored —
+   resuming from [e + 1] visits exactly the events the naive scan visits,
+   in the same order. *)
+let iter_packed_from st depth0 limit f =
+  let found = ref 0 in
+  let rec go depth =
+    if depth = st.n then begin
+      incr found;
+      f st.schedule;
+      match limit with Some l when !found >= l -> raise Stop | _ -> ()
+    end
+    else begin
+      let e = ref (Bitset.min_elt_from st.frontier 0) in
+      while !e >= 0 do
+        let ev = !e in
+        if sync_enabled st ev then begin
+          let token = execute st ev in
+          st.schedule.(depth) <- ev;
+          go (depth + 1);
+          undo st ev token
+        end;
+        e := Bitset.min_elt_from st.frontier (ev + 1)
+      done
+    end
+  in
+  (try go depth0 with Stop -> ());
+  !found
+
+let iter ?limit sk f =
+  let st = make_search sk in
+  match Engine.current () with
+  | Engine.Naive -> iter_naive_from st 0 limit f
+  | Engine.Packed -> iter_packed_from st 0 limit f
 
 let count ?limit sk = iter ?limit sk (fun _ -> ())
 
@@ -129,6 +197,47 @@ let first sk =
   in
   !result
 
+(* Replays [prefix] into a fresh search state (no undo: the state is
+   discarded with the search).  Raises if the prefix is not feasible. *)
+let push_prefix st prefix =
+  Array.iteri
+    (fun i e ->
+      if not (ready st e) then
+        invalid_arg "Enumerate: prefix event is not ready";
+      let (_ : [ `Sem of int * int | `Ev of int * bool | `None ]) =
+        execute st e
+      in
+      st.schedule.(i) <- e)
+    prefix
+
+let iter_from ?limit sk ~prefix f =
+  let st = make_search sk in
+  push_prefix st prefix;
+  iter_packed_from st (Array.length prefix) limit f
+
+let feasible_prefixes sk ~depth =
+  let st = make_search sk in
+  if depth < 0 || depth > st.n then invalid_arg "Enumerate.feasible_prefixes";
+  let acc = ref [] in
+  let rec go d =
+    if d = depth then acc := Array.sub st.schedule 0 depth :: !acc
+    else begin
+      let e = ref (Bitset.min_elt_from st.frontier 0) in
+      while !e >= 0 do
+        let ev = !e in
+        if sync_enabled st ev then begin
+          let token = execute st ev in
+          st.schedule.(d) <- ev;
+          go (d + 1);
+          undo st ev token
+        end;
+        e := Bitset.min_elt_from st.frontier (ev + 1)
+      done
+    end
+  in
+  go 0;
+  List.rev !acc
+
 let exists_order sk ~before ~after =
   if before = after then false
   else begin
@@ -136,20 +245,43 @@ let exists_order sk ~before ~after =
     let found = ref false in
     (* Prune any branch that schedules [after] while [before] is pending:
        such a prefix can never witness [before] < [after]. *)
-    let rec go depth =
+    let admissible e = not (e = after && not st.done_.(before)) in
+    let rec go_naive depth =
       if depth = st.n then begin
         found := true;
         raise Stop
       end
       else
         for e = 0 to st.n - 1 do
-          if ready st e && not (e = after && not st.done_.(before)) then begin
+          if ready st e && admissible e then begin
             let token = execute st e in
-            go (depth + 1);
+            go_naive (depth + 1);
             undo st e token
           end
         done
     in
-    (try go 0 with Stop -> ());
+    let rec go_packed depth =
+      if depth = st.n then begin
+        found := true;
+        raise Stop
+      end
+      else begin
+        let e = ref (Bitset.min_elt_from st.frontier 0) in
+        while !e >= 0 do
+          let ev = !e in
+          if sync_enabled st ev && admissible ev then begin
+            let token = execute st ev in
+            go_packed (depth + 1);
+            undo st ev token
+          end;
+          e := Bitset.min_elt_from st.frontier (ev + 1)
+        done
+      end
+    in
+    (try
+       match Engine.current () with
+       | Engine.Naive -> go_naive 0
+       | Engine.Packed -> go_packed 0
+     with Stop -> ());
     !found
   end

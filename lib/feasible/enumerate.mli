@@ -4,7 +4,14 @@
     observed shared-data dependences, and never runs a blocked
     synchronization operation; deadlocking prefixes are pruned.  The search
     is exponential in general — this is the engine whose cost Theorems 1–4
-    prove unavoidable. *)
+    prove unavoidable.
+
+    Two interchangeable implementations sit behind {!iter} (selected by
+    {!Engine}): the seed search, which rescans all [n] events at every
+    node, and the packed search, which maintains the structurally-ready
+    frontier as a bitset and only tests synchronization enabledness on
+    frontier members.  Both enumerate the same schedules in the same
+    (lexicographic) order. *)
 
 exception Stop
 (** Raise from an {!iter} callback to end enumeration early. *)
@@ -30,27 +37,52 @@ val exists_order : Skeleton.t -> before:int -> after:int -> bool
     happened-before relation; see {!DESIGN.md}.)  Prunes branches where [b]
     was scheduled first, so it is cheaper than filtering {!iter}. *)
 
+(** {2 Subtree tasks}
+
+    Hooks for {!Parallel}: the DFS splits at a frontier depth into
+    independent subtree tasks, one per feasible prefix.  The union of the
+    schedules below all prefixes of one depth is exactly the full
+    enumeration (each complete schedule extends exactly one prefix), so
+    per-task results merge deterministically. *)
+
+val feasible_prefixes : Skeleton.t -> depth:int -> int array list
+(** All feasible schedule prefixes of exactly [depth] events, in
+    lexicographic order.  [0 <= depth <= n]; prefixes that cannot be
+    completed are included (their subtrees are simply empty). *)
+
+val iter_from : ?limit:int -> Skeleton.t -> prefix:int array -> (int array -> unit) -> int
+(** [iter_from sk ~prefix f] enumerates (with the packed search,
+    irrespective of {!Engine}) the feasible complete schedules extending
+    [prefix]; the array passed to [f] carries the prefix in place.  Raises
+    [Invalid_argument] if [prefix] is not feasible. *)
+
 (** {2 Search internals}
 
     The incremental search state, exposed so {!Por} can layer sleep-set
     pruning over the same machinery.  Invariant: every {!execute} is undone
-    with its token in reverse order. *)
+    with its token in reverse order; [frontier] always holds exactly the
+    not-yet-done events with no outstanding predecessors. *)
 
 type search = {
   sk : Skeleton.t;
   n : int;
   pending : int array;
-  succs : int list array;
+  succs : int array array;
   done_ : bool array;
   sem : int array;
   ev : bool array;
   schedule : int array;
+  frontier : Bitset.t;
 }
 
 val make_search : Skeleton.t -> search
 
 val ready : search -> int -> bool
 (** Preconditions of one event in the current state. *)
+
+val sync_enabled : search -> int -> bool
+(** Just the synchronization component of {!ready} — the only part that
+    needs testing for events already on the frontier. *)
 
 val execute :
   search -> int -> [ `Sem of int * int | `Ev of int * bool | `None ]

@@ -1,0 +1,107 @@
+(* Deterministic multicore fan-out for the exact engines.  The DFS is cut
+   at a shallow frontier depth into independent subtree tasks (one per
+   feasible prefix / sleep-set node); workers drain the task array through
+   an atomic cursor and results are merged in task order, so the outcome
+   never depends on which domain ran which task. *)
+
+let default_jobs =
+  let v =
+    lazy
+      (match Sys.getenv_opt "EO_JOBS" with
+      | None -> 1
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some j when j >= 1 -> j
+          | Some _ | None ->
+              Printf.eprintf
+                "warning: ignoring malformed EO_JOBS=%S (expected a \
+                 positive integer); using 1\n\
+                 %!"
+                s;
+              1))
+  in
+  fun () -> Lazy.force v
+
+let map ~jobs f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then Array.map f xs
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      (* Each worker owns the result slots of the tasks it claims; no two
+         workers ever touch the same index, so plain writes suffice. *)
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (f xs.(i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      Array.map
+        (function Some r -> r | None -> assert false (* all claimed *))
+        results
+    end
+  end
+
+(* Split-depth heuristic, shared by both splitters: the shallowest depth
+   (capped at 8) whose task count reaches [jobs * 4] — enough slack that
+   uneven subtree sizes still balance — falling back to the deepest depth
+   with at least two tasks, and to None (caller stays sequential) when the
+   tree never branches. *)
+let oversubscription = 4
+
+let max_split_depth = 8
+
+let choose_split ~n ~jobs tasks_at =
+  if n < 2 then None
+  else begin
+    let target = jobs * oversubscription in
+    let best = ref None in
+    let d = ref 1 in
+    let stop = ref false in
+    while (not !stop) && !d <= min (n - 1) max_split_depth do
+      let ts = tasks_at !d in
+      let k = List.length ts in
+      if k >= target then begin
+        best := Some ts;
+        stop := true
+      end
+      else begin
+        if k >= 2 then best := Some ts;
+        incr d
+      end
+    done;
+    !best
+  end
+
+let split_prefixes sk ~jobs =
+  Option.map Array.of_list
+    (choose_split ~n:sk.Skeleton.n ~jobs (fun d ->
+         Enumerate.feasible_prefixes sk ~depth:d))
+
+let split_por_tasks sk ~jobs =
+  Option.map Array.of_list
+    (choose_split ~n:sk.Skeleton.n ~jobs (fun d -> Por.tasks sk ~depth:d))
+
+let count ?jobs sk =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs <= 1 then Enumerate.count sk
+  else
+    match split_prefixes sk ~jobs with
+    | None -> Enumerate.count sk
+    | Some prefixes ->
+        let counts =
+          map ~jobs
+            (fun prefix -> Enumerate.iter_from sk ~prefix (fun _ -> ()))
+            prefixes
+        in
+        Array.fold_left ( + ) 0 counts

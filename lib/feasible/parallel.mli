@@ -1,0 +1,42 @@
+(** Deterministic multicore fan-out for the exact engines.
+
+    The feasible-schedule DFS has a convenient structure for parallelism:
+    the subtrees below the feasible prefixes of any fixed depth partition
+    the schedule space, and every per-schedule accumulation the analyses
+    perform (relation-bit unions, schedule counts, class-set unions) is
+    commutative and associative.  So the tree is cut at a shallow depth
+    into independent subtree tasks, worker domains drain the task array
+    through an atomic cursor, and results are merged {e in task order} —
+    the outcome is bit-identical whatever the interleaving of domains, and
+    identical to the sequential engine's.
+
+    Tasks must not share mutable state: each worker builds its own search
+    state / memo tables from the (immutable) skeleton.  Early-stopping
+    queries ([?limit]) stay sequential — a cross-subtree cutoff is
+    order-dependent by nature. *)
+
+val default_jobs : unit -> int
+(** Worker-domain count from the [EO_JOBS] environment variable (default
+    [1]; malformed values warn on stderr and fall back to [1]).  Read
+    once and cached. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] applies [f] to every element using up to [jobs]
+    domains (the calling domain participates; [jobs <= 1] or a singleton
+    array degrades to [Array.map]).  Results are returned in input order.
+    [f] must be safe to run concurrently with itself on distinct
+    elements.  An exception in any task is re-raised. *)
+
+val split_prefixes : Skeleton.t -> jobs:int -> int array array option
+(** Feasible prefixes at the chosen split depth — the shallowest depth
+    (≤ 8) yielding at least [4 × jobs] tasks, falling back to the deepest
+    depth with ≥ 2; [None] when the search tree never branches (caller
+    should stay sequential).  Feed each to {!Enumerate.iter_from}. *)
+
+val split_por_tasks : Skeleton.t -> jobs:int -> Por.task array option
+(** Same heuristic over the sleep-set tree ({!Por.tasks}); feed each to
+    {!Por.iter_task}. *)
+
+val count : ?jobs:int -> Skeleton.t -> int
+(** Parallel {!Enumerate.count} (exact, deterministic).  [jobs] defaults
+    to {!default_jobs}. *)

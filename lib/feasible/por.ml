@@ -16,10 +16,27 @@ let independent (sk : Skeleton.t) a b =
   && (not (List.mem a sk.Skeleton.po_preds.(b)))
   && not (List.mem b sk.Skeleton.po_preds.(a))
 
+(* The n×n independence relation as a bit matrix, so the inner loop of the
+   packed search tests one bit instead of four pred-list memberships.
+   Symmetric, so row e is exactly { u | independent u e }. *)
+let independence sk =
+  let n = sk.Skeleton.n in
+  let r = Rel.create n in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if independent sk a b then begin
+        Rel.add r a b;
+        Rel.add r b a
+      end
+    done
+  done;
+  r
+
 exception Stop
 
-(* The search state machinery is Enumerate's; sleep sets ride on top. *)
-let iter_representatives ?limit sk f =
+(* The seed implementation: list-based sleep sets over the full ready
+   scan.  Kept as the EO_ENGINE=naive oracle. *)
+let iter_representatives_naive ?limit sk f =
   let st = Enumerate.make_search sk in
   let n = sk.Skeleton.n in
   let found = ref 0 in
@@ -48,4 +65,132 @@ let iter_representatives ?limit sk f =
   (try go 0 [] with Stop -> ());
   !found
 
+(* Per-depth scratch for the packed search: sleep and explored sets as
+   bitsets, preallocated once so a search node allocates nothing. *)
+type scratch = {
+  st : Enumerate.search;
+  indep : Rel.t;
+  sleep : Bitset.t array;  (* sleep.(depth): events asleep at that node *)
+  explored : Bitset.t array;  (* siblings already expanded at that node *)
+}
+
+let make_scratch sk =
+  let n = sk.Skeleton.n in
+  {
+    st = Enumerate.make_search sk;
+    indep = independence sk;
+    sleep = Array.init (n + 1) (fun _ -> Bitset.create n);
+    explored = Array.init (n + 1) (fun _ -> Bitset.create n);
+  }
+
+(* The packed recursion from [depth0].  Same visit order and same sleep
+   semantics as the naive code: candidates ascend by event id, and the
+   child's sleep set is (sleep ∪ explored) ∩ indep(e). *)
+let go_packed sc limit found f depth0 =
+  let st = sc.st in
+  let n = st.Enumerate.n in
+  let rec go depth =
+    if depth = n then begin
+      incr found;
+      f st.Enumerate.schedule;
+      match limit with Some l when !found >= l -> raise Stop | _ -> ()
+    end
+    else begin
+      Bitset.clear sc.explored.(depth);
+      let e = ref (Bitset.min_elt_from st.Enumerate.frontier 0) in
+      while !e >= 0 do
+        let ev = !e in
+        if
+          Enumerate.sync_enabled st ev
+          && not (Bitset.mem sc.sleep.(depth) ev)
+        then begin
+          let sleep' = sc.sleep.(depth + 1) in
+          Bitset.copy_into ~dst:sleep' sc.sleep.(depth);
+          Bitset.union_into sleep' sc.explored.(depth);
+          Bitset.inter_into sleep' (Rel.successors sc.indep ev);
+          let token = Enumerate.execute st ev in
+          st.Enumerate.schedule.(depth) <- ev;
+          go (depth + 1);
+          Enumerate.undo st ev token;
+          Bitset.add sc.explored.(depth) ev
+        end;
+        e := Bitset.min_elt_from st.Enumerate.frontier (ev + 1)
+      done
+    end
+  in
+  go depth0
+
+let iter_representatives_packed ?limit sk f =
+  let sc = make_scratch sk in
+  let found = ref 0 in
+  (try go_packed sc limit found f 0 with Stop -> ());
+  !found
+
+let iter_representatives ?limit sk f =
+  match Engine.current () with
+  | Engine.Naive -> iter_representatives_naive ?limit sk f
+  | Engine.Packed -> iter_representatives_packed ?limit sk f
+
 let count_representatives ?limit sk = iter_representatives ?limit sk (fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Subtree tasks for Parallel                                          *)
+(* ------------------------------------------------------------------ *)
+
+type task = { prefix : int array; sleep : Bitset.t }
+
+let tasks sk ~depth =
+  let n = sk.Skeleton.n in
+  if depth < 0 || depth >= n then invalid_arg "Por.tasks";
+  let sc = make_scratch sk in
+  let st = sc.st in
+  let acc = ref [] in
+  (* The packed recursion, truncated at [depth]: each tree node reached
+     there becomes one task carrying its prefix and sleep set. *)
+  let rec go d =
+    if d = depth then
+      acc :=
+        { prefix = Array.sub st.Enumerate.schedule 0 depth;
+          sleep = Bitset.copy sc.sleep.(depth) }
+        :: !acc
+    else begin
+      Bitset.clear sc.explored.(d);
+      let e = ref (Bitset.min_elt_from st.Enumerate.frontier 0) in
+      while !e >= 0 do
+        let ev = !e in
+        if Enumerate.sync_enabled st ev && not (Bitset.mem sc.sleep.(d) ev)
+        then begin
+          let sleep' = sc.sleep.(d + 1) in
+          Bitset.copy_into ~dst:sleep' sc.sleep.(d);
+          Bitset.union_into sleep' sc.explored.(d);
+          Bitset.inter_into sleep' (Rel.successors sc.indep ev);
+          let token = Enumerate.execute st ev in
+          st.Enumerate.schedule.(d) <- ev;
+          go (d + 1);
+          Enumerate.undo st ev token;
+          Bitset.add sc.explored.(d) ev
+        end;
+        e := Bitset.min_elt_from st.Enumerate.frontier (ev + 1)
+      done
+    end
+  in
+  go 0;
+  List.rev !acc
+
+let iter_task sk { prefix; sleep } f =
+  let sc = make_scratch sk in
+  let st = sc.st in
+  Array.iteri
+    (fun i e ->
+      if not (Enumerate.ready st e) then
+        invalid_arg "Por.iter_task: prefix event is not ready";
+      let (_ : [ `Sem of int * int | `Ev of int * bool | `None ]) =
+        Enumerate.execute st e
+      in
+      st.Enumerate.schedule.(i) <- e)
+    prefix;
+  let depth = Array.length prefix in
+  Bitset.copy_into ~dst:sc.sleep.(depth) sleep;
+  let found = ref 0 in
+  (try go_packed sc None found f depth with Stop -> ());
+  !found

@@ -12,19 +12,57 @@ type state = {
          from the memo key *)
 }
 
+(* States are keyed by packed machine words: the [completed] and [ev] bit
+   vectors, then one word per binary semaphore value.  Each [t] owns one
+   scratch buffer of that fixed length; probes hash it in place, and only
+   a memo-table insert copies it out.  62 data bits per word keeps every
+   word a nonnegative OCaml int. *)
+let bits_per_word = 62
+
+let words_for n = if n = 0 then 0 else ((n - 1) / bits_per_word) + 1
+
+let pack_bools_into dst off a =
+  let nw = words_for (Array.length a) in
+  for w = 0 to nw - 1 do
+    dst.(off + w) <- 0
+  done;
+  Array.iteri
+    (fun i b ->
+      if b then
+        let w = off + (i / bits_per_word) in
+        dst.(w) <- dst.(w) lor (1 lsl (i mod bits_per_word)))
+    a;
+  off + nw
+
 type t = {
   sk : Skeleton.t;
   n : int;
-  can_complete_memo : (string, bool) Hashtbl.t;
-  count_memo : (string, int) Hashtbl.t;
+  preds : int array array;
+      (* po_preds ++ dep_preds per event, flattened once so [ready] scans
+         an int array instead of two lists *)
+  scratch : int array;
+  can_complete_memo : bool Wordtbl.t;
+  count_memo : int Wordtbl.t;
 }
 
+let key_length sk =
+  let n = sk.Skeleton.n in
+  words_for n
+  + words_for (Array.length sk.Skeleton.ev_init)
+  + Array.length sk.Skeleton.sem_init
+
 let create sk =
+  let n = sk.Skeleton.n in
   {
     sk;
-    n = sk.Skeleton.n;
-    can_complete_memo = Hashtbl.create 1024;
-    count_memo = Hashtbl.create 1024;
+    n;
+    preds =
+      Array.init n (fun e ->
+          Array.of_list
+            (sk.Skeleton.po_preds.(e) @ sk.Skeleton.dep_preds.(e)));
+    scratch = Array.make (key_length sk) 0;
+    can_complete_memo = Wordtbl.create 1024;
+    count_memo = Wordtbl.create 1024;
   }
 
 let skeleton t = t.sk
@@ -43,26 +81,29 @@ let initial_state t =
         t.sk.Skeleton.sem_init;
   }
 
-let key state =
-  let b =
-    Buffer.create
-      (Array.length state.completed + Array.length state.ev
-      + Array.length state.bsem + 2)
-  in
-  Array.iter (fun d -> Buffer.add_char b (if d then '1' else '0')) state.completed;
-  Buffer.add_char b '|';
-  Array.iter (fun d -> Buffer.add_char b (if d then '1' else '0')) state.ev;
-  Buffer.add_char b '|';
-  Array.iter (fun v -> Buffer.add_char b (Char.chr (Char.code '0' + v))) state.bsem;
-  Buffer.contents b
+(* Packs [state] into [t.scratch] and returns it.  The result is only
+   valid until the next [pack] on the same [t] — recursive calls clobber
+   it, so copy before any insert that happens after recursion. *)
+let pack t state =
+  let off = pack_bools_into t.scratch 0 state.completed in
+  let off = pack_bools_into t.scratch off state.ev in
+  Array.blit state.bsem 0 t.scratch off (Array.length state.bsem);
+  t.scratch
 
 let sem_count t state s =
   if t.sk.Skeleton.sem_binary.(s) then state.bsem.(s) else state.csem.(s)
 
+let preds_completed t state e =
+  let preds = t.preds.(e) in
+  let rec go i =
+    i >= Array.length preds
+    || (state.completed.(preds.(i)) && go (i + 1))
+  in
+  go 0
+
 let ready t state e =
   (not state.completed.(e))
-  && List.for_all (fun p -> state.completed.(p)) t.sk.Skeleton.po_preds.(e)
-  && List.for_all (fun p -> state.completed.(p)) t.sk.Skeleton.dep_preds.(e)
+  && preds_completed t state e
   &&
   match t.sk.Skeleton.kinds.(e) with
   | Event.Sync (Event.Sem_p s) -> sem_count t state s > 0
@@ -122,15 +163,16 @@ let ready_events t state =
 let rec can_complete t state =
   if all_done state then true
   else
-    let k = key state in
-    match Hashtbl.find_opt t.can_complete_memo k with
+    match Wordtbl.find_opt t.can_complete_memo (pack t state) with
     | Some r -> r
     | None ->
+        (* The scratch key dies in the recursion below; copy it first. *)
+        let k = Array.copy t.scratch in
         let r =
           List.exists (fun e -> can_complete t (step t state e))
             (ready_events t state)
         in
-        Hashtbl.add t.can_complete_memo k r;
+        Wordtbl.add t.can_complete_memo k r;
         r
 
 let feasible_exists t = can_complete t (initial_state t)
@@ -145,32 +187,31 @@ let saturating_add a b =
 let rec count_from t state =
   if all_done state then 1
   else
-    let k = key state in
-    match Hashtbl.find_opt t.count_memo k with
+    match Wordtbl.find_opt t.count_memo (pack t state) with
     | Some r -> r
     | None ->
+        let k = Array.copy t.scratch in
         let r =
           List.fold_left
             (fun acc e -> saturating_add acc (count_from t (step t state e)))
             0 (ready_events t state)
         in
-        Hashtbl.add t.count_memo k r;
+        Wordtbl.add t.count_memo k r;
         r
 
 let schedule_count t = count_from t (initial_state t)
 
 let walk_reachable t visit =
-  let seen = Hashtbl.create 1024 in
+  let seen = Wordtbl.create 1024 in
   let rec go state =
-    let k = key state in
-    if not (Hashtbl.mem seen k) then begin
-      Hashtbl.add seen k ();
+    if not (Wordtbl.mem seen (pack t state)) then begin
+      Wordtbl.add seen (Array.copy t.scratch) ();
       visit state;
       List.iter (fun e -> go (step t state e)) (ready_events t state)
     end
   in
   go (initial_state t);
-  Hashtbl.length seen
+  Wordtbl.length seen
 
 let reachable_state_count t = walk_reachable t (fun _ -> ())
 
@@ -184,12 +225,11 @@ let deadlock_reachable t =
 
 let deadlock_witness t =
   (* DFS carrying the prefix; first stuck state wins. *)
-  let seen = Hashtbl.create 1024 in
+  let seen = Wordtbl.create 1024 in
   let rec go state prefix =
-    let k = key state in
-    if Hashtbl.mem seen k then None
+    if Wordtbl.mem seen (pack t state) then None
     else begin
-      Hashtbl.add seen k ();
+      Wordtbl.add seen (Array.copy t.scratch) ();
       match ready_events t state with
       | [] -> if all_done state then None else Some (List.rev prefix)
       | ready ->
@@ -201,20 +241,18 @@ let deadlock_witness t =
 let exists_before t a b =
   if a = b then false
   else begin
-    let seen = Hashtbl.create 1024 in
+    let seen = Wordtbl.create 1024 in
     (* Explore only prefixes in which [b] has not yet run; once [a] has run
        in such a prefix, any completion witnesses [a] before [b]. *)
     let rec go state =
       if state.completed.(a) then can_complete t state
-      else
-        let k = key state in
-        if Hashtbl.mem seen k then false
-        else begin
-          Hashtbl.add seen k ();
-          List.exists
-            (fun e -> e <> b && go (step t state e))
-            (ready_events t state)
-        end
+      else if Wordtbl.mem seen (pack t state) then false
+      else begin
+        Wordtbl.add seen (Array.copy t.scratch) ();
+        List.exists
+          (fun e -> e <> b && go (step t state e))
+          (ready_events t state)
+      end
     in
     go (initial_state t)
   end
@@ -240,21 +278,19 @@ let complete_from t state acc =
 let witness_before t a b =
   if a = b then None
   else begin
-    let seen = Hashtbl.create 1024 in
+    let seen = Wordtbl.create 1024 in
     let rec go state prefix =
       if state.completed.(a) then
         if can_complete t state then Some (complete_from t state prefix)
         else None
-      else
-        let k = key state in
-        if Hashtbl.mem seen k then None
-        else begin
-          Hashtbl.add seen k ();
-          List.find_map
-            (fun e ->
-              if e = b then None else go (step t state e) (e :: prefix))
-            (ready_events t state)
-        end
+      else if Wordtbl.mem seen (pack t state) then None
+      else begin
+        Wordtbl.add seen (Array.copy t.scratch) ();
+        List.find_map
+          (fun e ->
+            if e = b then None else go (step t state e) (e :: prefix))
+          (ready_events t state)
+      end
     in
     Option.map Array.of_list (go (initial_state t) [])
   end
@@ -288,12 +324,11 @@ let race_witness t a b =
   else begin
     (* DFS carrying the prefix; at the first state where the pair can go
        either way, complete both continuations. *)
-    let seen = Hashtbl.create 1024 in
+    let seen = Wordtbl.create 1024 in
     let rec go state prefix =
-      let k = key state in
-      if Hashtbl.mem seen k then None
+      if Wordtbl.mem seen (pack t state) then None
       else begin
-        Hashtbl.add seen k ();
+        Wordtbl.add seen (Array.copy t.scratch) ();
         if
           (not state.completed.(a))
           && (not state.completed.(b))

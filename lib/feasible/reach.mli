@@ -6,7 +6,10 @@
     engine memoizes on states, so queries cost one traversal of the
     reachable state graph — still exponential in the worst case (the paper
     proves no engine can avoid that) but usually far smaller, which the
-    ablation benchmark quantifies.
+    ablation benchmark quantifies.  Memo keys are states packed into
+    machine words (completed/event-flag bit vectors plus binary-semaphore
+    counters) probed through {!Wordtbl} from a reused scratch buffer, so a
+    memo hit allocates nothing.
 
     Schedule-level queries decide the happened-before relations exactly:
     [exists_before a b] is could-have-happened-before ([a CHB b]) and

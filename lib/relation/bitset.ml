@@ -95,6 +95,37 @@ let diff_into dst src =
 
 let copy s = { n = s.n; words = Array.copy s.words }
 
+let copy_into ~dst src =
+  same_capacity dst src;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+(* Index of the lowest set bit of [x] ([x] must have at least one). *)
+let lowest_bit_index x =
+  let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
+  go 0 x
+
+let min_elt_from s i =
+  if i >= s.n then -1
+  else begin
+    let i = if i < 0 then 0 else i in
+    let nwords = Array.length s.words in
+    let rec scan w first =
+      if w >= nwords then -1
+      else
+        let word =
+          if first then s.words.(w) land ((-1) lsl (i mod bits_per_word))
+          else s.words.(w)
+        in
+        if word = 0 then scan (w + 1) false
+        else (w * bits_per_word) + lowest_bit_index word
+    in
+    scan (i / bits_per_word) true
+  end
+
+let num_words s = Array.length s.words
+
+let get_word s w = s.words.(w)
+
 let union a b = let r = copy a in union_into r b; r
 let inter a b = let r = copy a in inter_into r b; r
 let diff a b = let r = copy a in diff_into r b; r

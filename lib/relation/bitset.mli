@@ -50,6 +50,23 @@ val diff : t -> t -> t
 
 val copy : t -> t
 
+val copy_into : dst:t -> t -> unit
+(** [copy_into ~dst src] makes [dst] equal to [src] without allocating.
+    Capacities must match. *)
+
+val min_elt_from : t -> int -> int
+(** [min_elt_from s i] is the smallest element [>= i], or [-1] when there is
+    none.  Allocation-free; the exact engines use it to walk the ready
+    frontier while it is being mutated underneath them. *)
+
+val num_words : t -> int
+(** Number of machine words backing the set (a function of capacity). *)
+
+val get_word : t -> int -> int
+(** [get_word s w] is the [w]-th backing word ([0 <= w < num_words s]) —
+    the bits of elements [w*int_size .. (w+1)*int_size - 1].  Exposed so
+    packed memo keys can be built without intermediate lists. *)
+
 val iter : (int -> unit) -> t -> unit
 (** Iterate over elements in increasing order. *)
 

@@ -66,6 +66,24 @@ let union = map2 Bitset.union
 let inter = map2 Bitset.inter
 let diff = map2 Bitset.diff
 
+let union_into dst src =
+  same_size dst src;
+  Array.iteri (fun a row -> Bitset.union_into dst.rows.(a) row) src.rows
+
+let pack r =
+  if r.n = 0 then [||]
+  else begin
+    let wpr = Bitset.num_words r.rows.(0) in
+    let out = Array.make (r.n * wpr) 0 in
+    Array.iteri
+      (fun a row ->
+        for w = 0 to wpr - 1 do
+          out.((a * wpr) + w) <- Bitset.get_word row w
+        done)
+      r.rows;
+    out
+  end
+
 let transpose r =
   let t = create r.n in
   iter (fun a b -> add t b a) r;

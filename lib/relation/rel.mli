@@ -41,6 +41,15 @@ val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
 
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every pair of [src] to [dst] in place (the
+    deterministic merge step for per-worker relation matrices). *)
+
+val pack : t -> int array
+(** The whole bit matrix as one flat word array (rows concatenated).  Two
+    relations of equal size are equal iff their packings are equal —
+    a compact hashable encoding for class counting. *)
+
 val transpose : t -> t
 (** Inverse relation. *)
 

@@ -1,0 +1,91 @@
+(* Open-addressing hash table keyed by packed int arrays.
+
+   The exact engines memoize on search states packed into small int arrays
+   (bitset words + counters).  The stdlib Hashtbl forced them to build a
+   fresh string key per probe; here a probe hashes the caller's scratch
+   buffer in place — no allocation until a genuinely new state is inserted,
+   at which point the caller hands over a fresh array. *)
+
+type 'a slot = Empty | Slot of { hash : int; key : int array; mutable v : 'a }
+
+type 'a t = {
+  seed : int;
+  mutable slots : 'a slot array;  (* length is a power of two *)
+  mutable count : int;
+}
+
+let default_seed = 0x2A65_3F91
+
+let create ?(seed = default_seed) capacity_hint =
+  let rec pow2 c = if c >= capacity_hint && c >= 16 then c else pow2 (c * 2) in
+  { seed; slots = Array.make (pow2 16) Empty; count = 0 }
+
+let length t = t.count
+
+(* Seeded word-mixing hash (splitmix-style finalizer per word). *)
+let hash seed (key : int array) =
+  let h = ref seed in
+  for i = 0 to Array.length key - 1 do
+    let x = key.(i) * 0x2545F4914F6CDD1D in
+    let x = x lxor (x lsr 29) in
+    h := (!h lxor x) * 0x9E3779B97F4A7C1;
+    h := !h lxor (!h lsr 32)
+  done;
+  !h land max_int
+
+let key_equal (a : int array) (b : int array) =
+  let la = Array.length a in
+  la = Array.length b
+  &&
+  let rec go i = i >= la || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+(* Linear probing; the table never fills past half capacity. *)
+let find_slot slots h key =
+  let mask = Array.length slots - 1 in
+  let rec probe i =
+    let i = i land mask in
+    match slots.(i) with
+    | Empty -> i
+    | Slot s when s.hash = h && key_equal s.key key -> i
+    | Slot _ -> probe (i + 1)
+  in
+  probe h
+
+let resize t =
+  let old = t.slots in
+  let slots = Array.make (2 * Array.length old) Empty in
+  Array.iter
+    (function
+      | Empty -> ()
+      | Slot s as slot -> slots.(find_slot slots s.hash s.key) <- slot)
+    old;
+  t.slots <- slots
+
+let find_opt t key =
+  match t.slots.(find_slot t.slots (hash t.seed key) key) with
+  | Empty -> None
+  | Slot s -> Some s.v
+
+let mem t key =
+  match t.slots.(find_slot t.slots (hash t.seed key) key) with
+  | Empty -> false
+  | Slot _ -> true
+
+let add t key v =
+  let h = hash t.seed key in
+  let i = find_slot t.slots h key in
+  match t.slots.(i) with
+  | Slot s -> s.v <- v
+  | Empty ->
+      t.slots.(i) <- Slot { hash = h; key; v };
+      t.count <- t.count + 1;
+      if 2 * t.count > Array.length t.slots then resize t
+
+let iter f t =
+  Array.iter (function Empty -> () | Slot s -> f s.key s.v) t.slots
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc

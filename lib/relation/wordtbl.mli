@@ -1,0 +1,33 @@
+(** Hash table keyed by packed [int array] keys.
+
+    Built for the exact engines' memo tables: keys are search states packed
+    into machine words (bitset words plus small counters).  Probing hashes
+    the caller's scratch buffer in place with a seeded word-mixing hash —
+    no per-probe key construction, unlike stringified keys through the
+    stdlib [Hashtbl].  Open addressing with linear probing; the table
+    doubles before reaching half load. *)
+
+type 'a t
+
+val create : ?seed:int -> int -> 'a t
+(** [create n] is an empty table sized for about [n] bindings.  The
+    optional [seed] perturbs the hash (defaults to a fixed constant so
+    iteration order is reproducible run to run). *)
+
+val length : 'a t -> int
+
+val find_opt : 'a t -> int array -> 'a option
+(** The key may be a scratch buffer; it is read, never retained. *)
+
+val mem : 'a t -> int array -> bool
+
+val add : 'a t -> int array -> 'a -> unit
+(** [add t key v] binds [key] (replacing any existing binding).  On insert
+    the table retains [key] itself — pass a fresh array, not the scratch
+    buffer, and do not mutate it afterwards. *)
+
+val iter : (int array -> 'a -> unit) -> 'a t -> unit
+(** Iterates every binding.  Keys are the retained arrays: safe to hand to
+    {!add} of another table (neither table mutates keys). *)
+
+val fold : (int array -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc

@@ -1,0 +1,29 @@
+The exact engines accept a worker-domain count; results must not depend
+on it.  Run the same analysis with one and two workers and diff:
+
+  $ eventorder analyze pipeline.eo --jobs 1 > one.out
+  $ eventorder analyze pipeline.eo --jobs 2 > two.out
+  $ diff one.out two.out
+
+The class-level engine too:
+
+  $ eventorder analyze pipeline.eo --reduced --jobs 1 > one-reduced.out
+  $ eventorder analyze pipeline.eo --reduced --jobs 2 > two-reduced.out
+  $ diff one-reduced.out two-reduced.out
+
+And the seed (naive) oracle engine still produces the same matrices:
+
+  $ EO_ENGINE=naive eventorder analyze pipeline.eo > naive.out
+  $ diff one.out naive.out
+
+Invalid worker counts are rejected up front:
+
+  $ eventorder analyze pipeline.eo --jobs 0
+  error: --jobs must be at least 1 (got 0)
+  [2]
+
+A malformed EO_JOBS falls back to one worker with a warning:
+
+  $ EO_JOBS=many eventorder analyze pipeline.eo > env.out
+  warning: ignoring malformed EO_JOBS="many" (expected a positive integer); using 1
+  $ diff one.out env.out

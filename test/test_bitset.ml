@@ -106,6 +106,68 @@ let prop_fold_iter_agree =
       Bitset.iter (fun i -> via_iter := i :: !via_iter) s;
       Bitset.fold (fun i acc -> i :: acc) s [] = !via_iter)
 
+let test_min_elt_from () =
+  let s = Bitset.of_list 200 [ 0; 5; 63; 64; 127; 199 ] in
+  Alcotest.(check int) "from 0" 0 (Bitset.min_elt_from s 0);
+  Alcotest.(check int) "from 1" 5 (Bitset.min_elt_from s 1);
+  Alcotest.(check int) "word boundary" 63 (Bitset.min_elt_from s 6);
+  Alcotest.(check int) "next word" 64 (Bitset.min_elt_from s 64);
+  Alcotest.(check int) "skip empty words" 199 (Bitset.min_elt_from s 128);
+  Alcotest.(check int) "past last" (-1) (Bitset.min_elt_from s 200);
+  Alcotest.(check int) "negative clamps to 0" 0 (Bitset.min_elt_from s (-3));
+  Alcotest.(check int) "empty set" (-1)
+    (Bitset.min_elt_from (Bitset.create 70) 0)
+
+let test_copy_into () =
+  let src = Bitset.of_list 80 [ 2; 63; 79 ] in
+  let dst = Bitset.of_list 80 [ 0; 1; 2; 3 ] in
+  Bitset.copy_into ~dst src;
+  Alcotest.(check bool) "equal after copy" true (Bitset.equal dst src);
+  Bitset.add dst 10;
+  Alcotest.(check bool) "copies are independent" false (Bitset.mem src 10);
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Bitset: capacity mismatch") (fun () ->
+      Bitset.copy_into ~dst:(Bitset.create 81) src)
+
+let popcount_words s =
+  let count = ref 0 in
+  for w = 0 to Bitset.num_words s - 1 do
+    let x = ref (Bitset.get_word s w) in
+    while !x <> 0 do
+      count := !count + (!x land 1);
+      x := !x lsr 1
+    done
+  done;
+  !count
+
+let prop_min_elt_from_walk =
+  QCheck.Test.make
+    ~name:"walking min_elt_from visits to_list in order" ~count:200 small_set
+    (fun (n, xs) ->
+      let s = Bitset.of_list n xs in
+      let acc = ref [] in
+      let e = ref (Bitset.min_elt_from s 0) in
+      while !e >= 0 do
+        acc := !e :: !acc;
+        e := Bitset.min_elt_from s (!e + 1)
+      done;
+      List.rev !acc = Bitset.to_list s)
+
+let prop_words_popcount =
+  QCheck.Test.make ~name:"raw words hold cardinal bits" ~count:200 small_set
+    (fun (n, xs) ->
+      let s = Bitset.of_list n xs in
+      popcount_words s = Bitset.cardinal s)
+
+let prop_copy_into_roundtrip =
+  QCheck.Test.make ~name:"copy_into reproduces the source" ~count:200 small_set
+    (fun (n, xs) ->
+      let src = Bitset.of_list n xs in
+      let dst = Bitset.create n in
+      Bitset.fill dst;
+      Bitset.copy_into ~dst src;
+      Bitset.equal dst src)
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -115,9 +177,14 @@ let suite =
     Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
     Alcotest.test_case "set algebra" `Quick test_set_algebra;
     Alcotest.test_case "capacity mismatch" `Quick test_capacity_mismatch;
+    Alcotest.test_case "min_elt_from" `Quick test_min_elt_from;
+    Alcotest.test_case "copy_into" `Quick test_copy_into;
     qcheck prop_roundtrip;
     qcheck prop_cardinal;
     qcheck prop_union_commutes;
     qcheck prop_demorgan;
     qcheck prop_fold_iter_agree;
+    qcheck prop_min_elt_from_walk;
+    qcheck prop_words_popcount;
+    qcheck prop_copy_into_roundtrip;
   ]

@@ -1,0 +1,121 @@
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_basics () =
+  let t = Wordtbl.create 4 in
+  Alcotest.(check int) "empty length" 0 (Wordtbl.length t);
+  Wordtbl.add t [| 1; 2; 3 |] "a";
+  Wordtbl.add t [| 1; 2; 4 |] "b";
+  Alcotest.(check int) "length" 2 (Wordtbl.length t);
+  Alcotest.(check (option string)) "find first" (Some "a")
+    (Wordtbl.find_opt t [| 1; 2; 3 |]);
+  Alcotest.(check (option string)) "find second" (Some "b")
+    (Wordtbl.find_opt t [| 1; 2; 4 |]);
+  Alcotest.(check (option string)) "absent" None
+    (Wordtbl.find_opt t [| 1; 2; 5 |]);
+  Alcotest.(check bool) "mem" true (Wordtbl.mem t [| 1; 2; 3 |]);
+  (* add replaces: the table holds one binding per key *)
+  Wordtbl.add t [| 1; 2; 3 |] "a2";
+  Alcotest.(check int) "length after replace" 2 (Wordtbl.length t);
+  Alcotest.(check (option string)) "replaced" (Some "a2")
+    (Wordtbl.find_opt t [| 1; 2; 3 |])
+
+let test_key_lengths_distinguish () =
+  let t = Wordtbl.create 4 in
+  Wordtbl.add t [||] 0;
+  Wordtbl.add t [| 0 |] 1;
+  Wordtbl.add t [| 0; 0 |] 2;
+  Alcotest.(check (option int)) "empty key" (Some 0) (Wordtbl.find_opt t [||]);
+  Alcotest.(check (option int)) "one zero" (Some 1)
+    (Wordtbl.find_opt t [| 0 |]);
+  Alcotest.(check (option int)) "two zeros" (Some 2)
+    (Wordtbl.find_opt t [| 0; 0 |])
+
+let test_growth () =
+  (* Push far past the initial capacity to exercise resizing. *)
+  let t = Wordtbl.create 2 in
+  for i = 0 to 999 do
+    Wordtbl.add t [| i; i * 7; i lxor 0x55 |] (i * 3)
+  done;
+  Alcotest.(check int) "length" 1000 (Wordtbl.length t);
+  for i = 0 to 999 do
+    match Wordtbl.find_opt t [| i; i * 7; i lxor 0x55 |] with
+    | Some v when v = i * 3 -> ()
+    | _ -> Alcotest.failf "lost binding %d after growth" i
+  done
+
+let test_scratch_not_retained () =
+  let t = Wordtbl.create 4 in
+  let scratch = [| 9; 9 |] in
+  Alcotest.(check bool) "probe miss" false (Wordtbl.mem t scratch);
+  Wordtbl.add t (Array.copy scratch) true;
+  (* mutating the probe buffer must not disturb the stored binding *)
+  scratch.(0) <- 0;
+  Alcotest.(check bool) "old key still bound" true (Wordtbl.mem t [| 9; 9 |]);
+  Alcotest.(check bool) "new value unbound" false (Wordtbl.mem t [| 0; 9 |])
+
+(* Model-based testing: a script of add/find operations run against both
+   Wordtbl and the stdlib Hashtbl (with list keys) must agree. *)
+let key_gen = QCheck.Gen.(list_size (int_range 0 4) (int_range 0 15))
+
+let script_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 200) (pair bool (pair key_gen small_nat)))
+
+let script_print script =
+  String.concat "; "
+    (List.map
+       (fun (is_add, (key, v)) ->
+         Printf.sprintf "%s [%s] %d"
+           (if is_add then "add" else "find")
+           (String.concat "," (List.map string_of_int key))
+           v)
+       script)
+
+let prop_matches_hashtbl =
+  QCheck.Test.make ~name:"agrees with a Hashtbl model" ~count:300
+    (QCheck.make ~print:script_print script_gen) (fun script ->
+      let t = Wordtbl.create 1 in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (is_add, (key, v)) ->
+          if is_add then begin
+            Wordtbl.add t (Array.of_list key) v;
+            Hashtbl.replace model key v;
+            true
+          end
+          else Wordtbl.find_opt t (Array.of_list key) = Hashtbl.find_opt model key)
+        script
+      && Wordtbl.length t = Hashtbl.length model)
+
+let prop_fold_covers_all =
+  QCheck.Test.make ~name:"iter/fold visit every binding once" ~count:100
+    (QCheck.make
+       ~print:(fun keys ->
+         String.concat "; "
+           (List.map
+              (fun k -> String.concat "," (List.map string_of_int k))
+              keys))
+       QCheck.Gen.(list_size (int_range 0 80) key_gen))
+    (fun keys ->
+      let t = Wordtbl.create 1 in
+      List.iter (fun k -> Wordtbl.add t (Array.of_list k) ()) keys;
+      let distinct = List.sort_uniq compare keys in
+      let folded =
+        Wordtbl.fold (fun k () acc -> Array.to_list k :: acc) t []
+      in
+      let iterated = ref [] in
+      Wordtbl.iter (fun k () -> iterated := Array.to_list k :: !iterated) t;
+      List.sort compare folded = distinct
+      && List.sort compare !iterated = distinct)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "key lengths distinguish" `Quick
+      test_key_lengths_distinguish;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "scratch buffers not retained" `Quick
+      test_scratch_not_retained;
+    qcheck prop_matches_hashtbl;
+    qcheck prop_fold_covers_all;
+  ]
