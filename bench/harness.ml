@@ -46,6 +46,17 @@ let sweep ~budget ~sizes f =
   in
   go [] None sizes
 
+(* Telemetry-instrumented measurement: one timed run that also fills a
+   fresh report, plus the compact JSON to embed in a bench row — so a
+   regression in BENCH_exact_engine.json is attributable ("memo hit rate
+   dropped" vs "more nodes expanded") instead of a bare wall-clock. *)
+let time_with_stats f =
+  let tel = Telemetry.create () in
+  let r, seconds = time_once (fun () -> f tel) in
+  (r, seconds, tel)
+
+let telemetry_json tel = Jsonout.to_string (Telemetry.to_json tel)
+
 (* Bechamel: estimated ns/run for each named thunk. *)
 let bechamel_group ?(quota = 0.25) tests =
   let open Bechamel in

@@ -12,31 +12,15 @@
 
 (* Per-sweep-point time budget.  The default lets every sweep reach the
    row where the exponential wall is unmistakable (a few minutes total);
-   EO_BENCH_BUDGET=5 gives a quick pass.  Malformed values fall back to
-   the default with a warning instead of crashing the whole harness. *)
+   EO_BENCH_BUDGET=5 gives a quick pass.  Parsing (and the
+   malformed-value warning) lives in [Config], shared with the CLI. *)
 let default_budget = 250.0
-
-let budget =
-  match Sys.getenv_opt "EO_BENCH_BUDGET" with
-  | None -> default_budget
-  | Some s -> (
-      match float_of_string_opt (String.trim s) with
-      | Some b when b > 0.0 && Float.is_finite b -> b
-      | Some _ | None ->
-          Printf.eprintf
-            "warning: ignoring malformed EO_BENCH_BUDGET=%S (expected a \
-             positive number of seconds); using %g\n\
-             %!"
-            s default_budget;
-          default_budget)
+let budget = Config.bench_budget ~default:default_budget
 
 (* EO_BENCH_QUICK=1 runs only the experiments a CI smoke pass needs: the
    reference tables plus the engine-optimization sweep and the scorecard.
    (E17, the SAT substrate, is not budget-gated and dominates a full run.) *)
-let quick =
-  match Sys.getenv_opt "EO_BENCH_QUICK" with
-  | None | Some "" | Some "0" -> false
-  | Some _ -> true
+let quick = Config.bench_quick ()
 
 let header title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -732,15 +716,23 @@ let e19_exact_engine () =
         let sk =
           Workloads.skeleton_of (Workloads.pipeline_program ~stages:3 ~free)
         in
-        let s1, t_seq = Harness.time_once (fun () -> Relations.compute sk) in
-        let sj, t_par =
-          Harness.time_once (fun () -> Relations.compute ~jobs sk)
+        (* The runs are telemetry-instrumented (the counters are designed
+           to cost nothing measurable) so every row records *where* its
+           time went, not just how much there was. *)
+        let s1, t_seq, _ =
+          Harness.time_with_stats (fun tel -> Relations.compute ~stats:tel sk)
         in
-        let r1, t_rseq =
-          Harness.time_once (fun () -> Relations.compute_reduced sk)
+        let sj, t_par, tel_compute =
+          Harness.time_with_stats (fun tel ->
+              Relations.compute ~jobs ~stats:tel sk)
         in
-        let rj, t_rpar =
-          Harness.time_once (fun () -> Relations.compute_reduced ~jobs sk)
+        let r1, t_rseq, _ =
+          Harness.time_with_stats (fun tel ->
+              Relations.compute_reduced ~stats:tel sk)
+        in
+        let rj, t_rpar, tel_reduced =
+          Harness.time_with_stats (fun tel ->
+              Relations.compute_reduced ~jobs ~stats:tel sk)
         in
         let name what =
           Printf.sprintf "pipeline(free=%d) %s jobs=%d" free what jobs
@@ -767,9 +759,11 @@ let e19_exact_engine () =
             end)
           Relations.all_relations;
         json
-          {|    {"kind": "parallel", "family": "pipeline", "free": %d, "events": %d, "feasible": %d, "classes": %d, "jobs": %d, "compute_seq_s": %.6f, "compute_par_s": %.6f, "reduced_seq_s": %.6f, "reduced_par_s": %.6f}|}
+          {|    {"kind": "parallel", "family": "pipeline", "free": %d, "events": %d, "feasible": %d, "classes": %d, "jobs": %d, "compute_seq_s": %.6f, "compute_par_s": %.6f, "reduced_seq_s": %.6f, "reduced_par_s": %.6f, "telemetry_compute": %s, "telemetry_reduced": %s}|}
           free sk.Skeleton.n s1.Relations.feasible_count
-          s1.Relations.distinct_classes jobs t_seq t_par t_rseq t_rpar;
+          s1.Relations.distinct_classes jobs t_seq t_par t_rseq t_rpar
+          (Harness.telemetry_json tel_compute)
+          (Harness.telemetry_json tel_reduced);
         (sk.Skeleton.n, s1.Relations.feasible_count, t_seq, t_par, t_rseq,
          t_rpar))
   in

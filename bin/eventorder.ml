@@ -72,12 +72,73 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+(* Precedence: --jobs flag > EO_JOBS > 1 — [Config.resolve] over the
+   cached [Config.jobs] reader (which [Parallel.default_jobs] also uses). *)
 let resolve_jobs = function
   | Some j when j >= 1 -> j
   | Some j ->
       Format.eprintf "error: --jobs must be at least 1 (got %d)@." j;
       exit 2
-  | None -> Parallel.default_jobs ()
+  | None -> Config.resolve ~cli:None ~env:Config.jobs
+
+let stats_arg =
+  let doc =
+    "Collect engine telemetry (search-node, prune and memo counters, phase \
+     timers, parallel split metadata) and include it in the output.  The \
+     search counters are bit-identical across --jobs settings."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let format_arg =
+  let doc =
+    "Output format: 'text' (human-readable, the default) or 'json' \
+     (machine-readable; each subcommand emits one object with a 'schema' \
+     field naming its stable layout)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let make_stats collect = if collect then Some (Telemetry.create ()) else None
+
+let stats_field = function
+  | Some tel -> [ ("stats", Telemetry.to_json tel) ]
+  | None -> []
+
+let print_stats_text = function
+  | Some tel -> Format.printf "@.%a" Telemetry.pp tel
+  | None -> ()
+
+let print_json doc = print_string (Jsonout.to_string_pretty doc)
+
+let json_of_rel rel =
+  Jsonout.List
+    (List.map
+       (fun (a, b) -> Jsonout.List [ Jsonout.Int a; Jsonout.Int b ])
+       (Rel.to_pairs rel))
+
+let relation_key = function
+  | Relations.MHB -> "mhb"
+  | Relations.CHB -> "chb"
+  | Relations.MCW -> "mcw"
+  | Relations.CCW -> "ccw"
+  | Relations.MOW -> "mow"
+  | Relations.COW -> "cow"
+
+let json_of_race (x : Execution.t) (r : Race.race) =
+  Jsonout.Obj
+    [
+      ("e1", Jsonout.Int r.Race.e1);
+      ("e2", Jsonout.Int r.Race.e2);
+      ( "labels",
+        Jsonout.List
+          [
+            Jsonout.Str x.Execution.events.(r.Race.e1).Event.label;
+            Jsonout.Str x.Execution.events.(r.Race.e2).Event.label;
+          ] );
+      ("variables", Jsonout.List (List.map (fun v -> Jsonout.Int v) r.Race.variables));
+    ]
 
 let max_events_arg =
   let doc =
@@ -92,7 +153,7 @@ let parse_program_file path =
     Format.eprintf "%s:%d: syntax error: %s@." path line message;
     exit 2
 
-let load_trace path policy =
+let load_trace ?(json = false) path policy =
   let trace =
     if Filename.check_suffix path ".eotrace" then (
       try Trace_io.load path
@@ -101,10 +162,13 @@ let load_trace path policy =
         exit 2)
     else Interp.run ~policy (parse_program_file path)
   in
+  (* Under --format json the notes move to stderr so stdout stays one
+     well-formed JSON document. *)
+  let note ppf = if json then Format.eprintf ppf else Format.printf ppf in
   (match trace.Trace.outcome with
   | Trace.Completed -> ()
   | Trace.Deadlocked pids ->
-      Format.printf
+      note
         "note: the observed execution deadlocked (blocked processes: %a); \
          analysing the events that did run@."
         (Format.pp_print_list
@@ -112,7 +176,7 @@ let load_trace path policy =
            Format.pp_print_int)
         pids
   | Trace.Fuel_exhausted ->
-      Format.printf "note: fuel exhausted; analysing the recorded prefix@.");
+      note "note: fuel exhausted; analysing the recorded prefix@.");
   trace
 
 let guard_size trace max_events =
@@ -138,53 +202,127 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "reduced" ] ~doc)
   in
-  let run file policy limit max_events reduced jobs =
+  let run file policy limit max_events reduced jobs collect fmt =
     let jobs = resolve_jobs jobs in
-    let trace = load_trace file policy in
-    Format.printf "%a@." Trace.pp trace;
+    let json = fmt = `Json in
+    let trace = load_trace ~json file policy in
+    if not json then Format.printf "%a@." Trace.pp trace;
     guard_size trace max_events;
     let x = Trace.to_execution trace in
     let sk = Skeleton.of_execution x in
+    let stats = make_stats collect in
     let s =
-      if reduced then Relations.compute_reduced ~jobs sk
-      else Relations.compute ?limit ~jobs sk
+      if reduced then Relations.compute_reduced ~jobs ?stats sk
+      else Relations.compute ?limit ~jobs ?stats sk
     in
-    Format.printf "%a@." Relations.pp_summary (s, x.Execution.events);
     let po = Pinned.po_of_schedule sk (Trace.schedule trace) in
-    Format.printf
-      "max concurrency (width of the observed pinned order): %d of %d events@."
-      (Antichain.width po) (Trace.n_events trace)
+    let width = Antichain.width po in
+    match fmt with
+    | `Json ->
+        let labels =
+          Jsonout.List
+            (Array.to_list
+               (Array.map
+                  (fun e -> Jsonout.Str e.Event.label)
+                  x.Execution.events))
+        in
+        let relations =
+          Jsonout.Obj
+            (List.map
+               (fun rel ->
+                 (relation_key rel, json_of_rel (Relations.to_rel s rel)))
+               Relations.all_relations)
+        in
+        print_json
+          (Jsonout.Obj
+             ([
+                ("schema", Jsonout.Str "eventorder.analyze/1");
+                ("events", Jsonout.Int sk.Skeleton.n);
+                ("labels", labels);
+                ( "engine",
+                  Jsonout.Str (Engine.to_string (Engine.current ())) );
+                ("jobs", Jsonout.Int jobs);
+                ("reduced", Jsonout.Bool reduced);
+                ("feasible_schedules", Jsonout.Int s.Relations.feasible_count);
+                ("truncated", Jsonout.Bool s.Relations.truncated);
+                ("distinct_classes", Jsonout.Int s.Relations.distinct_classes);
+                ("width", Jsonout.Int width);
+                ("relations", relations);
+              ]
+             @ stats_field stats))
+    | `Text ->
+        Format.printf "%a@." Relations.pp_summary (s, x.Execution.events);
+        Format.printf
+          "max concurrency (width of the observed pinned order): %d of %d \
+           events@."
+          width (Trace.n_events trace);
+        print_stats_text stats
   in
   let doc = "run a program and print the six Table-1 ordering relations" in
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ reduced_arg $ jobs_arg)
+      $ reduced_arg $ jobs_arg $ stats_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schedules                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let schedules_cmd =
-  let run file policy max_events =
-    let trace = load_trace file policy in
+  let run file policy max_events collect fmt =
+    let json = fmt = `Json in
+    let trace = load_trace ~json file policy in
     guard_size trace max_events;
     let sk = Skeleton.of_execution (Trace.to_execution trace) in
-    let r = Reach.create sk in
-    let count = Reach.schedule_count r in
-    Format.printf "events:                   %d@." sk.Skeleton.n;
-    if count >= Reach.count_saturation then
-      Format.printf "feasible schedules:       >= 10^18@."
-    else Format.printf "feasible schedules:       %d@." count;
-    Format.printf "reachable states:         %d@."
-      (Reach.reachable_state_count r);
-    Format.printf "deadlock reachable:       %b@." (Reach.deadlock_reachable r)
+    let stats = make_stats collect in
+    let c =
+      match stats with
+      | None -> Counters.null
+      | Some tel ->
+          Telemetry.set_run tel
+            ~engine:(Engine.to_string (Engine.current ()))
+            ~jobs:1;
+          Telemetry.counters tel
+    in
+    let r, count, states, deadlock =
+      Counters.time c Counters.T_total @@ fun () ->
+      let r = Reach.create ~stats:c sk in
+      let count =
+        Counters.time c Counters.T_count (fun () -> Reach.schedule_count r)
+      in
+      (r, count, Reach.reachable_state_count r, Reach.deadlock_reachable r)
+    in
+    Reach.stats_commit r;
+    let saturated = count >= Reach.count_saturation in
+    match fmt with
+    | `Json ->
+        print_json
+          (Jsonout.Obj
+             ([
+                ("schema", Jsonout.Str "eventorder.schedules/1");
+                ("events", Jsonout.Int sk.Skeleton.n);
+                ("feasible_schedules", Jsonout.Int count);
+                ("saturated", Jsonout.Bool saturated);
+                ("reachable_states", Jsonout.Int states);
+                ("deadlock_reachable", Jsonout.Bool deadlock);
+              ]
+             @ stats_field stats))
+    | `Text ->
+        Format.printf "events:                   %d@." sk.Skeleton.n;
+        if saturated then
+          Format.printf "feasible schedules:       >= 10^18@."
+        else Format.printf "feasible schedules:       %d@." count;
+        Format.printf "reachable states:         %d@." states;
+        Format.printf "deadlock reachable:       %b@." deadlock;
+        print_stats_text stats
   in
   let doc = "count feasible schedules and states; check for reachable deadlocks" in
   Cmd.v
     (Cmd.info "schedules" ~doc)
-    Term.(const run $ program_file $ policy_arg $ max_events_arg)
+    Term.(
+      const run $ program_file $ policy_arg $ max_events_arg $ stats_arg
+      $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* races                                                               *)
@@ -196,40 +334,86 @@ let races_cmd =
                exhibit it." in
     Arg.(value & flag & info [ "witness" ] ~doc)
   in
-  let run file policy max_events witness =
-    let trace = load_trace file policy in
+  let run file policy limit max_events witness jobs collect fmt =
+    let jobs = resolve_jobs jobs in
+    let json = fmt = `Json in
+    let trace = load_trace ~json file policy in
     guard_size trace max_events;
     let x = Trace.to_execution trace in
-    let report name races =
-      Format.printf "%s: %d@." name (List.length races);
-      List.iter (fun r -> Format.printf "  %a@." (Race.pp_race x) r) races
+    let candidates = Race.conflicting_pairs x in
+    let apparent = Race.apparent_races x in
+    let stats = make_stats collect in
+    (* Telemetry covers the feasible-race pass; the first-race refinement
+       re-decides the same pairs and would double every counter. *)
+    let feasible = Race.feasible_races ?limit ~jobs ?stats x in
+    let first = Race.first_races ?limit ~jobs x in
+    let witnesses =
+      if witness then
+        List.filter_map
+          (fun r ->
+            Option.map
+              (fun w -> (r, w))
+              (Race.race_witness x r.Race.e1 r.Race.e2))
+          feasible
+      else []
     in
-    report "candidate conflicting pairs" (Race.conflicting_pairs x);
-    report "apparent races (vector clock)" (Race.apparent_races x);
-    let feasible = Race.feasible_races x in
-    report "feasible races (exact)" feasible;
-    report "first races (debugging frontier)" (Race.first_races x);
-    if witness then
-      List.iter
-        (fun r ->
-          match Race.race_witness x r.Race.e1 r.Race.e2 with
-          | None -> ()
-          | Some (s1, s2) ->
-              let pp_schedule ppf s =
-                Format.pp_print_list
-                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
-                  (fun ppf e ->
-                    Format.pp_print_string ppf x.Execution.events.(e).Event.label)
-                  ppf (Array.to_list s)
-              in
-              Format.printf "@.witness for %a:@.  %a@.  %a@."
-                (Race.pp_race x) r pp_schedule s1 pp_schedule s2)
-        feasible
+    match fmt with
+    | `Json ->
+        let races rs = Jsonout.List (List.map (json_of_race x) rs) in
+        let schedule s =
+          Jsonout.List (List.map (fun e -> Jsonout.Int e) (Array.to_list s))
+        in
+        let witness_json (r, (s1, s2)) =
+          Jsonout.Obj
+            [
+              ("e1", Jsonout.Int r.Race.e1);
+              ("e2", Jsonout.Int r.Race.e2);
+              ("schedules", Jsonout.List [ schedule s1; schedule s2 ]);
+            ]
+        in
+        print_json
+          (Jsonout.Obj
+             ([
+                ("schema", Jsonout.Str "eventorder.races/1");
+                ("events", Jsonout.Int (Execution.n_events x));
+                ("candidates", races candidates);
+                ("apparent", races apparent);
+                ("feasible", races feasible);
+                ("first", races first);
+              ]
+             @ (if witness then
+                  [ ("witnesses", Jsonout.List (List.map witness_json witnesses)) ]
+                else [])
+             @ stats_field stats))
+    | `Text ->
+        let report name races =
+          Format.printf "%s: %d@." name (List.length races);
+          List.iter (fun r -> Format.printf "  %a@." (Race.pp_race x) r) races
+        in
+        report "candidate conflicting pairs" candidates;
+        report "apparent races (vector clock)" apparent;
+        report "feasible races (exact)" feasible;
+        report "first races (debugging frontier)" first;
+        List.iter
+          (fun (r, (s1, s2)) ->
+            let pp_schedule ppf s =
+              Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+                (fun ppf e ->
+                  Format.pp_print_string ppf x.Execution.events.(e).Event.label)
+                ppf (Array.to_list s)
+            in
+            Format.printf "@.witness for %a:@.  %a@.  %a@."
+              (Race.pp_race x) r pp_schedule s1 pp_schedule s2)
+          witnesses;
+        print_stats_text stats
   in
   let doc = "detect apparent (polynomial) and feasible (exact) data races" in
   Cmd.v
     (Cmd.info "races" ~doc)
-    Term.(const run $ program_file $ policy_arg $ max_events_arg $ witness_arg)
+    Term.(
+      const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
+      $ witness_arg $ jobs_arg $ stats_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* taskgraph                                                           *)
@@ -291,30 +475,76 @@ let reduce_cmd =
     let doc = "3-CNF formula in DIMACS format." in
     Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"DIMACS" ~doc)
   in
-  let run style decide file =
+  let run style decide file collect fmt =
     let formula = Dimacs.parse_file file in
-    match style with
-    | `Sem ->
-        let red = Reduction_sem.build formula in
-        Format.printf "%a@." Ast.pp red.Reduction_sem.program;
-        if decide then begin
-          let c1 = Theorems.check_theorem_1 formula in
-          let c2 = Theorems.check_theorem_2 formula in
-          Format.printf "%a@.%a@." Theorems.pp_check c1 Theorems.pp_check c2
-        end
-    | `Event ->
-        let red = Reduction_evt.build formula in
-        Format.printf "%a@." Ast.pp red.Reduction_evt.program;
-        if decide then begin
-          let c3 = Theorems.check_theorem_3 formula in
-          let c4 = Theorems.check_theorem_4 formula in
-          Format.printf "%a@.%a@." Theorems.pp_check c3 Theorems.pp_check c4
-        end
+    let stats = make_stats collect in
+    (match stats with
+    | Some tel ->
+        Telemetry.set_run tel
+          ~engine:(Engine.to_string (Engine.current ()))
+          ~jobs:1
+    | None -> ());
+    let program, checks =
+      match style with
+      | `Sem ->
+          let red = Reduction_sem.build formula in
+          ( red.Reduction_sem.program,
+            if decide then
+              [
+                Theorems.check_theorem_1 ?stats formula;
+                Theorems.check_theorem_2 ?stats formula;
+              ]
+            else [] )
+      | `Event ->
+          let red = Reduction_evt.build formula in
+          ( red.Reduction_evt.program,
+            if decide then
+              [
+                Theorems.check_theorem_3 ?stats formula;
+                Theorems.check_theorem_4 ?stats formula;
+              ]
+            else [] )
+    in
+    match fmt with
+    | `Json ->
+        let check_json (c : Theorems.check) =
+          Jsonout.Obj
+            [
+              ("theorem", Jsonout.Int c.Theorems.theorem);
+              ("satisfiable", Jsonout.Bool c.Theorems.satisfiable);
+              ("ordering_holds", Jsonout.Bool c.Theorems.ordering_holds);
+              ("agrees", Jsonout.Bool c.Theorems.agrees);
+              ("events", Jsonout.Int c.Theorems.n_events);
+            ]
+        in
+        print_json
+          (Jsonout.Obj
+             ([
+                ("schema", Jsonout.Str "eventorder.reduce/1");
+                ( "style",
+                  Jsonout.Str (match style with `Sem -> "sem" | `Event -> "event")
+                );
+                ("variables", Jsonout.Int formula.Cnf.num_vars);
+                ("clauses", Jsonout.Int (Cnf.num_clauses formula));
+                ("program", Jsonout.Str (Format.asprintf "%a" Ast.pp program));
+              ]
+             @ (if decide then
+                  [ ("checks", Jsonout.List (List.map check_json checks)) ]
+                else [])
+             @ stats_field stats))
+    | `Text ->
+        Format.printf "%a@." Ast.pp program;
+        List.iter
+          (fun c -> Format.printf "%a@." Theorems.pp_check c)
+          checks;
+        print_stats_text stats
   in
   let doc = "build the Theorem 1-4 reduction program from a DIMACS 3-CNF" in
   Cmd.v
     (Cmd.info "reduce" ~doc)
-    Term.(const run $ style_arg $ decide_arg $ dimacs_file)
+    Term.(
+      const run $ style_arg $ decide_arg $ dimacs_file $ stats_arg
+      $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* theorems                                                            *)

@@ -1,16 +1,24 @@
 type t = {
   sk : Skeleton.t;
   reach : Reach.t;
+  limit : int option;  (* cap handed to the lazily computed summary *)
   jobs : int;  (* worker domains for the lazily computed summary *)
+  stats : Telemetry.t option;
   mutable summary : Relations.t option;  (* computed lazily for COW/MCW *)
 }
 
-let of_skeleton ?(jobs = 1) sk =
-  { sk; reach = Reach.create sk; jobs; summary = None }
+let of_skeleton ?limit ?(jobs = 1) ?stats sk =
+  let c =
+    match stats with Some tel -> Telemetry.counters tel | None -> Counters.null
+  in
+  { sk; reach = Reach.create ~stats:c sk; limit; jobs; stats; summary = None }
 
-let create ?jobs execution = of_skeleton ?jobs (Skeleton.of_execution execution)
+let create ?limit ?jobs ?stats execution =
+  of_skeleton ?limit ?jobs ?stats (Skeleton.of_execution execution)
 
 let skeleton t = t.sk
+
+let stats_commit t = Reach.stats_commit t.reach
 
 let mhb t a b = Reach.must_before t.reach a b
 
@@ -25,7 +33,10 @@ let summary t =
   match t.summary with
   | Some s -> s
   | None ->
-      let s = Relations.compute_reduced ~jobs:t.jobs t.sk in
+      let s =
+        Relations.compute_reduced ?limit:t.limit ~jobs:t.jobs ?stats:t.stats
+          t.sk
+      in
       t.summary <- Some s;
       s
 

@@ -8,17 +8,28 @@
     relations still require per-class partial orders and fall back to
     enumeration.
 
-    [?jobs] (default [1]) is handed to {!Relations.compute_reduced} when
-    the lazy class-level summary is materialized; per-pair reachability
-    queries stay sequential (they share one memo table). *)
+    [?limit] and [?jobs] (defaults: unlimited, [1]) carry the uniform
+    enumeration semantics: both are handed to
+    {!Relations.compute_reduced} when the lazy class-level summary is
+    materialized (a [limit] caps its representative walk), while
+    per-pair reachability queries stay sequential (they share one memo
+    table) and are unaffected by either.  [?stats] threads one
+    {!Telemetry.t} through the reachability engine and the summary. *)
 
 type t
 
-val create : ?jobs:int -> Execution.t -> t
+val create :
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Execution.t -> t
 
-val of_skeleton : ?jobs:int -> Skeleton.t -> t
+val of_skeleton :
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Skeleton.t -> t
 
 val skeleton : t -> Skeleton.t
+
+val stats_commit : t -> unit
+(** Folds the reachability engine's memo-table probe/resize totals into
+    the counters ({!Reach.stats_commit}); call before reading a stats
+    report. *)
 
 val mhb : t -> int -> int -> bool
 (** Must-have-happened-before, via {!Reach.must_before}. *)

@@ -41,7 +41,7 @@ type t = {
   incomparable_some : Rel.t;  (** some po(σ) leaves a,b unordered (symmetric) *)
 }
 
-val compute : ?limit:int -> ?jobs:int -> Skeleton.t -> t
+val compute : ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Skeleton.t -> t
 (** Enumerates every feasible schedule (up to [limit], default unlimited)
     and accumulates the three existential summaries.  With a [limit] the
     result is a sound under-approximation of the could-have relations and
@@ -52,9 +52,18 @@ val compute : ?limit:int -> ?jobs:int -> Skeleton.t -> t
     independent subtree tasks and per-worker accumulators are merged in
     task order, so the result is bit-identical to [jobs = 1].  Parallelism
     only engages without a [limit] (a cross-subtree cutoff would be
-    order-dependent) and under the packed {!Engine}. *)
+    order-dependent) and under the packed {!Engine}.
 
-val compute_reduced : ?jobs:int -> Skeleton.t -> t
+    [?stats] populates the given {!Telemetry.t} as the run goes: search
+    counters, phase timers, and — for parallel runs — the split depth,
+    per-task subtree sizes and per-domain wall times.  Search counters
+    are bit-identical across [jobs] (split probing is uncounted, the
+    chosen split is re-walked counted, per-worker counters merge in task
+    order); only the [Par_*] counters, the {!Reach} memo statistics and
+    every wall-clock field legitimately vary. *)
+
+val compute_reduced :
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Skeleton.t -> t
 (** The same summary computed the smart way: happened-before bits by
     memoized state reachability ({!Reach.exists_before}, one query per
     ordered pair), comparability bits by sleep-set partial-order reduction
@@ -66,7 +75,14 @@ val compute_reduced : ?jobs:int -> Skeleton.t -> t
     representatives on the Theorem 1 programs.  [jobs] (default [1])
     parallelizes both halves deterministically: the happened-before
     queries split by matrix row (one memoizing engine per worker) and the
-    POR walk splits into sleep-set subtree tasks. *)
+    POR walk splits into sleep-set subtree tasks.
+
+    [?limit] has the same meaning as in {!compute}, applied to the
+    representative walk: the comparability summaries become sound
+    under-approximations and [truncated] is set when the walk was cut
+    short, while the happened-before bits and [feasible_count] stay
+    exact (they do not enumerate).  As everywhere, a [limit] keeps the
+    capped walk sequential.  [?stats] as in {!compute}. *)
 
 val holds : t -> relation -> int -> int -> bool
 (** [holds t r a b]: does [a r b]?  All relations are irreflexive here:

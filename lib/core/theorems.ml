@@ -7,59 +7,62 @@ type check = {
   n_events : int;
 }
 
-let decide_of_trace tr = Decide.create (Trace.to_execution tr)
+let decide_of_trace ?stats tr = Decide.create ?stats (Trace.to_execution tr)
 
-let check_sem ?(binary = false) ~theorem ~relation formula =
+let decide_pair ?stats ~relation ~satisfiable tr a b =
+  let decide = decide_of_trace ?stats tr in
+  let verdict =
+    match relation with
+    | `Mhb_ab ->
+        let h = Decide.mhb decide a b in
+        (h, h = not satisfiable)
+    | `Chb_ba ->
+        let h = Decide.chb decide b a in
+        (h, h = satisfiable)
+  in
+  Decide.stats_commit decide;
+  verdict
+
+let check_sem ?stats ?(binary = false) ~theorem ~relation formula =
   let red = Reduction_sem.build ~binary formula in
   let tr = Reduction_sem.trace red in
   let a, b = Reduction_sem.events_ab red tr in
-  let decide = decide_of_trace tr in
   let satisfiable = Dpll.is_satisfiable formula in
-  let ordering_holds, agrees =
-    match relation with
-    | `Mhb_ab ->
-        let h = Decide.mhb decide a b in
-        (h, h = not satisfiable)
-    | `Chb_ba ->
-        let h = Decide.chb decide b a in
-        (h, h = satisfiable)
-  in
+  let ordering_holds, agrees = decide_pair ?stats ~relation ~satisfiable tr a b in
   { theorem; formula; satisfiable; ordering_holds; agrees;
     n_events = Trace.n_events tr }
 
-let check_evt ~theorem ~relation formula =
+let check_evt ?stats ~theorem ~relation formula =
   let red = Reduction_evt.build formula in
   let tr = Reduction_evt.trace red in
   let a, b = Reduction_evt.events_ab red tr in
-  let decide = decide_of_trace tr in
   let satisfiable = Dpll.is_satisfiable formula in
-  let ordering_holds, agrees =
-    match relation with
-    | `Mhb_ab ->
-        let h = Decide.mhb decide a b in
-        (h, h = not satisfiable)
-    | `Chb_ba ->
-        let h = Decide.chb decide b a in
-        (h, h = satisfiable)
-  in
+  let ordering_holds, agrees = decide_pair ?stats ~relation ~satisfiable tr a b in
   { theorem; formula; satisfiable; ordering_holds; agrees;
     n_events = Trace.n_events tr }
 
-let check_theorem_1 = check_sem ~binary:false ~theorem:1 ~relation:`Mhb_ab
-let check_theorem_2 = check_sem ~binary:false ~theorem:2 ~relation:`Chb_ba
+let check_theorem_1 ?stats f =
+  check_sem ?stats ~binary:false ~theorem:1 ~relation:`Mhb_ab f
+
+let check_theorem_2 ?stats f =
+  check_sem ?stats ~binary:false ~theorem:2 ~relation:`Chb_ba f
 
 (* Section 5.1's closing remark: the same results for binary semaphores. *)
-let check_theorem_1_binary = check_sem ~binary:true ~theorem:1 ~relation:`Mhb_ab
-let check_theorem_2_binary = check_sem ~binary:true ~theorem:2 ~relation:`Chb_ba
-let check_theorem_3 = check_evt ~theorem:3 ~relation:`Mhb_ab
-let check_theorem_4 = check_evt ~theorem:4 ~relation:`Chb_ba
+let check_theorem_1_binary ?stats f =
+  check_sem ?stats ~binary:true ~theorem:1 ~relation:`Mhb_ab f
 
-let check_all formula =
+let check_theorem_2_binary ?stats f =
+  check_sem ?stats ~binary:true ~theorem:2 ~relation:`Chb_ba f
+
+let check_theorem_3 ?stats f = check_evt ?stats ~theorem:3 ~relation:`Mhb_ab f
+let check_theorem_4 ?stats f = check_evt ?stats ~theorem:4 ~relation:`Chb_ba f
+
+let check_all ?stats formula =
   [
-    check_theorem_1 formula;
-    check_theorem_2 formula;
-    check_theorem_3 formula;
-    check_theorem_4 formula;
+    check_theorem_1 ?stats formula;
+    check_theorem_2 ?stats formula;
+    check_theorem_3 ?stats formula;
+    check_theorem_4 ?stats formula;
   ]
 
 let pp_check ppf c =

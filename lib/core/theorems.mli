@@ -23,17 +23,20 @@ type check = {
   n_events : int;  (** size of the constructed execution *)
 }
 
-val check_theorem_1 : Cnf.t -> check
-val check_theorem_2 : Cnf.t -> check
-val check_theorem_3 : Cnf.t -> check
-val check_theorem_4 : Cnf.t -> check
+val check_theorem_1 : ?stats:Telemetry.t -> Cnf.t -> check
+val check_theorem_2 : ?stats:Telemetry.t -> Cnf.t -> check
+val check_theorem_3 : ?stats:Telemetry.t -> Cnf.t -> check
+val check_theorem_4 : ?stats:Telemetry.t -> Cnf.t -> check
+(** [?stats] threads one {!Telemetry.t} through the exact-engine decision
+    (the DPLL side is not instrumented); several checks may share one
+    report and their counters accumulate. *)
 
-val check_theorem_1_binary : Cnf.t -> check
+val check_theorem_1_binary : ?stats:Telemetry.t -> Cnf.t -> check
 (** Theorem 1 with every semaphore declared binary — the paper's remark
     that the proofs do not use the counting ability of semaphores. *)
 
-val check_theorem_2_binary : Cnf.t -> check
+val check_theorem_2_binary : ?stats:Telemetry.t -> Cnf.t -> check
 
-val check_all : Cnf.t -> check list
+val check_all : ?stats:Telemetry.t -> Cnf.t -> check list
 
 val pp_check : Format.formatter -> check -> unit

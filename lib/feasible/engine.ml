@@ -8,28 +8,16 @@ let of_string s =
   | "packed" -> Some Packed
   | _ -> None
 
-(* Resolved lazily from EO_ENGINE so the CLI, bench and tests all see one
-   switch; [set] overrides (differential tests flip it back and forth). *)
+(* Resolved lazily from EO_ENGINE (via the shared Config parser) so the
+   CLI, bench and tests all see one switch; [set] overrides (differential
+   tests flip it back and forth). *)
 let selected = ref None
 
 let current () =
   match !selected with
   | Some e -> e
   | None ->
-      let e =
-        match Sys.getenv_opt "EO_ENGINE" with
-        | None -> Packed
-        | Some s -> (
-            match of_string s with
-            | Some e -> e
-            | None ->
-                Printf.eprintf
-                  "warning: unknown EO_ENGINE=%S (expected 'naive' or \
-                   'packed'); using packed\n\
-                   %!"
-                  s;
-                Packed)
-      in
+      let e = if Config.engine_is_packed () then Packed else Naive in
       selected := Some e;
       e
 

@@ -7,8 +7,9 @@
     (property-tested); only the cost differs.
 
     The choice is read from the [EO_ENGINE] environment variable
-    ([naive] / [packed]) on first use; {!set} overrides it.  Set it before
-    spawning worker domains — the switch itself is not synchronized. *)
+    ([naive] / [packed], parsed by {!Config.engine_is_packed}) on first
+    use; {!set} overrides it.  Set it before spawning worker domains —
+    the switch itself is not synchronized. *)
 
 type t = Naive | Packed
 

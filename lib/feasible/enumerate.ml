@@ -112,17 +112,26 @@ let undo st e token =
   | `None -> ()
 
 (* The seed search: scan all n events at every node.  Kept as the
-   EO_ENGINE=naive oracle for differential tests. *)
-let iter_naive_from st depth0 limit f =
+   EO_ENGINE=naive oracle for differential tests.  [stats] counters are
+   engine-relative: the naive scan pops all n candidates per node where
+   the packed one pops only frontier members. *)
+let iter_naive_from ~stats st depth0 limit f =
   let found = ref 0 in
   let rec go depth =
     if depth = st.n then begin
+      Counters.bump stats Counters.Enum_schedules;
       incr found;
       f st.schedule;
-      match limit with Some l when !found >= l -> raise Stop | _ -> ()
+      match limit with
+      | Some l when !found >= l ->
+          Counters.bump stats Counters.Limit_truncations;
+          raise Stop
+      | _ -> ()
     end
-    else
+    else begin
+      Counters.bump stats Counters.Enum_nodes;
       for e = 0 to st.n - 1 do
+        Counters.bump stats Counters.Enum_pops;
         if ready st e then begin
           let token = execute st e in
           st.schedule.(depth) <- e;
@@ -130,6 +139,7 @@ let iter_naive_from st depth0 limit f =
           undo st e token
         end
       done
+    end
   in
   (try go depth0 with Stop -> ());
   !found
@@ -139,18 +149,25 @@ let iter_naive_from st depth0 limit f =
    the point we ask for the next candidate the frontier is restored —
    resuming from [e + 1] visits exactly the events the naive scan visits,
    in the same order. *)
-let iter_packed_from st depth0 limit f =
+let iter_packed_from ~stats st depth0 limit f =
   let found = ref 0 in
   let rec go depth =
     if depth = st.n then begin
+      Counters.bump stats Counters.Enum_schedules;
       incr found;
       f st.schedule;
-      match limit with Some l when !found >= l -> raise Stop | _ -> ()
+      match limit with
+      | Some l when !found >= l ->
+          Counters.bump stats Counters.Limit_truncations;
+          raise Stop
+      | _ -> ()
     end
     else begin
+      Counters.bump stats Counters.Enum_nodes;
       let e = ref (Bitset.min_elt_from st.frontier 0) in
       while !e >= 0 do
         let ev = !e in
+        Counters.bump stats Counters.Enum_pops;
         if sync_enabled st ev then begin
           let token = execute st ev in
           st.schedule.(depth) <- ev;
@@ -164,13 +181,13 @@ let iter_packed_from st depth0 limit f =
   (try go depth0 with Stop -> ());
   !found
 
-let iter ?limit sk f =
+let iter ?limit ?(stats = Counters.null) sk f =
   let st = make_search sk in
   match Engine.current () with
-  | Engine.Naive -> iter_naive_from st 0 limit f
-  | Engine.Packed -> iter_packed_from st 0 limit f
+  | Engine.Naive -> iter_naive_from ~stats st 0 limit f
+  | Engine.Packed -> iter_packed_from ~stats st 0 limit f
 
-let count ?limit sk = iter ?limit sk (fun _ -> ())
+let count ?limit ?stats sk = iter ?limit ?stats sk (fun _ -> ())
 
 let all ?limit sk =
   let acc = ref [] in
@@ -210,21 +227,29 @@ let push_prefix st prefix =
       st.schedule.(i) <- e)
     prefix
 
-let iter_from ?limit sk ~prefix f =
+let iter_from ?limit ?(stats = Counters.null) sk ~prefix f =
   let st = make_search sk in
+  (* The replay is bookkeeping, not search work — it stays uncounted so
+     per-task counters sum to exactly the sequential totals. *)
   push_prefix st prefix;
-  iter_packed_from st (Array.length prefix) limit f
+  iter_packed_from ~stats st (Array.length prefix) limit f
 
-let feasible_prefixes sk ~depth =
+(* Interior nodes strictly above [depth] are counted here (when [stats]
+   is enabled); the nodes at [depth] itself belong to the subtree tasks
+   and are counted by [iter_from].  Together the split walk plus the
+   workers bump exactly the nodes the sequential search bumps. *)
+let feasible_prefixes ?(stats = Counters.null) sk ~depth =
   let st = make_search sk in
   if depth < 0 || depth > st.n then invalid_arg "Enumerate.feasible_prefixes";
   let acc = ref [] in
   let rec go d =
     if d = depth then acc := Array.sub st.schedule 0 depth :: !acc
     else begin
+      Counters.bump stats Counters.Enum_nodes;
       let e = ref (Bitset.min_elt_from st.frontier 0) in
       while !e >= 0 do
         let ev = !e in
+        Counters.bump stats Counters.Enum_pops;
         if sync_enabled st ev then begin
           let token = execute st ev in
           st.schedule.(d) <- ev;

@@ -16,12 +16,18 @@
 exception Stop
 (** Raise from an {!iter} callback to end enumeration early. *)
 
-val iter : ?limit:int -> Skeleton.t -> (int array -> unit) -> int
+val iter :
+  ?limit:int -> ?stats:Counters.t -> Skeleton.t -> (int array -> unit) -> int
 (** [iter ?limit sk f] calls [f] on every feasible complete schedule (the
     array is reused; copy to keep) and returns how many were visited.
-    Enumeration order is deterministic (lexicographic by event id). *)
+    Enumeration order is deterministic (lexicographic by event id).
 
-val count : ?limit:int -> Skeleton.t -> int
+    [?stats] (default {!Counters.null}, i.e. off) accumulates
+    [Enum_nodes] / [Enum_pops] / [Enum_schedules] / [Limit_truncations];
+    pop counts are engine-relative (the naive scan examines all [n]
+    candidates per node, the packed one only frontier members). *)
+
+val count : ?limit:int -> ?stats:Counters.t -> Skeleton.t -> int
 
 val all : ?limit:int -> Skeleton.t -> int array list
 
@@ -45,16 +51,29 @@ val exists_order : Skeleton.t -> before:int -> after:int -> bool
     enumeration (each complete schedule extends exactly one prefix), so
     per-task results merge deterministically. *)
 
-val feasible_prefixes : Skeleton.t -> depth:int -> int array list
+val feasible_prefixes :
+  ?stats:Counters.t -> Skeleton.t -> depth:int -> int array list
 (** All feasible schedule prefixes of exactly [depth] events, in
     lexicographic order.  [0 <= depth <= n]; prefixes that cannot be
-    completed are included (their subtrees are simply empty). *)
+    completed are included (their subtrees are simply empty).
 
-val iter_from : ?limit:int -> Skeleton.t -> prefix:int array -> (int array -> unit) -> int
+    With [?stats], counts the interior nodes strictly above [depth] —
+    the split walk's share of the search, complementing what the
+    subtree tasks count via {!iter_from} so parallel totals equal the
+    sequential ones. *)
+
+val iter_from :
+  ?limit:int ->
+  ?stats:Counters.t ->
+  Skeleton.t ->
+  prefix:int array ->
+  (int array -> unit) ->
+  int
 (** [iter_from sk ~prefix f] enumerates (with the packed search,
     irrespective of {!Engine}) the feasible complete schedules extending
     [prefix]; the array passed to [f] carries the prefix in place.  Raises
-    [Invalid_argument] if [prefix] is not feasible. *)
+    [Invalid_argument] if [prefix] is not feasible.  The prefix replay is
+    never counted in [?stats] — only search work below it. *)
 
 (** {2 Search internals}
 

@@ -4,47 +4,39 @@
    an atomic cursor and results are merged in task order, so the outcome
    never depends on which domain ran which task. *)
 
-let default_jobs =
-  let v =
-    lazy
-      (match Sys.getenv_opt "EO_JOBS" with
-      | None -> 1
-      | Some s -> (
-          match int_of_string_opt (String.trim s) with
-          | Some j when j >= 1 -> j
-          | Some _ | None ->
-              Printf.eprintf
-                "warning: ignoring malformed EO_JOBS=%S (expected a \
-                 positive integer); using 1\n\
-                 %!"
-                s;
-              1))
-  in
-  fun () -> Lazy.force v
+let default_jobs () = Config.jobs ()
 
-let map ~jobs f xs =
+let map ?telemetry ~jobs f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
     let jobs = max 1 (min jobs n) in
-    if jobs = 1 then Array.map f xs
+    (match telemetry with
+    | Some tel -> Telemetry.ensure_domains tel jobs
+    | None -> ());
+    if jobs = 1 then Telemetry.timed_domain telemetry 0 (fun () -> Array.map f xs)
     else begin
       let results = Array.make n None in
       let next = Atomic.make 0 in
       (* Each worker owns the result slots of the tasks it claims; no two
-         workers ever touch the same index, so plain writes suffice. *)
-      let worker () =
-        let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            results.(i) <- Some (f xs.(i));
-            loop ()
-          end
-        in
-        loop ()
+         workers ever touch the same index, so plain writes suffice.
+         Per-domain wall times land in distinct telemetry slots the same
+         way. *)
+      let worker k =
+        Telemetry.timed_domain telemetry k (fun () ->
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                results.(i) <- Some (f xs.(i));
+                loop ()
+              end
+            in
+            loop ())
       in
-      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
+      let domains =
+        Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+      in
+      worker 0;
       Array.iter Domain.join domains;
       Array.map
         (function Some r -> r | None -> assert false (* all claimed *))
@@ -72,36 +64,68 @@ let choose_split ~n ~jobs tasks_at =
       let ts = tasks_at !d in
       let k = List.length ts in
       if k >= target then begin
-        best := Some ts;
+        best := Some (!d, ts);
         stop := true
       end
       else begin
-        if k >= 2 then best := Some ts;
+        if k >= 2 then best := Some (!d, ts);
         incr d
       end
     done;
     !best
   end
 
-let split_prefixes sk ~jobs =
-  Option.map Array.of_list
-    (choose_split ~n:sk.Skeleton.n ~jobs (fun d ->
-         Enumerate.feasible_prefixes sk ~depth:d))
+(* Depth probing runs uncounted — the walks of the depths we reject are
+   not attributable to the result.  When counters are on, the chosen
+   depth is re-walked once with counting, so the split's share of nodes
+   plus the workers' equals the sequential search's exactly (that is the
+   jobs-invariance the QCheck suite locks).  The re-walk touches only the
+   shallow prefix tree, noise next to the full search below it. *)
+let split_with ~stats ~counted_walk ~n ~jobs tasks_at =
+  match choose_split ~n ~jobs tasks_at with
+  | None -> None
+  | Some (depth, tasks) ->
+      let tasks =
+        if Counters.enabled stats then
+          Counters.time stats Counters.T_split (fun () -> counted_walk depth)
+        else tasks
+      in
+      Counters.add stats Counters.Par_tasks (List.length tasks);
+      Some (depth, Array.of_list tasks)
 
-let split_por_tasks sk ~jobs =
-  Option.map Array.of_list
-    (choose_split ~n:sk.Skeleton.n ~jobs (fun d -> Por.tasks sk ~depth:d))
+let split_prefixes ?(stats = Counters.null) sk ~jobs =
+  split_with ~stats
+    ~counted_walk:(fun d -> Enumerate.feasible_prefixes ~stats sk ~depth:d)
+    ~n:sk.Skeleton.n ~jobs
+    (fun d -> Enumerate.feasible_prefixes sk ~depth:d)
 
-let count ?jobs sk =
+let split_por_tasks ?(stats = Counters.null) sk ~jobs =
+  split_with ~stats
+    ~counted_walk:(fun d -> Por.tasks ~stats sk ~depth:d)
+    ~n:sk.Skeleton.n ~jobs
+    (fun d -> Por.tasks sk ~depth:d)
+
+let count ?limit ?jobs ?(stats = Counters.null) sk =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs <= 1 then Enumerate.count sk
+  if jobs <= 1 || limit <> None then Enumerate.count ?limit ~stats sk
   else
-    match split_prefixes sk ~jobs with
-    | None -> Enumerate.count sk
-    | Some prefixes ->
-        let counts =
+    match split_prefixes ~stats sk ~jobs with
+    | None -> Enumerate.count ~stats sk
+    | Some (_depth, prefixes) ->
+        let results =
           map ~jobs
-            (fun prefix -> Enumerate.iter_from sk ~prefix (fun _ -> ()))
+            (fun prefix ->
+              let c =
+                if Counters.enabled stats then Counters.create ()
+                else Counters.null
+              in
+              let k = Enumerate.iter_from ~stats:c sk ~prefix (fun _ -> ()) in
+              (k, c))
             prefixes
         in
-        Array.fold_left ( + ) 0 counts
+        Array.iter
+          (fun (_, c) ->
+            Counters.bump stats Counters.Par_merges;
+            Counters.merge_into ~dst:stats c)
+          results;
+        Array.fold_left (fun acc (k, _) -> acc + k) 0 results

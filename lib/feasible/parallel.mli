@@ -10,33 +10,47 @@
     the outcome is bit-identical whatever the interleaving of domains, and
     identical to the sequential engine's.
 
+    Telemetry follows the same discipline: split-depth probing is never
+    counted, the chosen depth is re-walked once with counters on, and
+    per-worker counters merge in task order — so every search counter is
+    bit-identical across [jobs] too.  Only [Par_tasks] / [Par_merges],
+    the memo statistics and the wall-clock fields depend on [jobs].
+
     Tasks must not share mutable state: each worker builds its own search
     state / memo tables from the (immutable) skeleton.  Early-stopping
     queries ([?limit]) stay sequential — a cross-subtree cutoff is
     order-dependent by nature. *)
 
 val default_jobs : unit -> int
-(** Worker-domain count from the [EO_JOBS] environment variable (default
-    [1]; malformed values warn on stderr and fall back to [1]).  Read
-    once and cached. *)
+(** Worker-domain count from the [EO_JOBS] environment variable via
+    {!Config.jobs} (default [1]; malformed values warn on stderr and fall
+    back to [1]).  Read once and cached. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?telemetry:Telemetry.t -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] applies [f] to every element using up to [jobs]
     domains (the calling domain participates; [jobs <= 1] or a singleton
     array degrades to [Array.map]).  Results are returned in input order.
     [f] must be safe to run concurrently with itself on distinct
-    elements.  An exception in any task is re-raised. *)
+    elements.  An exception in any task is re-raised.  With
+    [?telemetry], each domain's wall-clock time is added to the report
+    (domain 0 is the caller). *)
 
-val split_prefixes : Skeleton.t -> jobs:int -> int array array option
+val split_prefixes :
+  ?stats:Counters.t -> Skeleton.t -> jobs:int -> (int * int array array) option
 (** Feasible prefixes at the chosen split depth — the shallowest depth
     (≤ 8) yielding at least [4 × jobs] tasks, falling back to the deepest
     depth with ≥ 2; [None] when the search tree never branches (caller
-    should stay sequential).  Feed each to {!Enumerate.iter_from}. *)
+    should stay sequential).  Returns the depth alongside the tasks;
+    feed each prefix to {!Enumerate.iter_from}.  With [?stats], the
+    chosen depth's walk is counted (probing is not) and [Par_tasks] is
+    added. *)
 
-val split_por_tasks : Skeleton.t -> jobs:int -> Por.task array option
+val split_por_tasks :
+  ?stats:Counters.t -> Skeleton.t -> jobs:int -> (int * Por.task array) option
 (** Same heuristic over the sleep-set tree ({!Por.tasks}); feed each to
     {!Por.iter_task}. *)
 
-val count : ?jobs:int -> Skeleton.t -> int
+val count : ?limit:int -> ?jobs:int -> ?stats:Counters.t -> Skeleton.t -> int
 (** Parallel {!Enumerate.count} (exact, deterministic).  [jobs] defaults
-    to {!default_jobs}. *)
+    to {!default_jobs}; [?limit] caps the count and (being
+    order-dependent) forces the sequential path, as everywhere else. *)

@@ -35,29 +35,44 @@ let independence sk =
 exception Stop
 
 (* The seed implementation: list-based sleep sets over the full ready
-   scan.  Kept as the EO_ENGINE=naive oracle. *)
-let iter_representatives_naive ?limit sk f =
+   scan.  Kept as the EO_ENGINE=naive oracle.  Pop counts are
+   engine-relative (all n candidates per node); sleep-prune counts are
+   not — both engines prune exactly the ready-but-asleep candidates, so
+   those match the packed search bit for bit. *)
+let iter_representatives_naive ?limit ~stats sk f =
   let st = Enumerate.make_search sk in
   let n = sk.Skeleton.n in
   let found = ref 0 in
   let rec go depth sleep =
     if depth = n then begin
+      Counters.bump stats Counters.Por_reps;
       incr found;
       f st.Enumerate.schedule;
-      match limit with Some l when !found >= l -> raise Stop | _ -> ()
+      match limit with
+      | Some l when !found >= l ->
+          Counters.bump stats Counters.Limit_truncations;
+          raise Stop
+      | _ -> ()
     end
     else begin
+      Counters.bump stats Counters.Por_nodes;
       let explored = ref [] in
       for e = 0 to n - 1 do
-        if Enumerate.ready st e && not (List.mem e sleep) then begin
-          let sleep' =
-            List.filter (fun u -> independent sk u e) (sleep @ !explored)
-          in
-          let token = Enumerate.execute st e in
-          st.Enumerate.schedule.(depth) <- e;
-          go (depth + 1) sleep';
-          Enumerate.undo st e token;
-          explored := e :: !explored
+        Counters.bump stats Counters.Por_pops;
+        if Enumerate.ready st e then begin
+          if List.mem e sleep then
+            Counters.bump stats Counters.Por_sleep_prunes
+          else begin
+            Counters.bump stats Counters.Por_indep_refinements;
+            let sleep' =
+              List.filter (fun u -> independent sk u e) (sleep @ !explored)
+            in
+            let token = Enumerate.execute st e in
+            st.Enumerate.schedule.(depth) <- e;
+            go (depth + 1) sleep';
+            Enumerate.undo st e token;
+            explored := e :: !explored
+          end
         end
       done
     end
@@ -86,33 +101,42 @@ let make_scratch sk =
 (* The packed recursion from [depth0].  Same visit order and same sleep
    semantics as the naive code: candidates ascend by event id, and the
    child's sleep set is (sleep ∪ explored) ∩ indep(e). *)
-let go_packed sc limit found f depth0 =
+let go_packed sc limit found ~stats f depth0 =
   let st = sc.st in
   let n = st.Enumerate.n in
   let rec go depth =
     if depth = n then begin
+      Counters.bump stats Counters.Por_reps;
       incr found;
       f st.Enumerate.schedule;
-      match limit with Some l when !found >= l -> raise Stop | _ -> ()
+      match limit with
+      | Some l when !found >= l ->
+          Counters.bump stats Counters.Limit_truncations;
+          raise Stop
+      | _ -> ()
     end
     else begin
+      Counters.bump stats Counters.Por_nodes;
       Bitset.clear sc.explored.(depth);
       let e = ref (Bitset.min_elt_from st.Enumerate.frontier 0) in
       while !e >= 0 do
         let ev = !e in
-        if
-          Enumerate.sync_enabled st ev
-          && not (Bitset.mem sc.sleep.(depth) ev)
-        then begin
-          let sleep' = sc.sleep.(depth + 1) in
-          Bitset.copy_into ~dst:sleep' sc.sleep.(depth);
-          Bitset.union_into sleep' sc.explored.(depth);
-          Bitset.inter_into sleep' (Rel.successors sc.indep ev);
-          let token = Enumerate.execute st ev in
-          st.Enumerate.schedule.(depth) <- ev;
-          go (depth + 1);
-          Enumerate.undo st ev token;
-          Bitset.add sc.explored.(depth) ev
+        Counters.bump stats Counters.Por_pops;
+        if Enumerate.sync_enabled st ev then begin
+          if Bitset.mem sc.sleep.(depth) ev then
+            Counters.bump stats Counters.Por_sleep_prunes
+          else begin
+            Counters.bump stats Counters.Por_indep_refinements;
+            let sleep' = sc.sleep.(depth + 1) in
+            Bitset.copy_into ~dst:sleep' sc.sleep.(depth);
+            Bitset.union_into sleep' sc.explored.(depth);
+            Bitset.inter_into sleep' (Rel.successors sc.indep ev);
+            let token = Enumerate.execute st ev in
+            st.Enumerate.schedule.(depth) <- ev;
+            go (depth + 1);
+            Enumerate.undo st ev token;
+            Bitset.add sc.explored.(depth) ev
+          end
         end;
         e := Bitset.min_elt_from st.Enumerate.frontier (ev + 1)
       done
@@ -120,18 +144,19 @@ let go_packed sc limit found f depth0 =
   in
   go depth0
 
-let iter_representatives_packed ?limit sk f =
+let iter_representatives_packed ?limit ~stats sk f =
   let sc = make_scratch sk in
   let found = ref 0 in
-  (try go_packed sc limit found f 0 with Stop -> ());
+  (try go_packed sc limit found ~stats f 0 with Stop -> ());
   !found
 
-let iter_representatives ?limit sk f =
+let iter_representatives ?limit ?(stats = Counters.null) sk f =
   match Engine.current () with
-  | Engine.Naive -> iter_representatives_naive ?limit sk f
-  | Engine.Packed -> iter_representatives_packed ?limit sk f
+  | Engine.Naive -> iter_representatives_naive ?limit ~stats sk f
+  | Engine.Packed -> iter_representatives_packed ?limit ~stats sk f
 
-let count_representatives ?limit sk = iter_representatives ?limit sk (fun _ -> ())
+let count_representatives ?limit ?stats sk =
+  iter_representatives ?limit ?stats sk (fun _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Subtree tasks for Parallel                                          *)
@@ -139,14 +164,16 @@ let count_representatives ?limit sk = iter_representatives ?limit sk (fun _ -> (
 
 type task = { prefix : int array; sleep : Bitset.t }
 
-let tasks sk ~depth =
+let tasks ?(stats = Counters.null) sk ~depth =
   let n = sk.Skeleton.n in
   if depth < 0 || depth >= n then invalid_arg "Por.tasks";
   let sc = make_scratch sk in
   let st = sc.st in
   let acc = ref [] in
   (* The packed recursion, truncated at [depth]: each tree node reached
-     there becomes one task carrying its prefix and sleep set. *)
+     there becomes one task carrying its prefix and sleep set.  As with
+     [Enumerate.feasible_prefixes], interior work strictly above [depth]
+     is counted here and the task nodes themselves by [iter_task]. *)
   let rec go d =
     if d = depth then
       acc :=
@@ -154,21 +181,27 @@ let tasks sk ~depth =
           sleep = Bitset.copy sc.sleep.(depth) }
         :: !acc
     else begin
+      Counters.bump stats Counters.Por_nodes;
       Bitset.clear sc.explored.(d);
       let e = ref (Bitset.min_elt_from st.Enumerate.frontier 0) in
       while !e >= 0 do
         let ev = !e in
-        if Enumerate.sync_enabled st ev && not (Bitset.mem sc.sleep.(d) ev)
-        then begin
-          let sleep' = sc.sleep.(d + 1) in
-          Bitset.copy_into ~dst:sleep' sc.sleep.(d);
-          Bitset.union_into sleep' sc.explored.(d);
-          Bitset.inter_into sleep' (Rel.successors sc.indep ev);
-          let token = Enumerate.execute st ev in
-          st.Enumerate.schedule.(d) <- ev;
-          go (d + 1);
-          Enumerate.undo st ev token;
-          Bitset.add sc.explored.(d) ev
+        Counters.bump stats Counters.Por_pops;
+        if Enumerate.sync_enabled st ev then begin
+          if Bitset.mem sc.sleep.(d) ev then
+            Counters.bump stats Counters.Por_sleep_prunes
+          else begin
+            Counters.bump stats Counters.Por_indep_refinements;
+            let sleep' = sc.sleep.(d + 1) in
+            Bitset.copy_into ~dst:sleep' sc.sleep.(d);
+            Bitset.union_into sleep' sc.explored.(d);
+            Bitset.inter_into sleep' (Rel.successors sc.indep ev);
+            let token = Enumerate.execute st ev in
+            st.Enumerate.schedule.(d) <- ev;
+            go (d + 1);
+            Enumerate.undo st ev token;
+            Bitset.add sc.explored.(d) ev
+          end
         end;
         e := Bitset.min_elt_from st.Enumerate.frontier (ev + 1)
       done
@@ -177,9 +210,10 @@ let tasks sk ~depth =
   go 0;
   List.rev !acc
 
-let iter_task sk { prefix; sleep } f =
+let iter_task ?(stats = Counters.null) sk { prefix; sleep } f =
   let sc = make_scratch sk in
   let st = sc.st in
+  (* Replay is uncounted, mirroring [Enumerate.iter_from]. *)
   Array.iteri
     (fun i e ->
       if not (Enumerate.ready st e) then
@@ -192,5 +226,5 @@ let iter_task sk { prefix; sleep } f =
   let depth = Array.length prefix in
   Bitset.copy_into ~dst:sc.sleep.(depth) sleep;
   let found = ref 0 in
-  (try go_packed sc None found f depth with Stop -> ());
+  (try go_packed sc None found ~stats f depth with Stop -> ());
   !found

@@ -23,12 +23,20 @@
     members of one class.  Property tests check that the set of pinned
     orders found equals full enumeration's on random programs. *)
 
-val iter_representatives : ?limit:int -> Skeleton.t -> (int array -> unit) -> int
+val iter_representatives :
+  ?limit:int -> ?stats:Counters.t -> Skeleton.t -> (int array -> unit) -> int
 (** [iter_representatives sk f] calls [f] on representative feasible
     schedules — at least one per commutation class — and returns how many
-    were visited.  The array is reused between calls. *)
+    were visited.  The array is reused between calls.
 
-val count_representatives : ?limit:int -> Skeleton.t -> int
+    [?stats] accumulates [Por_nodes] / [Por_pops] / [Por_sleep_prunes] /
+    [Por_indep_refinements] / [Por_reps] (plus [Limit_truncations]).
+    Pop counts are engine-relative; sleep-prune counts are identical
+    across engines — both prune exactly the ready-but-asleep
+    candidates. *)
+
+val count_representatives :
+  ?limit:int -> ?stats:Counters.t -> Skeleton.t -> int
 
 val independent : Skeleton.t -> int -> int -> bool
 (** The static independence relation used for commutation: different
@@ -50,13 +58,16 @@ val independence : Skeleton.t -> Rel.t
 
 type task = { prefix : int array; sleep : Bitset.t }
 
-val tasks : Skeleton.t -> depth:int -> task list
+val tasks : ?stats:Counters.t -> Skeleton.t -> depth:int -> task list
 (** All sleep-set tree nodes at exactly [depth], in visit order.  Their
     subtrees partition the representative schedules: summing
     {!iter_task} over all tasks equals [count_representatives] with no
-    representative visited twice.  Requires [0 <= depth < n]. *)
+    representative visited twice.  Requires [0 <= depth < n].  With
+    [?stats], counts the tree nodes strictly above [depth] — the split
+    walk's share, complementing {!iter_task}'s. *)
 
-val iter_task : Skeleton.t -> task -> (int array -> unit) -> int
+val iter_task :
+  ?stats:Counters.t -> Skeleton.t -> task -> (int array -> unit) -> int
 (** Enumerates (with the packed search, irrespective of {!Engine}) the
     representatives in one task's subtree; the array passed to [f]
     carries the prefix in place.  Safe to call from a worker domain with

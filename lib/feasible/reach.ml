@@ -43,6 +43,11 @@ type t = {
   scratch : int array;
   can_complete_memo : bool Wordtbl.t;
   count_memo : int Wordtbl.t;
+  stats : Counters.t;
+  mutable committed_probes : int;
+  mutable committed_resizes : int;
+      (* [stats_commit] folds memo-table probe/resize *deltas* into the
+         counters, so calling it more than once never double-counts *)
 }
 
 let key_length sk =
@@ -51,7 +56,7 @@ let key_length sk =
   + words_for (Array.length sk.Skeleton.ev_init)
   + Array.length sk.Skeleton.sem_init
 
-let create sk =
+let create ?(stats = Counters.null) sk =
   let n = sk.Skeleton.n in
   {
     sk;
@@ -63,7 +68,25 @@ let create sk =
     scratch = Array.make (key_length sk) 0;
     can_complete_memo = Wordtbl.create 1024;
     count_memo = Wordtbl.create 1024;
+    stats;
+    committed_probes = 0;
+    committed_resizes = 0;
   }
+
+let stats_commit t =
+  if Counters.enabled t.stats then begin
+    let probes =
+      Wordtbl.probes t.can_complete_memo + Wordtbl.probes t.count_memo
+    in
+    let resizes =
+      Wordtbl.resizes t.can_complete_memo + Wordtbl.resizes t.count_memo
+    in
+    Counters.add t.stats Counters.Reach_tbl_probes (probes - t.committed_probes);
+    Counters.add t.stats Counters.Reach_tbl_resizes
+      (resizes - t.committed_resizes);
+    t.committed_probes <- probes;
+    t.committed_resizes <- resizes
+  end
 
 let skeleton t = t.sk
 
@@ -164,8 +187,11 @@ let rec can_complete t state =
   if all_done state then true
   else
     match Wordtbl.find_opt t.can_complete_memo (pack t state) with
-    | Some r -> r
+    | Some r ->
+        Counters.bump t.stats Counters.Reach_memo_hits;
+        r
     | None ->
+        Counters.bump t.stats Counters.Reach_memo_misses;
         (* The scratch key dies in the recursion below; copy it first. *)
         let k = Array.copy t.scratch in
         let r =
@@ -188,8 +214,11 @@ let rec count_from t state =
   if all_done state then 1
   else
     match Wordtbl.find_opt t.count_memo (pack t state) with
-    | Some r -> r
+    | Some r ->
+        Counters.bump t.stats Counters.Reach_memo_hits;
+        r
     | None ->
+        Counters.bump t.stats Counters.Reach_memo_misses;
         let k = Array.copy t.scratch in
         let r =
           List.fold_left
@@ -239,6 +268,7 @@ let deadlock_witness t =
   Option.map Array.of_list (go (initial_state t) [])
 
 let exists_before t a b =
+  Counters.bump t.stats Counters.Reach_queries;
   if a = b then false
   else begin
     let seen = Wordtbl.create 1024 in
@@ -276,6 +306,7 @@ let complete_from t state acc =
   go state acc
 
 let witness_before t a b =
+  Counters.bump t.stats Counters.Reach_queries;
   if a = b then None
   else begin
     let seen = Wordtbl.create 1024 in
@@ -296,6 +327,7 @@ let witness_before t a b =
   end
 
 let exists_race t a b =
+  Counters.bump t.stats Counters.Reach_queries;
   a <> b
   &&
   let found = ref false in

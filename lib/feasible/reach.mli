@@ -17,8 +17,20 @@
 
 type t
 
-val create : Skeleton.t -> t
-(** Builds an engine; all queries share one memo table per query kind. *)
+val create : ?stats:Counters.t -> Skeleton.t -> t
+(** Builds an engine; all queries share one memo table per query kind.
+
+    [?stats] accumulates [Reach_memo_hits] / [Reach_memo_misses] as
+    queries run, and [Reach_queries] per {!exists_before} /
+    {!witness_before} / {!exists_race} call.  Memo statistics depend on
+    query order and on how work was split across engines, so unlike the
+    search counters they are {e not} invariant across [jobs]. *)
+
+val stats_commit : t -> unit
+(** Folds the engine's memo-table probe/resize totals ({!Wordtbl.probes})
+    into [Reach_tbl_probes] / [Reach_tbl_resizes].  Deltas only —
+    idempotent between queries, so callers may commit whenever a report
+    is about to be read. *)
 
 val skeleton : t -> Skeleton.t
 

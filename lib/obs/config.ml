@@ -1,0 +1,63 @@
+let lookup ~var ~expected ~default_text ~parse ~default =
+  match Sys.getenv_opt var with
+  | None | Some "" -> default
+  | Some s -> (
+      match parse s with
+      | Some v -> v
+      | None ->
+          Printf.eprintf
+            "warning: ignoring malformed %s=%S (expected %s); using %s\n%!"
+            var s expected default_text;
+          default)
+
+let resolve ~cli ~env = match cli with Some v -> v | None -> env ()
+
+let jobs_memo = ref None
+
+let jobs () =
+  match !jobs_memo with
+  | Some j -> j
+  | None ->
+      let j =
+        lookup ~var:"EO_JOBS" ~expected:"a positive integer" ~default_text:"1"
+          ~parse:(fun s ->
+            match int_of_string_opt (String.trim s) with
+            | Some j when j >= 1 -> Some j
+            | _ -> None)
+          ~default:1
+      in
+      jobs_memo := Some j;
+      j
+
+let engine_memo = ref None
+
+let engine_is_packed () =
+  match !engine_memo with
+  | Some p -> p
+  | None ->
+      let p =
+        lookup ~var:"EO_ENGINE" ~expected:"'naive' or 'packed'"
+          ~default_text:"packed"
+          ~parse:(fun s ->
+            match String.lowercase_ascii (String.trim s) with
+            | "naive" -> Some false
+            | "packed" -> Some true
+            | _ -> None)
+          ~default:true
+      in
+      engine_memo := Some p;
+      p
+
+let bench_budget ~default =
+  lookup ~var:"EO_BENCH_BUDGET" ~expected:"a positive number of seconds"
+    ~default_text:(Printf.sprintf "%g" default)
+    ~parse:(fun s ->
+      match float_of_string_opt (String.trim s) with
+      | Some b when b > 0. && Float.is_finite b -> Some b
+      | _ -> None)
+    ~default
+
+let bench_quick () =
+  match Sys.getenv_opt "EO_BENCH_QUICK" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true

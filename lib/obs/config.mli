@@ -1,0 +1,45 @@
+(** Single home for the repository's runtime configuration knobs.
+
+    Every knob obeys one precedence rule, documented once here and
+    relied on everywhere: {b CLI flag > environment variable > default}.
+    The CLI resolves an explicit flag itself and only consults this
+    module when the flag is absent ([resolve]); libraries that have no
+    CLI (bench, tests) read the environment accessors directly.
+
+    Malformed environment values never abort: they produce exactly one
+    [stderr] warning of the form
+
+    {v warning: ignoring malformed VAR="value" (expected ...); using default v}
+
+    and fall back to the default — the same contract for every variable
+    (previously each parser had its own ad-hoc message). *)
+
+val lookup :
+  var:string ->
+  expected:string ->
+  default_text:string ->
+  parse:(string -> 'a option) ->
+  default:'a ->
+  'a
+(** One uncached environment read with the uniform warning.  [expected]
+    and [default_text] fill the warning template above. *)
+
+val resolve : cli:'a option -> env:(unit -> 'a) -> 'a
+(** The precedence rule as code: [Some flag] wins, otherwise the
+    (environment-backed) thunk decides. *)
+
+val jobs : unit -> int
+(** [EO_JOBS] — worker domain count, default [1].  Cached after the
+    first read so the warning prints at most once per process. *)
+
+val engine_is_packed : unit -> bool
+(** [EO_ENGINE] — [true] unless the variable says ["naive"].  Cached.
+    (The typed accessor lives in [Engine.current]; this low-level view
+    exists so [eo_feasible] needs no inverted dependency.) *)
+
+val bench_budget : default:float -> float
+(** [EO_BENCH_BUDGET] — bench time budget in seconds. *)
+
+val bench_quick : unit -> bool
+(** [EO_BENCH_QUICK] — set, non-empty and not ["0"] ⇒ quick bench
+    subset. *)

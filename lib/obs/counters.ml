@@ -1,0 +1,134 @@
+type key =
+  | Enum_nodes
+  | Enum_pops
+  | Enum_schedules
+  | Limit_truncations
+  | Por_nodes
+  | Por_pops
+  | Por_sleep_prunes
+  | Por_indep_refinements
+  | Por_reps
+  | Classes
+  | Reach_queries
+  | Reach_memo_hits
+  | Reach_memo_misses
+  | Reach_tbl_probes
+  | Reach_tbl_resizes
+  | Par_tasks
+  | Par_merges
+
+let index = function
+  | Enum_nodes -> 0
+  | Enum_pops -> 1
+  | Enum_schedules -> 2
+  | Limit_truncations -> 3
+  | Por_nodes -> 4
+  | Por_pops -> 5
+  | Por_sleep_prunes -> 6
+  | Por_indep_refinements -> 7
+  | Por_reps -> 8
+  | Classes -> 9
+  | Reach_queries -> 10
+  | Reach_memo_hits -> 11
+  | Reach_memo_misses -> 12
+  | Reach_tbl_probes -> 13
+  | Reach_tbl_resizes -> 14
+  | Par_tasks -> 15
+  | Par_merges -> 16
+
+let n_keys = 17
+
+let all_keys =
+  [ Enum_nodes; Enum_pops; Enum_schedules; Limit_truncations;
+    Por_nodes; Por_pops; Por_sleep_prunes; Por_indep_refinements;
+    Por_reps; Classes;
+    Reach_queries; Reach_memo_hits; Reach_memo_misses;
+    Reach_tbl_probes; Reach_tbl_resizes;
+    Par_tasks; Par_merges ]
+
+let key_name = function
+  | Enum_nodes -> "enum_nodes"
+  | Enum_pops -> "enum_frontier_pops"
+  | Enum_schedules -> "enum_schedules"
+  | Limit_truncations -> "limit_truncations"
+  | Por_nodes -> "por_nodes"
+  | Por_pops -> "por_frontier_pops"
+  | Por_sleep_prunes -> "por_sleep_prunes"
+  | Por_indep_refinements -> "por_indep_refinements"
+  | Por_reps -> "por_representatives"
+  | Classes -> "distinct_classes"
+  | Reach_queries -> "reach_queries"
+  | Reach_memo_hits -> "reach_memo_hits"
+  | Reach_memo_misses -> "reach_memo_misses"
+  | Reach_tbl_probes -> "reach_tbl_probes"
+  | Reach_tbl_resizes -> "reach_tbl_resizes"
+  | Par_tasks -> "par_tasks_spawned"
+  | Par_merges -> "par_merges"
+
+type timer = T_total | T_split | T_enumerate | T_before | T_count
+
+let timer_index = function
+  | T_total -> 0
+  | T_split -> 1
+  | T_enumerate -> 2
+  | T_before -> 3
+  | T_count -> 4
+
+let n_timers = 5
+
+let all_timers = [ T_total; T_split; T_enumerate; T_before; T_count ]
+
+let timer_name = function
+  | T_total -> "total"
+  | T_split -> "split"
+  | T_enumerate -> "enumerate"
+  | T_before -> "happened_before"
+  | T_count -> "schedule_count"
+
+type t = { on : bool; counts : int array; times : float array }
+
+let null = { on = false; counts = [||]; times = [||] }
+
+let create () =
+  { on = true; counts = Array.make n_keys 0; times = Array.make n_timers 0. }
+
+let enabled t = t.on
+
+let bump t k =
+  if t.on then begin
+    let i = index k in
+    Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + 1)
+  end
+
+let add t k n =
+  if t.on then begin
+    let i = index k in
+    Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + n)
+  end
+
+let set t k v = if t.on then t.counts.(index k) <- v
+let get t k = if t.on then t.counts.(index k) else 0
+
+let add_time t tk s = if t.on then begin
+    let i = timer_index tk in
+    t.times.(i) <- t.times.(i) +. s
+  end
+
+let get_time t tk = if t.on then t.times.(timer_index tk) else 0.
+
+let time t tk f =
+  if not t.on then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> add_time t tk (Unix.gettimeofday () -. t0)) f
+  end
+
+let merge_into ~dst src =
+  if dst.on && src.on then begin
+    for i = 0 to n_keys - 1 do
+      dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+    done;
+    for i = 0 to n_timers - 1 do
+      dst.times.(i) <- dst.times.(i) +. src.times.(i)
+    done
+  end

@@ -1,0 +1,78 @@
+(** Monotonic engine counters and wall-clock timers.
+
+    A [Counters.t] is either *off* ([null]) or *on* ([create ()]).  Every
+    engine entry point takes [?stats] defaulting to [null]; when off,
+    [bump]/[add]/[set]/[time] reduce to a single load-and-branch, so
+    instrumented hot loops cost nothing in ordinary runs.
+
+    Counter semantics are chosen so that totals are *schedule-attributable*:
+    an event is counted exactly once per piece of search work that
+    contributes to the final result, never during prefix replays or split
+    probing.  Consequently every count except the explicitly
+    parallelism-dependent ones ([Par_tasks], [Par_merges]) and the memo
+    statistics is bit-identical across [jobs] settings — the property the
+    [test_stats] QCheck suite enforces. *)
+
+type key =
+  | Enum_nodes          (** interior search nodes expanded by [Enumerate] *)
+  | Enum_pops           (** frontier candidates popped/examined *)
+  | Enum_schedules      (** complete feasible schedules produced *)
+  | Limit_truncations   (** searches cut short by a [?limit] *)
+  | Por_nodes           (** interior nodes expanded by the sleep-set search *)
+  | Por_pops            (** POR frontier candidates examined *)
+  | Por_sleep_prunes    (** candidates pruned because they were asleep *)
+  | Por_indep_refinements
+                        (** sleep-set refinements via the independence matrix *)
+  | Por_reps            (** representative schedules emitted *)
+  | Classes             (** distinct commutation classes in the result *)
+  | Reach_queries       (** top-level reachability queries answered *)
+  | Reach_memo_hits     (** memo-table hits inside [Reach] *)
+  | Reach_memo_misses   (** memo-table misses (first visits) *)
+  | Reach_tbl_probes    (** [Wordtbl] slot probes by the memo tables *)
+  | Reach_tbl_resizes   (** [Wordtbl] growths by the memo tables *)
+  | Par_tasks           (** subtree tasks spawned by [Parallel] splitting *)
+  | Par_merges          (** per-task accumulators merged, in task order *)
+
+type timer =
+  | T_total       (** whole analysis *)
+  | T_split       (** choosing + materialising the parallel split *)
+  | T_enumerate   (** schedule enumeration / POR representative walk *)
+  | T_before      (** happened-before matrix fill *)
+  | T_count       (** schedule-count dynamic program *)
+
+val all_keys : key list
+val all_timers : timer list
+
+val key_name : key -> string
+(** Stable snake_case name, used verbatim in JSON reports. *)
+
+val timer_name : timer -> string
+
+type t
+
+val null : t
+(** The shared disabled instance.  Never mutated, so it is safe to pass to
+    concurrently running worker domains. *)
+
+val create : unit -> t
+(** A fresh enabled instance with all counters and timers at zero. *)
+
+val enabled : t -> bool
+
+val bump : t -> key -> unit
+val add : t -> key -> int -> unit
+val set : t -> key -> int -> unit
+val get : t -> key -> int
+(** [get null _] is [0]. *)
+
+val time : t -> timer -> (unit -> 'a) -> 'a
+(** Runs the thunk, adding its wall-clock duration ([Unix.gettimeofday])
+    to the timer.  When disabled, calls the thunk directly. *)
+
+val add_time : t -> timer -> float -> unit
+val get_time : t -> timer -> float
+
+val merge_into : dst:t -> t -> unit
+(** Sums every counter and timer of the source into [dst].  No-op when
+    either side is disabled.  Used to fold per-worker counters back into
+    the main instance, in deterministic task order. *)

@@ -1,0 +1,23 @@
+(** Minimal JSON construction — this repo deliberately has no JSON
+    dependency, so the machine-readable CLI/bench surface is built from
+    these combinators.  Output is deterministic: fields print in the
+    order given, floats with ["%.6f"]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering with a trailing newline — the format
+    the cram tests lock. *)
+
+val escape : string -> string
+(** JSON string-escape the argument (without surrounding quotes). *)

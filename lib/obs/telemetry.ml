@@ -1,0 +1,98 @@
+type t = {
+  c : Counters.t;
+  mutable engine : string;
+  mutable jobs : int;
+  mutable split_depth : int;
+  mutable task_schedules : int array;
+  mutable wall : float array;
+}
+
+let create () =
+  { c = Counters.create ();
+    engine = "";
+    jobs = 1;
+    split_depth = -1;
+    task_schedules = [||];
+    wall = [||] }
+
+let counters t = t.c
+
+let set_run t ~engine ~jobs =
+  t.engine <- engine;
+  t.jobs <- jobs
+
+let set_split_depth t d = t.split_depth <- d
+let set_task_schedules t a = t.task_schedules <- a
+
+let engine t = t.engine
+let jobs t = t.jobs
+let split_depth t = t.split_depth
+let task_schedules t = t.task_schedules
+let domain_wall_s t = t.wall
+
+let ensure_domains t n =
+  if Array.length t.wall < n then begin
+    let w = Array.make n 0. in
+    Array.blit t.wall 0 w 0 (Array.length t.wall);
+    t.wall <- w
+  end
+
+let note_domain_wall t i s = t.wall.(i) <- t.wall.(i) +. s
+
+let timed_domain t i f =
+  match t with
+  | None -> f ()
+  | Some t ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () -> note_domain_wall t i (Unix.gettimeofday () -. t0))
+        f
+
+let to_json t =
+  let open Jsonout in
+  Obj
+    [ ("engine", Str t.engine);
+      ("jobs", Int t.jobs);
+      ("counters",
+       Obj
+         (List.map
+            (fun k -> (Counters.key_name k, Int (Counters.get t.c k)))
+            Counters.all_keys));
+      ("timers_s",
+       Obj
+         (List.map
+            (fun tk -> (Counters.timer_name tk, Float (Counters.get_time t.c tk)))
+            Counters.all_timers));
+      ("parallel",
+       Obj
+         [ ("split_depth", Int t.split_depth);
+           ("task_schedules",
+            List (Array.to_list (Array.map (fun n -> Int n) t.task_schedules)));
+           ("domain_wall_s",
+            List (Array.to_list (Array.map (fun s -> Float s) t.wall))) ]) ]
+
+let pp fmt t =
+  Format.fprintf fmt "telemetry (engine=%s, jobs=%d):@\n" t.engine t.jobs;
+  List.iter
+    (fun k ->
+      Format.fprintf fmt "  %-24s %d@\n" (Counters.key_name k)
+        (Counters.get t.c k))
+    Counters.all_keys;
+  Format.fprintf fmt "  timers (s):";
+  List.iter
+    (fun tk ->
+      Format.fprintf fmt " %s=%.6f" (Counters.timer_name tk)
+        (Counters.get_time t.c tk))
+    Counters.all_timers;
+  Format.fprintf fmt "@\n";
+  if t.split_depth >= 0 then begin
+    Format.fprintf fmt "  split: depth=%d tasks=[" t.split_depth;
+    Array.iteri
+      (fun i n -> Format.fprintf fmt "%s%d" (if i > 0 then " " else "") n)
+      t.task_schedules;
+    Format.fprintf fmt "] domain_wall_s=[";
+    Array.iteri
+      (fun i s -> Format.fprintf fmt "%s%.6f" (if i > 0 then " " else "") s)
+      t.wall;
+    Format.fprintf fmt "]@\n"
+  end

@@ -1,0 +1,47 @@
+(** A complete observability report for one analysis run: the counters
+    plus run metadata — which engine ran, how many worker domains, where
+    the parallel split happened, per-task subtree sizes (in task/merge
+    order) and per-domain wall-clock times.
+
+    Only [counters] (minus the memo statistics) is invariant across
+    [jobs]; the split/task/wall fields describe the parallel execution
+    itself and necessarily vary — JSON consumers comparing runs should
+    compare the ["counters"] object. *)
+
+type t
+
+val create : unit -> t
+
+val counters : t -> Counters.t
+(** The enabled counter instance engines write into. *)
+
+val set_run : t -> engine:string -> jobs:int -> unit
+val set_split_depth : t -> int -> unit
+(** [-1] (the initial value) means the run was sequential. *)
+
+val set_task_schedules : t -> int array -> unit
+(** Per-task result sizes, in deterministic task (merge) order. *)
+
+val engine : t -> string
+val jobs : t -> int
+val split_depth : t -> int
+val task_schedules : t -> int array
+val domain_wall_s : t -> float array
+
+val ensure_domains : t -> int -> unit
+(** Pre-size the per-domain wall-time array to [jobs] entries before
+    spawning workers, so concurrent [note_domain_wall] writes hit
+    disjoint slots of a fixed array. *)
+
+val note_domain_wall : t -> int -> float -> unit
+(** [note_domain_wall t i s] adds [s] seconds to domain [i]'s wall time
+    (domain 0 is the calling domain). *)
+
+val timed_domain : t option -> int -> (unit -> 'a) -> 'a
+(** Runs the thunk, attributing its wall-clock time to domain [i] when a
+    report is present ([None] runs it bare) — the hook {!Parallel.map}
+    wraps each worker in. *)
+
+val to_json : t -> Jsonout.t
+val pp : Format.formatter -> t -> unit
+(** Human-readable table used by [--stats] with [--format text]. *)

@@ -40,30 +40,62 @@ let skeleton_without_pair x e1 e2 =
   Rel.remove dependences e2 e1;
   Skeleton.of_execution { x with Execution.dependences }
 
-let is_feasible_race x e1 e2 =
-  Reach.exists_race (Reach.create (skeleton_without_pair x e1 e2)) e1 e2
+(* One candidate pair.  Without a [limit] the memoized state engine
+   decides it; with one, the reference path — capped schedule enumeration
+   plus pinned-order incomparability — runs instead (the uniform [?limit]
+   semantics: capped enumeration, sound under-reporting). *)
+let is_feasible_race ?limit ?(stats = Counters.null) x e1 e2 =
+  let sk = skeleton_without_pair x e1 e2 in
+  match limit with
+  | None ->
+      let reach = Reach.create ~stats sk in
+      let v = Reach.exists_race reach e1 e2 in
+      Reach.stats_commit reach;
+      v
+  | Some _ ->
+      let found = ref false in
+      let (_ : int) =
+        Enumerate.iter ?limit ~stats sk (fun schedule ->
+            let po = Pinned.po_of_schedule sk schedule in
+            if (not (Rel.mem po e1 e2)) && not (Rel.mem po e2 e1) then begin
+              found := true;
+              raise Enumerate.Stop
+            end)
+      in
+      !found
 
 let race_witness x e1 e2 =
   Reach.race_witness (Reach.create (skeleton_without_pair x e1 e2)) e1 e2
 
-let is_feasible_race_enumerated ?limit x e1 e2 =
-  let sk = skeleton_without_pair x e1 e2 in
-  let found = ref false in
-  let (_ : int) =
-    Enumerate.iter ?limit sk (fun schedule ->
-        let po = Pinned.po_of_schedule sk schedule in
-        if (not (Rel.mem po e1 e2)) && not (Rel.mem po e2 e1) then begin
-          found := true;
-          raise Enumerate.Stop
-        end)
+let feasible_races ?limit ?(jobs = 1) ?stats x =
+  let c =
+    match stats with
+    | None -> Counters.null
+    | Some tel ->
+        Telemetry.set_run tel
+          ~engine:(Engine.to_string (Engine.current ()))
+          ~jobs;
+        Telemetry.counters tel
   in
-  !found
+  Counters.time c Counters.T_total @@ fun () ->
+  let candidates = Array.of_list (conflicting_pairs x) in
+  (* Each candidate decision builds its own engines from scratch, so the
+     per-pair work is independent whatever [jobs] is — worker counters
+     merge in candidate order and every counter (memo statistics
+     included) is identical to the sequential run's. *)
+  let verdicts =
+    Parallel.map ?telemetry:stats ~jobs
+      (fun r ->
+        let wc = if Counters.enabled c then Counters.create () else Counters.null in
+        let v = is_feasible_race ?limit ~stats:wc x r.e1 r.e2 in
+        (v, wc))
+      candidates
+  in
+  Array.iter (fun (_, wc) -> Counters.merge_into ~dst:c wc) verdicts;
+  List.filteri (fun i _ -> fst verdicts.(i)) (Array.to_list candidates)
 
-let feasible_races x =
-  List.filter (fun r -> is_feasible_race x r.e1 r.e2) (conflicting_pairs x)
-
-let first_races x =
-  let races = feasible_races x in
+let first_races ?limit ?jobs ?stats x =
+  let races = feasible_races ?limit ?jobs ?stats x in
   let vc = Vclock.of_execution x in
   let precedes r1 r2 =
     Vclock.hb vc r1.e1 r2.e1 && Vclock.hb vc r1.e1 r2.e2

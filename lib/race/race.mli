@@ -29,15 +29,28 @@ val conflicting_pairs : Execution.t -> race list
 val apparent_races : Execution.t -> race list
 (** Candidates unordered under the observed vector-clock happened-before. *)
 
-val feasible_races : Execution.t -> race list
+val feasible_races :
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Execution.t -> race list
 (** Candidates that can race: some reachable context runs the pair
     back-to-back in both orders, with the pair's own dependence edges
     dropped from the feasibility constraints.  Decided by the memoized
     state engine ({!Reach.exists_race}) — still exponential in the worst
-    case, as the paper's conclusion demands. *)
+    case, as the paper's conclusion demands.
 
-val is_feasible_race : Execution.t -> int -> int -> bool
-(** Decide a single candidate pair (state engine). *)
+    The optional arguments carry the uniform semantics: [?limit] decides
+    each pair by capped schedule enumeration instead (sound
+    under-reporting); [?jobs] (default [1]) fans the independent per-pair
+    decisions out over worker domains, results merged in candidate order
+    — bit-identical to sequential, counters included, since every pair
+    builds its own engines; [?stats] populates a {!Telemetry.t}. *)
+
+val is_feasible_race :
+  ?limit:int -> ?stats:Counters.t -> Execution.t -> int -> int -> bool
+(** Decide a single candidate pair.  Default: the state engine
+    ({!Reach.exists_race}).  With [?limit]: the enumeration reference
+    path — at most [limit] schedules, testing pinned-order
+    incomparability — which can only under-report; the differential
+    tests cross-validate the two. *)
 
 val race_witness : Execution.t -> int -> int -> (int array * int array) option
 (** Two feasible schedules sharing a prefix and running the pair in
@@ -45,13 +58,8 @@ val race_witness : Execution.t -> int -> int -> (int array * int array) option
     interleavings to show in a race report.  [Some _] exactly when
     {!is_feasible_race}. *)
 
-val is_feasible_race_enumerated : ?limit:int -> Execution.t -> int -> int -> bool
-(** Reference implementation by schedule enumeration and pinned-order
-    incomparability.  [limit] caps the enumeration (a capped run can only
-    under-report).  Used to cross-validate {!is_feasible_race} on small
-    executions. *)
-
-val first_races : Execution.t -> race list
+val first_races :
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Execution.t -> race list
 (** The {e first} feasible races: those not preceded by another feasible
     race.  Race [r1] precedes [r2] when both of [r1]'s events happen before
     both of [r2]'s in the observed execution's happened-before order; a

@@ -12,15 +12,19 @@ type 'a t = {
   seed : int;
   mutable slots : 'a slot array;  (* length is a power of two *)
   mutable count : int;
+  mutable probes : int;  (* slot inspections, including during resize *)
+  mutable resizes : int;
 }
 
 let default_seed = 0x2A65_3F91
 
 let create ?(seed = default_seed) capacity_hint =
   let rec pow2 c = if c >= capacity_hint && c >= 16 then c else pow2 (c * 2) in
-  { seed; slots = Array.make (pow2 16) Empty; count = 0 }
+  { seed; slots = Array.make (pow2 16) Empty; count = 0; probes = 0; resizes = 0 }
 
 let length t = t.count
+let probes t = t.probes
+let resizes t = t.resizes
 
 (* Seeded word-mixing hash (splitmix-style finalizer per word). *)
 let hash seed (key : int array) =
@@ -40,10 +44,13 @@ let key_equal (a : int array) (b : int array) =
   let rec go i = i >= la || (a.(i) = b.(i) && go (i + 1)) in
   go 0
 
-(* Linear probing; the table never fills past half capacity. *)
-let find_slot slots h key =
+(* Linear probing; the table never fills past half capacity.  [t] is
+   threaded only to charge each slot inspection to the table's probe
+   counter. *)
+let find_slot t slots h key =
   let mask = Array.length slots - 1 in
   let rec probe i =
+    t.probes <- t.probes + 1;
     let i = i land mask in
     match slots.(i) with
     | Empty -> i
@@ -53,28 +60,29 @@ let find_slot slots h key =
   probe h
 
 let resize t =
+  t.resizes <- t.resizes + 1;
   let old = t.slots in
   let slots = Array.make (2 * Array.length old) Empty in
   Array.iter
     (function
       | Empty -> ()
-      | Slot s as slot -> slots.(find_slot slots s.hash s.key) <- slot)
+      | Slot s as slot -> slots.(find_slot t slots s.hash s.key) <- slot)
     old;
   t.slots <- slots
 
 let find_opt t key =
-  match t.slots.(find_slot t.slots (hash t.seed key) key) with
+  match t.slots.(find_slot t t.slots (hash t.seed key) key) with
   | Empty -> None
   | Slot s -> Some s.v
 
 let mem t key =
-  match t.slots.(find_slot t.slots (hash t.seed key) key) with
+  match t.slots.(find_slot t t.slots (hash t.seed key) key) with
   | Empty -> false
   | Slot _ -> true
 
 let add t key v =
   let h = hash t.seed key in
-  let i = find_slot t.slots h key in
+  let i = find_slot t t.slots h key in
   match t.slots.(i) with
   | Slot s -> s.v <- v
   | Empty ->

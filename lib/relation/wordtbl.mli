@@ -16,6 +16,14 @@ val create : ?seed:int -> int -> 'a t
 
 val length : 'a t -> int
 
+val probes : 'a t -> int
+(** Cumulative slot inspections over the table's lifetime (linear-probe
+    steps, including rehash work during growth) — the telemetry layer
+    reads this to attribute memo-table cost. *)
+
+val resizes : 'a t -> int
+(** How many times the table doubled. *)
+
 val find_opt : 'a t -> int array -> 'a option
 (** The key may be a scratch buffer; it is read, never retained. *)
 

@@ -1,0 +1,226 @@
+The machine-readable surface: --format json emits one object per run with
+a "schema" field naming its layout, and --stats embeds the telemetry
+report.  Wall-clock fields are the only nondeterminism, so the floats are
+normalized to "T" and everything else is locked exactly.
+
+  $ eventorder analyze --stats --format json pipeline.eo | sed -E 's/[0-9]+\.[0-9]+/T/g'
+  {
+    "schema": "eventorder.analyze/1",
+    "events": 5,
+    "labels": ["x := 1","z := 42","V(s)","P(s)","y := x"],
+    "engine": "packed",
+    "jobs": 1,
+    "reduced": false,
+    "feasible_schedules": 5,
+    "truncated": false,
+    "distinct_classes": 1,
+    "width": 2,
+    "relations": {
+      "mhb": [
+        [0,2],
+        [0,3],
+        [0,4],
+        [2,3],
+        [2,4],
+        [3,4]
+      ],
+      "chb": [
+        [0,1],
+        [0,2],
+        [0,3],
+        [0,4],
+        [1,0],
+        [1,2],
+        [1,3],
+        [1,4],
+        [2,1],
+        [2,3],
+        [2,4],
+        [3,1],
+        [3,4],
+        [4,1]
+      ],
+      "mcw": [
+        [0,1],
+        [1,0],
+        [1,2],
+        [1,3],
+        [1,4],
+        [2,1],
+        [3,1],
+        [4,1]
+      ],
+      "ccw": [
+        [0,1],
+        [1,0],
+        [1,2],
+        [1,3],
+        [1,4],
+        [2,1],
+        [3,1],
+        [4,1]
+      ],
+      "mow": [
+        [0,2],
+        [0,3],
+        [0,4],
+        [2,0],
+        [2,3],
+        [2,4],
+        [3,0],
+        [3,2],
+        [3,4],
+        [4,0],
+        [4,2],
+        [4,3]
+      ],
+      "cow": [
+        [0,2],
+        [0,3],
+        [0,4],
+        [2,0],
+        [2,3],
+        [2,4],
+        [3,0],
+        [3,2],
+        [3,4],
+        [4,0],
+        [4,2],
+        [4,3]
+      ]
+    },
+    "stats": {
+      "engine": "packed",
+      "jobs": 1,
+      "counters": {
+        "enum_nodes": 15,
+        "enum_frontier_pops": 24,
+        "enum_schedules": 5,
+        "limit_truncations": 0,
+        "por_nodes": 0,
+        "por_frontier_pops": 0,
+        "por_sleep_prunes": 0,
+        "por_indep_refinements": 0,
+        "por_representatives": 0,
+        "distinct_classes": 1,
+        "reach_queries": 0,
+        "reach_memo_hits": 0,
+        "reach_memo_misses": 0,
+        "reach_tbl_probes": 0,
+        "reach_tbl_resizes": 0,
+        "par_tasks_spawned": 0,
+        "par_merges": 0
+      },
+      "timers_s": {
+        "total": T,
+        "split": T,
+        "enumerate": T,
+        "happened_before": T,
+        "schedule_count": T
+      },
+      "parallel": {
+        "split_depth": -1,
+        "task_schedules": [],
+        "domain_wall_s": []
+      }
+    }
+  }
+
+Under --jobs 4 the search counters are bit-identical; the diff shows
+exactly the two legitimately jobs-dependent counters (tasks spawned and
+accumulators merged) and nothing else:
+
+  $ eventorder analyze --stats --format json pipeline.eo > one.json
+  $ eventorder analyze --stats --format json --jobs 4 pipeline.eo > four.json
+  $ sed -n '/"counters"/,/}/p' one.json > one.counters
+  $ sed -n '/"counters"/,/}/p' four.json > four.counters
+  $ diff one.counters four.counters && echo "counters identical"
+  17,18c17,18
+  <       "par_tasks_spawned": 0,
+  <       "par_merges": 0
+  ---
+  >       "par_tasks_spawned": 5,
+  >       "par_merges": 5
+  [1]
+
+The races schema:
+
+  $ eventorder races --stats --format json pipeline.eo | sed -E 's/[0-9]+\.[0-9]+/T/g'
+  {
+    "schema": "eventorder.races/1",
+    "events": 5,
+    "candidates": [
+      {
+        "e1": 0,
+        "e2": 4,
+        "labels": ["x := 1","y := x"],
+        "variables": [0]
+      }
+    ],
+    "apparent": [],
+    "feasible": [],
+    "first": [],
+    "stats": {
+      "engine": "packed",
+      "jobs": 1,
+      "counters": {
+        "enum_nodes": 0,
+        "enum_frontier_pops": 0,
+        "enum_schedules": 0,
+        "limit_truncations": 0,
+        "por_nodes": 0,
+        "por_frontier_pops": 0,
+        "por_sleep_prunes": 0,
+        "por_indep_refinements": 0,
+        "por_representatives": 0,
+        "distinct_classes": 0,
+        "reach_queries": 1,
+        "reach_memo_hits": 0,
+        "reach_memo_misses": 0,
+        "reach_tbl_probes": 0,
+        "reach_tbl_resizes": 0,
+        "par_tasks_spawned": 0,
+        "par_merges": 0
+      },
+      "timers_s": {
+        "total": T,
+        "split": T,
+        "enumerate": T,
+        "happened_before": T,
+        "schedule_count": T
+      },
+      "parallel": {
+        "split_depth": -1,
+        "task_schedules": [],
+        "domain_wall_s": [T]
+      }
+    }
+  }
+
+Text mode appends a human-readable table instead:
+
+  $ eventorder schedules --stats pipeline.eo | sed -E 's/[0-9]+\.[0-9]+/T/g'
+  events:                   5
+  feasible schedules:       5
+  reachable states:         10
+  deadlock reachable:       false
+  
+  telemetry (engine=packed, jobs=1):
+    enum_nodes               0
+    enum_frontier_pops       0
+    enum_schedules           0
+    limit_truncations        0
+    por_nodes                0
+    por_frontier_pops        0
+    por_sleep_prunes         0
+    por_indep_refinements    0
+    por_representatives      0
+    distinct_classes         0
+    reach_queries            0
+    reach_memo_hits          3
+    reach_memo_misses        9
+    reach_tbl_probes         21
+    reach_tbl_resizes        0
+    par_tasks_spawned        0
+    par_merges               0
+    timers (s): total=T split=T enumerate=T happened_before=T schedule_count=T

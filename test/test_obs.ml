@@ -1,0 +1,154 @@
+(* Unit tests for the telemetry subsystem: counter semantics, JSON
+   construction, config precedence, and the report type. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_null_is_inert () =
+  let c = Counters.null in
+  Alcotest.(check bool) "disabled" false (Counters.enabled c);
+  Counters.bump c Counters.Enum_nodes;
+  Counters.add c Counters.Enum_pops 7;
+  Counters.set c Counters.Classes 3;
+  Counters.add_time c Counters.T_total 1.0;
+  Alcotest.(check int) "bump ignored" 0 (Counters.get c Counters.Enum_nodes);
+  Alcotest.(check int) "add ignored" 0 (Counters.get c Counters.Enum_pops);
+  Alcotest.(check int) "set ignored" 0 (Counters.get c Counters.Classes);
+  Alcotest.(check (float 0.0)) "time ignored" 0.0
+    (Counters.get_time c Counters.T_total)
+
+let test_counter_arithmetic () =
+  let c = Counters.create () in
+  Alcotest.(check bool) "enabled" true (Counters.enabled c);
+  List.iter
+    (fun k -> Alcotest.(check int) "starts at zero" 0 (Counters.get c k))
+    Counters.all_keys;
+  Counters.bump c Counters.Enum_nodes;
+  Counters.bump c Counters.Enum_nodes;
+  Counters.add c Counters.Enum_nodes 3;
+  Alcotest.(check int) "bump + add" 5 (Counters.get c Counters.Enum_nodes);
+  Counters.set c Counters.Classes 9;
+  Counters.set c Counters.Classes 4;
+  Alcotest.(check int) "set overwrites" 4 (Counters.get c Counters.Classes)
+
+let test_timer_accumulates () =
+  let c = Counters.create () in
+  let v = Counters.time c Counters.T_total (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk result" 42 v;
+  Counters.add_time c Counters.T_total 1.5;
+  Alcotest.(check bool) "time accumulated" true
+    (Counters.get_time c Counters.T_total >= 1.5);
+  (* A raising thunk still records its time. *)
+  (try Counters.time c Counters.T_split (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "exception-safe" true
+    (Counters.get_time c Counters.T_split >= 0.0)
+
+let test_merge_into () =
+  let dst = Counters.create () and src = Counters.create () in
+  Counters.add dst Counters.Enum_nodes 2;
+  Counters.add src Counters.Enum_nodes 5;
+  Counters.add src Counters.Por_reps 1;
+  Counters.add_time src Counters.T_enumerate 0.25;
+  Counters.merge_into ~dst src;
+  Alcotest.(check int) "counts summed" 7 (Counters.get dst Counters.Enum_nodes);
+  Alcotest.(check int) "new key copied" 1 (Counters.get dst Counters.Por_reps);
+  Alcotest.(check bool) "times summed" true
+    (Counters.get_time dst Counters.T_enumerate >= 0.25);
+  (* Merging into or from the null instance is a no-op. *)
+  Counters.merge_into ~dst:Counters.null src;
+  Counters.merge_into ~dst Counters.null;
+  Alcotest.(check int) "null merge no-op" 7
+    (Counters.get dst Counters.Enum_nodes)
+
+let test_key_names_distinct () =
+  let names = List.map Counters.key_name Counters.all_keys in
+  Alcotest.(check int) "all names distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  let timer_names = List.map Counters.timer_name Counters.all_timers in
+  Alcotest.(check int) "timer names distinct"
+    (List.length timer_names)
+    (List.length (List.sort_uniq compare timer_names))
+
+let test_jsonout_compact () =
+  let doc =
+    Jsonout.Obj
+      [
+        ("s", Jsonout.Str "a\"b\n");
+        ("i", Jsonout.Int (-3));
+        ("f", Jsonout.Float 1.5);
+        ("b", Jsonout.Bool true);
+        ("n", Jsonout.Null);
+        ("l", Jsonout.List [ Jsonout.Int 1; Jsonout.Int 2 ]);
+      ]
+  in
+  Alcotest.(check string) "compact rendering"
+    "{\"s\":\"a\\\"b\\n\",\"i\":-3,\"f\":1.500000,\"b\":true,\"n\":null,\"l\":[1,2]}"
+    (Jsonout.to_string doc)
+
+let test_jsonout_pretty () =
+  let doc =
+    Jsonout.Obj
+      [ ("xs", Jsonout.List [ Jsonout.Int 1 ]); ("o", Jsonout.Obj []) ]
+  in
+  let s = Jsonout.to_string_pretty doc in
+  Alcotest.(check bool) "trailing newline" true
+    (String.length s > 0 && s.[String.length s - 1] = '\n');
+  (* Scalar-only lists stay on one line. *)
+  Alcotest.(check bool) "inline scalar list" true (contains s "\"xs\": [1]")
+
+let test_config_precedence () =
+  Alcotest.(check int) "cli wins" 7
+    (Config.resolve ~cli:(Some 7) ~env:(fun () -> 3));
+  Alcotest.(check int) "env thunk otherwise" 3
+    (Config.resolve ~cli:None ~env:(fun () -> 3));
+  (* Unset variable falls back to the default without warning. *)
+  Alcotest.(check int) "lookup default" 42
+    (Config.lookup ~var:"EO_NO_SUCH_VARIABLE" ~expected:"an integer"
+       ~default_text:"42" ~parse:int_of_string_opt ~default:42)
+
+let test_telemetry_report () =
+  let tel = Telemetry.create () in
+  Telemetry.set_run tel ~engine:"packed" ~jobs:3;
+  Telemetry.set_split_depth tel 2;
+  Telemetry.set_task_schedules tel [| 4; 1; 0 |];
+  Telemetry.ensure_domains tel 3;
+  Telemetry.note_domain_wall tel 1 0.5;
+  Counters.bump (Telemetry.counters tel) Counters.Enum_nodes;
+  Alcotest.(check string) "engine" "packed" (Telemetry.engine tel);
+  Alcotest.(check int) "jobs" 3 (Telemetry.jobs tel);
+  Alcotest.(check int) "split depth" 2 (Telemetry.split_depth tel);
+  Alcotest.(check (array int)) "task schedules" [| 4; 1; 0 |]
+    (Telemetry.task_schedules tel);
+  Alcotest.(check int) "domain wall slots" 3
+    (Array.length (Telemetry.domain_wall_s tel));
+  (match Telemetry.to_json tel with
+  | Jsonout.Obj fields ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k fields))
+        [ "engine"; "jobs"; "counters"; "timers_s"; "parallel" ]
+  | _ -> Alcotest.fail "to_json should be an object");
+  (* timed_domain with no report runs the thunk bare. *)
+  Alcotest.(check int) "timed_domain None" 5
+    (Telemetry.timed_domain None 0 (fun () -> 5));
+  Alcotest.(check int) "timed_domain Some" 6
+    (Telemetry.timed_domain (Some tel) 0 (fun () -> 6));
+  let s = Format.asprintf "%a" Telemetry.pp tel in
+  Alcotest.(check bool) "pp mentions engine" true (contains s "packed")
+
+let suite =
+  [
+    Alcotest.test_case "null counters are inert" `Quick test_null_is_inert;
+    Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+    Alcotest.test_case "timers accumulate" `Quick test_timer_accumulates;
+    Alcotest.test_case "merge_into sums" `Quick test_merge_into;
+    Alcotest.test_case "JSON names distinct" `Quick test_key_names_distinct;
+    Alcotest.test_case "jsonout compact" `Quick test_jsonout_compact;
+    Alcotest.test_case "jsonout pretty" `Quick test_jsonout_pretty;
+    Alcotest.test_case "config precedence" `Quick test_config_precedence;
+    Alcotest.test_case "telemetry report" `Quick test_telemetry_report;
+  ]

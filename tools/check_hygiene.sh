@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI-style hygiene check: build artifacts must never be tracked.
+# Wired into `dune build @bench-quick` (see bench/dune) so the quick CI
+# lane fails if _build/ residue ever reappears in the index.
+set -e
+
+root=$(git rev-parse --show-toplevel 2>/dev/null) || {
+  echo "hygiene: not inside a git checkout; skipping"
+  exit 0
+}
+cd "$root"
+
+bad=$(git ls-files _build '*.install')
+if [ -n "$bad" ]; then
+  echo "hygiene: build artifacts are tracked in git:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+echo "hygiene: no tracked build artifacts"
