@@ -635,18 +635,26 @@ let e18_single_semaphore () =
    CPU count: on a single-core host the domain rows record the (honest)
    overhead of parallelism without available hardware, not a speedup. *)
 
+(* E19 and E20 share one machine-readable artifact: rows accumulate here
+   and [write_exact_engine_json] emits BENCH_exact_engine.json once both
+   experiments have contributed. *)
+let exact_rows = ref []
+let exact_mismatches = ref 0
+
+let expect_exact name a b =
+  if a <> b then begin
+    incr exact_mismatches;
+    Format.printf "MISMATCH in %s: %d <> %d@." name a b
+  end
+
+let exact_json fmt =
+  Format.kasprintf (fun s -> exact_rows := s :: !exact_rows) fmt
+
 let e19_exact_engine () =
   header "E19  Exact-engine optimizations: bitset-packed search, worker domains";
   let jobs = 2 in
-  let json_rows = ref [] in
-  let mismatches = ref 0 in
-  let expect name a b =
-    if a <> b then begin
-      incr mismatches;
-      Format.printf "MISMATCH in %s: %d <> %d@." name a b
-    end
-  in
-  let json fmt = Format.kasprintf (fun s -> json_rows := s :: !json_rows) fmt in
+  let expect = expect_exact in
+  let json = exact_json in
 
   (* Part 1 — the Theorem 1/2 reduction families, where the per-node cost
      of the search dominates: naive vs packed on capped enumeration and
@@ -753,7 +761,7 @@ let e19_exact_engine () =
                 && Rel.equal (Relations.to_rel r1 rel)
                      (Relations.to_rel rj rel))
             then begin
-              incr mismatches;
+              incr exact_mismatches;
               Format.printf "MISMATCH in %s relation matrices@."
                 (name (Relations.relation_name rel))
             end)
@@ -784,20 +792,110 @@ let e19_exact_engine () =
            Harness.time_string ts; Harness.time_string tp;
            Harness.time_string trs; Harness.time_string trp;
          ])
-       rows);
+       rows)
 
+(* ------------------------------------------------------------------ *)
+(* E20 — Sessions: amortized multi-query analysis vs per-call engines  *)
+(* ------------------------------------------------------------------ *)
+
+(* One session enumerates F(P) once (and memoizes one reachability DP);
+   the legacy per-call surface re-enumerates for every question.  A
+   client that asks the full Table-1 battery — reduced 6-relation
+   summary plus the exact race set — [rounds] times over should see the
+   session amortize to roughly one pass, so the per-call/session ratio
+   approaches [rounds].  Answers are cross-checked: an amortization that
+   changed a race set would be worthless. *)
+let e20_sessions () =
+  header "E20  Shared sessions: one enumeration pass, every query";
+  let rounds = 5 in
+  let expect = expect_exact in
+  let rows =
+    Harness.sweep ~budget ~sizes:[ 2; 3; 4; 5 ] (fun free ->
+        let x =
+          Trace.to_execution
+            (Workloads.trace_of (Workloads.pipeline_program ~stages:3 ~free))
+        in
+        let sk = Skeleton.of_execution x in
+        (* Per-call: every round pays a fresh enumeration for the summary
+           and another full pass inside the race decision procedure. *)
+        let percall = ref None in
+        let _, t_percall =
+          Harness.time_once (fun () ->
+              for _ = 1 to rounds do
+                let s = Relations.compute_reduced sk in
+                let races = Race.feasible_races x in
+                percall := Some (s, races)
+              done)
+        in
+        (* Session: the same battery against one session whose in-memory
+           cache answers every round after the first from the stored
+           summary and race set.  The cache is process-global, so clear
+           it on both sides of the measurement. *)
+        Session.clear_memory_cache ();
+        let insession = ref None in
+        let _, t_session =
+          Harness.time_once (fun () ->
+              let session =
+                Session.of_execution
+                  ~cache:{ Session.memory = true; Session.dir = None }
+                  x
+              in
+              for _ = 1 to rounds do
+                let s = Relations.of_session_reduced session in
+                let races = Race.feasible_races_session session in
+                insession := Some (s, races)
+              done)
+        in
+        Session.clear_memory_cache ();
+        let (s_pc, races_pc), (s_se, races_se) =
+          (Option.get !percall, Option.get !insession)
+        in
+        let name what = Printf.sprintf "sessions(free=%d) %s" free what in
+        expect (name "feasible count") s_pc.Relations.feasible_count
+          s_se.Relations.feasible_count;
+        expect (name "classes") s_pc.Relations.distinct_classes
+          s_se.Relations.distinct_classes;
+        expect (name "races") (List.length races_pc) (List.length races_se);
+        let speedup = if t_session > 0. then t_percall /. t_session else 0. in
+        exact_json
+          {|    {"kind": "session", "family": "pipeline", "free": %d, "events": %d, "rounds": %d, "feasible": %d, "races": %d, "percall_s": %.6f, "session_s": %.6f, "speedup": %.2f}|}
+          free sk.Skeleton.n rounds s_pc.Relations.feasible_count
+          (List.length races_pc) t_percall t_session speedup;
+        (sk.Skeleton.n, s_pc.Relations.feasible_count, List.length races_pc,
+         t_percall, t_session, speedup))
+  in
+  Harness.table
+    ~title:
+      (Printf.sprintf
+         "%d rounds of (reduced summary + races): per-call vs one session"
+         rounds)
+    ~header:
+      [ "free"; "events"; "|F(P)|"; "races"; "per-call"; "session"; "speedup" ]
+    (List.map
+       (fun (free, (events, count, races, t_pc, t_se, speedup), _) ->
+         [
+           string_of_int free; string_of_int events; string_of_int count;
+           string_of_int races; Harness.time_string t_pc;
+           Harness.time_string t_se; Printf.sprintf "%.1fx" speedup;
+         ])
+       rows)
+
+(* Emitted after E19 and E20 so the artifact carries both row kinds; a
+   result mismatch in either experiment fails the whole bench run. *)
+let write_exact_engine_json () =
+  let jobs = 2 in
   let path = "BENCH_exact_engine.json" in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"cpus\": %d,\n  \"jobs_measured\": %d,\n  \"budget_s\": %g,\n  \
      \"mismatches\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
     (Domain.recommended_domain_count ())
-    jobs budget !mismatches
-    (String.concat ",\n" (List.rev !json_rows));
+    jobs budget !exact_mismatches
+    (String.concat ",\n" (List.rev !exact_rows));
   close_out oc;
   Format.printf "@.wrote %s (cpus=%d)@." path
     (Domain.recommended_domain_count ());
-  if !mismatches > 0 then begin
+  if !exact_mismatches > 0 then begin
     Format.printf "@.ENGINE MISMATCHES PRESENT@.";
     exit 1
   end
@@ -917,6 +1015,8 @@ let () =
     e1_table1 ();
     e2_theorem1 ();
     e19_exact_engine ();
+    e20_sessions ();
+    write_exact_engine_json ();
     e16_scorecard ()
   end
   else begin
@@ -934,6 +1034,8 @@ let () =
     e12_static ();
     e13_sat_via_ordering ();
     e19_exact_engine ();
+    e20_sessions ();
+    write_exact_engine_json ();
     e15_explore ();
     e17_sat_substrate ();
     e18_single_semaphore ();

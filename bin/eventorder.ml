@@ -72,14 +72,58 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let print_json doc = print_string (Jsonout.to_string_pretty doc)
+
+(* Fatal CLI error.  In text mode the message goes to stderr, prefixed
+   with "error: " unless [~locate] says it carries its own location
+   prefix (parse errors print "file:line: ...").  Under --format json,
+   stdout gets a single well-formed eventorder.error/1 object instead —
+   consumers of the JSON surface never have to parse free-form stderr —
+   and the exit code is 2 either way. *)
+let die_error ?(locate = false) ~json fmt =
+  Format.kasprintf
+    (fun msg ->
+      if json then
+        print_json
+          (Jsonout.Obj
+             [
+               ("schema", Jsonout.Str "eventorder.error/1");
+               ("error", Jsonout.Str msg);
+             ])
+      else if locate then Format.eprintf "%s@." msg
+      else Format.eprintf "error: %s@." msg;
+      exit 2)
+    fmt
+
 (* Precedence: --jobs flag > EO_JOBS > 1 — [Config.resolve] over the
    cached [Config.jobs] reader (which [Parallel.default_jobs] also uses). *)
-let resolve_jobs = function
+let resolve_jobs ?(json = false) = function
   | Some j when j >= 1 -> j
-  | Some j ->
-      Format.eprintf "error: --jobs must be at least 1 (got %d)@." j;
-      exit 2
+  | Some j -> die_error ~json "--jobs must be at least 1 (got %d)" j
   | None -> Config.resolve ~cli:None ~env:Config.jobs
+
+let cache_arg =
+  let doc =
+    "Directory for the on-disk result cache (created on first store).  \
+     Overrides the EO_CACHE_DIR environment variable.  Entries are keyed \
+     by a canonical program hash plus the engine and enumeration limit, \
+     so a stale hit is impossible; delete the directory to reclaim the \
+     space.  Without this flag and without EO_CACHE_DIR only the \
+     in-process cache is used."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+(* Precedence: --cache flag > EO_CACHE_DIR > memory-only.  A relative
+   flag is anchored at the current directory (the env var must already
+   be absolute — [Config.cache_dir] rejects it otherwise). *)
+let resolve_cache = function
+  | Some dir ->
+      let dir =
+        if Filename.is_relative dir then Filename.concat (Sys.getcwd ()) dir
+        else dir
+      in
+      { Session.memory = true; Session.dir = Some dir }
+  | None -> Session.default_cache ()
 
 let stats_arg =
   let doc =
@@ -109,8 +153,6 @@ let stats_field = function
 let print_stats_text = function
   | Some tel -> Format.printf "@.%a" Telemetry.pp tel
   | None -> ()
-
-let print_json doc = print_string (Jsonout.to_string_pretty doc)
 
 let json_of_rel rel =
   Jsonout.List
@@ -147,20 +189,18 @@ let max_events_arg =
   in
   Arg.(value & opt int 40 & info [ "max-events" ] ~docv:"N" ~doc)
 
-let parse_program_file path =
+let parse_program_file ?(json = false) path =
   try Parse.program_file path
   with Parse.Syntax_error { line; message } ->
-    Format.eprintf "%s:%d: syntax error: %s@." path line message;
-    exit 2
+    die_error ~locate:true ~json "%s:%d: syntax error: %s" path line message
 
 let load_trace ?(json = false) path policy =
   let trace =
     if Filename.check_suffix path ".eotrace" then (
       try Trace_io.load path
       with Failure message ->
-        Format.eprintf "%s: malformed trace: %s@." path message;
-        exit 2)
-    else Interp.run ~policy (parse_program_file path)
+        die_error ~locate:true ~json "%s: malformed trace: %s" path message)
+    else Interp.run ~policy (parse_program_file ~json path)
   in
   (* Under --format json the notes move to stderr so stdout stays one
      well-formed JSON document. *)
@@ -179,15 +219,13 @@ let load_trace ?(json = false) path policy =
       note "note: fuel exhausted; analysing the recorded prefix@.");
   trace
 
-let guard_size trace max_events =
+let guard_size ?(json = false) trace max_events =
   let n = Trace.n_events trace in
-  if n > max_events then begin
-    Format.eprintf
-      "error: trace has %d events; the exact engines are exponential and \
-       %d is past the configured --max-events %d@."
-      n n max_events;
-    exit 2
-  end
+  if n > max_events then
+    die_error ~json
+      "trace has %d events; the exact engines are exponential and %d is \
+       past the configured --max-events %d"
+      n n max_events
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -202,18 +240,32 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "reduced" ] ~doc)
   in
-  let run file policy limit max_events reduced jobs collect fmt =
-    let jobs = resolve_jobs jobs in
+  let run file policy limit max_events reduced all jobs collect fmt cache =
     let json = fmt = `Json in
+    let jobs = resolve_jobs ~json jobs in
     let trace = load_trace ~json file policy in
     if not json then Format.printf "%a@." Trace.pp trace;
-    guard_size trace max_events;
+    guard_size ~json trace max_events;
     let x = Trace.to_execution trace in
     let sk = Skeleton.of_execution x in
     let stats = make_stats collect in
+    (* One session answers everything this command prints.  The reduced
+       engine ignores --limit (its class walk is exact), matching the
+       historical Relations.compute_reduced behaviour. *)
+    let session =
+      Session.create
+        ?limit:(if reduced then None else limit)
+        ~jobs ?stats ~cache:(resolve_cache cache) sk
+    in
     let s =
-      if reduced then Relations.compute_reduced ~jobs ?stats sk
-      else Relations.compute ?limit ~jobs ?stats sk
+      if reduced then Relations.of_session_reduced session
+      else Relations.of_session session
+    in
+    let races =
+      if all then
+        Some (Race.feasible_races_session session,
+              Race.first_races_session session)
+      else None
     in
     let po = Pinned.po_of_schedule sk (Trace.schedule trace) in
     let width = Antichain.width po in
@@ -249,6 +301,15 @@ let analyze_cmd =
                 ("width", Jsonout.Int width);
                 ("relations", relations);
               ]
+             @ (match races with
+               | None -> []
+               | Some (feasible, first) ->
+                   [
+                     ( "feasible_races",
+                       Jsonout.List (List.map (json_of_race x) feasible) );
+                     ( "first_races",
+                       Jsonout.List (List.map (json_of_race x) first) );
+                   ])
              @ stats_field stats))
     | `Text ->
         Format.printf "%a@." Relations.pp_summary (s, x.Execution.events);
@@ -256,14 +317,34 @@ let analyze_cmd =
           "max concurrency (width of the observed pinned order): %d of %d \
            events@."
           width (Trace.n_events trace);
+        (match races with
+        | None -> ()
+        | Some (feasible, first) ->
+            let report name races =
+              Format.printf "%s: %d@." name (List.length races);
+              List.iter
+                (fun r -> Format.printf "  %a@." (Race.pp_race x) r)
+                races
+            in
+            report "feasible races (exact)" feasible;
+            report "first races (debugging frontier)" first);
         print_stats_text stats
+  in
+  let all_arg =
+    let doc =
+      "Also report the feasible and first data races, decided from the \
+       same analysis session (one enumeration, one cache entry — cheaper \
+       than running 'analyze' and 'races' separately)."
+    in
+    Arg.(value & flag & info [ "all" ] ~doc)
   in
   let doc = "run a program and print the six Table-1 ordering relations" in
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ reduced_arg $ jobs_arg $ stats_arg $ format_arg)
+      $ reduced_arg $ all_arg $ jobs_arg $ stats_arg $ format_arg
+      $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schedules                                                           *)
@@ -334,19 +415,23 @@ let races_cmd =
                exhibit it." in
     Arg.(value & flag & info [ "witness" ] ~doc)
   in
-  let run file policy limit max_events witness jobs collect fmt =
-    let jobs = resolve_jobs jobs in
+  let run file policy limit max_events witness jobs collect fmt cache =
     let json = fmt = `Json in
+    let jobs = resolve_jobs ~json jobs in
     let trace = load_trace ~json file policy in
-    guard_size trace max_events;
+    guard_size ~json trace max_events;
     let x = Trace.to_execution trace in
     let candidates = Race.conflicting_pairs x in
     let apparent = Race.apparent_races x in
     let stats = make_stats collect in
-    (* Telemetry covers the feasible-race pass; the first-race refinement
-       re-decides the same pairs and would double every counter. *)
-    let feasible = Race.feasible_races ?limit ~jobs ?stats x in
-    let first = Race.first_races ?limit ~jobs x in
+    (* One session serves both race sets: the first-race refinement reuses
+       the feasible set through the session cache instead of re-deciding
+       every pair (which used to double the engine work). *)
+    let session =
+      Session.of_execution ?limit ~jobs ?stats ~cache:(resolve_cache cache) x
+    in
+    let feasible = Race.feasible_races_session session in
+    let first = Race.first_races_session session in
     let witnesses =
       if witness then
         List.filter_map
@@ -413,7 +498,7 @@ let races_cmd =
     (Cmd.info "races" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ witness_arg $ jobs_arg $ stats_arg $ format_arg)
+      $ witness_arg $ jobs_arg $ stats_arg $ format_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* taskgraph                                                           *)
@@ -582,17 +667,22 @@ let theorems_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run file policy max_events jobs =
+  let run file policy max_events jobs cache =
     let jobs = resolve_jobs jobs in
     let trace = load_trace file policy in
     guard_size trace max_events;
     let x = Trace.to_execution trace in
     let sk = Skeleton.of_execution x in
     let n = Trace.n_events trace in
+    (* Every section below draws on one session: one reachability memo,
+       one class-level summary, one (cached) race set. *)
+    let session =
+      Session.create ~jobs ~cache:(resolve_cache cache) sk
+    in
     Format.printf "=== execution ===@.%a@." Trace.pp trace;
 
     Format.printf "=== feasible executions ===@.";
-    let r = Reach.create sk in
+    let r = Session.reach session in
     let count = Reach.schedule_count r in
     if count >= Reach.count_saturation then
       Format.printf "feasible schedules: >= 10^18@."
@@ -607,7 +697,7 @@ let report_cmd =
                 (Array.map (fun e -> x.Execution.events.(e).Event.label) prefix))));
 
     Format.printf "@.=== ordering relations (pair counts) ===@.";
-    let s = Relations.compute_reduced ~jobs sk in
+    let s = Relations.of_session_reduced session in
     Format.printf "distinct classes:   %d@." s.Relations.distinct_classes;
     List.iter
       (fun rel ->
@@ -629,11 +719,11 @@ let report_cmd =
       List.iter (fun race -> Format.printf "  %a@." (Race.pp_race x) race) races
     in
     print_races "apparent:" (Race.apparent_races x);
-    print_races "feasible:" (Race.feasible_races x);
-    print_races "first:" (Race.first_races x);
+    print_races "feasible:" (Race.feasible_races_session session);
+    print_races "first:" (Race.first_races_session session);
 
     Format.printf "@.=== polynomial approximations vs exact MHB ===@.";
-    let d = Decide.create ~jobs x in
+    let d = Decide.of_session session in
     let mhb_count = ref 0 and missed_by_graph = ref 0 in
     let egp = Egp.build x in
     for a = 0 to n - 1 do
@@ -653,7 +743,9 @@ let report_cmd =
   let doc = "one-shot comprehensive analysis: schedules, relations, races, approximations" in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const run $ program_file $ policy_arg $ max_events_arg $ jobs_arg)
+    Term.(
+      const run $ program_file $ policy_arg $ max_events_arg $ jobs_arg
+      $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* order                                                               *)
@@ -680,8 +772,9 @@ let order_cmd =
     show (Printf.sprintf "'%s' CHB '%s':" b_label a_label) (Decide.chb d b a);
     show (Printf.sprintf "'%s' CCW '%s':" a_label b_label) (Decide.ccw d a b);
     show (Printf.sprintf "'%s' MOW '%s':" a_label b_label) (Decide.mow d a b);
-    let sk = Decide.skeleton d in
-    let r = Reach.create sk in
+    (* The witness search shares the session's memoized state engine with
+       the five decisions above. *)
+    let r = Session.reach (Decide.session d) in
     match Reach.witness_before r b a with
     | None ->
         Format.printf "no feasible execution runs '%s' before '%s'@." b_label
@@ -719,9 +812,7 @@ let explore_cmd =
   let run file =
     let program = parse_program_file file in
     match Explore.explore program with
-    | exception Explore.Unsupported msg ->
-        Format.eprintf "error: %s@." msg;
-        exit 2
+    | exception Explore.Unsupported msg -> die_error ~json:false "%s" msg
     | stats ->
         let show_count c =
           if c >= Explore.count_saturation then ">= 10^18" else string_of_int c
@@ -805,9 +896,7 @@ let dot_cmd =
         in
         let s = Relations.compute (Skeleton.of_execution x) in
         Dot.relation ppf (x, Relations.to_rel s relation, name)
-    | other ->
-        Format.eprintf "error: unknown --kind %s@." other;
-        exit 2
+    | other -> die_error ~json:false "unknown --kind %s" other
   in
   let doc = "render executions, pinned orders, task graphs or relations as DOT" in
   Cmd.v
@@ -912,6 +1001,198 @@ let figure1_cmd =
   let doc = "reproduce the paper's Figure 1 task-graph discrepancy" in
   Cmd.v (Cmd.info "figure1" ~doc) Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Many queries, one session: a single enumeration pass, reachability
+   memo and cache entry set answer every query on the command line, so
+   asking six questions costs barely more than asking one. *)
+let batch_cmd =
+  let queries_arg =
+    let doc =
+      "Queries to answer, in order.  Whole-program: 'relations' (the six \
+       matrices by full enumeration), 'reduced' (the same by the \
+       class-level engine), 'races' (feasible races), 'first' (first \
+       races), 'schedules' (the feasible-schedule count).  Per-pair: \
+       REL:A:B with REL one of mhb, chb, mcw, ccw, mow, cow and A, B \
+       event labels (e.g. mhb:w1:r2)."
+    in
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let relation_of_string = function
+    | "mhb" -> Some Relations.MHB
+    | "chb" -> Some Relations.CHB
+    | "mcw" -> Some Relations.MCW
+    | "ccw" -> Some Relations.CCW
+    | "mow" -> Some Relations.MOW
+    | "cow" -> Some Relations.COW
+    | _ -> None
+  in
+  let run file policy limit max_events jobs collect fmt cache queries =
+    let json = fmt = `Json in
+    let jobs = resolve_jobs ~json jobs in
+    let trace = load_trace ~json file policy in
+    guard_size ~json trace max_events;
+    let x = Trace.to_execution trace in
+    let stats = make_stats collect in
+    let session =
+      Session.of_execution ?limit ~jobs ?stats ~cache:(resolve_cache cache) x
+    in
+    let decide = lazy (Decide.of_session session) in
+    (* An event names itself by label or by numeric id. *)
+    let lookup_event name =
+      match Trace.find_event_opt trace name with
+      | Some e -> Some e.Event.id
+      | None -> (
+          match int_of_string_opt name with
+          | Some id when id >= 0 && id < Execution.n_events x -> Some id
+          | _ -> None)
+    in
+    (* REL:A:B — but labels themselves contain colons ("x := 1"), so the
+       two separators cannot be found lexically.  Instead every split of
+       the remainder is tried, and the one where both sides name events
+       wins; anything else (zero or several splits working) is an error. *)
+    let resolve_pair q rest =
+      let n = String.length rest in
+      let candidates = ref [] in
+      for i = 0 to n - 1 do
+        if rest.[i] = ':' then begin
+          let a = String.sub rest 0 i in
+          let b = String.sub rest (i + 1) (n - i - 1) in
+          match (lookup_event a, lookup_event b) with
+          | Some ea, Some eb -> candidates := (a, b, ea, eb) :: !candidates
+          | _ -> ()
+        end
+      done;
+      match !candidates with
+      | [ c ] -> c
+      | [] ->
+          die_error ~json
+            "query %S names no event pair of the trace (labels or numeric \
+             event ids, REL:A:B)"
+            q
+      | _ -> die_error ~json "query %S is ambiguous: several label splits \
+                              match; use numeric event ids" q
+    in
+    let answer query =
+      match query with
+      | "relations" -> `Summary (Relations.of_session session)
+      | "reduced" -> `Summary (Relations.of_session_reduced session)
+      | "races" -> `Races (Race.feasible_races_session session)
+      | "first" -> `Races (Race.first_races_session session)
+      | "schedules" -> `Count (Session.schedule_count session)
+      | q -> (
+          match String.index_opt q ':' with
+          | Some i -> (
+              let rel = String.sub q 0 i in
+              let rest = String.sub q (i + 1) (String.length q - i - 1) in
+              match relation_of_string (String.lowercase_ascii rel) with
+              | Some relation ->
+                  let a_label, b_label, a, b = resolve_pair q rest in
+                  `Pair
+                    ( relation,
+                      a_label,
+                      b_label,
+                      Decide.holds (Lazy.force decide) relation a b )
+              | None ->
+                  die_error ~json
+                    "unknown relation %S in query %S (expected mhb, chb, \
+                     mcw, ccw, mow or cow)"
+                    rel q)
+          | None ->
+              die_error ~json
+                "unknown query %S (expected relations, reduced, races, \
+                 first, schedules, or REL:A:B)"
+                q)
+    in
+    let answers = List.map (fun q -> (q, answer q)) queries in
+    let result_json (query, ans) =
+      match ans with
+      | `Summary s ->
+          Jsonout.Obj
+            [
+              ("query", Jsonout.Str query);
+              ("feasible_schedules", Jsonout.Int s.Relations.feasible_count);
+              ("truncated", Jsonout.Bool s.Relations.truncated);
+              ("distinct_classes", Jsonout.Int s.Relations.distinct_classes);
+              ( "relations",
+                Jsonout.Obj
+                  (List.map
+                     (fun rel ->
+                       (relation_key rel, json_of_rel (Relations.to_rel s rel)))
+                     Relations.all_relations) );
+            ]
+      | `Races races ->
+          Jsonout.Obj
+            [
+              ("query", Jsonout.Str query);
+              ("races", Jsonout.List (List.map (json_of_race x) races));
+            ]
+      | `Count count ->
+          Jsonout.Obj
+            [
+              ("query", Jsonout.Str query);
+              ("feasible_schedules", Jsonout.Int count);
+              ("saturated", Jsonout.Bool (count >= Reach.count_saturation));
+            ]
+      | `Pair (relation, a, b, holds) ->
+          Jsonout.Obj
+            [
+              ("query", Jsonout.Str query);
+              ("relation", Jsonout.Str (relation_key relation));
+              ("before", Jsonout.Str a);
+              ("after", Jsonout.Str b);
+              ("holds", Jsonout.Bool holds);
+            ]
+    in
+    match fmt with
+    | `Json ->
+        print_json
+          (Jsonout.Obj
+             ([
+                ("schema", Jsonout.Str "eventorder.batch/1");
+                ("events", Jsonout.Int (Execution.n_events x));
+                ( "program_key",
+                  Jsonout.Str (Program_key.hash (Session.key session)) );
+                ("engine", Jsonout.Str (Engine.to_string (Engine.current ())));
+                ("jobs", Jsonout.Int jobs);
+                ("results", Jsonout.List (List.map result_json answers));
+              ]
+             @ stats_field stats))
+    | `Text ->
+        List.iter
+          (fun (query, ans) ->
+            Format.printf "-- %s --@." query;
+            match ans with
+            | `Summary s ->
+                Format.printf "%a@." Relations.pp_summary (s, x.Execution.events)
+            | `Races races ->
+                Format.printf "races: %d@." (List.length races);
+                List.iter
+                  (fun r -> Format.printf "  %a@." (Race.pp_race x) r)
+                  races
+            | `Count count ->
+                if count >= Reach.count_saturation then
+                  Format.printf "feasible schedules: >= 10^18@."
+                else Format.printf "feasible schedules: %d@." count
+            | `Pair (relation, a, b, holds) ->
+                Format.printf "'%s' %s '%s': %b@." a
+                  (String.uppercase_ascii (relation_key relation))
+                  b holds)
+          answers;
+        print_stats_text stats
+  in
+  let doc =
+    "answer many queries about one program from a single shared analysis \
+     session"
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
+      $ jobs_arg $ stats_arg $ format_arg $ cache_arg $ queries_arg)
+
 let () =
   let doc =
     "event orderings of shared-memory parallel program executions \
@@ -922,7 +1203,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyze_cmd; schedules_cmd; races_cmd; taskgraph_cmd; reduce_cmd;
-            theorems_cmd; figure1_cmd; record_cmd; dot_cmd; fuzz_cmd; order_cmd;
-            report_cmd; explore_cmd;
+            analyze_cmd; batch_cmd; schedules_cmd; races_cmd; taskgraph_cmd;
+            reduce_cmd; theorems_cmd; figure1_cmd; record_cmd; dot_cmd;
+            fuzz_cmd; order_cmd; report_cmd; explore_cmd;
           ]))

@@ -1,42 +1,37 @@
 type t = {
-  sk : Skeleton.t;
-  reach : Reach.t;
-  limit : int option;  (* cap handed to the lazily computed summary *)
-  jobs : int;  (* worker domains for the lazily computed summary *)
-  stats : Telemetry.t option;
+  session : Session.t;
   mutable summary : Relations.t option;  (* computed lazily for COW/MCW *)
 }
 
+let of_session session = { session; summary = None }
+
 let of_skeleton ?limit ?(jobs = 1) ?stats sk =
-  let c =
-    match stats with Some tel -> Telemetry.counters tel | None -> Counters.null
-  in
-  { sk; reach = Reach.create ~stats:c sk; limit; jobs; stats; summary = None }
+  of_session (Session.create ?limit ~jobs ?stats ~cache:Session.no_cache sk)
 
 let create ?limit ?jobs ?stats execution =
   of_skeleton ?limit ?jobs ?stats (Skeleton.of_execution execution)
 
-let skeleton t = t.sk
+let session t = t.session
 
-let stats_commit t = Reach.stats_commit t.reach
+let skeleton t = Session.skeleton t.session
 
-let mhb t a b = Reach.must_before t.reach a b
+let reach t = Session.reach t.session
 
-let chb t a b = Reach.exists_before t.reach a b
+let stats_commit t = Reach.stats_commit (reach t)
 
-let ccw t a b = Reach.exists_race t.reach a b
+let mhb t a b = Reach.must_before (reach t) a b
 
-let mow t a b =
-  a <> b && Reach.feasible_exists t.reach && not (ccw t a b)
+let chb t a b = Reach.exists_before (reach t) a b
+
+let ccw t a b = Reach.exists_race (reach t) a b
+
+let mow t a b = a <> b && Reach.feasible_exists (reach t) && not (ccw t a b)
 
 let summary t =
   match t.summary with
   | Some s -> s
   | None ->
-      let s =
-        Relations.compute_reduced ?limit:t.limit ~jobs:t.jobs ?stats:t.stats
-          t.sk
-      in
+      let s = Relations.of_session_reduced t.session in
       t.summary <- Some s;
       s
 

@@ -18,11 +18,21 @@
 
 type t
 
+val of_session : Session.t -> t
+(** A decision procedure riding a shared {!Session}: reachability
+    queries go through the session's single memoized {!Reach} engine and
+    the lazy class-level summary is the session's (cached)
+    [summary_reduced] — so many per-pair queries, the full matrices and
+    the race analysis can all amortize one session. *)
+
 val create :
   ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Execution.t -> t
+(** One-shot wrapper: a private cache-disabled session per call. *)
 
 val of_skeleton :
   ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Skeleton.t -> t
+
+val session : t -> Session.t
 
 val skeleton : t -> Skeleton.t
 

@@ -20,261 +20,32 @@ type t = {
   incomparable_some : Rel.t;
 }
 
-(* Per-worker accumulator: each enumeration task builds one of these and
-   they are merged in task order — every operation involved (bit unions,
-   count sums, class-key-set unions) is commutative and associative, so
-   the merge is deterministic and equal to the sequential result.
-   Distinct pinned orders are tracked by their packed bit-matrix key
-   ({!Rel.pack}) in a {!Wordtbl} rather than a stringified pair list. *)
-type acc = {
-  before : Rel.t;
-  comparable : Rel.t;
-  incomparable : Rel.t;
-  classes : unit Wordtbl.t;
-  position : int array;
-}
-
-let make_acc n =
+(* The traversal, accumulation and caching machinery behind these
+   summaries lives in {!Session} (lib/feasible) — one registered fold
+   over one shared pass of F(P).  This module only rebuilds its public
+   record from the session's summary and keeps the relation algebra. *)
+let of_summary (s : Session.summary) =
   {
-    before = Rel.create n;
-    comparable = Rel.create n;
-    incomparable = Rel.create n;
-    classes = Wordtbl.create 64;
-    position = Array.make n 0;
+    n = s.Session.n;
+    feasible_count = s.Session.feasible_count;
+    truncated = s.Session.truncated;
+    distinct_classes = s.Session.distinct_classes;
+    before_some = s.Session.before_some;
+    comparable_some = s.Session.comparable_some;
+    incomparable_some = s.Session.incomparable_some;
   }
 
-let record_class acc po =
-  let key = Rel.pack po in
-  if not (Wordtbl.mem acc.classes key) then Wordtbl.add acc.classes key ()
+let of_session session = of_summary (Session.summary session)
+let of_session_reduced session = of_summary (Session.summary_reduced session)
 
-let record_comparability acc po =
-  let n = Array.length acc.position in
-  for a = 0 to n - 1 do
-    for b = 0 to n - 1 do
-      if a <> b then
-        if Rel.mem po a b || Rel.mem po b a then Rel.add acc.comparable a b
-        else Rel.add acc.incomparable a b
-    done
-  done
-
-let visit_schedule sk acc schedule =
-  let n = Array.length schedule in
-  Array.iteri (fun pos e -> acc.position.(e) <- pos) schedule;
-  let po = Pinned.po_of_schedule sk schedule in
-  record_class acc po;
-  for a = 0 to n - 1 do
-    for b = 0 to n - 1 do
-      if a <> b && acc.position.(a) < acc.position.(b) then
-        Rel.add acc.before a b
-    done
-  done;
-  record_comparability acc po
-
-let merge_acc dst src =
-  Rel.union_into dst.before src.before;
-  Rel.union_into dst.comparable src.comparable;
-  Rel.union_into dst.incomparable src.incomparable;
-  Wordtbl.iter
-    (fun k () -> if not (Wordtbl.mem dst.classes k) then Wordtbl.add dst.classes k ())
-    src.classes
-
-let of_acc n ~feasible_count ~truncated acc =
-  {
-    n;
-    feasible_count;
-    truncated;
-    distinct_classes = Wordtbl.length acc.classes;
-    before_some = acc.before;
-    comparable_some = acc.comparable;
-    incomparable_some = acc.incomparable;
-  }
-
-(* Shared prologue of both entry points: note the run metadata and hand
-   back the counter instance engines write into. *)
-let start_run stats ~jobs =
-  match stats with
-  | None -> Counters.null
-  | Some tel ->
-      Telemetry.set_run tel
-        ~engine:(Engine.to_string (Engine.current ()))
-        ~jobs;
-      Telemetry.counters tel
-
-let worker_counters c =
-  if Counters.enabled c then Counters.create () else Counters.null
-
-let compute_sequential ?limit ~stats sk =
-  let n = sk.Skeleton.n in
-  let acc = make_acc n in
-  let feasible_count =
-    Counters.time stats Counters.T_enumerate (fun () ->
-        Enumerate.iter ?limit ~stats sk (visit_schedule sk acc))
-  in
-  let truncated =
-    match limit with Some l -> feasible_count >= l | None -> false
-  in
-  of_acc n ~feasible_count ~truncated acc
-
+(* The historical one-shot entry points: a private, cache-disabled
+   session per call, so their counter reports stay exactly reproducible
+   (no warm LRU can zero out a later run's search work). *)
 let compute ?limit ?(jobs = 1) ?stats sk =
-  let n = sk.Skeleton.n in
-  let c = start_run stats ~jobs in
-  Counters.time c Counters.T_total @@ fun () ->
-  (* Parallelism needs subtree independence: an early-stop [limit] is
-     order-dependent across subtrees, and the naive oracle engine must
-     stay a faithful replica of the seed code path. *)
-  let parallel =
-    jobs > 1 && limit = None && Engine.current () = Engine.Packed
-  in
-  let result =
-    if not parallel then compute_sequential ?limit ~stats:c sk
-    else
-      match Parallel.split_prefixes ~stats:c sk ~jobs with
-      | None -> compute_sequential ~stats:c sk
-      | Some (depth, prefixes) ->
-          Option.iter (fun tel -> Telemetry.set_split_depth tel depth) stats;
-          let results =
-            Counters.time c Counters.T_enumerate (fun () ->
-                Parallel.map ?telemetry:stats ~jobs
-                  (fun prefix ->
-                    let wc = worker_counters c in
-                    let acc = make_acc n in
-                    let count =
-                      Enumerate.iter_from ~stats:wc sk ~prefix
-                        (visit_schedule sk acc)
-                    in
-                    (count, acc, wc))
-                  prefixes)
-          in
-          Option.iter
-            (fun tel ->
-              Telemetry.set_task_schedules tel
-                (Array.map (fun (k, _, _) -> k) results))
-            stats;
-          let acc = make_acc n in
-          let feasible_count =
-            Array.fold_left
-              (fun total (count, task_acc, wc) ->
-                Counters.bump c Counters.Par_merges;
-                Counters.merge_into ~dst:c wc;
-                merge_acc acc task_acc;
-                total + count)
-              0 results
-          in
-          of_acc n ~feasible_count ~truncated:false acc
-  in
-  Counters.set c Counters.Classes result.distinct_classes;
-  result
+  of_session (Session.create ?limit ~jobs ?stats ~cache:Session.no_cache sk)
 
 let compute_reduced ?limit ?(jobs = 1) ?stats sk =
-  let n = sk.Skeleton.n in
-  let c = start_run stats ~jobs in
-  Counters.time c Counters.T_total @@ fun () ->
-  let reach = Reach.create ~stats:c sk in
-  let parallel = jobs > 1 && Engine.current () = Engine.Packed in
-  let before_some = Rel.create n in
-  (* Happened-before bits: n² reachability queries.  Parallel mode splits
-     the rows into one contiguous block per worker, each with its own
-     memoizing engine (the memo tables are not shared between domains);
-     blocks touch disjoint rows, so the union is trivially deterministic.
-     [Reach_queries] stays n² either way; the memo hit/miss split does
-     depend on how rows were distributed. *)
-  let fill_before reach rel lo hi =
-    for a = lo to hi do
-      for b = 0 to n - 1 do
-        if Reach.exists_before reach a b then Rel.add rel a b
-      done
-    done
-  in
-  Counters.time c Counters.T_before (fun () ->
-      if (not parallel) || n < 2 then fill_before reach before_some 0 (n - 1)
-      else begin
-        let k = min jobs n in
-        let ranges =
-          Array.init k (fun i ->
-              let lo = i * n / k and hi = (((i + 1) * n) / k) - 1 in
-              (lo, hi))
-        in
-        let parts =
-          Parallel.map ?telemetry:stats ~jobs
-            (fun (lo, hi) ->
-              let wc = worker_counters c in
-              let rel = Rel.create n in
-              let worker_reach = Reach.create ~stats:wc sk in
-              fill_before worker_reach rel lo hi;
-              Reach.stats_commit worker_reach;
-              (rel, wc))
-            ranges
-        in
-        Array.iter
-          (fun (rel, wc) ->
-            Counters.merge_into ~dst:c wc;
-            Rel.union_into before_some rel)
-          parts
-      end);
-  (* Comparability bits and class count from POR representatives.  A
-     [?limit] caps the representative walk (an order-dependent cutoff, so
-     it forces this half sequential, as everywhere else); the
-     happened-before bits and the schedule count above/below stay exact. *)
-  let acc = make_acc n in
-  let visit schedule =
-    let po = Pinned.po_of_schedule sk schedule in
-    record_class acc po;
-    record_comparability acc po
-  in
-  let truncated = ref false in
-  Counters.time c Counters.T_enumerate (fun () ->
-      match
-        if parallel && limit = None then
-          Parallel.split_por_tasks ~stats:c sk ~jobs
-        else None
-      with
-      | None ->
-          let reps = Por.iter_representatives ?limit ~stats:c sk visit in
-          (match limit with
-          | Some l when reps >= l -> truncated := true
-          | _ -> ())
-      | Some (depth, tasks) ->
-          Option.iter (fun tel -> Telemetry.set_split_depth tel depth) stats;
-          let parts =
-            Parallel.map ?telemetry:stats ~jobs
-              (fun task ->
-                let wc = worker_counters c in
-                let task_acc = make_acc n in
-                let reps =
-                  Por.iter_task ~stats:wc sk task (fun schedule ->
-                      let po = Pinned.po_of_schedule sk schedule in
-                      record_class task_acc po;
-                      record_comparability task_acc po)
-                in
-                (reps, task_acc, wc))
-              tasks
-          in
-          Option.iter
-            (fun tel ->
-              Telemetry.set_task_schedules tel
-                (Array.map (fun (r, _, _) -> r) parts))
-            stats;
-          Array.iter
-            (fun (_, part, wc) ->
-              Counters.bump c Counters.Par_merges;
-              Counters.merge_into ~dst:c wc;
-              merge_acc acc part)
-            parts);
-  let feasible_count =
-    Counters.time c Counters.T_count (fun () -> Reach.schedule_count reach)
-  in
-  Reach.stats_commit reach;
-  let distinct_classes = Wordtbl.length acc.classes in
-  Counters.set c Counters.Classes distinct_classes;
-  {
-    n;
-    feasible_count;
-    truncated = !truncated;
-    distinct_classes;
-    before_some;
-    comparable_some = acc.comparable;
-    incomparable_some = acc.incomparable;
-  }
+  of_session_reduced (Session.create ?limit ~jobs ?stats ~cache:Session.no_cache sk)
 
 let holds t relation a b =
   if a = b then false

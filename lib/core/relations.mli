@@ -41,6 +41,19 @@ type t = {
   incomparable_some : Rel.t;  (** some po(σ) leaves a,b unordered (symmetric) *)
 }
 
+val of_summary : Session.summary -> t
+(** Rebuilds the record from a session summary (same fields, same
+    semantics) — the bridge every entry point below goes through. *)
+
+val of_session : Session.t -> t
+(** The full-enumeration summary of a shared {!Session} ([Session.summary]):
+    one registered fold over the session's single pass, served from the
+    session's cache when warm.  Use this (rather than {!compute}) when
+    other analyses share the session. *)
+
+val of_session_reduced : Session.t -> t
+(** Class-level summary of a shared session ([Session.summary_reduced]). *)
+
 val compute : ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Skeleton.t -> t
 (** Enumerates every feasible schedule (up to [limit], default unlimited)
     and accumulates the three existential summaries.  With a [limit] the

@@ -9,8 +9,10 @@ type check = {
 
 let decide_of_trace ?stats tr = Decide.create ?stats (Trace.to_execution tr)
 
-let decide_pair ?stats ~relation ~satisfiable tr a b =
-  let decide = decide_of_trace ?stats tr in
+(* The decision step against an already-built [Decide.t], so several
+   theorems over one reduction trace can share its session (and memoized
+   reachability engine). *)
+let decide_with decide ~relation ~satisfiable a b =
   let verdict =
     match relation with
     | `Mhb_ab ->
@@ -23,23 +25,34 @@ let decide_pair ?stats ~relation ~satisfiable tr a b =
   Decide.stats_commit decide;
   verdict
 
-let check_sem ?stats ?(binary = false) ~theorem ~relation formula =
+let sem_context ?(binary = false) formula =
   let red = Reduction_sem.build ~binary formula in
   let tr = Reduction_sem.trace red in
   let a, b = Reduction_sem.events_ab red tr in
-  let satisfiable = Dpll.is_satisfiable formula in
-  let ordering_holds, agrees = decide_pair ?stats ~relation ~satisfiable tr a b in
-  { theorem; formula; satisfiable; ordering_holds; agrees;
-    n_events = Trace.n_events tr }
+  (tr, a, b)
 
-let check_evt ?stats ~theorem ~relation formula =
+let evt_context formula =
   let red = Reduction_evt.build formula in
   let tr = Reduction_evt.trace red in
   let a, b = Reduction_evt.events_ab red tr in
-  let satisfiable = Dpll.is_satisfiable formula in
-  let ordering_holds, agrees = decide_pair ?stats ~relation ~satisfiable tr a b in
+  (tr, a, b)
+
+let check_with decide ~theorem ~relation ~satisfiable ~formula tr a b =
+  let ordering_holds, agrees = decide_with decide ~relation ~satisfiable a b in
   { theorem; formula; satisfiable; ordering_holds; agrees;
     n_events = Trace.n_events tr }
+
+let check_sem ?stats ?binary ~theorem ~relation formula =
+  let tr, a, b = sem_context ?binary formula in
+  let satisfiable = Dpll.is_satisfiable formula in
+  check_with (decide_of_trace ?stats tr) ~theorem ~relation ~satisfiable ~formula
+    tr a b
+
+let check_evt ?stats ~theorem ~relation formula =
+  let tr, a, b = evt_context formula in
+  let satisfiable = Dpll.is_satisfiable formula in
+  check_with (decide_of_trace ?stats tr) ~theorem ~relation ~satisfiable ~formula
+    tr a b
 
 let check_theorem_1 ?stats f =
   check_sem ?stats ~binary:false ~theorem:1 ~relation:`Mhb_ab f
@@ -57,12 +70,26 @@ let check_theorem_2_binary ?stats f =
 let check_theorem_3 ?stats f = check_evt ?stats ~theorem:3 ~relation:`Mhb_ab f
 let check_theorem_4 ?stats f = check_evt ?stats ~theorem:4 ~relation:`Chb_ba f
 
+(* All four theorems from shared work: one SAT verdict, one reduction
+   trace and one session-backed [Decide.t] per reduction style —
+   Theorems 1 & 2 ask about the same semaphore program (MHB a b vs
+   CHB b a share the session's reachability memo) and 3 & 4 about the
+   same event-style program. *)
 let check_all ?stats formula =
+  let satisfiable = Dpll.is_satisfiable formula in
+  let tr_sem, a_s, b_s = sem_context formula in
+  let d_sem = decide_of_trace ?stats tr_sem in
+  let tr_evt, a_e, b_e = evt_context formula in
+  let d_evt = decide_of_trace ?stats tr_evt in
   [
-    check_theorem_1 ?stats formula;
-    check_theorem_2 ?stats formula;
-    check_theorem_3 ?stats formula;
-    check_theorem_4 ?stats formula;
+    check_with d_sem ~theorem:1 ~relation:`Mhb_ab ~satisfiable ~formula tr_sem
+      a_s b_s;
+    check_with d_sem ~theorem:2 ~relation:`Chb_ba ~satisfiable ~formula tr_sem
+      a_s b_s;
+    check_with d_evt ~theorem:3 ~relation:`Mhb_ab ~satisfiable ~formula tr_evt
+      a_e b_e;
+    check_with d_evt ~theorem:4 ~relation:`Chb_ba ~satisfiable ~formula tr_evt
+      a_e b_e;
   ]
 
 let pp_check ppf c =

@@ -38,5 +38,11 @@ val check_theorem_1_binary : ?stats:Telemetry.t -> Cnf.t -> check
 val check_theorem_2_binary : ?stats:Telemetry.t -> Cnf.t -> check
 
 val check_all : ?stats:Telemetry.t -> Cnf.t -> check list
+(** All four checks from shared work: the SAT verdict is decided once
+    and each reduction style (semaphore for 1–2, event-style for 3–4)
+    builds one trace and one session-backed decision procedure, so the
+    two theorems of a style share one memoized reachability engine
+    instead of re-launching the search.  Verdicts are identical to the
+    individual [check_theorem_*] calls. *)
 
 val pp_check : Format.formatter -> check -> unit

@@ -1,0 +1,675 @@
+type cache = { memory : bool; dir : string option }
+
+let no_cache = { memory = false; dir = None }
+let default_cache () = { memory = true; dir = Config.cache_dir () }
+
+(* Process-wide LRU over serialized payloads, shared by every session so
+   repeated analyses of one program amortize across sessions too.  Entry
+   count is tiny (the payloads, not the programs, dominate), so a
+   move-to-front assoc list is exact LRU at no bookkeeping cost.
+   Single-domain like sessions themselves: worker domains never touch
+   the cache. *)
+module Lru = struct
+  let capacity = 64
+  let entries : (string * string) list ref = ref []
+
+  let find key =
+    match List.assoc_opt key !entries with
+    | None -> None
+    | Some payload ->
+        entries := (key, payload) :: List.remove_assoc key !entries;
+        Some payload
+
+  let store key payload =
+    let rest = List.remove_assoc key !entries in
+    let rest =
+      if List.length rest >= capacity then List.filteri (fun i _ -> i < capacity - 1) rest
+      else rest
+    in
+    entries := (key, payload) :: rest
+
+  let clear () = entries := []
+end
+
+let clear_memory_cache () = Lru.clear ()
+
+type 'a handle = { mutable value : 'a option; mutable force : unit -> unit }
+
+(* A registered fold, existentially packed.  [visit] uniformly takes the
+   pinned order as an option: it is [Some] whenever any fold on the pass
+   declared [needs_po], so the (quadratic-ish) [Pinned.po_of_schedule]
+   runs at most once per schedule however many consumers ride along. *)
+type consumer =
+  | C : {
+      needs_po : bool;
+      init : unit -> 'a;
+      visit : 'a -> int array -> Rel.t option -> unit;
+      merge : 'a -> 'a -> unit;
+      handle : 'a handle;
+    }
+      -> consumer
+
+type summary = {
+  n : int;
+  feasible_count : int;
+  truncated : bool;
+  distinct_classes : int;
+  before_some : Rel.t;
+  comparable_some : Rel.t;
+  incomparable_some : Rel.t;
+}
+
+type t = {
+  sk : Skeleton.t;
+  limit : int option;
+  jobs : int;
+  stats : Telemetry.t option;
+  c : Counters.t;
+  cache : cache;
+  key : Program_key.t Lazy.t;
+  mutable reach : Reach.t option;
+  mutable pending_full : consumer list;  (* reversed registration order *)
+  mutable pending_por : consumer list;
+  mutable full_stats : (int * bool) option;  (* schedules visited, truncated *)
+  mutable por_stats : (int * bool) option;  (* representatives, truncated *)
+  mutable summary_memo : summary option;
+  mutable summary_reduced_memo : summary option;
+}
+
+let create ?limit ?(jobs = 1) ?stats ?(cache = no_cache) sk =
+  let c = match stats with Some tel -> Telemetry.counters tel | None -> Counters.null in
+  {
+    sk;
+    limit;
+    jobs;
+    stats;
+    c;
+    cache;
+    key = lazy (Program_key.of_execution sk.Skeleton.execution);
+    reach = None;
+    pending_full = [];
+    pending_por = [];
+    full_stats = None;
+    por_stats = None;
+    summary_memo = None;
+    summary_reduced_memo = None;
+  }
+
+let of_execution ?limit ?jobs ?stats ?cache x =
+  create ?limit ?jobs ?stats ?cache (Skeleton.of_execution x)
+
+let skeleton t = t.sk
+let execution t = t.sk.Skeleton.execution
+let key t = Lazy.force t.key
+let limit t = t.limit
+let jobs t = t.jobs
+let telemetry t = t.stats
+let full_pass_stats t = t.full_stats
+
+let reach t =
+  match t.reach with
+  | Some r -> r
+  | None ->
+      let r = Reach.create ~stats:t.c t.sk in
+      t.reach <- Some r;
+      r
+
+let set_run t =
+  match t.stats with
+  | None -> ()
+  | Some tel ->
+      Telemetry.set_run tel ~engine:(Engine.to_string (Engine.current ())) ~jobs:t.jobs
+
+let worker_counters c = if Counters.enabled c then Counters.create () else Counters.null
+
+(* ------------------------------------------------------------------ *)
+(* The keyed cache: in-memory LRU in front of the optional disk store. *)
+
+let cache_enabled t = t.cache.memory || t.cache.dir <> None
+
+(* Every dimension that changes what a result means is part of the key,
+   so staleness is impossible by construction: engine or limit or
+   program mismatch = different key = miss. *)
+let entry_key t ~kind =
+  Printf.sprintf "%s.%s.%s.%s" (Lazy.force t.key).Program_key.hash kind
+    (Engine.to_string (Engine.current ()))
+    (match t.limit with None -> "nolimit" | Some l -> string_of_int l)
+
+let cache_version = "eocache/1"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let disk_path t ek =
+  match t.cache.dir with None -> None | Some dir -> Some (Filename.concat dir (ek ^ ".eocache"))
+
+let disk_read t ek =
+  match disk_path t ek with
+  | None -> None
+  | Some path -> (
+      try
+        let ic = open_in_bin path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        let len = in_channel_length ic in
+        let content = really_input_string ic len in
+        match String.index_opt content '\n' with
+        | None -> None
+        | Some i -> (
+            if String.sub content 0 i <> cache_version then None
+            else
+              let rest = String.sub content (i + 1) (len - i - 1) in
+              match String.index_opt rest '\n' with
+              | None -> None
+              | Some j ->
+                  if String.sub rest 0 j <> ek then None
+                  else Some (String.sub rest (j + 1) (String.length rest - j - 1)))
+      with Sys_error _ | End_of_file -> None)
+
+let disk_write t ek payload =
+  match disk_path t ek with
+  | None -> ()
+  | Some path -> (
+      try
+        Option.iter mkdir_p t.cache.dir;
+        let tmp = path ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        output_string oc cache_version;
+        output_char oc '\n';
+        output_string oc ek;
+        output_char oc '\n';
+        output_string oc payload;
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ -> ())
+
+let lookup_cached t ~kind ~decode =
+  if not (cache_enabled t) then None
+  else begin
+    let ek = entry_key t ~kind in
+    let decoded src payload =
+      match decode payload with
+      | Some v ->
+          Counters.bump t.c
+            (match src with
+            | `Memory -> Counters.Cache_memory_hits
+            | `Disk -> Counters.Cache_disk_hits);
+          if src = `Disk && t.cache.memory then Lru.store ek payload;
+          Some v
+      | None ->
+          Counters.bump t.c Counters.Cache_misses;
+          None
+    in
+    match (if t.cache.memory then Lru.find ek else None) with
+    | Some payload -> decoded `Memory payload
+    | None -> (
+        match disk_read t ek with
+        | Some payload -> decoded `Disk payload
+        | None ->
+            Counters.bump t.c Counters.Cache_misses;
+            None)
+  end
+
+let store_cached t ~kind payload =
+  if cache_enabled t then begin
+    let ek = entry_key t ~kind in
+    if t.cache.memory then Lru.store ek payload;
+    disk_write t ek payload;
+    Counters.bump t.c Counters.Cache_stores
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pass drivers.  Each drains every fold registered on its pass: one
+   traversal serves them all.  The parallel paths follow the invariance
+   discipline of {!Parallel}: per-task accumulators and counters are
+   created per subtree and merged on the coordinating domain in task
+   order, so results and search counters are bit-identical to jobs=1. *)
+
+(* Instantiate one consumer for a sequential walk: an [apply] to call
+   per schedule and a [finish] that publishes the accumulator. *)
+let sequential_instances consumers =
+  List.map
+    (fun (C r) ->
+      let acc = r.init () in
+      ((fun schedule po -> r.visit acc schedule po), fun () -> r.handle.value <- Some acc))
+    consumers
+
+(* Instantiate for a parallel walk: a coordinator-side master plus a
+   per-task factory whose [commit] merges into the master (commits run
+   on the coordinator, in task order). *)
+let parallel_instances consumers =
+  List.map
+    (fun (C r) ->
+      let master = r.init () in
+      let make_task () =
+        let acc = r.init () in
+        ((fun schedule po -> r.visit acc schedule po), fun () -> r.merge master acc)
+      in
+      (make_task, fun () -> r.handle.value <- Some master))
+    consumers
+
+let needs_po consumers = List.exists (fun (C r) -> r.needs_po) consumers
+
+let run_full t =
+  match t.pending_full with
+  | [] -> ()
+  | pending ->
+      t.pending_full <- [];
+      let consumers = List.rev pending in
+      let c = t.c in
+      set_run t;
+      Counters.bump c Counters.Session_passes;
+      Counters.time c Counters.T_total @@ fun () ->
+      let sk = t.sk in
+      let with_po = needs_po consumers in
+      let po_opt schedule =
+        if with_po then Some (Pinned.po_of_schedule sk schedule) else None
+      in
+      let run_sequential () =
+        let insts = sequential_instances consumers in
+        let count =
+          Counters.time c Counters.T_enumerate (fun () ->
+              Enumerate.iter ?limit:t.limit ~stats:c sk (fun schedule ->
+                  let po = po_opt schedule in
+                  List.iter (fun (apply, _) -> apply schedule po) insts))
+        in
+        let truncated = match t.limit with Some l -> count >= l | None -> false in
+        t.full_stats <- Some (count, truncated);
+        List.iter (fun (_, finish) -> finish ()) insts
+      in
+      let parallel = t.jobs > 1 && t.limit = None && Engine.current () = Engine.Packed in
+      if not parallel then run_sequential ()
+      else begin
+        match Parallel.split_prefixes ~stats:c sk ~jobs:t.jobs with
+        | None -> run_sequential ()
+        | Some (depth, prefixes) ->
+            Option.iter (fun tel -> Telemetry.set_split_depth tel depth) t.stats;
+            let insts = parallel_instances consumers in
+            let results =
+              Counters.time c Counters.T_enumerate (fun () ->
+                  Parallel.map ?telemetry:t.stats ~jobs:t.jobs
+                    (fun prefix ->
+                      let wc = worker_counters c in
+                      let tasks = List.map (fun (make_task, _) -> make_task ()) insts in
+                      let count =
+                        Enumerate.iter_from ~stats:wc sk ~prefix (fun schedule ->
+                            let po = po_opt schedule in
+                            List.iter (fun (apply, _) -> apply schedule po) tasks)
+                      in
+                      (count, List.map snd tasks, wc))
+                    prefixes)
+            in
+            Option.iter
+              (fun tel ->
+                Telemetry.set_task_schedules tel (Array.map (fun (k, _, _) -> k) results))
+              t.stats;
+            let total =
+              Array.fold_left
+                (fun total (count, commits, wc) ->
+                  Counters.bump c Counters.Par_merges;
+                  Counters.merge_into ~dst:c wc;
+                  List.iter (fun commit -> commit ()) commits;
+                  total + count)
+                0 results
+            in
+            t.full_stats <- Some (total, false);
+            List.iter (fun (_, finish) -> finish ()) insts
+      end
+
+let run_por t =
+  match t.pending_por with
+  | [] -> ()
+  | pending ->
+      t.pending_por <- [];
+      let consumers = List.rev pending in
+      let c = t.c in
+      set_run t;
+      Counters.bump c Counters.Session_passes;
+      Counters.time c Counters.T_total @@ fun () ->
+      let sk = t.sk in
+      let run_sequential () =
+        let insts = sequential_instances consumers in
+        let reps =
+          Counters.time c Counters.T_enumerate (fun () ->
+              Por.iter_representatives ?limit:t.limit ~stats:c sk (fun schedule ->
+                  let po = Some (Pinned.po_of_schedule sk schedule) in
+                  List.iter (fun (apply, _) -> apply schedule po) insts))
+        in
+        let truncated = match t.limit with Some l -> reps >= l | None -> false in
+        t.por_stats <- Some (reps, truncated);
+        List.iter (fun (_, finish) -> finish ()) insts
+      in
+      let parallel = t.jobs > 1 && t.limit = None && Engine.current () = Engine.Packed in
+      if not parallel then run_sequential ()
+      else begin
+        match Parallel.split_por_tasks ~stats:c sk ~jobs:t.jobs with
+        | None -> run_sequential ()
+        | Some (depth, tasks) ->
+            Option.iter (fun tel -> Telemetry.set_split_depth tel depth) t.stats;
+            let insts = parallel_instances consumers in
+            let parts =
+              Counters.time c Counters.T_enumerate (fun () ->
+                  Parallel.map ?telemetry:t.stats ~jobs:t.jobs
+                    (fun task ->
+                      let wc = worker_counters c in
+                      let tinsts = List.map (fun (make_task, _) -> make_task ()) insts in
+                      let reps =
+                        Por.iter_task ~stats:wc sk task (fun schedule ->
+                            let po = Some (Pinned.po_of_schedule sk schedule) in
+                            List.iter (fun (apply, _) -> apply schedule po) tinsts)
+                      in
+                      (reps, List.map snd tinsts, wc))
+                    tasks)
+            in
+            Option.iter
+              (fun tel ->
+                Telemetry.set_task_schedules tel (Array.map (fun (r, _, _) -> r) parts))
+              t.stats;
+            let total =
+              Array.fold_left
+                (fun total (reps, commits, wc) ->
+                  Counters.bump c Counters.Par_merges;
+                  Counters.merge_into ~dst:c wc;
+                  List.iter (fun commit -> commit ()) commits;
+                  total + reps)
+                0 parts
+            in
+            t.por_stats <- Some (total, false);
+            List.iter (fun (_, finish) -> finish ()) insts
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Registration. *)
+
+let register_full t ~needs_po ~init ~visit ~merge =
+  let handle = { value = None; force = Fun.id } in
+  handle.force <- (fun () -> run_full t);
+  t.pending_full <- C { needs_po; init; visit; merge; handle } :: t.pending_full;
+  handle
+
+let fold_schedules t ~init ~visit ~merge =
+  register_full t ~needs_po:false ~init
+    ~visit:(fun acc schedule _po -> visit acc schedule)
+    ~merge
+
+let fold_pinned t ~init ~visit ~merge =
+  register_full t ~needs_po:true ~init
+    ~visit:(fun acc schedule po -> visit acc schedule (Option.get po))
+    ~merge
+
+let fold_classes t ~init ~visit ~merge =
+  let handle = { value = None; force = Fun.id } in
+  handle.force <- (fun () -> run_por t);
+  t.pending_por <-
+    C
+      {
+        needs_po = true;
+        init;
+        visit = (fun acc schedule po -> visit acc schedule (Option.get po));
+        merge;
+        handle;
+      }
+    :: t.pending_por;
+  handle
+
+let result h =
+  match h.value with
+  | Some v -> v
+  | None ->
+      h.force ();
+      Option.get h.value
+
+(* ------------------------------------------------------------------ *)
+(* The summary consumer (what [Relations.t] is rebuilt from), moved
+   here from lib/core so one registered fold can serve it. *)
+
+type sum_acc = {
+  before : Rel.t;
+  comparable : Rel.t;
+  incomparable : Rel.t;
+  classes : unit Wordtbl.t;
+  position : int array;
+}
+
+let make_acc n =
+  {
+    before = Rel.create n;
+    comparable = Rel.create n;
+    incomparable = Rel.create n;
+    classes = Wordtbl.create 64;
+    position = Array.make n 0;
+  }
+
+let record_class acc po =
+  let key = Rel.pack po in
+  if not (Wordtbl.mem acc.classes key) then Wordtbl.add acc.classes key ()
+
+let record_comparability acc po =
+  let n = Array.length acc.position in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then
+        if Rel.mem po a b || Rel.mem po b a then Rel.add acc.comparable a b
+        else Rel.add acc.incomparable a b
+    done
+  done
+
+let visit_full acc schedule po =
+  let n = Array.length schedule in
+  Array.iteri (fun pos e -> acc.position.(e) <- pos) schedule;
+  record_class acc po;
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && acc.position.(a) < acc.position.(b) then Rel.add acc.before a b
+    done
+  done;
+  record_comparability acc po
+
+let visit_class acc _schedule po =
+  record_class acc po;
+  record_comparability acc po
+
+let merge_acc dst src =
+  Rel.union_into dst.before src.before;
+  Rel.union_into dst.comparable src.comparable;
+  Rel.union_into dst.incomparable src.incomparable;
+  Wordtbl.iter
+    (fun k () -> if not (Wordtbl.mem dst.classes k) then Wordtbl.add dst.classes k ())
+    src.classes
+
+(* ------------------------------------------------------------------ *)
+(* Summary (de)serialization, in canonical coordinates. *)
+
+let encode_rel buf to_canonical tag rel =
+  let pairs =
+    List.sort compare
+      (List.map (fun (a, b) -> (to_canonical.(a), to_canonical.(b))) (Rel.to_pairs rel))
+  in
+  Printf.bprintf buf "%s %d\n" tag (List.length pairs);
+  List.iter (fun (a, b) -> Printf.bprintf buf "%d %d\n" a b) pairs
+
+let encode_summary t s =
+  let tc = (Lazy.force t.key).Program_key.to_canonical in
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "summary %d %d %b %d\n" s.n s.feasible_count s.truncated
+    s.distinct_classes;
+  encode_rel buf tc "before" s.before_some;
+  encode_rel buf tc "comparable" s.comparable_some;
+  encode_rel buf tc "incomparable" s.incomparable_some;
+  Buffer.contents buf
+
+exception Malformed
+
+let decode_summary t payload =
+  let oc = (Lazy.force t.key).Program_key.of_canonical in
+  let lines = Array.of_list (String.split_on_char '\n' payload) in
+  let cursor = ref 0 in
+  let next () =
+    if !cursor >= Array.length lines then raise Malformed
+    else begin
+      let l = lines.(!cursor) in
+      incr cursor;
+      l
+    end
+  in
+  try
+    let n, feasible_count, truncated, distinct_classes =
+      Scanf.sscanf (next ()) "summary %d %d %B %d" (fun a b c d -> (a, b, c, d))
+    in
+    if n <> Array.length oc then None
+    else begin
+      let decode_rel tag =
+        let count = Scanf.sscanf (next ()) "%s %d" (fun t c -> if t <> tag then raise Malformed else c) in
+        let rel = Rel.create n in
+        for _ = 1 to count do
+          let a, b = Scanf.sscanf (next ()) "%d %d" (fun a b -> (a, b)) in
+          if a < 0 || a >= n || b < 0 || b >= n then raise Malformed;
+          Rel.add rel oc.(a) oc.(b)
+        done;
+        rel
+      in
+      let before_some = decode_rel "before" in
+      let comparable_some = decode_rel "comparable" in
+      let incomparable_some = decode_rel "incomparable" in
+      Some
+        {
+          n;
+          feasible_count;
+          truncated;
+          distinct_classes;
+          before_some;
+          comparable_some;
+          incomparable_some;
+        }
+    end
+  with Malformed | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+(* ------------------------------------------------------------------ *)
+(* Cached whole-program summaries. *)
+
+let compute_summary_full t =
+  let n = t.sk.Skeleton.n in
+  let handle =
+    fold_pinned t ~init:(fun () -> make_acc n) ~visit:visit_full ~merge:merge_acc
+  in
+  let acc = result handle in
+  let feasible_count, truncated = Option.get t.full_stats in
+  {
+    n;
+    feasible_count;
+    truncated;
+    distinct_classes = Wordtbl.length acc.classes;
+    before_some = acc.before;
+    comparable_some = acc.comparable;
+    incomparable_some = acc.incomparable;
+  }
+
+let compute_summary_reduced t =
+  let n = t.sk.Skeleton.n in
+  let c = t.c in
+  set_run t;
+  let reach = reach t in
+  let parallel = t.jobs > 1 && Engine.current () = Engine.Packed in
+  let before_some = Rel.create n in
+  (* Happened-before bits: n² reachability queries.  Parallel mode splits
+     the rows into one contiguous block per worker, each with its own
+     memoizing engine (the memo tables are not shared between domains);
+     blocks touch disjoint rows, so the union is trivially deterministic. *)
+  let fill_before reach rel lo hi =
+    for a = lo to hi do
+      for b = 0 to n - 1 do
+        if Reach.exists_before reach a b then Rel.add rel a b
+      done
+    done
+  in
+  Counters.time c Counters.T_total (fun () ->
+      Counters.time c Counters.T_before (fun () ->
+          if (not parallel) || n < 2 then fill_before reach before_some 0 (n - 1)
+          else begin
+            let k = min t.jobs n in
+            let ranges =
+              Array.init k (fun i ->
+                  let lo = i * n / k and hi = (((i + 1) * n) / k) - 1 in
+                  (lo, hi))
+            in
+            let parts =
+              Parallel.map ?telemetry:t.stats ~jobs:t.jobs
+                (fun (lo, hi) ->
+                  let wc = worker_counters c in
+                  let rel = Rel.create n in
+                  let worker_reach = Reach.create ~stats:wc t.sk in
+                  fill_before worker_reach rel lo hi;
+                  Reach.stats_commit worker_reach;
+                  (rel, wc))
+                ranges
+            in
+            Array.iter
+              (fun (rel, wc) ->
+                Counters.merge_into ~dst:c wc;
+                Rel.union_into before_some rel)
+              parts
+          end));
+  (* Comparability bits and class count ride the POR pass (together with
+     any other class folds registered on this session). *)
+  let handle =
+    fold_classes t ~init:(fun () -> make_acc n) ~visit:visit_class ~merge:merge_acc
+  in
+  let acc = result handle in
+  let truncated = match t.por_stats with Some (_, tr) -> tr | None -> false in
+  let feasible_count =
+    Counters.time c Counters.T_total (fun () ->
+        Counters.time c Counters.T_count (fun () -> Reach.schedule_count reach))
+  in
+  Reach.stats_commit reach;
+  {
+    n;
+    feasible_count;
+    truncated;
+    distinct_classes = Wordtbl.length acc.classes;
+    before_some;
+    comparable_some = acc.comparable;
+    incomparable_some = acc.incomparable;
+  }
+
+let cached_summary t ~kind ~memo ~set_memo ~compute =
+  Counters.bump t.c Counters.Session_queries;
+  match memo with
+  | Some s -> s
+  | None ->
+      let s =
+        match lookup_cached t ~kind ~decode:(decode_summary t) with
+        | Some s -> s
+        | None ->
+            let s = compute t in
+            if cache_enabled t then store_cached t ~kind (encode_summary t s);
+            s
+      in
+      Counters.set t.c Counters.Classes s.distinct_classes;
+      set_memo s;
+      s
+
+let summary t =
+  cached_summary t ~kind:"summary-full" ~memo:t.summary_memo
+    ~set_memo:(fun s -> t.summary_memo <- Some s)
+    ~compute:compute_summary_full
+
+let summary_reduced t =
+  cached_summary t ~kind:"summary-reduced" ~memo:t.summary_reduced_memo
+    ~set_memo:(fun s -> t.summary_reduced_memo <- Some s)
+    ~compute:compute_summary_reduced
+
+let schedule_count t =
+  Counters.bump t.c Counters.Session_queries;
+  Reach.schedule_count (reach t)
+
+let cached_blob t ~kind produce =
+  Counters.bump t.c Counters.Session_queries;
+  match lookup_cached t ~kind ~decode:(fun p -> Some p) with
+  | Some payload -> payload
+  | None ->
+      let payload = produce () in
+      store_cached t ~kind payload;
+      payload

@@ -1,0 +1,172 @@
+(** Shared analysis sessions: enumerate [F(P)] once, answer every query.
+
+    Every exact analysis in this repository — the six Table-1 relation
+    matrices, per-pair decision procedures, race feasibility, the
+    theorem checkers — quantifies over the {e same} set of feasible
+    executions, yet historically each entry point launched its own
+    traversal.  A [Session.t] owns one program (as a {!Skeleton.t}) and
+    amortizes the exponential work three ways:
+
+    - {b one pass, many consumers}: analyses register folds over the
+      feasible schedules ({!fold_schedules}, {!fold_pinned}) or over the
+      POR representatives ({!fold_classes}); all folds registered on a
+      pass are driven by a single traversal, sequential or Domain-
+      parallel with deterministic task-order merging (bit-identical to
+      [jobs = 1]).  The API is resumable: folds registered after a pass
+      ran are served by a fresh pass, earlier results stay valid.
+    - {b one memoized state engine}: {!reach} is created once and shared
+      by every reachability query the session answers.
+    - {b a keyed result cache}: results are stored under the
+      {!Program_key} canonical content hash in an in-memory LRU and,
+      optionally, an on-disk cache ([EO_CACHE_DIR] / [--cache]).  Cache
+      entries are versioned and keyed by (program hash, result kind,
+      engine, limit): any mismatch — a different engine, a different
+      enumeration cap, a different program, a future format bump — is a
+      miss, never a wrong answer.  Payloads are stored in canonical
+      event coordinates, so a result cached under one event numbering
+      is served to any renumbering of the same program.
+
+    Sessions are single-domain objects: create and query them from one
+    domain (the passes spawn their own workers internally).  Activity is
+    observable through the [session_*] / [cache_*] counters of
+    {!Counters} when the session carries a {!Telemetry.t}. *)
+
+type t
+
+(** {2 Caching policy} *)
+
+type cache = {
+  memory : bool;  (** consult/populate the process-wide LRU *)
+  dir : string option;  (** on-disk cache directory (absolute), if any *)
+}
+
+val no_cache : cache
+(** Caching fully disabled — the default for {!create}, and what the
+    legacy one-shot wrappers use, so their counter reports stay
+    reproducible run to run. *)
+
+val default_cache : unit -> cache
+(** LRU enabled; disk directory from [EO_CACHE_DIR] ({!Config.cache_dir})
+    when set.  What the CLI uses. *)
+
+val clear_memory_cache : unit -> unit
+(** Empties the process-wide LRU (tests). *)
+
+(** {2 Construction and accessors} *)
+
+val create :
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> ?cache:cache ->
+  Skeleton.t -> t
+(** [limit] caps enumeration passes (uniform semantics: capped walks are
+    sound under-approximations and stay sequential); [jobs] (default
+    [1]) sets the worker-domain count for parallel passes; [cache]
+    defaults to {!no_cache}. *)
+
+val of_execution :
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> ?cache:cache ->
+  Execution.t -> t
+
+val skeleton : t -> Skeleton.t
+val execution : t -> Execution.t
+
+val key : t -> Program_key.t
+(** The canonical content hash (computed lazily on first use). *)
+
+val limit : t -> int option
+val jobs : t -> int
+val telemetry : t -> Telemetry.t option
+
+val reach : t -> Reach.t
+(** The shared memoized state engine (created on first use; all
+    reachability queries of this session share its memo tables). *)
+
+val schedule_count : t -> int
+(** [|F(P)|] by the counting DP of {!Reach.schedule_count} — no
+    enumeration, saturating at [Reach.count_saturation]. *)
+
+(** {2 Registered folds — the consumer API}
+
+    A fold is [init]/[visit]/[merge]: [init] allocates one accumulator
+    (called once for the sequential path, once per subtree task for the
+    parallel path), [visit] folds one schedule into it, and [merge dst
+    src] combines per-task accumulators {e in task order} — it must be
+    commutative and associative for the parallel result to equal the
+    sequential one.  Registration returns a handle; {!result} forces the
+    owning pass (driving every fold registered on it so far) and yields
+    this fold's accumulator.  The schedule array passed to [visit] is
+    reused between calls — copy to keep. *)
+
+type 'a handle
+
+val fold_schedules :
+  t ->
+  init:(unit -> 'a) ->
+  visit:('a -> int array -> unit) ->
+  merge:('a -> 'a -> unit) ->
+  'a handle
+(** Folds over {e every} feasible schedule (the full-enumeration pass,
+    up to the session [limit]). *)
+
+val fold_pinned :
+  t ->
+  init:(unit -> 'a) ->
+  visit:('a -> int array -> Rel.t -> unit) ->
+  merge:('a -> 'a -> unit) ->
+  'a handle
+(** Like {!fold_schedules}, but [visit] also receives the pinned partial
+    order {!Pinned.po_of_schedule} of each schedule — computed once per
+    schedule and shared by every pinned fold on the pass. *)
+
+val fold_classes :
+  t ->
+  init:(unit -> 'a) ->
+  visit:('a -> int array -> Rel.t -> unit) ->
+  merge:('a -> 'a -> unit) ->
+  'a handle
+(** Folds over POR {e representatives} (at least one schedule per
+    commutation class, usually exponentially fewer than [F(P)]), with
+    each representative's pinned order.  Sound for per-class properties
+    only. *)
+
+val result : 'a handle -> 'a
+(** Forces the pass this handle was registered on, if it has not run
+    yet, and returns the fold's accumulator.  Idempotent. *)
+
+val full_pass_stats : t -> (int * bool) option
+(** [(feasible, truncated)] of the last full-enumeration pass, if one
+    ran: how many schedules were visited and whether the [limit] cut the
+    walk short. *)
+
+(** {2 Cached whole-program summaries} *)
+
+type summary = {
+  n : int;
+  feasible_count : int;
+  truncated : bool;
+  distinct_classes : int;
+  before_some : Rel.t;
+  comparable_some : Rel.t;
+  incomparable_some : Rel.t;
+}
+(** Mirrors [Relations.t] (which is rebuilt from it): the three
+    existential bit matrices every Table-1 relation derives from, plus
+    the counts. *)
+
+val summary : t -> summary
+(** The summary by full enumeration (the reference path) — served from
+    cache when possible, else computed as a {!fold_pinned} on this
+    session and stored. *)
+
+val summary_reduced : t -> summary
+(** The summary the smart way: happened-before bits by shared-{!reach}
+    reachability, comparability bits and class count as a
+    {!fold_classes} over POR representatives, count by the counting DP.
+    Cached separately from {!summary} (a [limit] gives the two different
+    truncation behaviour). *)
+
+val cached_blob : t -> kind:string -> (unit -> string) -> string
+(** [cached_blob t ~kind produce] serves an arbitrary consumer-encoded
+    payload from the session cache under this session's key and the
+    given [kind] (e.g. the race layer stores its feasible-race set), or
+    runs [produce] and stores its result.  Payload coordinates are the
+    consumer's business — encode via {!key} if event ids are involved. *)

@@ -1,0 +1,78 @@
+type t = {
+  hash : string;
+  to_canonical : int array;
+  of_canonical : int array;
+}
+
+let canonical_permutation (x : Execution.t) =
+  let n = Array.length x.events in
+  let of_canonical = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let ea = x.events.(a) and eb = x.events.(b) in
+      let c = compare ea.Event.pid eb.Event.pid in
+      if c <> 0 then c
+      else
+        let c = compare ea.Event.seq eb.Event.seq in
+        if c <> 0 then c else compare a b)
+    of_canonical;
+  let to_canonical = Array.make n 0 in
+  Array.iteri (fun c orig -> to_canonical.(orig) <- c) of_canonical;
+  (to_canonical, of_canonical)
+
+let kind_tag = function
+  | Event.Computation -> "c"
+  | Event.Sync (Event.Sem_p s) -> Printf.sprintf "P%d" s
+  | Event.Sync (Event.Sem_v s) -> Printf.sprintf "V%d" s
+  | Event.Sync (Event.Post e) -> Printf.sprintf "E%d" e
+  | Event.Sync (Event.Wait e) -> Printf.sprintf "W%d" e
+  | Event.Sync (Event.Clear e) -> Printf.sprintf "C%d" e
+  | Event.Sync Event.Fork -> "f"
+  | Event.Sync Event.Join -> "j"
+
+let add_ints buf vars =
+  List.iter (fun v -> Printf.bprintf buf ",%d" v) (List.sort_uniq compare vars)
+
+let add_edges buf tag to_canonical rel =
+  let pairs =
+    List.sort compare
+      (List.map (fun (a, b) -> (to_canonical.(a), to_canonical.(b))) (Rel.to_pairs rel))
+  in
+  Printf.bprintf buf "%s %d\n" tag (List.length pairs);
+  List.iter (fun (a, b) -> Printf.bprintf buf "%d %d\n" a b) pairs
+
+let serialize (x : Execution.t) =
+  let _, of_canonical = canonical_permutation x in
+  let to_canonical = Array.make (Array.length of_canonical) 0 in
+  Array.iteri (fun c orig -> to_canonical.(orig) <- c) of_canonical;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "program_key/1\n";
+  Printf.bprintf buf "n %d vars %d\n" (Array.length x.events) x.num_shared_vars;
+  Buffer.add_string buf "sem";
+  Array.iter (fun v -> Printf.bprintf buf " %d" v) x.sem_init;
+  Buffer.add_string buf "\nbin";
+  Array.iter (fun b -> Printf.bprintf buf " %b" b) x.sem_binary;
+  Buffer.add_string buf "\nev";
+  Array.iter (fun b -> Printf.bprintf buf " %b" b) x.ev_init;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun orig ->
+      let e = x.events.(orig) in
+      Printf.bprintf buf "e %d %d %s r" e.Event.pid e.Event.seq (kind_tag e.Event.kind);
+      add_ints buf e.Event.reads;
+      Buffer.add_string buf " w";
+      add_ints buf e.Event.writes;
+      Buffer.add_char buf '\n')
+    of_canonical;
+  add_edges buf "po" to_canonical x.program_order;
+  add_edges buf "dep" to_canonical x.dependences;
+  Buffer.contents buf
+
+let of_execution x =
+  let to_canonical, of_canonical = canonical_permutation x in
+  let hash = Digest.to_hex (Digest.string (serialize x)) in
+  { hash; to_canonical; of_canonical }
+
+let hash t = t.hash
+
+let equal a b = String.equal a.hash b.hash

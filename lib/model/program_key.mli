@@ -1,0 +1,39 @@
+(** Canonical content hash of a program execution, for session caching.
+
+    Two observed executions receive the same key exactly when they
+    describe the same program behaviour up to {e event renumbering}:
+    the key is computed from a canonical serialization in which events
+    are sorted by [(pid, seq)] and every edge is expressed in those
+    canonical coordinates.  The stability contract:
+
+    - {b included}: per-event [(pid, seq, kind, reads, writes)] (access
+      sets sorted), the immediate program-order edges, the shared-data
+      dependence edges, the synchronization environment ([sem_init],
+      [sem_binary], [ev_init]) and [num_shared_vars];
+    - {b excluded}: event [id]s (any permutation yields the same key),
+      human-readable labels (printing only), and the full temporal
+      order [T] — the feasible set F(P) and every artifact the session
+      cache stores are functions of the skeleton alone, which does not
+      read [T] beyond the dependences it already induced.
+
+    Because cached artifacts are stored in canonical coordinates, the
+    key also carries the permutation between original event ids and
+    canonical indices, so a result cached under one numbering can be
+    decoded for a renumbered copy of the same program. *)
+
+type t = {
+  hash : string;  (** hex digest of the canonical serialization *)
+  to_canonical : int array;  (** original event id -> canonical index *)
+  of_canonical : int array;  (** canonical index -> original event id *)
+}
+
+val of_execution : Execution.t -> t
+
+val hash : t -> string
+
+val equal : t -> t -> bool
+(** Key (hence program) equality: hashes compare equal. *)
+
+val serialize : Execution.t -> string
+(** The canonical serialization itself ([hash] digests this string) —
+    exposed for tests that pin the renumbering-stability contract. *)

@@ -12,6 +12,16 @@ let lookup ~var ~expected ~default_text ~parse ~default =
 
 let resolve ~cli ~env = match cli with Some v -> v | None -> env ()
 
+let jobs_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+      Error
+        (Printf.sprintf "ignoring malformed EO_JOBS=%S (expected a positive integer)" s)
+  | Some j when j >= 1 -> Ok j
+  | Some j ->
+      Error
+        (Printf.sprintf "rejecting EO_JOBS=%d (a worker count must be at least 1)" j)
+
 let jobs_memo = ref None
 
 let jobs () =
@@ -19,15 +29,35 @@ let jobs () =
   | Some j -> j
   | None ->
       let j =
-        lookup ~var:"EO_JOBS" ~expected:"a positive integer" ~default_text:"1"
-          ~parse:(fun s ->
-            match int_of_string_opt (String.trim s) with
-            | Some j when j >= 1 -> Some j
-            | _ -> None)
-          ~default:1
+        match Sys.getenv_opt "EO_JOBS" with
+        | None | Some "" -> 1
+        | Some s -> (
+            match jobs_of_string s with
+            | Ok j -> j
+            | Error msg ->
+                Printf.eprintf "warning: %s; using 1\n%!" msg;
+                1)
       in
       jobs_memo := Some j;
       j
+
+let cache_dir_of_string s =
+  let s = String.trim s in
+  if s = "" then Error "ignoring empty EO_CACHE_DIR"
+  else if Filename.is_relative s then
+    Error
+      (Printf.sprintf "rejecting EO_CACHE_DIR=%S (a cache directory must be an absolute path)" s)
+  else Ok s
+
+let cache_dir () =
+  match Sys.getenv_opt "EO_CACHE_DIR" with
+  | None | Some "" -> None
+  | Some s -> (
+      match cache_dir_of_string s with
+      | Ok d -> Some d
+      | Error msg ->
+          Printf.eprintf "warning: %s; on-disk caching disabled\n%!" msg;
+          None)
 
 let engine_memo = ref None
 

@@ -28,9 +28,25 @@ val resolve : cli:'a option -> env:(unit -> 'a) -> 'a
 (** The precedence rule as code: [Some flag] wins, otherwise the
     (environment-backed) thunk decides. *)
 
+val jobs_of_string : string -> (int, string) result
+(** Pure [EO_JOBS] parser.  [Ok j] for an integer [j >= 1]; otherwise
+    [Error diagnostic] distinguishing a malformed value from a
+    rejected non-positive one (never silently clamped). *)
+
 val jobs : unit -> int
 (** [EO_JOBS] — worker domain count, default [1].  Cached after the
     first read so the warning prints at most once per process. *)
+
+val cache_dir_of_string : string -> (string, string) result
+(** Pure [EO_CACHE_DIR] parser.  [Ok dir] only for a non-empty
+    {b absolute} path; a relative path is rejected with a diagnostic
+    rather than being resolved against an unpredictable working
+    directory. *)
+
+val cache_dir : unit -> string option
+(** [EO_CACHE_DIR] — optional on-disk session-cache directory, default
+    [None] (disabled).  Invalid values warn on [stderr] and disable the
+    disk cache.  Deliberately uncached: read once per session. *)
 
 val engine_is_packed : unit -> bool
 (** [EO_ENGINE] — [true] unless the variable says ["naive"].  Cached.

@@ -16,6 +16,12 @@ type key =
   | Reach_tbl_resizes
   | Par_tasks
   | Par_merges
+  | Session_queries
+  | Session_passes
+  | Cache_memory_hits
+  | Cache_disk_hits
+  | Cache_misses
+  | Cache_stores
 
 let index = function
   | Enum_nodes -> 0
@@ -35,8 +41,14 @@ let index = function
   | Reach_tbl_resizes -> 14
   | Par_tasks -> 15
   | Par_merges -> 16
+  | Session_queries -> 17
+  | Session_passes -> 18
+  | Cache_memory_hits -> 19
+  | Cache_disk_hits -> 20
+  | Cache_misses -> 21
+  | Cache_stores -> 22
 
-let n_keys = 17
+let n_keys = 23
 
 let all_keys =
   [ Enum_nodes; Enum_pops; Enum_schedules; Limit_truncations;
@@ -44,7 +56,9 @@ let all_keys =
     Por_reps; Classes;
     Reach_queries; Reach_memo_hits; Reach_memo_misses;
     Reach_tbl_probes; Reach_tbl_resizes;
-    Par_tasks; Par_merges ]
+    Par_tasks; Par_merges;
+    Session_queries; Session_passes;
+    Cache_memory_hits; Cache_disk_hits; Cache_misses; Cache_stores ]
 
 let key_name = function
   | Enum_nodes -> "enum_nodes"
@@ -64,6 +78,12 @@ let key_name = function
   | Reach_tbl_resizes -> "reach_tbl_resizes"
   | Par_tasks -> "par_tasks_spawned"
   | Par_merges -> "par_merges"
+  | Session_queries -> "session_queries"
+  | Session_passes -> "session_passes"
+  | Cache_memory_hits -> "cache_memory_hits"
+  | Cache_disk_hits -> "cache_disk_hits"
+  | Cache_misses -> "cache_misses"
+  | Cache_stores -> "cache_stores"
 
 type timer = T_total | T_split | T_enumerate | T_before | T_count
 

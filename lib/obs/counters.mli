@@ -32,6 +32,12 @@ type key =
   | Reach_tbl_resizes   (** [Wordtbl] growths by the memo tables *)
   | Par_tasks           (** subtree tasks spawned by [Parallel] splitting *)
   | Par_merges          (** per-task accumulators merged, in task order *)
+  | Session_queries     (** consumer queries answered by a [Session] *)
+  | Session_passes      (** traversal passes a [Session] actually ran *)
+  | Cache_memory_hits   (** session results served from the in-memory LRU *)
+  | Cache_disk_hits     (** session results served from [EO_CACHE_DIR] *)
+  | Cache_misses        (** cache lookups that fell through to the engines *)
+  | Cache_stores        (** freshly computed results written to the cache *)
 
 type timer =
   | T_total       (** whole analysis *)

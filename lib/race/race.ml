@@ -67,7 +67,7 @@ let is_feasible_race ?limit ?(stats = Counters.null) x e1 e2 =
 let race_witness x e1 e2 =
   Reach.race_witness (Reach.create (skeleton_without_pair x e1 e2)) e1 e2
 
-let feasible_races ?limit ?(jobs = 1) ?stats x =
+let compute_feasible ?limit ~jobs ?stats x =
   let c =
     match stats with
     | None -> Counters.null
@@ -79,10 +79,12 @@ let feasible_races ?limit ?(jobs = 1) ?stats x =
   in
   Counters.time c Counters.T_total @@ fun () ->
   let candidates = Array.of_list (conflicting_pairs x) in
-  (* Each candidate decision builds its own engines from scratch, so the
-     per-pair work is independent whatever [jobs] is — worker counters
-     merge in candidate order and every counter (memo statistics
-     included) is identical to the sequential run's. *)
+  (* Each candidate decision builds its own engines from scratch (the
+     pair's dependence edges are dropped, so the session's shared
+     skeleton does not apply), so the per-pair work is independent
+     whatever [jobs] is — worker counters merge in candidate order and
+     every counter (memo statistics included) is identical to the
+     sequential run's. *)
   let verdicts =
     Parallel.map ?telemetry:stats ~jobs
       (fun r ->
@@ -94,8 +96,81 @@ let feasible_races ?limit ?(jobs = 1) ?stats x =
   Array.iter (fun (_, wc) -> Counters.merge_into ~dst:c wc) verdicts;
   List.filteri (fun i _ -> fst verdicts.(i)) (Array.to_list candidates)
 
-let first_races ?limit ?jobs ?stats x =
-  let races = feasible_races ?limit ?jobs ?stats x in
+(* Race sets cannot ride the session's F(P) pass — each candidate is
+   decided on a *modified* skeleton — so the session serves them through
+   its keyed cache instead: payloads are stored in the Program_key's
+   canonical event coordinates and decoded back, which makes a cached
+   set valid for any renumbering of the same program. *)
+let encode_races key races =
+  let tc = key.Program_key.to_canonical in
+  let canon r =
+    let a = tc.(r.e1) and b = tc.(r.e2) in
+    ((min a b, max a b), r.variables)
+  in
+  let entries = List.sort compare (List.map canon races) in
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "races %d\n" (List.length entries);
+  List.iter
+    (fun ((a, b), vars) ->
+      Printf.bprintf buf "%d %d" a b;
+      List.iter (fun v -> Printf.bprintf buf " %d" v) vars;
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.contents buf
+
+let decode_races key payload =
+  let oc = key.Program_key.of_canonical in
+  let n = Array.length oc in
+  match String.split_on_char '\n' payload with
+  | [] -> None
+  | header :: lines -> (
+      match Scanf.sscanf_opt header "races %d" (fun c -> c) with
+      | None -> None
+      | Some count -> (
+          try
+            let races =
+              List.filteri (fun i _ -> i < count) lines
+              |> List.map (fun line ->
+                     match
+                       String.split_on_char ' ' line |> List.map int_of_string
+                     with
+                     | a :: b :: vars when a >= 0 && a < n && b >= 0 && b < n ->
+                         let x = oc.(a) and y = oc.(b) in
+                         { e1 = min x y; e2 = max x y; variables = vars }
+                     | _ -> failwith "race line")
+            in
+            if List.length races <> count then None
+            else Some (List.sort (fun r1 r2 -> compare (r1.e1, r1.e2) (r2.e1, r2.e2)) races)
+          with Failure _ -> None))
+
+let feasible_races_session session =
+  let x = Session.execution session in
+  let jobs = Session.jobs session in
+  let computed = ref None in
+  let payload =
+    Session.cached_blob session ~kind:"races" (fun () ->
+        let races =
+          compute_feasible ?limit:(Session.limit session) ~jobs
+            ?stats:(Session.telemetry session) x
+        in
+        computed := Some races;
+        encode_races (Session.key session) races)
+  in
+  match !computed with
+  | Some races -> races
+  | None -> (
+      match decode_races (Session.key session) payload with
+      | Some races -> races
+      | None ->
+          (* Corrupt cache payload: fall back to computing fresh. *)
+          compute_feasible ?limit:(Session.limit session) ~jobs
+            ?stats:(Session.telemetry session) x)
+
+let feasible_races ?limit ?(jobs = 1) ?stats x =
+  feasible_races_session
+    (Session.of_execution ?limit ~jobs ?stats ~cache:Session.no_cache x)
+
+let first_of_feasible x races =
   let vc = Vclock.of_execution x in
   let precedes r1 r2 =
     Vclock.hb vc r1.e1 r2.e1 && Vclock.hb vc r1.e1 r2.e2
@@ -104,6 +179,12 @@ let first_races ?limit ?jobs ?stats x =
   List.filter
     (fun r -> not (List.exists (fun r' -> r' <> r && precedes r' r) races))
     races
+
+let first_races_session session =
+  first_of_feasible (Session.execution session) (feasible_races_session session)
+
+let first_races ?limit ?(jobs = 1) ?stats x =
+  first_of_feasible x (feasible_races ?limit ~jobs ?stats x)
 
 let pp_race (x : Execution.t) ppf r =
   let e ppf id = Format.fprintf ppf "%s" x.Execution.events.(id).Event.label in

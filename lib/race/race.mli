@@ -29,6 +29,16 @@ val conflicting_pairs : Execution.t -> race list
 val apparent_races : Execution.t -> race list
 (** Candidates unordered under the observed vector-clock happened-before. *)
 
+val feasible_races_session : Session.t -> race list
+(** Feasible races through a shared {!Session}.  Race candidates are
+    each decided on a {e modified} skeleton (the pair's own dependence
+    edges dropped), so they cannot ride the session's F(P) pass — what
+    the session contributes is its keyed cache: the race set is stored
+    under the session's {!Program_key} (in canonical event coordinates,
+    so any renumbering of the program is a hit) and a warm cache skips
+    the per-pair engines entirely.  Limit/jobs/telemetry come from the
+    session. *)
+
 val feasible_races :
   ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Execution.t -> race list
 (** Candidates that can race: some reachable context runs the pair
@@ -57,6 +67,10 @@ val race_witness : Execution.t -> int -> int -> (int array * int array) option
     opposite orders (with the pair's own dependences dropped) — the
     interleavings to show in a race report.  [Some _] exactly when
     {!is_feasible_race}. *)
+
+val first_races_session : Session.t -> race list
+(** {!first_races} over a shared session: reuses the (possibly cached)
+    {!feasible_races_session} set instead of re-deciding every pair. *)
 
 val first_races :
   ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Execution.t -> race list

@@ -30,6 +30,32 @@ the exponential-engine guard refuses oversized traces,
   error: trace has 6 events; the exact engines are exponential and 6 is past the configured --max-events 5
   [2]
 
+under --format json every such failure is a single well-formed
+eventorder.error/1 object on stdout (stderr stays quiet, the exit code
+stays 2), so a pipeline consuming the JSON surface never sees free-form
+error text:
+
+  $ eventorder analyze bad.eo --format json
+  {
+    "schema": "eventorder.error/1",
+    "error": "bad.eo:3: syntax error: unexpected character '?'"
+  }
+  [2]
+
+  $ eventorder analyze big.eo --max-events 5 --format json
+  {
+    "schema": "eventorder.error/1",
+    "error": "trace has 6 events; the exact engines are exponential and 6 is past the configured --max-events 5"
+  }
+  [2]
+
+  $ eventorder races big.eo --jobs 0 --format json
+  {
+    "schema": "eventorder.error/1",
+    "error": "--jobs must be at least 1 (got 0)"
+  }
+  [2]
+
 unknown dot kinds are rejected,
 
   $ eventorder dot big.eo --kind nonsense

@@ -1,0 +1,86 @@
+Shared analysis sessions.  The batch subcommand answers many queries —
+whole-program and per-pair — from one session, so a single enumeration
+pass and one reachability memo serve them all:
+
+  $ cat > prodcons.eo <<'PROG'
+  > sem s = 0
+  > proc producer { x := 1; v(s) }
+  > proc consumer { p(s); y := x }
+  > PROG
+
+  $ eventorder batch prodcons.eo schedules "mhb:x := 1:y := x" "ccw:P(s):V(s)" races first
+  -- schedules --
+  feasible schedules: 1
+  -- mhb:x := 1:y := x --
+  'x := 1' MHB 'y := x': true
+  -- ccw:P(s):V(s) --
+  'P(s)' CCW 'V(s)': false
+  -- races --
+  races: 0
+  -- first --
+  races: 0
+
+Events can also be named by id, and unknown queries are rejected with
+the full vocabulary:
+
+  $ eventorder batch prodcons.eo chb:0:3
+  -- chb:0:3 --
+  '0' CHB '3': true
+
+  $ eventorder batch prodcons.eo nonsense
+  error: unknown query "nonsense" (expected relations, reduced, races, first, schedules, or REL:A:B)
+  [2]
+
+  $ eventorder batch prodcons.eo nonsense --format json
+  {
+    "schema": "eventorder.error/1",
+    "error": "unknown query \"nonsense\" (expected relations, reduced, races, first, schedules, or REL:A:B)"
+  }
+  [2]
+
+The --cache flag persists results on disk under a canonical program
+hash.  A cold run enumerates and stores (two entries: the relation
+summary and the race set; the first-race refinement hits the in-process
+cache):
+
+  $ eventorder analyze prodcons.eo --all --stats --format json --cache "$PWD/cache" | grep -E '"(enum_nodes|session_queries|session_passes|cache_[a-z_]*)"'
+        "enum_nodes": 4,
+        "session_queries": 3,
+        "session_passes": 1,
+        "cache_memory_hits": 1,
+        "cache_disk_hits": 0,
+        "cache_misses": 2,
+        "cache_stores": 2
+
+A warm repeat — a fresh process — answers everything from the cache
+without enumerating a single node:
+
+  $ eventorder analyze prodcons.eo --all --stats --format json --cache "$PWD/cache" | grep -E '"(enum_nodes|session_queries|session_passes|cache_[a-z_]*)"'
+        "enum_nodes": 0,
+        "session_queries": 3,
+        "session_passes": 0,
+        "cache_memory_hits": 1,
+        "cache_disk_hits": 2,
+        "cache_misses": 0,
+        "cache_stores": 0
+
+Entries are versioned files keyed by hash, result kind, engine and
+enumeration limit — any mismatch is a miss, never a stale answer:
+
+  $ ls cache | sed 's/^[0-9a-f]\{32\}/<hash>/' | sort
+  <hash>.races.packed.nolimit.eocache
+  <hash>.summary-full.packed.nolimit.eocache
+
+A different engine misses the warmed entries and re-derives (the answers
+are identical by the engine-equivalence property):
+
+  $ EO_ENGINE=naive eventorder analyze prodcons.eo --stats --format json --cache "$PWD/cache" | grep -E '"cache_(disk_hits|misses)"'
+        "cache_disk_hits": 0,
+        "cache_misses": 1,
+
+EO_CACHE_DIR must be an absolute path; a relative one is rejected with a
+diagnostic rather than resolved against an unpredictable working
+directory:
+
+  $ EO_CACHE_DIR=not/absolute eventorder analyze prodcons.eo > /dev/null
+  warning: rejecting EO_CACHE_DIR="not/absolute" (a cache directory must be an absolute path); on-disk caching disabled

@@ -109,7 +109,13 @@ normalized to "T" and everything else is locked exactly.
         "reach_tbl_probes": 0,
         "reach_tbl_resizes": 0,
         "par_tasks_spawned": 0,
-        "par_merges": 0
+        "par_merges": 0,
+        "session_queries": 1,
+        "session_passes": 1,
+        "cache_memory_hits": 0,
+        "cache_disk_hits": 0,
+        "cache_misses": 1,
+        "cache_stores": 1
       },
       "timers_s": {
         "total": T,
@@ -137,10 +143,10 @@ accumulators merged) and nothing else:
   $ diff one.counters four.counters && echo "counters identical"
   17,18c17,18
   <       "par_tasks_spawned": 0,
-  <       "par_merges": 0
+  <       "par_merges": 0,
   ---
   >       "par_tasks_spawned": 5,
-  >       "par_merges": 5
+  >       "par_merges": 5,
   [1]
 
 The races schema:
@@ -180,7 +186,13 @@ The races schema:
         "reach_tbl_probes": 0,
         "reach_tbl_resizes": 0,
         "par_tasks_spawned": 0,
-        "par_merges": 0
+        "par_merges": 0,
+        "session_queries": 2,
+        "session_passes": 0,
+        "cache_memory_hits": 1,
+        "cache_disk_hits": 0,
+        "cache_misses": 1,
+        "cache_stores": 1
       },
       "timers_s": {
         "total": T,
@@ -223,4 +235,10 @@ Text mode appends a human-readable table instead:
     reach_tbl_resizes        0
     par_tasks_spawned        0
     par_merges               0
+    session_queries          0
+    session_passes           0
+    cache_memory_hits        0
+    cache_disk_hits          0
+    cache_misses             0
+    cache_stores             0
     timers (s): total=T split=T enumerate=T happened_before=T schedule_count=T

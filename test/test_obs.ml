@@ -110,6 +110,67 @@ let test_config_precedence () =
     (Config.lookup ~var:"EO_NO_SUCH_VARIABLE" ~expected:"an integer"
        ~default_text:"42" ~parse:int_of_string_opt ~default:42)
 
+(* EO_JOBS never silently clamps: non-positive values are rejected with
+   a diagnostic that names the rule, malformed ones with one that names
+   the expectation. *)
+let test_jobs_of_string () =
+  (match Config.jobs_of_string "3" with
+  | Ok 3 -> ()
+  | _ -> Alcotest.fail "3 should parse");
+  (match Config.jobs_of_string " 4 " with
+  | Ok 4 -> ()
+  | _ -> Alcotest.fail "whitespace should be trimmed");
+  (match Config.jobs_of_string "0" with
+  | Error msg ->
+      Alcotest.(check bool) "0 rejected, not clamped" true
+        (contains msg "rejecting" && contains msg "at least 1")
+  | Ok j -> Alcotest.failf "0 accepted as %d" j);
+  (match Config.jobs_of_string "-2" with
+  | Error msg ->
+      Alcotest.(check bool) "-2 rejected, not clamped" true
+        (contains msg "rejecting EO_JOBS=-2")
+  | Ok j -> Alcotest.failf "-2 accepted as %d" j);
+  match Config.jobs_of_string "many" with
+  | Error msg ->
+      Alcotest.(check bool) "malformed diagnosed" true
+        (contains msg "malformed" && contains msg "positive integer")
+  | Ok j -> Alcotest.failf "\"many\" accepted as %d" j
+
+(* EO_CACHE_DIR must be absolute — a relative path would resolve against
+   whatever the working directory happens to be. *)
+let test_cache_dir_of_string () =
+  (match Config.cache_dir_of_string "/tmp/eo-cache" with
+  | Ok "/tmp/eo-cache" -> ()
+  | _ -> Alcotest.fail "absolute path should parse");
+  (match Config.cache_dir_of_string "relative/cache" with
+  | Error msg ->
+      Alcotest.(check bool) "relative rejected" true
+        (contains msg "absolute path")
+  | Ok d -> Alcotest.failf "relative path accepted as %s" d);
+  match Config.cache_dir_of_string "  " with
+  | Error msg ->
+      Alcotest.(check bool) "empty diagnosed" true (contains msg "empty")
+  | Ok d -> Alcotest.failf "blank accepted as %s" d
+
+let test_cache_dir_env () =
+  let with_env v f =
+    let saved = Sys.getenv_opt "EO_CACHE_DIR" in
+    Unix.putenv "EO_CACHE_DIR" v;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "EO_CACHE_DIR" (Option.value saved ~default:""))
+      f
+  in
+  with_env "/abs/cache" (fun () ->
+      Alcotest.(check (option string)) "absolute accepted" (Some "/abs/cache")
+        (Config.cache_dir ()));
+  with_env "not/absolute" (fun () ->
+      Alcotest.(check (option string)) "relative disables caching" None
+        (Config.cache_dir ()));
+  with_env "" (fun () ->
+      Alcotest.(check (option string)) "unset means disabled" None
+        (Config.cache_dir ()))
+
 let test_telemetry_report () =
   let tel = Telemetry.create () in
   Telemetry.set_run tel ~engine:"packed" ~jobs:3;
@@ -150,5 +211,11 @@ let suite =
     Alcotest.test_case "jsonout compact" `Quick test_jsonout_compact;
     Alcotest.test_case "jsonout pretty" `Quick test_jsonout_pretty;
     Alcotest.test_case "config precedence" `Quick test_config_precedence;
+    Alcotest.test_case "EO_JOBS rejects non-positive" `Quick
+      test_jobs_of_string;
+    Alcotest.test_case "EO_CACHE_DIR must be absolute" `Quick
+      test_cache_dir_of_string;
+    Alcotest.test_case "EO_CACHE_DIR environment read" `Quick
+      test_cache_dir_env;
     Alcotest.test_case "telemetry report" `Quick test_telemetry_report;
   ]

@@ -1,0 +1,258 @@
+(* Differential property tests for the shared-session layer: whatever
+   combination of engine, worker count and cache temperature serves a
+   query, the answers must be bit-identical to the legacy one-shot
+   paths.  This is the contract that lets every consumer (relations,
+   decisions, races, the CLI batch mode) ride one session safely. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let small_execution prog =
+  match Gen_progs.completed_trace prog with
+  | Some t when Trace.n_events t <= 9 -> Some (Trace.to_execution t)
+  | _ -> None
+
+let rel_pairs s rel = List.sort compare (Rel.to_pairs (Relations.to_rel s rel))
+
+let same_summary name (a : Relations.t) (b : Relations.t) =
+  if a.Relations.feasible_count <> b.Relations.feasible_count then
+    QCheck.Test.fail_reportf "%s: feasible_count %d vs %d" name
+      a.Relations.feasible_count b.Relations.feasible_count;
+  if a.Relations.distinct_classes <> b.Relations.distinct_classes then
+    QCheck.Test.fail_reportf "%s: distinct_classes %d vs %d" name
+      a.Relations.distinct_classes b.Relations.distinct_classes;
+  List.iter
+    (fun rel ->
+      if rel_pairs a rel <> rel_pairs b rel then
+        QCheck.Test.fail_reportf "%s: %s matrix differs" name
+          (Relations.relation_name rel))
+    Relations.all_relations
+
+let race_key (r : Race.race) = (r.Race.e1, r.Race.e2, r.Race.variables)
+
+let same_races name a b =
+  let a = List.sort compare (List.map race_key a) in
+  let b = List.sort compare (List.map race_key b) in
+  if a <> b then QCheck.Test.fail_reportf "%s: race sets differ" name
+
+let with_engine engine f =
+  let saved = Engine.current () in
+  Engine.set engine;
+  Fun.protect ~finally:(fun () -> Engine.set saved) f
+
+(* 1. One session with every consumer attached answers exactly like the
+   legacy per-call paths, across both engines and worker counts. *)
+let test_session_matches_legacy =
+  QCheck.Test.make ~name:"session folds = legacy per-call results" ~count:30
+    Gen_progs.arbitrary_program (fun prog ->
+      QCheck.assume (small_execution prog <> None);
+      let x = Option.get (small_execution prog) in
+      let sk = Skeleton.of_execution x in
+      let ref_full = Relations.compute sk in
+      let ref_reduced = Relations.compute_reduced sk in
+      let ref_races = Race.feasible_races x in
+      let ref_first = Race.first_races x in
+      List.iter
+        (fun engine ->
+          with_engine engine @@ fun () ->
+          List.iter
+            (fun jobs ->
+              let name =
+                Printf.sprintf "%s/jobs=%d" (Engine.to_string engine) jobs
+              in
+              let session =
+                Session.create ~jobs ~cache:Session.no_cache sk
+              in
+              same_summary (name ^ " full") ref_full
+                (Relations.of_session session);
+              same_summary (name ^ " reduced") ref_reduced
+                (Relations.of_session_reduced session);
+              same_races (name ^ " races") ref_races
+                (Race.feasible_races_session session);
+              same_races (name ^ " first") ref_first
+                (Race.first_races_session session);
+              if
+                Session.schedule_count session
+                <> ref_full.Relations.feasible_count
+              then
+                QCheck.Test.fail_reportf "%s: schedule_count %d vs %d" name
+                  (Session.schedule_count session)
+                  ref_full.Relations.feasible_count)
+            [ 1; 4 ])
+        [ Engine.Naive; Engine.Packed ];
+      true)
+
+(* 2. Per-pair decisions riding a session (shared reach engine, shared
+   class summary) answer exactly like a private legacy [Decide.create]
+   for every relation and every pair. *)
+let test_decide_on_session =
+  QCheck.Test.make ~name:"Decide.of_session = legacy Decide.create"
+    ~count:25 Gen_progs.arbitrary_program (fun prog ->
+      QCheck.assume (small_execution prog <> None);
+      let x = Option.get (small_execution prog) in
+      let session = Session.of_execution ~cache:Session.no_cache x in
+      let d_session = Decide.of_session session in
+      let d_legacy = Decide.create x in
+      let n = Execution.n_events x in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b then
+            List.iter
+              (fun rel ->
+                if
+                  Decide.holds d_session rel a b
+                  <> Decide.holds d_legacy rel a b
+                then
+                  QCheck.Test.fail_reportf "%s disagrees on (%d, %d)"
+                    (Relations.relation_name rel) a b)
+              Relations.all_relations
+        done
+      done;
+      true)
+
+let counter session_tel key = Counters.get (Telemetry.counters session_tel) key
+
+(* Warm-cache round trip: answers identical, zero enumeration. *)
+let warm_roundtrip name cache x =
+  let sk = Skeleton.of_execution x in
+  (* Cold: compute and store. *)
+  let cold = Session.create ~cache sk in
+  let cold_full = Relations.of_session cold in
+  let cold_races = Race.feasible_races_session cold in
+  (* Warm: a fresh session over the same program must be served entirely
+     from the cache — same answers, no enumeration at all. *)
+  let tel = Telemetry.create () in
+  let warm = Session.create ~stats:tel ~cache sk in
+  same_summary (name ^ " warm summary") cold_full (Relations.of_session warm);
+  same_races (name ^ " warm races") cold_races
+    (Race.feasible_races_session warm);
+  if counter tel Counters.Enum_nodes <> 0 then
+    QCheck.Test.fail_reportf "%s: warm session enumerated (%d nodes)" name
+      (counter tel Counters.Enum_nodes);
+  if counter tel Counters.Cache_misses <> 0 then
+    QCheck.Test.fail_reportf "%s: warm session missed the cache" name
+
+let test_memory_cache =
+  QCheck.Test.make ~name:"warm memory cache: same answers, zero enum_nodes"
+    ~count:20 Gen_progs.arbitrary_program (fun prog ->
+      QCheck.assume (small_execution prog <> None);
+      let x = Option.get (small_execution prog) in
+      Session.clear_memory_cache ();
+      warm_roundtrip "memory" { Session.memory = true; dir = None } x;
+      Session.clear_memory_cache ();
+      true)
+
+let temp_cache_dir () =
+  let path = Filename.temp_file "eo_session_test" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_disk_cache =
+  QCheck.Test.make ~name:"warm disk cache: same answers, zero enum_nodes"
+    ~count:10 Gen_progs.arbitrary_program (fun prog ->
+      QCheck.assume (small_execution prog <> None);
+      let x = Option.get (small_execution prog) in
+      let dir = temp_cache_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (* memory off: every warm hit must come from disk. *)
+          warm_roundtrip "disk" { Session.memory = false; dir = Some dir } x);
+      true)
+
+(* 3. The canonical program key ignores event numbering: reversing all
+   event ids yields the same hash, and a cache warmed under one
+   numbering serves the other (the payload is stored in canonical
+   coordinates). *)
+let permute_execution (x : Execution.t) perm =
+  let n = Array.length x.Execution.events in
+  let events =
+    Array.init n (fun _ -> x.Execution.events.(0) (* placeholder *))
+  in
+  Array.iteri
+    (fun old e -> events.(perm.(old)) <- { e with Event.id = perm.(old) })
+    x.Execution.events;
+  let remap rel =
+    let r = Rel.create n in
+    List.iter (fun (a, b) -> Rel.add r perm.(a) perm.(b)) (Rel.to_pairs rel);
+    r
+  in
+  {
+    x with
+    Execution.events;
+    program_order = remap x.Execution.program_order;
+    temporal = remap x.Execution.temporal;
+    dependences = remap x.Execution.dependences;
+  }
+
+let test_key_renumbering =
+  QCheck.Test.make
+    ~name:"Program_key stable under renumbering; cache carries over"
+    ~count:20 Gen_progs.arbitrary_program (fun prog ->
+      QCheck.assume (small_execution prog <> None);
+      let x = Option.get (small_execution prog) in
+      let n = Execution.n_events x in
+      QCheck.assume (n > 1);
+      let perm = Array.init n (fun i -> n - 1 - i) in
+      let y = permute_execution x perm in
+      let kx = Program_key.of_execution x in
+      let ky = Program_key.of_execution y in
+      if not (Program_key.equal kx ky) then
+        QCheck.Test.fail_reportf "hashes differ under renumbering:@.%s@.vs@.%s"
+          (Program_key.serialize x) (Program_key.serialize y);
+      (* Warm the cache under numbering [x], query under numbering [y]:
+         the decoded races must be [x]'s races pushed through the
+         permutation — and nothing may be recomputed. *)
+      Session.clear_memory_cache ();
+      let cache = { Session.memory = true; dir = None } in
+      let races_x =
+        Race.feasible_races_session (Session.of_execution ~cache x)
+      in
+      let tel = Telemetry.create () in
+      let races_y =
+        Race.feasible_races_session (Session.of_execution ~stats:tel ~cache y)
+      in
+      let expected =
+        List.map
+          (fun (r : Race.race) ->
+            let a = perm.(r.Race.e1) and b = perm.(r.Race.e2) in
+            { r with Race.e1 = min a b; e2 = max a b })
+          races_x
+      in
+      same_races "renumbered races" expected races_y;
+      if counter tel Counters.Cache_memory_hits < 1 then
+        QCheck.Test.fail_reportf
+          "renumbered query did not hit the warmed cache";
+      Session.clear_memory_cache ();
+      true)
+
+(* The canonical permutations are mutually inverse — the property the
+   payload encode/decode round trip rests on. *)
+let test_key_permutations =
+  QCheck.Test.make ~name:"Program_key permutations are inverse" ~count:30
+    Gen_progs.arbitrary_program (fun prog ->
+      QCheck.assume (small_execution prog <> None);
+      let x = Option.get (small_execution prog) in
+      let k = Program_key.of_execution x in
+      let tc = k.Program_key.to_canonical
+      and oc = k.Program_key.of_canonical in
+      Array.iteri
+        (fun i c ->
+          if oc.(c) <> i then
+            QCheck.Test.fail_reportf "to/of_canonical not inverse at %d" i)
+        tc;
+      String.length (Program_key.hash k) = 32)
+
+let suite =
+  [
+    qcheck test_session_matches_legacy;
+    qcheck test_decide_on_session;
+    qcheck test_memory_cache;
+    qcheck test_disk_cache;
+    qcheck test_key_renumbering;
+    qcheck test_key_permutations;
+  ]

@@ -119,6 +119,38 @@ let prop_stats_do_not_perturb =
                (Relations.compute_reduced sk)
                (Relations.compute_reduced ~stats:tel sk))
 
+(* The session layer keeps the contract: a session consumed by every
+   kind of query reports bit-identical session/cache counters (and the
+   invariant search counters) under any worker count. *)
+let session_keys =
+  [
+    Counters.Session_queries;
+    Counters.Session_passes;
+    Counters.Cache_memory_hits;
+    Counters.Cache_disk_hits;
+    Counters.Cache_misses;
+    Counters.Cache_stores;
+  ]
+
+let prop_session_invariant =
+  QCheck.Test.make
+    ~name:"session: counters bit-identical jobs=1 vs jobs=4" ~count:30
+    Gen_progs.arbitrary_program (fun prog ->
+      match small_skeleton prog with
+      | None -> true
+      | Some sk ->
+          let use jobs tel =
+            let s =
+              Session.create ~jobs ~stats:tel ~cache:Session.no_cache sk
+            in
+            (Relations.of_session s, Relations.of_session_reduced s)
+          in
+          let (a1, b1), (a4, b4) =
+            check_invariant "session" (invariant_keys @ session_keys) (use 1)
+              (use 4)
+          in
+          summaries_equal a1 a4 && summaries_equal b1 b4)
+
 (* Deterministic spot check on a fixture with real parallel structure:
    four independent processes give the splitter something to split. *)
 let test_parallel_split_counters () =
@@ -154,6 +186,7 @@ let suite =
     qcheck prop_compute_reduced_invariant;
     qcheck prop_races_fully_invariant;
     qcheck prop_stats_do_not_perturb;
+    qcheck prop_session_invariant;
     Alcotest.test_case "parallel split fixture" `Quick
       test_parallel_split_counters;
   ]

@@ -1,7 +1,11 @@
 #!/bin/sh
-# CI-style hygiene check: build artifacts must never be tracked.
-# Wired into `dune build @bench-quick` (see bench/dune) so the quick CI
-# lane fails if _build/ residue ever reappears in the index.
+# CI-style hygiene checks.  Wired into the default `dune runtest` (see
+# test/dune) and into `dune build @bench-quick` (see bench/dune), so
+# both lanes fail fast on:
+#   1. build artifacts tracked in git,
+#   2. stray session-cache residue (*.eocache) left in the source tree,
+#   3. an .ml file under lib/ without a matching .mli — every library
+#      module must state its interface.
 set -e
 
 root=$(git rev-parse --show-toplevel 2>/dev/null) || {
@@ -17,3 +21,27 @@ if [ -n "$bad" ]; then
   exit 1
 fi
 echo "hygiene: no tracked build artifacts"
+
+# Session-cache entries belong under EO_CACHE_DIR / --cache directories,
+# never in the tree (a committed cache would bypass every invalidation
+# rule the cache relies on).
+stray=$(find . -name '*.eocache' -not -path './_build/*' -not -path './.git/*')
+if [ -n "$stray" ]; then
+  echo "hygiene: stray session-cache files in the source tree:" >&2
+  echo "$stray" >&2
+  exit 1
+fi
+echo "hygiene: no stray cache files"
+
+# Interface discipline: every lib/**/*.ml ships its .mli.
+missing=""
+for ml in $(git ls-files 'lib/*.ml' 'lib/**/*.ml'); do
+  mli="${ml}i"
+  [ -f "$mli" ] || missing="$missing $ml"
+done
+if [ -n "$missing" ]; then
+  echo "hygiene: lib modules without an .mli:" >&2
+  for m in $missing; do echo "  $m" >&2; done
+  exit 1
+fi
+echo "hygiene: every lib module has an interface"
