@@ -880,8 +880,91 @@ let e20_sessions () =
          ])
        rows)
 
-(* Emitted after E19 and E20 so the artifact carries both row kinds; a
-   result mismatch in either experiment fails the whole bench run. *)
+(* ------------------------------------------------------------------ *)
+(* E21 — SAT engine: compiled feasibility vs state-space search        *)
+(* ------------------------------------------------------------------ *)
+
+(* The Theorem 1/3 reductions are the adversarial workloads: deciding
+   MHB(a,b) on them IS deciding (un)satisfiability of the reduced
+   formula, so schedule enumeration must exhaust the execution space.
+   The sat engine compiles the same question back to CNF and lets
+   conflict-driven learning prune it; the memoized reach engine sits in
+   between.  Rows land in BENCH_exact_engine.json as kind "sat" with
+   the encoder/solver telemetry embedded, and the two engines' verdicts
+   are cross-checked like every other pair in this artifact. *)
+let e21_sat_engine () =
+  header "E21  SAT engine: compiled feasibility vs state-space search";
+  let enum_limit = 200_000 in
+  let saved_engine = Engine.current () in
+  let run_family fname ~sizes make =
+    let rows =
+      Harness.sweep ~budget ~sizes (fun n ->
+          let tr, a, b = make n in
+          let x = Trace.to_execution tr in
+          let sk = Skeleton.of_execution x in
+          (* The seed decision path: enumerate feasible schedules, up to
+             the cap.  A truncated count means enumeration could not
+             decide the pair within its schedule budget. *)
+          let enumerated, t_enum =
+            Harness.time_once (fun () -> Enumerate.count ~limit:enum_limit sk)
+          in
+          let truncated = enumerated >= enum_limit in
+          let decide engine =
+            Engine.set engine;
+            Harness.time_with_stats (fun tel ->
+                Telemetry.set_run tel ~engine:(Engine.to_string engine)
+                  ~jobs:1;
+                Decide.mhb (Decide.create ~stats:tel x) a b)
+          in
+          let mhb_reach, t_reach, tel_reach = decide Engine.Packed in
+          let mhb_sat, t_sat, tel_sat = decide Engine.Sat in
+          expect_exact
+            (Printf.sprintf "%s(%d) MHB sat vs reach" fname n)
+            (Bool.to_int mhb_sat) (Bool.to_int mhb_reach);
+          exact_json
+            {|    {"kind": "sat", "family": %S, "n_vars": %d, "events": %d, "mhb": %b, "enum_count": %d, "enum_truncated": %b, "enum_s": %.6f, "reach_s": %.6f, "sat_s": %.6f, "telemetry_reach": %s, "telemetry_sat": %s}|}
+            fname n (Trace.n_events tr) mhb_sat enumerated truncated t_enum
+            t_reach t_sat
+            (Harness.telemetry_json tel_reach)
+            (Harness.telemetry_json tel_sat);
+          ( Trace.n_events tr, mhb_sat, enumerated, truncated, t_enum,
+            t_reach, t_sat ))
+    in
+    Harness.table
+      ~title:(fname ^ " reduction: decide MHB(a,b) — enumerate vs reach vs sat")
+      ~header:
+        [ "n vars"; "events"; "MHB"; "enum"; "enum t"; "reach t"; "sat t" ]
+      (List.map
+         (fun (n, (events, mhb, count, truncated, te, trc, ts), _) ->
+           [
+             string_of_int n; string_of_int events; string_of_bool mhb;
+             (if truncated then Printf.sprintf ">=%d (cut)" count
+              else string_of_int count);
+             Harness.time_string te; Harness.time_string trc;
+             Harness.time_string ts;
+           ])
+         rows)
+  in
+  let sem family n =
+    let red = Reduction_sem.build (family n) in
+    let tr = Reduction_sem.trace red in
+    let a, b = Reduction_sem.events_ab red tr in
+    (tr, a, b)
+  in
+  let evt family n =
+    let red = Reduction_evt.build (family n) in
+    let tr = Reduction_evt.trace red in
+    let a, b = Reduction_evt.events_ab red tr in
+    (tr, a, b)
+  in
+  run_family "unsat_chain(sem)" ~sizes:[ 1; 2; 3; 4 ]
+    (sem Workloads.unsat_chain);
+  run_family "sat_chain(sem)" ~sizes:[ 1; 2; 3; 4 ] (sem Workloads.sat_chain);
+  run_family "unsat_chain(evt)" ~sizes:[ 1; 2; 3 ] (evt Workloads.unsat_chain);
+  Engine.set saved_engine
+
+(* Emitted after E19–E21 so the artifact carries every row kind; a
+   result mismatch in any of them fails the whole bench run. *)
 let write_exact_engine_json () =
   let jobs = 2 in
   let path = "BENCH_exact_engine.json" in
@@ -1016,6 +1099,7 @@ let () =
     e2_theorem1 ();
     e19_exact_engine ();
     e20_sessions ();
+    e21_sat_engine ();
     write_exact_engine_json ();
     e16_scorecard ()
   end
@@ -1035,6 +1119,7 @@ let () =
     e13_sat_via_ordering ();
     e19_exact_engine ();
     e20_sessions ();
+    e21_sat_engine ();
     write_exact_engine_json ();
     e15_explore ();
     e17_sat_substrate ();

@@ -102,6 +102,43 @@ let resolve_jobs ?(json = false) = function
   | Some j -> die_error ~json "--jobs must be at least 1 (got %d)" j
   | None -> Config.resolve ~cli:None ~env:Config.jobs
 
+let engine_arg =
+  let doc =
+    "Exact engine backing the per-pair queries: 'naive' (schedule \
+     enumeration), 'packed' (bitset-packed memoized search, the default), \
+     or 'sat' (compile feasibility to CNF and decide with the in-repo \
+     CDCL solver; every witness is replay-certified).  Overrides the \
+     EO_ENGINE environment variable."
+  in
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("naive", Engine.Naive);
+                ("packed", Engine.Packed);
+                ("sat", Engine.Sat);
+              ]))
+        None
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+(* Precedence: --engine flag > EO_ENGINE > packed.  The flag is parsed by
+   cmdliner; the env var is validated eagerly here so a typo dies with
+   the list of valid engines instead of silently running packed. *)
+let resolve_engine ?(json = false) = function
+  | Some e -> Engine.set e
+  | None -> (
+      match Sys.getenv_opt "EO_ENGINE" with
+      | None | Some "" -> ()
+      | Some s -> (
+          match Config.engine_of_string s with
+          | Ok name -> (
+              match Engine.of_string name with
+              | Some e -> Engine.set e
+              | None -> ())
+          | Error msg -> die_error ~json "%s" msg))
+
 let cache_arg =
   let doc =
     "Directory for the on-disk result cache (created on first store).  \
@@ -227,6 +264,44 @@ let guard_size ?(json = false) trace max_events =
        past the configured --max-events %d"
       n n max_events
 
+(* An event names itself by label or by numeric id. *)
+let lookup_event trace x name =
+  match Trace.find_event_opt trace name with
+  | Some e -> Some e.Event.id
+  | None -> (
+      match int_of_string_opt name with
+      | Some id when id >= 0 && id < Execution.n_events x -> Some id
+      | _ -> None)
+
+(* REL:A:B — but labels themselves contain colons ("x := 1"), so the
+   two separators cannot be found lexically.  Instead every split of
+   the remainder is tried, and the one where both sides name events
+   wins; anything else (zero or several splits working) is an error. *)
+let resolve_pair ?(json = false) trace x q rest =
+  let n = String.length rest in
+  let candidates = ref [] in
+  for i = 0 to n - 1 do
+    if rest.[i] = ':' then begin
+      let a = String.sub rest 0 i in
+      let b = String.sub rest (i + 1) (n - i - 1) in
+      match (lookup_event trace x a, lookup_event trace x b) with
+      | Some ea, Some eb -> candidates := (a, b, ea, eb) :: !candidates
+      | _ -> ()
+    end
+  done;
+  match !candidates with
+  | [ c ] -> c
+  | [] ->
+      die_error ~json
+        "query %S names no event pair of the trace (labels or numeric \
+         event ids, REL:A:B)"
+        q
+  | _ ->
+      die_error ~json
+        "query %S is ambiguous: several label splits match; use numeric \
+         event ids"
+        q
+
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -240,9 +315,11 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "reduced" ] ~doc)
   in
-  let run file policy limit max_events reduced all jobs collect fmt cache =
+  let run file policy limit max_events reduced all jobs engine collect fmt
+      cache =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
+    resolve_engine ~json engine;
     let trace = load_trace ~json file policy in
     if not json then Format.printf "%a@." Trace.pp trace;
     guard_size ~json trace max_events;
@@ -343,8 +420,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ reduced_arg $ all_arg $ jobs_arg $ stats_arg $ format_arg
-      $ cache_arg)
+      $ reduced_arg $ all_arg $ jobs_arg $ engine_arg $ stats_arg
+      $ format_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schedules                                                           *)
@@ -415,9 +492,10 @@ let races_cmd =
                exhibit it." in
     Arg.(value & flag & info [ "witness" ] ~doc)
   in
-  let run file policy limit max_events witness jobs collect fmt cache =
+  let run file policy limit max_events witness jobs engine collect fmt cache =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
+    resolve_engine ~json engine;
     let trace = load_trace ~json file policy in
     guard_size ~json trace max_events;
     let x = Trace.to_execution trace in
@@ -498,7 +576,83 @@ let races_cmd =
     (Cmd.info "races" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ witness_arg $ jobs_arg $ stats_arg $ format_arg $ cache_arg)
+      $ witness_arg $ jobs_arg $ engine_arg $ stats_arg $ format_arg
+      $ cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* encode                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Dump one per-pair query as a standalone DIMACS CNF instance — the
+   exact formula the [sat] engine probes with assumptions, with the
+   assumption materialized as a unit clause so any external solver can
+   decide it.  Comment lines state the query and its semantics. *)
+let encode_cmd =
+  let query_arg =
+    let doc =
+      "The query to compile, REL:A:B with A, B event labels or numeric \
+       event ids.  REL is one of: 'chb' (satisfiable iff A could have \
+       happened before B), 'mhb' (the refutation probe — unsatisfiable \
+       iff A must have happened before B, provided the base formula is \
+       satisfiable), or 'ccw' (the two-copy formula, satisfiable iff A \
+       and B could have been concurrent)."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let run file policy max_events query =
+    let trace = load_trace file policy in
+    guard_size trace max_events;
+    let x = Trace.to_execution trace in
+    let sk = Skeleton.of_execution x in
+    match String.index_opt query ':' with
+    | None ->
+        die_error ~json:false
+          "unknown query %S (expected REL:A:B with REL one of chb, mhb, ccw)"
+          query
+    | Some i ->
+        let rel = String.lowercase_ascii (String.sub query 0 i) in
+        let rest = String.sub query (i + 1) (String.length query - i - 1) in
+        let a_label, b_label, a, b = resolve_pair trace x query rest in
+        let enc = Encode.build (Session.encode_program sk) in
+        (* The assumption literal becomes a unit clause; a pair closed by
+           program order / dependence folds to the base formula (the
+           asked direction is forced anyway) or to an explicit empty
+           clause (the asked direction is impossible). *)
+        let assume base = function
+          | `Always -> base
+          | `Never -> Cnf.make ~num_vars:base.Cnf.num_vars ([] :: base.Cnf.clauses)
+          | `Lit l -> Cnf.make ~num_vars:base.Cnf.num_vars ([ l ] :: base.Cnf.clauses)
+        in
+        let f, semantics =
+          match rel with
+          | "chb" ->
+              ( assume (Encode.cnf enc) (Encode.order_literal enc a b),
+                "satisfiable iff A could have happened before B" )
+          | "mhb" ->
+              ( assume (Encode.cnf enc) (Encode.order_literal enc b a),
+                "unsatisfiable iff A must have happened before B (given \
+                 the base formula is satisfiable)" )
+          | "ccw" ->
+              ( Encode.race_formula enc a b,
+                "satisfiable iff A and B could have been concurrent" )
+          | _ ->
+              die_error ~json:false
+                "relation %S has no single-formula SAT encoding (expected \
+                 chb, mhb, or ccw)"
+                rel
+        in
+        Format.printf "c eventorder encode %s: A = '%s' (event %d), B = \
+                       '%s' (event %d)@."
+          rel a_label a b_label b;
+        Format.printf "c %s@." semantics;
+        Format.printf "%a" Dimacs.print f
+  in
+  let doc =
+    "compile one per-pair ordering query to a DIMACS CNF instance"
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc)
+    Term.(const run $ program_file $ policy_arg $ max_events_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* taskgraph                                                           *)
@@ -1029,9 +1183,10 @@ let batch_cmd =
     | "cow" -> Some Relations.COW
     | _ -> None
   in
-  let run file policy limit max_events jobs collect fmt cache queries =
+  let run file policy limit max_events jobs engine collect fmt cache queries =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
+    resolve_engine ~json engine;
     let trace = load_trace ~json file policy in
     guard_size ~json trace max_events;
     let x = Trace.to_execution trace in
@@ -1040,41 +1195,6 @@ let batch_cmd =
       Session.of_execution ?limit ~jobs ?stats ~cache:(resolve_cache cache) x
     in
     let decide = lazy (Decide.of_session session) in
-    (* An event names itself by label or by numeric id. *)
-    let lookup_event name =
-      match Trace.find_event_opt trace name with
-      | Some e -> Some e.Event.id
-      | None -> (
-          match int_of_string_opt name with
-          | Some id when id >= 0 && id < Execution.n_events x -> Some id
-          | _ -> None)
-    in
-    (* REL:A:B — but labels themselves contain colons ("x := 1"), so the
-       two separators cannot be found lexically.  Instead every split of
-       the remainder is tried, and the one where both sides name events
-       wins; anything else (zero or several splits working) is an error. *)
-    let resolve_pair q rest =
-      let n = String.length rest in
-      let candidates = ref [] in
-      for i = 0 to n - 1 do
-        if rest.[i] = ':' then begin
-          let a = String.sub rest 0 i in
-          let b = String.sub rest (i + 1) (n - i - 1) in
-          match (lookup_event a, lookup_event b) with
-          | Some ea, Some eb -> candidates := (a, b, ea, eb) :: !candidates
-          | _ -> ()
-        end
-      done;
-      match !candidates with
-      | [ c ] -> c
-      | [] ->
-          die_error ~json
-            "query %S names no event pair of the trace (labels or numeric \
-             event ids, REL:A:B)"
-            q
-      | _ -> die_error ~json "query %S is ambiguous: several label splits \
-                              match; use numeric event ids" q
-    in
     let answer query =
       match query with
       | "relations" -> `Summary (Relations.of_session session)
@@ -1089,7 +1209,7 @@ let batch_cmd =
               let rest = String.sub q (i + 1) (String.length q - i - 1) in
               match relation_of_string (String.lowercase_ascii rel) with
               | Some relation ->
-                  let a_label, b_label, a, b = resolve_pair q rest in
+                  let a_label, b_label, a, b = resolve_pair ~json trace x q rest in
                   `Pair
                     ( relation,
                       a_label,
@@ -1191,7 +1311,8 @@ let batch_cmd =
     (Cmd.info "batch" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ jobs_arg $ stats_arg $ format_arg $ cache_arg $ queries_arg)
+      $ jobs_arg $ engine_arg $ stats_arg $ format_arg $ cache_arg
+      $ queries_arg)
 
 let () =
   let doc =
@@ -1203,7 +1324,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyze_cmd; batch_cmd; schedules_cmd; races_cmd; taskgraph_cmd;
-            reduce_cmd; theorems_cmd; figure1_cmd; record_cmd; dot_cmd;
-            fuzz_cmd; order_cmd; report_cmd; explore_cmd;
+            analyze_cmd; batch_cmd; schedules_cmd; races_cmd; encode_cmd;
+            taskgraph_cmd; reduce_cmd; theorems_cmd; figure1_cmd; record_cmd;
+            dot_cmd; fuzz_cmd; order_cmd; report_cmd; explore_cmd;
           ]))

@@ -19,13 +19,17 @@ let reach t = Session.reach t.session
 
 let stats_commit t = Reach.stats_commit (reach t)
 
-let mhb t a b = Reach.must_before (reach t) a b
+(* The per-pair primitives are engine-routed by the session: memoized
+   reachability under the search engines, replay-certified assumption
+   probes on one compiled formula under [Engine.Sat]. *)
 
-let chb t a b = Reach.exists_before (reach t) a b
+let mhb t a b = Session.must_before t.session a b
 
-let ccw t a b = Reach.exists_race (reach t) a b
+let chb t a b = Session.exists_before t.session a b
 
-let mow t a b = a <> b && Reach.feasible_exists (reach t) && not (ccw t a b)
+let ccw t a b = Session.exists_race t.session a b
+
+let mow t a b = a <> b && Session.feasible_exists t.session && not (ccw t a b)
 
 let summary t =
   match t.summary with

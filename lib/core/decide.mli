@@ -42,14 +42,16 @@ val stats_commit : t -> unit
     report. *)
 
 val mhb : t -> int -> int -> bool
-(** Must-have-happened-before, via {!Reach.must_before}. *)
+(** Must-have-happened-before, via {!Session.must_before} (memoized
+    reachability, or a refuting SAT probe under [Engine.Sat]). *)
 
 val chb : t -> int -> int -> bool
-(** Could-have-happened-before, via {!Reach.exists_before}. *)
+(** Could-have-happened-before, via {!Session.exists_before}. *)
 
 val ccw : t -> int -> int -> bool
-(** Could-have-been-concurrent-with, via {!Reach.exists_race} (state-based:
-    some reachable context runs the pair back-to-back in both orders). *)
+(** Could-have-been-concurrent-with, via {!Session.exists_race}
+    (state-based: some reachable context runs the pair back-to-back in
+    both orders; a two-copy common-prefix formula under [Engine.Sat]). *)
 
 val mow : t -> int -> int -> bool
 (** Must-have-been-ordered-with: [feasible && not ccw]. *)

@@ -1,11 +1,12 @@
-type t = Naive | Packed
+type t = Naive | Packed | Sat
 
-let to_string = function Naive -> "naive" | Packed -> "packed"
+let to_string = function Naive -> "naive" | Packed -> "packed" | Sat -> "sat"
 
 let of_string s =
   match String.lowercase_ascii s with
   | "naive" -> Some Naive
   | "packed" -> Some Packed
+  | "sat" -> Some Sat
   | _ -> None
 
 (* Resolved lazily from EO_ENGINE (via the shared Config parser) so the
@@ -17,7 +18,11 @@ let current () =
   match !selected with
   | Some e -> e
   | None ->
-      let e = if Config.engine_is_packed () then Packed else Naive in
+      let e =
+        match of_string (Config.engine ()) with
+        | Some e -> e
+        | None -> Packed
+      in
       selected := Some e;
       e
 

@@ -1,17 +1,21 @@
-(** Selection between the seed search implementation and the packed one.
+(** Selection between the exact decision engines.
 
     [Packed] (the default) is the bitset-frontier search with packed memo
     keys; [Naive] is the seed engine — a full [0 .. n-1] ready scan at
     every node and list-based sleep sets — kept as the oracle for
-    differential tests.  Both produce bit-identical results on every query
-    (property-tested); only the cost differs.
+    differential tests.  [Sat] compiles the feasibility conditions to CNF
+    once per program and answers per-pair ordering and race queries with
+    the in-repo CDCL solver under assumptions (see [Eo_encode]); queries
+    with no SAT formulation (class summaries, schedule counting) fall
+    back to the packed search.  All engines produce identical results on
+    every query (property-tested); only the cost profile differs.
 
     The choice is read from the [EO_ENGINE] environment variable
-    ([naive] / [packed], parsed by {!Config.engine_is_packed}) on first
+    ([naive] / [packed] / [sat], parsed by {!Config.engine}) on first
     use; {!set} overrides it.  Set it before spawning worker domains —
     the switch itself is not synchronized. *)
 
-type t = Naive | Packed
+type t = Naive | Packed | Sat
 
 val current : unit -> t
 

@@ -183,9 +183,12 @@ let iter_packed_from ~stats st depth0 limit f =
 
 let iter ?limit ?(stats = Counters.null) sk f =
   let st = make_search sk in
+  (* Enumeration has no SAT formulation: under [Engine.Sat] the packed
+     search does the walking while per-pair queries go through the
+     encoder (see [Session]). *)
   match Engine.current () with
   | Engine.Naive -> iter_naive_from ~stats st 0 limit f
-  | Engine.Packed -> iter_packed_from ~stats st 0 limit f
+  | Engine.Packed | Engine.Sat -> iter_packed_from ~stats st 0 limit f
 
 let count ?limit ?stats sk = iter ?limit ?stats sk (fun _ -> ())
 
@@ -306,7 +309,7 @@ let exists_order sk ~before ~after =
     (try
        match Engine.current () with
        | Engine.Naive -> go_naive 0
-       | Engine.Packed -> go_packed 0
+       | Engine.Packed | Engine.Sat -> go_packed 0
      with Stop -> ());
     !found
   end

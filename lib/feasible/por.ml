@@ -153,7 +153,7 @@ let iter_representatives_packed ?limit ~stats sk f =
 let iter_representatives ?limit ?(stats = Counters.null) sk f =
   match Engine.current () with
   | Engine.Naive -> iter_representatives_naive ?limit ~stats sk f
-  | Engine.Packed -> iter_representatives_packed ?limit ~stats sk f
+  | Engine.Packed | Engine.Sat -> iter_representatives_packed ?limit ~stats sk f
 
 let count_representatives ?limit ?stats sk =
   iter_representatives ?limit ?stats sk (fun _ -> ())

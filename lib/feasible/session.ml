@@ -68,6 +68,7 @@ type t = {
   cache : cache;
   key : Program_key.t Lazy.t;
   mutable reach : Reach.t option;
+  mutable encoder : Encode.t option;
   mutable pending_full : consumer list;  (* reversed registration order *)
   mutable pending_por : consumer list;
   mutable full_stats : (int * bool) option;  (* schedules visited, truncated *)
@@ -87,6 +88,7 @@ let create ?limit ?(jobs = 1) ?stats ?(cache = no_cache) sk =
     cache;
     key = lazy (Program_key.of_execution sk.Skeleton.execution);
     reach = None;
+    encoder = None;
     pending_full = [];
     pending_por = [];
     full_stats = None;
@@ -119,6 +121,86 @@ let set_run t =
   | None -> ()
   | Some tel ->
       Telemetry.set_run tel ~engine:(Engine.to_string (Engine.current ())) ~jobs:t.jobs
+
+(* ------------------------------------------------------------------ *)
+(* The SAT backend: one compiled formula per session (built lazily,
+   like [reach]), per-pair queries as assumption probes.  Every
+   positive SAT answer is decoded into a schedule and certified by the
+   [Replay] oracle before it is believed — an encoder bug surfaces as a
+   loud failure here, never as a wrong analysis answer. *)
+
+let encode_program (sk : Skeleton.t) =
+  {
+    Encode.n = sk.Skeleton.n;
+    po_preds = sk.Skeleton.po_preds;
+    dep_preds = sk.Skeleton.dep_preds;
+    kinds = sk.Skeleton.kinds;
+    sem_init = sk.Skeleton.sem_init;
+    sem_binary = sk.Skeleton.sem_binary;
+    ev_init = sk.Skeleton.ev_init;
+  }
+
+let encoder t =
+  match t.encoder with
+  | Some e -> e
+  | None ->
+      set_run t;
+      let e = Encode.build ~stats:t.c (encode_program t.sk) in
+      t.encoder <- Some e;
+      e
+
+let certify sk schedule =
+  match Replay.check sk schedule with
+  | Replay.Feasible -> schedule
+  | v ->
+      invalid_arg
+        (Format.asprintf "Session: SAT witness rejected by replay (%a)"
+           Replay.pp_verdict v)
+
+let sat_engine () = Engine.current () = Engine.Sat
+
+let witness_before t a b =
+  if sat_engine () then
+    Option.map (certify t.sk) (Encode.exists_before_witness (encoder t) a b)
+  else Reach.witness_before (reach t) a b
+
+let exists_before t a b =
+  if sat_engine () then witness_before t a b <> None
+  else Reach.exists_before (reach t) a b
+
+let feasible_exists t =
+  if sat_engine () then
+    match Encode.feasible_witness (encoder t) with
+    | Some s ->
+        ignore (certify t.sk s);
+        true
+    | None -> false
+  else Reach.feasible_exists (reach t)
+
+let must_before t a b =
+  if sat_engine () then a <> b && feasible_exists t && not (exists_before t b a)
+  else Reach.must_before (reach t) a b
+
+(* Session-independent SAT race probe, for callers (the race layer)
+   that decide pairs on *modified* skeletons a session never owns. *)
+let sat_exists_race ?(stats = Counters.null) sk a b =
+  let enc = Encode.build ~stats (encode_program sk) in
+  match Encode.race_witness enc a b with
+  | Some (s1, s2) ->
+      ignore (certify sk s1);
+      ignore (certify sk s2);
+      true
+  | None -> false
+
+let exists_race t a b =
+  if sat_engine () then
+    match Encode.race_witness (encoder t) a b with
+    | Some (s1, s2) ->
+        ignore (certify t.sk s1);
+        ignore (certify t.sk s2);
+        true
+    | None -> false
+  else Reach.exists_race (reach t) a b
 
 let worker_counters c = if Counters.enabled c then Counters.create () else Counters.null
 
@@ -585,9 +667,21 @@ let compute_summary_reduced t =
       done
     done
   in
+  (* Under the SAT engine the happened-before bits come from assumption
+     probes on the shared compiled formula (each positive answer
+     replay-certified); class structure and counting below stay on the
+     enumeration engines either way. *)
+  let fill_before_sat rel =
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        if a <> b && exists_before t a b then Rel.add rel a b
+      done
+    done
+  in
   Counters.time c Counters.T_total (fun () ->
       Counters.time c Counters.T_before (fun () ->
-          if (not parallel) || n < 2 then fill_before reach before_some 0 (n - 1)
+          if sat_engine () then fill_before_sat before_some
+          else if (not parallel) || n < 2 then fill_before reach before_some 0 (n - 1)
           else begin
             let k = min t.jobs n in
             let ranges =

@@ -84,6 +84,46 @@ val schedule_count : t -> int
 (** [|F(P)|] by the counting DP of {!Reach.schedule_count} — no
     enumeration, saturating at [Reach.count_saturation]. *)
 
+(** {2 Per-pair ordering queries — engine-routed}
+
+    The decision-procedure primitives every relation reduces to.  Under
+    [Engine.Naive]/[Engine.Packed] they delegate to the shared {!reach}
+    engine; under [Engine.Sat] they become assumption probes on one
+    compiled feasibility formula ({!Encode.build}, created lazily like
+    {!reach}).  Every positive SAT answer is decoded into a witness
+    schedule and certified by the [Replay] oracle before it is
+    reported — an encoder defect raises [Invalid_argument] rather than
+    returning a wrong answer. *)
+
+val feasible_exists : t -> bool
+
+val exists_before : t -> int -> int -> bool
+(** Could [a] happen before [b] in some feasible execution?  [false]
+    when [a = b]. *)
+
+val must_before : t -> int -> int -> bool
+(** [a <> b], the program is feasible, and no feasible execution runs
+    [b] before [a]. *)
+
+val witness_before : t -> int -> int -> int array option
+(** A feasible schedule running [a] strictly before [b], if any. *)
+
+val exists_race : t -> int -> int -> bool
+(** The back-to-back race condition of [Reach.exists_race] on this
+    session's skeleton: some reachable state enables [a] and [b], both
+    orders step, and both complete. *)
+
+val sat_exists_race : ?stats:Counters.t -> Skeleton.t -> int -> int -> bool
+(** Session-independent SAT race probe: compiles the given skeleton
+    fresh and decides {!exists_race} by the two-copy formula, witnesses
+    replay-certified.  For callers that decide pairs on modified
+    skeletons no session owns (the race layer drops the candidate
+    pair's dependence edges first). *)
+
+val encode_program : Skeleton.t -> Encode.program
+(** The projection the SAT backend compiles — exported so the CLI's
+    [encode] subcommand can dump the very same formula as DIMACS. *)
+
 (** {2 Registered folds — the consumer API}
 
     A fold is [init]/[visit]/[merge]: [init] allocates one accumulator

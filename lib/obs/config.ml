@@ -59,24 +59,34 @@ let cache_dir () =
           Printf.eprintf "warning: %s; on-disk caching disabled\n%!" msg;
           None)
 
+let engine_names = [ "naive"; "packed"; "sat" ]
+
+let engine_of_string s =
+  let name = String.lowercase_ascii (String.trim s) in
+  if List.mem name engine_names then Ok name
+  else
+    Error
+      (Printf.sprintf "rejecting EO_ENGINE=%S (valid engines: %s)" s
+         (String.concat ", " engine_names))
+
 let engine_memo = ref None
 
-let engine_is_packed () =
+let engine () =
   match !engine_memo with
-  | Some p -> p
+  | Some e -> e
   | None ->
-      let p =
-        lookup ~var:"EO_ENGINE" ~expected:"'naive' or 'packed'"
-          ~default_text:"packed"
-          ~parse:(fun s ->
-            match String.lowercase_ascii (String.trim s) with
-            | "naive" -> Some false
-            | "packed" -> Some true
-            | _ -> None)
-          ~default:true
+      let e =
+        match Sys.getenv_opt "EO_ENGINE" with
+        | None | Some "" -> "packed"
+        | Some s -> (
+            match engine_of_string s with
+            | Ok e -> e
+            | Error msg ->
+                Printf.eprintf "warning: %s; using packed\n%!" msg;
+                "packed")
       in
-      engine_memo := Some p;
-      p
+      engine_memo := Some e;
+      e
 
 let bench_budget ~default =
   lookup ~var:"EO_BENCH_BUDGET" ~expected:"a positive number of seconds"

@@ -48,8 +48,22 @@ val cache_dir : unit -> string option
     [None] (disabled).  Invalid values warn on [stderr] and disable the
     disk cache.  Deliberately uncached: read once per session. *)
 
-val engine_is_packed : unit -> bool
-(** [EO_ENGINE] — [true] unless the variable says ["naive"].  Cached.
+val engine_names : string list
+(** The closed list of valid engine names, in documentation order:
+    [["naive"; "packed"; "sat"]].  The CLI help text, the docs and the
+    hygiene script are all checked against this list. *)
+
+val engine_of_string : string -> (string, string) result
+(** Pure [EO_ENGINE] parser.  [Ok name] (lowercased, trimmed) only for a
+    member of [engine_names]; anything else is [Error diagnostic] with
+    the diagnostic listing every valid engine — unknown engines are
+    rejected rather than silently mapped to a default. *)
+
+val engine : unit -> string
+(** [EO_ENGINE] — engine name, default ["packed"].  Cached after the
+    first read so the warning prints at most once per process.  Invalid
+    values warn on [stderr] and fall back to the default; the CLI
+    validates eagerly and turns the same diagnostic into a hard error.
     (The typed accessor lives in [Engine.current]; this low-level view
     exists so [eo_feasible] needs no inverted dependency.) *)
 

@@ -22,6 +22,10 @@ type key =
   | Cache_disk_hits
   | Cache_misses
   | Cache_stores
+  | Encoder_vars
+  | Encoder_clauses
+  | Solver_conflicts
+  | Solver_propagations
 
 let index = function
   | Enum_nodes -> 0
@@ -47,8 +51,12 @@ let index = function
   | Cache_disk_hits -> 20
   | Cache_misses -> 21
   | Cache_stores -> 22
+  | Encoder_vars -> 23
+  | Encoder_clauses -> 24
+  | Solver_conflicts -> 25
+  | Solver_propagations -> 26
 
-let n_keys = 23
+let n_keys = 27
 
 let all_keys =
   [ Enum_nodes; Enum_pops; Enum_schedules; Limit_truncations;
@@ -58,7 +66,8 @@ let all_keys =
     Reach_tbl_probes; Reach_tbl_resizes;
     Par_tasks; Par_merges;
     Session_queries; Session_passes;
-    Cache_memory_hits; Cache_disk_hits; Cache_misses; Cache_stores ]
+    Cache_memory_hits; Cache_disk_hits; Cache_misses; Cache_stores;
+    Encoder_vars; Encoder_clauses; Solver_conflicts; Solver_propagations ]
 
 let key_name = function
   | Enum_nodes -> "enum_nodes"
@@ -84,6 +93,10 @@ let key_name = function
   | Cache_disk_hits -> "cache_disk_hits"
   | Cache_misses -> "cache_misses"
   | Cache_stores -> "cache_stores"
+  | Encoder_vars -> "encoder_vars"
+  | Encoder_clauses -> "encoder_clauses"
+  | Solver_conflicts -> "solver_conflicts"
+  | Solver_propagations -> "solver_propagations"
 
 type timer = T_total | T_split | T_enumerate | T_before | T_count
 

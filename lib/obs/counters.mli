@@ -38,6 +38,10 @@ type key =
   | Cache_disk_hits     (** session results served from [EO_CACHE_DIR] *)
   | Cache_misses        (** cache lookups that fell through to the engines *)
   | Cache_stores        (** freshly computed results written to the cache *)
+  | Encoder_vars        (** CNF variables emitted by the SAT encoder *)
+  | Encoder_clauses     (** CNF clauses emitted by the SAT encoder *)
+  | Solver_conflicts    (** CDCL conflicts while answering SAT probes *)
+  | Solver_propagations (** CDCL unit propagations while answering SAT probes *)
 
 type timer =
   | T_total       (** whole analysis *)

@@ -48,10 +48,14 @@ let is_feasible_race ?limit ?(stats = Counters.null) x e1 e2 =
   let sk = skeleton_without_pair x e1 e2 in
   match limit with
   | None ->
-      let reach = Reach.create ~stats sk in
-      let v = Reach.exists_race reach e1 e2 in
-      Reach.stats_commit reach;
-      v
+      if Engine.current () = Engine.Sat then
+        Session.sat_exists_race ~stats sk e1 e2
+      else begin
+        let reach = Reach.create ~stats sk in
+        let v = Reach.exists_race reach e1 e2 in
+        Reach.stats_commit reach;
+        v
+      end
   | Some _ ->
       let found = ref false in
       let (_ : int) =

@@ -256,9 +256,23 @@ let luby i =
   let rec size k = if (1 lsl k) - 1 >= i + 1 then k else size (k + 1) in
   go (size 1) i
 
-let solve_with_stats (f : Cnf.t) =
+(* ------------------------------------------------------------------ *)
+(* Incremental interface: one solver instance answers many queries
+   under different assumption sets.  Learned clauses, VSIDS activity
+   and saved phases persist across calls, which is what makes the
+   per-pair ordering probes of [Eo_encode] cheap after the first one. *)
+
+exception Unsat_assuming
+
+type t = {
+  s : solver;
+  problem : Cnf.t;  (* kept for the witness sanity assertion *)
+  mutable dead : bool;  (* a level-0 conflict: unsat regardless of assumptions *)
+}
+
+let make (f : Cnf.t) =
   let s = create f.Cnf.num_vars in
-  let result =
+  let dead =
     try
       (* Load the problem clauses: dedup literals, drop tautologies.  Unit
          enqueues are deferred until every clause is in the database and
@@ -287,74 +301,138 @@ let solve_with_stats (f : Cnf.t) =
           | _ -> enqueue s l (-1))
         (List.rev !pending_units);
       if propagate s <> -1 then raise Found_unsat;
-      let conflicts_until_restart = ref 64 in
-      let answer = ref None in
-      while !answer = None do
-        let conflict = propagate s in
-        if conflict <> -1 then begin
-          s.conflicts <- s.conflicts + 1;
-          if s.decision_level = 0 then raise Found_unsat;
-          let learned, backjump_level = analyze s conflict in
-          (* The second watch must be a literal of the backjump level, or
-             the watching invariant breaks on later backtracks (clauses can
-             silently stop propagating, yielding bogus SAT answers). *)
-          if Array.length learned > 1 then begin
-            let best = ref 1 in
-            for i = 2 to Array.length learned - 1 do
-              if s.level.(var_of learned.(i)) > s.level.(var_of learned.(!best))
-              then best := i
-            done;
-            let tmp = learned.(1) in
-            learned.(1) <- learned.(!best);
-            learned.(!best) <- tmp
-          end;
-          backtrack s backjump_level;
-          (if Array.length learned = 1 then enqueue s learned.(0) (-1)
-           else begin
-             let id = add_clause_raw s learned in
-             s.learned_count <- s.learned_count + 1;
-             enqueue s learned.(0) id
-           end);
-          decay s;
-          decr conflicts_until_restart
-        end
-        else if !conflicts_until_restart <= 0 && s.decision_level > 0 then begin
-          s.restarts <- s.restarts + 1;
-          conflicts_until_restart := 64 * luby s.restarts;
-          backtrack s 0
-        end
-        else begin
-          match pick_branch s with
-          | 0 ->
-              (* All variables assigned: satisfying assignment found. *)
-              answer :=
-                Some (Array.init (s.num_vars + 1) (fun v -> v > 0 && s.value.(v) = 1))
-          | v ->
+      false
+    with Found_unsat -> true
+  in
+  { s; problem = f; dead }
+
+let stats t =
+  let s = t.s in
+  {
+    decisions = s.decisions;
+    propagations = s.propagations;
+    conflicts = s.conflicts;
+    learned = s.learned_count;
+    restarts = s.restarts;
+    max_decision_level = s.max_level_seen;
+  }
+
+(* Assumptions are treated as forced first decisions (MiniSat style): at
+   every decision point the first unassigned assumption literal is
+   branched on before any free variable.  Because free branching only
+   happens once every assumption is satisfied, an assumption found false
+   at decision time can only have been implied by the formula plus the
+   other assumptions — i.e. the query is unsat under the assumptions
+   while the solver itself stays usable.  Never opening a decision level
+   for an already-true assumption keeps every level non-empty, so the
+   [trail_lim] sizing of [create] still bounds the level count. *)
+let solve_assuming t assumption_list =
+  if t.dead then Unsat
+  else begin
+    let s = t.s in
+    let assumptions =
+      Array.of_list
+        (List.map
+           (fun l ->
+             if l = 0 || abs l > s.num_vars then
+               invalid_arg "Cdcl.solve_assuming: literal out of range";
+             lit_of_dimacs l)
+           assumption_list)
+    in
+    let n_assum = Array.length assumptions in
+    let result =
+      try
+        let conflicts_until_restart = ref 64 in
+        let answer = ref None in
+        while !answer = None do
+          let conflict = propagate s in
+          if conflict <> -1 then begin
+            s.conflicts <- s.conflicts + 1;
+            if s.decision_level = 0 then begin
+              t.dead <- true;
+              raise Found_unsat
+            end;
+            let learned, backjump_level = analyze s conflict in
+            (* The second watch must be a literal of the backjump level, or
+               the watching invariant breaks on later backtracks (clauses can
+               silently stop propagating, yielding bogus SAT answers). *)
+            if Array.length learned > 1 then begin
+              let best = ref 1 in
+              for i = 2 to Array.length learned - 1 do
+                if
+                  s.level.(var_of learned.(i))
+                  > s.level.(var_of learned.(!best))
+                then best := i
+              done;
+              let tmp = learned.(1) in
+              learned.(1) <- learned.(!best);
+              learned.(!best) <- tmp
+            end;
+            backtrack s backjump_level;
+            (if Array.length learned = 1 then enqueue s learned.(0) (-1)
+             else begin
+               let id = add_clause_raw s learned in
+               s.learned_count <- s.learned_count + 1;
+               enqueue s learned.(0) id
+             end);
+            decay s;
+            decr conflicts_until_restart
+          end
+          else if !conflicts_until_restart <= 0 && s.decision_level > 0
+          then begin
+            s.restarts <- s.restarts + 1;
+            conflicts_until_restart := 64 * luby s.restarts;
+            backtrack s 0
+          end
+          else begin
+            let next_assumption =
+              let rec scan i =
+                if i >= n_assum then None
+                else
+                  match lit_value s assumptions.(i) with
+                  | 1 -> scan (i + 1)
+                  | -1 -> raise Unsat_assuming
+                  | _ -> Some assumptions.(i)
+              in
+              scan 0
+            in
+            let branch idx =
               s.decisions <- s.decisions + 1;
               s.decision_level <- s.decision_level + 1;
               if s.decision_level > s.max_level_seen then
                 s.max_level_seen <- s.decision_level;
               s.trail_lim.(s.decision_level) <- s.trail_size;
-              let idx = if s.phase.(v) then 2 * v else (2 * v) + 1 in
               enqueue s idx (-1)
-        end
-      done;
-      match !answer with
-      | Some a ->
-          assert (Cnf.eval a f);
-          Sat a
-      | None -> assert false
-    with Found_unsat -> Unsat
-  in
-  ( result,
-    {
-      decisions = s.decisions;
-      propagations = s.propagations;
-      conflicts = s.conflicts;
-      learned = s.learned_count;
-      restarts = s.restarts;
-      max_decision_level = s.max_level_seen;
-    } )
+            in
+            match next_assumption with
+            | Some idx -> branch idx
+            | None -> (
+                match pick_branch s with
+                | 0 ->
+                    (* All variables assigned: satisfying assignment found. *)
+                    answer :=
+                      Some
+                        (Array.init (s.num_vars + 1) (fun v ->
+                             v > 0 && s.value.(v) = 1))
+                | v -> branch (if s.phase.(v) then 2 * v else (2 * v) + 1))
+          end
+        done;
+        match !answer with
+        | Some a ->
+            assert (Cnf.eval a t.problem);
+            Sat a
+        | None -> assert false
+      with Found_unsat | Unsat_assuming -> Unsat
+    in
+    (* Leave the solver clean (root level only) for the next query. *)
+    backtrack s 0;
+    result
+  end
+
+let solve_with_stats (f : Cnf.t) =
+  let t = make f in
+  let result = solve_assuming t [] in
+  (result, stats t)
 
 let solve f = fst (solve_with_stats f)
 

@@ -29,3 +29,28 @@ val solve : Cnf.t -> result
 val solve_with_stats : Cnf.t -> result * stats
 
 val is_satisfiable : Cnf.t -> bool
+
+(** {2 Incremental solving under assumptions}
+
+    One compiled formula, many queries: [make] loads the clause database
+    once, and each [solve_assuming] call decides satisfiability with a
+    set of extra unit assumptions treated as forced first decisions.
+    Learned clauses, activity scores and saved phases persist across
+    calls, so later queries on the same formula are typically much
+    cheaper than the first. *)
+
+type t
+(** A persistent solver instance over a fixed formula. *)
+
+val make : Cnf.t -> t
+
+val solve_assuming : t -> Cnf.literal list -> result
+(** [solve_assuming t assumptions] is [Sat model] iff the formula is
+    satisfiable with every listed literal (DIMACS convention, nonzero,
+    within [num_vars]) forced true; the model satisfies formula and
+    assumptions alike.  [Unsat] under a nonempty assumption list leaves
+    the solver reusable for further queries.
+    @raise Invalid_argument on a zero or out-of-range literal. *)
+
+val stats : t -> stats
+(** Cumulative counters across every [solve_assuming] call on [t]. *)

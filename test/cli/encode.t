@@ -1,0 +1,93 @@
+The encode subcommand compiles one per-pair ordering query to a
+standalone DIMACS CNF instance — the same formula the sat engine probes
+with assumptions, with the assumption materialized as a unit clause so
+any external solver can decide it.
+
+  $ cat > prodcons.eo <<'PROG'
+  > sem s = 0
+  > proc producer { x := 1; v(s) }
+  > proc consumer { p(s); y := x }
+  > PROG
+
+Could-happen-before: satisfiable iff the pair can run in the asked
+order.  One order variable survives per candidate pair (pairs closed
+under program order and dependence are folded away), and the query
+becomes the trailing unit clause:
+
+  $ eventorder encode prodcons.eo "chb:x := 1:y := x"
+  c eventorder encode chb: A = 'x := 1' (event 0), B = 'y := x' (event 3)
+  c satisfiable iff A could have happened before B
+  p cnf 3 3
+  1 -2 0
+  3 -2 0
+  2 0
+
+Must-happen-before is the refutation probe — here the asked direction's
+reverse is impossible (the dependence on x forces the write first), so
+the probe folds to an explicit empty clause and the instance is
+trivially unsatisfiable, i.e. MHB holds:
+
+  $ eventorder encode prodcons.eo "mhb:x := 1:y := x"
+  c eventorder encode mhb: A = 'x := 1' (event 0), B = 'y := x' (event 3)
+  c unsatisfiable iff A must have happened before B (given the base formula is satisfiable)
+  p cnf 3 4
+  0
+  1 -2 0
+  3 -2 0
+  2 0
+
+Could-have-been-concurrent is the two-copy formula: two feasible orders
+over a common prefix running the pair back-to-back both ways:
+
+  $ eventorder encode prodcons.eo "ccw:x := 1:y := x"
+  c eventorder encode ccw: A = 'x := 1' (event 0), B = 'y := x' (event 3)
+  c satisfiable iff A and B could have been concurrent
+  p cnf 6 11
+  1 -2 0
+  3 -2 0
+  2 0
+  4 -5 0
+  6 -5 0
+  5 0
+  0
+  -3 0
+  -6 0
+  -1 0
+  -1 0
+
+Events can be named by numeric id, and relations without a
+single-formula encoding are rejected with the vocabulary:
+
+  $ eventorder encode prodcons.eo chb:3:0
+  c eventorder encode chb: A = '3' (event 3), B = '0' (event 0)
+  c satisfiable iff A could have happened before B
+  p cnf 3 4
+  0
+  1 -2 0
+  3 -2 0
+  2 0
+
+  $ eventorder encode prodcons.eo "mcw:x := 1:y := x"
+  error: relation "mcw" has no single-formula SAT encoding (expected chb, mhb, or ccw)
+  [2]
+
+  $ eventorder encode prodcons.eo "chb:x := 1:nonsense"
+  error: query "chb:x := 1:nonsense" names no event pair of the trace (labels or numeric event ids, REL:A:B)
+  [2]
+
+The sat engine decides the same queries end-to-end (--engine sat, or
+EO_ENGINE=sat; every SAT witness is replay-certified before it is
+believed), and an unknown engine name dies with the vocabulary instead
+of silently running the default:
+
+  $ eventorder batch prodcons.eo --engine sat "mhb:x := 1:y := x" "chb:y := x:x := 1" "ccw:P(s):V(s)"
+  -- mhb:x := 1:y := x --
+  'x := 1' MHB 'y := x': true
+  -- chb:y := x:x := 1 --
+  'y := x' CHB 'x := 1': false
+  -- ccw:P(s):V(s) --
+  'P(s)' CCW 'V(s)': false
+
+  $ EO_ENGINE=frobnicate eventorder analyze prodcons.eo
+  error: rejecting EO_ENGINE="frobnicate" (valid engines: naive, packed, sat)
+  [2]

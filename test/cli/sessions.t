@@ -50,7 +50,7 @@ cache):
         "cache_memory_hits": 1,
         "cache_disk_hits": 0,
         "cache_misses": 2,
-        "cache_stores": 2
+        "cache_stores": 2,
 
 A warm repeat — a fresh process — answers everything from the cache
 without enumerating a single node:
@@ -62,7 +62,7 @@ without enumerating a single node:
         "cache_memory_hits": 1,
         "cache_disk_hits": 2,
         "cache_misses": 0,
-        "cache_stores": 0
+        "cache_stores": 0,
 
 Entries are versioned files keyed by hash, result kind, engine and
 enumeration limit — any mismatch is a miss, never a stale answer:

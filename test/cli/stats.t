@@ -115,7 +115,11 @@ normalized to "T" and everything else is locked exactly.
         "cache_memory_hits": 0,
         "cache_disk_hits": 0,
         "cache_misses": 1,
-        "cache_stores": 1
+        "cache_stores": 1,
+        "encoder_vars": 0,
+        "encoder_clauses": 0,
+        "solver_conflicts": 0,
+        "solver_propagations": 0
       },
       "timers_s": {
         "total": T,
@@ -192,7 +196,11 @@ The races schema:
         "cache_memory_hits": 1,
         "cache_disk_hits": 0,
         "cache_misses": 1,
-        "cache_stores": 1
+        "cache_stores": 1,
+        "encoder_vars": 0,
+        "encoder_clauses": 0,
+        "solver_conflicts": 0,
+        "solver_propagations": 0
       },
       "timers_s": {
         "total": T,
@@ -241,4 +249,8 @@ Text mode appends a human-readable table instead:
     cache_disk_hits          0
     cache_misses             0
     cache_stores             0
+    encoder_vars             0
+    encoder_clauses          0
+    solver_conflicts         0
+    solver_propagations      0
     timers (s): total=T split=T enumerate=T happened_before=T schedule_count=T

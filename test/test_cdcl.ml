@@ -49,6 +49,69 @@ let test_larger_random () =
     | Cdcl.Unsat -> ()
   done
 
+(* The incremental interface: one solver, many assumption probes.  The
+   formula (x1 | x2) & (~x1 | x3) is satisfiable under every single
+   assumption except where a probe pins an unsatisfiable corner. *)
+let test_assumptions_basic () =
+  let f = Cnf.make ~num_vars:3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+  let t = Cdcl.make f in
+  (match Cdcl.solve_assuming t [] with
+  | Cdcl.Sat a -> Alcotest.(check bool) "free solve valid" true (Cnf.eval a f)
+  | Cdcl.Unsat -> Alcotest.fail "free solve should be sat");
+  (match Cdcl.solve_assuming t [ 1; -3 ] with
+  | Cdcl.Sat _ -> Alcotest.fail "x1 & ~x3 contradicts (~x1 | x3)"
+  | Cdcl.Unsat -> ());
+  (* The same solver stays usable after an UNSAT-under-assumptions
+     answer — that is the whole point of assumption probes. *)
+  (match Cdcl.solve_assuming t [ 1; 3 ] with
+  | Cdcl.Sat a ->
+      Alcotest.(check bool) "model valid" true (Cnf.eval a f);
+      Alcotest.(check bool) "assumptions honoured" true (a.(1) && a.(3))
+  | Cdcl.Unsat -> Alcotest.fail "x1 & x3 should be sat");
+  match Cdcl.solve_assuming t [ -1; -2 ] with
+  | Cdcl.Sat _ -> Alcotest.fail "~x1 & ~x2 contradicts (x1 | x2)"
+  | Cdcl.Unsat -> ()
+
+let test_assumptions_validated () =
+  let t = Cdcl.make (Cnf.make ~num_vars:2 [ [ 1; 2 ] ]) in
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Cdcl.solve_assuming: literal out of range") (fun () ->
+      ignore (Cdcl.solve_assuming t [ 0 ]));
+  Alcotest.check_raises "out of range rejected"
+    (Invalid_argument "Cdcl.solve_assuming: literal out of range") (fun () ->
+      ignore (Cdcl.solve_assuming t [ 5 ]))
+
+(* A permanently unsatisfiable formula answers Unsat on every probe,
+   including the empty one, without crashing on repeats. *)
+let test_assumptions_dead_solver () =
+  let t = Cdcl.make (Cnf.make ~num_vars:2 [ [ 1 ]; [ -1 ] ]) in
+  List.iter
+    (fun assumptions ->
+      match Cdcl.solve_assuming t assumptions with
+      | Cdcl.Sat _ -> Alcotest.fail "x1 & ~x1 can never be sat"
+      | Cdcl.Unsat -> ())
+    [ []; [ 2 ]; [ -2 ]; [] ]
+
+(* Differential: a batch of single-literal probes on one persistent
+   solver must agree with fresh from-scratch solves of the strengthened
+   formulas, learned clauses and saved phases notwithstanding. *)
+let prop_assumptions_agree_with_fresh =
+  QCheck.Test.make ~name:"assumption probes agree with fresh solves"
+    ~count:200
+    QCheck.(pair (int_range 0 10000) (int_range 10 40))
+    (fun (seed, nc) ->
+      let f = Sat_gen.random_3cnf ~seed ~num_vars:8 ~num_clauses:nc in
+      let t = Cdcl.make f in
+      List.for_all
+        (fun l ->
+          let incremental =
+            match Cdcl.solve_assuming t [ l ] with
+            | Cdcl.Sat a -> Cnf.eval a f && a.(Cnf.var l) = (l > 0)
+            | Cdcl.Unsat -> not (Dpll.is_satisfiable (Cnf.make ~num_vars:8 ([ l ] :: f.Cnf.clauses)))
+          in
+          incremental)
+        [ 1; -1; 4; -4; 8; -8 ])
+
 let random_small_cnf =
   QCheck.make
     ~print:(fun (nv, clauses) ->
@@ -90,6 +153,12 @@ let suite =
     Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
     Alcotest.test_case "stats record learning" `Quick test_stats_record_learning;
     Alcotest.test_case "larger random instances" `Quick test_larger_random;
+    Alcotest.test_case "assumption probes" `Quick test_assumptions_basic;
+    Alcotest.test_case "assumptions validated" `Quick
+      test_assumptions_validated;
+    Alcotest.test_case "dead solver stays Unsat" `Quick
+      test_assumptions_dead_solver;
+    qcheck prop_assumptions_agree_with_fresh;
     qcheck prop_agrees_with_dpll;
     qcheck prop_witness_valid;
     qcheck prop_medium_random_agrees;

@@ -136,6 +136,30 @@ let test_jobs_of_string () =
         (contains msg "malformed" && contains msg "positive integer")
   | Ok j -> Alcotest.failf "\"many\" accepted as %d" j
 
+(* EO_ENGINE never silently falls back: an unknown engine name is
+   rejected with a diagnostic listing the valid engines, so a typo like
+   "stat" cannot quietly run the packed engine instead. *)
+let test_engine_of_string () =
+  List.iter
+    (fun name ->
+      match Config.engine_of_string name with
+      | Ok n -> Alcotest.(check string) (name ^ " accepted") name n
+      | Error msg -> Alcotest.failf "%s rejected: %s" name msg)
+    Config.engine_names;
+  (match Config.engine_of_string " SAT " with
+  | Ok "sat" -> ()
+  | Ok n -> Alcotest.failf "\" SAT \" parsed as %s" n
+  | Error _ -> Alcotest.fail "case and whitespace should be normalized");
+  match Config.engine_of_string "frobnicate" with
+  | Error msg ->
+      Alcotest.(check bool) "unknown engine diagnosed" true
+        (contains msg "rejecting EO_ENGINE=\"frobnicate\"");
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) ("lists " ^ name) true (contains msg name))
+        Config.engine_names
+  | Ok n -> Alcotest.failf "\"frobnicate\" accepted as %s" n
+
 (* EO_CACHE_DIR must be absolute — a relative path would resolve against
    whatever the working directory happens to be. *)
 let test_cache_dir_of_string () =
@@ -213,6 +237,8 @@ let suite =
     Alcotest.test_case "config precedence" `Quick test_config_precedence;
     Alcotest.test_case "EO_JOBS rejects non-positive" `Quick
       test_jobs_of_string;
+    Alcotest.test_case "EO_ENGINE rejects unknown engines" `Quick
+      test_engine_of_string;
     Alcotest.test_case "EO_CACHE_DIR must be absolute" `Quick
       test_cache_dir_of_string;
     Alcotest.test_case "EO_CACHE_DIR environment read" `Quick

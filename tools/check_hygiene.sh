@@ -5,7 +5,10 @@
 #   1. build artifacts tracked in git,
 #   2. stray session-cache residue (*.eocache) left in the source tree,
 #   3. an .ml file under lib/ without a matching .mli — every library
-#      module must state its interface.
+#      module must state its interface,
+#   4. an engine name known to the Config parser but missing from the
+#      CLI --engine help or the docs (or vice versa) — the engine
+#      vocabulary must read the same everywhere it is listed.
 set -e
 
 root=$(git rev-parse --show-toplevel 2>/dev/null) || {
@@ -45,3 +48,34 @@ if [ -n "$missing" ]; then
   exit 1
 fi
 echo "hygiene: every lib module has an interface"
+
+# Engine-name consistency: Config.engine_names is the source of truth;
+# every name must be parsed by Engine.of_string, selectable from the
+# CLI --engine enum (and named in its help text), and documented in
+# docs/ANALYSES.md — and the CLI must not offer a name Config rejects.
+engines=$(sed -n 's/^let engine_names = \[\(.*\)\]/\1/p' lib/obs/config.ml \
+  | tr -d '";')
+if [ -z "$engines" ]; then
+  echo "hygiene: could not read engine_names from lib/obs/config.ml" >&2
+  exit 1
+fi
+for e in $engines; do
+  grep -q "\"$e\" -> Some" lib/feasible/engine.ml || {
+    echo "hygiene: engine '$e' missing from Engine.of_string" >&2; exit 1; }
+  grep -q "(\"$e\", Engine\." bin/eventorder.ml || {
+    echo "hygiene: engine '$e' missing from the CLI --engine enum" >&2; exit 1; }
+  grep -q "'$e'" bin/eventorder.ml || {
+    echo "hygiene: engine '$e' missing from the CLI --engine help text" >&2
+    exit 1; }
+  grep -q "\`$e\`" docs/ANALYSES.md || {
+    echo "hygiene: engine '$e' not documented in docs/ANALYSES.md" >&2
+    exit 1; }
+done
+for e in $(sed -n 's/.*("\([a-z]*\)", Engine\..*/\1/p' bin/eventorder.ml); do
+  case " $engines " in
+    *" $e "*) ;;
+    *) echo "hygiene: CLI offers engine '$e' that Config rejects" >&2
+       exit 1 ;;
+  esac
+done
+echo "hygiene: engine names agree across Config, CLI and docs"
