@@ -139,6 +139,48 @@ let resolve_engine ?(json = false) = function
               | None -> ())
           | Error msg -> die_error ~json "%s" msg))
 
+let timeout_arg =
+  let doc =
+    "Wall-clock budget for the exact engines, in milliseconds.  When the \
+     deadline expires the engines stop cooperatively and the command \
+     reports partial results: could-have relations and race sets \
+     under-approximate, must-have relations over-approximate — the same \
+     sound directions as --limit.  JSON output then carries \
+     \"status\": \"timeout\" and the exit code is 3.  Overrides the \
+     EO_TIMEOUT_MS environment variable."
+  in
+  Arg.(value & opt (some int) None & info [ "timeout" ] ~docv:"MS" ~doc)
+
+(* Precedence: --timeout flag > EO_TIMEOUT_MS > unlimited, mirroring
+   [resolve_jobs].  The flag is validated here; the env var is validated
+   by [Config.timeout_ms] (malformed values warn and are ignored). *)
+let resolve_budget ?(json = false) = function
+  | Some ms when ms >= 1 -> Budget.create ~timeout_ms:ms ()
+  | Some ms ->
+      die_error ~json "--timeout must be at least 1 millisecond (got %d)" ms
+  | None -> (
+      match Config.timeout_ms () with
+      | Some ms -> Budget.create ~timeout_ms:ms ()
+      | None -> Budget.unlimited)
+
+let status_field budget =
+  [
+    ( "status",
+      Jsonout.Str (if Budget.exhausted budget then "timeout" else "ok") );
+  ]
+
+(* Exit contract: 0 success, 1 analysis check failed, 2 usage/input
+   error (see [die_error]), 3 deadline expired — partial results were
+   already printed, and JSON consumers also see "status": "timeout". *)
+let finish_budget ?(json = false) budget =
+  if Budget.exhausted budget then begin
+    if not json then
+      Format.eprintf
+        "note: --timeout expired; the results above are partial (sound \
+         approximations)@.";
+    exit 3
+  end
+
 let cache_arg =
   let doc =
     "Directory for the on-disk result cache (created on first store).  \
@@ -315,11 +357,12 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "reduced" ] ~doc)
   in
-  let run file policy limit max_events reduced all jobs engine collect fmt
-      cache =
+  let run file policy limit timeout max_events reduced all jobs engine
+      collect fmt cache =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
     resolve_engine ~json engine;
+    let budget = resolve_budget ~json timeout in
     let trace = load_trace ~json file policy in
     if not json then Format.printf "%a@." Trace.pp trace;
     guard_size ~json trace max_events;
@@ -332,11 +375,12 @@ let analyze_cmd =
     let session =
       Session.create
         ?limit:(if reduced then None else limit)
-        ~jobs ?stats ~cache:(resolve_cache cache) sk
+        ~jobs ?stats ~budget ~cache:(resolve_cache cache) sk
     in
     let s =
-      if reduced then Relations.of_session_reduced session
-      else Relations.of_session session
+      Budget.value
+        (if reduced then Relations.of_session_reduced_outcome session
+         else Relations.of_session_outcome session)
     in
     let races =
       if all then
@@ -346,7 +390,7 @@ let analyze_cmd =
     in
     let po = Pinned.po_of_schedule sk (Trace.schedule trace) in
     let width = Antichain.width po in
-    match fmt with
+    (match fmt with
     | `Json ->
         let labels =
           Jsonout.List
@@ -366,6 +410,9 @@ let analyze_cmd =
           (Jsonout.Obj
              ([
                 ("schema", Jsonout.Str "eventorder.analyze/1");
+              ]
+             @ status_field budget
+             @ [
                 ("events", Jsonout.Int sk.Skeleton.n);
                 ("labels", labels);
                 ( "engine",
@@ -405,7 +452,8 @@ let analyze_cmd =
             in
             report "feasible races (exact)" feasible;
             report "first races (debugging frontier)" first);
-        print_stats_text stats
+        print_stats_text stats);
+    finish_budget ~json budget
   in
   let all_arg =
     let doc =
@@ -419,17 +467,18 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
-      const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ reduced_arg $ all_arg $ jobs_arg $ engine_arg $ stats_arg
-      $ format_arg $ cache_arg)
+      const run $ program_file $ policy_arg $ limit_arg $ timeout_arg
+      $ max_events_arg $ reduced_arg $ all_arg $ jobs_arg $ engine_arg
+      $ stats_arg $ format_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schedules                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let schedules_cmd =
-  let run file policy max_events collect fmt =
+  let run file policy timeout max_events collect fmt =
     let json = fmt = `Json in
+    let budget = resolve_budget ~json timeout in
     let trace = load_trace ~json file policy in
     guard_size trace max_events;
     let sk = Skeleton.of_execution (Trace.to_execution trace) in
@@ -443,22 +492,39 @@ let schedules_cmd =
             ~jobs:1;
           Telemetry.counters tel
     in
+    (* Each query degrades independently under the deadline: a cut DP
+       count reads 0, states/deadlock fall back to the empty answer —
+       "status" and the exit code say the run was partial. *)
+    let degrade fallback f =
+      try f ()
+      with Budget.Expired ->
+        Counters.bump c Counters.Timeout_expirations;
+        Counters.bump c Counters.Timeout_degraded;
+        fallback
+    in
     let r, count, states, deadlock =
       Counters.time c Counters.T_total @@ fun () ->
-      let r = Reach.create ~stats:c sk in
+      let r = Reach.create ~stats:c ~budget sk in
       let count =
-        Counters.time c Counters.T_count (fun () -> Reach.schedule_count r)
+        degrade 0 (fun () ->
+            Counters.time c Counters.T_count (fun () -> Reach.schedule_count r))
       in
-      (r, count, Reach.reachable_state_count r, Reach.deadlock_reachable r)
+      ( r,
+        count,
+        degrade 0 (fun () -> Reach.reachable_state_count r),
+        degrade false (fun () -> Reach.deadlock_reachable r) )
     in
     Reach.stats_commit r;
     let saturated = count >= Reach.count_saturation in
-    match fmt with
+    (match fmt with
     | `Json ->
         print_json
           (Jsonout.Obj
              ([
                 ("schema", Jsonout.Str "eventorder.schedules/1");
+              ]
+             @ status_field budget
+             @ [
                 ("events", Jsonout.Int sk.Skeleton.n);
                 ("feasible_schedules", Jsonout.Int count);
                 ("saturated", Jsonout.Bool saturated);
@@ -473,14 +539,15 @@ let schedules_cmd =
         else Format.printf "feasible schedules:       %d@." count;
         Format.printf "reachable states:         %d@." states;
         Format.printf "deadlock reachable:       %b@." deadlock;
-        print_stats_text stats
+        print_stats_text stats);
+    finish_budget ~json budget
   in
   let doc = "count feasible schedules and states; check for reachable deadlocks" in
   Cmd.v
     (Cmd.info "schedules" ~doc)
     Term.(
-      const run $ program_file $ policy_arg $ max_events_arg $ stats_arg
-      $ format_arg)
+      const run $ program_file $ policy_arg $ timeout_arg $ max_events_arg
+      $ stats_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* races                                                               *)
@@ -492,10 +559,12 @@ let races_cmd =
                exhibit it." in
     Arg.(value & flag & info [ "witness" ] ~doc)
   in
-  let run file policy limit max_events witness jobs engine collect fmt cache =
+  let run file policy limit timeout max_events witness jobs engine collect
+      fmt cache =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
     resolve_engine ~json engine;
+    let budget = resolve_budget ~json timeout in
     let trace = load_trace ~json file policy in
     guard_size ~json trace max_events;
     let x = Trace.to_execution trace in
@@ -506,7 +575,8 @@ let races_cmd =
        the feasible set through the session cache instead of re-deciding
        every pair (which used to double the engine work). *)
     let session =
-      Session.of_execution ?limit ~jobs ?stats ~cache:(resolve_cache cache) x
+      Session.of_execution ?limit ~jobs ?stats ~budget
+        ~cache:(resolve_cache cache) x
     in
     let feasible = Race.feasible_races_session session in
     let first = Race.first_races_session session in
@@ -520,7 +590,7 @@ let races_cmd =
           feasible
       else []
     in
-    match fmt with
+    (match fmt with
     | `Json ->
         let races rs = Jsonout.List (List.map (json_of_race x) rs) in
         let schedule s =
@@ -538,6 +608,9 @@ let races_cmd =
           (Jsonout.Obj
              ([
                 ("schema", Jsonout.Str "eventorder.races/1");
+              ]
+             @ status_field budget
+             @ [
                 ("events", Jsonout.Int (Execution.n_events x));
                 ("candidates", races candidates);
                 ("apparent", races apparent);
@@ -569,15 +642,16 @@ let races_cmd =
             Format.printf "@.witness for %a:@.  %a@.  %a@."
               (Race.pp_race x) r pp_schedule s1 pp_schedule s2)
           witnesses;
-        print_stats_text stats
+        print_stats_text stats);
+    finish_budget ~json budget
   in
   let doc = "detect apparent (polynomial) and feasible (exact) data races" in
   Cmd.v
     (Cmd.info "races" ~doc)
     Term.(
-      const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ witness_arg $ jobs_arg $ engine_arg $ stats_arg $ format_arg
-      $ cache_arg)
+      const run $ program_file $ policy_arg $ limit_arg $ timeout_arg
+      $ max_events_arg $ witness_arg $ jobs_arg $ engine_arg $ stats_arg
+      $ format_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* encode                                                              *)
@@ -1183,16 +1257,19 @@ let batch_cmd =
     | "cow" -> Some Relations.COW
     | _ -> None
   in
-  let run file policy limit max_events jobs engine collect fmt cache queries =
+  let run file policy limit timeout max_events jobs engine collect fmt cache
+      queries =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
     resolve_engine ~json engine;
+    let budget = resolve_budget ~json timeout in
     let trace = load_trace ~json file policy in
     guard_size ~json trace max_events;
     let x = Trace.to_execution trace in
     let stats = make_stats collect in
     let session =
-      Session.of_execution ?limit ~jobs ?stats ~cache:(resolve_cache cache) x
+      Session.of_execution ?limit ~jobs ?stats ~budget
+        ~cache:(resolve_cache cache) x
     in
     let decide = lazy (Decide.of_session session) in
     let answer query =
@@ -1266,12 +1343,15 @@ let batch_cmd =
               ("holds", Jsonout.Bool holds);
             ]
     in
-    match fmt with
+    (match fmt with
     | `Json ->
         print_json
           (Jsonout.Obj
              ([
                 ("schema", Jsonout.Str "eventorder.batch/1");
+              ]
+             @ status_field budget
+             @ [
                 ("events", Jsonout.Int (Execution.n_events x));
                 ( "program_key",
                   Jsonout.Str (Program_key.hash (Session.key session)) );
@@ -1301,7 +1381,8 @@ let batch_cmd =
                   (String.uppercase_ascii (relation_key relation))
                   b holds)
           answers;
-        print_stats_text stats
+        print_stats_text stats);
+    finish_budget ~json budget
   in
   let doc =
     "answer many queries about one program from a single shared analysis \
@@ -1310,9 +1391,9 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc)
     Term.(
-      const run $ program_file $ policy_arg $ limit_arg $ max_events_arg
-      $ jobs_arg $ engine_arg $ stats_arg $ format_arg $ cache_arg
-      $ queries_arg)
+      const run $ program_file $ policy_arg $ limit_arg $ timeout_arg
+      $ max_events_arg $ jobs_arg $ engine_arg $ stats_arg $ format_arg
+      $ cache_arg $ queries_arg)
 
 let () =
   let doc =

@@ -26,11 +26,16 @@ val of_session : Session.t -> t
     the race analysis can all amortize one session. *)
 
 val create :
-  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Execution.t -> t
-(** One-shot wrapper: a private cache-disabled session per call. *)
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> ?budget:Budget.t ->
+  Execution.t -> t
+(** One-shot wrapper: a private cache-disabled session per call.
+    [?budget] bounds every engine behind the decision procedure; expiry
+    degrades each relation in its sound direction (see
+    {!holds_outcome}), never as an exception. *)
 
 val of_skeleton :
-  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Skeleton.t -> t
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> ?budget:Budget.t ->
+  Skeleton.t -> t
 
 val session : t -> Session.t
 
@@ -66,5 +71,19 @@ val cow : t -> int -> int -> bool
 (** Could-have-been-ordered-with, class-level like {!mcw}. *)
 
 val holds : t -> Relations.relation -> int -> int -> bool
+
+val holds_outcome : t -> Relations.relation -> int -> int -> bool Budget.outcome
+(** {!holds} with degradation made explicit: [Bound_hit] when the
+    session budget expired somewhere under the query, in which case the
+    value errs in the relation's sound direction — must-relations report
+    [true] (over-approximation), could-relations [false]
+    (under-reporting). *)
+
+val mhb_outcome : t -> int -> int -> bool Budget.outcome
+val chb_outcome : t -> int -> int -> bool Budget.outcome
+val ccw_outcome : t -> int -> int -> bool Budget.outcome
+val mow_outcome : t -> int -> int -> bool Budget.outcome
+val mcw_outcome : t -> int -> int -> bool Budget.outcome
+val cow_outcome : t -> int -> int -> bool Budget.outcome
 
 val feasible_count : t -> int

@@ -38,6 +38,16 @@ let of_summary (s : Session.summary) =
 let of_session session = of_summary (Session.summary session)
 let of_session_reduced session = of_summary (Session.summary_reduced session)
 
+(* Outcome-typed constructors: [Bound_hit] exactly when the underlying
+   summary was truncated (by [?limit] or by the session budget), i.e.
+   when the could-have bits are under-approximate and the must-have
+   relations derived from them over-approximate. *)
+let of_session_outcome session =
+  Budget.map of_summary (Session.summary_outcome session)
+
+let of_session_reduced_outcome session =
+  Budget.map of_summary (Session.summary_reduced_outcome session)
+
 (* The historical one-shot entry points: a private, cache-disabled
    session per call, so their counter reports stay exactly reproducible
    (no warm LRU can zero out a later run's search work). *)
@@ -50,13 +60,22 @@ let compute_reduced ?limit ?(jobs = 1) ?stats sk =
 let holds t relation a b =
   if a = b then false
   else
+    (* The must-relations need F(P) non-empty — but under a truncated
+       pass [feasible_count] may read 0 with feasible executions merely
+       unvisited (a budget can expire before the first schedule
+       completes).  Treating that 0 as "infeasible" would flip every
+       must-relation to [false]: an under-approximation, the unsound
+       direction for must.  A truncated pass therefore presumes
+       feasibility, keeping must-answers over-approximate as
+       documented. *)
+    let feasible_known = t.feasible_count > 0 || t.truncated in
     match relation with
     | CHB -> Rel.mem t.before_some a b
-    | MHB -> t.feasible_count > 0 && not (Rel.mem t.before_some b a)
+    | MHB -> feasible_known && not (Rel.mem t.before_some b a)
     | CCW -> Rel.mem t.incomparable_some a b
-    | MOW -> t.feasible_count > 0 && not (Rel.mem t.incomparable_some a b)
+    | MOW -> feasible_known && not (Rel.mem t.incomparable_some a b)
     | COW -> Rel.mem t.comparable_some a b
-    | MCW -> t.feasible_count > 0 && not (Rel.mem t.comparable_some a b)
+    | MCW -> feasible_known && not (Rel.mem t.comparable_some a b)
 
 let to_rel t relation =
   let r = Rel.create t.n in

@@ -31,7 +31,8 @@ val relation_name : relation -> string
 type t = {
   n : int;
   feasible_count : int;  (** schedules enumerated (capped at [limit]) *)
-  truncated : bool;  (** [true] when the [limit] cut enumeration short *)
+  truncated : bool;
+      (** [true] when a [limit] or budget deadline cut the pass short *)
   distinct_classes : int;
       (** number of distinct pinned partial orders among the enumerated
           schedules — how many genuinely different executions hide behind
@@ -53,6 +54,14 @@ val of_session : Session.t -> t
 
 val of_session_reduced : Session.t -> t
 (** Class-level summary of a shared session ([Session.summary_reduced]). *)
+
+val of_session_outcome : Session.t -> t Budget.outcome
+(** {!of_session} with truncation made explicit: [Bound_hit] when a
+    [limit] or the session budget cut the pass short, in which case the
+    could-have relations are sound under-approximations and the
+    must-have relations sound over-approximations. *)
+
+val of_session_reduced_outcome : Session.t -> t Budget.outcome
 
 val compute : ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Skeleton.t -> t
 (** Enumerates every feasible schedule (up to [limit], default unlimited)

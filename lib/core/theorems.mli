@@ -20,24 +20,30 @@ type check = {
   satisfiable : bool;  (** DPLL verdict *)
   ordering_holds : bool;  (** the ordering relation the theorem names *)
   agrees : bool;  (** the theorem's equivalence, as checked *)
+  bound_hit : bool;
+      (** [true] when the ordering verdict was degraded by a budget
+          deadline — the check is inconclusive, not a counterexample *)
   n_events : int;  (** size of the constructed execution *)
 }
 
-val check_theorem_1 : ?stats:Telemetry.t -> Cnf.t -> check
-val check_theorem_2 : ?stats:Telemetry.t -> Cnf.t -> check
-val check_theorem_3 : ?stats:Telemetry.t -> Cnf.t -> check
-val check_theorem_4 : ?stats:Telemetry.t -> Cnf.t -> check
+val check_theorem_1 : ?stats:Telemetry.t -> ?budget:Budget.t -> Cnf.t -> check
+val check_theorem_2 : ?stats:Telemetry.t -> ?budget:Budget.t -> Cnf.t -> check
+val check_theorem_3 : ?stats:Telemetry.t -> ?budget:Budget.t -> Cnf.t -> check
+val check_theorem_4 : ?stats:Telemetry.t -> ?budget:Budget.t -> Cnf.t -> check
 (** [?stats] threads one {!Telemetry.t} through the exact-engine decision
     (the DPLL side is not instrumented); several checks may share one
-    report and their counters accumulate. *)
+    report and their counters accumulate.  [?budget] bounds the ordering
+    decision; an expiry sets [bound_hit] instead of raising. *)
 
-val check_theorem_1_binary : ?stats:Telemetry.t -> Cnf.t -> check
+val check_theorem_1_binary :
+  ?stats:Telemetry.t -> ?budget:Budget.t -> Cnf.t -> check
 (** Theorem 1 with every semaphore declared binary — the paper's remark
     that the proofs do not use the counting ability of semaphores. *)
 
-val check_theorem_2_binary : ?stats:Telemetry.t -> Cnf.t -> check
+val check_theorem_2_binary :
+  ?stats:Telemetry.t -> ?budget:Budget.t -> Cnf.t -> check
 
-val check_all : ?stats:Telemetry.t -> Cnf.t -> check list
+val check_all : ?stats:Telemetry.t -> ?budget:Budget.t -> Cnf.t -> check list
 (** All four checks from shared work: the SAT verdict is decided once
     and each reduction style (semaphore for 1–2, event-style for 3–4)
     builds one trace and one session-backed decision procedure, so the

@@ -308,6 +308,7 @@ type t = {
   base : Cnf.t;
   mutable solver : Cdcl.t option;
   stats : Counters.t;
+  budget : Budget.t;
   mutable committed_conflicts : int;
   mutable committed_propagations : int;
 }
@@ -316,7 +317,7 @@ let count_encoding stats (cnf : Cnf.t) =
   Counters.add stats Counters.Encoder_vars cnf.Cnf.num_vars;
   Counters.add stats Counters.Encoder_clauses (Cnf.num_clauses cnf)
 
-let build ?(stats = Counters.null) prog =
+let build ?(stats = Counters.null) ?(budget = Budget.unlimited) prog =
   let n = prog.n in
   let forced = forced_matrix prog in
   let b = { nv = 0; cls = []; ncls = 0 } in
@@ -331,6 +332,7 @@ let build ?(stats = Counters.null) prog =
     base;
     solver = None;
     stats;
+    budget;
     committed_conflicts = 0;
     committed_propagations = 0;
   }
@@ -355,7 +357,7 @@ let solver t =
   match t.solver with
   | Some s -> s
   | None ->
-      let s = Cdcl.make t.base in
+      let s = Cdcl.make ~budget:t.budget t.base in
       t.solver <- Some s;
       s
 
@@ -375,9 +377,11 @@ let commit_solver_stats t =
 
 let solve t assumptions =
   let s = solver t in
-  let r = Cdcl.solve_assuming s assumptions in
-  commit_solver_stats t;
-  r
+  (* Commit conflict/propagation counters even when the budget expires
+     mid-probe — the work was done and must show up in --stats. *)
+  Fun.protect
+    ~finally:(fun () -> commit_solver_stats t)
+    (fun () -> Cdcl.solve_assuming s assumptions)
 
 (* Decode: with totality, antisymmetry and transitivity all enforced,
    predecessor counts are a permutation of 0..n−1, so sorting by them
@@ -472,12 +476,18 @@ let race_witness t a b =
   else begin
     let f, c1, c2 = race_formula_parts t a b in
     count_encoding t.stats f;
-    let s = Cdcl.make f in
-    let result = Cdcl.solve_assuming s [] in
-    (if Counters.enabled t.stats then
-       let st = Cdcl.stats s in
-       Counters.add t.stats Counters.Solver_conflicts st.Cdcl.conflicts;
-       Counters.add t.stats Counters.Solver_propagations st.Cdcl.propagations);
+    let s = Cdcl.make ~budget:t.budget f in
+    let result =
+      Fun.protect
+        ~finally:(fun () ->
+          if Counters.enabled t.stats then begin
+            let st = Cdcl.stats s in
+            Counters.add t.stats Counters.Solver_conflicts st.Cdcl.conflicts;
+            Counters.add t.stats Counters.Solver_propagations
+              st.Cdcl.propagations
+          end)
+        (fun () -> Cdcl.solve_assuming s [])
+    in
     match result with
     | Cdcl.Sat m ->
         let n = t.prog.n and forced = t.forced in

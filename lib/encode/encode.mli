@@ -49,10 +49,15 @@ type t
     learned clauses and branching heuristics accumulate across a query
     batch. *)
 
-val build : ?stats:Counters.t -> program -> t
+val build : ?stats:Counters.t -> ?budget:Budget.t -> program -> t
 (** Compile the feasibility formula.  Bumps [Encoder_vars] and
     [Encoder_clauses]; later probes bump [Solver_conflicts] and
-    [Solver_propagations]. *)
+    [Solver_propagations].
+
+    [?budget] is handed to every solver instance this [t] creates; an
+    expiring budget makes any probe raise [Budget.Expired] (counters are
+    still committed first).  The session layer catches the exception and
+    degrades the answer. *)
 
 val program : t -> program
 

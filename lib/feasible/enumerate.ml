@@ -115,7 +115,7 @@ let undo st e token =
    EO_ENGINE=naive oracle for differential tests.  [stats] counters are
    engine-relative: the naive scan pops all n candidates per node where
    the packed one pops only frontier members. *)
-let iter_naive_from ~stats st depth0 limit f =
+let iter_naive_from ~stats ~budget st depth0 limit f =
   let found = ref 0 in
   let rec go depth =
     if depth = st.n then begin
@@ -130,6 +130,10 @@ let iter_naive_from ~stats st depth0 limit f =
     end
     else begin
       Counters.bump stats Counters.Enum_nodes;
+      if Budget.poll_node budget then begin
+        Counters.bump stats Counters.Timeout_expirations;
+        raise Stop
+      end;
       for e = 0 to st.n - 1 do
         Counters.bump stats Counters.Enum_pops;
         if ready st e then begin
@@ -149,7 +153,7 @@ let iter_naive_from ~stats st depth0 limit f =
    the point we ask for the next candidate the frontier is restored —
    resuming from [e + 1] visits exactly the events the naive scan visits,
    in the same order. *)
-let iter_packed_from ~stats st depth0 limit f =
+let iter_packed_from ~stats ~budget st depth0 limit f =
   let found = ref 0 in
   let rec go depth =
     if depth = st.n then begin
@@ -164,6 +168,10 @@ let iter_packed_from ~stats st depth0 limit f =
     end
     else begin
       Counters.bump stats Counters.Enum_nodes;
+      if Budget.poll_node budget then begin
+        Counters.bump stats Counters.Timeout_expirations;
+        raise Stop
+      end;
       let e = ref (Bitset.min_elt_from st.frontier 0) in
       while !e >= 0 do
         let ev = !e in
@@ -181,16 +189,16 @@ let iter_packed_from ~stats st depth0 limit f =
   (try go depth0 with Stop -> ());
   !found
 
-let iter ?limit ?(stats = Counters.null) sk f =
+let iter ?limit ?(stats = Counters.null) ?(budget = Budget.unlimited) sk f =
   let st = make_search sk in
   (* Enumeration has no SAT formulation: under [Engine.Sat] the packed
      search does the walking while per-pair queries go through the
      encoder (see [Session]). *)
   match Engine.current () with
-  | Engine.Naive -> iter_naive_from ~stats st 0 limit f
-  | Engine.Packed | Engine.Sat -> iter_packed_from ~stats st 0 limit f
+  | Engine.Naive -> iter_naive_from ~stats ~budget st 0 limit f
+  | Engine.Packed | Engine.Sat -> iter_packed_from ~stats ~budget st 0 limit f
 
-let count ?limit ?stats sk = iter ?limit ?stats sk (fun _ -> ())
+let count ?limit ?stats ?budget sk = iter ?limit ?stats ?budget sk (fun _ -> ())
 
 let all ?limit sk =
   let acc = ref [] in
@@ -230,18 +238,20 @@ let push_prefix st prefix =
       st.schedule.(i) <- e)
     prefix
 
-let iter_from ?limit ?(stats = Counters.null) sk ~prefix f =
+let iter_from ?limit ?(stats = Counters.null) ?(budget = Budget.unlimited) sk
+    ~prefix f =
   let st = make_search sk in
   (* The replay is bookkeeping, not search work — it stays uncounted so
      per-task counters sum to exactly the sequential totals. *)
   push_prefix st prefix;
-  iter_packed_from ~stats st (Array.length prefix) limit f
+  iter_packed_from ~stats ~budget st (Array.length prefix) limit f
 
 (* Interior nodes strictly above [depth] are counted here (when [stats]
    is enabled); the nodes at [depth] itself belong to the subtree tasks
    and are counted by [iter_from].  Together the split walk plus the
    workers bump exactly the nodes the sequential search bumps. *)
-let feasible_prefixes ?(stats = Counters.null) sk ~depth =
+let feasible_prefixes ?(stats = Counters.null) ?(budget = Budget.unlimited) sk
+    ~depth =
   let st = make_search sk in
   if depth < 0 || depth > st.n then invalid_arg "Enumerate.feasible_prefixes";
   let acc = ref [] in
@@ -249,6 +259,10 @@ let feasible_prefixes ?(stats = Counters.null) sk ~depth =
     if d = depth then acc := Array.sub st.schedule 0 depth :: !acc
     else begin
       Counters.bump stats Counters.Enum_nodes;
+      if Budget.poll_node budget then begin
+        Counters.bump stats Counters.Timeout_expirations;
+        raise Stop
+      end;
       let e = ref (Bitset.min_elt_from st.frontier 0) in
       while !e >= 0 do
         let ev = !e in
@@ -263,10 +277,10 @@ let feasible_prefixes ?(stats = Counters.null) sk ~depth =
       done
     end
   in
-  go 0;
+  (try go 0 with Stop -> ());
   List.rev !acc
 
-let exists_order sk ~before ~after =
+let exists_order ?(budget = Budget.unlimited) sk ~before ~after =
   if before = after then false
   else begin
     let st = make_search sk in
@@ -274,12 +288,14 @@ let exists_order sk ~before ~after =
     (* Prune any branch that schedules [after] while [before] is pending:
        such a prefix can never witness [before] < [after]. *)
     let admissible e = not (e = after && not st.done_.(before)) in
+    let poll () = if Budget.poll_node budget then raise Stop in
     let rec go_naive depth =
       if depth = st.n then begin
         found := true;
         raise Stop
       end
-      else
+      else begin
+        poll ();
         for e = 0 to st.n - 1 do
           if ready st e && admissible e then begin
             let token = execute st e in
@@ -287,6 +303,7 @@ let exists_order sk ~before ~after =
             undo st e token
           end
         done
+      end
     in
     let rec go_packed depth =
       if depth = st.n then begin
@@ -294,6 +311,7 @@ let exists_order sk ~before ~after =
         raise Stop
       end
       else begin
+        poll ();
         let e = ref (Bitset.min_elt_from st.frontier 0) in
         while !e >= 0 do
           let ev = !e in

@@ -17,7 +17,12 @@ exception Stop
 (** Raise from an {!iter} callback to end enumeration early. *)
 
 val iter :
-  ?limit:int -> ?stats:Counters.t -> Skeleton.t -> (int array -> unit) -> int
+  ?limit:int ->
+  ?stats:Counters.t ->
+  ?budget:Budget.t ->
+  Skeleton.t ->
+  (int array -> unit) ->
+  int
 (** [iter ?limit sk f] calls [f] on every feasible complete schedule (the
     array is reused; copy to keep) and returns how many were visited.
     Enumeration order is deterministic (lexicographic by event id).
@@ -25,9 +30,15 @@ val iter :
     [?stats] (default {!Counters.null}, i.e. off) accumulates
     [Enum_nodes] / [Enum_pops] / [Enum_schedules] / [Limit_truncations];
     pop counts are engine-relative (the naive scan examines all [n]
-    candidates per node, the packed one only frontier members). *)
+    candidates per node, the packed one only frontier members).
 
-val count : ?limit:int -> ?stats:Counters.t -> Skeleton.t -> int
+    [?budget] (default {!Budget.unlimited}) is polled once per interior
+    node; expiry stops the search exactly like a [?limit] hit — the
+    schedules already visited stand, [Timeout_expirations] is bumped,
+    and no exception escapes. *)
+
+val count :
+  ?limit:int -> ?stats:Counters.t -> ?budget:Budget.t -> Skeleton.t -> int
 
 val all : ?limit:int -> Skeleton.t -> int array list
 
@@ -37,11 +48,13 @@ val exists : Skeleton.t -> (int array -> bool) -> bool
 val first : Skeleton.t -> int array option
 (** The lexicographically first feasible schedule, if any. *)
 
-val exists_order : Skeleton.t -> before:int -> after:int -> bool
+val exists_order :
+  ?budget:Budget.t -> Skeleton.t -> before:int -> after:int -> bool
 (** [exists_order sk ~before:a ~after:b]: is there a feasible schedule in
     which [a] is scheduled before [b]?  (This is exactly the could-have-
     happened-before relation; see {!DESIGN.md}.)  Prunes branches where [b]
-    was scheduled first, so it is cheaper than filtering {!iter}. *)
+    was scheduled first, so it is cheaper than filtering {!iter}.  Budget
+    expiry yields [false] — a sound under-report, as with [?limit]. *)
 
 (** {2 Subtree tasks}
 
@@ -52,7 +65,11 @@ val exists_order : Skeleton.t -> before:int -> after:int -> bool
     per-task results merge deterministically. *)
 
 val feasible_prefixes :
-  ?stats:Counters.t -> Skeleton.t -> depth:int -> int array list
+  ?stats:Counters.t ->
+  ?budget:Budget.t ->
+  Skeleton.t ->
+  depth:int ->
+  int array list
 (** All feasible schedule prefixes of exactly [depth] events, in
     lexicographic order.  [0 <= depth <= n]; prefixes that cannot be
     completed are included (their subtrees are simply empty).
@@ -65,6 +82,7 @@ val feasible_prefixes :
 val iter_from :
   ?limit:int ->
   ?stats:Counters.t ->
+  ?budget:Budget.t ->
   Skeleton.t ->
   prefix:int array ->
   (int array -> unit) ->

@@ -6,7 +6,7 @@
 
 let default_jobs () = Config.jobs ()
 
-let map ?telemetry ~jobs f xs =
+let map ?telemetry ?(budget = Budget.unlimited) ~jobs f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
@@ -18,17 +18,34 @@ let map ?telemetry ~jobs f xs =
     else begin
       let results = Array.make n None in
       let next = Atomic.make 0 in
+      let failed = Atomic.make false in
       (* Each worker owns the result slots of the tasks it claims; no two
          workers ever touch the same index, so plain writes suffice.
          Per-domain wall times land in distinct telemetry slots the same
-         way. *)
+         way.  A task's exception is parked in its own slot and re-raised
+         after every domain has joined; tasks are claimed in index order,
+         so the lowest-indexed failure wins deterministically whatever
+         the domain interleaving. *)
       let worker k =
         Telemetry.timed_domain telemetry k (fun () ->
             let rec loop () =
-              let i = Atomic.fetch_and_add next 1 in
-              if i < n then begin
-                results.(i) <- Some (f xs.(i));
-                loop ()
+              if not (Atomic.get failed) then begin
+                (* Re-read the deadline between tasks: once any domain
+                   trips it, the shared flag makes every remaining task
+                   near-instant (a budget-aware [f] stops on its first
+                   poll), so the whole fan-out winds down while [map]
+                   still returns a complete, deterministic array. *)
+                ignore (Budget.check_now budget);
+                let i = Atomic.fetch_and_add next 1 in
+                if i < n then begin
+                  (match f xs.(i) with
+                  | r -> results.(i) <- Some (Ok r)
+                  | exception e ->
+                      let bt = Printexc.get_raw_backtrace () in
+                      results.(i) <- Some (Error (e, bt));
+                      Atomic.set failed true);
+                  loop ()
+                end
               end
             in
             loop ())
@@ -36,10 +53,20 @@ let map ?telemetry ~jobs f xs =
       let domains =
         Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
       in
-      worker 0;
-      Array.iter Domain.join domains;
+      (* Join every domain even when the caller's share raises — a leaked
+         domain would keep mutating [results] behind our back. *)
+      Fun.protect
+        ~finally:(fun () -> Array.iter Domain.join domains)
+        (fun () -> worker 0);
+      Array.iter
+        (function
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Ok _) | None -> ())
+        results;
       Array.map
-        (function Some r -> r | None -> assert false (* all claimed *))
+        (function
+          | Some (Ok r) -> r
+          | Some (Error _) | None -> assert false (* all claimed, none failed *))
         results
     end
   end
@@ -105,21 +132,24 @@ let split_por_tasks ?(stats = Counters.null) sk ~jobs =
     ~n:sk.Skeleton.n ~jobs
     (fun d -> Por.tasks sk ~depth:d)
 
-let count ?limit ?jobs ?(stats = Counters.null) sk =
+let count ?limit ?jobs ?(stats = Counters.null) ?(budget = Budget.unlimited) sk
+    =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs <= 1 || limit <> None then Enumerate.count ?limit ~stats sk
+  if jobs <= 1 || limit <> None then Enumerate.count ?limit ~stats ~budget sk
   else
     match split_prefixes ~stats sk ~jobs with
-    | None -> Enumerate.count ~stats sk
+    | None -> Enumerate.count ~stats ~budget sk
     | Some (_depth, prefixes) ->
         let results =
-          map ~jobs
+          map ~jobs ~budget
             (fun prefix ->
               let c =
                 if Counters.enabled stats then Counters.create ()
                 else Counters.null
               in
-              let k = Enumerate.iter_from ~stats:c sk ~prefix (fun _ -> ()) in
+              let k =
+                Enumerate.iter_from ~stats:c ~budget sk ~prefix (fun _ -> ())
+              in
               (k, c))
             prefixes
         in

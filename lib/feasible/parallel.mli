@@ -26,14 +26,33 @@ val default_jobs : unit -> int
     {!Config.jobs} (default [1]; malformed values warn on stderr and fall
     back to [1]).  Read once and cached. *)
 
-val map : ?telemetry:Telemetry.t -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?telemetry:Telemetry.t ->
+  ?budget:Budget.t ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map ~jobs f xs] applies [f] to every element using up to [jobs]
     domains (the calling domain participates; [jobs <= 1] or a singleton
     array degrades to [Array.map]).  Results are returned in input order.
     [f] must be safe to run concurrently with itself on distinct
-    elements.  An exception in any task is re-raised.  With
-    [?telemetry], each domain's wall-clock time is added to the report
-    (domain 0 is the caller). *)
+    elements.
+
+    If a task raises, every domain is still joined (workers stop
+    claiming new tasks, in-flight tasks finish) and the exception of the
+    {e lowest-indexed} failing task is re-raised — deterministic
+    whatever the domain interleaving, so [Enumerate.Stop]-style early
+    exits behave identically across runs.
+
+    With [?budget], workers re-check the wall-clock deadline between
+    tasks: the budget's trip flag is shared by every domain, so one
+    domain hitting the deadline makes every remaining task near-instant
+    (a budget-aware [f] stops on its first poll) while [map] still
+    returns a complete array of partial accumulators.
+
+    With [?telemetry], each domain's wall-clock time is added to the
+    report (domain 0 is the caller). *)
 
 val split_prefixes :
   ?stats:Counters.t -> Skeleton.t -> jobs:int -> (int * int array array) option
@@ -50,7 +69,15 @@ val split_por_tasks :
 (** Same heuristic over the sleep-set tree ({!Por.tasks}); feed each to
     {!Por.iter_task}. *)
 
-val count : ?limit:int -> ?jobs:int -> ?stats:Counters.t -> Skeleton.t -> int
+val count :
+  ?limit:int ->
+  ?jobs:int ->
+  ?stats:Counters.t ->
+  ?budget:Budget.t ->
+  Skeleton.t ->
+  int
 (** Parallel {!Enumerate.count} (exact, deterministic).  [jobs] defaults
     to {!default_jobs}; [?limit] caps the count and (being
-    order-dependent) forces the sequential path, as everywhere else. *)
+    order-dependent) forces the sequential path, as everywhere else.
+    Under an exhausted [?budget] the count is a partial (under-)count,
+    exactly as with a [?limit] hit. *)

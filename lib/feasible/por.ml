@@ -39,7 +39,7 @@ exception Stop
    engine-relative (all n candidates per node); sleep-prune counts are
    not — both engines prune exactly the ready-but-asleep candidates, so
    those match the packed search bit for bit. *)
-let iter_representatives_naive ?limit ~stats sk f =
+let iter_representatives_naive ?limit ~stats ~budget sk f =
   let st = Enumerate.make_search sk in
   let n = sk.Skeleton.n in
   let found = ref 0 in
@@ -56,6 +56,10 @@ let iter_representatives_naive ?limit ~stats sk f =
     end
     else begin
       Counters.bump stats Counters.Por_nodes;
+      if Budget.poll_node budget then begin
+        Counters.bump stats Counters.Timeout_expirations;
+        raise Stop
+      end;
       let explored = ref [] in
       for e = 0 to n - 1 do
         Counters.bump stats Counters.Por_pops;
@@ -101,7 +105,7 @@ let make_scratch sk =
 (* The packed recursion from [depth0].  Same visit order and same sleep
    semantics as the naive code: candidates ascend by event id, and the
    child's sleep set is (sleep ∪ explored) ∩ indep(e). *)
-let go_packed sc limit found ~stats f depth0 =
+let go_packed sc limit found ~stats ~budget f depth0 =
   let st = sc.st in
   let n = st.Enumerate.n in
   let rec go depth =
@@ -117,6 +121,10 @@ let go_packed sc limit found ~stats f depth0 =
     end
     else begin
       Counters.bump stats Counters.Por_nodes;
+      if Budget.poll_node budget then begin
+        Counters.bump stats Counters.Timeout_expirations;
+        raise Stop
+      end;
       Bitset.clear sc.explored.(depth);
       let e = ref (Bitset.min_elt_from st.Enumerate.frontier 0) in
       while !e >= 0 do
@@ -144,19 +152,21 @@ let go_packed sc limit found ~stats f depth0 =
   in
   go depth0
 
-let iter_representatives_packed ?limit ~stats sk f =
+let iter_representatives_packed ?limit ~stats ~budget sk f =
   let sc = make_scratch sk in
   let found = ref 0 in
-  (try go_packed sc limit found ~stats f 0 with Stop -> ());
+  (try go_packed sc limit found ~stats ~budget f 0 with Stop -> ());
   !found
 
-let iter_representatives ?limit ?(stats = Counters.null) sk f =
+let iter_representatives ?limit ?(stats = Counters.null)
+    ?(budget = Budget.unlimited) sk f =
   match Engine.current () with
-  | Engine.Naive -> iter_representatives_naive ?limit ~stats sk f
-  | Engine.Packed | Engine.Sat -> iter_representatives_packed ?limit ~stats sk f
+  | Engine.Naive -> iter_representatives_naive ?limit ~stats ~budget sk f
+  | Engine.Packed | Engine.Sat ->
+      iter_representatives_packed ?limit ~stats ~budget sk f
 
-let count_representatives ?limit ?stats sk =
-  iter_representatives ?limit ?stats sk (fun _ -> ())
+let count_representatives ?limit ?stats ?budget sk =
+  iter_representatives ?limit ?stats ?budget sk (fun _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Subtree tasks for Parallel                                          *)
@@ -164,7 +174,7 @@ let count_representatives ?limit ?stats sk =
 
 type task = { prefix : int array; sleep : Bitset.t }
 
-let tasks ?(stats = Counters.null) sk ~depth =
+let tasks ?(stats = Counters.null) ?(budget = Budget.unlimited) sk ~depth =
   let n = sk.Skeleton.n in
   if depth < 0 || depth >= n then invalid_arg "Por.tasks";
   let sc = make_scratch sk in
@@ -182,6 +192,10 @@ let tasks ?(stats = Counters.null) sk ~depth =
         :: !acc
     else begin
       Counters.bump stats Counters.Por_nodes;
+      if Budget.poll_node budget then begin
+        Counters.bump stats Counters.Timeout_expirations;
+        raise Stop
+      end;
       Bitset.clear sc.explored.(d);
       let e = ref (Bitset.min_elt_from st.Enumerate.frontier 0) in
       while !e >= 0 do
@@ -207,10 +221,11 @@ let tasks ?(stats = Counters.null) sk ~depth =
       done
     end
   in
-  go 0;
+  (try go 0 with Stop -> ());
   List.rev !acc
 
-let iter_task ?(stats = Counters.null) sk { prefix; sleep } f =
+let iter_task ?(stats = Counters.null) ?(budget = Budget.unlimited) sk
+    { prefix; sleep } f =
   let sc = make_scratch sk in
   let st = sc.st in
   (* Replay is uncounted, mirroring [Enumerate.iter_from]. *)
@@ -226,5 +241,5 @@ let iter_task ?(stats = Counters.null) sk { prefix; sleep } f =
   let depth = Array.length prefix in
   Bitset.copy_into ~dst:sc.sleep.(depth) sleep;
   let found = ref 0 in
-  (try go_packed sc None found ~stats f depth with Stop -> ());
+  (try go_packed sc None found ~stats ~budget f depth with Stop -> ());
   !found

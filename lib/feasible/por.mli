@@ -24,7 +24,12 @@
     orders found equals full enumeration's on random programs. *)
 
 val iter_representatives :
-  ?limit:int -> ?stats:Counters.t -> Skeleton.t -> (int array -> unit) -> int
+  ?limit:int ->
+  ?stats:Counters.t ->
+  ?budget:Budget.t ->
+  Skeleton.t ->
+  (int array -> unit) ->
+  int
 (** [iter_representatives sk f] calls [f] on representative feasible
     schedules — at least one per commutation class — and returns how many
     were visited.  The array is reused between calls.
@@ -33,10 +38,14 @@ val iter_representatives :
     [Por_indep_refinements] / [Por_reps] (plus [Limit_truncations]).
     Pop counts are engine-relative; sleep-prune counts are identical
     across engines — both prune exactly the ready-but-asleep
-    candidates. *)
+    candidates.
+
+    [?budget] is polled once per tree node; expiry stops the walk like a
+    [?limit] hit (representatives already visited stand,
+    [Timeout_expirations] is bumped, no exception escapes). *)
 
 val count_representatives :
-  ?limit:int -> ?stats:Counters.t -> Skeleton.t -> int
+  ?limit:int -> ?stats:Counters.t -> ?budget:Budget.t -> Skeleton.t -> int
 
 val independent : Skeleton.t -> int -> int -> bool
 (** The static independence relation used for commutation: different
@@ -58,7 +67,8 @@ val independence : Skeleton.t -> Rel.t
 
 type task = { prefix : int array; sleep : Bitset.t }
 
-val tasks : ?stats:Counters.t -> Skeleton.t -> depth:int -> task list
+val tasks :
+  ?stats:Counters.t -> ?budget:Budget.t -> Skeleton.t -> depth:int -> task list
 (** All sleep-set tree nodes at exactly [depth], in visit order.  Their
     subtrees partition the representative schedules: summing
     {!iter_task} over all tasks equals [count_representatives] with no
@@ -67,7 +77,12 @@ val tasks : ?stats:Counters.t -> Skeleton.t -> depth:int -> task list
     walk's share, complementing {!iter_task}'s. *)
 
 val iter_task :
-  ?stats:Counters.t -> Skeleton.t -> task -> (int array -> unit) -> int
+  ?stats:Counters.t ->
+  ?budget:Budget.t ->
+  Skeleton.t ->
+  task ->
+  (int array -> unit) ->
+  int
 (** Enumerates (with the packed search, irrespective of {!Engine}) the
     representatives in one task's subtree; the array passed to [f]
     carries the prefix in place.  Safe to call from a worker domain with

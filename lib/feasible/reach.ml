@@ -44,6 +44,7 @@ type t = {
   can_complete_memo : bool Wordtbl.t;
   count_memo : int Wordtbl.t;
   stats : Counters.t;
+  budget : Budget.t;
   mutable committed_probes : int;
   mutable committed_resizes : int;
       (* [stats_commit] folds memo-table probe/resize *deltas* into the
@@ -56,7 +57,7 @@ let key_length sk =
   + words_for (Array.length sk.Skeleton.ev_init)
   + Array.length sk.Skeleton.sem_init
 
-let create ?(stats = Counters.null) sk =
+let create ?(stats = Counters.null) ?(budget = Budget.unlimited) sk =
   let n = sk.Skeleton.n in
   {
     sk;
@@ -69,6 +70,7 @@ let create ?(stats = Counters.null) sk =
     can_complete_memo = Wordtbl.create 1024;
     count_memo = Wordtbl.create 1024;
     stats;
+    budget;
     committed_probes = 0;
     committed_resizes = 0;
   }
@@ -89,6 +91,12 @@ let stats_commit t =
   end
 
 let skeleton t = t.sk
+
+(* Budget polls sit on the memo-miss / first-visit paths: one poll per
+   distinct state expanded, nothing on the (cheap) hit paths.  Partially
+   explored recursions leave only fully-computed memo entries behind, so
+   a [t] that raised {!Budget.Expired} is still sound to keep querying.  *)
+let poll t = if Budget.poll_node t.budget then raise Budget.Expired
 
 let initial_state t =
   {
@@ -192,6 +200,7 @@ let rec can_complete t state =
         r
     | None ->
         Counters.bump t.stats Counters.Reach_memo_misses;
+        poll t;
         (* The scratch key dies in the recursion below; copy it first. *)
         let k = Array.copy t.scratch in
         let r =
@@ -219,6 +228,7 @@ let rec count_from t state =
         r
     | None ->
         Counters.bump t.stats Counters.Reach_memo_misses;
+        poll t;
         let k = Array.copy t.scratch in
         let r =
           List.fold_left
@@ -234,6 +244,7 @@ let walk_reachable t visit =
   let seen = Wordtbl.create 1024 in
   let rec go state =
     if not (Wordtbl.mem seen (pack t state)) then begin
+      poll t;
       Wordtbl.add seen (Array.copy t.scratch) ();
       visit state;
       List.iter (fun e -> go (step t state e)) (ready_events t state)
@@ -258,6 +269,7 @@ let deadlock_witness t =
   let rec go state prefix =
     if Wordtbl.mem seen (pack t state) then None
     else begin
+      poll t;
       Wordtbl.add seen (Array.copy t.scratch) ();
       match ready_events t state with
       | [] -> if all_done state then None else Some (List.rev prefix)
@@ -278,6 +290,7 @@ let exists_before t a b =
       if state.completed.(a) then can_complete t state
       else if Wordtbl.mem seen (pack t state) then false
       else begin
+        poll t;
         Wordtbl.add seen (Array.copy t.scratch) ();
         List.exists
           (fun e -> e <> b && go (step t state e))
@@ -316,6 +329,7 @@ let witness_before t a b =
         else None
       else if Wordtbl.mem seen (pack t state) then None
       else begin
+        poll t;
         Wordtbl.add seen (Array.copy t.scratch) ();
         List.find_map
           (fun e ->
@@ -360,6 +374,7 @@ let race_witness t a b =
     let rec go state prefix =
       if Wordtbl.mem seen (pack t state) then None
       else begin
+        poll t;
         Wordtbl.add seen (Array.copy t.scratch) ();
         if
           (not state.completed.(a))

@@ -17,14 +17,22 @@
 
 type t
 
-val create : ?stats:Counters.t -> Skeleton.t -> t
+val create : ?stats:Counters.t -> ?budget:Budget.t -> Skeleton.t -> t
 (** Builds an engine; all queries share one memo table per query kind.
 
     [?stats] accumulates [Reach_memo_hits] / [Reach_memo_misses] as
     queries run, and [Reach_queries] per {!exists_before} /
     {!witness_before} / {!exists_race} call.  Memo statistics depend on
     query order and on how work was split across engines, so unlike the
-    search counters they are {e not} invariant across [jobs]. *)
+    search counters they are {e not} invariant across [jobs].
+
+    [?budget] is polled once per distinct state expanded.  Unlike
+    {!Enumerate}, a state-space query has no meaningful partial value, so
+    expiry raises {!Budget.Expired} out of any query on this [t] — the
+    session layer catches it and degrades to a typed [Bound_hit] answer;
+    the exception never crosses the public analysis APIs.  The memo
+    tables only ever hold fully-computed entries, so a [t] that raised
+    stays sound for further (immediately-expiring) queries. *)
 
 val stats_commit : t -> unit
 (** Folds the engine's memo-table probe/resize totals ({!Wordtbl.probes})

@@ -65,6 +65,7 @@ type t = {
   jobs : int;
   stats : Telemetry.t option;
   c : Counters.t;
+  budget : Budget.t;
   cache : cache;
   key : Program_key.t Lazy.t;
   mutable reach : Reach.t option;
@@ -77,7 +78,8 @@ type t = {
   mutable summary_reduced_memo : summary option;
 }
 
-let create ?limit ?(jobs = 1) ?stats ?(cache = no_cache) sk =
+let create ?limit ?(jobs = 1) ?stats ?(budget = Budget.unlimited)
+    ?(cache = no_cache) sk =
   let c = match stats with Some tel -> Telemetry.counters tel | None -> Counters.null in
   {
     sk;
@@ -85,6 +87,7 @@ let create ?limit ?(jobs = 1) ?stats ?(cache = no_cache) sk =
     jobs;
     stats;
     c;
+    budget;
     cache;
     key = lazy (Program_key.of_execution sk.Skeleton.execution);
     reach = None;
@@ -97,14 +100,15 @@ let create ?limit ?(jobs = 1) ?stats ?(cache = no_cache) sk =
     summary_reduced_memo = None;
   }
 
-let of_execution ?limit ?jobs ?stats ?cache x =
-  create ?limit ?jobs ?stats ?cache (Skeleton.of_execution x)
+let of_execution ?limit ?jobs ?stats ?budget ?cache x =
+  create ?limit ?jobs ?stats ?budget ?cache (Skeleton.of_execution x)
 
 let skeleton t = t.sk
 let execution t = t.sk.Skeleton.execution
 let key t = Lazy.force t.key
 let limit t = t.limit
 let jobs t = t.jobs
+let budget t = t.budget
 let telemetry t = t.stats
 let full_pass_stats t = t.full_stats
 
@@ -112,7 +116,7 @@ let reach t =
   match t.reach with
   | Some r -> r
   | None ->
-      let r = Reach.create ~stats:t.c t.sk in
+      let r = Reach.create ~stats:t.c ~budget:t.budget t.sk in
       t.reach <- Some r;
       r
 
@@ -145,7 +149,7 @@ let encoder t =
   | Some e -> e
   | None ->
       set_run t;
-      let e = Encode.build ~stats:t.c (encode_program t.sk) in
+      let e = Encode.build ~stats:t.c ~budget:t.budget (encode_program t.sk) in
       t.encoder <- Some e;
       e
 
@@ -183,8 +187,8 @@ let must_before t a b =
 
 (* Session-independent SAT race probe, for callers (the race layer)
    that decide pairs on *modified* skeletons a session never owns. *)
-let sat_exists_race ?(stats = Counters.null) sk a b =
-  let enc = Encode.build ~stats (encode_program sk) in
+let sat_exists_race ?(stats = Counters.null) ?budget sk a b =
+  let enc = Encode.build ~stats ?budget (encode_program sk) in
   match Encode.race_witness enc a b with
   | Some (s1, s2) ->
       ignore (certify sk s1);
@@ -251,21 +255,37 @@ let disk_read t ek =
                   else Some (String.sub rest (j + 1) (String.length rest - j - 1)))
       with Sys_error _ | End_of_file -> None)
 
+(* Writers racing on one entry must never observe each other's partial
+   output: each write goes to a tmp name unique per process *and* per
+   write (two domains of one process share a pid), and only a complete
+   tmp file is renamed — atomically — over the entry. *)
+let tmp_counter = Atomic.make 0
+
 let disk_write t ek payload =
   match disk_path t ek with
   | None -> ()
   | Some path -> (
       try
         Option.iter mkdir_p t.cache.dir;
-        let tmp = path ^ ".tmp" in
+        let tmp =
+          Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+            (Atomic.fetch_and_add tmp_counter 1)
+        in
         let oc = open_out_bin tmp in
-        output_string oc cache_version;
-        output_char oc '\n';
-        output_string oc ek;
-        output_char oc '\n';
-        output_string oc payload;
-        close_out oc;
-        Sys.rename tmp path
+        (match
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () ->
+               output_string oc cache_version;
+               output_char oc '\n';
+               output_string oc ek;
+               output_char oc '\n';
+               output_string oc payload)
+         with
+        | () -> Sys.rename tmp path
+        | exception e ->
+            (try Sys.remove tmp with Sys_error _ -> ());
+            raise e)
       with Sys_error _ -> ())
 
 let lookup_cached t ~kind ~decode =
@@ -296,7 +316,11 @@ let lookup_cached t ~kind ~decode =
   end
 
 let store_cached t ~kind payload =
-  if cache_enabled t then begin
+  (* Budget-truncated results are partial in a nondeterministic,
+     timing-dependent way; memoizing them inside this session is fine,
+     but they must never be filed under a key a later (unbudgeted)
+     session would trust. *)
+  if cache_enabled t && not (Budget.exhausted t.budget) then begin
     let ek = entry_key t ~kind in
     if t.cache.memory then Lru.store ek payload;
     disk_write t ek payload;
@@ -354,11 +378,15 @@ let run_full t =
         let insts = sequential_instances consumers in
         let count =
           Counters.time c Counters.T_enumerate (fun () ->
-              Enumerate.iter ?limit:t.limit ~stats:c sk (fun schedule ->
+              Enumerate.iter ?limit:t.limit ~stats:c ~budget:t.budget sk
+                (fun schedule ->
                   let po = po_opt schedule in
                   List.iter (fun (apply, _) -> apply schedule po) insts))
         in
-        let truncated = match t.limit with Some l -> count >= l | None -> false in
+        let truncated =
+          (match t.limit with Some l -> count >= l | None -> false)
+          || Budget.exhausted t.budget
+        in
         t.full_stats <- Some (count, truncated);
         List.iter (fun (_, finish) -> finish ()) insts
       in
@@ -372,12 +400,13 @@ let run_full t =
             let insts = parallel_instances consumers in
             let results =
               Counters.time c Counters.T_enumerate (fun () ->
-                  Parallel.map ?telemetry:t.stats ~jobs:t.jobs
+                  Parallel.map ?telemetry:t.stats ~budget:t.budget ~jobs:t.jobs
                     (fun prefix ->
                       let wc = worker_counters c in
                       let tasks = List.map (fun (make_task, _) -> make_task ()) insts in
                       let count =
-                        Enumerate.iter_from ~stats:wc sk ~prefix (fun schedule ->
+                        Enumerate.iter_from ~stats:wc ~budget:t.budget sk ~prefix
+                          (fun schedule ->
                             let po = po_opt schedule in
                             List.iter (fun (apply, _) -> apply schedule po) tasks)
                       in
@@ -397,7 +426,7 @@ let run_full t =
                   total + count)
                 0 results
             in
-            t.full_stats <- Some (total, false);
+            t.full_stats <- Some (total, Budget.exhausted t.budget);
             List.iter (fun (_, finish) -> finish ()) insts
       end
 
@@ -416,11 +445,15 @@ let run_por t =
         let insts = sequential_instances consumers in
         let reps =
           Counters.time c Counters.T_enumerate (fun () ->
-              Por.iter_representatives ?limit:t.limit ~stats:c sk (fun schedule ->
+              Por.iter_representatives ?limit:t.limit ~stats:c ~budget:t.budget
+                sk (fun schedule ->
                   let po = Some (Pinned.po_of_schedule sk schedule) in
                   List.iter (fun (apply, _) -> apply schedule po) insts))
         in
-        let truncated = match t.limit with Some l -> reps >= l | None -> false in
+        let truncated =
+          (match t.limit with Some l -> reps >= l | None -> false)
+          || Budget.exhausted t.budget
+        in
         t.por_stats <- Some (reps, truncated);
         List.iter (fun (_, finish) -> finish ()) insts
       in
@@ -434,12 +467,13 @@ let run_por t =
             let insts = parallel_instances consumers in
             let parts =
               Counters.time c Counters.T_enumerate (fun () ->
-                  Parallel.map ?telemetry:t.stats ~jobs:t.jobs
+                  Parallel.map ?telemetry:t.stats ~budget:t.budget ~jobs:t.jobs
                     (fun task ->
                       let wc = worker_counters c in
                       let tinsts = List.map (fun (make_task, _) -> make_task ()) insts in
                       let reps =
-                        Por.iter_task ~stats:wc sk task (fun schedule ->
+                        Por.iter_task ~stats:wc ~budget:t.budget sk task
+                          (fun schedule ->
                             let po = Some (Pinned.po_of_schedule sk schedule) in
                             List.iter (fun (apply, _) -> apply schedule po) tinsts)
                       in
@@ -459,7 +493,7 @@ let run_por t =
                   total + reps)
                 0 parts
             in
-            t.por_stats <- Some (total, false);
+            t.por_stats <- Some (total, Budget.exhausted t.budget);
             List.iter (fun (_, finish) -> finish ()) insts
       end
 
@@ -680,8 +714,13 @@ let compute_summary_reduced t =
   in
   Counters.time c Counters.T_total (fun () ->
       Counters.time c Counters.T_before (fun () ->
-          if sat_engine () then fill_before_sat before_some
-          else if (not parallel) || n < 2 then fill_before reach before_some 0 (n - 1)
+          (* Expiry mid-fill leaves the rows already decided in place:
+             a sound under-approximation of the could-have-before bits. *)
+          if sat_engine () then (
+            try fill_before_sat before_some with Budget.Expired -> ())
+          else if (not parallel) || n < 2 then (
+            try fill_before reach before_some 0 (n - 1)
+            with Budget.Expired -> ())
           else begin
             let k = min t.jobs n in
             let ranges =
@@ -690,12 +729,15 @@ let compute_summary_reduced t =
                   (lo, hi))
             in
             let parts =
-              Parallel.map ?telemetry:t.stats ~jobs:t.jobs
+              Parallel.map ?telemetry:t.stats ~budget:t.budget ~jobs:t.jobs
                 (fun (lo, hi) ->
                   let wc = worker_counters c in
                   let rel = Rel.create n in
-                  let worker_reach = Reach.create ~stats:wc t.sk in
-                  fill_before worker_reach rel lo hi;
+                  let worker_reach =
+                    Reach.create ~stats:wc ~budget:t.budget t.sk
+                  in
+                  (try fill_before worker_reach rel lo hi
+                   with Budget.Expired -> ());
                   Reach.stats_commit worker_reach;
                   (rel, wc))
                 ranges
@@ -712,10 +754,18 @@ let compute_summary_reduced t =
     fold_classes t ~init:(fun () -> make_acc n) ~visit:visit_class ~merge:merge_acc
   in
   let acc = result handle in
-  let truncated = match t.por_stats with Some (_, tr) -> tr | None -> false in
+  let truncated =
+    (match t.por_stats with Some (_, tr) -> tr | None -> false)
+    || Budget.exhausted t.budget
+  in
+  (* A DP count cut short has no partial value; 0 is the only sound
+     under-count, and [truncated] above tells the reader it is one. *)
   let feasible_count =
-    Counters.time c Counters.T_total (fun () ->
-        Counters.time c Counters.T_count (fun () -> Reach.schedule_count reach))
+    try
+      Counters.time c Counters.T_total (fun () ->
+          Counters.time c Counters.T_count (fun () ->
+              Reach.schedule_count reach))
+    with Budget.Expired -> 0
   in
   Reach.stats_commit reach;
   {
@@ -767,3 +817,64 @@ let cached_blob t ~kind produce =
       let payload = produce () in
       store_cached t ~kind payload;
       payload
+
+(* ------------------------------------------------------------------ *)
+(* Typed degradation: budget expiry never crosses this API as an
+   exception.  Could-have queries degrade to [false] / [None] — a sound
+   under-report, the same direction as a [?limit] hit — while must-have
+   queries degrade to [true], a sound over-approximation.  Either way
+   the partial answer errs on the side the relation's contract already
+   allows, and the [outcome] type says which kind of answer this is. *)
+
+let degraded t v =
+  Counters.bump t.c Counters.Timeout_expirations;
+  Counters.bump t.c Counters.Timeout_degraded;
+  Budget.Bound_hit v
+
+let outcome_of t ~fallback f =
+  match f () with
+  | v -> Budget.Exact v
+  | exception Budget.Expired -> degraded t fallback
+
+let feasible_exists_outcome t =
+  outcome_of t ~fallback:true (fun () -> feasible_exists t)
+
+let exists_before_outcome t a b =
+  outcome_of t ~fallback:false (fun () -> exists_before t a b)
+
+let witness_before_outcome t a b =
+  outcome_of t ~fallback:None (fun () -> witness_before t a b)
+
+let must_before_outcome t a b =
+  if a = b then Budget.Exact false
+  else outcome_of t ~fallback:true (fun () -> must_before t a b)
+
+let exists_race_outcome t a b =
+  outcome_of t ~fallback:false (fun () -> exists_race t a b)
+
+let schedule_count_outcome t =
+  outcome_of t ~fallback:0 (fun () -> schedule_count t)
+
+(* Summaries truncate internally (enumeration stops like a [?limit]
+   hit) rather than raising, so the outcome is read off the record's
+   own [truncated] flag. *)
+let summary_mark t s =
+  if s.truncated then begin
+    if Budget.exhausted t.budget then
+      Counters.bump t.c Counters.Timeout_degraded;
+    Budget.Bound_hit s
+  end
+  else Budget.Exact s
+
+let summary_outcome t = summary_mark t (summary t)
+let summary_reduced_outcome t = summary_mark t (summary_reduced t)
+
+(* The plain (bool-returning) query API is the outcome API with the
+   degradation folded in — existing callers keep their signatures and
+   inherit graceful expiry for free. *)
+let feasible_exists t = Budget.value (feasible_exists_outcome t)
+let exists_before t a b = Budget.value (exists_before_outcome t a b)
+let witness_before t a b = Budget.value (witness_before_outcome t a b)
+let must_before t a b = Budget.value (must_before_outcome t a b)
+let exists_race t a b = Budget.value (exists_race_outcome t a b)
+let schedule_count t = Budget.value (schedule_count_outcome t)

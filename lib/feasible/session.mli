@@ -55,16 +55,25 @@ val clear_memory_cache : unit -> unit
 (** {2 Construction and accessors} *)
 
 val create :
-  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> ?cache:cache ->
-  Skeleton.t -> t
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> ?budget:Budget.t ->
+  ?cache:cache -> Skeleton.t -> t
 (** [limit] caps enumeration passes (uniform semantics: capped walks are
     sound under-approximations and stay sequential); [jobs] (default
     [1]) sets the worker-domain count for parallel passes; [cache]
-    defaults to {!no_cache}. *)
+    defaults to {!no_cache}.
+
+    [budget] (default {!Budget.unlimited}) bounds every engine this
+    session drives — enumeration and POR walks stop at the deadline like
+    a [?limit] hit, reachability and SAT queries abort and degrade.  No
+    [Budget.Expired] ever escapes this API: the plain queries below fold
+    expiry into the sound direction of each relation, and the [_outcome]
+    variants say explicitly whether the answer is [Exact] or a
+    [Bound_hit].  Budget-truncated results are never written to the
+    cross-session cache. *)
 
 val of_execution :
-  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> ?cache:cache ->
-  Execution.t -> t
+  ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> ?budget:Budget.t ->
+  ?cache:cache -> Execution.t -> t
 
 val skeleton : t -> Skeleton.t
 val execution : t -> Execution.t
@@ -74,6 +83,7 @@ val key : t -> Program_key.t
 
 val limit : t -> int option
 val jobs : t -> int
+val budget : t -> Budget.t
 val telemetry : t -> Telemetry.t option
 
 val reach : t -> Reach.t
@@ -82,7 +92,9 @@ val reach : t -> Reach.t
 
 val schedule_count : t -> int
 (** [|F(P)|] by the counting DP of {!Reach.schedule_count} — no
-    enumeration, saturating at [Reach.count_saturation]. *)
+    enumeration, saturating at [Reach.count_saturation].  Budget expiry
+    degrades to [0] (the only sound under-count); use
+    {!schedule_count_outcome} to tell the cases apart. *)
 
 (** {2 Per-pair ordering queries — engine-routed}
 
@@ -113,12 +125,31 @@ val exists_race : t -> int -> int -> bool
     session's skeleton: some reachable state enables [a] and [b], both
     orders step, and both complete. *)
 
-val sat_exists_race : ?stats:Counters.t -> Skeleton.t -> int -> int -> bool
+val sat_exists_race :
+  ?stats:Counters.t -> ?budget:Budget.t -> Skeleton.t -> int -> int -> bool
 (** Session-independent SAT race probe: compiles the given skeleton
     fresh and decides {!exists_race} by the two-copy formula, witnesses
     replay-certified.  For callers that decide pairs on modified
     skeletons no session owns (the race layer drops the candidate
     pair's dependence edges first). *)
+
+(** {2 Outcome-typed queries — deadline-aware}
+
+    Each [_outcome] variant runs the query under the session budget and
+    reports whether the answer is exact.  On expiry the value is the
+    sound degradation for that relation: could-have queries ([exists_*],
+    [witness_*]) under-report ([false] / [None] / partial bits, the same
+    direction as [?limit]); must-have queries over-approximate ([true]);
+    counts under-count.  A degraded answer bumps [timeout_expirations]
+    and [timeout_degraded_queries].  The plain functions above are these
+    with [Budget.value] applied. *)
+
+val feasible_exists_outcome : t -> bool Budget.outcome
+val exists_before_outcome : t -> int -> int -> bool Budget.outcome
+val must_before_outcome : t -> int -> int -> bool Budget.outcome
+val witness_before_outcome : t -> int -> int -> int array option Budget.outcome
+val exists_race_outcome : t -> int -> int -> bool Budget.outcome
+val schedule_count_outcome : t -> int Budget.outcome
 
 val encode_program : Skeleton.t -> Encode.program
 (** The projection the SAT backend compiles — exported so the CLI's
@@ -203,6 +234,12 @@ val summary_reduced : t -> summary
     {!fold_classes} over POR representatives, count by the counting DP.
     Cached separately from {!summary} (a [limit] gives the two different
     truncation behaviour). *)
+
+val summary_outcome : t -> summary Budget.outcome
+(** {!summary} with truncation made explicit: [Bound_hit] whenever the
+    record's [truncated] flag is set — by [?limit] or by the budget. *)
+
+val summary_reduced_outcome : t -> summary Budget.outcome
 
 val cached_blob : t -> kind:string -> (unit -> string) -> string
 (** [cached_blob t ~kind produce] serves an arbitrary consumer-encoded

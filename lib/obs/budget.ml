@@ -1,0 +1,124 @@
+(* Cooperative deadline/effort budgets.  See budget.mli. *)
+
+type reason = Deadline | Node_budget | Conflict_budget | Cancelled
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Node_budget -> "node_budget"
+  | Conflict_budget -> "conflict_budget"
+  | Cancelled -> "cancelled"
+
+exception Expired
+
+type t = {
+  active : bool;
+  deadline : float; (* absolute Unix time; [infinity] = no deadline *)
+  node_limit : int; (* [max_int] = no node budget *)
+  conflict_limit : int; (* [max_int] = no conflict budget *)
+  nodes : int Atomic.t;
+  conflicts : int Atomic.t;
+  tripped : reason option Atomic.t;
+}
+
+let unlimited =
+  {
+    active = false;
+    deadline = infinity;
+    node_limit = max_int;
+    conflict_limit = max_int;
+    nodes = Atomic.make 0;
+    conflicts = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
+
+let create ?timeout_ms ?node_budget ?conflict_budget () =
+  let pos what = function
+    | None -> max_int
+    | Some v ->
+        if v <= 0 then invalid_arg (Printf.sprintf "Budget.create: %s" what)
+        else v
+  in
+  let deadline =
+    match timeout_ms with
+    | None -> infinity
+    | Some ms ->
+        if ms <= 0 then invalid_arg "Budget.create: timeout_ms"
+        else Unix.gettimeofday () +. (float_of_int ms /. 1000.)
+  in
+  {
+    active = true;
+    deadline;
+    node_limit = pos "node_budget" node_budget;
+    conflict_limit = pos "conflict_budget" conflict_budget;
+    nodes = Atomic.make 0;
+    conflicts = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
+
+let is_unlimited t = not t.active
+let reason t = Atomic.get t.tripped
+let exhausted t = t.active && Atomic.get t.tripped <> None
+
+let trip t r =
+  (* First tripper wins; later polls keep reporting the original cause. *)
+  ignore (Atomic.compare_and_set t.tripped None (Some r))
+
+let cancel t = if t.active then trip t Cancelled
+
+(* How many effort ticks pass between wall-clock reads.  A packed-engine
+   search node costs tens of nanoseconds, so 128 ticks bounds deadline
+   overshoot well under a millisecond while keeping [Unix.gettimeofday]
+   off the hot path. *)
+let clock_stride = 128
+
+let deadline_passed t =
+  t.deadline < infinity && Unix.gettimeofday () > t.deadline
+
+let poll_node t =
+  t.active
+  && (Atomic.get t.tripped <> None
+     ||
+     let n = Atomic.fetch_and_add t.nodes 1 + 1 in
+     if n > t.node_limit then (
+       trip t Node_budget;
+       true)
+     else if n mod clock_stride = 0 && deadline_passed t then (
+       trip t Deadline;
+       true)
+     else false)
+
+let poll_conflict t =
+  t.active
+  && (Atomic.get t.tripped <> None
+     ||
+     let n = Atomic.fetch_and_add t.conflicts 1 + 1 in
+     if n > t.conflict_limit then (
+       trip t Conflict_budget;
+       true)
+     else if deadline_passed t then (
+       trip t Deadline;
+       true)
+     else false)
+
+let check_now t =
+  t.active
+  && (Atomic.get t.tripped <> None
+     ||
+     if deadline_passed t then (
+       trip t Deadline;
+       true)
+     else false)
+
+(* An unthrottled check: re-reads the wall clock (via [check_now]) so a
+   caller that makes progress without ever polling — e.g. a sequence of
+   conflict-free SAT probes — still observes the deadline at its next
+   entry point. *)
+let raise_if_exhausted t = if check_now t then raise Expired
+let nodes_spent t = Atomic.get t.nodes
+let conflicts_spent t = Atomic.get t.conflicts
+
+type 'a outcome = Exact of 'a | Bound_hit of 'a
+
+let value = function Exact v | Bound_hit v -> v
+let is_exact = function Exact _ -> true | Bound_hit _ -> false
+let map f = function Exact v -> Exact (f v) | Bound_hit v -> Bound_hit (f v)

@@ -1,0 +1,107 @@
+(** Cooperative deadline/effort budgets for the decision engines.
+
+    Every exact procedure in this repo is worst-case exponential
+    (Theorems 1–4), so long-running queries need a way to stop early
+    with a sound partial answer instead of running until the OS kills
+    the process.  A [Budget.t] carries up to three independent caps —
+    a wall-clock deadline, a search-node budget and a solver-conflict
+    budget — behind one cheap polling interface that engine inner loops
+    call once per unit of work:
+
+    - {!Enumerate}/{!Por}/{!Reach} call {!poll_node} per search node;
+    - {!Cdcl} calls {!poll_conflict} per conflict, next to its restart
+      bookkeeping;
+    - {!Parallel} workers observe the shared trip flag between tasks,
+      so one domain hitting the deadline stops the whole fan-out.
+
+    The counters and the trip flag are {!Atomic}s: a single [t] is
+    shared by every domain of a parallel pass, and the node/conflict
+    budgets are global across the analysis, not per-worker.  Wall-clock
+    reads are throttled (one [Unix.gettimeofday] per {!clock_stride}
+    polls), so polling costs an atomic increment on the hot path.
+
+    Once any cap trips, the budget stays exhausted forever ([t] is
+    single-use — create a fresh one per CLI invocation or query batch)
+    and every subsequent poll returns [true] immediately.  How expiry
+    surfaces depends on the layer: {!Enumerate}/{!Por} stop like a
+    [?limit] cap and return what they found, {!Reach}/{!Cdcl} raise
+    {!Expired} internally, and {!Session}/{!Decide}/{!Race} catch it
+    and degrade to a typed {!outcome} — never letting the exception
+    escape the public API. *)
+
+type reason =
+  | Deadline  (** the wall-clock deadline passed *)
+  | Node_budget  (** the cumulative search-node budget ran out *)
+  | Conflict_budget  (** the cumulative solver-conflict budget ran out *)
+  | Cancelled  (** {!cancel} was called (external cancellation) *)
+
+val reason_name : reason -> string
+(** Stable snake_case name, e.g. for telemetry ("deadline"). *)
+
+exception Expired
+(** Raised by {!raise_if_exhausted} (and by engine internals that
+    cannot return partial results, e.g. {!Reach} recursions and
+    {!Cdcl.solve_assuming}).  Always caught at the session layer;
+    never escapes [Decide]/[Relations]/[Race]/[Session]/[Theorems]. *)
+
+type t
+
+val unlimited : t
+(** The no-op budget: every poll is [false] at the cost of one boolean
+    test.  The default everywhere a [?budget] is accepted. *)
+
+val create :
+  ?timeout_ms:int -> ?node_budget:int -> ?conflict_budget:int -> unit -> t
+(** A fresh budget.  [timeout_ms] is relative to now; all three caps
+    must be positive.  @raise Invalid_argument on a non-positive cap. *)
+
+val is_unlimited : t -> bool
+
+val exhausted : t -> bool
+(** [true] once any cap has tripped (or {!cancel} ran).  Cheap. *)
+
+val reason : t -> reason option
+(** Which cap tripped first, if any. *)
+
+val cancel : t -> unit
+(** Trip the budget from outside (e.g. another domain).  No-op on
+    {!unlimited} or an already-tripped budget. *)
+
+val poll_node : t -> bool
+(** Count one search node against the budget and report whether the
+    budget is (now) exhausted.  Engine inner loops call this once per
+    node and stop searching — like a [?limit] hit — when it returns
+    [true]. *)
+
+val poll_conflict : t -> bool
+(** Count one solver conflict; otherwise as {!poll_node}.  Conflicts
+    are orders of magnitude rarer than search nodes, so this reads the
+    clock on every call. *)
+
+val check_now : t -> bool
+(** Re-check the deadline immediately (no effort tick), tripping the
+    budget if it has passed.  For coarse checkpoints, e.g. between
+    parallel tasks or split-probe depths. *)
+
+val raise_if_exhausted : t -> unit
+(** Unthrottled: re-checks the deadline via {!check_now} (tripping the
+    shared flag), so progress that never polls still observes expiry at
+    its next entry point.
+    @raise Expired if the budget is exhausted. *)
+
+val nodes_spent : t -> int
+val conflicts_spent : t -> int
+
+(** {1 Typed partial results}
+
+    The public analysis APIs wrap answers computed under a budget:
+    [Exact v] is the same [v] the unbudgeted engine returns; [Bound_hit
+    v] is a sound approximation in the direction the [?limit] contract
+    already promises — could-have relations and races under-reported,
+    must-have relations over-reported. *)
+
+type 'a outcome = Exact of 'a | Bound_hit of 'a
+
+val value : 'a outcome -> 'a
+val is_exact : 'a outcome -> bool
+val map : ('a -> 'b) -> 'a outcome -> 'b outcome

@@ -88,6 +88,35 @@ let engine () =
       engine_memo := Some e;
       e
 
+let timeout_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+      Error
+        (Printf.sprintf
+           "ignoring malformed EO_TIMEOUT_MS=%S (expected a positive \
+            millisecond count)" s)
+  | Some ms when ms >= 1 -> Ok ms
+  | Some ms ->
+      Error
+        (Printf.sprintf
+           "rejecting EO_TIMEOUT_MS=%d (a timeout must be at least 1 ms)" ms)
+
+(* Deliberately uncached, like [cache_dir]: a deadline is per-query
+   state, so each resolution must see the current environment. *)
+let timeout_ms () =
+  match Sys.getenv_opt "EO_TIMEOUT_MS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match timeout_of_string s with
+      | Ok ms -> Some ms
+      | Error msg ->
+          Printf.eprintf "warning: %s; no timeout\n%!" msg;
+          None)
+
+let reset_for_testing () =
+  jobs_memo := None;
+  engine_memo := None
+
 let bench_budget ~default =
   lookup ~var:"EO_BENCH_BUDGET" ~expected:"a positive number of seconds"
     ~default_text:(Printf.sprintf "%g" default)

@@ -67,6 +67,27 @@ val engine : unit -> string
     (The typed accessor lives in [Engine.current]; this low-level view
     exists so [eo_feasible] needs no inverted dependency.) *)
 
+val timeout_of_string : string -> (int, string) result
+(** Pure [EO_TIMEOUT_MS] parser.  [Ok ms] for an integer [ms >= 1]
+    (milliseconds); otherwise [Error diagnostic] distinguishing a
+    malformed value from a rejected non-positive one. *)
+
+val timeout_ms : unit -> int option
+(** [EO_TIMEOUT_MS] — optional wall-clock analysis deadline in
+    milliseconds, default [None] (no timeout).  Invalid values warn on
+    [stderr] and disable the timeout.  Deliberately uncached, like
+    {!cache_dir}: a deadline is per-query state.  The CLI [--timeout]
+    flag takes precedence via {!resolve}; on expiry the CLI reports
+    ["status": "timeout"] and exits with code 3 (see [Budget]). *)
+
+val reset_for_testing : unit -> unit
+(** Drop the {!jobs}/{!engine} memos so the next call re-reads the
+    environment.  The memos exist so each warning prints at most once
+    per process, but they also mean a mid-process [EO_JOBS]/[EO_ENGINE]
+    change is silently ignored — test suites that mutate the
+    environment must call this after each [putenv].  (The typed engine
+    memo in [Engine.current] is reset separately via [Engine.set].) *)
+
 val bench_budget : default:float -> float
 (** [EO_BENCH_BUDGET] — bench time budget in seconds. *)
 

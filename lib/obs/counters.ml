@@ -26,6 +26,8 @@ type key =
   | Encoder_clauses
   | Solver_conflicts
   | Solver_propagations
+  | Timeout_expirations
+  | Timeout_degraded
 
 let index = function
   | Enum_nodes -> 0
@@ -55,8 +57,10 @@ let index = function
   | Encoder_clauses -> 24
   | Solver_conflicts -> 25
   | Solver_propagations -> 26
+  | Timeout_expirations -> 27
+  | Timeout_degraded -> 28
 
-let n_keys = 27
+let n_keys = 29
 
 let all_keys =
   [ Enum_nodes; Enum_pops; Enum_schedules; Limit_truncations;
@@ -67,7 +71,8 @@ let all_keys =
     Par_tasks; Par_merges;
     Session_queries; Session_passes;
     Cache_memory_hits; Cache_disk_hits; Cache_misses; Cache_stores;
-    Encoder_vars; Encoder_clauses; Solver_conflicts; Solver_propagations ]
+    Encoder_vars; Encoder_clauses; Solver_conflicts; Solver_propagations;
+    Timeout_expirations; Timeout_degraded ]
 
 let key_name = function
   | Enum_nodes -> "enum_nodes"
@@ -97,6 +102,8 @@ let key_name = function
   | Encoder_clauses -> "encoder_clauses"
   | Solver_conflicts -> "solver_conflicts"
   | Solver_propagations -> "solver_propagations"
+  | Timeout_expirations -> "timeout_expirations"
+  | Timeout_degraded -> "timeout_degraded_queries"
 
 type timer = T_total | T_split | T_enumerate | T_before | T_count
 

@@ -42,6 +42,8 @@ type key =
   | Encoder_clauses     (** CNF clauses emitted by the SAT encoder *)
   | Solver_conflicts    (** CDCL conflicts while answering SAT probes *)
   | Solver_propagations (** CDCL unit propagations while answering SAT probes *)
+  | Timeout_expirations (** searches/probes cut short by a {!Budget} expiry *)
+  | Timeout_degraded    (** API answers degraded to [Bound_hit] by a budget *)
 
 type timer =
   | T_total       (** whole analysis *)

@@ -44,22 +44,33 @@ let skeleton_without_pair x e1 e2 =
    decides it; with one, the reference path — capped schedule enumeration
    plus pinned-order incomparability — runs instead (the uniform [?limit]
    semantics: capped enumeration, sound under-reporting). *)
-let is_feasible_race ?limit ?(stats = Counters.null) x e1 e2 =
+let is_feasible_race ?limit ?(stats = Counters.null)
+    ?(budget = Budget.unlimited) x e1 e2 =
   let sk = skeleton_without_pair x e1 e2 in
+  (* Budget expiry degrades a pair to "no race" — the same sound
+     under-reporting direction as [?limit]'s capped enumeration. *)
+  let expired () =
+    Counters.bump stats Counters.Timeout_expirations;
+    false
+  in
   match limit with
   | None ->
-      if Engine.current () = Engine.Sat then
-        Session.sat_exists_race ~stats sk e1 e2
+      if Engine.current () = Engine.Sat then (
+        try Session.sat_exists_race ~stats ~budget sk e1 e2
+        with Budget.Expired -> expired ())
       else begin
-        let reach = Reach.create ~stats sk in
-        let v = Reach.exists_race reach e1 e2 in
+        let reach = Reach.create ~stats ~budget sk in
+        let v =
+          try Reach.exists_race reach e1 e2
+          with Budget.Expired -> expired ()
+        in
         Reach.stats_commit reach;
         v
       end
   | Some _ ->
       let found = ref false in
       let (_ : int) =
-        Enumerate.iter ?limit ~stats sk (fun schedule ->
+        Enumerate.iter ?limit ~stats ~budget sk (fun schedule ->
             let po = Pinned.po_of_schedule sk schedule in
             if (not (Rel.mem po e1 e2)) && not (Rel.mem po e2 e1) then begin
               found := true;
@@ -71,7 +82,7 @@ let is_feasible_race ?limit ?(stats = Counters.null) x e1 e2 =
 let race_witness x e1 e2 =
   Reach.race_witness (Reach.create (skeleton_without_pair x e1 e2)) e1 e2
 
-let compute_feasible ?limit ~jobs ?stats x =
+let compute_feasible ?limit ~jobs ?stats ?(budget = Budget.unlimited) x =
   let c =
     match stats with
     | None -> Counters.null
@@ -90,10 +101,10 @@ let compute_feasible ?limit ~jobs ?stats x =
      every counter (memo statistics included) is identical to the
      sequential run's. *)
   let verdicts =
-    Parallel.map ?telemetry:stats ~jobs
+    Parallel.map ?telemetry:stats ~budget ~jobs
       (fun r ->
         let wc = if Counters.enabled c then Counters.create () else Counters.null in
-        let v = is_feasible_race ?limit ~stats:wc x r.e1 r.e2 in
+        let v = is_feasible_race ?limit ~stats:wc ~budget x r.e1 r.e2 in
         (v, wc))
       candidates
   in
@@ -122,6 +133,18 @@ let encode_races key races =
     entries;
   Buffer.contents buf
 
+(* Decoding trusts nothing: a disk payload may be truncated, corrupted,
+   or written by a buggy producer.  Beyond the event-id bounds checks,
+   every race line must carry a non-empty, strictly increasing list of
+   non-negative variable ids on distinct events — any violation rejects
+   the whole payload and the caller recomputes from scratch. *)
+let valid_variables vars =
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | [ _ ] | [] -> true
+  in
+  vars <> [] && List.for_all (fun v -> v >= 0) vars && strictly_increasing vars
+
 let decode_races key payload =
   let oc = key.Program_key.of_canonical in
   let n = Array.length oc in
@@ -138,7 +161,9 @@ let decode_races key payload =
                      match
                        String.split_on_char ' ' line |> List.map int_of_string
                      with
-                     | a :: b :: vars when a >= 0 && a < n && b >= 0 && b < n ->
+                     | a :: b :: vars
+                       when a >= 0 && a < n && b >= 0 && b < n && a <> b
+                            && valid_variables vars ->
                          let x = oc.(a) and y = oc.(b) in
                          { e1 = min x y; e2 = max x y; variables = vars }
                      | _ -> failwith "race line")
@@ -155,7 +180,8 @@ let feasible_races_session session =
     Session.cached_blob session ~kind:"races" (fun () ->
         let races =
           compute_feasible ?limit:(Session.limit session) ~jobs
-            ?stats:(Session.telemetry session) x
+            ?stats:(Session.telemetry session)
+            ~budget:(Session.budget session) x
         in
         computed := Some races;
         encode_races (Session.key session) races)
@@ -168,11 +194,21 @@ let feasible_races_session session =
       | None ->
           (* Corrupt cache payload: fall back to computing fresh. *)
           compute_feasible ?limit:(Session.limit session) ~jobs
-            ?stats:(Session.telemetry session) x)
+            ?stats:(Session.telemetry session)
+            ~budget:(Session.budget session) x)
 
 let feasible_races ?limit ?(jobs = 1) ?stats x =
   feasible_races_session
     (Session.of_execution ?limit ~jobs ?stats ~cache:Session.no_cache x)
+
+(* Outcome-typed variants: a race set computed under an exhausted
+   session budget is a sound under-report, not the full set. *)
+let mark_outcome session races =
+  if Budget.exhausted (Session.budget session) then Budget.Bound_hit races
+  else Budget.Exact races
+
+let feasible_races_session_outcome session =
+  mark_outcome session (feasible_races_session session)
 
 let first_of_feasible x races =
   let vc = Vclock.of_execution x in
@@ -186,6 +222,9 @@ let first_of_feasible x races =
 
 let first_races_session session =
   first_of_feasible (Session.execution session) (feasible_races_session session)
+
+let first_races_session_outcome session =
+  mark_outcome session (first_races_session session)
 
 let first_races ?limit ?(jobs = 1) ?stats x =
   first_of_feasible x (feasible_races ?limit ~jobs ?stats x)

@@ -55,12 +55,15 @@ val feasible_races :
     builds its own engines; [?stats] populates a {!Telemetry.t}. *)
 
 val is_feasible_race :
-  ?limit:int -> ?stats:Counters.t -> Execution.t -> int -> int -> bool
+  ?limit:int -> ?stats:Counters.t -> ?budget:Budget.t ->
+  Execution.t -> int -> int -> bool
 (** Decide a single candidate pair.  Default: the state engine
     ({!Reach.exists_race}).  With [?limit]: the enumeration reference
     path — at most [limit] schedules, testing pinned-order
     incomparability — which can only under-report; the differential
-    tests cross-validate the two. *)
+    tests cross-validate the two.  [?budget] expiry degrades the pair to
+    [false] (sound under-report, bumping [timeout_expirations]) — never
+    an exception. *)
 
 val race_witness : Execution.t -> int -> int -> (int array * int array) option
 (** Two feasible schedules sharing a prefix and running the pair in
@@ -68,9 +71,16 @@ val race_witness : Execution.t -> int -> int -> (int array * int array) option
     interleavings to show in a race report.  [Some _] exactly when
     {!is_feasible_race}. *)
 
+val feasible_races_session_outcome : Session.t -> race list Budget.outcome
+(** {!feasible_races_session} with degradation made explicit:
+    [Bound_hit] when the session budget was exhausted, meaning the list
+    is a sound under-report of the feasible races. *)
+
 val first_races_session : Session.t -> race list
 (** {!first_races} over a shared session: reuses the (possibly cached)
     {!feasible_races_session} set instead of re-deciding every pair. *)
+
+val first_races_session_outcome : Session.t -> race list Budget.outcome
 
 val first_races :
   ?limit:int -> ?jobs:int -> ?stats:Telemetry.t -> Execution.t -> race list

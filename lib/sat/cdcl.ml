@@ -267,10 +267,11 @@ exception Unsat_assuming
 type t = {
   s : solver;
   problem : Cnf.t;  (* kept for the witness sanity assertion *)
+  budget : Budget.t;
   mutable dead : bool;  (* a level-0 conflict: unsat regardless of assumptions *)
 }
 
-let make (f : Cnf.t) =
+let make ?(budget = Budget.unlimited) (f : Cnf.t) =
   let s = create f.Cnf.num_vars in
   let dead =
     try
@@ -304,7 +305,7 @@ let make (f : Cnf.t) =
       false
     with Found_unsat -> true
   in
-  { s; problem = f; dead }
+  { s; problem = f; budget; dead }
 
 let stats t =
   let s = t.s in
@@ -329,6 +330,7 @@ let stats t =
 let solve_assuming t assumption_list =
   if t.dead then Unsat
   else begin
+    Budget.raise_if_exhausted t.budget;
     let s = t.s in
     let assumptions =
       Array.of_list
@@ -376,6 +378,11 @@ let solve_assuming t assumption_list =
                enqueue s learned.(0) id
              end);
             decay s;
+            (* Per-conflict budget poll, sharing the restart cadence
+               bookkeeping: between two conflicts the solver makes at
+               most [num_vars] decisions, so conflicts are the only
+               unbounded progress measure worth metering. *)
+            if Budget.poll_conflict t.budget then raise Budget.Expired;
             decr conflicts_until_restart
           end
           else if !conflicts_until_restart <= 0 && s.decision_level > 0
@@ -422,7 +429,13 @@ let solve_assuming t assumption_list =
             assert (Cnf.eval a t.problem);
             Sat a
         | None -> assert false
-      with Found_unsat | Unsat_assuming -> Unsat
+      with
+      | Found_unsat | Unsat_assuming -> Unsat
+      | Budget.Expired ->
+          (* Leave the solver clean even on expiry: the instance stays
+             usable if the caller retries with a fresh budget. *)
+          backtrack s 0;
+          raise Budget.Expired
     in
     (* Leave the solver clean (root level only) for the next query. *)
     backtrack s 0;

@@ -42,7 +42,11 @@ val is_satisfiable : Cnf.t -> bool
 type t
 (** A persistent solver instance over a fixed formula. *)
 
-val make : Cnf.t -> t
+val make : ?budget:Budget.t -> Cnf.t -> t
+(** [?budget] is polled once per conflict; on expiry any in-flight or
+    later [solve_assuming] call raises {!Budget.Expired} (with the
+    solver left clean, so it stays usable under a fresh budget).  The
+    session layer catches the exception and degrades the answer. *)
 
 val solve_assuming : t -> Cnf.literal list -> result
 (** [solve_assuming t assumptions] is [Sat model] iff the formula is
@@ -50,7 +54,8 @@ val solve_assuming : t -> Cnf.literal list -> result
     within [num_vars]) forced true; the model satisfies formula and
     assumptions alike.  [Unsat] under a nonempty assumption list leaves
     the solver reusable for further queries.
-    @raise Invalid_argument on a zero or out-of-range literal. *)
+    @raise Invalid_argument on a zero or out-of-range literal.
+    @raise Budget.Expired when the instance's budget runs out. *)
 
 val stats : t -> stats
 (** Cumulative counters across every [solve_assuming] call on [t]. *)

@@ -1,28 +1,54 @@
+(* Any ASCII whitespace separates fields: other solvers routinely emit
+   tab-separated clauses and [p\tcnf] headers, and the format never gave
+   the space character special status. *)
+let split_ws s =
+  let is_ws = function ' ' | '\t' | '\r' | '\012' -> true | _ -> false in
+  let toks = ref [] in
+  let start = ref (-1) in
+  String.iteri
+    (fun i c ->
+      if is_ws c then begin
+        if !start >= 0 then toks := String.sub s !start (i - !start) :: !toks;
+        start := -1
+      end
+      else if !start < 0 then start := i)
+    s;
+  if !start >= 0 then
+    toks := String.sub s !start (String.length s - !start) :: !toks;
+  List.rev !toks
+
+exception End_marker
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let header = ref None in
   let tokens = ref [] in
-  List.iter
-    (fun line ->
-      let line = String.trim line in
-      if line = "" || line.[0] = 'c' then ()
-      else if line.[0] = 'p' then begin
-        if !header <> None then failwith "Dimacs.parse: duplicate header";
-        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-        | [ "p"; "cnf"; vars; clauses ] -> (
-            match (int_of_string_opt vars, int_of_string_opt clauses) with
-            | Some v, Some c -> header := Some (v, c)
-            | _ -> failwith "Dimacs.parse: malformed header numbers")
-        | _ -> failwith "Dimacs.parse: malformed header line"
-      end
-      else
-        String.split_on_char ' ' line
-        |> List.filter (( <> ) "")
-        |> List.iter (fun tok ->
-               match int_of_string_opt tok with
-               | Some i -> tokens := i :: !tokens
-               | None -> failwith "Dimacs.parse: non-integer literal"))
-    lines;
+  (try
+     List.iter
+       (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = 'c' then ()
+         else if line.[0] = '%' then
+           (* Conventional end-of-file marker (SATLIB benchmarks follow
+              it with a lone "0"); everything after it is ignored. *)
+           raise End_marker
+         else if line.[0] = 'p' then begin
+           if !header <> None then failwith "Dimacs.parse: duplicate header";
+           match split_ws line with
+           | [ "p"; "cnf"; vars; clauses ] -> (
+               match (int_of_string_opt vars, int_of_string_opt clauses) with
+               | Some v, Some c -> header := Some (v, c)
+               | _ -> failwith "Dimacs.parse: malformed header numbers")
+           | _ -> failwith "Dimacs.parse: malformed header line"
+         end
+         else
+           split_ws line
+           |> List.iter (fun tok ->
+                  match int_of_string_opt tok with
+                  | Some i -> tokens := i :: !tokens
+                  | None -> failwith "Dimacs.parse: non-integer literal"))
+       lines
+   with End_marker -> ());
   let num_vars, expected_clauses =
     match !header with
     | Some h -> h

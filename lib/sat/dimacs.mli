@@ -4,8 +4,11 @@
 val parse : string -> Cnf.t
 (** Parses DIMACS CNF text: comment lines start with [c], the header line is
     [p cnf <vars> <clauses>], and clauses are 0-terminated literal lists that
-    may span lines.  Raises [Failure] with a message on malformed input or
-    when the clause count disagrees with the header. *)
+    may span lines.  Fields are separated by any ASCII whitespace (tabs
+    included), and a line starting with [%] is the conventional end-of-file
+    marker — it and everything after it is ignored.  Raises [Failure] with a
+    message on malformed input or when the clause count disagrees with the
+    header. *)
 
 val parse_file : string -> Cnf.t
 

@@ -6,6 +6,7 @@ normalized to "T" and everything else is locked exactly.
   $ eventorder analyze --stats --format json pipeline.eo | sed -E 's/[0-9]+\.[0-9]+/T/g'
   {
     "schema": "eventorder.analyze/1",
+    "status": "ok",
     "events": 5,
     "labels": ["x := 1","z := 42","V(s)","P(s)","y := x"],
     "engine": "packed",
@@ -119,7 +120,9 @@ normalized to "T" and everything else is locked exactly.
         "encoder_vars": 0,
         "encoder_clauses": 0,
         "solver_conflicts": 0,
-        "solver_propagations": 0
+        "solver_propagations": 0,
+        "timeout_expirations": 0,
+        "timeout_degraded_queries": 0
       },
       "timers_s": {
         "total": T,
@@ -158,6 +161,7 @@ The races schema:
   $ eventorder races --stats --format json pipeline.eo | sed -E 's/[0-9]+\.[0-9]+/T/g'
   {
     "schema": "eventorder.races/1",
+    "status": "ok",
     "events": 5,
     "candidates": [
       {
@@ -200,7 +204,9 @@ The races schema:
         "encoder_vars": 0,
         "encoder_clauses": 0,
         "solver_conflicts": 0,
-        "solver_propagations": 0
+        "solver_propagations": 0,
+        "timeout_expirations": 0,
+        "timeout_degraded_queries": 0
       },
       "timers_s": {
         "total": T,
@@ -253,4 +259,6 @@ Text mode appends a human-readable table instead:
     encoder_clauses          0
     solver_conflicts         0
     solver_propagations      0
+    timeout_expirations      0
+    timeout_degraded_queries 0
     timers (s): total=T split=T enumerate=T happened_before=T schedule_count=T

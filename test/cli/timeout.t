@@ -1,0 +1,100 @@
+Deadline-aware analysis.  A 12-variable random 3-CNF reduces to a
+program whose schedule space no exact engine can exhaust in 50ms, so
+--timeout must expire on every engine.  The partial results themselves
+vary with timing, so only the stable surface is locked: the exit code,
+the "status" field in the JSON envelope, and whether the timeout
+counters moved.
+
+  $ cat > big.cnf <<'CNF'
+  > p cnf 12 40
+  > -6 3 -7 0
+  > -6 10 1 0
+  > 7 2 -4 0
+  > -2 -4 10 0
+  > -4 1 9 0
+  > -2 -10 5 0
+  > 10 -11 4 0
+  > 1 -10 -4 0
+  > 8 10 12 0
+  > 4 2 10 0
+  > -8 5 10 0
+  > 6 -3 8 0
+  > 9 10 6 0
+  > -8 2 -11 0
+  > -1 -5 10 0
+  > 7 11 6 0
+  > 2 8 -1 0
+  > 7 12 -8 0
+  > 3 7 9 0
+  > 7 4 -3 0
+  > 1 8 10 0
+  > -9 -6 -10 0
+  > 9 -10 -1 0
+  > 11 9 7 0
+  > 7 1 4 0
+  > 6 -10 -1 0
+  > 6 10 1 0
+  > -11 5 6 0
+  > 8 12 11 0
+  > -6 5 8 0
+  > -9 -6 -3 0
+  > -5 11 2 0
+  > -3 -6 4 0
+  > -4 -10 -12 0
+  > 4 -12 -9 0
+  > 5 -8 12 0
+  > 12 6 11 0
+  > -6 -4 -8 0
+  > -8 11 -6 0
+  > -7 4 -8 0
+  > CNF
+
+  $ eventorder reduce big.cnf > prog.eo
+
+Every engine reports the expiry the same way: "status": "timeout" in
+the JSON envelope, nonzero timeout counters under --stats, exit code 3.
+(still-zero counts the timeout counters that did not move — it must be
+0 for all engines.)
+
+  $ for engine in naive packed sat; do
+  >   eventorder analyze --engine $engine --timeout 50 --max-events 500 --stats --format json prog.eo > out.json
+  >   code=$?
+  >   status=$(grep -c '"status": "timeout"' out.json)
+  >   expired=$(grep -c '"timeout_expirations": 0' out.json)
+  >   degraded=$(grep -c '"timeout_degraded_queries": 0' out.json)
+  >   echo "$engine exit=$code timeout-status=$status still-zero=$((expired + degraded))"
+  > done
+  naive exit=3 timeout-status=1 still-zero=0
+  packed exit=3 timeout-status=1 still-zero=0
+  sat exit=3 timeout-status=1 still-zero=0
+
+In text mode the partial results are flagged on stderr so a human
+reading the tables knows they are sound approximations, not the exact
+answer:
+
+  $ eventorder analyze --timeout 50 --max-events 500 prog.eo > /dev/null
+  note: --timeout expired; the results above are partial (sound approximations)
+  [3]
+
+The EO_TIMEOUT_MS environment variable is the same deadline without
+touching the command line — and the --timeout flag wins when both are
+given (a 1ms environment deadline would certainly expire; the flag's
+generous one does not):
+
+  $ EO_TIMEOUT_MS=50 eventorder analyze --max-events 500 --format json prog.eo > out.json
+  [3]
+  $ grep -c '"status": "timeout"' out.json
+  1
+
+  $ cat > tiny.eo <<'PROG'
+  > proc a { x := 1 }
+  > PROG
+  $ EO_TIMEOUT_MS=1 eventorder analyze --timeout 60000 --format json tiny.eo | grep '"status"'
+    "status": "ok",
+
+A non-positive deadline is a usage error (exit 2, like every other bad
+flag), not a timeout:
+
+  $ eventorder analyze --timeout 0 tiny.eo
+  error: --timeout must be at least 1 millisecond (got 0)
+  [2]

@@ -18,6 +18,28 @@ let test_roundtrip () =
   Alcotest.(check bool) "clauses preserved" true (f.Cnf.clauses = f'.Cnf.clauses);
   Alcotest.(check int) "vars preserved" f.Cnf.num_vars f'.Cnf.num_vars
 
+(* Tab-separated files and [p\tcnf] headers are common in the wild: any
+   ASCII whitespace must separate fields, not just the space character. *)
+let test_tab_separated () =
+  let f = Dimacs.parse "p\tcnf\t3\t2\n1\t-2\t3\t0\n-1\t 2 \t0\r\n" in
+  Alcotest.(check int) "vars" 3 f.Cnf.num_vars;
+  Alcotest.(check bool) "clauses" true
+    (f.Cnf.clauses = [ [ 1; -2; 3 ]; [ -1; 2 ] ])
+
+(* SATLIB benchmark files end with a "%" marker followed by a lone "0";
+   everything after the marker must be ignored. *)
+let test_percent_end_marker () =
+  let f = Dimacs.parse "p cnf 2 1\n1 -2 0\n%\n0\n\nthis is not dimacs\n" in
+  Alcotest.(check bool) "clauses before the marker kept" true
+    (f.Cnf.clauses = [ [ 1; -2 ] ]);
+  (* The marker must not hide a missing header or an open clause. *)
+  (match Dimacs.parse "p cnf 2 1\n1 -2\n%\n0\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "open clause at the marker should fail");
+  match Dimacs.parse "%\n0\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "marker without header should fail"
+
 let expect_failure name input =
   Alcotest.test_case name `Quick (fun () ->
       match Dimacs.parse input with
@@ -29,6 +51,8 @@ let suite =
     Alcotest.test_case "parse" `Quick test_parse;
     Alcotest.test_case "clause spanning lines" `Quick test_clause_spanning_lines;
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "tab-separated fields" `Quick test_tab_separated;
+    Alcotest.test_case "% end-of-file marker" `Quick test_percent_end_marker;
     expect_failure "missing header" "1 2 0\n";
     expect_failure "bad header" "p cnf x y\n";
     expect_failure "unterminated clause" "p cnf 2 1\n1 2\n";

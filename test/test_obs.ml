@@ -195,6 +195,69 @@ let test_cache_dir_env () =
       Alcotest.(check (option string)) "unset means disabled" None
         (Config.cache_dir ()))
 
+(* EO_TIMEOUT_MS follows the EO_JOBS discipline: non-positive values
+   are rejected (a zero timeout would mean "always expired"), malformed
+   ones diagnosed — never silently clamped. *)
+let test_timeout_of_string () =
+  (match Config.timeout_of_string "250" with
+  | Ok 250 -> ()
+  | _ -> Alcotest.fail "250 should parse");
+  (match Config.timeout_of_string " 50 " with
+  | Ok 50 -> ()
+  | _ -> Alcotest.fail "whitespace should be trimmed");
+  (match Config.timeout_of_string "0" with
+  | Error msg ->
+      Alcotest.(check bool) "0 rejected, not clamped" true
+        (contains msg "rejecting" && contains msg "at least 1 ms")
+  | Ok ms -> Alcotest.failf "0 accepted as %d" ms);
+  (match Config.timeout_of_string "-100" with
+  | Error msg ->
+      Alcotest.(check bool) "-100 rejected" true
+        (contains msg "rejecting EO_TIMEOUT_MS=-100")
+  | Ok ms -> Alcotest.failf "-100 accepted as %d" ms);
+  match Config.timeout_of_string "soon" with
+  | Error msg ->
+      Alcotest.(check bool) "malformed diagnosed" true
+        (contains msg "malformed" && contains msg "millisecond")
+  | Ok ms -> Alcotest.failf "\"soon\" accepted as %d" ms
+
+let test_timeout_env () =
+  let with_env v f =
+    let saved = Sys.getenv_opt "EO_TIMEOUT_MS" in
+    Unix.putenv "EO_TIMEOUT_MS" v;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "EO_TIMEOUT_MS" (Option.value saved ~default:""))
+      f
+  in
+  with_env "1500" (fun () ->
+      Alcotest.(check (option int)) "valid accepted" (Some 1500)
+        (Config.timeout_ms ()));
+  with_env "never" (fun () ->
+      Alcotest.(check (option int)) "invalid disables the timeout" None
+        (Config.timeout_ms ()));
+  with_env "" (fun () ->
+      Alcotest.(check (option int)) "unset means no timeout" None
+        (Config.timeout_ms ()))
+
+(* [reset_for_testing] clears the memoized env reads, so a test can
+   change EO_JOBS/EO_ENGINE mid-process and see the new value. *)
+let test_reset_for_testing () =
+  let saved = Sys.getenv_opt "EO_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "EO_JOBS" (Option.value saved ~default:"");
+      Config.reset_for_testing ())
+    (fun () ->
+      Config.reset_for_testing ();
+      Unix.putenv "EO_JOBS" "2";
+      Alcotest.(check int) "fresh read" 2 (Config.jobs ());
+      Unix.putenv "EO_JOBS" "5";
+      Alcotest.(check int) "memo holds across env changes" 2 (Config.jobs ());
+      Config.reset_for_testing ();
+      Alcotest.(check int) "reset re-reads the environment" 5
+        (Config.jobs ()))
+
 let test_telemetry_report () =
   let tel = Telemetry.create () in
   Telemetry.set_run tel ~engine:"packed" ~jobs:3;
@@ -243,5 +306,11 @@ let suite =
       test_cache_dir_of_string;
     Alcotest.test_case "EO_CACHE_DIR environment read" `Quick
       test_cache_dir_env;
+    Alcotest.test_case "EO_TIMEOUT_MS rejects non-positive" `Quick
+      test_timeout_of_string;
+    Alcotest.test_case "EO_TIMEOUT_MS environment read" `Quick
+      test_timeout_env;
+    Alcotest.test_case "reset_for_testing clears memos" `Quick
+      test_reset_for_testing;
     Alcotest.test_case "telemetry report" `Quick test_telemetry_report;
   ]

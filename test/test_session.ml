@@ -247,6 +247,121 @@ let test_key_permutations =
         tc;
       String.length (Program_key.hash k) = 32)
 
+(* ---- cache hardening ---- *)
+
+(* A small racy fixture: two schedules orders, a write/write race on x,
+   enough events that every enumeration pass spends several nodes. *)
+let fixture_src = "proc a { x := 1; y := 1 }\nproc b { x := 2; z := 1 }"
+
+let fixture_execution () =
+  match Gen_progs.completed_trace (Parse.program fixture_src) with
+  | Some t -> Trace.to_execution t
+  | None -> Alcotest.fail "fixture program deadlocked"
+
+(* 4. Two processes (here: domains) racing to warm the same disk cache
+   directory must not corrupt it: each write lands in a unique tmp file
+   and is renamed atomically, so whatever interleaving wins, a third
+   session finds a valid entry and recomputes nothing. *)
+let test_cache_two_writers () =
+  let x = fixture_execution () in
+  let reference = Race.feasible_races x in
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cache = { Session.memory = false; dir = Some dir } in
+      let writer () =
+        Domain.spawn (fun () ->
+            let x = fixture_execution () in
+            let session = Session.of_execution ~cache x in
+            ignore (Relations.of_session session);
+            Race.feasible_races_session session)
+      in
+      let d1 = writer () and d2 = writer () in
+      let r1 = Domain.join d1 and r2 = Domain.join d2 in
+      same_races "writer 1" reference r1;
+      same_races "writer 2" reference r2;
+      (* The surviving cache files must be complete and valid: a warm
+         session decodes them without recomputing. *)
+      let tel = Telemetry.create () in
+      let warm = Session.of_execution ~stats:tel ~cache x in
+      same_races "after the race" reference (Race.feasible_races_session warm);
+      Alcotest.(check int) "no enumeration on warm read" 0
+        (counter tel Counters.Enum_nodes))
+
+(* 5. A corrupted cache payload must never crash or poison an answer:
+   the decoder rejects it and the session recomputes from scratch. *)
+let test_corrupted_cache_fallback () =
+  let x = fixture_execution () in
+  let reference = Race.feasible_races x in
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cache = { Session.memory = false; dir = Some dir } in
+      same_races "cold" reference
+        (Race.feasible_races_session (Session.of_execution ~cache x));
+      let races_file =
+        match
+          Array.find_opt
+            (fun f -> String.length f > 0 && Filename.check_suffix f ".eocache"
+                      && String.split_on_char '.' f |> List.mem "races")
+            (Sys.readdir dir)
+        with
+        | Some f -> Filename.concat dir f
+        | None -> Alcotest.fail "no races cache entry written"
+      in
+      (* Keep the two header lines (version, entry key) and replace the
+         payload with garbage: the version/key checks pass, so only the
+         payload decoder stands between the garbage and the answer. *)
+      let ic = open_in_bin races_file in
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let after_headers =
+        let i = String.index content '\n' in
+        String.index_from content (i + 1) '\n' + 1
+      in
+      let oc = open_out_bin races_file in
+      output_string oc (String.sub content 0 after_headers);
+      output_string oc "3 0 1 not-a-variable-list \xff\xfe garbage";
+      close_out oc;
+      let tel = Telemetry.create () in
+      let recovered =
+        Race.feasible_races_session (Session.of_execution ~stats:tel ~cache x)
+      in
+      same_races "recomputed past the corruption" reference recovered;
+      (* The blob layer can't tell the payload is garbage (that's the
+         race decoder's job), so the real proof of recovery is the
+         recomputation itself: the reachability engine must have run. *)
+      Alcotest.(check bool) "fell back to a fresh computation" true
+        (counter tel Counters.Reach_queries > 0))
+
+(* 6. Budget-truncated results must never be cached: a later unbudgeted
+   session over the same program would otherwise be served the partial
+   answer as if it were exact. *)
+let test_budget_results_not_cached () =
+  let x = fixture_execution () in
+  let sk = Skeleton.of_execution x in
+  let reference = Relations.compute sk in
+  Session.clear_memory_cache ();
+  let cache = { Session.memory = true; dir = None } in
+  let budget = Budget.create ~node_budget:1 () in
+  let truncated =
+    match
+      Relations.of_session_outcome (Session.create ~budget ~cache sk)
+    with
+    | Budget.Bound_hit s -> s
+    | Budget.Exact _ -> Alcotest.fail "one-node budget did not truncate"
+  in
+  Alcotest.(check bool) "partial pass undercounts" true
+    (truncated.Relations.feasible_count < reference.Relations.feasible_count);
+  let fresh = Relations.of_session (Session.create ~cache sk) in
+  same_summary "unbudgeted session after a truncated one" reference fresh;
+  Session.clear_memory_cache ()
+
 let suite =
   [
     qcheck test_session_matches_legacy;
@@ -255,4 +370,10 @@ let suite =
     qcheck test_disk_cache;
     qcheck test_key_renumbering;
     qcheck test_key_permutations;
+    Alcotest.test_case "two writers, one cache dir" `Quick
+      test_cache_two_writers;
+    Alcotest.test_case "corrupted cache entry falls back" `Quick
+      test_corrupted_cache_fallback;
+    Alcotest.test_case "budget-truncated results are not cached" `Quick
+      test_budget_results_not_cached;
   ]

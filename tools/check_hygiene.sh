@@ -8,7 +8,10 @@
 #      module must state its interface,
 #   4. an engine name known to the Config parser but missing from the
 #      CLI --engine help or the docs (or vice versa) — the engine
-#      vocabulary must read the same everywhere it is listed.
+#      vocabulary must read the same everywhere it is listed,
+#   5. the timeout vocabulary drifting apart: EO_TIMEOUT_MS, --timeout,
+#      the "status": "timeout" JSON field and exit code 3 must each be
+#      named in the config parser, the CLI and the docs.
 set -e
 
 root=$(git rev-parse --show-toplevel 2>/dev/null) || {
@@ -79,3 +82,24 @@ for e in $(sed -n 's/.*("\([a-z]*\)", Engine\..*/\1/p' bin/eventorder.ml); do
   esac
 done
 echo "hygiene: engine names agree across Config, CLI and docs"
+
+# Timeout-vocabulary consistency: the deadline surface is one contract
+# spoken in four places (env var, flag, JSON status, exit code); a
+# rename or removal in any one of them must fail loudly here.
+require() { # require <pattern> <file> <what>
+  grep -q "$1" "$2" || {
+    echo "hygiene: $3 missing from $2" >&2; exit 1; }
+}
+require 'EO_TIMEOUT_MS' lib/obs/config.ml "EO_TIMEOUT_MS parser"
+require 'EO_TIMEOUT_MS' bin/eventorder.ml "EO_TIMEOUT_MS fallback"
+require 'EO_TIMEOUT_MS' docs/ANALYSES.md "EO_TIMEOUT_MS documentation"
+require 'EO_TIMEOUT_MS' README.md "EO_TIMEOUT_MS documentation"
+require '"timeout"' bin/eventorder.ml "--timeout flag"
+require '\-\-timeout' docs/ANALYSES.md "--timeout documentation"
+require '\-\-timeout' README.md "--timeout documentation"
+require '"status"' bin/eventorder.ml 'JSON "status" field'
+require 'exit 3' bin/eventorder.ml "exit code 3 on expiry"
+require 'code \*\*3\*\*' docs/ANALYSES.md "exit-code-3 documentation"
+require '\*\*3\*\*' README.md "exit-code-3 documentation"
+require 'Timeout_expirations' lib/obs/counters.ml "timeout counters"
+echo "hygiene: timeout vocabulary agrees across config, CLI and docs"
