@@ -79,21 +79,20 @@ let print_json doc = print_string (Jsonout.to_string_pretty doc)
    prefix (parse errors print "file:line: ...").  Under --format json,
    stdout gets a single well-formed eventorder.error/1 object instead —
    consumers of the JSON surface never have to parse free-form stderr —
-   and the exit code is 2 either way. *)
-let die_error ?(locate = false) ~json fmt =
+   and the exit code is 2 either way.  [~code] is the machine-readable
+   error class of the JSON object ("usage" unless stated otherwise). *)
+let die_error ?(locate = false) ?(code = Api.Usage) ~json fmt =
   Format.kasprintf
     (fun msg ->
-      if json then
-        print_json
-          (Jsonout.Obj
-             [
-               ("schema", Jsonout.Str "eventorder.error/1");
-               ("error", Jsonout.Str msg);
-             ])
+      if json then print_json (Api.error_doc ~code msg)
       else if locate then Format.eprintf "%s@." msg
       else Format.eprintf "error: %s@." msg;
       exit 2)
     fmt
+
+(* Api failures carry their own code; the exit code stays 2. *)
+let or_die_api ?(json = false) f =
+  try f () with Api.Error (code, msg) -> die_error ~code ~json "%s" msg
 
 (* Precedence: --jobs flag > EO_JOBS > 1 — [Config.resolve] over the
    cached [Config.jobs] reader (which [Parallel.default_jobs] also uses). *)
@@ -233,33 +232,11 @@ let print_stats_text = function
   | Some tel -> Format.printf "@.%a" Telemetry.pp tel
   | None -> ()
 
-let json_of_rel rel =
-  Jsonout.List
-    (List.map
-       (fun (a, b) -> Jsonout.List [ Jsonout.Int a; Jsonout.Int b ])
-       (Rel.to_pairs rel))
-
-let relation_key = function
-  | Relations.MHB -> "mhb"
-  | Relations.CHB -> "chb"
-  | Relations.MCW -> "mcw"
-  | Relations.CCW -> "ccw"
-  | Relations.MOW -> "mow"
-  | Relations.COW -> "cow"
-
-let json_of_race (x : Execution.t) (r : Race.race) =
-  Jsonout.Obj
-    [
-      ("e1", Jsonout.Int r.Race.e1);
-      ("e2", Jsonout.Int r.Race.e2);
-      ( "labels",
-        Jsonout.List
-          [
-            Jsonout.Str x.Execution.events.(r.Race.e1).Event.label;
-            Jsonout.Str x.Execution.events.(r.Race.e2).Event.label;
-          ] );
-      ("variables", Jsonout.List (List.map (fun v -> Jsonout.Int v) r.Race.variables));
-    ]
+(* JSON rendering of relations and races lives in [Api] — one encoding
+   shared by every transport. *)
+let json_of_rel = Api.json_of_rel
+let relation_key = Api.relation_key
+let json_of_race = Api.json_of_race
 
 let max_events_arg =
   let doc =
@@ -271,14 +248,16 @@ let max_events_arg =
 let parse_program_file ?(json = false) path =
   try Parse.program_file path
   with Parse.Syntax_error { line; message } ->
-    die_error ~locate:true ~json "%s:%d: syntax error: %s" path line message
+    die_error ~locate:true ~code:Api.Parse ~json "%s:%d: syntax error: %s"
+      path line message
 
 let load_trace ?(json = false) path policy =
   let trace =
     if Filename.check_suffix path ".eotrace" then (
       try Trace_io.load path
       with Failure message ->
-        die_error ~locate:true ~json "%s: malformed trace: %s" path message)
+        die_error ~locate:true ~code:Api.Parse ~json "%s: malformed trace: %s"
+          path message)
     else Interp.run ~policy (parse_program_file ~json path)
   in
   (* Under --format json the notes move to stderr so stdout stays one
@@ -305,44 +284,6 @@ let guard_size ?(json = false) trace max_events =
       "trace has %d events; the exact engines are exponential and %d is \
        past the configured --max-events %d"
       n n max_events
-
-(* An event names itself by label or by numeric id. *)
-let lookup_event trace x name =
-  match Trace.find_event_opt trace name with
-  | Some e -> Some e.Event.id
-  | None -> (
-      match int_of_string_opt name with
-      | Some id when id >= 0 && id < Execution.n_events x -> Some id
-      | _ -> None)
-
-(* REL:A:B — but labels themselves contain colons ("x := 1"), so the
-   two separators cannot be found lexically.  Instead every split of
-   the remainder is tried, and the one where both sides name events
-   wins; anything else (zero or several splits working) is an error. *)
-let resolve_pair ?(json = false) trace x q rest =
-  let n = String.length rest in
-  let candidates = ref [] in
-  for i = 0 to n - 1 do
-    if rest.[i] = ':' then begin
-      let a = String.sub rest 0 i in
-      let b = String.sub rest (i + 1) (n - i - 1) in
-      match (lookup_event trace x a, lookup_event trace x b) with
-      | Some ea, Some eb -> candidates := (a, b, ea, eb) :: !candidates
-      | _ -> ()
-    end
-  done;
-  match !candidates with
-  | [ c ] -> c
-  | [] ->
-      die_error ~json
-        "query %S names no event pair of the trace (labels or numeric \
-         event ids, REL:A:B)"
-        q
-  | _ ->
-      die_error ~json
-        "query %S is ambiguous: several label splits match; use numeric \
-         event ids"
-        q
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -686,7 +627,9 @@ let encode_cmd =
     | Some i ->
         let rel = String.lowercase_ascii (String.sub query 0 i) in
         let rest = String.sub query (i + 1) (String.length query - i - 1) in
-        let a_label, b_label, a, b = resolve_pair trace x query rest in
+        let a_label, b_label, a, b =
+          or_die_api (fun () -> Api.resolve_pair trace x ~query rest)
+        in
         let enc = Encode.build (Session.encode_program sk) in
         (* The assumption literal becomes a unit clause; a pair closed by
            program order / dependence folds to the base formula (the
@@ -1248,15 +1191,6 @@ let batch_cmd =
     in
     Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"QUERY" ~doc)
   in
-  let relation_of_string = function
-    | "mhb" -> Some Relations.MHB
-    | "chb" -> Some Relations.CHB
-    | "mcw" -> Some Relations.MCW
-    | "ccw" -> Some Relations.CCW
-    | "mow" -> Some Relations.MOW
-    | "cow" -> Some Relations.COW
-    | _ -> None
-  in
   let run file policy limit timeout max_events jobs engine collect fmt cache
       queries =
     let json = fmt = `Json in
@@ -1271,78 +1205,10 @@ let batch_cmd =
       Session.of_execution ?limit ~jobs ?stats ~budget
         ~cache:(resolve_cache cache) x
     in
-    let decide = lazy (Decide.of_session session) in
-    let answer query =
-      match query with
-      | "relations" -> `Summary (Relations.of_session session)
-      | "reduced" -> `Summary (Relations.of_session_reduced session)
-      | "races" -> `Races (Race.feasible_races_session session)
-      | "first" -> `Races (Race.first_races_session session)
-      | "schedules" -> `Count (Session.schedule_count session)
-      | q -> (
-          match String.index_opt q ':' with
-          | Some i -> (
-              let rel = String.sub q 0 i in
-              let rest = String.sub q (i + 1) (String.length q - i - 1) in
-              match relation_of_string (String.lowercase_ascii rel) with
-              | Some relation ->
-                  let a_label, b_label, a, b = resolve_pair ~json trace x q rest in
-                  `Pair
-                    ( relation,
-                      a_label,
-                      b_label,
-                      Decide.holds (Lazy.force decide) relation a b )
-              | None ->
-                  die_error ~json
-                    "unknown relation %S in query %S (expected mhb, chb, \
-                     mcw, ccw, mow or cow)"
-                    rel q)
-          | None ->
-              die_error ~json
-                "unknown query %S (expected relations, reduced, races, \
-                 first, schedules, or REL:A:B)"
-                q)
-    in
-    let answers = List.map (fun q -> (q, answer q)) queries in
-    let result_json (query, ans) =
-      match ans with
-      | `Summary s ->
-          Jsonout.Obj
-            [
-              ("query", Jsonout.Str query);
-              ("feasible_schedules", Jsonout.Int s.Relations.feasible_count);
-              ("truncated", Jsonout.Bool s.Relations.truncated);
-              ("distinct_classes", Jsonout.Int s.Relations.distinct_classes);
-              ( "relations",
-                Jsonout.Obj
-                  (List.map
-                     (fun rel ->
-                       (relation_key rel, json_of_rel (Relations.to_rel s rel)))
-                     Relations.all_relations) );
-            ]
-      | `Races races ->
-          Jsonout.Obj
-            [
-              ("query", Jsonout.Str query);
-              ("races", Jsonout.List (List.map (json_of_race x) races));
-            ]
-      | `Count count ->
-          Jsonout.Obj
-            [
-              ("query", Jsonout.Str query);
-              ("feasible_schedules", Jsonout.Int count);
-              ("saturated", Jsonout.Bool (count >= Reach.count_saturation));
-            ]
-      | `Pair (relation, a, b, holds) ->
-          Jsonout.Obj
-            [
-              ("query", Jsonout.Str query);
-              ("relation", Jsonout.Str (relation_key relation));
-              ("before", Jsonout.Str a);
-              ("after", Jsonout.Str b);
-              ("holds", Jsonout.Bool holds);
-            ]
-    in
+    (* Query parsing, answering and rendering are [Api]'s — the same
+       code path the analysis server runs, so the two surfaces cannot
+       disagree. *)
+    let results = or_die_api ~json (fun () -> Api.answers session trace x queries) in
     (match fmt with
     | `Json ->
         print_json
@@ -1357,30 +1223,14 @@ let batch_cmd =
                   Jsonout.Str (Program_key.hash (Session.key session)) );
                 ("engine", Jsonout.Str (Engine.to_string (Engine.current ())));
                 ("jobs", Jsonout.Int jobs);
-                ("results", Jsonout.List (List.map result_json answers));
+                ( "results",
+                  Jsonout.List (List.map (Api.result_json x) results) );
               ]
              @ stats_field stats))
     | `Text ->
         List.iter
-          (fun (query, ans) ->
-            Format.printf "-- %s --@." query;
-            match ans with
-            | `Summary s ->
-                Format.printf "%a@." Relations.pp_summary (s, x.Execution.events)
-            | `Races races ->
-                Format.printf "races: %d@." (List.length races);
-                List.iter
-                  (fun r -> Format.printf "  %a@." (Race.pp_race x) r)
-                  races
-            | `Count count ->
-                if count >= Reach.count_saturation then
-                  Format.printf "feasible schedules: >= 10^18@."
-                else Format.printf "feasible schedules: %d@." count
-            | `Pair (relation, a, b, holds) ->
-                Format.printf "'%s' %s '%s': %b@." a
-                  (String.uppercase_ascii (relation_key relation))
-                  b holds)
-          answers;
+          (fun r -> Format.printf "%a" (Api.pp_result x) r)
+          results;
         print_stats_text stats);
     finish_budget ~json budget
   in
@@ -1395,6 +1245,278 @@ let batch_cmd =
       $ max_events_arg $ jobs_arg $ engine_arg $ stats_arg $ format_arg
       $ cache_arg $ queries_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Listen on (serve) / connect to (client) this Unix-domain socket." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let host_arg =
+  let doc = "TCP host to bind (serve) or connect to (client); used with --port." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "TCP port; mutually exclusive with --socket." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let endpoint_of ?(json = false) socket port host =
+  match (socket, port) with
+  | Some path, None -> `Unix path
+  | None, Some p -> `Tcp (host, p)
+  | Some _, Some _ -> die_error ~json "--socket and --port are mutually exclusive"
+  | None, None -> die_error ~json "an endpoint is required: --socket PATH or --port N"
+
+let serve_cmd =
+  let workers_arg =
+    let doc =
+      "Worker domains answering analysis requests concurrently.  Control \
+       requests (stats, ping, shutdown) bypass the workers and stay \
+       responsive under load."
+    in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Analysis requests allowed to wait for a worker; beyond this the \
+       server answers eventorder.error/1 with code 'overload' instead of \
+       hanging the client.  0 rejects every analysis request."
+    in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let max_memory_arg =
+    let doc =
+      "Refuse new analysis requests while the live heap exceeds this many \
+       MiB (admission control; running requests are never killed)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-memory" ] ~docv:"MIB" ~doc)
+  in
+  let run socket host port workers max_queue max_memory limit timeout
+      max_events jobs engine cache =
+    let jobs = resolve_jobs jobs in
+    if workers < 1 then die_error ~json:false "--workers must be at least 1";
+    if max_queue < 0 then die_error ~json:false "--max-queue must be >= 0";
+    let timeout_ms =
+      match timeout with
+      | Some ms when ms >= 1 -> Some ms
+      | Some ms ->
+          die_error ~json:false
+            "--timeout must be at least 1 millisecond (got %d)" ms
+      | None -> Config.timeout_ms ()
+    in
+    let api =
+      {
+        (* The flag is a per-request default, not a process-global set:
+           each request resolves request > flag > environment. *)
+        Api.engine;
+        limit;
+        jobs;
+        max_events;
+        timeout_ms;
+        cache = resolve_cache cache;
+      }
+    in
+    let endpoint =
+      match endpoint_of socket port host with
+      | `Unix path -> Server.Unix_socket path
+      | `Tcp (host, p) -> Server.Tcp (host, p)
+    in
+    Server.run
+      {
+        Server.endpoint;
+        workers;
+        max_queue;
+        max_memory_mb = max_memory;
+        api;
+        log = true;
+      }
+  in
+  let doc =
+    "serve analysis requests to many clients over a socket (NDJSON; see \
+     docs/PROTOCOL.md)"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ workers_arg
+      $ max_queue_arg $ max_memory_arg $ limit_arg $ timeout_arg
+      $ max_events_arg $ jobs_arg $ engine_arg $ cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let client_cmd =
+  let op_arg =
+    let doc = "Request op: 'batch' (run queries), 'stats', 'ping', or 'shutdown'." in
+    Arg.(
+      value
+      & opt (enum [ ("batch", `Batch); ("stats", `Stats); ("ping", `Ping);
+                    ("shutdown", `Shutdown) ]) `Batch
+      & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  let file_arg =
+    let doc =
+      "Program source file or saved *.eotrace to analyse (batch op only); \
+       its text is shipped in the request."
+    in
+    Arg.(value & pos 0 (some non_dir_file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let queries_arg =
+    let doc = "Queries, as in the batch subcommand." in
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Connection attempts before giving up (50 ms apart) — lets a client \
+       start concurrently with the server."
+    in
+    Arg.(value & opt int 40 & info [ "connect-retries" ] ~docv:"N" ~doc)
+  in
+  let policy_string = function
+    | Sched.Round_robin -> "rr"
+    | Sched.Priority -> "priority"
+    | Sched.Random seed -> Printf.sprintf "random:%d" seed
+    | Sched.Replay _ -> "rr"
+  in
+  let run socket host port op file engine limit timeout jobs collect policy
+      retries queries =
+    let json = true in
+    let request =
+      match op with
+      | `Stats -> [ ("op", Jsonout.Str "stats") ]
+      | `Ping -> [ ("op", Jsonout.Str "ping") ]
+      | `Shutdown -> [ ("op", Jsonout.Str "shutdown") ]
+      | `Batch ->
+          let file =
+            match file with
+            | Some f -> f
+            | None -> die_error ~json "the batch op needs a FILE to analyse"
+          in
+          if queries = [] then
+            die_error ~json "the batch op needs at least one QUERY";
+          let text =
+            In_channel.with_open_bin file In_channel.input_all
+          in
+          [ ("op", Jsonout.Str "batch") ]
+          @ (if Filename.check_suffix file ".eotrace" then
+               [ ("trace", Jsonout.Str text) ]
+             else [ ("program", Jsonout.Str text) ])
+          @ [
+              ( "queries",
+                Jsonout.List (List.map (fun q -> Jsonout.Str q) queries) );
+            ]
+          @ (match policy with
+            | Sched.Round_robin -> []
+            | p -> [ ("policy", Jsonout.Str (policy_string p)) ])
+          @ (match engine with
+            | Some e -> [ ("engine", Jsonout.Str (Engine.to_string e)) ]
+            | None -> [])
+          @ (match limit with
+            | Some l -> [ ("limit", Jsonout.Int l) ]
+            | None -> [])
+          @ (match timeout with
+            | Some ms -> [ ("timeout_ms", Jsonout.Int ms) ]
+            | None -> [])
+          @ (match jobs with
+            | Some j -> [ ("jobs", Jsonout.Int j) ]
+            | None -> [])
+          @ if collect then [ ("stats", Jsonout.Bool true) ] else []
+    in
+    let request =
+      Jsonout.Obj
+        (("schema", Jsonout.Str "eventorder.request/1") :: request)
+    in
+    let domain, addr =
+      match endpoint_of ~json socket port host with
+      | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      | `Tcp (host, p) ->
+          let ip =
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found -> (
+              try Unix.inet_addr_of_string host
+              with Failure _ -> die_error ~json "cannot resolve host %S" host)
+          in
+          (Unix.PF_INET, Unix.ADDR_INET (ip, p))
+    in
+    (* Retry the connect so a client racing the server's startup (as the
+       tests do) settles instead of flaking. *)
+    let rec connect tries =
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () -> fd
+      | exception
+          Unix.Unix_error ((ECONNREFUSED | ENOENT | ECONNRESET), _, _)
+        when tries > 0 ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.05;
+          connect (tries - 1)
+      | exception Unix.Unix_error (e, _, _) ->
+          die_error ~json "cannot connect: %s" (Unix.error_message e)
+    in
+    let fd = connect retries in
+    let line = Jsonout.to_string request ^ "\n" in
+    let off = ref 0 in
+    while !off < String.length line do
+      off := !off + Unix.write_substring fd line !off (String.length line - !off)
+    done;
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let response =
+      let rec read_line () =
+        match String.index_opt (Buffer.contents buf) '\n' with
+        | Some i -> String.sub (Buffer.contents buf) 0 i
+        | None -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+                die_error ~json
+                  "the server closed the connection without a response"
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                read_line ()
+            | exception Unix.Unix_error (EINTR, _, _) -> read_line ())
+      in
+      read_line ()
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match Jsonin.parse response with
+    | Error msg ->
+        die_error ~json:false "malformed response from the server: %s" msg
+    | Ok doc ->
+        print_json doc;
+        (* Exit contract mirrors the CLI: 2 for error/1 responses (3
+           when the error itself is the deadline), 3 for a partial
+           (status "timeout") analysis, 0 otherwise. *)
+        let field k =
+          match doc with
+          | Jsonout.Obj fields -> List.assoc_opt k fields
+          | _ -> None
+        in
+        let code =
+          match field "schema" with
+          | Some (Jsonout.Str "eventorder.error/1") -> (
+              match field "code" with
+              | Some (Jsonout.Str "timeout") -> 3
+              | _ -> 2)
+          | _ -> (
+              match field "status" with
+              | Some (Jsonout.Str "timeout") -> 3
+              | _ -> 0)
+        in
+        exit code
+  in
+  let doc =
+    "send one request to a running 'eventorder serve' daemon and print \
+     the response"
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ op_arg $ file_arg
+      $ engine_arg $ limit_arg $ timeout_arg $ jobs_arg $ stats_arg
+      $ policy_arg $ retries_arg $ queries_arg)
+
 let () =
   let doc =
     "event orderings of shared-memory parallel program executions \
@@ -1407,5 +1529,6 @@ let () =
           [
             analyze_cmd; batch_cmd; schedules_cmd; races_cmd; encode_cmd;
             taskgraph_cmd; reduce_cmd; theorems_cmd; figure1_cmd; record_cmd;
-            dot_cmd; fuzz_cmd; order_cmd; report_cmd; explore_cmd;
+            dot_cmd; fuzz_cmd; order_cmd; report_cmd; explore_cmd; serve_cmd;
+            client_cmd;
           ]))

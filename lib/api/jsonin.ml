@@ -1,0 +1,236 @@
+let max_depth = 512
+
+exception Bad of int * string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg = raise (Bad (c.pos, msg))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let n = String.length c.s in
+  while
+    c.pos < n
+    && (match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance c
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected '%s'" word)
+
+(* UTF-8 encode one code point into the buffer. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let hex4 c =
+  let one () =
+    match peek c with
+    | Some ch ->
+        advance c;
+        (match ch with
+        | '0' .. '9' -> Char.code ch - Char.code '0'
+        | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+        | _ -> fail c "invalid \\u escape")
+    | None -> fail c "truncated \\u escape"
+  in
+  let a = one () in
+  let b = one () in
+  let d = one () in
+  let e = one () in
+  (a lsl 12) lor (b lsl 8) lor (d lsl 4) lor e
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | None -> fail c "truncated escape"
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                let cp = hex4 c in
+                (* A high surrogate must pair with a following \u low
+                   surrogate; a lone surrogate is malformed. *)
+                if cp >= 0xd800 && cp <= 0xdbff then begin
+                  if
+                    c.pos + 1 < String.length c.s
+                    && c.s.[c.pos] = '\\'
+                    && c.s.[c.pos + 1] = 'u'
+                  then begin
+                    advance c;
+                    advance c;
+                    let lo = hex4 c in
+                    if lo >= 0xdc00 && lo <= 0xdfff then
+                      add_utf8 buf
+                        (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00))
+                    else fail c "invalid low surrogate"
+                  end
+                  else fail c "lone high surrogate"
+                end
+                else if cp >= 0xdc00 && cp <= 0xdfff then
+                  fail c "lone low surrogate"
+                else add_utf8 buf cp
+            | _ -> fail c "unknown escape"));
+        loop ()
+    | Some ch when Char.code ch < 0x20 -> fail c "raw control character"
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let digits () =
+    let saw = ref false in
+    let rec go () =
+      match peek c with
+      | Some '0' .. '9' ->
+          saw := true;
+          advance c;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if not !saw then fail c "expected digit"
+  in
+  if peek c = Some '-' then advance c;
+  digits ();
+  let integral = ref true in
+  if peek c = Some '.' then begin
+    integral := false;
+    advance c;
+    digits ()
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+      integral := false;
+      advance c;
+      (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub c.s start (c.pos - start) in
+  if !integral then
+    match int_of_string_opt text with
+    | Some i -> Jsonout.Int i
+    | None -> Jsonout.Float (float_of_string text) (* out of int range *)
+  else Jsonout.Float (float_of_string text)
+
+let rec parse_value c depth =
+  if depth > max_depth then fail c "nesting too deep";
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Jsonout.Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c (depth + 1) in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ()
+          | Some '}' -> advance c
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members ();
+        Jsonout.Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        Jsonout.List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value c (depth + 1) in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements ()
+          | Some ']' -> advance c
+          | _ -> fail c "expected ',' or ']'"
+        in
+        elements ();
+        Jsonout.List (List.rev !items)
+      end
+  | Some '"' -> Jsonout.Str (parse_string c)
+  | Some 't' -> literal c "true" (Jsonout.Bool true)
+  | Some 'f' -> literal c "false" (Jsonout.Bool false)
+  | Some 'n' -> literal c "null" Jsonout.Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character %C" ch)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match parse_value c 0 with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing content at offset %d" c.pos)
+      else Ok v
+  | exception Bad (pos, msg) ->
+      Error (Printf.sprintf "%s at offset %d" msg pos)

@@ -1,0 +1,25 @@
+(** Minimal JSON parsing — the input-side twin of {!Jsonout}.
+
+    The wire protocol ([eventorder.request/1], see docs/PROTOCOL.md) is
+    newline-delimited JSON, and this repo deliberately carries no JSON
+    dependency, so requests are parsed here into the same {!Jsonout.t}
+    AST the output side prints.  The parser is a plain recursive-descent
+    over the RFC 8259 grammar with two defensive deviations, both aimed
+    at a daemon fed by untrusted clients:
+
+    - nesting depth is capped ({!max_depth}) so a ["[[[[…"] bomb is a
+      parse error, not a stack overflow in a worker domain;
+    - numbers that look integral parse as [Int], everything else as
+      [Float] — mirroring what {!Jsonout} prints, so a print/parse
+      round-trip is the identity on integer-only documents.
+
+    Exactly one document per string: trailing non-whitespace is an
+    error.  All RFC 8259 escapes (quote, backslash, slash, [b f n r t],
+    [uXXXX] with surrogate pairs) decode to UTF-8. *)
+
+val max_depth : int
+(** Maximum array/object nesting accepted (512). *)
+
+val parse : string -> (Jsonout.t, string) result
+(** [parse s] is the document in [s], or [Error message] with a
+    character offset on malformed input.  Never raises. *)

@@ -9,21 +9,25 @@ let of_string s =
   | "sat" -> Some Sat
   | _ -> None
 
-(* Resolved lazily from EO_ENGINE (via the shared Config parser) so the
-   CLI, bench and tests all see one switch; [set] overrides (differential
-   tests flip it back and forth). *)
-let selected = ref None
+let default_of_env () =
+  match of_string (Config.engine ()) with Some e -> e | None -> Packed
+
+(* Domain-local, resolved lazily from EO_ENGINE (via the shared Config
+   parser) so the CLI, bench and tests all see one switch and [set]
+   overrides it (differential tests flip it back and forth).  Domain-
+   local rather than a global ref so a server worker pool can honour a
+   per-request engine without the domains racing on one cell; freshly
+   spawned domains start from the environment default, and [Parallel.map]
+   re-seeds its workers from the coordinating domain's choice so the
+   fan-out engines agree with their coordinator. *)
+let selected : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let current () =
-  match !selected with
+  match Domain.DLS.get selected with
   | Some e -> e
   | None ->
-      let e =
-        match of_string (Config.engine ()) with
-        | Some e -> e
-        | None -> Packed
-      in
-      selected := Some e;
+      let e = default_of_env () in
+      Domain.DLS.set selected (Some e);
       e
 
-let set e = selected := Some e
+let set e = Domain.DLS.set selected (Some e)

@@ -12,14 +12,24 @@
 
     The choice is read from the [EO_ENGINE] environment variable
     ([naive] / [packed] / [sat], parsed by {!Config.engine}) on first
-    use; {!set} overrides it.  Set it before spawning worker domains —
-    the switch itself is not synchronized. *)
+    use; {!set} overrides it.  The switch is {e domain-local}: each
+    domain resolves its own copy (starting from the environment
+    default), so a server worker pool can honour per-request engine
+    selections without synchronization.  {!Parallel.map} re-seeds the
+    domains it spawns from the coordinating domain's choice, so engine
+    reads inside a parallel fan-out agree with the coordinator. *)
 
 type t = Naive | Packed | Sat
 
 val current : unit -> t
 
 val set : t -> unit
+
+val default_of_env : unit -> t
+(** The environment default ([EO_ENGINE], else [Packed]) without
+    consulting or touching the domain-local override — what a server
+    resolves per request so one request's {!set} never leaks into the
+    next. *)
 
 val to_string : t -> string
 

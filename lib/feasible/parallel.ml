@@ -26,7 +26,13 @@ let map ?telemetry ?(budget = Budget.unlimited) ~jobs f xs =
          after every domain has joined; tasks are claimed in index order,
          so the lowest-indexed failure wins deterministically whatever
          the domain interleaving. *)
+      (* [Engine.current] is domain-local; spawned domains would
+         otherwise fall back to the environment default, disagreeing
+         with a coordinator that called [Engine.set] (the race layer
+         reads the engine inside its per-pair workers). *)
+      let engine = Engine.current () in
       let worker k =
+        if k > 0 then Engine.set engine;
         Telemetry.timed_domain telemetry k (fun () ->
             let rec loop () =
               if not (Atomic.get failed) then begin

@@ -6,14 +6,22 @@ let default_cache () = { memory = true; dir = Config.cache_dir () }
 (* Process-wide LRU over serialized payloads, shared by every session so
    repeated analyses of one program amortize across sessions too.  Entry
    count is tiny (the payloads, not the programs, dominate), so a
-   move-to-front assoc list is exact LRU at no bookkeeping cost.
-   Single-domain like sessions themselves: worker domains never touch
-   the cache. *)
+   move-to-front assoc list is exact LRU at no bookkeeping cost.  Each
+   session is still a single-domain object, but the LRU itself is the
+   cross-request shared state of the analysis server — sessions living
+   on different worker domains hit it concurrently — so its (tiny)
+   critical sections run under one mutex. *)
 module Lru = struct
   let capacity = 64
   let entries : (string * string) list ref = ref []
+  let m = Mutex.create ()
+
+  let locked f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
   let find key =
+    locked @@ fun () ->
     match List.assoc_opt key !entries with
     | None -> None
     | Some payload ->
@@ -21,6 +29,7 @@ module Lru = struct
         Some payload
 
   let store key payload =
+    locked @@ fun () ->
     let rest = List.remove_assoc key !entries in
     let rest =
       if List.length rest >= capacity then List.filteri (fun i _ -> i < capacity - 1) rest
@@ -28,7 +37,7 @@ module Lru = struct
     in
     entries := (key, payload) :: rest
 
-  let clear () = entries := []
+  let clear () = locked (fun () -> entries := [])
 end
 
 let clear_memory_cache () = Lru.clear ()

@@ -27,7 +27,11 @@
       is served to any renumbering of the same program.
 
     Sessions are single-domain objects: create and query them from one
-    domain (the passes spawn their own workers internally).  Activity is
+    domain (the passes spawn their own workers internally).  The
+    process-wide LRU behind them {e is} domain-safe: sessions living on
+    different domains — the analysis server's worker pool — share it as
+    cross-request state, so a hot program submitted by many clients is
+    enumerated once and served from memory after that.  Activity is
     observable through the [session_*] / [cache_*] counters of
     {!Counters} when the session carries a {!Telemetry.t}. *)
 

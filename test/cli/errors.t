@@ -38,6 +38,7 @@ error text:
   $ eventorder analyze bad.eo --format json
   {
     "schema": "eventorder.error/1",
+    "code": "parse",
     "error": "bad.eo:3: syntax error: unexpected character '?'"
   }
   [2]
@@ -45,6 +46,7 @@ error text:
   $ eventorder analyze big.eo --max-events 5 --format json
   {
     "schema": "eventorder.error/1",
+    "code": "usage",
     "error": "trace has 6 events; the exact engines are exponential and 6 is past the configured --max-events 5"
   }
   [2]
@@ -52,6 +54,7 @@ error text:
   $ eventorder races big.eo --jobs 0 --format json
   {
     "schema": "eventorder.error/1",
+    "code": "usage",
     "error": "--jobs must be at least 1 (got 0)"
   }
   [2]

@@ -1,0 +1,118 @@
+The analysis daemon: one resident process holds the session cache, any
+number of clients share it over newline-delimited JSON.
+
+  $ cat > prodcons.eo <<'PROG'
+  > sem s = 0
+  > proc producer { x := 1; v(s) }
+  > proc consumer { p(s); y := x }
+  > PROG
+
+Start a daemon on a Unix socket.  Clients retry the connect while it
+comes up, so no sleep is needed:
+
+  $ eventorder serve --socket srv.sock --workers 2 > serve.log 2>&1 &
+  $ SRV=$!
+
+  $ eventorder client --socket srv.sock --op ping
+  {
+    "schema": "eventorder.response/1",
+    "status": "ok",
+    "op": "ping"
+  }
+
+Four clients race on the same cold trace.  The server single-flights
+them: exactly one pays the enumeration (enum_nodes 4), the other three
+are served from the cache entry the winner filled:
+
+  $ eventorder client --socket srv.sock prodcons.eo relations --stats > c1.json & C1=$!
+  $ eventorder client --socket srv.sock prodcons.eo relations --stats > c2.json & C2=$!
+  $ eventorder client --socket srv.sock prodcons.eo relations --stats > c3.json & C3=$!
+  $ eventorder client --socket srv.sock prodcons.eo relations --stats > c4.json & C4=$!
+  $ wait $C1 $C2 $C3 $C4
+  $ grep -h '"enum_nodes"' c1.json c2.json c3.json c4.json | sort | uniq -c
+        3       "enum_nodes": 0,
+        1       "enum_nodes": 4,
+
+A later client on the same trace is pure cache — zero enumeration, even
+for a query set the daemon has not seen before:
+
+  $ eventorder client --socket srv.sock prodcons.eo relations schedules --stats | grep -E '"(enum_nodes|cache_memory_hits)"'
+        "enum_nodes": 0,
+        "cache_memory_hits": 1,
+
+The full wire round-trip, per-entry status included:
+
+  $ eventorder client --socket srv.sock prodcons.eo mhb:0:3
+  {
+    "schema": "eventorder.response/1",
+    "status": "ok",
+    "op": "batch",
+    "events": 4,
+    "outcome": "completed",
+    "program_key": "fb3275e9241805dd9bf025bf28fce0a3",
+    "engine": "packed",
+    "jobs": 1,
+    "results": [
+      {
+        "query": "mhb:0:3",
+        "status": "ok",
+        "relation": "mhb",
+        "before": "0",
+        "after": "3",
+        "holds": true
+      }
+    ]
+  }
+
+The stats op answers inline (it never queues behind batch work) and
+reports transport health:
+
+  $ eventorder client --socket srv.sock --op stats | grep -E '"(workers|queue_depth|requests_served|overload_rejections)"'
+    "workers": 2,
+    "queue_depth": 0,
+    "requests_served": 7,
+    "overload_rejections": 0,
+
+SIGTERM drains gracefully: the daemon finishes what it owes, logs its
+lifetime total and removes the socket:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ cat serve.log
+  serve: listening on srv.sock (2 workers)
+  serve: stopped after 8 requests
+  $ test -e srv.sock || echo "socket removed"
+  socket removed
+
+Backpressure is typed, not dropped: a daemon with a zero-length
+admission queue rejects every batch request with a machine-readable
+overload error (exit 2), while control ops still answer — and a client
+can ask it to shut down:
+
+  $ eventorder serve --socket ovl.sock --max-queue 0 > ovl.log 2>&1 &
+  $ OVL=$!
+
+  $ eventorder client --socket ovl.sock prodcons.eo relations
+  {
+    "schema": "eventorder.error/1",
+    "code": "overload",
+    "error": "server is overloaded: admission queue is full (--max-queue 0)"
+  }
+  [2]
+
+  $ eventorder client --socket ovl.sock --op ping > /dev/null
+
+  $ eventorder client --socket ovl.sock --op shutdown
+  {
+    "schema": "eventorder.response/1",
+    "status": "ok",
+    "op": "shutdown",
+    "stopping": true
+  }
+  $ wait $OVL
+  $ cat ovl.log
+  serve: listening on ovl.sock (4 workers)
+  serve: shutdown requested by a client; draining
+  serve: stopped after 2 requests
+  $ test -e ovl.sock || echo "socket removed"
+  socket removed

@@ -34,6 +34,7 @@ the full vocabulary:
   $ eventorder batch prodcons.eo nonsense --format json
   {
     "schema": "eventorder.error/1",
+    "code": "usage",
     "error": "unknown query \"nonsense\" (expected relations, reduced, races, first, schedules, or REL:A:B)"
   }
   [2]

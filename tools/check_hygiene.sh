@@ -103,3 +103,29 @@ require 'code \*\*3\*\*' docs/ANALYSES.md "exit-code-3 documentation"
 require '\*\*3\*\*' README.md "exit-code-3 documentation"
 require 'Timeout_expirations' lib/obs/counters.ml "timeout counters"
 echo "hygiene: timeout vocabulary agrees across config, CLI and docs"
+
+# Schema inventory: every eventorder.*/N document the code can emit
+# must be named in docs/PROTOCOL.md — a new (or renamed) schema without
+# wire documentation fails here, and so does an error code the protocol
+# spec does not list.
+schemas=$(grep -rhoE '"eventorder\.[a-z_]+/[0-9]+"' lib bin | tr -d '"' | sort -u)
+if [ -z "$schemas" ]; then
+  echo "hygiene: could not find any emitted schema strings" >&2
+  exit 1
+fi
+for s in $schemas; do
+  grep -qF "\`$s\`" docs/PROTOCOL.md || {
+    echo "hygiene: schema '$s' is emitted in code but not documented in docs/PROTOCOL.md" >&2
+    exit 1; }
+done
+codes=$(sed -n 's/.*| \([A-Z][a-z]*\) -> "\([a-z]*\)"$/\2/p' lib/api/api.ml)
+if [ -z "$codes" ]; then
+  echo "hygiene: could not read the error codes from lib/api/api.ml" >&2
+  exit 1
+fi
+for c in $codes; do
+  grep -q "\`$c\`" docs/PROTOCOL.md || {
+    echo "hygiene: error code '$c' is emitted in code but not documented in docs/PROTOCOL.md" >&2
+    exit 1; }
+done
+echo "hygiene: every emitted schema and error code is documented in docs/PROTOCOL.md"
