@@ -984,6 +984,57 @@ let write_exact_engine_json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E22 — Tiered triage: all races over streaming million-event traces  *)
+(* ------------------------------------------------------------------ *)
+
+(* The headline scale claim: `races --engine auto` on a million-event
+   trace in seconds, not hours.  Each [Progen] family is generated and
+   triaged once (no budget sweep — the interesting number is the
+   absolute wall-clock at the target scale); the cross-checks assert
+   that the tiering never leaves a candidate undecided and that every
+   planted race is found.  Rows land in BENCH_exact_engine.json with
+   kind "triage". *)
+let e22_triage () =
+  header "E22  Tiered triage: all races over streaming million-event traces";
+  let events = if quick then 20_000 else 1_000_000 in
+  let rows =
+    List.map
+      (fun family ->
+        let name = Progen.big_family_to_string family in
+        let big, t_gen =
+          Harness.time_once (fun () -> Workloads.big_trace family ~events)
+        in
+        let r, t_triage = Harness.time_once (fun () -> Triage.races_big big) in
+        expect_exact (name ^ " undecided") 0 r.Triage.undecided;
+        expect_exact
+          (name ^ " planted races found")
+          1
+          (if r.Triage.certified > 0 then 1 else 0);
+        expect_exact
+          (name ^ " nothing truncated")
+          0
+          (if r.Triage.truncated then 1 else 0);
+        exact_json
+          {|    {"kind": "triage", "family": %S, "events": %d, "candidates": %d, "refuted": %d, "certified": %d, "undecided": %d, "gen_s": %.6f, "triage_s": %.6f}|}
+          name events r.Triage.candidates r.Triage.refuted r.Triage.certified
+          r.Triage.undecided t_gen t_triage;
+        [
+          name; string_of_int events;
+          string_of_int r.Triage.candidates;
+          string_of_int r.Triage.refuted;
+          string_of_int r.Triage.certified;
+          Harness.time_string t_gen; Harness.time_string t_triage;
+        ])
+      Workloads.big_trace_families
+  in
+  Harness.table
+    ~title:"streaming races, tier-1 settled (undecided must stay 0)"
+    ~header:
+      [ "family"; "events"; "candidates"; "refuted"; "certified"; "gen";
+        "triage" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* E16 — Scorecard: the paper's qualitative claims, checked in one go  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1100,6 +1151,7 @@ let () =
     e19_exact_engine ();
     e20_sessions ();
     e21_sat_engine ();
+    e22_triage ();
     write_exact_engine_json ();
     e16_scorecard ()
   end
@@ -1120,6 +1172,7 @@ let () =
     e19_exact_engine ();
     e20_sessions ();
     e21_sat_engine ();
+    e22_triage ();
     write_exact_engine_json ();
     e15_explore ();
     e17_sat_substrate ();

@@ -159,3 +159,16 @@ let broadcast_chain_ambiguous ~stages =
           [ Ast.Post (Printf.sprintf "e%d" (i + 1)) ])
   in
   { base with Ast.procs = base.Ast.procs @ helpers }
+
+(* ------------------------------------------------------------------ *)
+(* Streaming triage workloads (E22)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The [Progen] big-trace families at bench scale: seeded, deterministic
+   traces with planted adjacent-write races among an ocean of
+   synchronization-ordered conflicting pairs — the workload the tiered
+   triage pipeline answers without ever building an event-pair matrix. *)
+let big_trace_families =
+  [ Progen.Pc_mesh; Progen.Server_logs; Progen.Fork_join ]
+
+let big_trace family ~events = Progen.big_trace ~family ~events ~seed:42

@@ -105,9 +105,12 @@ let engine_arg =
   let doc =
     "Exact engine backing the per-pair queries: 'naive' (schedule \
      enumeration), 'packed' (bitset-packed memoized search, the default), \
-     or 'sat' (compile feasibility to CNF and decide with the in-repo \
-     CDCL solver; every witness is replay-certified).  Overrides the \
-     EO_ENGINE environment variable."
+     'sat' (compile feasibility to CNF and decide with the in-repo \
+     CDCL solver; every witness is replay-certified), or 'auto' (tiered \
+     triage: polynomial one-sided deciders first, escalating undecided \
+     queries through reachability, SAT and bounded enumeration, each \
+     tier under its own budget slice).  Overrides the EO_ENGINE \
+     environment variable."
   in
   Arg.(
     value
@@ -118,6 +121,7 @@ let engine_arg =
                 ("naive", Engine.Naive);
                 ("packed", Engine.Packed);
                 ("sat", Engine.Sat);
+                ("auto", Engine.Auto);
               ]))
         None
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
@@ -500,12 +504,108 @@ let races_cmd =
                exhibit it." in
     Arg.(value & flag & info [ "witness" ] ~doc)
   in
+  (* The streaming path: under the auto engine a saved trace bigger than
+     --max-events is not rejected but routed through the columnar
+     reader and the tier-1 triage pipeline — linear in the trace, every
+     reported race replay-certified, undecided candidates surfaced
+     rather than silently dropped. *)
+  let run_streaming ~json ~fmt ~jobs ~budget ~witness ~collect big =
+    if witness then
+      Format.eprintf
+        "note: --witness is unavailable on the streaming path (the \
+         certifying schedules are the whole trace)@.";
+    let stats = make_stats collect in
+    Option.iter
+      (fun tel ->
+        Telemetry.set_run tel
+          ~engine:(Engine.to_string (Engine.current ()))
+          ~jobs)
+      stats;
+    let c =
+      match stats with
+      | Some tel -> Telemetry.counters tel
+      | None -> Counters.null
+    in
+    let report = Triage.races_big ~stats:c ~budget big in
+    (match fmt with
+    | `Json ->
+        let races =
+          Jsonout.List
+            (List.map
+               (fun (e1, e2, vars) ->
+                 Jsonout.Obj
+                   [
+                     ("e1", Jsonout.Int e1);
+                     ("e2", Jsonout.Int e2);
+                     ( "variables",
+                       Jsonout.List (List.map (fun v -> Jsonout.Int v) vars) );
+                   ])
+               report.Triage.races)
+        in
+        print_json
+          (Jsonout.Obj
+             ([ ("schema", Jsonout.Str "eventorder.races_stream/1") ]
+             @ status_field budget
+             @ [
+                 ("events", Jsonout.Int report.Triage.events);
+                 ("candidates", Jsonout.Int report.Triage.candidates);
+                 ( "observed_feasible",
+                   Jsonout.Bool report.Triage.observed_feasible );
+                 ("truncated", Jsonout.Bool report.Triage.truncated);
+                 ("refuted", Jsonout.Int report.Triage.refuted);
+                 ("certified", Jsonout.Int report.Triage.certified);
+                 ("undecided", Jsonout.Int report.Triage.undecided);
+                 ("races", races);
+               ]
+             @ stats_field stats))
+    | `Text ->
+        Format.printf "events: %d@." report.Triage.events;
+        Format.printf "candidate conflicting pairs: %d%s@."
+          report.Triage.candidates
+          (if report.Triage.truncated then " (truncated)" else "");
+        Format.printf "refuted by forced-order clock: %d@."
+          report.Triage.refuted;
+        Format.printf "undecided at streaming scale: %d@."
+          report.Triage.undecided;
+        Format.printf "certified races (replayed both orders): %d@."
+          report.Triage.certified;
+        List.iter
+          (fun (e1, e2, vars) ->
+            Format.printf "  race between %s (event %d) and %s (event %d) on %a@."
+              big.Bigtrace.events.(e1).Event.label e1
+              big.Bigtrace.events.(e2).Event.label e2
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                 (fun ppf v -> Format.fprintf ppf "v%d" v))
+              vars)
+          report.Triage.races;
+        print_stats_text stats);
+    finish_budget ~json budget
+  in
   let run file policy limit timeout max_events witness jobs engine collect
       fmt cache =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
     resolve_engine ~json engine;
     let budget = resolve_budget ~json timeout in
+    let streaming =
+      if
+        Engine.current () = Engine.Auto
+        && Filename.check_suffix file ".eotrace"
+      then begin
+        let big =
+          try Bigtrace.read file
+          with Failure message ->
+            die_error ~locate:true ~code:Api.Parse ~json
+              "%s: malformed trace: %s" file message
+        in
+        if Bigtrace.n_events big > max_events then Some big else None
+      end
+      else None
+    in
+    match streaming with
+    | Some big -> run_streaming ~json ~fmt ~jobs ~budget ~witness ~collect big
+    | None ->
     let trace = load_trace ~json file policy in
     guard_size ~json trace max_events;
     let x = Trace.to_execution trace in
@@ -593,6 +693,59 @@ let races_cmd =
       const run $ program_file $ policy_arg $ limit_arg $ timeout_arg
       $ max_events_arg $ witness_arg $ jobs_arg $ engine_arg $ stats_arg
       $ format_arg $ cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let family_arg =
+    let doc =
+      "Trace family: 'pc_mesh' (producer/consumer lanes handing fresh \
+       variables over fresh semaphores), 'server_logs' (workers \
+       publishing to a collector via event variables), or 'fork_join' \
+       (a forked tree with sibling races)."
+    in
+    Arg.(
+      value
+      & opt (enum (List.map (fun n ->
+            (n, Option.get (Progen.big_family_of_string n)))
+            Progen.big_family_names))
+          Progen.Pc_mesh
+      & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let events_arg =
+    let doc = "Number of events to emit (at least 64)." in
+    Arg.(value & opt int 1_000_000 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Deterministic seed for race placement." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let output_arg =
+    let doc = "Output file (eotrace format, written streaming)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run family events seed output =
+    if events < 64 then
+      die_error ~json:false "--events must be at least 64 (got %d)" events;
+    let t = Progen.big_trace ~family ~events ~seed in
+    Bigtrace.save output t;
+    Format.printf "wrote %s: %d events (%s, seed %d)@." output
+      (Bigtrace.n_events t)
+      (Progen.big_family_to_string family)
+      seed
+  in
+  let doc =
+    "generate a large synthetic trace (eotrace format) from a named \
+     family, sized for the streaming 'races --engine auto' path"
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc)
+    Term.(const run $ family_arg $ events_arg $ seed_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* encode                                                              *)
@@ -1527,7 +1680,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyze_cmd; batch_cmd; schedules_cmd; races_cmd; encode_cmd;
+            analyze_cmd; batch_cmd; schedules_cmd; races_cmd; gen_cmd;
+            encode_cmd;
             taskgraph_cmd; reduce_cmd; theorems_cmd; figure1_cmd; record_cmd;
             dot_cmd; fuzz_cmd; order_cmd; report_cmd; explore_cmd; serve_cmd;
             client_cmd;

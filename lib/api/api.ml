@@ -494,6 +494,7 @@ let run_batch ?serialize config (req : request) =
   let session =
     Session.of_execution ?limit ~jobs ?stats ~budget ~cache:config.cache x
   in
+  Triage.attach session;
   let key = Program_key.hash (Session.key session) in
   let compute () =
     let results = answers session trace x req.queries in

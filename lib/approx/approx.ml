@@ -1,0 +1,49 @@
+(* Uniform one-sided verdict interface over the approximation devices.
+   See approx.mli. *)
+
+type verdict = Proved | Refuted | Unknown
+
+type direction = Positive | Negative | Both
+
+let verdict_name = function
+  | Proved -> "proved"
+  | Refuted -> "refuted"
+  | Unknown -> "unknown"
+
+let direction_name = function
+  | Positive -> "positive"
+  | Negative -> "negative"
+  | Both -> "both"
+
+type decider = {
+  name : string;
+  relation : string;
+  direction : direction;
+  decide : int -> int -> verdict;
+}
+
+let make ~name ~relation ~direction decide =
+  (* Harden the advertised one-sidedness: a decider whose [direction]
+     says it can only conclude one way is clamped to Unknown on the
+     other, so a drifting implementation can weaken but never break the
+     soundness contract the ladder relies on. *)
+  let decide a b =
+    match (decide a b, direction) with
+    | Proved, Negative -> Unknown
+    | Refuted, Positive -> Unknown
+    | v, _ -> v
+  in
+  { name; relation; direction; decide }
+
+let first_conclusive deciders a b =
+  let rec go = function
+    | [] -> Unknown
+    | d :: rest -> (
+        match d.decide a b with Unknown -> go rest | v -> v)
+  in
+  go deciders
+
+let to_bool = function
+  | Proved -> Some true
+  | Refuted -> Some false
+  | Unknown -> None

@@ -1,0 +1,57 @@
+(** The uniform verdict interface over the one-sided approximation
+    devices of [lib/approx].
+
+    The paper's closing implication is that the exact feasible-ordering
+    relations are intractable while polynomial approximations are
+    one-sided: each device can {e prove} membership, or {e refute} it,
+    or both — never decide every pair.  This module gives those devices
+    one shared vocabulary so the auto-engine triage ladder (and the
+    differential test suite) can consume any of them without knowing
+    which analysis is behind the verdict:
+
+    - a {!verdict} is always {b sound}: [Proved] means the relation
+      definitely holds for the pair, [Refuted] means it definitely does
+      not, [Unknown] carries no information;
+    - the {!direction} recorded in each {!decider} advertises which
+      sides the device can ever conclude, and {!make} {e clamps}
+      verdicts outside that direction to [Unknown], so a drifting
+      implementation can weaken but never break the one-sidedness
+      contract ([test_triage] checks the sound side against the exact
+      engines on generated programs). *)
+
+type verdict =
+  | Proved  (** the relation holds for this pair — sound *)
+  | Refuted  (** the relation does not hold for this pair — sound *)
+  | Unknown  (** the device cannot tell; escalate *)
+
+type direction =
+  | Positive  (** can only ever conclude [Proved] *)
+  | Negative  (** can only ever conclude [Refuted] *)
+  | Both
+
+val verdict_name : verdict -> string
+val direction_name : direction -> string
+
+type decider = {
+  name : string;  (** device name, e.g. ["order_clock"] *)
+  relation : string;
+      (** which paper relation the verdicts speak about, e.g. ["mhb"] *)
+  direction : direction;
+  decide : int -> int -> verdict;
+}
+
+val make :
+  name:string ->
+  relation:string ->
+  direction:direction ->
+  (int -> int -> verdict) ->
+  decider
+(** Builds a decider, clamping verdicts outside [direction] to
+    [Unknown]. *)
+
+val first_conclusive : decider list -> int -> int -> verdict
+(** The first non-[Unknown] verdict, in list order ([Unknown] if every
+    device passes). *)
+
+val to_bool : verdict -> bool option
+(** [Proved ↦ Some true], [Refuted ↦ Some false], [Unknown ↦ None]. *)

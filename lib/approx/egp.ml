@@ -131,3 +131,9 @@ let guaranteed_rel t =
 let sync_edge_count t = List.length t.sync_edges
 
 let sync_edges t = t.sync_edges
+
+let mhb_decider t =
+  Approx.make ~name:"egp" ~relation:"mhb" ~direction:Approx.Positive
+    (fun a b ->
+      if a <> b && guaranteed_before t a b then Approx.Proved
+      else Approx.Unknown)

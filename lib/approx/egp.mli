@@ -57,3 +57,9 @@ val sync_edge_count : t -> int
 
 val sync_edges : t -> (int * int) list
 (** The added synchronization edges, as event-id pairs. *)
+
+val mhb_decider : t -> Approx.decider
+(** {!guaranteed_before} under the uniform interface: a claimed
+    ordering is [Proved] must-have-happened-before; everything else is
+    [Unknown] — the method's blind spot (Figure 1) lives entirely on
+    the [Unknown] side. *)

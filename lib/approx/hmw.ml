@@ -86,3 +86,8 @@ let of_execution x =
   compute (Skeleton.of_execution x) (Execution.schedule_of_temporal x)
 
 let safe_subset_of_phase3 t = Rel.subset t.phase2 t.phase3
+
+let mhb_decider t =
+  Approx.make ~name:"hmw_phase3" ~relation:"mhb" ~direction:Approx.Positive
+    (fun a b ->
+      if a <> b && Rel.mem t.phase3 a b then Approx.Proved else Approx.Unknown)

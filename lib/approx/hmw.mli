@@ -45,3 +45,11 @@ val of_execution : Execution.t -> t
 
 val safe_subset_of_phase3 : t -> bool
 (** [phase2 ⊆ phase3] — monotonicity of sharpening (cheap invariant). *)
+
+val mhb_decider : t -> Approx.decider
+(** Phase 3 under the uniform interface: a claimed ordering is [Proved]
+    must-have-happened-before (the safe direction the property tests
+    pin); everything else is [Unknown].  Phases 2/3 only ever use
+    program order plus semaphore counting, so their claims stay sound
+    on skeletons with additional synchronization or dependence
+    constraints (more constraints only shrink the feasible set). *)

@@ -25,3 +25,9 @@ let consistent_with t hb =
   let ok = ref true in
   Rel.iter (fun a b -> if t.stamps.(a) >= t.stamps.(b) then ok := false) hb;
   !ok
+
+let observed_hb_refuter t =
+  Approx.make ~name:"lamport" ~relation:"observed_hb"
+    ~direction:Approx.Negative (fun a b ->
+      if timestamp t a >= timestamp t b then Approx.Refuted
+      else Approx.Unknown)

@@ -18,3 +18,12 @@ val timestamp : t -> int -> int
 val consistent_with : t -> Rel.t -> bool
 (** [consistent_with t hb]: every pair of [hb] increases the timestamp —
     the Lamport-clock correctness condition. *)
+
+val observed_hb_refuter : t -> Approx.decider
+(** The baseline device under the uniform interface, in the one
+    direction a scalar clock is sound for: [timestamp a >= timestamp b]
+    refutes observed happened-before (its necessary condition fails);
+    [timestamp a < timestamp b] proves nothing ([Unknown]).  Speaks
+    about the {e observed} order only — it is not wired into the triage
+    ladder, but the differential suite checks it against the recorded
+    temporal relation like every other decider. *)

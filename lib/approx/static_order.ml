@@ -218,3 +218,13 @@ let claims_on_trace t (trace : Trace.t) =
       t.gp.(b)
   done;
   List.rev !claims
+
+let mhb_decider t trace =
+  let claimed = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) -> Hashtbl.replace claimed (a, b) ())
+    (claims_on_trace t trace);
+  Approx.make ~name:"static_order" ~relation:"mhb"
+    ~direction:Approx.Positive (fun a b ->
+      if a <> b && Hashtbl.mem claimed (a, b) then Approx.Proved
+      else Approx.Unknown)

@@ -52,3 +52,9 @@ val claims_on_trace : t -> Trace.t -> (int * int) list
     matched statements are claimed ordered.  Events are matched to
     statements by label and process path; events with no static counterpart
     (else-branches not taken, etc.) are skipped. *)
+
+val mhb_decider : t -> Trace.t -> Approx.decider
+(** {!claims_on_trace} under the uniform interface, over the event ids
+    of the given trace: a statically claimed ordering is [Proved]
+    must-have-happened-before; unmatched events and unclaimed pairs are
+    [Unknown]. *)

@@ -55,3 +55,7 @@ let hb_rel t =
     done
   done;
   r
+
+let chb_decider t =
+  Approx.make ~name:"vclock" ~relation:"chb" ~direction:Approx.Positive
+    (fun a b -> if hb t a b then Approx.Proved else Approx.Unknown)

@@ -38,3 +38,11 @@ val hb_rel : t -> Rel.t
 (** The whole happened-before relation as a matrix (for tests: it must equal
     the transitive closure of program order plus the schedule's
     synchronization edges). *)
+
+val chb_decider : t -> Approx.decider
+(** The device under the uniform interface, in the one direction the
+    clock is sound for: [hb a b] under clocks computed along a feasible
+    schedule ⇒ that schedule runs [a] before [b] ⇒ could-happen-before
+    holds ([Proved]).  Never refutes — unordered-by-VC says nothing
+    about other feasible executions (the unsafe direction the module
+    documentation warns about). *)

@@ -3,7 +3,12 @@ type t = {
   mutable summary : Relations.t option;  (* computed lazily for COW/MCW *)
 }
 
-let of_session session = { session; summary = None }
+let of_session session =
+  (* Every per-pair primitive below is engine-routed by the session;
+     under the auto engine the ladder starts at the triage layer's
+     tier-1 approximation oracle. *)
+  Triage.attach session;
+  { session; summary = None }
 
 let of_skeleton ?limit ?(jobs = 1) ?stats ?budget sk =
   of_session

@@ -36,7 +36,12 @@ let of_summary (s : Session.summary) =
   }
 
 let of_session session = of_summary (Session.summary session)
-let of_session_reduced session = of_summary (Session.summary_reduced session)
+
+let of_session_reduced session =
+  (* The reduced path's happened-before fill is per-pair under the
+     session's engine routing; give the auto ladder its tier-1 oracle. *)
+  Triage.attach session;
+  of_summary (Session.summary_reduced session)
 
 (* Outcome-typed constructors: [Bound_hit] exactly when the underlying
    summary was truncated (by [?limit] or by the session budget), i.e.
@@ -46,6 +51,7 @@ let of_session_outcome session =
   Budget.map of_summary (Session.summary_outcome session)
 
 let of_session_reduced_outcome session =
+  Triage.attach session;
   Budget.map of_summary (Session.summary_reduced_outcome session)
 
 (* The historical one-shot entry points: a private, cache-disabled

@@ -1,12 +1,17 @@
-type t = Naive | Packed | Sat
+type t = Naive | Packed | Sat | Auto
 
-let to_string = function Naive -> "naive" | Packed -> "packed" | Sat -> "sat"
+let to_string = function
+  | Naive -> "naive"
+  | Packed -> "packed"
+  | Sat -> "sat"
+  | Auto -> "auto"
 
 let of_string s =
   match String.lowercase_ascii s with
   | "naive" -> Some Naive
   | "packed" -> Some Packed
   | "sat" -> Some Sat
+  | "auto" -> Some Auto
   | _ -> None
 
 let default_of_env () =

@@ -7,11 +7,18 @@
     once per program and answers per-pair ordering and race queries with
     the in-repo CDCL solver under assumptions (see [Eo_encode]); queries
     with no SAT formulation (class summaries, schedule counting) fall
-    back to the packed search.  All engines produce identical results on
-    every query (property-tested); only the cost profile differs.
+    back to the packed search.  [Auto] is the tiered triage ladder: each
+    per-pair query first consults the one-sided polynomial deciders of
+    [lib/approx] (installed by [Triage.attach]), then escalates
+    undecided survivors through memoized reachability, the SAT engine
+    and finally bounded enumeration, each tier under its own
+    [Budget.sub] slice; whole-space folds (class summaries, schedule
+    counting) run the packed search.  All engines produce identical
+    results on every query (property-tested); only the cost profile
+    differs.
 
     The choice is read from the [EO_ENGINE] environment variable
-    ([naive] / [packed] / [sat], parsed by {!Config.engine}) on first
+    ([naive] / [packed] / [sat] / [auto], parsed by {!Config.engine}) on first
     use; {!set} overrides it.  The switch is {e domain-local}: each
     domain resolves its own copy (starting from the environment
     default), so a server worker pool can honour per-request engine
@@ -19,7 +26,7 @@
     domains it spawns from the coordinating domain's choice, so engine
     reads inside a parallel fan-out agree with the coordinator. *)
 
-type t = Naive | Packed | Sat
+type t = Naive | Packed | Sat | Auto
 
 val current : unit -> t
 

@@ -196,7 +196,8 @@ let iter ?limit ?(stats = Counters.null) ?(budget = Budget.unlimited) sk f =
      encoder (see [Session]). *)
   match Engine.current () with
   | Engine.Naive -> iter_naive_from ~stats ~budget st 0 limit f
-  | Engine.Packed | Engine.Sat -> iter_packed_from ~stats ~budget st 0 limit f
+  | Engine.Packed | Engine.Sat | Engine.Auto ->
+      iter_packed_from ~stats ~budget st 0 limit f
 
 let count ?limit ?stats ?budget sk = iter ?limit ?stats ?budget sk (fun _ -> ())
 
@@ -327,7 +328,7 @@ let exists_order ?(budget = Budget.unlimited) sk ~before ~after =
     (try
        match Engine.current () with
        | Engine.Naive -> go_naive 0
-       | Engine.Packed | Engine.Sat -> go_packed 0
+       | Engine.Packed | Engine.Sat | Engine.Auto -> go_packed 0
      with Stop -> ());
     !found
   end

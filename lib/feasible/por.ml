@@ -162,7 +162,7 @@ let iter_representatives ?limit ?(stats = Counters.null)
     ?(budget = Budget.unlimited) sk f =
   match Engine.current () with
   | Engine.Naive -> iter_representatives_naive ?limit ~stats ~budget sk f
-  | Engine.Packed | Engine.Sat ->
+  | Engine.Packed | Engine.Sat | Engine.Auto ->
       iter_representatives_packed ?limit ~stats ~budget sk f
 
 let count_representatives ?limit ?stats ?budget sk =

@@ -44,6 +44,17 @@ let clear_memory_cache () = Lru.clear ()
 
 type 'a handle = { mutable value : 'a option; mutable force : unit -> unit }
 
+(* Tier-1 devices for the auto engine, attached from above (the triage
+   layer owns the approximation devices; this module only knows their
+   verdict shape).  [Some v] must be exact — the attacher is responsible
+   for sound one-sided clamping — and [None] means "escalate". *)
+type oracle = {
+  o_feasible : unit -> bool option;
+  o_exists_before : int -> int -> bool option;
+  o_must_before : int -> int -> bool option;
+  o_race : int -> int -> bool option;
+}
+
 (* A registered fold, existentially packed.  [visit] uniformly takes the
    pinned order as an option: it is [Some] whenever any fold on the pass
    declared [needs_po], so the (quadratic-ish) [Pinned.po_of_schedule]
@@ -79,6 +90,12 @@ type t = {
   key : Program_key.t Lazy.t;
   mutable reach : Reach.t option;
   mutable encoder : Encode.t option;
+  mutable oracle : oracle option;  (* auto tier 1, set by Triage.attach *)
+  mutable auto_reach : Reach.t option;  (* auto tier 2, under its slice *)
+  mutable auto_encoder : Encode.t option;  (* auto tier 3, under its slice *)
+  mutable auto_enum_budget : Budget.t option;  (* auto tier 4 allotment *)
+  mutable auto_enum_reach : Reach.t option;  (* auto tier 4 race engine *)
+  auto_memo : (char * int * int, bool) Hashtbl.t;
   mutable pending_full : consumer list;  (* reversed registration order *)
   mutable pending_por : consumer list;
   mutable full_stats : (int * bool) option;  (* schedules visited, truncated *)
@@ -101,6 +118,12 @@ let create ?limit ?(jobs = 1) ?stats ?(budget = Budget.unlimited)
     key = lazy (Program_key.of_execution sk.Skeleton.execution);
     reach = None;
     encoder = None;
+    oracle = None;
+    auto_reach = None;
+    auto_encoder = None;
+    auto_enum_budget = None;
+    auto_enum_reach = None;
+    auto_memo = Hashtbl.create 64;
     pending_full = [];
     pending_por = [];
     full_stats = None;
@@ -214,6 +237,301 @@ let exists_race t a b =
         true
     | None -> false
   else Reach.exists_race (reach t) a b
+
+(* ------------------------------------------------------------------ *)
+(* The auto engine: a tiered triage ladder.  Each query tries the
+   attached tier-1 approximation oracle, then the memoized state engine,
+   then the SAT backend, then bounded enumeration — tiers 2–4 each under
+   their own [Budget.sub] slice of the session budget.  A tier that
+   cannot decide (oracle [None], or a slice expiry while the session
+   budget is still alive) escalates to the next; expiry of the session
+   budget itself, or of the final tier, degrades exactly like every
+   other engine (the [_outcome] wrappers below catch it). *)
+
+let auto_engine () = Engine.current () = Engine.Auto
+let set_oracle t o = t.oracle <- Some o
+let has_oracle t = t.oracle <> None
+
+let auto_reach t =
+  match t.auto_reach with
+  | Some r -> r
+  | None ->
+      let b =
+        Budget.sub t.budget ~node_budget:(Config.triage_reach_nodes ()) ()
+      in
+      let r = Reach.create ~stats:t.c ~budget:b t.sk in
+      t.auto_reach <- Some r;
+      r
+
+(* The SAT tier compiles one two-copy-capable formula; past this many
+   events the encoding itself dwarfs the other tiers, so the ladder
+   skips straight to enumeration (no escalation counted: the tier is
+   absent, not defeated). *)
+let auto_sat_cap = 128
+
+let auto_encoder t =
+  if t.sk.Skeleton.n > auto_sat_cap then None
+  else
+    match t.auto_encoder with
+    | Some e -> Some e
+    | None ->
+        let b =
+          Budget.sub t.budget
+            ~conflict_budget:(Config.triage_sat_conflicts ())
+            ()
+        in
+        let e = Encode.build ~stats:t.c ~budget:b (encode_program t.sk) in
+        t.auto_encoder <- Some e;
+        Some e
+
+let auto_enum_budget t =
+  match t.auto_enum_budget with
+  | Some b -> b
+  | None ->
+      let b =
+        Budget.sub t.budget ~node_budget:(Config.triage_enum_nodes ()) ()
+      in
+      t.auto_enum_budget <- Some b;
+      b
+
+let auto_enum_reach t =
+  match t.auto_enum_reach with
+  | Some r -> r
+  | None ->
+      let r = Reach.create ~stats:t.c ~budget:(auto_enum_budget t) t.sk in
+      t.auto_enum_reach <- Some r;
+      r
+
+(* A tier failed to decide.  If the *session* budget is gone this is a
+   real expiry (re-raised, degraded by the outcome layer); otherwise
+   count the escalation and let the caller try the next tier. *)
+let escalate t =
+  Budget.raise_if_exhausted t.budget;
+  Counters.bump t.c Counters.Triage_escalations
+
+let try_tier t f =
+  match f () with v -> Some v | exception Budget.Expired -> escalate t; None
+
+let oracle_verdict t f =
+  match t.oracle with
+  | None -> None
+  | Some o -> (
+      match f o with
+      | Some v ->
+          Counters.bump t.c Counters.Triage_approx_hits;
+          Some v
+      | None ->
+          escalate t;
+          None)
+
+let sat_tier t probe =
+  match auto_encoder t with
+  | None -> None
+  | Some enc -> (
+      match try_tier t (fun () -> probe enc) with
+      | Some v ->
+          Counters.bump t.c Counters.Triage_sat_hits;
+          Some v
+      | None -> None)
+
+let reach_tier t f =
+  match try_tier t (fun () -> f (auto_reach t)) with
+  | Some v ->
+      Counters.bump t.c Counters.Triage_reach_hits;
+      Some v
+  | None -> None
+
+let enum_hit t v =
+  Counters.bump t.c Counters.Triage_enum_hits;
+  v
+
+let memo_pair t kind a b compute =
+  let key = (kind, a, b) in
+  match Hashtbl.find_opt t.auto_memo key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Hashtbl.add t.auto_memo key v;
+      v
+
+(* Tier 4 for the ordering queries: plain bounded schedule enumeration.
+   A completed walk is exact (the search space is finite); a budget trip
+   propagates as [Expired]. *)
+let scan_before schedule a b =
+  let n = Array.length schedule in
+  let rec scan i =
+    if i >= n then false
+    else if schedule.(i) = a then true
+    else if schedule.(i) = b then false
+    else scan (i + 1)
+  in
+  scan 0
+
+let enum_exists_before t a b =
+  let found = ref false in
+  let (_ : int) =
+    Enumerate.iter ~stats:t.c ~budget:(auto_enum_budget t) t.sk
+      (fun schedule ->
+        if scan_before schedule a b then begin
+          found := true;
+          raise Enumerate.Stop
+        end)
+  in
+  !found
+
+let enum_witness_before t a b =
+  let witness = ref None in
+  let (_ : int) =
+    Enumerate.iter ~stats:t.c ~budget:(auto_enum_budget t) t.sk
+      (fun schedule ->
+        if scan_before schedule a b then begin
+          witness := Some (Array.copy schedule);
+          raise Enumerate.Stop
+        end)
+  in
+  !witness
+
+let enum_must_before t a b =
+  let any = ref false and contra = ref false in
+  let (_ : int) =
+    Enumerate.iter ~stats:t.c ~budget:(auto_enum_budget t) t.sk
+      (fun schedule ->
+        any := true;
+        if scan_before schedule b a then begin
+          contra := true;
+          raise Enumerate.Stop
+        end)
+  in
+  !any && not !contra
+
+let enum_feasible t =
+  let any = ref false in
+  let (_ : int) =
+    Enumerate.iter ~stats:t.c ~budget:(auto_enum_budget t) t.sk (fun _ ->
+        any := true;
+        raise Enumerate.Stop)
+  in
+  !any
+
+let auto_exists_before t a b =
+  if a = b then false
+  else
+    memo_pair t 'b' a b @@ fun () ->
+    match oracle_verdict t (fun o -> o.o_exists_before a b) with
+    | Some v -> v
+    | None -> (
+        match reach_tier t (fun r -> Reach.exists_before r a b) with
+        | Some v -> v
+        | None -> (
+            match
+              sat_tier t (fun enc ->
+                  match Encode.exists_before_witness enc a b with
+                  | Some s ->
+                      ignore (certify t.sk s);
+                      true
+                  | None -> false)
+            with
+            | Some v -> v
+            | None -> enum_hit t (enum_exists_before t a b)))
+
+let auto_witness_before t a b =
+  if a = b then None
+  else
+    (* No memo (the witness schedule is not worth retaining) and no
+       oracle tier: the approximations prove bits, not schedules. *)
+    match reach_tier t (fun r -> Reach.witness_before r a b) with
+    | Some w -> w
+    | None -> (
+        match
+          sat_tier t (fun enc ->
+              Option.map (certify t.sk) (Encode.exists_before_witness enc a b))
+        with
+        | Some w -> w
+        | None -> enum_hit t (enum_witness_before t a b))
+
+let auto_feasible_exists t =
+  memo_pair t 'f' 0 0 @@ fun () ->
+  match oracle_verdict t (fun o -> o.o_feasible ()) with
+  | Some v -> v
+  | None -> (
+      match reach_tier t Reach.feasible_exists with
+      | Some v -> v
+      | None -> (
+          match
+            sat_tier t (fun enc ->
+                match Encode.feasible_witness enc with
+                | Some s ->
+                    ignore (certify t.sk s);
+                    true
+                | None -> false)
+          with
+          | Some v -> v
+          | None -> enum_hit t (enum_feasible t)))
+
+let auto_must_before t a b =
+  if a = b then false
+  else
+    memo_pair t 'm' a b @@ fun () ->
+    match oracle_verdict t (fun o -> o.o_must_before a b) with
+    | Some v -> v
+    | None -> (
+        match reach_tier t (fun r -> Reach.must_before r a b) with
+        | Some v -> v
+        | None -> (
+            match
+              sat_tier t (fun enc ->
+                  match Encode.feasible_witness enc with
+                  | None -> false
+                  | Some s -> (
+                      ignore (certify t.sk s);
+                      match Encode.exists_before_witness enc b a with
+                      | Some s' ->
+                          ignore (certify t.sk s');
+                          false
+                      | None -> true))
+            with
+            | Some v -> v
+            | None -> enum_hit t (enum_must_before t a b)))
+
+let auto_exists_race t a b =
+  if a = b then false
+  else
+    memo_pair t 'r' a b @@ fun () ->
+    match oracle_verdict t (fun o -> o.o_race a b) with
+    | Some v -> v
+    | None -> (
+        match reach_tier t (fun r -> Reach.exists_race r a b) with
+        | Some v -> v
+        | None -> (
+            match
+              sat_tier t (fun enc ->
+                  match Encode.race_witness enc a b with
+                  | Some (s1, s2) ->
+                      ignore (certify t.sk s1);
+                      ignore (certify t.sk s2);
+                      true
+                  | None -> false)
+            with
+            | Some v -> v
+            | None ->
+                enum_hit t (Reach.exists_race (auto_enum_reach t) a b)))
+
+(* Route the per-pair primitives through the ladder when the auto
+   engine is selected. *)
+let exists_before t a b =
+  if auto_engine () then auto_exists_before t a b else exists_before t a b
+
+let witness_before t a b =
+  if auto_engine () then auto_witness_before t a b else witness_before t a b
+
+let feasible_exists t =
+  if auto_engine () then auto_feasible_exists t else feasible_exists t
+
+let must_before t a b =
+  if auto_engine () then auto_must_before t a b else must_before t a b
+
+let exists_race t a b =
+  if auto_engine () then auto_exists_race t a b else exists_race t a b
 
 let worker_counters c = if Counters.enabled c then Counters.create () else Counters.null
 
@@ -725,7 +1043,7 @@ let compute_summary_reduced t =
       Counters.time c Counters.T_before (fun () ->
           (* Expiry mid-fill leaves the rows already decided in place:
              a sound under-approximation of the could-have-before bits. *)
-          if sat_engine () then (
+          if sat_engine () || auto_engine () then (
             try fill_before_sat before_some with Budget.Expired -> ())
           else if (not parallel) || n < 2 then (
             try fill_before reach before_some 0 (n - 1)

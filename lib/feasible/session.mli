@@ -155,6 +155,35 @@ val witness_before_outcome : t -> int -> int -> int array option Budget.outcome
 val exists_race_outcome : t -> int -> int -> bool Budget.outcome
 val schedule_count_outcome : t -> int Budget.outcome
 
+(** {2 The auto engine's tier-1 oracle}
+
+    Under [Engine.Auto] every per-pair primitive runs a tiered triage
+    ladder: the attached approximation oracle, then the memoized state
+    engine, then the SAT backend (at [n <= 128]), then bounded
+    enumeration — tiers 2–4 each under their own {!Budget.sub} slice of
+    the session budget ([EO_TRIAGE_REACH_NODES], [EO_TRIAGE_SAT_CONFLICTS],
+    [EO_TRIAGE_ENUM_NODES]).  A tier that cannot decide escalates
+    (counted in [triage_escalations]); answers are counted per tier in
+    the [triage_tier_hits_*] counters; session-budget expiry degrades in
+    the relation's sound direction exactly as under the other engines.
+
+    The oracle itself lives a layer up (the triage library owns the
+    approximation devices); sessions only know the verdict shape.  With
+    no oracle attached the ladder simply starts at tier 2. *)
+
+type oracle = {
+  o_feasible : unit -> bool option;
+  o_exists_before : int -> int -> bool option;
+  o_must_before : int -> int -> bool option;
+  o_race : int -> int -> bool option;
+}
+(** [Some v] must be {e exact} for the session's skeleton (the attacher
+    clamps one-sided devices to their sound direction); [None] means
+    "this tier cannot decide — escalate". *)
+
+val set_oracle : t -> oracle -> unit
+val has_oracle : t -> bool
+
 val encode_program : Skeleton.t -> Encode.program
 (** The projection the SAT backend compiles — exported so the CLI's
     [encode] subcommand can dump the very same formula as DIMACS. *)

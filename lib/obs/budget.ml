@@ -18,6 +18,9 @@ type t = {
   nodes : int Atomic.t;
   conflicts : int Atomic.t;
   tripped : reason option Atomic.t;
+  parent : t option;
+      (* a slice created by [sub] charges every tick to its parent too,
+         and trips as soon as the parent does *)
 }
 
 let unlimited =
@@ -29,6 +32,7 @@ let unlimited =
     nodes = Atomic.make 0;
     conflicts = Atomic.make 0;
     tripped = Atomic.make None;
+    parent = None;
   }
 
 let create ?timeout_ms ?node_budget ?conflict_budget () =
@@ -53,6 +57,15 @@ let create ?timeout_ms ?node_budget ?conflict_budget () =
     nodes = Atomic.make 0;
     conflicts = Atomic.make 0;
     tripped = Atomic.make None;
+    parent = None;
+  }
+
+let sub parent ?node_budget ?conflict_budget () =
+  let slice = create ?node_budget ?conflict_budget () in
+  {
+    slice with
+    deadline = parent.deadline;
+    parent = (if parent.active then Some parent else None);
   }
 
 let is_unlimited t = not t.active
@@ -74,9 +87,14 @@ let clock_stride = 128
 let deadline_passed t =
   t.deadline < infinity && Unix.gettimeofday () > t.deadline
 
-let poll_node t =
+(* A [sub] slice charges every tick to its parent first: the parent's
+   counters account for total spend across all slices, and a parent trip
+   (from any slice, or from outside) trips the slice with the parent's
+   reason, so slice users observe it as their own expiry. *)
+let rec poll_node t =
   t.active
   && (Atomic.get t.tripped <> None
+     || charge_parent t poll_node
      ||
      let n = Atomic.fetch_and_add t.nodes 1 + 1 in
      if n > t.node_limit then (
@@ -87,9 +105,10 @@ let poll_node t =
        true)
      else false)
 
-let poll_conflict t =
+and poll_conflict t =
   t.active
   && (Atomic.get t.tripped <> None
+     || charge_parent t poll_conflict
      ||
      let n = Atomic.fetch_and_add t.conflicts 1 + 1 in
      if n > t.conflict_limit then (
@@ -100,9 +119,18 @@ let poll_conflict t =
        true)
      else false)
 
-let check_now t =
+and charge_parent t poll =
+  match t.parent with
+  | None -> false
+  | Some p ->
+      poll p
+      && (trip t (Option.value (Atomic.get p.tripped) ~default:Deadline);
+          true)
+
+let rec check_now t =
   t.active
   && (Atomic.get t.tripped <> None
+     || charge_parent t check_now
      ||
      if deadline_passed t then (
        trip t Deadline;

@@ -55,6 +55,19 @@ val create :
 (** A fresh budget.  [timeout_ms] is relative to now; all three caps
     must be positive.  @raise Invalid_argument on a non-positive cap. *)
 
+val sub : t -> ?node_budget:int -> ?conflict_budget:int -> unit -> t
+(** A slice of [parent]: an active child budget with its own node and
+    conflict caps that inherits the parent's wall-clock deadline and
+    charges every tick to the parent as well, so the parent's counters
+    see the total spend across all of its slices.  The child trips as
+    soon as the parent does (reporting the parent's reason), but a
+    child tripping on its own caps leaves the parent running — the
+    triage ladder uses this to tell "this tier's slice ran out, try
+    the next tier" ([exhausted child] but not [exhausted parent]) from
+    "the whole query is out of budget" ([exhausted parent], degrade).
+    Slicing {!unlimited} yields a free-standing capped budget.
+    @raise Invalid_argument on a non-positive cap. *)
+
 val is_unlimited : t -> bool
 
 val exhausted : t -> bool

@@ -59,7 +59,7 @@ let cache_dir () =
           Printf.eprintf "warning: %s; on-disk caching disabled\n%!" msg;
           None)
 
-let engine_names = [ "naive"; "packed"; "sat" ]
+let engine_names = [ "naive"; "packed"; "sat"; "auto" ]
 
 let engine_of_string s =
   let name = String.lowercase_ascii (String.trim s) in
@@ -112,6 +112,22 @@ let timeout_ms () =
       | Error msg ->
           Printf.eprintf "warning: %s; no timeout\n%!" msg;
           None)
+
+(* Per-tier effort slices for the auto-engine triage ladder.  Read
+   uncached (like [timeout_ms]): the cram tests shrink them per
+   invocation to force deterministic escalations. *)
+let triage_slice ~var ~default () =
+  lookup ~var ~expected:"a positive integer"
+    ~default_text:(string_of_int default)
+    ~parse:(fun s ->
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> Some v
+      | _ -> None)
+    ~default
+
+let triage_reach_nodes = triage_slice ~var:"EO_TRIAGE_REACH_NODES" ~default:200_000
+let triage_sat_conflicts = triage_slice ~var:"EO_TRIAGE_SAT_CONFLICTS" ~default:200_000
+let triage_enum_nodes = triage_slice ~var:"EO_TRIAGE_ENUM_NODES" ~default:500_000
 
 let reset_for_testing () =
   jobs_memo := None;

@@ -50,8 +50,8 @@ val cache_dir : unit -> string option
 
 val engine_names : string list
 (** The closed list of valid engine names, in documentation order:
-    [["naive"; "packed"; "sat"]].  The CLI help text, the docs and the
-    hygiene script are all checked against this list. *)
+    [["naive"; "packed"; "sat"; "auto"]].  The CLI help text, the docs
+    and the hygiene script are all checked against this list. *)
 
 val engine_of_string : string -> (string, string) result
 (** Pure [EO_ENGINE] parser.  [Ok name] (lowercased, trimmed) only for a
@@ -79,6 +79,24 @@ val timeout_ms : unit -> int option
     {!cache_dir}: a deadline is per-query state.  The CLI [--timeout]
     flag takes precedence via {!resolve}; on expiry the CLI reports
     ["status": "timeout"] and exits with code 3 (see [Budget]). *)
+
+val triage_reach_nodes : unit -> int
+(** [EO_TRIAGE_REACH_NODES] — per-session node slice for the auto
+    engine's reachability tier, default [200_000].  Invalid values warn
+    on [stderr] and keep the default.  Deliberately uncached, like
+    {!timeout_ms}: the cram tests shrink the slice per invocation to
+    force deterministic escalations. *)
+
+val triage_sat_conflicts : unit -> int
+(** [EO_TRIAGE_SAT_CONFLICTS] — per-session solver-conflict slice for
+    the auto engine's SAT tier, default [200_000].  Same contract as
+    {!triage_reach_nodes}. *)
+
+val triage_enum_nodes : unit -> int
+(** [EO_TRIAGE_ENUM_NODES] — per-session node slice for the auto
+    engine's final bounded-enumeration tier, default [500_000].  Same
+    contract as {!triage_reach_nodes}; when this slice expires the
+    query degrades in its sound direction (there is no further tier). *)
 
 val reset_for_testing : unit -> unit
 (** Drop the {!jobs}/{!engine} memos so the next call re-reads the

@@ -28,6 +28,11 @@ type key =
   | Solver_propagations
   | Timeout_expirations
   | Timeout_degraded
+  | Triage_approx_hits
+  | Triage_reach_hits
+  | Triage_sat_hits
+  | Triage_enum_hits
+  | Triage_escalations
 
 let index = function
   | Enum_nodes -> 0
@@ -59,8 +64,13 @@ let index = function
   | Solver_propagations -> 26
   | Timeout_expirations -> 27
   | Timeout_degraded -> 28
+  | Triage_approx_hits -> 29
+  | Triage_reach_hits -> 30
+  | Triage_sat_hits -> 31
+  | Triage_enum_hits -> 32
+  | Triage_escalations -> 33
 
-let n_keys = 29
+let n_keys = 34
 
 let all_keys =
   [ Enum_nodes; Enum_pops; Enum_schedules; Limit_truncations;
@@ -72,7 +82,9 @@ let all_keys =
     Session_queries; Session_passes;
     Cache_memory_hits; Cache_disk_hits; Cache_misses; Cache_stores;
     Encoder_vars; Encoder_clauses; Solver_conflicts; Solver_propagations;
-    Timeout_expirations; Timeout_degraded ]
+    Timeout_expirations; Timeout_degraded;
+    Triage_approx_hits; Triage_reach_hits; Triage_sat_hits;
+    Triage_enum_hits; Triage_escalations ]
 
 let key_name = function
   | Enum_nodes -> "enum_nodes"
@@ -104,6 +116,11 @@ let key_name = function
   | Solver_propagations -> "solver_propagations"
   | Timeout_expirations -> "timeout_expirations"
   | Timeout_degraded -> "timeout_degraded_queries"
+  | Triage_approx_hits -> "triage_tier_hits_approx"
+  | Triage_reach_hits -> "triage_tier_hits_reach"
+  | Triage_sat_hits -> "triage_tier_hits_sat"
+  | Triage_enum_hits -> "triage_tier_hits_enum"
+  | Triage_escalations -> "triage_escalations"
 
 type timer = T_total | T_split | T_enumerate | T_before | T_count
 

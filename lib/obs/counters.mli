@@ -44,6 +44,11 @@ type key =
   | Solver_propagations (** CDCL unit propagations while answering SAT probes *)
   | Timeout_expirations (** searches/probes cut short by a {!Budget} expiry *)
   | Timeout_degraded    (** API answers degraded to [Bound_hit] by a budget *)
+  | Triage_approx_hits  (** auto-engine queries settled by the approx tier *)
+  | Triage_reach_hits   (** auto-engine queries settled by the reach tier *)
+  | Triage_sat_hits     (** auto-engine queries settled by the SAT tier *)
+  | Triage_enum_hits    (** auto-engine queries settled by bounded enumeration *)
+  | Triage_escalations  (** tier attempts that expired and handed the query on *)
 
 type timer =
   | T_total       (** whole analysis *)

@@ -1,0 +1,395 @@
+(* Columnar traces for the streaming million-event path.  See
+   bigtrace.mli. *)
+
+type t = {
+  events : Event.t array;
+  po_preds : int list array;
+  dep_m1 : int array;
+  dep_m2 : int array;
+  outcome : Trace.outcome;
+  violations : int list;
+  var_names : string array;
+  sem_names : string array;
+  ev_names : string array;
+  sem_init : int array;
+  sem_binary : bool array;
+  ev_init : bool array;
+  final_store : (string * int) list;
+  process_names : (int * string) list;
+}
+
+let n_events t = Array.length t.events
+
+(* ------------------------------------------------------------------ *)
+(* Dependence maxima                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per event, the two largest distinct shared-data dependence
+   predecessors ([-1] when absent) — all the prefix-enabledness test
+   needs, without materialising the dependence lists (which are
+   quadratic per hot variable; see Dependence.of_schedule).  Computed
+   in one id-order pass keeping, per variable, its last two writers and
+   last two touchers: the overall top-two predecessors of an event are
+   always among its variables' per-variable top-two. *)
+let dep_maxima ~num_vars events =
+  let n = Array.length events in
+  let m1 = Array.make n (-1) in
+  let m2 = Array.make n (-1) in
+  let w1 = Array.make num_vars (-1) in
+  let w2 = Array.make num_vars (-1) in
+  let t1 = Array.make num_vars (-1) in
+  let t2 = Array.make num_vars (-1) in
+  let consider e c =
+    if c >= 0 && c <> m1.(e) then
+      if c > m1.(e) then begin
+        m2.(e) <- m1.(e);
+        m1.(e) <- c
+      end
+      else if c > m2.(e) then m2.(e) <- c
+  in
+  let push_toucher v e =
+    if t1.(v) <> e then begin
+      t2.(v) <- t1.(v);
+      t1.(v) <- e
+    end
+  in
+  Array.iteri
+    (fun e ev ->
+      (* A read depends on earlier writers; a write on earlier touchers. *)
+      List.iter
+        (fun v ->
+          if v >= 0 && v < num_vars then begin
+            consider e w1.(v);
+            consider e w2.(v)
+          end)
+        ev.Event.reads;
+      List.iter
+        (fun v ->
+          if v >= 0 && v < num_vars then begin
+            consider e t1.(v);
+            consider e t2.(v)
+          end)
+        ev.Event.writes;
+      List.iter
+        (fun v -> if v >= 0 && v < num_vars then push_toucher v e)
+        ev.Event.reads;
+      List.iter
+        (fun v ->
+          if v >= 0 && v < num_vars then begin
+            push_toucher v e;
+            if w1.(v) <> e then begin
+              w2.(v) <- w1.(v);
+              w1.(v) <- e
+            end
+          end)
+        ev.Event.writes)
+    events;
+  (m1, m2)
+
+let dep_pred_max_excluding t ~event ~excluding =
+  if t.dep_m1.(event) = excluding then t.dep_m2.(event) else t.dep_m1.(event)
+
+let po_pred_max t e = List.fold_left max (-1) t.po_preds.(e)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let finish_of_parts ~events ~po_edges ~outcome ~violations ~var_names
+    ~sem_names ~ev_names ~sem_init ~sem_binary ~ev_init ~final_store
+    ~process_names =
+  let n = Array.length events in
+  let po_preds = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        failwith "po edge out of range";
+      po_preds.(b) <- a :: po_preds.(b))
+    po_edges;
+  let dep_m1, dep_m2 = dep_maxima ~num_vars:(Array.length var_names) events in
+  {
+    events;
+    po_preds;
+    dep_m1;
+    dep_m2;
+    outcome;
+    violations;
+    var_names;
+    sem_names;
+    ev_names;
+    sem_init;
+    sem_binary;
+    ev_init;
+    final_store;
+    process_names;
+  }
+
+let make ~events ~po_edges ~outcome ~violations ~var_names ~sem_names
+    ~ev_names ~sem_init ~sem_binary ~ev_init ~final_store ~process_names =
+  finish_of_parts ~events ~po_edges ~outcome ~violations ~var_names ~sem_names
+    ~ev_names ~sem_init ~sem_binary ~ev_init ~final_store ~process_names
+
+let of_trace (tr : Trace.t) =
+  let po_edges = ref [] in
+  Rel.iter (fun a b -> po_edges := (a, b) :: !po_edges) tr.Trace.program_order;
+  finish_of_parts ~events:tr.Trace.events ~po_edges:!po_edges
+    ~outcome:tr.Trace.outcome ~violations:tr.Trace.violations
+    ~var_names:tr.Trace.var_names ~sem_names:tr.Trace.sem_names
+    ~ev_names:tr.Trace.ev_names ~sem_init:tr.Trace.sem_init
+    ~sem_binary:tr.Trace.sem_binary ~ev_init:tr.Trace.ev_init
+    ~final_store:tr.Trace.final_store ~process_names:tr.Trace.process_names
+
+let to_trace t =
+  let n = n_events t in
+  let pairs = ref [] in
+  Array.iteri
+    (fun b preds -> List.iter (fun a -> pairs := (a, b) :: !pairs) preds)
+    t.po_preds;
+  {
+    Trace.events = t.events;
+    program_order = Rel.of_pairs n !pairs;
+    outcome = t.outcome;
+    violations = t.violations;
+    var_names = t.var_names;
+    sem_names = t.sem_names;
+    ev_names = t.ev_names;
+    sem_init = t.sem_init;
+    sem_binary = t.sem_binary;
+    ev_init = t.ev_init;
+    final_store = t.final_store;
+    process_names = t.process_names;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Streaming I/O                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let read path =
+  let outcome = ref None in
+  let var_names = ref [||] in
+  let sem_names = ref [||] in
+  let sem_binary = ref [||] in
+  let ev_names = ref [||] in
+  let sem_init = ref [||] in
+  let ev_init = ref [||] in
+  let processes = ref [] in
+  let events = ref [] in
+  let po_edges = ref [] in
+  let violations = ref [] in
+  let final = ref [] in
+  let saw_header = ref false in
+  Trace_io.fold_lines path
+    (fun () ~lineno line ->
+      match Trace_io.parse_line ~lineno line with
+      | Trace_io.D_blank -> ()
+      | Trace_io.D_header -> saw_header := true
+      | Trace_io.D_outcome o -> outcome := Some o
+      | Trace_io.D_vars names -> var_names := names
+      | Trace_io.D_sems (names, binary) ->
+          sem_names := names;
+          sem_binary := binary
+      | Trace_io.D_events names -> ev_names := names
+      | Trace_io.D_sem_init values -> sem_init := values
+      | Trace_io.D_ev_init values -> ev_init := values
+      | Trace_io.D_process (pid, name) ->
+          processes := (pid, name) :: !processes
+      | Trace_io.D_event e -> events := e :: !events
+      | Trace_io.D_po (a, b) -> po_edges := (a, b) :: !po_edges
+      | Trace_io.D_violation e -> violations := e :: !violations
+      | Trace_io.D_final (x, v) -> final := (x, v) :: !final)
+    ();
+  if not !saw_header then failwith "missing 'eotrace 1' header";
+  let events =
+    List.sort (fun a b -> compare a.Event.id b.Event.id) !events
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i e ->
+      if e.Event.id <> i then failwith "event ids are not dense from 0")
+    events;
+  if Array.length !sem_binary <> Array.length !sem_names then
+    sem_binary := Array.make (Array.length !sem_names) false;
+  finish_of_parts ~events ~po_edges:!po_edges
+    ~outcome:
+      (match !outcome with
+      | Some o -> o
+      | None -> failwith "missing outcome line")
+    ~violations:(List.rev !violations) ~var_names:!var_names
+    ~sem_names:!sem_names ~ev_names:!ev_names ~sem_init:!sem_init
+    ~sem_binary:!sem_binary ~ev_init:!ev_init
+    ~final_store:(List.rev !final) ~process_names:(List.rev !processes)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let line fmt = Printf.ksprintf (fun s -> output_string oc (s ^ "\n")) fmt in
+      line "eotrace 1";
+      (match t.outcome with
+      | Trace.Completed -> line "outcome completed"
+      | Trace.Fuel_exhausted -> line "outcome fuel_exhausted"
+      | Trace.Deadlocked pids ->
+          line "outcome deadlocked %s"
+            (String.concat " " (List.map string_of_int pids)));
+      line "vars %s" (String.concat " " (Array.to_list t.var_names));
+      line "sems %s"
+        (String.concat " "
+           (List.mapi
+              (fun i name -> if t.sem_binary.(i) then name ^ "*" else name)
+              (Array.to_list t.sem_names)));
+      line "events %s" (String.concat " " (Array.to_list t.ev_names));
+      line "sem_init %s"
+        (String.concat " " (List.map string_of_int (Array.to_list t.sem_init)));
+      line "ev_init %s"
+        (String.concat " "
+           (List.map (fun v -> if v then "1" else "0")
+              (Array.to_list t.ev_init)));
+      List.iter (fun (pid, name) -> line "process %d %s" pid name)
+        t.process_names;
+      Array.iter
+        (fun e ->
+          line "event %d %d %d %s %s reads %s writes %s" e.Event.id e.Event.pid
+            e.Event.seq
+            (String.concat " " (Trace_io.kind_tokens e.Event.kind))
+            (Trace_io.quote e.Event.label)
+            (String.concat " " (List.map string_of_int e.Event.reads))
+            (String.concat " " (List.map string_of_int e.Event.writes)))
+        t.events;
+      Array.iteri
+        (fun b preds ->
+          List.iter (fun a -> line "po %d %d" a b) (List.rev preds))
+        t.po_preds;
+      List.iter (fun e -> line "violation %d" e) t.violations;
+      List.iter (fun (x, v) -> line "final %s %d" x v) t.final_store)
+
+(* ------------------------------------------------------------------ *)
+(* Race candidates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Cap_hit
+
+let conflicting_pairs ?(max_candidates = max_int) t =
+  let num_vars = Array.length t.var_names in
+  let pairs : (int * int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let count = ref 0 in
+  let truncated = ref false in
+  let add a b v =
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt pairs key with
+    | Some vars -> vars := v :: !vars
+    | None ->
+        if !count >= max_candidates then begin
+          truncated := true;
+          raise Cap_hit
+        end;
+        incr count;
+        Hashtbl.add pairs key (ref [ v ])
+  in
+  (* Per variable, computation touches seen so far (id order). *)
+  let writers = Array.make num_vars [] in
+  let readers = Array.make num_vars [] in
+  (try
+     Array.iteri
+       (fun e ev ->
+         if Event.is_computation ev then begin
+           let pid = ev.Event.pid in
+           List.iter
+             (fun v ->
+               if v >= 0 && v < num_vars then
+                 List.iter
+                   (fun (w, wpid) -> if wpid <> pid then add w e v)
+                   writers.(v))
+             ev.Event.reads;
+           List.iter
+             (fun v ->
+               if v >= 0 && v < num_vars then begin
+                 List.iter
+                   (fun (w, wpid) -> if wpid <> pid then add w e v)
+                   writers.(v);
+                 List.iter
+                   (fun (r, rpid) -> if rpid <> pid then add r e v)
+                   readers.(v)
+               end)
+             ev.Event.writes;
+           List.iter
+             (fun v ->
+               if v >= 0 && v < num_vars then
+                 readers.(v) <- (e, pid) :: readers.(v))
+             ev.Event.reads;
+           List.iter
+             (fun v ->
+               if v >= 0 && v < num_vars then
+                 writers.(v) <- (e, pid) :: writers.(v))
+             ev.Event.writes
+         end)
+       t.events
+   with Cap_hit -> ());
+  let out =
+    Hashtbl.fold
+      (fun (a, b) vars acc ->
+        (a, b, List.sort_uniq compare !vars) :: acc)
+      pairs []
+  in
+  (List.sort compare out, !truncated)
+
+(* ------------------------------------------------------------------ *)
+(* Replay certification                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Blocked
+
+let sync_step t sem ev e =
+  match t.events.(e).Event.kind with
+  | Event.Computation | Event.Sync (Event.Fork | Event.Join) -> ()
+  | Event.Sync (Event.Sem_p s) ->
+      if sem.(s) <= 0 then raise Blocked;
+      sem.(s) <- sem.(s) - 1
+  | Event.Sync (Event.Sem_v s) ->
+      if t.sem_binary.(s) then sem.(s) <- 1 else sem.(s) <- sem.(s) + 1
+  | Event.Sync (Event.Post v) -> ev.(v) <- true
+  | Event.Sync (Event.Wait v) -> if not ev.(v) then raise Blocked
+  | Event.Sync (Event.Clear v) -> ev.(v) <- false
+
+let observed_replays t =
+  let sem = Array.copy t.sem_init in
+  let ev = Array.copy t.ev_init in
+  let n = n_events t in
+  (* Precedence is forward by construction (ids are in observed order
+     and [finish_of_parts] builds dependence maxima the same way), so
+     the synchronization state is the only thing left to check. *)
+  try
+    let ok = ref true in
+    for b = 0 to n - 1 do
+      ok := !ok && po_pred_max t b < b
+    done;
+    for e = 0 to n - 1 do
+      sync_step t sem ev e
+    done;
+    !ok
+  with Blocked -> false
+
+let certify_swap t a b =
+  (* Replay the observed schedule with [b] hoisted to run back-to-back
+     with [a], in the order [b; a]: prefix unchanged, then [b], then
+     [a], then the rest in observed order.  Both pair events are
+     computations, so only synchronization enabledness can differ — and
+     it cannot, but this runs the actual certificate schedule rather
+     than trusting the argument. *)
+  let n = n_events t in
+  if a < 0 || b < 0 || a >= n || b >= n || a = b then false
+  else
+    let lo, hi = if a < b then (a, b) else (b, a) in
+    let sem = Array.copy t.sem_init in
+    let ev = Array.copy t.ev_init in
+    try
+      for e = 0 to lo - 1 do
+        sync_step t sem ev e
+      done;
+      sync_step t sem ev hi;
+      sync_step t sem ev lo;
+      for e = lo + 1 to n - 1 do
+        if e <> hi then sync_step t sem ev e
+      done;
+      true
+    with Blocked -> false

@@ -25,3 +25,30 @@ val generate_completing : ?max_attempts:int -> config -> seed:int -> Trace.t
 (** Generates programs until one completes under round-robin (discarding
     deadlocking draws) and returns its trace.  Raises [Failure] after
     [max_attempts] (default 1000) consecutive deadlocks. *)
+
+(** {1 Big-trace families}
+
+    Deterministic generators for the streaming path: 10^5–10^6-event
+    traces emitted directly as {!Bigtrace.t} (never through the
+    interpreter or a dense {!Trace.t}).  Each family is built so the
+    tier-1 triage deciders settle every race candidate: handover pairs
+    are refutable by the forced-edge order clock (fresh 0-initialised
+    semaphore with a single V, or fresh event variable with a single
+    Post), and the planted races are provable by prefix-enabledness and
+    replay-certifiable.  Sizes and placements are pure functions of
+    [events] and [seed]. *)
+
+type big_family =
+  | Pc_mesh  (** producer/consumer lanes handing variables over semaphores *)
+  | Server_logs  (** workers publishing logs to a collector via Post/Wait *)
+  | Fork_join  (** a forked tree of children with sibling-pair races *)
+
+val big_family_names : string list
+(** [["pc_mesh"; "server_logs"; "fork_join"]], CLI/doc order. *)
+
+val big_family_of_string : string -> big_family option
+val big_family_to_string : big_family -> string
+
+val big_trace : family:big_family -> events:int -> seed:int -> Bigtrace.t
+(** A trace with exactly [events] events.
+    @raise Invalid_argument when [events < 64]. *)

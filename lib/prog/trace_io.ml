@@ -106,140 +106,216 @@ let int_of lineno s =
   | Some i -> i
   | None -> failwith (Printf.sprintf "line %d: expected integer, got %S" lineno s)
 
-let of_string text =
-  let lines = String.split_on_char '\n' text in
-  let outcome = ref None in
-  let var_names = ref [||] in
-  let sem_names = ref [||] in
-  let sem_binary = ref [||] in
-  let ev_names = ref [||] in
-  let sem_init = ref [||] in
-  let ev_init = ref [||] in
-  let processes = ref [] in
-  let events = ref [] in
-  let po_edges = ref [] in
-  let violations = ref [] in
-  let final = ref [] in
-  let saw_header = ref false in
-  List.iteri
-    (fun idx raw ->
-      let lineno = idx + 1 in
-      let raw =
-        match String.index_opt raw '#' with
-        | Some i when not (String.contains raw '"') -> String.sub raw 0 i
-        | _ -> raw
+(* One parsed line of the eotrace format.  The streaming readers
+   ([load] here and [Bigtrace.read]) consume directives one at a time
+   and never hold the whole file in memory. *)
+type directive =
+  | D_blank
+  | D_header
+  | D_outcome of Trace.outcome
+  | D_vars of string array
+  | D_sems of string array * bool array
+  | D_events of string array
+  | D_sem_init of int array
+  | D_ev_init of bool array
+  | D_process of int * string
+  | D_event of Event.t
+  | D_po of int * int
+  | D_violation of int
+  | D_final of string * int
+
+let parse_line ~lineno raw =
+  let raw =
+    match String.index_opt raw '#' with
+    | Some i when not (String.contains raw '"') -> String.sub raw 0 i
+    | _ -> raw
+  in
+  match tokenize lineno (String.trim raw) with
+  | [] -> D_blank
+  | "eotrace" :: version ->
+      if version <> [ "1" ] then
+        failwith (Printf.sprintf "line %d: unsupported version" lineno);
+      D_header
+  | "outcome" :: rest ->
+      D_outcome
+        (match rest with
+        | [ "completed" ] -> Trace.Completed
+        | [ "fuel_exhausted" ] -> Trace.Fuel_exhausted
+        | "deadlocked" :: pids ->
+            Trace.Deadlocked (List.map (int_of lineno) pids)
+        | _ -> failwith (Printf.sprintf "line %d: bad outcome" lineno))
+  | "vars" :: names -> D_vars (Array.of_list names)
+  | "sems" :: names ->
+      let stripped =
+        List.map
+          (fun n ->
+            match String.length n with
+            | 0 -> (n, false)
+            | len when n.[len - 1] = '*' -> (String.sub n 0 (len - 1), true)
+            | _ -> (n, false))
+          names
       in
-      match tokenize lineno (String.trim raw) with
-      | [] -> ()
-      | "eotrace" :: version ->
-          if version <> [ "1" ] then
-            failwith (Printf.sprintf "line %d: unsupported version" lineno);
-          saw_header := true
-      | "outcome" :: rest ->
-          outcome :=
-            Some
-              (match rest with
-              | [ "completed" ] -> Trace.Completed
-              | [ "fuel_exhausted" ] -> Trace.Fuel_exhausted
-              | "deadlocked" :: pids ->
-                  Trace.Deadlocked (List.map (int_of lineno) pids)
-              | _ -> failwith (Printf.sprintf "line %d: bad outcome" lineno))
-      | "vars" :: names -> var_names := Array.of_list names
-      | "sems" :: names ->
-          let stripped =
-            List.map
-              (fun n ->
-                match String.length n with
-                | 0 -> (n, false)
-                | len when n.[len - 1] = '*' -> (String.sub n 0 (len - 1), true)
-                | _ -> (n, false))
-              names
-          in
-          sem_names := Array.of_list (List.map fst stripped);
-          sem_binary := Array.of_list (List.map snd stripped)
-      | "events" :: names -> ev_names := Array.of_list names
-      | "sem_init" :: values ->
-          sem_init := Array.of_list (List.map (int_of lineno) values)
-      | "ev_init" :: values ->
-          ev_init := Array.of_list (List.map (fun v -> v = "1") values)
-      | [ "process"; pid; name ] ->
-          processes := (int_of lineno pid, name) :: !processes
-      | "event" :: id :: pid :: seq :: rest ->
-          let kind, rest =
-            match rest with
-            | "computation" :: r -> (Event.Computation, r)
-            | "sem_p" :: s :: r -> (Event.Sync (Event.Sem_p (int_of lineno s)), r)
-            | "sem_v" :: s :: r -> (Event.Sync (Event.Sem_v (int_of lineno s)), r)
-            | "post" :: v :: r -> (Event.Sync (Event.Post (int_of lineno v)), r)
-            | "wait" :: v :: r -> (Event.Sync (Event.Wait (int_of lineno v)), r)
-            | "clear" :: v :: r -> (Event.Sync (Event.Clear (int_of lineno v)), r)
-            | "fork" :: r -> (Event.Sync Event.Fork, r)
-            | "join" :: r -> (Event.Sync Event.Join, r)
-            | _ -> failwith (Printf.sprintf "line %d: bad event kind" lineno)
-          in
-          let label, rest =
-            match rest with
-            | label :: r -> (label, r)
-            | [] -> failwith (Printf.sprintf "line %d: missing label" lineno)
-          in
-          let reads, writes =
-            let rec split_rw acc = function
-              | "writes" :: ws -> (List.rev acc, List.map (int_of lineno) ws)
-              | r :: rest -> split_rw (int_of lineno r :: acc) rest
-              | [] -> failwith (Printf.sprintf "line %d: missing writes" lineno)
-            in
-            match rest with
-            | "reads" :: rest -> split_rw [] rest
-            | _ -> failwith (Printf.sprintf "line %d: missing reads" lineno)
-          in
-          events :=
-            Event.make ~id:(int_of lineno id) ~pid:(int_of lineno pid)
-              ~seq:(int_of lineno seq) ~kind ~label ~reads ~writes ()
-            :: !events
-      | [ "po"; a; b ] -> po_edges := (int_of lineno a, int_of lineno b) :: !po_edges
-      | [ "violation"; e ] -> violations := int_of lineno e :: !violations
-      | [ "final"; x; v ] -> final := (x, int_of lineno v) :: !final
-      | tok :: _ ->
-          failwith (Printf.sprintf "line %d: unknown directive %S" lineno tok))
-    lines;
-  if not !saw_header then failwith "missing 'eotrace 1' header";
+      D_sems
+        ( Array.of_list (List.map fst stripped),
+          Array.of_list (List.map snd stripped) )
+  | "events" :: names -> D_events (Array.of_list names)
+  | "sem_init" :: values ->
+      D_sem_init (Array.of_list (List.map (int_of lineno) values))
+  | "ev_init" :: values ->
+      D_ev_init (Array.of_list (List.map (fun v -> v = "1") values))
+  | [ "process"; pid; name ] -> D_process (int_of lineno pid, name)
+  | "event" :: id :: pid :: seq :: rest ->
+      let kind, rest =
+        match rest with
+        | "computation" :: r -> (Event.Computation, r)
+        | "sem_p" :: s :: r -> (Event.Sync (Event.Sem_p (int_of lineno s)), r)
+        | "sem_v" :: s :: r -> (Event.Sync (Event.Sem_v (int_of lineno s)), r)
+        | "post" :: v :: r -> (Event.Sync (Event.Post (int_of lineno v)), r)
+        | "wait" :: v :: r -> (Event.Sync (Event.Wait (int_of lineno v)), r)
+        | "clear" :: v :: r -> (Event.Sync (Event.Clear (int_of lineno v)), r)
+        | "fork" :: r -> (Event.Sync Event.Fork, r)
+        | "join" :: r -> (Event.Sync Event.Join, r)
+        | _ -> failwith (Printf.sprintf "line %d: bad event kind" lineno)
+      in
+      let label, rest =
+        match rest with
+        | label :: r -> (label, r)
+        | [] -> failwith (Printf.sprintf "line %d: missing label" lineno)
+      in
+      let reads, writes =
+        let rec split_rw acc = function
+          | "writes" :: ws -> (List.rev acc, List.map (int_of lineno) ws)
+          | r :: rest -> split_rw (int_of lineno r :: acc) rest
+          | [] -> failwith (Printf.sprintf "line %d: missing writes" lineno)
+        in
+        match rest with
+        | "reads" :: rest -> split_rw [] rest
+        | _ -> failwith (Printf.sprintf "line %d: missing reads" lineno)
+      in
+      D_event
+        (Event.make ~id:(int_of lineno id) ~pid:(int_of lineno pid)
+           ~seq:(int_of lineno seq) ~kind ~label ~reads ~writes ())
+  | [ "po"; a; b ] -> D_po (int_of lineno a, int_of lineno b)
+  | [ "violation"; e ] -> D_violation (int_of lineno e)
+  | [ "final"; x; v ] -> D_final (x, int_of lineno v)
+  | tok :: _ ->
+      failwith (Printf.sprintf "line %d: unknown directive %S" lineno tok)
+
+(* Trace assembly state shared by [of_string] and the streaming [load]:
+   feed directives in file order, then [finish]. *)
+type builder = {
+  mutable outcome : Trace.outcome option;
+  mutable var_names : string array;
+  mutable sem_names : string array;
+  mutable sem_binary : bool array;
+  mutable ev_names : string array;
+  mutable sem_init : int array;
+  mutable ev_init : bool array;
+  mutable processes : (int * string) list;
+  mutable events : Event.t list;
+  mutable po_edges : (int * int) list;
+  mutable violations : int list;
+  mutable final : (string * int) list;
+  mutable saw_header : bool;
+}
+
+let new_builder () =
+  {
+    outcome = None;
+    var_names = [||];
+    sem_names = [||];
+    sem_binary = [||];
+    ev_names = [||];
+    sem_init = [||];
+    ev_init = [||];
+    processes = [];
+    events = [];
+    po_edges = [];
+    violations = [];
+    final = [];
+    saw_header = false;
+  }
+
+let feed b = function
+  | D_blank -> ()
+  | D_header -> b.saw_header <- true
+  | D_outcome o -> b.outcome <- Some o
+  | D_vars names -> b.var_names <- names
+  | D_sems (names, binary) ->
+      b.sem_names <- names;
+      b.sem_binary <- binary
+  | D_events names -> b.ev_names <- names
+  | D_sem_init values -> b.sem_init <- values
+  | D_ev_init values -> b.ev_init <- values
+  | D_process (pid, name) -> b.processes <- (pid, name) :: b.processes
+  | D_event e -> b.events <- e :: b.events
+  | D_po (x, y) -> b.po_edges <- (x, y) :: b.po_edges
+  | D_violation e -> b.violations <- e :: b.violations
+  | D_final (x, v) -> b.final <- (x, v) :: b.final
+
+let finish b =
+  if not b.saw_header then failwith "missing 'eotrace 1' header";
   let events =
-    List.sort (fun a b -> compare a.Event.id b.Event.id) !events
+    List.sort (fun a b -> compare a.Event.id b.Event.id) b.events
     |> Array.of_list
   in
   Array.iteri
     (fun i e ->
       if e.Event.id <> i then failwith "event ids are not dense from 0")
     events;
-  let program_order = Rel.of_pairs (Array.length events) !po_edges in
-  if Array.length !sem_binary <> Array.length !sem_names then
-    sem_binary := Array.make (Array.length !sem_names) false;
+  let program_order = Rel.of_pairs (Array.length events) b.po_edges in
+  let sem_binary =
+    if Array.length b.sem_binary <> Array.length b.sem_names then
+      Array.make (Array.length b.sem_names) false
+    else b.sem_binary
+  in
   {
     Trace.events;
     program_order;
     outcome =
-      (match !outcome with
+      (match b.outcome with
       | Some o -> o
       | None -> failwith "missing outcome line");
-    violations = List.rev !violations;
-    var_names = !var_names;
-    sem_names = !sem_names;
-    ev_names = !ev_names;
-    sem_init = !sem_init;
-    sem_binary = !sem_binary;
-    ev_init = !ev_init;
-    final_store = List.rev !final;
-    process_names = List.rev !processes;
+    violations = List.rev b.violations;
+    var_names = b.var_names;
+    sem_names = b.sem_names;
+    ev_names = b.ev_names;
+    sem_init = b.sem_init;
+    sem_binary;
+    ev_init = b.ev_init;
+    final_store = List.rev b.final;
+    process_names = List.rev b.processes;
   }
+
+let of_string text =
+  let b = new_builder () in
+  List.iteri
+    (fun idx raw -> feed b (parse_line ~lineno:(idx + 1) raw))
+    (String.split_on_char '\n' text);
+  finish b
 
 let save path t =
   let oc = open_out path in
   output_string oc (to_string t);
   close_out oc
 
-let load path =
+(* Streams the file line by line: peak memory is one line plus the
+   builder's accumulated events, never the whole file as one string —
+   the difference between loading a 10^6-event trace and an OOM.  Error
+   behaviour (messages, line numbers) is identical to [of_string]. *)
+let fold_lines path f init =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  of_string text
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc lineno =
+        match In_channel.input_line ic with
+        | None -> acc
+        | Some line -> go (f acc ~lineno line) (lineno + 1)
+      in
+      go init 1)
+
+let load path =
+  let b = new_builder () in
+  fold_lines path (fun () ~lineno line -> feed b (parse_line ~lineno line)) ();
+  finish b

@@ -31,3 +31,44 @@ val save : string -> Trace.t -> unit
 (** [save path trace] writes the trace to a file. *)
 
 val load : string -> Trace.t
+(** Reads the file {e line by line} (peak memory: one line plus the
+    accumulated trace, never the whole file as one string), with the
+    exact same error/line-number contract as {!of_string}. *)
+
+(** {1 Streaming parser core}
+
+    The building blocks [load] is made of, exposed so other readers of
+    the same format — notably [Bigtrace.read], which assembles a
+    columnar representation instead of a {!Trace.t} — parse each line
+    identically (same tokenizer, same diagnostics) without duplicating
+    the grammar. *)
+
+type directive =
+  | D_blank  (** empty or comment-only line *)
+  | D_header  (** [eotrace 1] *)
+  | D_outcome of Trace.outcome
+  | D_vars of string array
+  | D_sems of string array * bool array  (** names, binary flags *)
+  | D_events of string array  (** event-variable names *)
+  | D_sem_init of int array
+  | D_ev_init of bool array
+  | D_process of int * string
+  | D_event of Event.t
+  | D_po of int * int
+  | D_violation of int
+  | D_final of string * int
+
+val parse_line : lineno:int -> string -> directive
+(** Parses one raw line (comment stripping and quote-aware tokenizing
+    included).  Raises [Failure] with a ["line %d: ..."] message on
+    malformed input — the shared diagnostic contract. *)
+
+val fold_lines : string -> ('a -> lineno:int -> string -> 'a) -> 'a -> 'a
+(** [fold_lines path f init] folds [f] over the file's lines (1-based
+    line numbers) without ever materialising the whole file. *)
+
+val quote : string -> string
+(** The format's string quoting, shared with the streaming writer. *)
+
+val kind_tokens : Event.kind -> string list
+(** The event-kind token spelling, shared with the streaming writer. *)

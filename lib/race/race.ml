@@ -40,12 +40,86 @@ let skeleton_without_pair x e1 e2 =
   Rel.remove dependences e2 e1;
   Skeleton.of_execution { x with Execution.dependences }
 
+(* The auto engine's per-pair ladder on a modified skeleton: the tier-1
+   oracle (a po+sync-only clock plus the replay-certified prefix-enabled
+   certificate — both sound on dep-dropped skeletons), then the state
+   engine, the SAT backend and an enumeration-scale state search, each
+   under its own [Budget.sub] slice.  A slice expiry escalates while the
+   caller's budget is alive; real expiry degrades to "no race" in the
+   caller's [expired] direction. *)
+let auto_sat_cap = 128
+
+let auto_is_feasible_race ~tier1 ~stats ~budget ~expired x sk e1 e2 =
+  let escalate () =
+    if Budget.exhausted budget then None
+    else begin
+      Counters.bump stats Counters.Triage_escalations;
+      Some ()
+    end
+  in
+  let reach_tier node_budget hit =
+    let slice = Budget.sub budget ~node_budget () in
+    let reach = Reach.create ~stats ~budget:slice sk in
+    let v = try Some (Reach.exists_race reach e1 e2) with Budget.Expired -> None in
+    Reach.stats_commit reach;
+    Option.iter (fun _ -> Counters.bump stats hit) v;
+    v
+  in
+  let sat_tier () =
+    if sk.Skeleton.n > auto_sat_cap then None
+    else begin
+      let slice =
+        Budget.sub budget ~conflict_budget:(Config.triage_sat_conflicts ()) ()
+      in
+      match Session.sat_exists_race ~stats ~budget:slice sk e1 e2 with
+      | v ->
+          Counters.bump stats Counters.Triage_sat_hits;
+          Some v
+      | exception Budget.Expired -> None
+    end
+  in
+  let oracle = match tier1 with Some f -> f | None -> Triage.race_oracle x in
+  match oracle sk e1 e2 with
+  | Some v ->
+      Counters.bump stats Counters.Triage_approx_hits;
+      v
+  | None -> (
+      match escalate () with
+      | None -> expired ()
+      | Some () -> (
+          match
+            reach_tier (Config.triage_reach_nodes ()) Counters.Triage_reach_hits
+          with
+          | Some v -> v
+          | None -> (
+              match escalate () with
+              | None -> expired ()
+              | Some () -> (
+                  match sat_tier () with
+                  | Some v -> v
+                  | None -> (
+                      (* The SAT tier is absent past the size gate; only a
+                         defeated tier counts an escalation. *)
+                      match
+                        if sk.Skeleton.n > auto_sat_cap then Some ()
+                        else escalate ()
+                      with
+                      | None -> expired ()
+                      | Some () -> (
+                          match
+                            reach_tier
+                              (Config.triage_enum_nodes ())
+                              Counters.Triage_enum_hits
+                          with
+                          | Some v -> v
+                          | None -> expired ()))))))
+
 (* One candidate pair.  Without a [limit] the memoized state engine
    decides it; with one, the reference path — capped schedule enumeration
    plus pinned-order incomparability — runs instead (the uniform [?limit]
    semantics: capped enumeration, sound under-reporting). *)
 let is_feasible_race ?limit ?(stats = Counters.null)
-    ?(budget = Budget.unlimited) x e1 e2 =
+    ?(budget = Budget.unlimited) ?tier1 x e1 e2 =
   let sk = skeleton_without_pair x e1 e2 in
   (* Budget expiry degrades a pair to "no race" — the same sound
      under-reporting direction as [?limit]'s capped enumeration. *)
@@ -55,7 +129,9 @@ let is_feasible_race ?limit ?(stats = Counters.null)
   in
   match limit with
   | None ->
-      if Engine.current () = Engine.Sat then (
+      if Engine.current () = Engine.Auto then
+        auto_is_feasible_race ~tier1 ~stats ~budget ~expired x sk e1 e2
+      else if Engine.current () = Engine.Sat then (
         try Session.sat_exists_race ~stats ~budget sk e1 e2
         with Budget.Expired -> expired ())
       else begin
@@ -100,11 +176,19 @@ let compute_feasible ?limit ~jobs ?stats ?(budget = Budget.unlimited) x =
      whatever [jobs] is — worker counters merge in candidate order and
      every counter (memo statistics included) is identical to the
      sequential run's. *)
+  (* Under the auto engine the tier-1 devices (clock, observed replay)
+     are shared across candidates: built once here, consulted by every
+     per-pair decision (they are immutable after construction, so the
+     parallel fan-out shares them safely). *)
+  let tier1 =
+    if Engine.current () = Engine.Auto then Some (Triage.race_oracle x)
+    else None
+  in
   let verdicts =
     Parallel.map ?telemetry:stats ~budget ~jobs
       (fun r ->
         let wc = if Counters.enabled c then Counters.create () else Counters.null in
-        let v = is_feasible_race ?limit ~stats:wc ~budget x r.e1 r.e2 in
+        let v = is_feasible_race ?limit ~stats:wc ~budget ?tier1 x r.e1 r.e2 in
         (v, wc))
       candidates
   in

@@ -56,6 +56,7 @@ val feasible_races :
 
 val is_feasible_race :
   ?limit:int -> ?stats:Counters.t -> ?budget:Budget.t ->
+  ?tier1:(Skeleton.t -> int -> int -> bool option) ->
   Execution.t -> int -> int -> bool
 (** Decide a single candidate pair.  Default: the state engine
     ({!Reach.exists_race}).  With [?limit]: the enumeration reference
@@ -63,7 +64,14 @@ val is_feasible_race :
     incomparability — which can only under-report; the differential
     tests cross-validate the two.  [?budget] expiry degrades the pair to
     [false] (sound under-report, bumping [timeout_expirations]) — never
-    an exception. *)
+    an exception.
+
+    Under [Engine.Auto] the pair runs the triage ladder instead: the
+    tier-1 oracle ([?tier1], e.g. {!Triage.race_oracle} — built fresh
+    when omitted), then the state engine, the SAT backend and an
+    enumeration-scale search, tiers 2–4 each under their own
+    [Budget.sub] slice, escalating while the caller's budget is alive
+    (counted in the [triage_*] counters). *)
 
 val race_witness : Execution.t -> int -> int -> (int array * int array) option
 (** Two feasible schedules sharing a prefix and running the pair in

@@ -89,5 +89,5 @@ of silently running the default:
   'P(s)' CCW 'V(s)': false
 
   $ EO_ENGINE=frobnicate eventorder analyze prodcons.eo
-  error: rejecting EO_ENGINE="frobnicate" (valid engines: naive, packed, sat)
+  error: rejecting EO_ENGINE="frobnicate" (valid engines: naive, packed, sat, auto)
   [2]

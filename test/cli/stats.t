@@ -122,7 +122,12 @@ normalized to "T" and everything else is locked exactly.
         "solver_conflicts": 0,
         "solver_propagations": 0,
         "timeout_expirations": 0,
-        "timeout_degraded_queries": 0
+        "timeout_degraded_queries": 0,
+        "triage_tier_hits_approx": 0,
+        "triage_tier_hits_reach": 0,
+        "triage_tier_hits_sat": 0,
+        "triage_tier_hits_enum": 0,
+        "triage_escalations": 0
       },
       "timers_s": {
         "total": T,
@@ -206,7 +211,12 @@ The races schema:
         "solver_conflicts": 0,
         "solver_propagations": 0,
         "timeout_expirations": 0,
-        "timeout_degraded_queries": 0
+        "timeout_degraded_queries": 0,
+        "triage_tier_hits_approx": 0,
+        "triage_tier_hits_reach": 0,
+        "triage_tier_hits_sat": 0,
+        "triage_tier_hits_enum": 0,
+        "triage_escalations": 0
       },
       "timers_s": {
         "total": T,
@@ -261,4 +271,9 @@ Text mode appends a human-readable table instead:
     solver_propagations      0
     timeout_expirations      0
     timeout_degraded_queries 0
+    triage_tier_hits_approx  0
+    triage_tier_hits_reach   0
+    triage_tier_hits_sat     0
+    triage_tier_hits_enum    0
+    triage_escalations       0
     timers (s): total=T split=T enumerate=T happened_before=T schedule_count=T

@@ -1,0 +1,99 @@
+The tiered triage pipeline behind --engine auto: queries try the
+polynomial one-sided deciders first and escalate only undecided
+survivors through reachability, SAT and bounded enumeration, each tier
+under its own budget slice.  The --stats counters expose where every
+query settled, which is what this test locks.
+
+A hidden race the observed schedule cannot certify at tier 1: the
+helper's V could have served the P instead, so deciding the pair needs
+the reach tier — one escalation, one reach hit.
+
+  $ cat > racy.eo <<'EOF'
+  > sem s = 0
+  > proc writer { x := 1; v(s) }
+  > proc helper { v(s) }
+  > proc reader { p(s); x := 2 }
+  > EOF
+
+  $ eventorder races --engine auto racy.eo
+  candidate conflicting pairs: 1
+    race between x := 1 (event 0) and x := 2 (event 4) on v0
+  apparent races (vector clock): 1
+    race between x := 1 (event 0) and x := 2 (event 4) on v0
+  feasible races (exact): 1
+    race between x := 1 (event 0) and x := 2 (event 4) on v0
+  first races (debugging frontier): 1
+    race between x := 1 (event 0) and x := 2 (event 4) on v0
+
+  $ eventorder races --engine auto --stats --format json racy.eo | grep triage
+        "triage_tier_hits_approx": 0,
+        "triage_tier_hits_reach": 1,
+        "triage_tier_hits_sat": 0,
+        "triage_tier_hits_enum": 0,
+        "triage_escalations": 1
+
+The engine also comes from the environment, like every other engine
+name:
+
+  $ EO_ENGINE=auto eventorder races racy.eo | tail -2
+  first races (debugging frontier): 1
+    race between x := 1 (event 0) and x := 2 (event 4) on v0
+
+Starving the reach tier (EO_TRIAGE_REACH_NODES is read per query) must
+escalate — never degrade: the SAT tier picks the query up and the race
+set is unchanged.
+
+  $ EO_TRIAGE_REACH_NODES=1 eventorder races --engine auto --stats --format json racy.eo > starved.json
+  $ grep triage starved.json
+        "triage_tier_hits_approx": 0,
+        "triage_tier_hits_reach": 0,
+        "triage_tier_hits_sat": 1,
+        "triage_tier_hits_enum": 0,
+        "triage_escalations": 2
+  $ EO_TRIAGE_REACH_NODES=1 eventorder races --engine auto racy.eo | tail -2
+  first races (debugging frontier): 1
+    race between x := 1 (event 0) and x := 2 (event 4) on v0
+
+The streaming path: `gen` emits a seeded trace family, and past
+--max-events the auto engine answers from the columnar reader without
+ever materialising an event-pair matrix.  Every planted race in the
+fork/join family is certified by replaying both orders; every benign
+pair is refuted by the forced-order clock; nothing is undecided.
+
+  $ eventorder gen --family fork_join --events 256 --seed 1 -o fj.eotrace
+  wrote fj.eotrace: 256 events (fork_join, seed 1)
+
+  $ eventorder races --engine auto fj.eotrace | head -6
+  events: 256
+  candidate conflicting pairs: 39
+  refuted by forced-order clock: 16
+  undecided at streaming scale: 0
+  certified races (replayed both orders): 23
+    race between race (event 34) and race (event 35) on v25
+
+  $ eventorder races --engine auto --stats --format json fj.eotrace | grep triage
+        "triage_tier_hits_approx": 39,
+        "triage_tier_hits_reach": 0,
+        "triage_tier_hits_sat": 0,
+        "triage_tier_hits_enum": 0,
+        "triage_escalations": 0
+
+A deadline on the streaming path degrades gracefully: partial counts
+are timing-dependent, so only the stable surface is locked — the
+"timeout" status, the truncation flag and the degraded exit code.
+
+  $ eventorder gen --family pc_mesh --events 20000 --seed 2 -o pc.eotrace
+  wrote pc.eotrace: 20000 events (pc_mesh, seed 2)
+
+  $ eventorder races --engine auto --timeout 1 --format json pc.eotrace > out.json
+  [3]
+  $ grep -E '"(schema|status|truncated)"' out.json
+    "schema": "eventorder.races_stream/1",
+    "status": "timeout",
+    "truncated": true,
+
+Generator input validation:
+
+  $ eventorder gen --family pc_mesh --events 10 -o tiny.eotrace
+  error: --events must be at least 64 (got 10)
+  [2]

@@ -104,6 +104,25 @@ require '\*\*3\*\*' README.md "exit-code-3 documentation"
 require 'Timeout_expirations' lib/obs/counters.ml "timeout counters"
 echo "hygiene: timeout vocabulary agrees across config, CLI and docs"
 
+# Triage-vocabulary consistency: the auto engine's tier slices and
+# counters are one contract spoken in config, counters, docs and the
+# streaming CLI — a rename in any one place must fail loudly here.
+for knob in EO_TRIAGE_REACH_NODES EO_TRIAGE_SAT_CONFLICTS EO_TRIAGE_ENUM_NODES; do
+  require "$knob" lib/obs/config.ml "$knob parser"
+  require "$knob" docs/ANALYSES.md "$knob documentation"
+done
+for ctr in Triage_approx_hits Triage_reach_hits Triage_sat_hits \
+           Triage_enum_hits Triage_escalations; do
+  require "$ctr" lib/obs/counters.ml "$ctr counter"
+done
+for name in triage_tier_hits_approx triage_tier_hits_reach \
+            triage_tier_hits_sat triage_tier_hits_enum triage_escalations; do
+  require "$name" lib/obs/counters.ml "$name counter name"
+  require "$name" docs/PROTOCOL.md "$name protocol documentation"
+done
+require 'races_stream' bin/eventorder.ml "streaming races schema emitter"
+echo "hygiene: triage vocabulary agrees across config, counters and docs"
+
 # Schema inventory: every eventorder.*/N document the code can emit
 # must be named in docs/PROTOCOL.md — a new (or renamed) schema without
 # wire documentation fails here, and so does an error code the protocol
