@@ -1035,6 +1035,102 @@ let e22_triage () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E23 — Memory models: per-model triage tier hit rates at scale       *)
+(* ------------------------------------------------------------------ *)
+
+(* The pluggable-model claim, measured: relaxing the model (sc → tso →
+   pso) weakens the tier-1 forced-order clock in the sound direction
+   only — fewer refutations, never a wrong one — and the tier-hit
+   counters say how much of the streaming workload each model still
+   settles at tier 1.  Rows land in BENCH_exact_engine.json with kind
+   "memmodel"; the sc row is cross-checked bit-for-bit against a run
+   with the model left untouched (the legacy path). *)
+let e23_memmodel () =
+  header "E23  Memory models: per-model triage tier hit rates";
+  let events = if quick then 20_000 else 200_000 in
+  let saved_model = Memmodel.current () in
+  let family = Progen.Fork_join in
+  let name = Progen.big_family_to_string family in
+  let big = Workloads.big_trace family ~events in
+  let run () =
+    let c = Counters.create () in
+    let r, t = Harness.time_once (fun () -> Triage.races_big ~stats:c big) in
+    (r, c, t)
+  in
+  let legacy, _, _ = run () in
+  let rows =
+    List.map
+      (fun model ->
+        Memmodel.set model;
+        let r, c, t_triage = run () in
+        Memmodel.set saved_model;
+        let m = Memmodel.to_string model in
+        let approx = Counters.get c Counters.Triage_approx_hits in
+        expect_exact
+          (Printf.sprintf "%s/%s accounting identity" name m)
+          r.Triage.candidates
+          (r.Triage.refuted + r.Triage.certified + r.Triage.undecided);
+        expect_exact
+          (Printf.sprintf "%s/%s refutes no more than the legacy clock" name m)
+          1
+          (if r.Triage.refuted <= legacy.Triage.refuted then 1 else 0);
+        if model = Memmodel.Sc then
+          expect_exact
+            (Printf.sprintf "%s/sc bit-identical to the legacy path" name)
+            1
+            (if
+               r.Triage.refuted = legacy.Triage.refuted
+               && r.Triage.certified = legacy.Triage.certified
+               && r.Triage.undecided = legacy.Triage.undecided
+             then 1
+             else 0);
+        exact_json
+          {|    {"kind": "memmodel", "family": %S, "model": %S, "events": %d, "candidates": %d, "refuted": %d, "certified": %d, "undecided": %d, "tier1_hits": %d, "triage_s": %.6f}|}
+          name m events r.Triage.candidates r.Triage.refuted
+          r.Triage.certified r.Triage.undecided approx t_triage;
+        [
+          name; m; string_of_int events;
+          string_of_int r.Triage.candidates;
+          string_of_int r.Triage.refuted;
+          string_of_int r.Triage.certified;
+          string_of_int r.Triage.undecided;
+          string_of_int approx;
+          Harness.time_string t_triage;
+        ])
+      Memmodel.all
+  in
+  Memmodel.set saved_model;
+  (* The consistency checker's litmus matrix doubles as a cross-check:
+     a drift in the rf/co semantics fails the bench run, not just the
+     unit suite. *)
+  List.iter
+    (fun (shape, c, expected) ->
+      List.iter
+        (fun (model, want) ->
+          let got =
+            match Candidate.check ~model c with
+            | Candidate.Consistent _ -> true
+            | Candidate.Inconsistent _ -> false
+          in
+          expect_exact
+            (Printf.sprintf "litmus %s under %s" shape
+               (Memmodel.to_string model))
+            (if want then 1 else 0)
+            (if got then 1 else 0))
+        (List.combine Memmodel.all expected);
+      ignore c)
+    [
+      ("SB", Litmus.sb (), [ false; true; true ]);
+      ("MP", Litmus.mp (), [ false; false; true ]);
+    ];
+  Harness.table
+    ~title:"per-model streaming triage (fork_join; sc = legacy bit-for-bit)"
+    ~header:
+      [ "family"; "model"; "events"; "candidates"; "refuted"; "certified";
+        "undecided"; "tier1"; "triage" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* E16 — Scorecard: the paper's qualitative claims, checked in one go  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1152,6 +1248,7 @@ let () =
     e20_sessions ();
     e21_sat_engine ();
     e22_triage ();
+    e23_memmodel ();
     write_exact_engine_json ();
     e16_scorecard ()
   end
@@ -1173,6 +1270,7 @@ let () =
     e20_sessions ();
     e21_sat_engine ();
     e22_triage ();
+    e23_memmodel ();
     write_exact_engine_json ();
     e15_explore ();
     e17_sat_substrate ();

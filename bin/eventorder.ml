@@ -5,6 +5,7 @@
      report     one-shot comprehensive analysis of a program or trace
      explore    all executions of a loop-free program (counts, finals)
      order      decide the relations for one labelled pair, with a witness
+     consistent decide rf/co consistency under a memory model, with witness
      schedules  count feasible schedules / states, check for deadlocks
      races      report apparent and feasible data races
      taskgraph  Emrath-Ghosh-Padua task-graph claims vs the exact engine
@@ -139,6 +140,42 @@ let resolve_engine ?(json = false) = function
           | Ok name -> (
               match Engine.of_string name with
               | Some e -> Engine.set e
+              | None -> ())
+          | Error msg -> die_error ~json "%s" msg))
+
+let model_arg =
+  let doc =
+    "Memory model governing which program-order edges every feasible \
+     schedule must respect: 'sc' (sequential consistency, the paper's \
+     F1-F3 semantics, the default), 'tso' (total store order: a pure \
+     write may be delayed past later reads of its own process), or \
+     'pso' (partial store order: a pure write may additionally be \
+     delayed past later independent writes).  Synchronization events \
+     fence under every model, and program-ordered accesses of the same \
+     variable stay ordered (per-location coherence).  Overrides the \
+     EO_MODEL environment variable."
+  in
+  Arg.(value & opt (some string) None & info [ "model" ] ~docv:"MODEL" ~doc)
+
+(* Precedence: --model flag > EO_MODEL > sc, mirroring [resolve_engine].
+   The flag is deliberately a raw string validated here rather than a
+   cmdliner enum: an unknown model must die with exit 2 and the model
+   vocabulary on the JSON surface too. *)
+let resolve_model ?(json = false) = function
+  | Some s -> (
+      match Memmodel.of_string s with
+      | Some m -> Memmodel.set m
+      | None ->
+          die_error ~json "unknown --model %S (valid models: %s)" s
+            (String.concat ", " Config.model_names))
+  | None -> (
+      match Sys.getenv_opt "EO_MODEL" with
+      | None | Some "" -> ()
+      | Some s -> (
+          match Config.model_of_string s with
+          | Ok name -> (
+              match Memmodel.of_string name with
+              | Some m -> Memmodel.set m
               | None -> ())
           | Error msg -> die_error ~json "%s" msg))
 
@@ -302,11 +339,12 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "reduced" ] ~doc)
   in
-  let run file policy limit timeout max_events reduced all jobs engine
+  let run file policy limit timeout max_events reduced all jobs engine model
       collect fmt cache =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
     resolve_engine ~json engine;
+    resolve_model ~json model;
     let budget = resolve_budget ~json timeout in
     let trace = load_trace ~json file policy in
     if not json then Format.printf "%a@." Trace.pp trace;
@@ -414,7 +452,7 @@ let analyze_cmd =
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ timeout_arg
       $ max_events_arg $ reduced_arg $ all_arg $ jobs_arg $ engine_arg
-      $ stats_arg $ format_arg $ cache_arg)
+      $ model_arg $ stats_arg $ format_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schedules                                                           *)
@@ -504,12 +542,48 @@ let races_cmd =
                exhibit it." in
     Arg.(value & flag & info [ "witness" ] ~doc)
   in
+  let stream_query_arg =
+    let doc =
+      "Answer one per-pair ordering query on the streaming path, REL:A:B \
+       with REL 'mhb' (must happen before) or 'chb' (could happen \
+       before) and A, B numeric event ids of the trace.  Repeatable.  \
+       Queries are answered by the tier-1 devices only, so each verdict \
+       is true, false, or unknown (undecided at streaming scale)."
+    in
+    Arg.(value & opt_all string [] & info [ "query" ] ~docv:"REL:A:B" ~doc)
+  in
   (* The streaming path: under the auto engine a saved trace bigger than
      --max-events is not rejected but routed through the columnar
      reader and the tier-1 triage pipeline — linear in the trace, every
      reported race replay-certified, undecided candidates surfaced
      rather than silently dropped. *)
-  let run_streaming ~json ~fmt ~jobs ~budget ~witness ~collect big =
+  let run_streaming ~json ~fmt ~jobs ~budget ~witness ~collect ~queries big =
+    let parse_query q =
+      let bad () =
+        die_error ~json
+          "--query expects REL:A:B with REL one of mhb, chb and A, B \
+           numeric event ids (got %S)"
+          q
+      in
+      match String.split_on_char ':' q with
+      | [ rel; a; b ] -> (
+          let rel =
+            match String.lowercase_ascii rel with
+            | "mhb" -> Some Triage.S_mhb
+            | "chb" -> Some Triage.S_chb
+            | _ -> None
+          in
+          match (rel, int_of_string_opt a, int_of_string_opt b) with
+          | Some rel, Some a, Some b ->
+              let n = Bigtrace.n_events big in
+              if a < 0 || a >= n || b < 0 || b >= n then
+                die_error ~json
+                  "--query %S: event ids must be in [0, %d)" q n;
+              (rel, a, b)
+          | _ -> bad ())
+      | _ -> bad ()
+    in
+    let queries = List.map parse_query queries in
     if witness then
       Format.eprintf
         "note: --witness is unavailable on the streaming path (the \
@@ -526,7 +600,16 @@ let races_cmd =
       | Some tel -> Telemetry.counters tel
       | None -> Counters.null
     in
-    let report = Triage.races_big ~stats:c ~budget big in
+    let report = Triage.races_big ~stats:c ~budget ~jobs ~queries big in
+    let rel_name = function
+      | Triage.S_mhb -> "mhb"
+      | Triage.S_chb -> "chb"
+    in
+    let verdict_string = function
+      | Some true -> "true"
+      | Some false -> "false"
+      | None -> "unknown"
+    in
     (match fmt with
     | `Json ->
         let races =
@@ -557,9 +640,34 @@ let races_cmd =
                  ("undecided", Jsonout.Int report.Triage.undecided);
                  ("races", races);
                ]
+             @ (match report.Triage.answers with
+               | [] -> []
+               | answers ->
+                   [
+                     ( "queries",
+                       Jsonout.List
+                         (List.map
+                            (fun (a : Triage.stream_answer) ->
+                              Jsonout.Obj
+                                [
+                                  ("relation", Jsonout.Str (rel_name a.Triage.q_rel));
+                                  ("before", Jsonout.Int a.Triage.q_a);
+                                  ("after", Jsonout.Int a.Triage.q_b);
+                                  ( "verdict",
+                                    Jsonout.Str (verdict_string a.Triage.q_verdict)
+                                  );
+                                ])
+                            answers) );
+                   ])
              @ stats_field stats))
     | `Text ->
         Format.printf "events: %d@." report.Triage.events;
+        List.iter
+          (fun (a : Triage.stream_answer) ->
+            Format.printf "query %s(%d, %d): %s@."
+              (rel_name a.Triage.q_rel) a.Triage.q_a a.Triage.q_b
+              (verdict_string a.Triage.q_verdict))
+          report.Triage.answers;
         Format.printf "candidate conflicting pairs: %d%s@."
           report.Triage.candidates
           (if report.Triage.truncated then " (truncated)" else "");
@@ -582,11 +690,12 @@ let races_cmd =
         print_stats_text stats);
     finish_budget ~json budget
   in
-  let run file policy limit timeout max_events witness jobs engine collect
-      fmt cache =
+  let run file policy limit timeout max_events witness jobs engine model
+      queries collect fmt cache =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
     resolve_engine ~json engine;
+    resolve_model ~json model;
     let budget = resolve_budget ~json timeout in
     let streaming =
       if
@@ -604,8 +713,14 @@ let races_cmd =
       else None
     in
     match streaming with
-    | Some big -> run_streaming ~json ~fmt ~jobs ~budget ~witness ~collect big
+    | Some big ->
+        run_streaming ~json ~fmt ~jobs ~budget ~witness ~collect ~queries big
     | None ->
+    if queries <> [] then
+      die_error ~json
+        "--query runs on the streaming path only (a saved *.eotrace \
+         bigger than --max-events under --engine auto); use the batch \
+         subcommand for per-pair queries at exact scale";
     let trace = load_trace ~json file policy in
     guard_size ~json trace max_events;
     let x = Trace.to_execution trace in
@@ -691,8 +806,8 @@ let races_cmd =
     (Cmd.info "races" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ timeout_arg
-      $ max_events_arg $ witness_arg $ jobs_arg $ engine_arg $ stats_arg
-      $ format_arg $ cache_arg)
+      $ max_events_arg $ witness_arg $ jobs_arg $ engine_arg $ model_arg
+      $ stream_query_arg $ stats_arg $ format_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -1122,6 +1237,196 @@ let order_cmd =
       $ label "after")
 
 (* ------------------------------------------------------------------ *)
+(* consistent                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let consistent_cmd =
+  let rf_arg =
+    let doc =
+      "Override the reads-from source of one read, as READ=WRITE with \
+       READ and WRITE numeric event ids (WRITE also accepts 'init', \
+       the variable's initial value).  Repeatable.  Reads not \
+       overridden keep the observed source: the last write to their \
+       variable that ran temporally before them."
+    in
+    Arg.(value & opt_all string [] & info [ "rf" ] ~docv:"READ=WRITE" ~doc)
+  in
+  let run file policy max_events model rf_overrides collect fmt =
+    let json = fmt = `Json in
+    resolve_model ~json model;
+    let model = Memmodel.current () in
+    let trace = load_trace ~json file policy in
+    guard_size ~json trace max_events;
+    let x = Trace.to_execution trace in
+    let stats = make_stats collect in
+    let c =
+      match stats with
+      | None -> Counters.null
+      | Some tel ->
+          Telemetry.set_run tel
+            ~engine:(Engine.to_string (Engine.current ()))
+            ~jobs:1;
+          Telemetry.counters tel
+    in
+    let overrides =
+      List.map
+        (fun spec ->
+          let bad () =
+            die_error ~json
+              "--rf expects READ=WRITE with numeric event ids (WRITE also \
+               accepts 'init'); got %S"
+              spec
+          in
+          match String.index_opt spec '=' with
+          | None -> bad ()
+          | Some i ->
+              let read = String.trim (String.sub spec 0 i) in
+              let write =
+                String.trim
+                  (String.sub spec (i + 1) (String.length spec - i - 1))
+              in
+              let read =
+                match int_of_string_opt read with
+                | Some r -> r
+                | None -> bad ()
+              in
+              let write =
+                if write = "init" then -1
+                else match int_of_string_opt write with
+                  | Some w -> w
+                  | None -> bad ()
+              in
+              (read, write))
+        rf_overrides
+    in
+    let observed = Candidate.infer_rf x in
+    List.iter
+      (fun (r, _) ->
+        if
+          not
+            (List.exists
+               (fun (e : Candidate.rf_edge) -> e.Candidate.read = r)
+               observed)
+        then
+          die_error ~json
+            "--rf: event %d is not a shared-variable read of the trace" r)
+      overrides;
+    let rf =
+      List.map
+        (fun (e : Candidate.rf_edge) ->
+          match List.assoc_opt e.Candidate.read overrides with
+          | Some w -> { e with Candidate.write = w }
+          | None -> e)
+        observed
+    in
+    let candidate =
+      try Candidate.make ~rf x
+      with Candidate.Ill_formed msg ->
+        die_error ~json "ill-formed reads-from assignment: %s" msg
+    in
+    let verdict = Candidate.check ~stats:c ~model candidate in
+    let label e = x.Execution.events.(e).Event.label in
+    (match fmt with
+    | `Json ->
+        let rf_json =
+          Jsonout.List
+            (List.map
+               (fun (e : Candidate.rf_edge) ->
+                 Jsonout.Obj
+                   [
+                     ("read", Jsonout.Int e.Candidate.read);
+                     ( "write",
+                       if e.Candidate.write < 0 then Jsonout.Str "init"
+                       else Jsonout.Int e.Candidate.write );
+                     ("variable", Jsonout.Int e.Candidate.var);
+                   ])
+               candidate.Candidate.rf)
+        in
+        print_json
+          (Jsonout.Obj
+             ([
+                ("schema", Jsonout.Str "eventorder.consistent/1");
+                ("events", Jsonout.Int (Execution.n_events x));
+                ("model", Jsonout.Str (Memmodel.to_string model));
+                ("rf", rf_json);
+                ( "verdict",
+                  Jsonout.Str
+                    (match verdict with
+                    | Candidate.Consistent _ -> "consistent"
+                    | Candidate.Inconsistent _ -> "inconsistent") );
+              ]
+             @ (match verdict with
+               | Candidate.Consistent w ->
+                   [
+                     ( "witness",
+                       Jsonout.Obj
+                         [
+                           ( "order",
+                             Jsonout.List
+                               (List.map
+                                  (fun e -> Jsonout.Int e)
+                                  (Array.to_list w.Candidate.order)) );
+                           ( "co",
+                             Jsonout.Obj
+                               (List.map
+                                  (fun (v, ws) ->
+                                    ( Printf.sprintf "v%d" v,
+                                      Jsonout.List
+                                        (List.map
+                                           (fun w -> Jsonout.Int w)
+                                           ws) ))
+                                  w.Candidate.co) );
+                         ] );
+                   ]
+               | Candidate.Inconsistent reason ->
+                   [ ("reason", Jsonout.Str reason) ])
+             @ stats_field stats))
+    | `Text ->
+        Format.printf "model: %s@." (Memmodel.to_string model);
+        Format.printf "events: %d@." (Execution.n_events x);
+        List.iter
+          (fun (e : Candidate.rf_edge) ->
+            Format.printf "rf: '%s' (event %d) reads %s on v%d@."
+              (label e.Candidate.read) e.Candidate.read
+              (if e.Candidate.write < 0 then "the initial value"
+               else
+                 Printf.sprintf "'%s' (event %d)" (label e.Candidate.write)
+                   e.Candidate.write)
+              e.Candidate.var)
+          candidate.Candidate.rf;
+        (match verdict with
+        | Candidate.Consistent w ->
+            Format.printf "verdict: consistent under %s@."
+              (Memmodel.to_string model);
+            Format.printf "witness order: %s@."
+              (String.concat "; "
+                 (List.map label (Array.to_list w.Candidate.order)));
+            List.iter
+              (fun (v, ws) ->
+                Format.printf "coherence v%d: %s@." v
+                  (String.concat " -> " (List.map label ws)))
+              w.Candidate.co
+        | Candidate.Inconsistent reason ->
+            Format.printf "verdict: inconsistent under %s@."
+              (Memmodel.to_string model);
+            Format.printf "reason: %s@." reason);
+        print_stats_text stats);
+    match verdict with
+    | Candidate.Consistent _ -> ()
+    | Candidate.Inconsistent _ -> exit 1
+  in
+  let doc =
+    "decide whether a reads-from assignment over the observed events is \
+     consistent under a memory model (--model sc|tso|pso), with a \
+     replayable total-order and coherence witness"
+  in
+  Cmd.v
+    (Cmd.info "consistent" ~doc)
+    Term.(
+      const run $ program_file $ policy_arg $ max_events_arg $ model_arg
+      $ rf_arg $ stats_arg $ format_arg)
+
+(* ------------------------------------------------------------------ *)
 (* explore                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1344,11 +1649,12 @@ let batch_cmd =
     in
     Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"QUERY" ~doc)
   in
-  let run file policy limit timeout max_events jobs engine collect fmt cache
-      queries =
+  let run file policy limit timeout max_events jobs engine model collect fmt
+      cache queries =
     let json = fmt = `Json in
     let jobs = resolve_jobs ~json jobs in
     resolve_engine ~json engine;
+    resolve_model ~json model;
     let budget = resolve_budget ~json timeout in
     let trace = load_trace ~json file policy in
     guard_size ~json trace max_events;
@@ -1395,8 +1701,8 @@ let batch_cmd =
     (Cmd.info "batch" ~doc)
     Term.(
       const run $ program_file $ policy_arg $ limit_arg $ timeout_arg
-      $ max_events_arg $ jobs_arg $ engine_arg $ stats_arg $ format_arg
-      $ cache_arg $ queries_arg)
+      $ max_events_arg $ jobs_arg $ engine_arg $ model_arg $ stats_arg
+      $ format_arg $ cache_arg $ queries_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -1446,10 +1752,20 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "max-memory" ] ~docv:"MIB" ~doc)
   in
   let run socket host port workers max_queue max_memory limit timeout
-      max_events jobs engine cache =
+      max_events jobs engine model cache =
     let jobs = resolve_jobs jobs in
     if workers < 1 then die_error ~json:false "--workers must be at least 1";
     if max_queue < 0 then die_error ~json:false "--max-queue must be >= 0";
+    let model =
+      match model with
+      | None -> None
+      | Some s -> (
+          match Memmodel.of_string s with
+          | Some _ as m -> m
+          | None ->
+              die_error ~json:false "unknown --model %S (valid models: %s)" s
+                (String.concat ", " Config.model_names))
+    in
     let timeout_ms =
       match timeout with
       | Some ms when ms >= 1 -> Some ms
@@ -1463,6 +1779,7 @@ let serve_cmd =
         (* The flag is a per-request default, not a process-global set:
            each request resolves request > flag > environment. *)
         Api.engine;
+        model;
         limit;
         jobs;
         max_events;
@@ -1494,7 +1811,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ workers_arg
       $ max_queue_arg $ max_memory_arg $ limit_arg $ timeout_arg
-      $ max_events_arg $ jobs_arg $ engine_arg $ cache_arg)
+      $ max_events_arg $ jobs_arg $ engine_arg $ model_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -1533,8 +1850,8 @@ let client_cmd =
     | Sched.Random seed -> Printf.sprintf "random:%d" seed
     | Sched.Replay _ -> "rr"
   in
-  let run socket host port op file engine limit timeout jobs collect policy
-      retries queries =
+  let run socket host port op file engine model limit timeout jobs collect
+      policy retries queries =
     let json = true in
     let request =
       match op with
@@ -1565,6 +1882,11 @@ let client_cmd =
             | p -> [ ("policy", Jsonout.Str (policy_string p)) ])
           @ (match engine with
             | Some e -> [ ("engine", Jsonout.Str (Engine.to_string e)) ]
+            | None -> [])
+          (* Shipped raw: the server validates the model vocabulary and
+             answers eventorder.error/1 on drift, same as engine. *)
+          @ (match model with
+            | Some m -> [ ("model", Jsonout.Str m) ]
             | None -> [])
           @ (match limit with
             | Some l -> [ ("limit", Jsonout.Int l) ]
@@ -1667,8 +1989,8 @@ let client_cmd =
     (Cmd.info "client" ~doc)
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ op_arg $ file_arg
-      $ engine_arg $ limit_arg $ timeout_arg $ jobs_arg $ stats_arg
-      $ policy_arg $ retries_arg $ queries_arg)
+      $ engine_arg $ model_arg $ limit_arg $ timeout_arg $ jobs_arg
+      $ stats_arg $ policy_arg $ retries_arg $ queries_arg)
 
 let () =
   let doc =
@@ -1681,7 +2003,7 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; batch_cmd; schedules_cmd; races_cmd; gen_cmd;
-            encode_cmd;
+            encode_cmd; consistent_cmd;
             taskgraph_cmd; reduce_cmd; theorems_cmd; figure1_cmd; record_cmd;
             dot_cmd; fuzz_cmd; order_cmd; report_cmd; explore_cmd; serve_cmd;
             client_cmd;

@@ -264,6 +264,7 @@ type request = {
   policy : Sched.policy;
   queries : string list;
   engine : Engine.t option;
+  model : Memmodel.t option;
   limit : int option;
   timeout_ms : int option;
   jobs : int option;
@@ -349,6 +350,16 @@ let request_of_json doc =
             errorf Usage "unknown engine %S (expected %s)" s
               (String.concat ", " Config.engine_names))
   in
+  let model =
+    match string_field fields "model" with
+    | None -> None
+    | Some s -> (
+        match Memmodel.of_string s with
+        | Some m -> Some m
+        | None ->
+            errorf Usage "unknown model %S (expected %s)" s
+              (String.concat ", " Config.model_names))
+  in
   {
     id = id_of fields;
     op =
@@ -363,6 +374,7 @@ let request_of_json doc =
       | Some s -> policy_of_string s);
     queries = Option.value ~default:[] (string_list_field fields "queries");
     engine;
+    model;
     limit = int_field fields "limit";
     timeout_ms = int_field fields "timeout_ms";
     jobs = int_field fields "jobs";
@@ -390,6 +402,7 @@ let request_id_of_line line =
 
 type config = {
   engine : Engine.t option;
+  model : Memmodel.t option;
   limit : int option;
   jobs : int;
   max_events : int;
@@ -400,6 +413,7 @@ type config = {
 let default_config () =
   {
     engine = None;
+    model = None;
     limit = None;
     jobs = Config.jobs ();
     max_events = 40;
@@ -442,6 +456,16 @@ let run_batch ?serialize config (req : request) =
     | None, None -> Engine.default_of_env ()
   in
   Engine.set engine;
+  (* The model resolves the same way (request > server flag > environment
+     default) and is likewise domain-local; it is baked into the session
+     cache key, so cached answers can never cross models. *)
+  let model =
+    match (req.model, config.model) with
+    | Some m, _ -> m
+    | None, Some m -> m
+    | None, None -> Memmodel.default_of_env ()
+  in
+  Memmodel.set model;
   (* The server cap clamps the request deadline; a request without one
      inherits the cap, so --timeout on the server is a hard ceiling. *)
   let timeout_ms =
@@ -510,6 +534,7 @@ let run_batch ?serialize config (req : request) =
           ("outcome", Jsonout.Str (outcome_string trace.Trace.outcome));
           ("program_key", Jsonout.Str key);
           ("engine", Jsonout.Str (Engine.to_string engine));
+          ("model", Jsonout.Str (Memmodel.to_string model));
           ("jobs", Jsonout.Int jobs);
           ("results", Jsonout.List (List.map (result_json x) results));
         ]

@@ -134,6 +134,7 @@ type request = {
   policy : Sched.policy;  (** scheduling policy for [program] runs *)
   queries : string list;
   engine : Engine.t option;
+  model : Memmodel.t option;  (** memory model; see {!config.model} *)
   limit : int option;
   timeout_ms : int option;
   jobs : int option;
@@ -160,6 +161,11 @@ type config = {
   engine : Engine.t option;
       (** server-side default; a request's [engine] wins, absence of
           both falls back to [EO_ENGINE]/packed *)
+  model : Memmodel.t option;
+      (** server-side default memory model; same resolution as
+          [engine] (request > flag > [EO_MODEL]/sc).  The resolved
+          model is set domain-locally per request and baked into the
+          session cache key, so cached answers never cross models *)
   limit : int option;
   jobs : int;  (** worker-domain cap; requests can lower it, not raise *)
   max_events : int;  (** admission guard on the exponential engines *)

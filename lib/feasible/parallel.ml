@@ -31,8 +31,12 @@ let map ?telemetry ?(budget = Budget.unlimited) ~jobs f xs =
          with a coordinator that called [Engine.set] (the race layer
          reads the engine inside its per-pair workers). *)
       let engine = Engine.current () in
+      let model = Memmodel.current () in
       let worker k =
-        if k > 0 then Engine.set engine;
+        if k > 0 then begin
+          Engine.set engine;
+          Memmodel.set model
+        end;
         Telemetry.timed_domain telemetry k (fun () ->
             let rec loop () =
               if not (Atomic.get failed) then begin

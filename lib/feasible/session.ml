@@ -541,11 +541,13 @@ let worker_counters c = if Counters.enabled c then Counters.create () else Count
 let cache_enabled t = t.cache.memory || t.cache.dir <> None
 
 (* Every dimension that changes what a result means is part of the key,
-   so staleness is impossible by construction: engine or limit or
-   program mismatch = different key = miss. *)
+   so staleness is impossible by construction: engine or memory model
+   or limit or program mismatch = different key = miss — cached answers
+   can never cross models. *)
 let entry_key t ~kind =
-  Printf.sprintf "%s.%s.%s.%s" (Lazy.force t.key).Program_key.hash kind
+  Printf.sprintf "%s.%s.%s.%s.%s" (Lazy.force t.key).Program_key.hash kind
     (Engine.to_string (Engine.current ()))
+    (Memmodel.to_string (Memmodel.current ()))
     (match t.limit with None -> "nolimit" | Some l -> string_of_int l)
 
 let cache_version = "eocache/1"
@@ -1105,8 +1107,15 @@ let compute_summary_reduced t =
     incomparable_some = acc.incomparable;
   }
 
+(* Every session answer is attributed to the model it was decided
+   under — the per-pair outcome wrappers bump in [outcome_of]; the
+   whole-trace entry points (summaries, cached blobs) bump here. *)
+let bump_model t =
+  Counters.bump t.c (Memmodel.counter_key (Memmodel.current ()))
+
 let cached_summary t ~kind ~memo ~set_memo ~compute =
   Counters.bump t.c Counters.Session_queries;
+  bump_model t;
   match memo with
   | Some s -> s
   | None ->
@@ -1138,6 +1147,7 @@ let schedule_count t =
 
 let cached_blob t ~kind produce =
   Counters.bump t.c Counters.Session_queries;
+  bump_model t;
   match lookup_cached t ~kind ~decode:(fun p -> Some p) with
   | Some payload -> payload
   | None ->
@@ -1159,6 +1169,7 @@ let degraded t v =
   Budget.Bound_hit v
 
 let outcome_of t ~fallback f =
+  bump_model t;
   match f () with
   | v -> Budget.Exact v
   | exception Budget.Expired -> degraded t fallback

@@ -15,11 +15,23 @@ let of_execution (x : Execution.t) =
   let po_preds = Array.make n [] in
   let po_succs = Array.make n [] in
   let dep_preds = Array.make n [] in
+  (* Under the SC model the scheduling constraints are the execution's
+     immediate program-order edges, untouched.  A relaxing model keeps
+     only its preserved program order: the transitive reduction of the
+     ppo closure, so the engines explore every schedule the model's
+     store-buffer semantics admits.  Per-location coherence survives
+     the filter through the dependence edges below. *)
+  let model = Memmodel.current () in
+  let po =
+    if Memmodel.relaxes model then
+      Rel.transitive_reduction (Memmodel.ppo model x)
+    else x.Execution.program_order
+  in
   Rel.iter
     (fun a b ->
       po_succs.(a) <- po_succs.(a) @ [ b ];
       po_preds.(b) <- po_preds.(b) @ [ a ])
-    x.Execution.program_order;
+    po;
   Rel.iter
     (fun a b ->
       (* A dependence that parallels a program-order edge adds nothing. *)

@@ -1,0 +1,417 @@
+(* rf/co-annotated execution candidates and the per-model consistency
+   checker.  See candidate.mli. *)
+
+type rf_edge = { write : int; read : int; var : int }
+
+type t = { execution : Execution.t; rf : rf_edge list }
+
+type witness = { order : int array; co : (int * int list) list }
+
+type verdict = Consistent of witness | Inconsistent of string
+
+exception Ill_formed of string
+
+let illf fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let reads_of (x : Execution.t) =
+  let out = ref [] in
+  Array.iter
+    (fun e ->
+      if e.Event.kind = Event.Computation then
+        List.iter (fun v -> out := (e.Event.id, v) :: !out) e.Event.reads)
+    x.Execution.events;
+  List.rev !out
+
+let writers_of (x : Execution.t) =
+  let w = Array.make x.Execution.num_shared_vars [] in
+  Array.iter
+    (fun e ->
+      if e.Event.kind = Event.Computation then
+        List.iter
+          (fun v ->
+            if v >= 0 && v < Array.length w then w.(v) <- e.Event.id :: w.(v))
+          e.Event.writes)
+    x.Execution.events;
+  Array.map List.rev w
+
+(* The rf the observed schedule exhibits: each read takes the last
+   write to its variable that ran temporally before it, or the initial
+   value when no write has run yet. *)
+let infer_rf (x : Execution.t) =
+  let schedule = Execution.schedule_of_temporal x in
+  let n = Execution.n_events x in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i e -> pos.(e) <- i) schedule;
+  let writers = writers_of x in
+  List.map
+    (fun (r, v) ->
+      let write =
+        if v < 0 || v >= Array.length writers then -1
+        else
+          List.fold_left
+            (fun best w ->
+              if
+                pos.(w) < pos.(r)
+                && (best = -1 || pos.(w) > pos.(best))
+              then w
+              else best)
+            (-1) writers.(v)
+      in
+      { write; read = r; var = v })
+    (reads_of x)
+
+let validate (x : Execution.t) rf =
+  let n = Execution.n_events x in
+  let writers = writers_of x in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun { write; read; var } ->
+      if read < 0 || read >= n then illf "rf read %d is not an event" read;
+      let r = x.Execution.events.(read) in
+      if not (r.Event.kind = Event.Computation && List.mem var r.Event.reads)
+      then illf "event %d does not read v%d" read var;
+      if Hashtbl.mem seen (read, var) then
+        illf "two rf edges for the read of v%d by event %d" var read;
+      Hashtbl.add seen (read, var) ();
+      if write <> -1 then begin
+        if write < 0 || write >= n then
+          illf "rf write %d is not an event" write;
+        if write = read then
+          illf "event %d cannot read v%d from itself" read var;
+        if not (List.mem write writers.(var)) then
+          illf "event %d does not write v%d" write var
+      end)
+    rf;
+  (* Every read of the execution must be accounted for: a candidate is
+     a complete rf assignment, not a partial one. *)
+  List.iter
+    (fun (r, v) ->
+      if not (Hashtbl.mem seen (r, v)) then
+        illf "no rf edge for the read of v%d by event %d" v r)
+    (reads_of x)
+
+let make ?rf x =
+  let rf = match rf with Some rf -> rf | None -> infer_rf x in
+  validate x rf;
+  { execution = x; rf }
+
+(* ------------------------------------------------------------------ *)
+(* The constraint skeleton shared by every tier                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Base orderings every consistent linearization must contain: the
+   model's preserved program order, strengthened per location (a
+   program-ordered pair of conflicting accesses stays ordered under
+   every model — SC-per-location), plus every non-initial rf edge. *)
+let base_order model (t : t) =
+  let x = t.execution in
+  let n = Execution.n_events x in
+  let keep = Rel.create n in
+  Rel.iter
+    (fun a b ->
+      let ea = x.Execution.events.(a) and eb = x.Execution.events.(b) in
+      if Memmodel.enforced model ea eb || Event.conflicts ea eb then
+        Rel.add keep a b)
+    (Execution.po_closure x);
+  List.iter
+    (fun { write; read; _ } -> if write <> -1 then Rel.add keep write read)
+    t.rf;
+  Rel.transitive_closure_in_place keep;
+  keep
+
+let has_cycle rel =
+  let n = Rel.size rel in
+  let rec go e = e < n && (Rel.mem rel e e || go (e + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Witness validation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let co_of_order (t : t) pos =
+  let writers = writers_of t.execution in
+  let out = ref [] in
+  Array.iteri
+    (fun v ws ->
+      match List.sort (fun a b -> compare pos.(a) pos.(b)) ws with
+      | [] -> ()
+      | ws -> out := (v, ws) :: !out)
+    writers;
+  List.rev !out
+
+let check_witness ~model (t : t) order =
+  let x = t.execution in
+  let n = Execution.n_events x in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Array.length order <> n then
+    err "witness orders %d of %d events" (Array.length order) n
+  else begin
+    let pos = Array.make n (-1) in
+    let dup = ref None in
+    Array.iteri
+      (fun i e ->
+        if e < 0 || e >= n || pos.(e) >= 0 then dup := Some e else pos.(e) <- i)
+      order;
+    match !dup with
+    | Some e -> err "witness is not a permutation (event %d)" e
+    | None -> (
+        let bad = ref None in
+        Rel.iter
+          (fun a b ->
+            let ea = x.Execution.events.(a) and eb = x.Execution.events.(b) in
+            if
+              (Memmodel.enforced model ea eb || Event.conflicts ea eb)
+              && pos.(a) > pos.(b)
+              && !bad = None
+            then bad := Some (Printf.sprintf "ppo pair %d before %d" a b))
+          (Execution.po_closure x);
+        let writers = writers_of x in
+        List.iter
+          (fun { write; read; var } ->
+            if !bad = None then
+              if write = -1 then
+                List.iter
+                  (fun w ->
+                    if pos.(w) < pos.(read) && !bad = None then
+                      bad :=
+                        Some
+                          (Printf.sprintf
+                             "event %d reads the initial v%d but write %d \
+                              precedes it"
+                             read var w))
+                  writers.(var)
+              else if pos.(write) > pos.(read) then
+                bad :=
+                  Some
+                    (Printf.sprintf "event %d reads v%d from the later write %d"
+                       read var write)
+              else
+                List.iter
+                  (fun w ->
+                    if
+                      w <> write && w <> read
+                      && pos.(w) > pos.(write)
+                      && pos.(w) < pos.(read)
+                      && !bad = None
+                    then
+                      bad :=
+                        Some
+                          (Printf.sprintf
+                             "write %d to v%d intervenes between write %d and \
+                              read %d"
+                             w var write read))
+                  writers.(var))
+          t.rf;
+        match !bad with
+        | Some reason -> Error reason
+        | None -> Ok { order = Array.copy order; co = co_of_order t pos })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tier 1: polynomial saturation                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Derive orderings forced by the reads-from axiom until a fixpoint:
+   for rf(w, r, v) and any other write w' to v, the linearization must
+   place w' before w or after r — so a known (w, w') forces (r, w')
+   and a known (w', r) forces (w', w); an initial read forces itself
+   before every write to its variable.  A cycle anywhere is a
+   refutation (the rules only add orderings every consistent
+   linearization must contain). *)
+let saturate model (t : t) =
+  let x = t.execution in
+  let writers = writers_of x in
+  let ord = base_order model t in
+  List.iter
+    (fun { write; read; var } ->
+      if write = -1 then
+        List.iter
+          (fun w -> if w <> read then Rel.add ord read w)
+          writers.(var))
+    t.rf;
+  Rel.transitive_closure_in_place ord;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun { write; read; var } ->
+        if write <> -1 then
+          List.iter
+            (fun w ->
+              if w <> write && w <> read then begin
+                if Rel.mem ord write w && not (Rel.mem ord read w) then begin
+                  Rel.add ord read w;
+                  changed := true
+                end;
+                if Rel.mem ord w read && not (Rel.mem ord w write) then begin
+                  Rel.add ord w write;
+                  changed := true
+                end
+              end)
+            writers.(var))
+      t.rf;
+    if !changed then Rel.transitive_closure_in_place ord
+  done;
+  ord
+
+(* Greedy linearization of the saturated order: repeatedly emit the
+   lowest-id event whose predecessors are all placed, preferring not to
+   emit a write that would slide between a placed rf source and its
+   still-unplaced read.  The result is only trusted after
+   [check_witness]. *)
+let greedy_linearize (t : t) ord =
+  let x = t.execution in
+  let n = Execution.n_events x in
+  let placed = Array.make n false in
+  let order = Array.make n (-1) in
+  let blocks_read e =
+    let ev = x.Execution.events.(e) in
+    ev.Event.kind = Event.Computation
+    && List.exists
+         (fun { write; read; var } ->
+           (not placed.(read))
+           && read <> e
+           && (write = -1 || (placed.(write) && write <> e))
+           && List.mem var ev.Event.writes)
+         t.rf
+  in
+  let ready e =
+    (not placed.(e))
+    && (let ok = ref true in
+        for p = 0 to n - 1 do
+          if Rel.mem ord p e && not placed.(p) then ok := false
+        done;
+        !ok)
+  in
+  (try
+     for i = 0 to n - 1 do
+       let pick = ref (-1) in
+       for e = n - 1 downto 0 do
+         if ready e && not (blocks_read e) then pick := e
+       done;
+       if !pick = -1 then
+         for e = n - 1 downto 0 do
+           if ready e then pick := e
+         done;
+       if !pick = -1 then raise Exit;
+       order.(i) <- !pick;
+       placed.(!pick) <- true
+     done
+   with Exit -> ());
+  if Array.exists (fun e -> e = -1) order then None else Some order
+
+(* ------------------------------------------------------------------ *)
+(* Tier 2: the CNF fragment                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One order variable per unordered event pair ([lit a b] true iff [a]
+   is linearized before [b]), O(n^3) transitivity triples, unit clauses
+   for the saturated base order, and one clause per (rf edge, other
+   write) instance of the reads-from axiom.  This is the SAT-tier hook
+   the model interface exposes: everything the polynomial tier could
+   not settle lands here. *)
+let cnf_fragment ~model (t : t) =
+  let x = t.execution in
+  let n = Execution.n_events x in
+  let var a b =
+    (* triangular index of the unordered pair, 1-based *)
+    let a, b = if a < b then (a, b) else (b, a) in
+    (a * ((2 * n) - a - 1) / 2) + (b - a - 1) + 1
+  in
+  let lit a b = if a < b then var a b else -var a b in
+  let clauses = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if j <> i then
+        for k = 0 to n - 1 do
+          if k <> i && k <> j then
+            clauses := [ -lit i j; -lit j k; lit i k ] :: !clauses
+        done
+    done
+  done;
+  let ord = saturate model t in
+  Rel.iter (fun a b -> if a <> b then clauses := [ lit a b ] :: !clauses) ord;
+  let writers = writers_of x in
+  List.iter
+    (fun { write; read; var = v } ->
+      List.iter
+        (fun w ->
+          if w <> write && w <> read then
+            if write = -1 then clauses := [ lit read w ] :: !clauses
+            else clauses := [ lit w write; lit read w ] :: !clauses)
+        writers.(v))
+    t.rf;
+  (Cnf.make ~num_vars:(max 1 (n * (n - 1) / 2)) !clauses, lit)
+
+let order_of_assignment n lit assignment =
+  let before_count = Array.make n 0 in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then begin
+        let l = lit a b in
+        let value = if l > 0 then assignment.(l) else not assignment.(-l) in
+        if value then before_count.(b) <- before_count.(b) + 1
+      end
+    done
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare before_count.(a) before_count.(b)) order;
+  order
+
+(* ------------------------------------------------------------------ *)
+(* The tiered verdict                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check ?(stats = Counters.null) ~model (t : t) =
+  Counters.bump stats Counters.Consistency_checks;
+  let ord = saturate model t in
+  if has_cycle ord then begin
+    Counters.bump stats Counters.Consistency_fast_hits;
+    Inconsistent
+      (Printf.sprintf
+         "the saturated %s ordering constraints are cyclic"
+         (Memmodel.to_string model))
+  end
+  else
+    let fast =
+      match greedy_linearize t ord with
+      | None -> None
+      | Some order -> (
+          match check_witness ~model t order with
+          | Ok w -> Some w
+          | Error _ -> None)
+    in
+    match fast with
+    | Some w ->
+        Counters.bump stats Counters.Consistency_fast_hits;
+        Consistent w
+    | None -> (
+        let cnf, lit = cnf_fragment ~model t in
+        Counters.bump stats Counters.Consistency_sat_hits;
+        match Cdcl.solve cnf with
+        | Cdcl.Unsat ->
+            Inconsistent
+              (Printf.sprintf
+                 "no linearization satisfies the %s ordering and reads-from \
+                  axioms"
+                 (Memmodel.to_string model))
+        | Cdcl.Sat assignment -> (
+            let n = Execution.n_events t.execution in
+            let order = order_of_assignment n lit assignment in
+            match check_witness ~model t order with
+            | Ok w -> Consistent w
+            | Error reason ->
+                (* The encoding and the validator disagree: fail loudly
+                   rather than return an uncertified positive. *)
+                invalid_arg
+                  (Printf.sprintf "Candidate.check: invalid SAT witness (%s)"
+                     reason)))
+
+let consistent ?stats ~model t =
+  match check ?stats ~model t with
+  | Consistent w -> Some w
+  | Inconsistent _ -> None

@@ -1,0 +1,53 @@
+(* The classic two-thread litmus shapes as candidates.  See litmus.mli. *)
+
+let x = 0
+let y = 1
+
+let comp ~id ~pid ~seq ~label ?(reads = []) ?(writes = []) () =
+  Event.make ~id ~pid ~seq ~kind:Event.Computation ~label ~reads ~writes ()
+
+let execution events po_pairs =
+  let events = Array.of_list events in
+  let n = Array.length events in
+  Execution.of_schedule ~events
+    ~program_order:(Rel.of_pairs n po_pairs)
+    ~schedule:(Array.init n (fun i -> i))
+    ~num_shared_vars:2 ()
+
+let sb_execution () =
+  execution
+    [
+      comp ~id:0 ~pid:0 ~seq:0 ~label:"x := 1" ~writes:[ x ] ();
+      comp ~id:1 ~pid:0 ~seq:1 ~label:"r y" ~reads:[ y ] ();
+      comp ~id:2 ~pid:1 ~seq:0 ~label:"y := 1" ~writes:[ y ] ();
+      comp ~id:3 ~pid:1 ~seq:1 ~label:"r x" ~reads:[ x ] ();
+    ]
+    [ (0, 1); (2, 3) ]
+
+let sb () =
+  Candidate.make
+    ~rf:
+      [
+        { Candidate.write = -1; read = 1; var = y };
+        { Candidate.write = -1; read = 3; var = x };
+      ]
+    (sb_execution ())
+
+let mp_execution () =
+  execution
+    [
+      comp ~id:0 ~pid:0 ~seq:0 ~label:"x := 1" ~writes:[ x ] ();
+      comp ~id:1 ~pid:0 ~seq:1 ~label:"y := 1" ~writes:[ y ] ();
+      comp ~id:2 ~pid:1 ~seq:0 ~label:"r y" ~reads:[ y ] ();
+      comp ~id:3 ~pid:1 ~seq:1 ~label:"r x" ~reads:[ x ] ();
+    ]
+    [ (0, 1); (2, 3) ]
+
+let mp () =
+  Candidate.make
+    ~rf:
+      [
+        { Candidate.write = 1; read = 2; var = y };
+        { Candidate.write = -1; read = 3; var = x };
+      ]
+    (mp_execution ())

@@ -1,0 +1,27 @@
+(** The classic two-thread litmus shapes, as rf-annotated candidates
+    over the repository's execution model (shared variables [x] = v0,
+    [y] = v1; no values — the outcome under test is expressed by the
+    reads-from assignment, not by data).
+
+    These are the unit fixtures behind the model-discrimination tests
+    and the [eventorder consistent] examples: the interesting outcome
+    of each shape cannot arise from running the program (the
+    interpreter only produces sequentially consistent traces), so it is
+    stated as an explicit rf. *)
+
+val sb_execution : unit -> Execution.t
+(** Store buffering: [P0: x := 1; r y] and [P1: y := 1; r x]. *)
+
+val sb : unit -> Candidate.t
+(** SB with both reads observing the initial values — forbidden under
+    [Sc], allowed under [Tso] and [Pso] (both stores may still be
+    buffered when the reads run). *)
+
+val mp_execution : unit -> Execution.t
+(** Message passing: [P0: x := 1; y := 1] and [P1: r y; r x]. *)
+
+val mp : unit -> Candidate.t
+(** MP with the flag read observing [y := 1] but the data read
+    observing the initial [x] — forbidden under [Sc] and [Tso] (the
+    store buffer is FIFO), allowed under [Pso] (per-location buffers
+    drain out of order). *)

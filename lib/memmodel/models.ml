@@ -1,0 +1,45 @@
+(* The first-class model interface.  See models.mli. *)
+
+module type S = sig
+  val model : Memmodel.t
+  val name : string
+  val enforced : Event.t -> Event.t -> bool
+  val ppo : Execution.t -> Rel.t
+  val oracle : Execution.t -> int -> int -> bool
+  val consistent :
+    ?stats:Counters.t -> Candidate.t -> Candidate.witness option
+  val cnf_fragment : Candidate.t -> Cnf.t * (int -> int -> Cnf.literal)
+end
+
+module Make (M : sig
+  val model : Memmodel.t
+end) : S = struct
+  let model = M.model
+  let name = Memmodel.to_string model
+  let enforced a b = Memmodel.enforced model a b
+  let ppo x = Memmodel.ppo model x
+
+  let oracle x =
+    let ppo = ppo x in
+    fun a b -> a <> b && Rel.mem ppo a b
+
+  let consistent ?stats c = Candidate.consistent ?stats ~model c
+  let cnf_fragment c = Candidate.cnf_fragment ~model c
+end
+
+module Sc = Make (struct
+  let model = Memmodel.Sc
+end)
+
+module Tso = Make (struct
+  let model = Memmodel.Tso
+end)
+
+module Pso = Make (struct
+  let model = Memmodel.Pso
+end)
+
+let instance = function
+  | Memmodel.Sc -> (module Sc : S)
+  | Memmodel.Tso -> (module Tso : S)
+  | Memmodel.Pso -> (module Pso : S)

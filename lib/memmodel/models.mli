@@ -1,0 +1,44 @@
+(** The memory-model interface, as a first-class module signature.
+
+    A model instance packages everything the analysis tiers need from a
+    memory model, following the memalloy-style execution signature
+    (program order, rf, co, fences, per-location coherence):
+
+    - {!S.enforced}/{!S.ppo} — the program-order filter the feasibility
+      engines consume (via the model-aware [Skeleton]);
+    - {!S.oracle} — the pairwise ordering oracle for the triage tier-1
+      path: [oracle x a b] iff [a] precedes [b] in the model's
+      preserved program order, a sound must-happen-before
+      approximation under the model;
+    - {!S.consistent} — the rf/co consistency verdict with a validated
+      witness;
+    - {!S.cnf_fragment} — the CNF hook the SAT tier solves when the
+      polynomial tiers cannot settle a candidate. *)
+
+module type S = sig
+  val model : Memmodel.t
+  val name : string
+
+  val enforced : Event.t -> Event.t -> bool
+  (** {!Memmodel.enforced} specialized to this model. *)
+
+  val ppo : Execution.t -> Rel.t
+  (** {!Memmodel.ppo} specialized to this model. *)
+
+  val oracle : Execution.t -> int -> int -> bool
+  (** Partially applying the execution precomputes the ppo closure;
+      the returned closure answers pairwise queries in O(1). *)
+
+  val consistent :
+    ?stats:Counters.t -> Candidate.t -> Candidate.witness option
+  (** {!Candidate.consistent} under this model. *)
+
+  val cnf_fragment : Candidate.t -> Cnf.t * (int -> int -> Cnf.literal)
+  (** {!Candidate.cnf_fragment} under this model. *)
+end
+
+module Sc : S
+module Tso : S
+module Pso : S
+
+val instance : Memmodel.t -> (module S)

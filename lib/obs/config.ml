@@ -88,6 +88,35 @@ let engine () =
       engine_memo := Some e;
       e
 
+let model_names = [ "sc"; "tso"; "pso" ]
+
+let model_of_string s =
+  let name = String.lowercase_ascii (String.trim s) in
+  if List.mem name model_names then Ok name
+  else
+    Error
+      (Printf.sprintf "rejecting EO_MODEL=%S (valid models: %s)" s
+         (String.concat ", " model_names))
+
+let model_memo = ref None
+
+let model () =
+  match !model_memo with
+  | Some m -> m
+  | None ->
+      let m =
+        match Sys.getenv_opt "EO_MODEL" with
+        | None | Some "" -> "sc"
+        | Some s -> (
+            match model_of_string s with
+            | Ok m -> m
+            | Error msg ->
+                Printf.eprintf "warning: %s; using sc\n%!" msg;
+                "sc")
+      in
+      model_memo := Some m;
+      m
+
 let timeout_of_string s =
   match int_of_string_opt (String.trim s) with
   | None ->
@@ -131,7 +160,8 @@ let triage_enum_nodes = triage_slice ~var:"EO_TRIAGE_ENUM_NODES" ~default:500_00
 
 let reset_for_testing () =
   jobs_memo := None;
-  engine_memo := None
+  engine_memo := None;
+  model_memo := None
 
 let bench_budget ~default =
   lookup ~var:"EO_BENCH_BUDGET" ~expected:"a positive number of seconds"

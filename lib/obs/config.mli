@@ -67,6 +67,26 @@ val engine : unit -> string
     (The typed accessor lives in [Engine.current]; this low-level view
     exists so [eo_feasible] needs no inverted dependency.) *)
 
+val model_names : string list
+(** The closed list of valid memory-model names, in documentation
+    order: [["sc"; "tso"; "pso"]].  The CLI help text, the docs and the
+    hygiene script are all checked against this list (mirroring
+    {!engine_names}). *)
+
+val model_of_string : string -> (string, string) result
+(** Pure [EO_MODEL] parser.  [Ok name] (lowercased, trimmed) only for a
+    member of [model_names]; anything else is [Error diagnostic] with
+    the diagnostic listing every valid model — unknown models are
+    rejected rather than silently mapped to a default. *)
+
+val model : unit -> string
+(** [EO_MODEL] — memory-model name, default ["sc"].  Cached after the
+    first read so the warning prints at most once per process.  Invalid
+    values warn on [stderr] and fall back to the default; the CLI
+    validates eagerly and turns the same diagnostic into a hard error.
+    (The typed accessor lives in [Memmodel.current]; this low-level
+    view exists so [eo_memmodel] needs no inverted dependency.) *)
+
 val timeout_of_string : string -> (int, string) result
 (** Pure [EO_TIMEOUT_MS] parser.  [Ok ms] for an integer [ms >= 1]
     (milliseconds); otherwise [Error diagnostic] distinguishing a
@@ -99,12 +119,14 @@ val triage_enum_nodes : unit -> int
     query degrades in its sound direction (there is no further tier). *)
 
 val reset_for_testing : unit -> unit
-(** Drop the {!jobs}/{!engine} memos so the next call re-reads the
-    environment.  The memos exist so each warning prints at most once
-    per process, but they also mean a mid-process [EO_JOBS]/[EO_ENGINE]
-    change is silently ignored — test suites that mutate the
-    environment must call this after each [putenv].  (The typed engine
-    memo in [Engine.current] is reset separately via [Engine.set].) *)
+(** Drop the {!jobs}/{!engine}/{!model} memos so the next call re-reads
+    the environment.  The memos exist so each warning prints at most
+    once per process, but they also mean a mid-process
+    [EO_JOBS]/[EO_ENGINE]/[EO_MODEL] change is silently ignored — test
+    suites that mutate the environment must call this after each
+    [putenv].  (The typed engine memo in [Engine.current] is reset
+    separately via [Engine.set], and the model memo in
+    [Memmodel.current] via [Memmodel.set].) *)
 
 val bench_budget : default:float -> float
 (** [EO_BENCH_BUDGET] — bench time budget in seconds. *)

@@ -33,6 +33,12 @@ type key =
   | Triage_sat_hits
   | Triage_enum_hits
   | Triage_escalations
+  | Model_queries_sc
+  | Model_queries_tso
+  | Model_queries_pso
+  | Consistency_checks
+  | Consistency_fast_hits
+  | Consistency_sat_hits
 
 let index = function
   | Enum_nodes -> 0
@@ -69,8 +75,14 @@ let index = function
   | Triage_sat_hits -> 31
   | Triage_enum_hits -> 32
   | Triage_escalations -> 33
+  | Model_queries_sc -> 34
+  | Model_queries_tso -> 35
+  | Model_queries_pso -> 36
+  | Consistency_checks -> 37
+  | Consistency_fast_hits -> 38
+  | Consistency_sat_hits -> 39
 
-let n_keys = 34
+let n_keys = 40
 
 let all_keys =
   [ Enum_nodes; Enum_pops; Enum_schedules; Limit_truncations;
@@ -84,7 +96,9 @@ let all_keys =
     Encoder_vars; Encoder_clauses; Solver_conflicts; Solver_propagations;
     Timeout_expirations; Timeout_degraded;
     Triage_approx_hits; Triage_reach_hits; Triage_sat_hits;
-    Triage_enum_hits; Triage_escalations ]
+    Triage_enum_hits; Triage_escalations;
+    Model_queries_sc; Model_queries_tso; Model_queries_pso;
+    Consistency_checks; Consistency_fast_hits; Consistency_sat_hits ]
 
 let key_name = function
   | Enum_nodes -> "enum_nodes"
@@ -121,6 +135,12 @@ let key_name = function
   | Triage_sat_hits -> "triage_tier_hits_sat"
   | Triage_enum_hits -> "triage_tier_hits_enum"
   | Triage_escalations -> "triage_escalations"
+  | Model_queries_sc -> "model_queries_sc"
+  | Model_queries_tso -> "model_queries_tso"
+  | Model_queries_pso -> "model_queries_pso"
+  | Consistency_checks -> "consistency_checks"
+  | Consistency_fast_hits -> "consistency_fast_hits"
+  | Consistency_sat_hits -> "consistency_sat_hits"
 
 type timer = T_total | T_split | T_enumerate | T_before | T_count
 

@@ -49,6 +49,15 @@ type key =
   | Triage_sat_hits     (** auto-engine queries settled by the SAT tier *)
   | Triage_enum_hits    (** auto-engine queries settled by bounded enumeration *)
   | Triage_escalations  (** tier attempts that expired and handed the query on *)
+  | Model_queries_sc    (** session queries answered under the sc model *)
+  | Model_queries_tso   (** session queries answered under the tso model *)
+  | Model_queries_pso   (** session queries answered under the pso model *)
+  | Consistency_checks  (** rf/co consistency verdicts produced by [Candidate] *)
+  | Consistency_fast_hits
+                        (** consistency verdicts settled by the polynomial
+                            saturation / greedy-witness fast path *)
+  | Consistency_sat_hits
+                        (** consistency verdicts that needed the CNF fragment *)
 
 type timer =
   | T_total       (** whole analysis *)

@@ -71,8 +71,13 @@ let attach session =
     let pos = lazy (Option.map positions (Lazy.force observed)) in
     let clock = lazy (Order_clock.of_skeleton ~with_deps:true sk) in
     let egp =
+      (* The task-graph device reads the raw program order, so its
+         guarantees only hold when every program-order edge is enforced
+         — gate it to the SC model.  The order clock is built from the
+         model-filtered skeleton and stays sound under relaxations. *)
       lazy
-        (if sk.Skeleton.n > egp_cap then None
+        (if sk.Skeleton.n > egp_cap || Memmodel.relaxes (Memmodel.current ())
+         then None
          else match Egp.build x with e -> Some e | exception _ -> None)
     in
     (* [a] provably precedes [b] in every feasible schedule. *)
@@ -148,6 +153,15 @@ let race_oracle x =
 (* ------------------------------------------------------------------ *)
 (* The streaming pipeline. *)
 
+type stream_relation = S_mhb | S_chb
+
+type stream_answer = {
+  q_rel : stream_relation;
+  q_a : int;
+  q_b : int;
+  q_verdict : bool option;
+}
+
 type big_report = {
   events : int;
   candidates : int;
@@ -157,37 +171,84 @@ type big_report = {
   refuted : int;
   certified : int;
   undecided : int;
+  answers : stream_answer list;
 }
 
 let races_big ?(stats = Counters.null) ?(budget = Budget.unlimited)
-    ?(max_candidates = max_int) (t : Bigtrace.t) =
+    ?(max_candidates = max_int) ?(jobs = 1) ?(queries = []) (t : Bigtrace.t) =
   Counters.time stats Counters.T_total @@ fun () ->
   let events = Bigtrace.n_events t in
   let observed_feasible = Bigtrace.observed_replays t in
+  let model = Memmodel.current () in
+  let po_preds =
+    (* Under a relaxing model only the enforced program-order edges are
+       forced orderings, so only those feed the clock — fewer edges is
+       the sound direction (the clock refutes less and certification
+       picks up the slack).  [Sc] keeps the raw lists: the legacy path,
+       bit for bit. *)
+    if Memmodel.relaxes model then fun e ->
+      List.filter
+        (fun p ->
+          Memmodel.enforced model t.Bigtrace.events.(p) t.Bigtrace.events.(e))
+        t.Bigtrace.po_preds.(e)
+    else fun e -> t.Bigtrace.po_preds.(e)
+  in
   let clock =
     Order_clock.build
       ~pids:(Array.map (fun e -> e.Event.pid) t.Bigtrace.events)
       ~kinds:(Array.map (fun e -> e.Event.kind) t.Bigtrace.events)
-      ~po_preds:(fun e -> t.Bigtrace.po_preds.(e))
-      ~sem_init:t.Bigtrace.sem_init ~sem_binary:t.Bigtrace.sem_binary
-      ~ev_init:t.Bigtrace.ev_init ()
+      ~po_preds ~sem_init:t.Bigtrace.sem_init
+      ~sem_binary:t.Bigtrace.sem_binary ~ev_init:t.Bigtrace.ev_init ()
   in
+  let ordered u v =
+    match clock with Some c -> Order_clock.ordered c u v | None -> false
+  in
+  (* Streaming relation queries, answered by the same tier-1 devices.
+     Event ids are observed-schedule positions by construction, so the
+     observed witness is the id order itself.  One-sided as everywhere
+     in tier 1: [None] means the streaming path cannot decide (there is
+     no higher tier at this scale — surfaced, never guessed). *)
+  let answer (q_rel, q_a, q_b) =
+    let q_verdict =
+      if q_a = q_b then Some false
+      else
+        match q_rel with
+        | S_mhb ->
+            if ordered q_a q_b then Some true
+            else if observed_feasible && q_b < q_a then Some false
+            else None
+        | S_chb ->
+            if ordered q_b q_a then Some false
+            else if observed_feasible && q_a < q_b then Some true
+            else None
+    in
+    (match q_verdict with
+    | Some _ -> Counters.bump stats Counters.Triage_approx_hits
+    | None -> Counters.bump stats Counters.Triage_escalations);
+    { q_rel; q_a; q_b; q_verdict }
+  in
+  let answers = List.map answer queries in
   let pairs, capped = Bigtrace.conflicting_pairs ~max_candidates t in
-  let refuted = ref 0 and certified = ref 0 and undecided = ref 0 in
-  let races = ref [] in
-  let budget_hit = ref false in
-  (try
-     List.iter
-       (fun (a, b, vars) ->
+  let pairs = Array.of_list pairs in
+  let n_pairs = Array.length pairs in
+  (* Candidate triage shards across worker domains: contiguous chunks,
+     one per worker, merged in chunk order — per-candidate counter
+     bumps land in per-chunk counters first, so totals are bit-identical
+     across job counts (each candidate contributes the same bumps
+     wherever it runs). *)
+  let jobs = max 1 (min jobs (max 1 n_pairs)) in
+  let run_chunk (lo, hi) =
+    let c = if Counters.enabled stats then Counters.create () else Counters.null in
+    let refuted = ref 0 and certified = ref 0 and undecided = ref 0 in
+    let races = ref [] in
+    let hit = ref false in
+    (try
+       for i = lo to hi - 1 do
          if Budget.poll_node budget then raise Budget.Expired;
-         let ordered u v =
-           match clock with
-           | Some c -> Order_clock.ordered c u v
-           | None -> false
-         in
+         let a, b, vars = pairs.(i) in
          if ordered a b || ordered b a then begin
            incr refuted;
-           Counters.bump stats Counters.Triage_approx_hits
+           Counters.bump c Counters.Triage_approx_hits
          end
          else if
            observed_feasible
@@ -196,22 +257,42 @@ let races_big ?(stats = Counters.null) ?(budget = Budget.unlimited)
            && Bigtrace.certify_swap t a b
          then begin
            incr certified;
-           Counters.bump stats Counters.Triage_approx_hits;
+           Counters.bump c Counters.Triage_approx_hits;
            races := (a, b, vars) :: !races
          end
          else begin
            incr undecided;
-           Counters.bump stats Counters.Triage_escalations
-         end)
-       pairs
-   with Budget.Expired -> budget_hit := true);
+           Counters.bump c Counters.Triage_escalations
+         end
+       done
+     with Budget.Expired -> hit := true);
+    (c, List.rev !races, !refuted, !certified, !undecided, !hit)
+  in
+  let chunks =
+    Array.init jobs (fun k ->
+        (k * n_pairs / jobs, (k + 1) * n_pairs / jobs))
+  in
+  let results = Parallel.map ~jobs run_chunk chunks in
+  let refuted = ref 0 and certified = ref 0 and undecided = ref 0 in
+  let races = ref [] in
+  let budget_hit = ref false in
+  Array.iter
+    (fun (c, rs, r, ce, u, hit) ->
+      Counters.merge_into ~dst:stats c;
+      races := List.rev_append rs !races;
+      refuted := !refuted + r;
+      certified := !certified + ce;
+      undecided := !undecided + u;
+      budget_hit := !budget_hit || hit)
+    results;
   {
     events;
-    candidates = List.length pairs;
+    candidates = n_pairs;
     truncated = capped || !budget_hit;
     observed_feasible;
     races = List.rev !races;
     refuted = !refuted;
     certified = !certified;
     undecided = !undecided;
+    answers;
   }

@@ -46,6 +46,19 @@ val race_oracle : Execution.t -> Skeleton.t -> int -> int -> bool option
 
 (** {1 The streaming million-event race pipeline} *)
 
+type stream_relation = S_mhb | S_chb
+(** The two per-pair orderings the streaming path can answer:
+    must-happen-before and could-happen-before. *)
+
+type stream_answer = {
+  q_rel : stream_relation;
+  q_a : int;
+  q_b : int;
+  q_verdict : bool option;
+      (** [None]: tier 1 cannot decide — surfaced, never guessed (the
+          streaming path has no higher tier to escalate to) *)
+}
+
 type big_report = {
   events : int;
   candidates : int;  (** conflicting cross-process computation pairs *)
@@ -58,12 +71,16 @@ type big_report = {
   undecided : int;
       (** candidates tier 1 could not decide — surfaced, never dropped
           silently (the big path has no higher tier to escalate to) *)
+  answers : stream_answer list;
+      (** one answer per element of [queries], in request order *)
 }
 
 val races_big :
   ?stats:Counters.t ->
   ?budget:Budget.t ->
   ?max_candidates:int ->
+  ?jobs:int ->
+  ?queries:(stream_relation * int * int) list ->
   Bigtrace.t ->
   big_report
 (** All races over a columnar trace by tier-1 devices only: candidate
@@ -72,4 +89,22 @@ val races_big :
     trace.  Decided candidates bump [triage_tier_hits_approx];
     undecided ones bump [triage_escalations].  Budget expiry stops the
     scan and marks the report truncated (a sound under-report, in the
-    could-have direction). *)
+    could-have direction).
+
+    Under a relaxing memory model ({!Memmodel.current}) only the
+    model-enforced program-order edges feed the forced-order clock —
+    the sound direction (fewer refutations, certification unaffected);
+    under [sc] the path is the legacy one, bit for bit.
+
+    [jobs] shards the candidate scan across worker domains in
+    contiguous chunks merged in chunk order, so counter totals and the
+    report are identical across job counts (modulo budget expiry, which
+    is wall-clock-dependent in either mode).
+
+    [queries] asks streaming per-pair relation questions answered by
+    the same tier-1 devices (event ids are observed-schedule
+    positions): must-before holds when the clock forces the order and
+    fails when the replay-certified observed schedule anti-orders the
+    pair; could-before symmetrically.  Each decided query bumps
+    [triage_tier_hits_approx], each undecided one
+    [triage_escalations]. *)

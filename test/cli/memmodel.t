@@ -1,0 +1,175 @@
+The pluggable memory models end to end: `--model` (or EO_MODEL) selects
+the semantics every subcommand answers under, and `eventorder
+consistent` decides rf-annotated outcomes with a replayable rf/co
+witness.  The store-buffering litmus — each process writes one variable
+then reads the other:
+
+  $ cat > sb.eo <<'EOF'
+  > proc p0 { x := 1; assert y = 0 }
+  > proc p1 { y := 1; assert x = 0 }
+  > EOF
+
+The observed (round-robin) execution's own rf is consistent under every
+model:
+
+  $ eventorder consistent sb.eo
+  model: sc
+  events: 4
+  rf: 'assert (y = 0)' (event 2) reads 'y := 1' (event 1) on v1
+  rf: 'assert (x = 0)' (event 3) reads 'x := 1' (event 0) on v0
+  verdict: consistent under sc
+  witness order: x := 1; y := 1; assert (y = 0); assert (x = 0)
+  coherence v0: x := 1
+  coherence v1: y := 1
+
+The both-reads-see-init outcome is forbidden under sc but allowed once
+stores sit in per-process buffers (tso, pso):
+
+  $ eventorder consistent sb.eo --rf 2=init --rf 3=init
+  model: sc
+  events: 4
+  rf: 'assert (y = 0)' (event 2) reads the initial value on v1
+  rf: 'assert (x = 0)' (event 3) reads the initial value on v0
+  verdict: inconsistent under sc
+  reason: the saturated sc ordering constraints are cyclic
+  [1]
+
+  $ eventorder consistent sb.eo --rf 2=init --rf 3=init --model tso
+  model: tso
+  events: 4
+  rf: 'assert (y = 0)' (event 2) reads the initial value on v1
+  rf: 'assert (x = 0)' (event 3) reads the initial value on v0
+  verdict: consistent under tso
+  witness order: assert (y = 0); y := 1; assert (x = 0); x := 1
+  coherence v0: x := 1
+  coherence v1: y := 1
+
+  $ eventorder consistent sb.eo --rf 2=init --rf 3=init --model pso
+  model: pso
+  events: 4
+  rf: 'assert (y = 0)' (event 2) reads the initial value on v1
+  rf: 'assert (x = 0)' (event 3) reads the initial value on v0
+  verdict: consistent under pso
+  witness order: assert (y = 0); y := 1; assert (x = 0); x := 1
+  coherence v0: x := 1
+  coherence v1: y := 1
+
+Message passing separates tso from pso: the flag read sees the write
+but the data read still sees the initial value — impossible while the
+store buffer drains in order:
+
+  $ cat > mp.eo <<'EOF'
+  > proc writer { x := 1; y := 1 }
+  > proc reader { assert y = 1; assert x = 1 }
+  > EOF
+
+  $ eventorder consistent mp.eo --rf 1=2 --rf 3=init --model tso
+  model: tso
+  events: 4
+  rf: 'assert (y = 1)' (event 1) reads 'y := 1' (event 2) on v1
+  rf: 'assert (x = 1)' (event 3) reads the initial value on v0
+  verdict: inconsistent under tso
+  reason: the saturated tso ordering constraints are cyclic
+  [1]
+
+  $ eventorder consistent mp.eo --rf 1=2 --rf 3=init --model pso
+  model: pso
+  events: 4
+  rf: 'assert (y = 1)' (event 1) reads 'y := 1' (event 2) on v1
+  rf: 'assert (x = 1)' (event 3) reads the initial value on v0
+  verdict: consistent under pso
+  witness order: y := 1; assert (y = 1); assert (x = 1); x := 1
+  coherence v0: x := 1
+  coherence v1: y := 1
+
+The JSON surface carries the verdict, the rf under test and the
+witness:
+
+  $ eventorder consistent mp.eo --rf 1=2 --rf 3=init --model pso --format json
+  {
+    "schema": "eventorder.consistent/1",
+    "events": 4,
+    "model": "pso",
+    "rf": [
+      {
+        "read": 1,
+        "write": 2,
+        "variable": 1
+      },
+      {
+        "read": 3,
+        "write": "init",
+        "variable": 0
+      }
+    ],
+    "verdict": "consistent",
+    "witness": {
+      "order": [2,1,3,0],
+      "co": {
+        "v0": [0],
+        "v1": [2]
+      }
+    }
+  }
+
+The model threads through the relation analyses too: under tso the
+stores may be buffered past the program-order-later reads, so MHB loses
+exactly the write-to-read pairs:
+
+  $ eventorder analyze sb.eo --format json | grep -A6 '"mhb"'
+      "mhb": [
+        [0,2],
+        [0,3],
+        [1,2],
+        [1,3]
+      ],
+      "chb": [
+
+  $ eventorder analyze sb.eo --model tso --format json | grep -A6 '"mhb"'
+      "mhb": [
+        [0,3],
+        [1,2]
+      ],
+      "chb": [
+        [0,1],
+        [0,2],
+
+The model also comes from the environment, and unknown names die with
+the vocabulary on both surfaces:
+
+  $ EO_MODEL=tso eventorder consistent sb.eo --rf 2=init --rf 3=init
+  model: tso
+  events: 4
+  rf: 'assert (y = 0)' (event 2) reads the initial value on v1
+  rf: 'assert (x = 0)' (event 3) reads the initial value on v0
+  verdict: consistent under tso
+  witness order: assert (y = 0); y := 1; assert (x = 0); x := 1
+  coherence v0: x := 1
+  coherence v1: y := 1
+
+  $ eventorder analyze sb.eo --model bogus
+  error: unknown --model "bogus" (valid models: sc, tso, pso)
+  [2]
+
+  $ eventorder analyze sb.eo --model bogus --format json
+  {
+    "schema": "eventorder.error/1",
+    "code": "usage",
+    "error": "unknown --model \"bogus\" (valid models: sc, tso, pso)"
+  }
+  [2]
+
+  $ EO_MODEL=armv8 eventorder analyze sb.eo
+  error: rejecting EO_MODEL="armv8" (valid models: sc, tso, pso)
+  [2]
+
+Reads-from validation — malformed pins and unknown events are usage
+errors:
+
+  $ eventorder consistent sb.eo --rf nonsense
+  error: --rf expects READ=WRITE with numeric event ids (WRITE also accepts 'init'); got "nonsense"
+  [2]
+
+  $ eventorder consistent sb.eo --rf 0=init
+  error: --rf: event 0 is not a shared-variable read of the trace
+  [2]

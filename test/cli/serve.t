@@ -51,6 +51,7 @@ The full wire round-trip, per-entry status included:
     "outcome": "completed",
     "program_key": "fb3275e9241805dd9bf025bf28fce0a3",
     "engine": "packed",
+    "model": "sc",
     "jobs": 1,
     "results": [
       {

@@ -65,12 +65,13 @@ without enumerating a single node:
         "cache_misses": 0,
         "cache_stores": 0,
 
-Entries are versioned files keyed by hash, result kind, engine and
-enumeration limit — any mismatch is a miss, never a stale answer:
+Entries are versioned files keyed by hash, result kind, engine, memory
+model and enumeration limit — any mismatch is a miss, never a stale
+answer:
 
   $ ls cache | sed 's/^[0-9a-f]\{32\}/<hash>/' | sort
-  <hash>.races.packed.nolimit.eocache
-  <hash>.summary-full.packed.nolimit.eocache
+  <hash>.races.packed.sc.nolimit.eocache
+  <hash>.summary-full.packed.sc.nolimit.eocache
 
 A different engine misses the warmed entries and re-derives (the answers
 are identical by the engine-equivalence property):

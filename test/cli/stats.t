@@ -127,7 +127,13 @@ normalized to "T" and everything else is locked exactly.
         "triage_tier_hits_reach": 0,
         "triage_tier_hits_sat": 0,
         "triage_tier_hits_enum": 0,
-        "triage_escalations": 0
+        "triage_escalations": 0,
+        "model_queries_sc": 1,
+        "model_queries_tso": 0,
+        "model_queries_pso": 0,
+        "consistency_checks": 0,
+        "consistency_fast_hits": 0,
+        "consistency_sat_hits": 0
       },
       "timers_s": {
         "total": T,
@@ -216,7 +222,13 @@ The races schema:
         "triage_tier_hits_reach": 0,
         "triage_tier_hits_sat": 0,
         "triage_tier_hits_enum": 0,
-        "triage_escalations": 0
+        "triage_escalations": 0,
+        "model_queries_sc": 2,
+        "model_queries_tso": 0,
+        "model_queries_pso": 0,
+        "consistency_checks": 0,
+        "consistency_fast_hits": 0,
+        "consistency_sat_hits": 0
       },
       "timers_s": {
         "total": T,
@@ -276,4 +288,10 @@ Text mode appends a human-readable table instead:
     triage_tier_hits_sat     0
     triage_tier_hits_enum    0
     triage_escalations       0
+    model_queries_sc         0
+    model_queries_tso        0
+    model_queries_pso        0
+    consistency_checks       0
+    consistency_fast_hits    0
+    consistency_sat_hits     0
     timers (s): total=T split=T enumerate=T happened_before=T schedule_count=T

@@ -30,7 +30,7 @@ the reach tier — one escalation, one reach hit.
         "triage_tier_hits_reach": 1,
         "triage_tier_hits_sat": 0,
         "triage_tier_hits_enum": 0,
-        "triage_escalations": 1
+        "triage_escalations": 1,
 
 The engine also comes from the environment, like every other engine
 name:
@@ -49,7 +49,7 @@ set is unchanged.
         "triage_tier_hits_reach": 0,
         "triage_tier_hits_sat": 1,
         "triage_tier_hits_enum": 0,
-        "triage_escalations": 2
+        "triage_escalations": 2,
   $ EO_TRIAGE_REACH_NODES=1 eventorder races --engine auto racy.eo | tail -2
   first races (debugging frontier): 1
     race between x := 1 (event 0) and x := 2 (event 4) on v0
@@ -76,7 +76,47 @@ pair is refuted by the forced-order clock; nothing is undecided.
         "triage_tier_hits_reach": 0,
         "triage_tier_hits_sat": 0,
         "triage_tier_hits_enum": 0,
-        "triage_escalations": 0
+        "triage_escalations": 0,
+
+The streaming path also answers per-pair must-/could-happen-before
+queries from the same tier-1 devices (--query REL:A:B, numeric ids;
+repeatable), and shards the candidate triage across worker domains —
+the report and the counters are identical whatever --jobs says.
+
+  $ eventorder races --engine auto fj.eotrace --query mhb:0:100 --query chb:0:100 --query mhb:100:0 | head -4
+  events: 256
+  query mhb(0, 100): true
+  query chb(0, 100): true
+  query mhb(100, 0): false
+
+  $ eventorder races --engine auto --jobs 4 fj.eotrace --query mhb:0:100 | head -7
+  events: 256
+  query mhb(0, 100): true
+  candidate conflicting pairs: 39
+  refuted by forced-order clock: 16
+  undecided at streaming scale: 0
+  certified races (replayed both orders): 23
+    race between race (event 34) and race (event 35) on v25
+
+  $ eventorder races --engine auto --jobs 4 --stats --format json fj.eotrace --query mhb:0:100 | grep triage
+        "triage_tier_hits_approx": 40,
+        "triage_tier_hits_reach": 0,
+        "triage_tier_hits_sat": 0,
+        "triage_tier_hits_enum": 0,
+        "triage_escalations": 0,
+
+Query validation dies with the vocabulary, and exact-scale runs route
+per-pair questions to the batch subcommand instead:
+
+  $ eventorder races --engine auto fj.eotrace --query pob:0:100
+  error: --query expects REL:A:B with REL one of mhb, chb and A, B numeric event ids (got "pob:0:100")
+  [2]
+  $ eventorder races --engine auto fj.eotrace --query mhb:0:9999
+  error: --query "mhb:0:9999": event ids must be in [0, 256)
+  [2]
+  $ eventorder races --engine auto racy.eo --query mhb:0:4
+  error: --query runs on the streaming path only (a saved *.eotrace bigger than --max-events under --engine auto); use the batch subcommand for per-pair queries at exact scale
+  [2]
 
 A deadline on the streaming path degrades gracefully: partial counts
 are timing-dependent, so only the stable surface is locked — the

@@ -198,6 +198,7 @@ let test_pair_queries_match_decide =
 let test_config : Api.config =
   {
     Api.engine = None;
+    model = None;
     limit = None;
     jobs = 2;
     max_events = 40;

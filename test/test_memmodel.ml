@@ -1,0 +1,363 @@
+(* The pluggable memory-model layer: the [Sc] instance must be
+   differentially indistinguishable from the legacy F1–F3 semantics
+   across every relation, session primitive, engine and job count; the
+   [Tso]/[Pso] instances must decide the classic litmus shapes the way
+   the store-buffer semantics says; and the rf/co consistency checker's
+   polynomial tiers must agree with its own CNF fragment under the
+   in-repo CDCL.  Also the EO_MODEL configuration contract. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let with_model m f =
+  let saved = Memmodel.current () in
+  Memmodel.set m;
+  Fun.protect ~finally:(fun () -> Memmodel.set saved) f
+
+let with_engine e f =
+  let saved = Engine.current () in
+  Engine.set e;
+  Fun.protect ~finally:(fun () -> Engine.set saved) f
+
+(* EO_MODEL is memoized in [Config]; a test that touches it must drop
+   the memo on the way in (to see its own value) and on the way out (so
+   later suites re-read the real environment). *)
+let with_env var value f =
+  let saved = Sys.getenv_opt var in
+  Unix.putenv var value;
+  Config.reset_for_testing ();
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv var (Option.value saved ~default:"");
+      Config.reset_for_testing ())
+    f
+
+let small_execution prog =
+  match Gen_progs.completed_trace prog with
+  | None -> None
+  | Some tr ->
+      if Trace.n_events tr > 8 then None else Some (Trace.to_execution tr)
+
+let fresh_session x = Session.of_execution ~cache:Session.no_cache x
+
+(* ------------------------------------------------------------------ *)
+(* Differential: under [Sc] every engine and job count answers every
+   session primitive and relation exactly as the legacy (model-untouched)
+   path does — the model layer must be invisible at its default. *)
+
+let session_answers engine x =
+  with_engine engine (fun () ->
+      let s = fresh_session x in
+      if engine = Engine.Auto then Triage.attach s;
+      let n = (Session.skeleton s).Skeleton.n in
+      let pairs = ref [] in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          pairs :=
+            ( Session.exists_before s a b,
+              Session.must_before s a b,
+              Session.exists_race s a b )
+            :: !pairs
+        done
+      done;
+      (Session.feasible_exists s, List.rev !pairs))
+
+let relation_matrix engine x =
+  with_engine engine (fun () ->
+      let s = fresh_session x in
+      let d = Decide.of_session s in
+      let n = (Session.skeleton s).Skeleton.n in
+      List.map
+        (fun r ->
+          let m = ref [] in
+          for a = 0 to n - 1 do
+            for b = 0 to n - 1 do
+              m := Decide.holds d r a b :: !m
+            done
+          done;
+          (r, !m))
+        Relations.all_relations)
+
+let prop_sc_is_legacy_relations =
+  QCheck.Test.make
+    ~name:"explicit --model sc ≡ legacy default on all six relations"
+    ~count:60 Gen_progs.arbitrary_program (fun prog ->
+      match small_execution prog with
+      | None -> true
+      | Some x ->
+          let legacy = relation_matrix Engine.Packed x in
+          with_model Memmodel.Sc (fun () ->
+              relation_matrix Engine.Packed x = legacy
+              && relation_matrix Engine.Naive x = legacy))
+
+let prop_sc_is_legacy_sessions =
+  QCheck.Test.make
+    ~name:"explicit --model sc ≡ legacy on session primitives (all engines)"
+    ~count:40 Gen_progs.arbitrary_program (fun prog ->
+      match small_execution prog with
+      | None -> true
+      | Some x ->
+          let legacy = session_answers Engine.Naive x in
+          with_model Memmodel.Sc (fun () ->
+              List.for_all
+                (fun e -> session_answers e x = legacy)
+                [ Engine.Naive; Engine.Packed; Engine.Sat; Engine.Auto ]))
+
+let prop_sc_is_legacy_races =
+  QCheck.Test.make
+    ~name:"explicit --model sc ≡ legacy on race sets (jobs 1 and 4)"
+    ~count:40 Gen_progs.arbitrary_program (fun prog ->
+      match small_execution prog with
+      | None -> true
+      | Some x ->
+          let legacy = Race.feasible_races ~jobs:1 x in
+          with_model Memmodel.Sc (fun () ->
+              Race.feasible_races ~jobs:1 x = legacy
+              && Race.feasible_races ~jobs:4 x = legacy
+              && with_engine Engine.Auto (fun () ->
+                     Race.feasible_races ~jobs:1 x = legacy
+                     && Race.feasible_races ~jobs:4 x = legacy)))
+
+(* ------------------------------------------------------------------ *)
+(* The preserved-program-order relation: always inside the program-order
+   closure, exactly the closure under [Sc], and never dropping a pair
+   whose endpoints the model fences. *)
+
+let prop_ppo_contract =
+  QCheck.Test.make ~name:"ppo ⊆ po⁺, with equality under sc" ~count:80
+    Gen_progs.arbitrary_program (fun prog ->
+      match small_execution prog with
+      | None -> true
+      | Some x ->
+          let po = Execution.po_closure x in
+          Rel.equal (Memmodel.ppo Memmodel.Sc x) po
+          && List.for_all
+               (fun m ->
+                 let ppo = Memmodel.ppo m x in
+                 Rel.subset ppo po
+                 && List.for_all
+                      (fun (a, b) ->
+                        Memmodel.enforced m x.Execution.events.(a)
+                          x.Execution.events.(b)
+                        = false
+                        || Rel.mem ppo a b)
+                      (Rel.to_pairs po))
+               Memmodel.all)
+
+(* ------------------------------------------------------------------ *)
+(* Litmus outcomes: the acceptance matrix for SB and MP. *)
+
+let is_consistent ~model c =
+  match Candidate.check ~model c with
+  | Candidate.Consistent w -> (
+      (* every positive verdict must replay *)
+      match Candidate.check_witness ~model c w.Candidate.order with
+      | Ok _ -> true
+      | Error msg -> Alcotest.failf "witness rejected on replay: %s" msg)
+  | Candidate.Inconsistent _ -> false
+
+let test_litmus_sb () =
+  let c = Litmus.sb () in
+  Alcotest.(check bool) "SB forbidden under sc" false
+    (is_consistent ~model:Memmodel.Sc c);
+  Alcotest.(check bool) "SB allowed under tso" true
+    (is_consistent ~model:Memmodel.Tso c);
+  Alcotest.(check bool) "SB allowed under pso" true
+    (is_consistent ~model:Memmodel.Pso c)
+
+let test_litmus_mp () =
+  let c = Litmus.mp () in
+  Alcotest.(check bool) "MP stale read forbidden under sc" false
+    (is_consistent ~model:Memmodel.Sc c);
+  Alcotest.(check bool) "MP stale read forbidden under tso (FIFO buffer)"
+    false
+    (is_consistent ~model:Memmodel.Tso c);
+  Alcotest.(check bool) "MP stale read allowed under pso" true
+    (is_consistent ~model:Memmodel.Pso c)
+
+let test_litmus_observed_rf () =
+  List.iter
+    (fun (name, x) ->
+      let c = Candidate.make x in
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s observed rf consistent under %s" name
+               (Memmodel.to_string m))
+            true
+            (is_consistent ~model:m c))
+        Memmodel.all)
+    [ ("SB", Litmus.sb_execution ()); ("MP", Litmus.mp_execution ()) ]
+
+(* The feasibility side of the same discrimination: TSO stops enforcing
+   a pure write before its process's later pure read, so MHB over the SB
+   shape loses exactly the two write-to-read program-order pairs. *)
+let test_litmus_relations_discriminate () =
+  let x = Litmus.sb_execution () in
+  let mhb model a b =
+    with_model model (fun () ->
+        let d = Decide.of_session (fresh_session x) in
+        Decide.holds d Relations.MHB a b)
+  in
+  Alcotest.(check bool) "sc: x:=1 MHB r y (program order)" true
+    (mhb Memmodel.Sc 0 1);
+  Alcotest.(check bool) "tso: store buffered past the read" false
+    (mhb Memmodel.Tso 0 1);
+  Alcotest.(check bool) "pso: store buffered past the read" false
+    (mhb Memmodel.Pso 0 1);
+  let y = Litmus.mp_execution () in
+  let mhb_mp model a b =
+    with_model model (fun () ->
+        let d = Decide.of_session (fresh_session y) in
+        Decide.holds d Relations.MHB a b)
+  in
+  Alcotest.(check bool) "tso: write-to-write stays ordered (FIFO)" true
+    (mhb_mp Memmodel.Tso 0 1);
+  Alcotest.(check bool) "pso: independent writes drain out of order" false
+    (mhb_mp Memmodel.Pso 0 1)
+
+(* ------------------------------------------------------------------ *)
+(* Checker internals: observed executions are always explainable, and
+   the polynomial tiers agree with the CNF fragment on arbitrary
+   (possibly impossible) rf perturbations. *)
+
+let prop_observed_rf_consistent =
+  QCheck.Test.make
+    ~name:"every observed execution's rf is consistent under every model"
+    ~count:60 Gen_progs.arbitrary_program (fun prog ->
+      match small_execution prog with
+      | None -> true
+      | Some x ->
+          let c = Candidate.make x in
+          List.for_all (fun m -> is_consistent ~model:m c) Memmodel.all)
+
+let writers_of_var x v =
+  Array.to_list x.Execution.events
+  |> List.filter_map (fun (e : Event.t) ->
+         if List.mem v e.Event.writes then Some e.Event.id else None)
+
+(* Rotate each read's source through [init :: writers of its variable],
+   offset by a generated seed: a deterministic sweep over rf assignments
+   the interpreter could never produce. *)
+let perturb_rf x seed =
+  List.mapi
+    (fun i (edge : Candidate.rf_edge) ->
+      let choices = -1 :: writers_of_var x edge.Candidate.var in
+      let k = (seed + i) mod List.length choices in
+      { edge with Candidate.write = List.nth choices k })
+    (Candidate.infer_rf x)
+
+let prop_tiers_agree_with_cnf =
+  QCheck.Test.make
+    ~name:"saturation/greedy verdicts agree with the CNF fragment"
+    ~count:60
+    QCheck.(pair Gen_progs.arbitrary_program small_nat)
+    (fun (prog, seed) ->
+      match small_execution prog with
+      | None -> true
+      | Some x -> (
+          match Candidate.make ~rf:(perturb_rf x seed) x with
+          | exception Candidate.Ill_formed _ -> true
+          | c ->
+              List.for_all
+                (fun m ->
+                  let cnf, _lit = Candidate.cnf_fragment ~model:m c in
+                  let sat =
+                    match Cdcl.solve cnf with
+                    | Cdcl.Sat _ -> true
+                    | Cdcl.Unsat -> false
+                  in
+                  is_consistent ~model:m c = sat)
+                Memmodel.all))
+
+let test_consistency_counters () =
+  let c = Counters.create () in
+  ignore (Candidate.check ~stats:c ~model:Memmodel.Sc (Litmus.sb ()));
+  ignore (Candidate.check ~stats:c ~model:Memmodel.Tso (Litmus.sb ()));
+  Alcotest.(check int) "two checks counted" 2
+    (Counters.get c Counters.Consistency_checks);
+  Alcotest.(check int) "every verdict lands in exactly one tier counter" 2
+    (Counters.get c Counters.Consistency_fast_hits
+    + Counters.get c Counters.Consistency_sat_hits)
+
+let test_model_query_counters () =
+  let t = Telemetry.create () in
+  let x = Litmus.sb_execution () in
+  with_model Memmodel.Tso (fun () ->
+      let s = Session.of_execution ~stats:t ~cache:Session.no_cache x in
+      ignore (Session.must_before s 0 1));
+  let c = Telemetry.counters t in
+  Alcotest.(check int) "query attributed to the tso counter" 1
+    (Counters.get c Counters.Model_queries_tso);
+  Alcotest.(check int) "no sc attribution" 0
+    (Counters.get c Counters.Model_queries_sc)
+
+(* ------------------------------------------------------------------ *)
+(* The EO_MODEL configuration contract (mirrors EO_ENGINE): unknown
+   names are rejected with the full vocabulary, never silently mapped. *)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_model_of_string () =
+  List.iter
+    (fun name ->
+      Alcotest.(check (result string string))
+        name (Ok name)
+        (Config.model_of_string name))
+    Config.model_names;
+  Alcotest.(check (result string string))
+    "case and whitespace folded" (Ok "tso")
+    (Config.model_of_string "  TSO ");
+  (match Config.model_of_string "x86" with
+  | Ok _ -> Alcotest.fail "unknown model accepted"
+  | Error msg ->
+      Alcotest.(check bool) "diagnostic names the offender" true
+        (contains ~sub:"\"x86\"" msg);
+      Alcotest.(check bool) "diagnostic lists the vocabulary" true
+        (contains ~sub:"sc, tso, pso" msg));
+  Alcotest.(check (list string))
+    "typed vocabulary = config vocabulary" Config.model_names Memmodel.names;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Memmodel.to_string m ^ " round-trips") true
+        (Memmodel.of_string (Memmodel.to_string m) = Some m))
+    Memmodel.all;
+  Alcotest.(check bool) "of_string rejects outside the vocabulary" true
+    (Memmodel.of_string "x86" = None)
+
+let test_model_env () =
+  with_env "EO_MODEL" "pso" (fun () ->
+      Alcotest.(check string) "EO_MODEL selects the name" "pso"
+        (Config.model ());
+      Alcotest.(check bool) "typed default follows the env" true
+        (Memmodel.default_of_env () = Memmodel.Pso));
+  with_env "EO_MODEL" "weird" (fun () ->
+      Alcotest.(check string) "bad EO_MODEL warns and defaults" "sc"
+        (Config.model ());
+      Alcotest.(check bool) "typed default degrades to sc" true
+        (Memmodel.default_of_env () = Memmodel.Sc))
+
+let suite =
+  [
+    qcheck prop_sc_is_legacy_relations;
+    qcheck prop_sc_is_legacy_sessions;
+    qcheck prop_sc_is_legacy_races;
+    qcheck prop_ppo_contract;
+    qcheck prop_observed_rf_consistent;
+    qcheck prop_tiers_agree_with_cnf;
+    Alcotest.test_case "litmus SB verdicts" `Quick test_litmus_sb;
+    Alcotest.test_case "litmus MP verdicts" `Quick test_litmus_mp;
+    Alcotest.test_case "observed rf always consistent" `Quick
+      test_litmus_observed_rf;
+    Alcotest.test_case "relations discriminate models" `Quick
+      test_litmus_relations_discriminate;
+    Alcotest.test_case "consistency counters" `Quick
+      test_consistency_counters;
+    Alcotest.test_case "per-model query counters" `Quick
+      test_model_query_counters;
+    Alcotest.test_case "EO_MODEL parser" `Quick test_model_of_string;
+    Alcotest.test_case "EO_MODEL environment" `Quick test_model_env;
+  ]

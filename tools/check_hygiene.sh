@@ -83,6 +83,58 @@ for e in $(sed -n 's/.*("\([a-z]*\)", Engine\..*/\1/p' bin/eventorder.ml); do
 done
 echo "hygiene: engine names agree across Config, CLI and docs"
 
+# Memory-model-name consistency: Config.model_names is the source of
+# truth; every name must be parsed by Memmodel.of_string, named in the
+# CLI --model help text, and documented in docs/ANALYSES.md — and the
+# typed parser must not accept a name Config rejects.
+models=$(sed -n 's/^let model_names = \[\(.*\)\]/\1/p' lib/obs/config.ml \
+  | tr -d '";')
+if [ -z "$models" ]; then
+  echo "hygiene: could not read model_names from lib/obs/config.ml" >&2
+  exit 1
+fi
+for m in $models; do
+  grep -q "\"$m\" -> Some" lib/memmodel/memmodel.ml || {
+    echo "hygiene: model '$m' missing from Memmodel.of_string" >&2; exit 1; }
+  grep -q "'$m'" bin/eventorder.ml || {
+    echo "hygiene: model '$m' missing from the CLI --model help text" >&2
+    exit 1; }
+  grep -q "\`$m\`" docs/ANALYSES.md || {
+    echo "hygiene: model '$m' not documented in docs/ANALYSES.md" >&2
+    exit 1; }
+done
+for m in $(sed -n 's/^  | "\([a-z]*\)" -> Some .*/\1/p' lib/memmodel/memmodel.ml); do
+  case " $models " in
+    *" $m "*) ;;
+    *) echo "hygiene: Memmodel.of_string accepts model '$m' that Config rejects" >&2
+       exit 1 ;;
+  esac
+done
+for knob in EO_MODEL; do
+  grep -q "$knob" lib/obs/config.ml || {
+    echo "hygiene: $knob parser missing from lib/obs/config.ml" >&2; exit 1; }
+  grep -q "$knob" bin/eventorder.ml || {
+    echo "hygiene: $knob fallback missing from bin/eventorder.ml" >&2; exit 1; }
+  grep -q "$knob" docs/ANALYSES.md || {
+    echo "hygiene: $knob documentation missing from docs/ANALYSES.md" >&2
+    exit 1; }
+done
+for ctr in Model_queries_sc Model_queries_tso Model_queries_pso \
+           Consistency_checks Consistency_fast_hits Consistency_sat_hits; do
+  grep -q "$ctr" lib/obs/counters.ml || {
+    echo "hygiene: $ctr counter missing from lib/obs/counters.ml" >&2; exit 1; }
+done
+for name in model_queries_sc model_queries_tso model_queries_pso \
+            consistency_checks consistency_fast_hits consistency_sat_hits; do
+  grep -q "$name" lib/obs/counters.ml || {
+    echo "hygiene: $name counter name missing from lib/obs/counters.ml" >&2
+    exit 1; }
+  grep -q "$name" docs/PROTOCOL.md || {
+    echo "hygiene: $name protocol documentation missing from docs/PROTOCOL.md" >&2
+    exit 1; }
+done
+echo "hygiene: model names agree across Config, Memmodel, CLI and docs"
+
 # Timeout-vocabulary consistency: the deadline surface is one contract
 # spoken in four places (env var, flag, JSON status, exit code); a
 # rename or removal in any one of them must fail loudly here.
